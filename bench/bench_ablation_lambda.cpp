@@ -1,0 +1,77 @@
+/// \file bench_ablation_lambda.cpp
+/// \brief Ablation (DESIGN.md §1.4-1): sensitivity of the ST summaries to
+/// the Eq. (1) scaling factor λ. λ = 0 nullifies the input explanation
+/// paths — the summarizer invents a brand-new explanation; large λ pins
+/// the summary to the input paths. Reported: comprehensibility, relevance,
+/// actionability, and the fraction of summary edges that come from the
+/// input paths (faithfulness to the explanations being summarized).
+
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.h"
+#include "metrics/metrics.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xsum;
+  auto runner = bench::MakeRunner(eval::ExperimentConfig{});
+  const auto data = bench::ValueOrDie(
+      runner.ComputeBaseline(rec::RecommenderKind::kPgpr), "baseline");
+  const std::vector<double> lambdas = {0.0, 0.01, 0.1, 1.0, 10.0, 100.0};
+  constexpr int kK = 10;
+
+  std::cout << "Ablation: lambda sensitivity (ST, user-centric, k=10)\n"
+            << "config: " << runner.config().Describe() << "\n\n";
+
+  std::vector<std::string> headers = {"metric"};
+  for (double l : lambdas) headers.push_back(StrCat("l=", l));
+  TextTable table(std::move(headers));
+
+  std::vector<double> comp, rel, act, overlap;
+  for (double lambda : lambdas) {
+    core::SummarizerOptions options;
+    options.method = core::SummaryMethod::kSteiner;
+    options.lambda = lambda;
+    options.steiner.variant = runner.config().steiner_variant;
+
+    StatAccumulator a_comp, a_rel, a_act, a_overlap;
+    for (const core::UserRecs& ur : data.users) {
+      const auto task = core::MakeUserCentricTask(runner.rec_graph(), ur, kK);
+      const auto summary = bench::ValueOrDie(
+          core::Summarize(runner.rec_graph(), task, options), "summarize");
+      const auto view = metrics::MakeView(runner.rec_graph().graph(), summary);
+      a_comp.Add(metrics::Comprehensibility(view));
+      a_rel.Add(metrics::Relevance(view, runner.rec_graph().base_weights()));
+      a_act.Add(metrics::Actionability(runner.rec_graph().graph(), view));
+      // Faithfulness: fraction of summary edges present in input paths.
+      std::unordered_set<graph::EdgeId> path_edges;
+      for (const auto& p : task.paths) {
+        for (graph::EdgeId e : p.edges) {
+          if (e != graph::kInvalidEdge) path_edges.insert(e);
+        }
+      }
+      size_t hits = 0;
+      for (graph::EdgeId e : summary.subgraph.edges()) {
+        if (path_edges.count(e) > 0) ++hits;
+      }
+      a_overlap.Add(summary.subgraph.num_edges() == 0
+                        ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(
+                                  summary.subgraph.num_edges()));
+    }
+    comp.push_back(a_comp.Mean());
+    rel.push_back(a_rel.Mean());
+    act.push_back(a_act.Mean());
+    overlap.push_back(a_overlap.Mean());
+  }
+  table.AddDoubleRow("comprehensibility", comp, 4);
+  table.AddDoubleRow("relevance", rel, 2);
+  table.AddDoubleRow("actionability", act, 4);
+  table.AddDoubleRow("input-path edge overlap", overlap, 4);
+  std::cout << table.ToString();
+  return 0;
+}

@@ -1,0 +1,89 @@
+/// \file bench_ablation_pcst_prizes.cpp
+/// \brief Ablation (DESIGN.md §1.4-2): PCST configuration choices the
+/// paper discusses in §IV-B / §V-A — prize policy (unit vs α/β), edge
+/// weights on vs ignored, and strong pruning. The paper reports that
+/// weighted edges made summaries "excessively large", motivating the final
+/// unit-prize/unit-cost setup.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "metrics/metrics.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace xsum;
+  auto runner = bench::MakeRunner(eval::ExperimentConfig{});
+  const auto data = bench::ValueOrDie(
+      runner.ComputeBaseline(rec::RecommenderKind::kPgpr), "baseline");
+  constexpr int kK = 10;
+
+  struct Variant {
+    std::string label;
+    core::PcstOptions options;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant v;
+    v.label = "paper default (p=1/0, unit cost, grown region)";
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "strong pruning (tight tree)";
+    v.options.strong_prune = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "alpha/beta prizes";
+    v.options.prize_policy = core::PcstOptions::PrizePolicy::kAlphaBeta;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "weighted edge costs (abandoned in paper)";
+    v.options.use_edge_weights = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "degree-centrality prizes (paper SVII future work)";
+    v.options.prize_policy =
+        core::PcstOptions::PrizePolicy::kDegreeCentrality;
+    variants.push_back(v);
+  }
+
+  std::cout << "Ablation: PCST prize/cost/pruning policies (user-centric,"
+            << " k=10)\n"
+            << "config: " << runner.config().Describe() << "\n\n";
+
+  TextTable table({"variant", "edges", "comprehensibility", "diversity",
+                   "privacy", "time(ms)"});
+  for (const Variant& variant : variants) {
+    core::SummarizerOptions options;
+    options.method = core::SummaryMethod::kPcst;
+    options.pcst = variant.options;
+
+    StatAccumulator edges, comp, div, priv, time_ms;
+    for (const core::UserRecs& ur : data.users) {
+      const auto task = core::MakeUserCentricTask(runner.rec_graph(), ur, kK);
+      const auto summary = bench::ValueOrDie(
+          core::Summarize(runner.rec_graph(), task, options), "summarize");
+      const auto view = metrics::MakeView(runner.rec_graph().graph(), summary);
+      edges.Add(static_cast<double>(summary.subgraph.num_edges()));
+      comp.Add(metrics::Comprehensibility(view));
+      div.Add(metrics::Diversity(view));
+      priv.Add(metrics::Privacy(runner.rec_graph().graph(), view));
+      time_ms.Add(summary.elapsed_ms);
+    }
+    table.AddRow({variant.label, FormatDouble(edges.Mean(), 1),
+                  FormatDouble(comp.Mean(), 4), FormatDouble(div.Mean(), 4),
+                  FormatDouble(priv.Mean(), 4),
+                  FormatDouble(time_ms.Mean(), 2)});
+  }
+  std::cout << table.ToString();
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// \file bench_common.h
+/// \brief Shared plumbing of the bench binaries: config-from-env, error
+/// aborts, and the standard header block every bench prints.
+
+#ifndef XSUM_BENCH_BENCH_COMMON_H_
+#define XSUM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "eval/experiment.h"
+#include "eval/figure.h"
+#include "eval/runner.h"
+#include "util/status.h"
+
+namespace xsum::bench {
+
+/// Aborts the bench with a diagnostic if \p status is not OK.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "[%s] failed: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Unwraps a Result or aborts.
+template <typename T>
+T ValueOrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "[%s] failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+/// Builds and initializes a runner from env-overridden defaults.
+inline eval::ExperimentRunner MakeRunner(eval::ExperimentConfig defaults) {
+  eval::ExperimentRunner runner(
+      eval::ExperimentConfig::FromEnv(std::move(defaults)));
+  CheckOk(runner.Init(), "runner init");
+  return runner;
+}
+
+}  // namespace xsum::bench
+
+#endif  // XSUM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,23 @@
+/// \file bench_fig02_comprehensibility.cpp
+/// \brief Reproduces paper Figure 2: comprehensibility C(S) = 1/|E_S| for
+/// the four scenarios × {PGPR, CAFE} baselines, k = 1..10.
+///
+/// Expected shape (paper §V-B-1): ST variants score highest (single
+/// compact tree vs one 3-hop path per recommendation); PCST beats the
+/// baselines only in the group scenarios.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsum;
+  auto runner = bench::MakeRunner(eval::ExperimentConfig{});
+  bench::CheckOk(
+      eval::RunQualityFigure(
+          runner, {rec::RecommenderKind::kPgpr, rec::RecommenderKind::kCafe},
+          {core::Scenario::kUserCentric, core::Scenario::kItemCentric,
+           core::Scenario::kUserGroup, core::Scenario::kItemGroup},
+          eval::MetricKind::kComprehensibility,
+          "Figure 2: Comprehensibility", std::cout),
+      "figure 2");
+  return 0;
+}

@@ -1,0 +1,17 @@
+/// \file bench_fig03_actionability.cpp
+/// \brief Reproduces paper Figure 3: Actionability A(S) = item nodes / |V_S|; ST λ=100 highest, PCST lowest (not optimized for item inclusion).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsum;
+  auto runner = bench::MakeRunner(eval::ExperimentConfig{});
+  bench::CheckOk(
+      eval::RunQualityFigure(
+          runner, {rec::RecommenderKind::kPgpr, rec::RecommenderKind::kCafe},
+          {core::Scenario::kUserCentric, core::Scenario::kItemCentric,
+           core::Scenario::kUserGroup, core::Scenario::kItemGroup},
+          eval::MetricKind::kActionability, "Figure 3: Actionability", std::cout),
+      "figure 3");
+  return 0;
+}

@@ -1,0 +1,17 @@
+/// \file bench_fig04_diversity.cpp
+/// \brief Reproduces paper Figure 4: Diversity D(S) = mean (1 - edge-pair Jaccard); baselines lowest (fixed 3-hop paths), PCST highest (largest summaries).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsum;
+  auto runner = bench::MakeRunner(eval::ExperimentConfig{});
+  bench::CheckOk(
+      eval::RunQualityFigure(
+          runner, {rec::RecommenderKind::kPgpr, rec::RecommenderKind::kCafe},
+          {core::Scenario::kUserCentric, core::Scenario::kItemCentric,
+           core::Scenario::kUserGroup, core::Scenario::kItemGroup},
+          eval::MetricKind::kDiversity, "Figure 4: Diversity", std::cout),
+      "figure 4");
+  return 0;
+}

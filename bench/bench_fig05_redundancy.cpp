@@ -1,0 +1,17 @@
+/// \file bench_fig05_redundancy.cpp
+/// \brief Reproduces paper Figure 5: Redundancy R(S) = duplicate node share; baselines repeat nodes across paths, ST/PCST subgraphs deduplicate.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsum;
+  auto runner = bench::MakeRunner(eval::ExperimentConfig{});
+  bench::CheckOk(
+      eval::RunQualityFigure(
+          runner, {rec::RecommenderKind::kPgpr, rec::RecommenderKind::kCafe},
+          {core::Scenario::kUserCentric, core::Scenario::kItemCentric,
+           core::Scenario::kUserGroup, core::Scenario::kItemGroup},
+          eval::MetricKind::kRedundancy, "Figure 5: Redundancy", std::cout),
+      "figure 5");
+  return 0;
+}

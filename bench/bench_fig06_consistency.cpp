@@ -1,0 +1,17 @@
+/// \file bench_fig06_consistency.cpp
+/// \brief Reproduces paper Figure 6: Consistency = mean Jaccard of consecutive-k node sets; baselines most stable user-centric, ST/PCST high elsewhere.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsum;
+  auto runner = bench::MakeRunner(eval::ExperimentConfig{});
+  bench::CheckOk(
+      eval::RunQualityFigure(
+          runner, {rec::RecommenderKind::kPgpr, rec::RecommenderKind::kCafe},
+          {core::Scenario::kUserCentric, core::Scenario::kItemCentric,
+           core::Scenario::kUserGroup, core::Scenario::kItemGroup},
+          eval::MetricKind::kConsistency, "Figure 6: Consistency", std::cout),
+      "figure 6");
+  return 0;
+}

@@ -1,0 +1,17 @@
+/// \file bench_fig07_relevance.cpp
+/// \brief Reproduces paper Figure 7: Relevance = total wM weight; baselines lead user-centric, ST grows with lambda, PCST aggregates weight via size.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsum;
+  auto runner = bench::MakeRunner(eval::ExperimentConfig{});
+  bench::CheckOk(
+      eval::RunQualityFigure(
+          runner, {rec::RecommenderKind::kPgpr, rec::RecommenderKind::kCafe},
+          {core::Scenario::kUserCentric, core::Scenario::kItemCentric,
+           core::Scenario::kUserGroup, core::Scenario::kItemGroup},
+          eval::MetricKind::kRelevance, "Figure 7: Relevance", std::cout),
+      "figure 7");
+  return 0;
+}

@@ -1,0 +1,17 @@
+/// \file bench_fig08_privacy.cpp
+/// \brief Reproduces paper Figure 8: Privacy = 1 - user-node share; PCST highest, ST below baselines (routes through weighted user-item edges).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsum;
+  auto runner = bench::MakeRunner(eval::ExperimentConfig{});
+  bench::CheckOk(
+      eval::RunQualityFigure(
+          runner, {rec::RecommenderKind::kPgpr, rec::RecommenderKind::kCafe},
+          {core::Scenario::kUserCentric, core::Scenario::kItemCentric,
+           core::Scenario::kUserGroup, core::Scenario::kItemGroup},
+          eval::MetricKind::kPrivacy, "Figure 8: Privacy", std::cout),
+      "figure 8");
+  return 0;
+}

@@ -1,0 +1,42 @@
+/// \file bench_fig09_performance.cpp
+/// \brief Reproduces paper Figure 9: execution time and working memory of
+/// the summarization call vs k, for all four scenarios × {PGPR, CAFE}.
+///
+/// Expected shape: ST cost grows with k (its complexity carries a |T|
+/// factor — this bench uses the paper's Algorithm 1 / KMB construction);
+/// PCST stays nearly flat (single priority-queue sweep independent of
+/// |T|), with the gap widening as k increases.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsum;
+  eval::ExperimentConfig defaults;
+  // KMB exhibits the |T|-scaling the paper reports; trim the sample sizes
+  // to keep the 16 panels affordable.
+  defaults.steiner_variant = core::SteinerOptions::Variant::kKmb;
+  defaults.users_per_gender = 8;
+  defaults.items_popular = 8;
+  defaults.items_unpopular = 8;
+  defaults.user_group_size = 8;
+  defaults.item_group_size = 6;
+  auto runner = bench::MakeRunner(defaults);
+
+  const std::vector<core::Scenario> scenarios = {
+      core::Scenario::kUserCentric, core::Scenario::kItemCentric,
+      core::Scenario::kUserGroup, core::Scenario::kItemGroup};
+  const std::vector<rec::RecommenderKind> baselines = {
+      rec::RecommenderKind::kPgpr, rec::RecommenderKind::kCafe};
+
+  bench::CheckOk(eval::RunQualityFigure(runner, baselines, scenarios,
+                                        eval::MetricKind::kTimeMs,
+                                        "Figure 9 (time): execution time",
+                                        std::cout),
+                 "figure 9 time");
+  bench::CheckOk(eval::RunQualityFigure(runner, baselines, scenarios,
+                                        eval::MetricKind::kMemoryMb,
+                                        "Figure 9 (memory): working memory",
+                                        std::cout),
+                 "figure 9 memory");
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// \file bench_fig10_group_sizes.cpp
+/// \brief Reproduces paper Figure 10: summarization time vs group size for
+/// the user-group and item-group scenarios (ST vs PCST, k = 10).
+///
+/// Expected shape: ST's complexity depends on the number of terminals |T|,
+/// so execution time rises rapidly with group size; PCST's single sweep is
+/// independent of |T| and grows only gently.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace xsum;
+
+core::SummarizerOptions StOptions() {
+  core::SummarizerOptions options;
+  options.method = core::SummaryMethod::kSteiner;
+  options.lambda = 1.0;
+  options.steiner.variant = core::SteinerOptions::Variant::kKmb;
+  return options;
+}
+
+core::SummarizerOptions PcstOptions() {
+  core::SummarizerOptions options;
+  options.method = core::SummaryMethod::kPcst;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  eval::ExperimentConfig defaults;
+  defaults.users_per_gender = 32;  // enough users to form the largest group
+  auto runner = bench::MakeRunner(defaults);
+  const auto data = bench::ValueOrDie(
+      runner.ComputeBaseline(rec::RecommenderKind::kPgpr), "baseline");
+  constexpr int kK = 10;
+
+  std::cout << "Figure 10: summarization time vs group size (k=10)\n"
+            << "config: " << runner.config().Describe() << "\n\n";
+
+  for (const bool user_side : {true, false}) {
+    const std::vector<size_t> group_sizes =
+        user_side ? std::vector<size_t>{4, 8, 16, 32, 64}
+                  : std::vector<size_t>{2, 4, 8, 12, 24};
+    std::vector<std::string> headers = {"method"};
+    for (size_t size : group_sizes) headers.push_back(StrCat("size=", size));
+    TextTable table(std::move(headers));
+    for (const auto& [label, options] :
+         {std::pair{std::string("ST l=1"), StOptions()},
+          std::pair{std::string("PCST"), PcstOptions()}}) {
+      std::vector<double> row;
+      for (size_t size : group_sizes) {
+        StatAccumulator acc;
+        if (user_side) {
+          // Chunk the sampled users into groups of `size`.
+          for (size_t begin = 0; begin + size <= data.users.size();
+               begin += size) {
+            std::vector<core::UserRecs> group(
+                data.users.begin() + static_cast<ptrdiff_t>(begin),
+                data.users.begin() + static_cast<ptrdiff_t>(begin + size));
+            const auto task =
+                core::MakeUserGroupTask(runner.rec_graph(), group, kK);
+            const auto summary = bench::ValueOrDie(
+                core::Summarize(runner.rec_graph(), task, options),
+                "summarize");
+            acc.Add(summary.elapsed_ms);
+          }
+        } else {
+          for (size_t begin = 0; begin + size <= data.items.size();
+               begin += size) {
+            std::vector<core::ItemAudience> group(
+                data.items.begin() + static_cast<ptrdiff_t>(begin),
+                data.items.begin() + static_cast<ptrdiff_t>(begin + size));
+            const auto task =
+                core::MakeItemGroupTask(runner.rec_graph(), group, kK);
+            const auto summary = bench::ValueOrDie(
+                core::Summarize(runner.rec_graph(), task, options),
+                "summarize");
+            acc.Add(summary.elapsed_ms);
+          }
+        }
+        row.push_back(acc.empty() ? 0.0 : acc.Mean());
+      }
+      table.AddDoubleRow(label, row, 2);
+    }
+    std::cout << (user_side ? "(a/b) user-group time (ms)"
+                            : "(c/d) item-group time (ms)")
+              << "\n"
+              << table.ToString() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+/// \file bench_fig12_plm_comprehensibility.cpp
+/// \brief Reproduces paper Figure 12: comprehensibility against the
+/// language-model baselines PLM and PEARLM (user-centric and user-group).
+///
+/// Expected shape: consistent with Figure 2 — ST improves on both LM
+/// baselines; PCST slightly better at higher k in user-group.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsum;
+  auto runner = bench::MakeRunner(eval::ExperimentConfig{});
+  bench::CheckOk(
+      eval::RunQualityFigure(
+          runner, {rec::RecommenderKind::kPlm, rec::RecommenderKind::kPearlm},
+          {core::Scenario::kUserCentric, core::Scenario::kUserGroup},
+          eval::MetricKind::kComprehensibility,
+          "Figure 12: Comprehensibility (PLM / PEARLM baselines)", std::cout),
+      "figure 12");
+  return 0;
+}

@@ -1,0 +1,22 @@
+/// \file bench_fig13_plm_diversity.cpp
+/// \brief Reproduces paper Figure 13: diversity against the PLM / PEARLM
+/// baselines (user-centric and user-group).
+///
+/// Expected shape: PLM/PEARLM are more diverse than PGPR/CAFE (generative
+/// decoding spreads paths wider); PCST still enhances diversity further,
+/// ST offers moderate diversity.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsum;
+  auto runner = bench::MakeRunner(eval::ExperimentConfig{});
+  bench::CheckOk(
+      eval::RunQualityFigure(
+          runner, {rec::RecommenderKind::kPlm, rec::RecommenderKind::kPearlm},
+          {core::Scenario::kUserCentric, core::Scenario::kUserGroup},
+          eval::MetricKind::kDiversity,
+          "Figure 13: Diversity (PLM / PEARLM baselines)", std::cout),
+      "figure 13");
+  return 0;
+}

@@ -1,0 +1,22 @@
+/// \file bench_fig14_lfm1m_comprehensibility.cpp
+/// \brief Reproduces paper Figure 14: comprehensibility on the LFM1M
+/// (LastFM) dataset, user-centric and user-group, PGPR and CAFE baselines.
+///
+/// Expected shape: aligned with the ML1M findings of Figure 2.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsum;
+  eval::ExperimentConfig defaults;
+  defaults.dataset = eval::DatasetKind::kLfm1m;
+  auto runner = bench::MakeRunner(defaults);
+  bench::CheckOk(
+      eval::RunQualityFigure(
+          runner, {rec::RecommenderKind::kPgpr, rec::RecommenderKind::kCafe},
+          {core::Scenario::kUserCentric, core::Scenario::kUserGroup},
+          eval::MetricKind::kComprehensibility,
+          "Figure 14: Comprehensibility (LFM1M)", std::cout),
+      "figure 14");
+  return 0;
+}

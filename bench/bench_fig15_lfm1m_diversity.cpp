@@ -1,0 +1,22 @@
+/// \file bench_fig15_lfm1m_diversity.cpp
+/// \brief Reproduces paper Figure 15: diversity on the LFM1M dataset,
+/// user-centric and user-group, PGPR and CAFE baselines.
+///
+/// Expected shape: aligned with the ML1M findings of Figure 4.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsum;
+  eval::ExperimentConfig defaults;
+  defaults.dataset = eval::DatasetKind::kLfm1m;
+  auto runner = bench::MakeRunner(defaults);
+  bench::CheckOk(
+      eval::RunQualityFigure(
+          runner, {rec::RecommenderKind::kPgpr, rec::RecommenderKind::kCafe},
+          {core::Scenario::kUserCentric, core::Scenario::kUserGroup},
+          eval::MetricKind::kDiversity, "Figure 15: Diversity (LFM1M)",
+          std::cout),
+      "figure 15");
+  return 0;
+}

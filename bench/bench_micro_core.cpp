@@ -1,0 +1,144 @@
+/// \file bench_micro_core.cpp
+/// \brief Google-benchmark micro-benchmarks of the core primitives the
+/// summarizers are built from: Dijkstra, multi-source Dijkstra, the two ST
+/// constructions, the PCST growth, and the Eq. (1) weight adjustment.
+/// Complements the paper-shaped tables of bench_fig09/10/11 with per-op
+/// timings.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cost_transform.h"
+#include "core/pcst.h"
+#include "core/steiner.h"
+#include "core/weight_adjust.h"
+#include "data/kg_builder.h"
+#include "data/synthetic.h"
+#include "graph/dijkstra.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace xsum;
+
+/// Shared fixture graph (built once; scale via XSUM_SCALE).
+const data::RecGraph& FixtureGraph() {
+  static const data::RecGraph* rg = [] {
+    const double scale = GetEnvDouble("XSUM_SCALE", 0.08);
+    const auto ds =
+        data::MakeSyntheticDataset(data::Ml1mConfig(scale, /*seed=*/42));
+    auto built = data::BuildRecGraph(ds);
+    return new data::RecGraph(std::move(built).ValueOrDie());
+  }();
+  return *rg;
+}
+
+std::vector<graph::NodeId> PickTerminals(const data::RecGraph& rg, size_t t,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<graph::NodeId> terminals;
+  terminals.push_back(
+      rg.UserNode(static_cast<uint32_t>(rng.Uniform(rg.num_users()))));
+  while (terminals.size() < t) {
+    terminals.push_back(
+        rg.ItemNode(static_cast<uint32_t>(rng.Uniform(rg.num_items()))));
+  }
+  return terminals;
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto& rg = FixtureGraph();
+  const auto costs = core::WeightsToCosts(rg.base_weights());
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto src =
+        rg.UserNode(static_cast<uint32_t>(rng.Uniform(rg.num_users())));
+    benchmark::DoNotOptimize(graph::Dijkstra(rg.graph(), costs, src));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rg.graph().num_edges()));
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_MultiSourceDijkstra(benchmark::State& state) {
+  const auto& rg = FixtureGraph();
+  const auto costs = core::WeightsToCosts(rg.base_weights());
+  const auto terminals =
+      PickTerminals(rg, static_cast<size_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::MultiSourceDijkstra(rg.graph(), costs, terminals));
+  }
+}
+BENCHMARK(BM_MultiSourceDijkstra)->Arg(11)->Arg(101);
+
+void BM_SteinerKmb(benchmark::State& state) {
+  const auto& rg = FixtureGraph();
+  const auto costs = core::WeightsToCosts(rg.base_weights());
+  const auto terminals =
+      PickTerminals(rg, static_cast<size_t>(state.range(0)), 13);
+  core::SteinerOptions options;
+  options.variant = core::SteinerOptions::Variant::kKmb;
+  for (auto _ : state) {
+    auto result = core::SteinerTree(rg.graph(), costs, terminals, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SteinerKmb)->Arg(11)->Arg(51);
+
+void BM_SteinerMehlhorn(benchmark::State& state) {
+  const auto& rg = FixtureGraph();
+  const auto costs = core::WeightsToCosts(rg.base_weights());
+  const auto terminals =
+      PickTerminals(rg, static_cast<size_t>(state.range(0)), 13);
+  core::SteinerOptions options;
+  options.variant = core::SteinerOptions::Variant::kMehlhorn;
+  for (auto _ : state) {
+    auto result = core::SteinerTree(rg.graph(), costs, terminals, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SteinerMehlhorn)->Arg(11)->Arg(51)->Arg(201);
+
+void BM_PcstGrowth(benchmark::State& state) {
+  const auto& rg = FixtureGraph();
+  const auto terminals =
+      PickTerminals(rg, static_cast<size_t>(state.range(0)), 17);
+  for (auto _ : state) {
+    auto result =
+        core::PcstSummary(rg.graph(), rg.base_weights(), terminals, {});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PcstGrowth)->Arg(11)->Arg(51)->Arg(201);
+
+void BM_WeightAdjust(benchmark::State& state) {
+  const auto& rg = FixtureGraph();
+  // Synthetic path set: 10 three-hop paths.
+  Rng rng(23);
+  std::vector<graph::Path> paths;
+  for (int p = 0; p < 10; ++p) {
+    graph::Path path;
+    graph::NodeId v =
+        rg.UserNode(static_cast<uint32_t>(rng.Uniform(rg.num_users())));
+    path.nodes.push_back(v);
+    for (int hop = 0; hop < 3; ++hop) {
+      const auto nbrs = rg.graph().Neighbors(v);
+      if (nbrs.empty()) break;
+      const auto& a = nbrs[rng.Uniform(nbrs.size())];
+      path.nodes.push_back(a.neighbor);
+      path.edges.push_back(a.edge);
+      v = a.neighbor;
+    }
+    paths.push_back(std::move(path));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::AdjustWeights(
+        rg.graph(), rg.base_weights(), paths, /*lambda=*/1.0, /*s_size=*/10));
+  }
+}
+BENCHMARK(BM_WeightAdjust);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+/// \file bench_table02_ml1m_stats.cpp
+/// \brief Reproduces paper Table II: statistics of the ML1M
+/// knowledge-based graph. At XSUM_SCALE=1.0 the generated graph matches
+/// the published node counts (6,040 users / 3,883 items / ~9.9k external)
+/// and edge volumes (932k rated + 178k triples); the paper reports
+/// avg degree 113.45, density 0.0057, avg path length 3.20, diameter 6.
+
+#include "bench_common.h"
+#include "data/graph_stats.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace xsum;
+  auto runner = bench::MakeRunner(eval::ExperimentConfig{});
+  const auto stats = data::ComputeGraphStats(runner.rec_graph());
+  std::cout << stats.ToString(StrCat(
+                   "Table II analogue: ML1M knowledge-based graph statistics"
+                   " (scale=",
+                   FormatDouble(runner.config().scale, 3),
+                   "; XSUM_SCALE=1.0 = paper size)"))
+            << "\npaper (scale 1.0): 6,040 users / 3,883 items / ~9.9k"
+               " external; 932,293 + 178,461 edges; avg degree 113.45;"
+               " density 0.0057; avg path length 3.20; diameter 6\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// \file provider_dashboard.cpp
+/// \brief Item-provider scenario (paper §I, §III): an item provider wants
+/// to understand *why the model recommends their items* — the collective
+/// reasons behind each item's recommendations and which features appeal to
+/// users.
+///
+/// The example builds the synthetic ML1M graph, runs PGPR for a user
+/// sample, inverts the recommendations into per-item audiences, and prints
+/// an item-centric ST summary plus quality metrics for a few items — the
+/// "dashboard" an item provider would read.
+///
+/// Run: ./build/examples/provider_dashboard
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "core/renderer.h"
+#include "core/scenario.h"
+#include "core/summarizer.h"
+#include "data/kg_builder.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "rec/recommender.h"
+#include "rec/sampler.h"
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace xsum;
+
+int main() {
+  // --- build data and model ------------------------------------------------
+  const auto dataset = data::MakeSyntheticDataset(data::Ml1mConfig(0.06, 21));
+  auto built = data::BuildRecGraph(dataset);
+  if (!built.ok()) {
+    std::fprintf(stderr, "graph: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const data::RecGraph& rg = *built;
+  const auto recommender =
+      rec::MakeRecommender(rec::RecommenderKind::kPgpr, rg, 21, {});
+
+  // --- serve recommendations to a user sample, invert to audiences ---------
+  const auto users = rec::SampleUsersByGender(dataset, 40, 22);
+  std::map<uint32_t, std::vector<core::AudienceEntry>> audiences;
+  std::map<uint32_t, double> best_score;
+  for (uint32_t user : users) {
+    for (const auto& r : recommender->Recommend(user, 10)) {
+      audiences[r.item].push_back({user, r.path});
+      best_score[r.item] = std::max(best_score[r.item], r.score);
+    }
+  }
+
+  // Pick the three most-recommended items: the provider's "top sellers".
+  std::vector<std::pair<size_t, uint32_t>> by_audience;
+  for (const auto& [item, entries] : audiences) {
+    by_audience.push_back({entries.size(), item});
+  }
+  std::sort(by_audience.rbegin(), by_audience.rend());
+
+  std::printf("=== Item-provider dashboard (synthetic ML1M, PGPR) ===\n");
+  std::printf("%zu sampled users, %zu distinct items recommended\n\n",
+              users.size(), audiences.size());
+
+  core::SummarizerOptions st;
+  st.method = core::SummaryMethod::kSteiner;
+  st.lambda = 1.0;
+
+  TextTable table({"item", "audience", "summary edges", "comprehensibility",
+                   "privacy", "actionability"});
+  int shown = 0;
+  for (const auto& [audience_size, item] : by_audience) {
+    if (shown >= 3 || audience_size < 3) break;
+    ++shown;
+    const auto task =
+        core::MakeItemCentricTask(rg, item, audiences[item], /*k=*/10);
+    const auto summary = core::Summarize(rg, task, st);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "summarize: %s\n",
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+    const auto view = metrics::MakeView(rg.graph(), *summary);
+    table.AddRow({StrCat("item ", item), std::to_string(audience_size),
+                  std::to_string(summary->subgraph.num_edges()),
+                  FormatDouble(metrics::Comprehensibility(view), 4),
+                  FormatDouble(metrics::Privacy(rg.graph(), view), 4),
+                  FormatDouble(metrics::Actionability(rg.graph(), view), 4)});
+
+    std::printf("--- why item %u reaches its audience ---\n%s\n\n", item,
+                core::RenderSummary(rg, *summary).c_str());
+  }
+  std::printf("=== summary metrics ===\n");
+  table.Print(std::cout);
+  return 0;
+}

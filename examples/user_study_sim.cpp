@@ -1,0 +1,134 @@
+/// \file user_study_sim.cpp
+/// \brief Regenerates the *materials* of the paper's §VI user study: pairs
+/// of (original path-based explanation, summarized subgraph explanation)
+/// in exactly the textual format participants were shown
+/// ("u94 watched item 612 related to external 81 related to item 2405 ..."
+/// vs "u94 connects to 2215 via u2772, u8, ...").
+///
+/// The human preference outcome (78.67% preferred summaries) cannot be
+/// reproduced without participants — see DESIGN.md §1.3 — but the study's
+/// instrument can: this binary prints five randomized pairs ready for a
+/// questionnaire, plus the size statistics behind them.
+///
+/// Run: ./build/examples/user_study_sim
+
+#include <cstdio>
+
+#include "core/renderer.h"
+#include "core/scenario.h"
+#include "core/summarizer.h"
+#include "data/kg_builder.h"
+#include "data/synthetic.h"
+#include "rec/recommender.h"
+#include "rec/sampler.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+using namespace xsum;
+
+namespace {
+
+/// §VI baseline format: "u94 watched item 612 related to external 81
+/// related to item 2405, ...".
+std::string StudyPathText(const data::RecGraph& rg, const graph::Path& p) {
+  std::string out;
+  for (size_t i = 0; i < p.nodes.size(); ++i) {
+    const graph::NodeId v = p.nodes[i];
+    if (i == 0) {
+      out += StrCat("u", rg.NodeToUser(v));
+    } else {
+      out += i == 1 ? " watched " : " related to ";
+      switch (rg.graph().node_type(v)) {
+        case graph::NodeType::kUser:
+          out += StrCat("u", rg.NodeToUser(v));
+          break;
+        case graph::NodeType::kItem:
+          out += StrCat("item ", rg.NodeToItem(v));
+          break;
+        case graph::NodeType::kEntity:
+          out += StrCat("external ", rg.NodeToEntity(v));
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto dataset = data::MakeSyntheticDataset(data::Ml1mConfig(0.06, 94));
+  auto built = data::BuildRecGraph(dataset);
+  if (!built.ok()) {
+    std::fprintf(stderr, "graph: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const data::RecGraph& rg = *built;
+  const auto model =
+      rec::MakeRecommender(rec::RecommenderKind::kPgpr, rg, 94, {});
+  const auto users = rec::SampleUsersByGender(dataset, 30, 95);
+  Rng rng(96);
+
+  std::printf("=== User-study instrument (paper Section VI) ===\n");
+  std::printf("Five explanation pairs; A/B order randomized per pair.\n\n");
+
+  int pair_count = 0;
+  size_t total_path_edges = 0;
+  size_t total_summary_edges = 0;
+  for (uint32_t user : users) {
+    if (pair_count >= 5) break;
+    core::UserRecs ur;
+    ur.user = user;
+    ur.recs = model->Recommend(user, 10);
+    if (ur.recs.size() < 8) continue;
+    ++pair_count;
+
+    const auto task = core::MakeUserCentricTask(rg, ur, 10);
+    core::SummarizerOptions st;
+    st.method = core::SummaryMethod::kSteiner;
+    const auto summary = core::Summarize(rg, task, st);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "summarize: %s\n",
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+
+    std::string original = "\"";
+    for (size_t i = 0; i < task.paths.size(); ++i) {
+      if (i > 0) original += ", ";
+      original += StudyPathText(rg, task.paths[i]);
+      total_path_edges += task.paths[i].edges.size();
+    }
+    original += "\"";
+    const std::string summarized =
+        "\"" + core::RenderSummary(rg, *summary) + "\"";
+    total_summary_edges += summary->subgraph.num_edges();
+
+    const bool original_first = rng.Bernoulli(0.5);
+    std::printf("--- Pair %d (user u%u) ---\n", pair_count, user);
+    std::printf("Explanation A (%s):\n  %s\n",
+                original_first ? "original paths" : "summary",
+                (original_first ? original : summarized).c_str());
+    std::printf("Explanation B (%s):\n  %s\n",
+                original_first ? "summary" : "original paths",
+                (original_first ? summarized : original).c_str());
+    std::printf("Q: Which explanation do you find more useful for"
+                " decision-making?\n\n");
+  }
+
+  std::printf("=== instrument statistics ===\n");
+  std::printf("pairs: %d; mean original size: %.1f edges; mean summary"
+              " size: %.1f edges\n",
+              pair_count,
+              pair_count ? static_cast<double>(total_path_edges) / pair_count
+                         : 0.0,
+              pair_count
+                  ? static_cast<double>(total_summary_edges) / pair_count
+                  : 0.0);
+  std::printf("paper outcome (not reproducible offline): 78.67%% of 30"
+              " participants preferred the summaries.\n");
+  std::printf("metric usefulness ratings from the paper: comprehensibility"
+              " 4.52, diversity 4.45, relevance 4.38, redundancy 4.14,"
+              " actionability 3.79, consistency 3.72, privacy 3.69.\n");
+  return 0;
+}

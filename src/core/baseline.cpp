@@ -1,0 +1,24 @@
+#include "core/baseline.h"
+
+namespace xsum::core {
+
+graph::Subgraph UnionOfPaths(const graph::KnowledgeGraph& graph,
+                             const std::vector<graph::Path>& paths) {
+  std::vector<graph::EdgeId> edges;
+  std::vector<graph::NodeId> nodes;
+  for (const graph::Path& path : paths) {
+    for (graph::EdgeId e : path.edges) {
+      if (e != graph::kInvalidEdge) edges.push_back(e);
+    }
+    nodes.insert(nodes.end(), path.nodes.begin(), path.nodes.end());
+  }
+  return graph::Subgraph::FromEdges(graph, std::move(edges), std::move(nodes));
+}
+
+size_t TotalPathEdges(const std::vector<graph::Path>& paths) {
+  size_t total = 0;
+  for (const graph::Path& path : paths) total += path.edges.size();
+  return total;
+}
+
+}  // namespace xsum::core

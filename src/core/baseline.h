@@ -1,0 +1,30 @@
+/// \file baseline.h
+/// \brief The baseline "explanation" the paper compares against: the plain
+/// union of the individual explanation paths (one separate ≤3-hop path per
+/// recommendation, duplicates retained). Metrics over baselines operate on
+/// the path multiset; the subgraph here is the deduplicated union used for
+/// connectivity checks and rendering.
+
+#ifndef XSUM_CORE_BASELINE_H_
+#define XSUM_CORE_BASELINE_H_
+
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+#include "graph/path.h"
+#include "graph/subgraph.h"
+
+namespace xsum::core {
+
+/// Builds the union subgraph of \p paths. Hallucinated hops carry no edge
+/// id and contribute only their endpoint nodes.
+graph::Subgraph UnionOfPaths(const graph::KnowledgeGraph& graph,
+                             const std::vector<graph::Path>& paths);
+
+/// Total number of hops across \p paths (the paper's "total length of 13"
+/// in the Table I example) — the baseline's |E_S| with duplicates.
+size_t TotalPathEdges(const std::vector<graph::Path>& paths);
+
+}  // namespace xsum::core
+
+#endif  // XSUM_CORE_BASELINE_H_

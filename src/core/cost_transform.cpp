@@ -1,0 +1,32 @@
+#include "core/cost_transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace xsum::core {
+
+std::vector<double> WeightsToCosts(const std::vector<double>& weights,
+                                   CostMode mode) {
+  if (mode == CostMode::kUnit) {
+    return std::vector<double>(weights.size(), 1.0);
+  }
+  if (weights.empty()) return {};
+  auto scale = [mode](double w) {
+    if (mode == CostMode::kWeightAwareLog) return std::log1p(std::max(w, 0.0));
+    return w;
+  };
+  const auto [min_it, max_it] =
+      std::minmax_element(weights.begin(), weights.end());
+  const double w_min = scale(*min_it);
+  const double w_max = scale(*max_it);
+  const double span = w_max - w_min;
+  std::vector<double> costs(weights.size(), 1.0);
+  if (span <= 0.0) return costs;  // all weights equal -> unit costs
+  for (size_t e = 0; e < weights.size(); ++e) {
+    costs[e] = 1.0 + (w_max - scale(weights[e])) / span;
+  }
+  return costs;
+}
+
+}  // namespace xsum::core

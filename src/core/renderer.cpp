@@ -1,0 +1,136 @@
+#include "core/renderer.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace xsum::core {
+
+namespace {
+
+using graph::NodeId;
+
+/// Joins names with commas and a final "and" ("a, b, and c").
+std::string JoinNatural(const std::vector<std::string>& parts) {
+  if (parts.empty()) return "";
+  if (parts.size() == 1) return parts[0];
+  if (parts.size() == 2) return parts[0] + " and " + parts[1];
+  std::string out;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) out += parts[i] + ", ";
+  out += "and " + parts.back();
+  return out;
+}
+
+/// Adjacency restricted to the summary subgraph.
+std::unordered_map<NodeId, std::vector<std::pair<NodeId, graph::EdgeId>>>
+SubgraphAdjacency(const graph::KnowledgeGraph& g,
+                  const graph::Subgraph& subgraph) {
+  std::unordered_map<NodeId, std::vector<std::pair<NodeId, graph::EdgeId>>>
+      adj;
+  for (graph::EdgeId e : subgraph.edges()) {
+    const graph::EdgeRecord& r = g.edge(e);
+    adj[r.src].push_back({r.dst, e});
+    adj[r.dst].push_back({r.src, e});
+  }
+  return adj;
+}
+
+}  // namespace
+
+void NameTable::Set(graph::NodeId node, std::string name) {
+  names_[node] = std::move(name);
+}
+
+std::string NameTable::Get(const data::RecGraph& rec_graph,
+                           graph::NodeId node) const {
+  auto it = names_.find(node);
+  if (it != names_.end()) return it->second;
+  const graph::KnowledgeGraph& g = rec_graph.graph();
+  switch (g.node_type(node)) {
+    case graph::NodeType::kUser:
+      return StrCat("u", rec_graph.NodeToUser(node));
+    case graph::NodeType::kItem:
+      return StrCat("item ", rec_graph.NodeToItem(node));
+    case graph::NodeType::kEntity:
+      return StrCat("external ", rec_graph.NodeToEntity(node));
+  }
+  return StrCat("node ", node);
+}
+
+std::string RenderPath(const data::RecGraph& rec_graph,
+                       const graph::Path& path, const NameTable& names) {
+  if (path.Empty()) return "(empty path)";
+  const std::string source = names.Get(rec_graph, path.Source());
+  const std::string target = names.Get(rec_graph, path.Target());
+  if (path.nodes.size() <= 2) {
+    return StrCat(source, " is directly connected to ", target, ".");
+  }
+  std::vector<std::string> mids;
+  for (size_t i = 1; i + 1 < path.nodes.size(); ++i) {
+    mids.push_back(names.Get(rec_graph, path.nodes[i]));
+  }
+  return StrCat(source, " is connected to ", target, " through ",
+                JoinNatural(mids), ".");
+}
+
+std::string RenderSummary(const data::RecGraph& rec_graph,
+                          const Summary& summary, const NameTable& names) {
+  const graph::KnowledgeGraph& g = rec_graph.graph();
+  if (summary.subgraph.Empty()) return "(empty summary)";
+  auto adj = SubgraphAdjacency(g, summary.subgraph);
+  const std::unordered_set<NodeId> terminal_set(summary.terminals.begin(),
+                                                summary.terminals.end());
+
+  std::vector<std::string> sentences;
+  for (NodeId anchor : summary.anchors) {
+    // BFS within the subgraph from the anchor; record parents to describe
+    // the connecting intermediates per reached terminal.
+    std::unordered_map<NodeId, NodeId> parent;
+    parent[anchor] = anchor;
+    std::queue<NodeId> queue;
+    queue.push(anchor);
+    std::vector<NodeId> reached_terminals;
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      if (u != anchor && terminal_set.count(u) > 0) {
+        reached_terminals.push_back(u);
+      }
+      auto it = adj.find(u);
+      if (it == adj.end()) continue;
+      for (const auto& [v, e] : it->second) {
+        if (parent.count(v) > 0) continue;
+        parent[v] = u;
+        queue.push(v);
+      }
+    }
+    std::sort(reached_terminals.begin(), reached_terminals.end());
+
+    std::vector<std::string> clauses;
+    for (NodeId t : reached_terminals) {
+      // Walk back to the anchor collecting intermediates.
+      std::vector<std::string> mids;
+      for (NodeId v = parent.at(t); v != anchor; v = parent.at(v)) {
+        mids.push_back(names.Get(rec_graph, v));
+      }
+      std::reverse(mids.begin(), mids.end());
+      if (mids.empty()) {
+        clauses.push_back(StrCat("is directly connected to ",
+                                 names.Get(rec_graph, t)));
+      } else {
+        clauses.push_back(StrCat("connects to ", names.Get(rec_graph, t),
+                                 " via ", JoinNatural(mids)));
+      }
+    }
+    if (clauses.empty()) continue;
+    sentences.push_back(
+        StrCat(names.Get(rec_graph, anchor), " ", Join(clauses, "; "), "."));
+  }
+  if (sentences.empty()) return "(no anchor-terminal connections)";
+  return Join(sentences, " ");
+}
+
+}  // namespace xsum::core

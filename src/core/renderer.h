@@ -1,0 +1,50 @@
+/// \file renderer.h
+/// \brief Natural-language rendering of explanation paths and summary
+/// subgraphs, in the format of the paper's Table I and §VI user study
+/// ("User 1 is connected to The Beekeeper through Ulysses' Gaze and Theo
+/// Angelopoulos" / "u94 connects to 2215 via u2772, u8, ...").
+
+#ifndef XSUM_CORE_RENDERER_H_
+#define XSUM_CORE_RENDERER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/summarizer.h"
+#include "data/kg_builder.h"
+#include "graph/path.h"
+
+namespace xsum::core {
+
+/// \brief Optional human-readable names per node; falls back to
+/// "u12" / "item 45" / "external 7" tokens.
+class NameTable {
+ public:
+  NameTable() = default;
+
+  /// Assigns a display name to \p node.
+  void Set(graph::NodeId node, std::string name);
+
+  /// Display name of \p node.
+  std::string Get(const data::RecGraph& rec_graph, graph::NodeId node) const;
+
+ private:
+  std::unordered_map<graph::NodeId, std::string> names_;
+};
+
+/// Renders one explanation path: "User 1 is connected to <target> through
+/// <v1>, <v2>, and <v3>." (one-hop paths render "directly connected").
+std::string RenderPath(const data::RecGraph& rec_graph,
+                       const graph::Path& path, const NameTable& names = {});
+
+/// Renders a summary subgraph as per-anchor connection sentences:
+/// for each anchor, a clause per reachable terminal listing the
+/// intermediate nodes on the tree path ("u94 connects to 2215 via u2772,
+/// u8; connects to 2371 via u8; ...").
+std::string RenderSummary(const data::RecGraph& rec_graph,
+                          const Summary& summary, const NameTable& names = {});
+
+}  // namespace xsum::core
+
+#endif  // XSUM_CORE_RENDERER_H_

@@ -1,0 +1,114 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+
+namespace xsum::core {
+
+namespace {
+
+void SortUniqueNodes(std::vector<graph::NodeId>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+const char* ScenarioToString(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kUserCentric:
+      return "user-centric";
+    case Scenario::kItemCentric:
+      return "item-centric";
+    case Scenario::kUserGroup:
+      return "user-group";
+    case Scenario::kItemGroup:
+      return "item-group";
+  }
+  return "?";
+}
+
+SummaryTask MakeUserCentricTask(const data::RecGraph& rec_graph,
+                                const UserRecs& recs, int k) {
+  SummaryTask task;
+  task.scenario = Scenario::kUserCentric;
+  task.anchors = {rec_graph.UserNode(recs.user)};
+  task.terminals = task.anchors;
+  const size_t take = std::min<size_t>(recs.recs.size(),
+                                       static_cast<size_t>(std::max(k, 0)));
+  for (size_t r = 0; r < take; ++r) {
+    task.terminals.push_back(rec_graph.ItemNode(recs.recs[r].item));
+    task.paths.push_back(recs.recs[r].path);
+  }
+  task.s_size = std::max<size_t>(take, 1);  // |Ru|
+  SortUniqueNodes(&task.terminals);
+  return task;
+}
+
+SummaryTask MakeItemCentricTask(const data::RecGraph& rec_graph,
+                                uint32_t item,
+                                const std::vector<AudienceEntry>& audience,
+                                int k) {
+  SummaryTask task;
+  task.scenario = Scenario::kItemCentric;
+  task.anchors = {rec_graph.ItemNode(item)};
+  task.terminals = task.anchors;
+  const size_t take = std::min<size_t>(audience.size(),
+                                       static_cast<size_t>(std::max(k, 0)));
+  for (size_t r = 0; r < take; ++r) {
+    task.terminals.push_back(rec_graph.UserNode(audience[r].user));
+    task.paths.push_back(audience[r].path);
+  }
+  task.s_size = std::max<size_t>(take, 1);  // |Ci|
+  SortUniqueNodes(&task.terminals);
+  return task;
+}
+
+SummaryTask MakeUserGroupTask(const data::RecGraph& rec_graph,
+                              const std::vector<UserRecs>& group, int k) {
+  SummaryTask task;
+  task.scenario = Scenario::kUserGroup;
+  std::vector<graph::NodeId> rd_items;
+  for (const UserRecs& member : group) {
+    task.anchors.push_back(rec_graph.UserNode(member.user));
+    const size_t take = std::min<size_t>(
+        member.recs.size(), static_cast<size_t>(std::max(k, 0)));
+    for (size_t r = 0; r < take; ++r) {
+      rd_items.push_back(rec_graph.ItemNode(member.recs[r].item));
+      task.paths.push_back(member.recs[r].path);
+    }
+  }
+  SortUniqueNodes(&task.anchors);
+  SortUniqueNodes(&rd_items);
+  task.s_size = std::max<size_t>(rd_items.size(), 1);  // |RD|
+  task.terminals = task.anchors;
+  task.terminals.insert(task.terminals.end(), rd_items.begin(),
+                        rd_items.end());
+  SortUniqueNodes(&task.terminals);
+  return task;
+}
+
+SummaryTask MakeItemGroupTask(const data::RecGraph& rec_graph,
+                              const std::vector<ItemAudience>& group, int k) {
+  SummaryTask task;
+  task.scenario = Scenario::kItemGroup;
+  std::vector<graph::NodeId> cf_users;
+  for (const ItemAudience& member : group) {
+    task.anchors.push_back(rec_graph.ItemNode(member.item));
+    const size_t take = std::min<size_t>(
+        member.audience.size(), static_cast<size_t>(std::max(k, 0)));
+    for (size_t r = 0; r < take; ++r) {
+      cf_users.push_back(rec_graph.UserNode(member.audience[r].user));
+      task.paths.push_back(member.audience[r].path);
+    }
+  }
+  SortUniqueNodes(&task.anchors);
+  SortUniqueNodes(&cf_users);
+  task.s_size = std::max<size_t>(cf_users.size(), 1);  // |CF|
+  task.terminals = task.anchors;
+  task.terminals.insert(task.terminals.end(), cf_users.begin(),
+                        cf_users.end());
+  SortUniqueNodes(&task.terminals);
+  return task;
+}
+
+}  // namespace xsum::core

@@ -1,0 +1,88 @@
+/// \file scenario.h
+/// \brief The four summarization scenarios of paper §III and the
+/// construction of their terminal sets / explanation-path inputs:
+///
+///   user-centric : T = {u} ∪ Ru,   P = Eu,   S = Ru
+///   item-centric : T = {i} ∪ Ci,   P = Ei,   S = Ci
+///   user-group   : T = D ∪ RD,     P = ED,   S = RD
+///   item-group   : T = F ∪ CF,     P = EF,   S = CF
+
+#ifndef XSUM_CORE_SCENARIO_H_
+#define XSUM_CORE_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/kg_builder.h"
+#include "graph/path.h"
+#include "rec/recommender.h"
+
+namespace xsum::core {
+
+/// \brief Summarization granularity (paper §III).
+enum class Scenario : uint8_t {
+  kUserCentric = 0,
+  kItemCentric = 1,
+  kUserGroup = 2,
+  kItemGroup = 3,
+};
+
+/// Display name ("user-centric", ...).
+const char* ScenarioToString(Scenario scenario);
+
+/// \brief One summarization problem instance: the terminal node set T, the
+/// explanation paths P feeding Eq. (1), and |S| — the size of the
+/// recommendation-side set (Ru / Ci / RD / CF) normalizing Eq. (1).
+struct SummaryTask {
+  Scenario scenario = Scenario::kUserCentric;
+  /// Terminal nodes T, sorted and unique.
+  std::vector<graph::NodeId> terminals;
+  /// The anchor side of T (the user u, the item i, the group D or F).
+  std::vector<graph::NodeId> anchors;
+  /// Explanation paths to summarize (the P of Eq. (1)).
+  std::vector<graph::Path> paths;
+  /// |S| of Eq. (1); >= 1.
+  size_t s_size = 1;
+};
+
+/// \brief A (user, recommendations) pair, the unit the harness caches.
+struct UserRecs {
+  uint32_t user = 0;
+  std::vector<rec::Recommendation> recs;  ///< ranked; take prefixes for k
+};
+
+/// Builds the user-centric task for \p user from the top-\p k prefix of
+/// \p recs (paper: T = u ∪ Ru, P = Eu, S = Ru).
+SummaryTask MakeUserCentricTask(const data::RecGraph& rec_graph,
+                                const UserRecs& recs, int k);
+
+/// Builds the item-centric task for \p item. \p audience holds the users
+/// who received the item together with their explanation path, ranked;
+/// the top-\p k prefix forms Ci.
+struct AudienceEntry {
+  uint32_t user = 0;
+  graph::Path path;
+};
+SummaryTask MakeItemCentricTask(const data::RecGraph& rec_graph,
+                                uint32_t item,
+                                const std::vector<AudienceEntry>& audience,
+                                int k);
+
+/// Builds the user-group task for \p group: every member contributes its
+/// top-\p k recommendations (T = D ∪ RD, P = ED, S = RD).
+SummaryTask MakeUserGroupTask(const data::RecGraph& rec_graph,
+                              const std::vector<UserRecs>& group, int k);
+
+/// Builds the item-group task for items \p group, each with its ranked
+/// audience; per item the top-\p k users enter CF.
+struct ItemAudience {
+  uint32_t item = 0;
+  std::vector<AudienceEntry> audience;
+};
+SummaryTask MakeItemGroupTask(const data::RecGraph& rec_graph,
+                              const std::vector<ItemAudience>& group, int k);
+
+}  // namespace xsum::core
+
+#endif  // XSUM_CORE_SCENARIO_H_

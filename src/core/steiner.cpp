@@ -1,0 +1,267 @@
+#include "core/steiner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/dijkstra.h"
+#include "graph/mst.h"
+#include "graph/union_find.h"
+#include "util/string_util.h"
+
+namespace xsum::core {
+
+namespace {
+
+using graph::EdgeId;
+using graph::KnowledgeGraph;
+using graph::MstEdge;
+using graph::NodeId;
+using graph::Path;
+using graph::ShortestPathTree;
+using graph::Subgraph;
+
+std::vector<NodeId> UniqueTerminals(std::vector<NodeId> terminals) {
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+  return terminals;
+}
+
+/// Final cleanup shared by both variants (Algorithm 1 steps 7-14 plus the
+/// standard KMB post-pass): MST over the expanded edge set, then repeatedly
+/// drop non-terminal leaves.
+Subgraph Cleanup(const KnowledgeGraph& graph, const std::vector<double>& costs,
+                 std::vector<EdgeId> expansion_edges,
+                 const std::vector<NodeId>& terminals,
+                 const std::vector<NodeId>& isolated) {
+  Subgraph expanded = Subgraph::FromEdges(graph, std::move(expansion_edges),
+                                          isolated);
+  // MST over the expansion to break any cycles introduced by overlapping
+  // shortest paths.
+  std::unordered_map<NodeId, size_t> index;
+  index.reserve(expanded.num_nodes());
+  for (size_t i = 0; i < expanded.nodes().size(); ++i) {
+    index[expanded.nodes()[i]] = i;
+  }
+  std::vector<MstEdge> mst_edges;
+  mst_edges.reserve(expanded.num_edges());
+  for (EdgeId e : expanded.edges()) {
+    const graph::EdgeRecord& r = graph.edge(e);
+    mst_edges.push_back(
+        MstEdge{index.at(r.src), index.at(r.dst), costs[e], e});
+  }
+  const std::vector<size_t> selected =
+      graph::KruskalMst(expanded.num_nodes(), mst_edges);
+  std::vector<EdgeId> tree_edges;
+  tree_edges.reserve(selected.size());
+  for (size_t idx : selected) {
+    tree_edges.push_back(static_cast<EdgeId>(mst_edges[idx].tag));
+  }
+  Subgraph tree = Subgraph::FromEdges(graph, std::move(tree_edges), isolated);
+  tree.PruneLeavesNotIn(graph, terminals);
+  return tree;
+}
+
+/// Splits terminals into the connected ones (per closure forest) and the
+/// isolated ones, and records unreached terminals relative to the largest
+/// group.
+void RecordUnreached(const std::vector<NodeId>& terminals,
+                     graph::UnionFind* uf, SteinerResult* result) {
+  if (terminals.empty()) return;
+  // Find the largest terminal component.
+  std::unordered_map<size_t, size_t> component_size;
+  for (size_t i = 0; i < terminals.size(); ++i) {
+    ++component_size[uf->Find(i)];
+  }
+  size_t best_root = uf->Find(0);
+  size_t best_size = 0;
+  for (const auto& [root, size] : component_size) {
+    if (size > best_size || (size == best_size && root < best_root)) {
+      best_root = root;
+      best_size = size;
+    }
+  }
+  for (size_t i = 0; i < terminals.size(); ++i) {
+    if (uf->Find(i) != best_root) {
+      result->unreached_terminals.push_back(terminals[i]);
+    }
+  }
+}
+
+Result<SteinerResult> SteinerKmb(const KnowledgeGraph& graph,
+                                 const std::vector<double>& costs,
+                                 const std::vector<NodeId>& terminals,
+                                 const SteinerOptions& options) {
+  SteinerResult result;
+  const size_t t = terminals.size();
+  const size_t n = graph.num_nodes();
+
+  // Phase 1 (Algorithm 1 steps 2-6): terminal metric closure. Distances
+  // are kept as a |T|x|T| matrix; the full shortest-path trees are
+  // recomputed on demand in phase 3 to keep memory O(|V|) instead of
+  // O(|T|·|V|).
+  std::vector<double> closure(t * t, graph::kInfDistance);
+  for (size_t i = 0; i < t; ++i) {
+    const ShortestPathTree tree = Dijkstra(graph, costs, terminals[i],
+                                           terminals);
+    for (size_t j = 0; j < t; ++j) {
+      closure[i * t + j] = tree.dist[terminals[j]];
+    }
+  }
+  result.workspace_bytes += closure.size() * sizeof(double);
+  // One Dijkstra workspace (dist + parents + heap) per run, charged once
+  // per terminal to reflect the O(|T|·|V|) traffic of Algorithm 1.
+  result.workspace_bytes += t * n * (sizeof(double) + 2 * sizeof(NodeId));
+
+  // Phase 2 (step 7): MST of the closure graph.
+  std::vector<MstEdge> closure_edges;
+  closure_edges.reserve(t * (t - 1) / 2);
+  for (size_t i = 0; i < t; ++i) {
+    for (size_t j = i + 1; j < t; ++j) {
+      const double d = closure[i * t + j];
+      if (d < graph::kInfDistance) {
+        closure_edges.push_back(MstEdge{i, j, d, 0});
+      }
+    }
+  }
+  result.workspace_bytes += closure_edges.size() * sizeof(MstEdge);
+  const std::vector<size_t> selected = graph::KruskalMst(t, closure_edges);
+
+  graph::UnionFind uf(t);
+  for (size_t idx : selected) {
+    uf.Union(closure_edges[idx].a, closure_edges[idx].b);
+  }
+  RecordUnreached(terminals, &uf, &result);
+
+  // Phase 3 (steps 8-14): expand each selected closure edge back into its
+  // underlying shortest path. Group by source terminal: one Dijkstra per
+  // distinct source.
+  std::unordered_map<size_t, std::vector<size_t>> by_source;
+  for (size_t idx : selected) {
+    by_source[closure_edges[idx].a].push_back(closure_edges[idx].b);
+  }
+  std::vector<EdgeId> expansion;
+  for (const auto& [src_idx, dst_indices] : by_source) {
+    std::vector<NodeId> targets;
+    targets.reserve(dst_indices.size());
+    for (size_t j : dst_indices) targets.push_back(terminals[j]);
+    const ShortestPathTree tree =
+        Dijkstra(graph, costs, terminals[src_idx], targets);
+    for (NodeId target : targets) {
+      const Path path = tree.ExtractPath(target);
+      expansion.insert(expansion.end(), path.edges.begin(), path.edges.end());
+    }
+  }
+  result.workspace_bytes += n * (sizeof(double) + 2 * sizeof(NodeId));
+  result.workspace_bytes += expansion.size() * sizeof(EdgeId);
+
+  if (options.cleanup) {
+    result.tree = Cleanup(graph, costs, std::move(expansion), terminals,
+                          terminals);
+  } else {
+    result.tree = Subgraph::FromEdges(graph, std::move(expansion), terminals);
+  }
+  result.workspace_bytes += result.tree.MemoryFootprintBytes();
+  return result;
+}
+
+Result<SteinerResult> SteinerMehlhorn(const KnowledgeGraph& graph,
+                                      const std::vector<double>& costs,
+                                      const std::vector<NodeId>& terminals,
+                                      const SteinerOptions& options) {
+  SteinerResult result;
+  const size_t t = terminals.size();
+  const size_t n = graph.num_nodes();
+
+  const graph::VoronoiResult voronoi =
+      MultiSourceDijkstra(graph, costs, terminals);
+  result.workspace_bytes +=
+      n * (sizeof(double) + 3 * sizeof(NodeId));
+
+  std::unordered_map<NodeId, size_t> terminal_index;
+  terminal_index.reserve(t);
+  for (size_t i = 0; i < t; ++i) terminal_index[terminals[i]] = i;
+
+  // Closure edges are Voronoi boundary edges: cheapest bridge between two
+  // cells approximates the terminal-to-terminal distance.
+  std::vector<MstEdge> closure_edges;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const graph::EdgeRecord& r = graph.edge(e);
+    const NodeId su = voronoi.nearest_source[r.src];
+    const NodeId sv = voronoi.nearest_source[r.dst];
+    if (su == sv) continue;
+    if (su == graph::kInvalidNode || sv == graph::kInvalidNode) continue;
+    closure_edges.push_back(
+        MstEdge{terminal_index.at(su), terminal_index.at(sv),
+                voronoi.dist[r.src] + costs[e] + voronoi.dist[r.dst], e});
+  }
+  result.workspace_bytes += closure_edges.size() * sizeof(MstEdge);
+  const std::vector<size_t> selected = graph::KruskalMst(t, closure_edges);
+
+  graph::UnionFind uf(t);
+  for (size_t idx : selected) {
+    uf.Union(closure_edges[idx].a, closure_edges[idx].b);
+  }
+  RecordUnreached(terminals, &uf, &result);
+
+  // Expand: bridge edge plus the two back-walks to the cell centers.
+  std::vector<EdgeId> expansion;
+  for (size_t idx : selected) {
+    const EdgeId bridge = static_cast<EdgeId>(closure_edges[idx].tag);
+    expansion.push_back(bridge);
+    for (NodeId endpoint :
+         {graph.edge(bridge).src, graph.edge(bridge).dst}) {
+      NodeId v = endpoint;
+      while (voronoi.parent_edge[v] != graph::kInvalidEdge) {
+        expansion.push_back(voronoi.parent_edge[v]);
+        v = voronoi.parent_node[v];
+      }
+    }
+  }
+  result.workspace_bytes += expansion.size() * sizeof(EdgeId);
+
+  if (options.cleanup) {
+    result.tree = Cleanup(graph, costs, std::move(expansion), terminals,
+                          terminals);
+  } else {
+    result.tree = Subgraph::FromEdges(graph, std::move(expansion), terminals);
+  }
+  result.workspace_bytes += result.tree.MemoryFootprintBytes();
+  return result;
+}
+
+}  // namespace
+
+Result<SteinerResult> SteinerTree(const KnowledgeGraph& graph,
+                                  const std::vector<double>& costs,
+                                  const std::vector<NodeId>& terminals,
+                                  const SteinerOptions& options) {
+  if (costs.size() < graph.num_edges()) {
+    return Status::InvalidArgument(
+        StrCat("cost vector covers ", costs.size(), " of ",
+               graph.num_edges(), " edges"));
+  }
+  for (double c : costs) {
+    if (c < 0.0) {
+      return Status::InvalidArgument("Steiner costs must be non-negative");
+    }
+  }
+  std::vector<NodeId> unique = UniqueTerminals(terminals);
+  for (NodeId v : unique) {
+    if (v >= graph.num_nodes()) {
+      return Status::InvalidArgument(StrCat("terminal ", v, " out of range"));
+    }
+  }
+  if (unique.empty()) return SteinerResult{};
+  if (unique.size() == 1) {
+    SteinerResult result;
+    result.tree = Subgraph::FromEdges(graph, {}, unique);
+    return result;
+  }
+  if (options.variant == SteinerOptions::Variant::kMehlhorn) {
+    return SteinerMehlhorn(graph, costs, unique, options);
+  }
+  return SteinerKmb(graph, costs, unique, options);
+}
+
+}  // namespace xsum::core

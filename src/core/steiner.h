@@ -1,0 +1,59 @@
+/// \file steiner.h
+/// \brief Algorithm 1 of the paper: ST-based summary explanations via the
+/// classic MST-approximation of the Steiner Tree.
+///
+/// Two interchangeable constructions are provided:
+///  - `kKmb` (default, the paper's Algorithm 1 / Kou-Markowsky-Berman):
+///    Dijkstra from every terminal builds the terminal metric closure, an
+///    MST of the closure is expanded back into graph paths, a final MST +
+///    leaf pruning cleans the expansion. O(|T|·(|E| + |V| log |V|)),
+///    approximation ratio ≤ 2 — exactly the paper's stated complexity.
+///  - `kMehlhorn`: one multi-source Dijkstra builds Voronoi cells whose
+///    boundary edges induce the closure. O(|E| + |V| log |V|), same
+///    guarantee; offered as a faster engineering alternative and ablation.
+
+#ifndef XSUM_CORE_STEINER_H_
+#define XSUM_CORE_STEINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+#include "graph/subgraph.h"
+#include "util/status.h"
+
+namespace xsum::core {
+
+/// \brief Steiner construction knobs.
+struct SteinerOptions {
+  enum class Variant : uint8_t { kKmb = 0, kMehlhorn = 1 };
+  Variant variant = Variant::kKmb;
+  /// Run the final MST-over-expansion + prune-non-terminal-leaves cleanup
+  /// (Algorithm 1 steps 7-14 plus standard KMB post-processing).
+  bool cleanup = true;
+};
+
+/// \brief Outcome of a Steiner construction.
+struct SteinerResult {
+  graph::Subgraph tree;
+  /// Terminals that could not be connected (in a different weak component).
+  std::vector<graph::NodeId> unreached_terminals;
+  /// Approximate workspace bytes allocated by the algorithm (for the
+  /// paper's memory metric, Fig. 9-11).
+  size_t workspace_bytes = 0;
+};
+
+/// \brief Computes an approximate minimum-cost Steiner tree spanning
+/// \p terminals under non-negative per-edge \p costs.
+///
+/// Terminals in different weak components yield a Steiner *forest* over the
+/// reachable groups plus the list of unreached terminals; the subgraph is
+/// still returned (per-component trees). Duplicate terminals are ignored.
+Result<SteinerResult> SteinerTree(const graph::KnowledgeGraph& graph,
+                                  const std::vector<double>& costs,
+                                  const std::vector<graph::NodeId>& terminals,
+                                  const SteinerOptions& options = {});
+
+}  // namespace xsum::core
+
+#endif  // XSUM_CORE_STEINER_H_

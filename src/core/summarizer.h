@@ -1,0 +1,84 @@
+/// \file summarizer.h
+/// \brief Public façade of the xsum library: turn a `SummaryTask` (terminal
+/// set + explanation paths) into a `Summary` (subgraph + provenance +
+/// performance counters) using the chosen method.
+///
+/// Typical use:
+/// \code
+///   auto task = core::MakeUserCentricTask(rec_graph, user_recs, /*k=*/10);
+///   core::SummarizerOptions options;
+///   options.method = core::SummaryMethod::kSteiner;
+///   options.lambda = 1.0;
+///   auto summary = core::Summarize(rec_graph, task, options);
+/// \endcode
+
+#ifndef XSUM_CORE_SUMMARIZER_H_
+#define XSUM_CORE_SUMMARIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cost_transform.h"
+#include "core/pcst.h"
+#include "core/scenario.h"
+#include "core/steiner.h"
+#include "data/kg_builder.h"
+#include "graph/subgraph.h"
+#include "util/status.h"
+
+namespace xsum::core {
+
+/// \brief Which summarization method to run.
+enum class SummaryMethod : uint8_t {
+  kBaseline = 0,  ///< union of the individual explanation paths (no summary)
+  kSteiner = 1,   ///< Algorithm 1 (ST)
+  kPcst = 2,      ///< Algorithm 2 (PCST)
+};
+
+/// Display name ("baseline"/"ST"/"PCST").
+const char* SummaryMethodToString(SummaryMethod method);
+
+/// \brief Full configuration of a summarization run.
+struct SummarizerOptions {
+  SummaryMethod method = SummaryMethod::kSteiner;
+  /// λ of Eq. (1); only meaningful for kSteiner (the paper's PCST ignores
+  /// edge weights entirely).
+  double lambda = 1.0;
+  /// Weight→cost mapping for kSteiner.
+  CostMode cost_mode = CostMode::kWeightAwareLog;
+  SteinerOptions steiner;
+  PcstOptions pcst;
+
+  /// Short display label ("ST λ=1", "PCST", ...).
+  std::string Label() const;
+};
+
+/// \brief A computed summary explanation.
+struct Summary {
+  SummaryMethod method = SummaryMethod::kSteiner;
+  Scenario scenario = Scenario::kUserCentric;
+  /// The summary subgraph S (for kBaseline: the deduplicated path union).
+  graph::Subgraph subgraph;
+  /// The input explanation paths (metrics for kBaseline run on these).
+  std::vector<graph::Path> input_paths;
+  /// Anchor nodes (the user/item/group the summary is for).
+  std::vector<graph::NodeId> anchors;
+  /// Terminal set T of the task.
+  std::vector<graph::NodeId> terminals;
+  /// Terminals the method could not connect.
+  std::vector<graph::NodeId> unreached_terminals;
+
+  /// Wall-clock time of the summarization call.
+  double elapsed_ms = 0.0;
+  /// Approximate bytes of working memory used.
+  size_t memory_bytes = 0;
+};
+
+/// Runs the configured summarizer on \p task.
+Result<Summary> Summarize(const data::RecGraph& rec_graph,
+                          const SummaryTask& task,
+                          const SummarizerOptions& options);
+
+}  // namespace xsum::core
+
+#endif  // XSUM_CORE_SUMMARIZER_H_

@@ -1,0 +1,36 @@
+#include "core/weight_adjust.h"
+
+#include <cassert>
+
+namespace xsum::core {
+
+std::vector<uint32_t> CountEdgeOccurrences(
+    const graph::KnowledgeGraph& graph,
+    const std::vector<graph::Path>& paths) {
+  std::vector<uint32_t> counts(graph.num_edges(), 0);
+  for (const graph::Path& path : paths) {
+    for (graph::EdgeId e : path.edges) {
+      if (e == graph::kInvalidEdge) continue;  // hallucinated hop
+      assert(e < counts.size());
+      ++counts[e];
+    }
+  }
+  return counts;
+}
+
+std::vector<double> AdjustWeights(const graph::KnowledgeGraph& graph,
+                                  const std::vector<double>& base_weights,
+                                  const std::vector<graph::Path>& paths,
+                                  double lambda, size_t s_size) {
+  assert(base_weights.size() == graph.num_edges());
+  const std::vector<uint32_t> counts = CountEdgeOccurrences(graph, paths);
+  const double denom = static_cast<double>(s_size == 0 ? 1 : s_size);
+  std::vector<double> adjusted(base_weights.size());
+  for (size_t e = 0; e < base_weights.size(); ++e) {
+    const double freq = static_cast<double>(counts[e]) / denom;
+    adjusted[e] = base_weights[e] * (1.0 + lambda * freq);
+  }
+  return adjusted;
+}
+
+}  // namespace xsum::core

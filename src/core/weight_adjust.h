@@ -1,0 +1,36 @@
+/// \file weight_adjust.h
+/// \brief Eq. (1) of the paper (§IV-A): boost the base weights wM of edges
+/// that occur in the input explanation paths so the summarizer *summarizes*
+/// them instead of inventing new explanations:
+///
+///   w(e) = wM(e) · (1 + λ · Σ_{x∈S} 1_{e∈P} / |S|)
+///
+/// λ = 0 nullifies the input paths (the summary becomes a brand-new
+/// explanation); λ = 100 makes the summarizer stick to the inputs.
+
+#ifndef XSUM_CORE_WEIGHT_ADJUST_H_
+#define XSUM_CORE_WEIGHT_ADJUST_H_
+
+#include <vector>
+
+#include "core/scenario.h"
+#include "graph/knowledge_graph.h"
+
+namespace xsum::core {
+
+/// \brief Counts how many input paths contain each edge (hallucinated hops
+/// carry no edge id and are skipped). Returned vector is indexed by EdgeId.
+std::vector<uint32_t> CountEdgeOccurrences(const graph::KnowledgeGraph& graph,
+                                           const std::vector<graph::Path>& paths);
+
+/// \brief Applies Eq. (1): returns the adjusted weight vector.
+///
+/// \p base_weights is wM/wA indexed by EdgeId; \p s_size is |S| (>= 1).
+std::vector<double> AdjustWeights(const graph::KnowledgeGraph& graph,
+                                  const std::vector<double>& base_weights,
+                                  const std::vector<graph::Path>& paths,
+                                  double lambda, size_t s_size);
+
+}  // namespace xsum::core
+
+#endif  // XSUM_CORE_WEIGHT_ADJUST_H_

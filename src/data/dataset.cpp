@@ -1,0 +1,34 @@
+#include "data/dataset.h"
+
+namespace xsum::data {
+
+std::vector<uint32_t> Dataset::ItemPopularity() const {
+  std::vector<uint32_t> pop(num_items, 0);
+  for (const Rating& r : ratings) ++pop[r.item];
+  return pop;
+}
+
+std::vector<uint32_t> Dataset::UserActivity() const {
+  std::vector<uint32_t> act(num_users, 0);
+  for (const Rating& r : ratings) ++act[r.user];
+  return act;
+}
+
+bool Dataset::Validate() const {
+  if (user_gender.size() != num_users) return false;
+  for (const Rating& r : ratings) {
+    if (r.user >= num_users || r.item >= num_items) return false;
+    if (r.rating < 1.0f || r.rating > 5.0f) return false;
+  }
+  for (const Triple& t : triples) {
+    if (t.entity >= num_entities) return false;
+    if (t.subject_is_user) {
+      if (t.subject >= num_users) return false;
+    } else {
+      if (t.subject >= num_items) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xsum::data

@@ -1,0 +1,70 @@
+/// \file dataset.h
+/// \brief Raw recommendation data: the rating matrix M (paper §III) plus
+/// knowledge-graph triples linking items/users to external entities.
+///
+/// The paper evaluates on ML1M and LFM1M enriched with DBpedia. Those raw
+/// dumps are not available offline, so `src/data/synthetic.h` generates
+/// datasets calibrated to the paper's published statistics (Tables II and
+/// III); this header defines the dataset shape both real and synthetic
+/// loaders would share.
+
+#ifndef XSUM_DATA_DATASET_H_
+#define XSUM_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace xsum::data {
+
+/// \brief One positive rating M[u,i] = (r, t).
+struct Rating {
+  uint32_t user = 0;
+  uint32_t item = 0;
+  float rating = 0.0f;    ///< r in [1, 5]
+  int64_t timestamp = 0;  ///< t, seconds since epoch
+};
+
+/// \brief One KG triple linking an item (or user) to an external entity.
+struct Triple {
+  uint32_t subject = 0;  ///< item index (or user index if subject_is_user)
+  graph::Relation relation = graph::Relation::kRelatedTo;
+  uint32_t entity = 0;  ///< external entity index
+  bool subject_is_user = false;
+};
+
+/// \brief User demographic used by the paper's sampling protocol (§V-A:
+/// "100 male and 100 female users").
+enum class Gender : uint8_t { kMale = 0, kFemale = 1 };
+
+/// \brief A full dataset: users, items, entities, ratings, triples.
+struct Dataset {
+  std::string name;
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t num_entities = 0;
+
+  std::vector<Rating> ratings;
+  std::vector<Triple> triples;
+  /// Gender per user; size == num_users.
+  std::vector<Gender> user_gender;
+
+  /// Reference "current time" t0 for the recency function f(t).
+  int64_t t0 = 0;
+
+  /// Number of ratings per item (popularity), size num_items.
+  std::vector<uint32_t> ItemPopularity() const;
+
+  /// Number of ratings per user (activity), size num_users.
+  std::vector<uint32_t> UserActivity() const;
+
+  /// Structural sanity checks (index ranges, rating bounds). Used by tests
+  /// and by loaders before graph construction.
+  bool Validate() const;
+};
+
+}  // namespace xsum::data
+
+#endif  // XSUM_DATA_DATASET_H_

@@ -1,0 +1,120 @@
+#include "data/graph_stats.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "graph/types.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace xsum::data {
+
+using graph::NodeId;
+using graph::NodeType;
+using graph::Relation;
+
+GraphStats ComputeGraphStats(const RecGraph& rec_graph,
+                             const GraphStatsOptions& options) {
+  const graph::KnowledgeGraph& g = rec_graph.graph();
+  GraphStats s;
+  s.num_users = g.NumNodesOfType(NodeType::kUser);
+  s.num_items = g.NumNodesOfType(NodeType::kItem);
+  s.num_entities = g.NumNodesOfType(NodeType::kEntity);
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.edge(e).relation == Relation::kRated) {
+      ++s.num_rated_edges;
+    } else {
+      ++s.num_triple_edges;
+    }
+  }
+
+  size_t degree_sum[3] = {0, 0, 0};
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    degree_sum[static_cast<int>(g.node_type(v))] += g.Degree(v);
+  }
+  auto safe_div = [](size_t a, size_t b) {
+    return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+  };
+  s.avg_user_degree = safe_div(degree_sum[0], s.num_users);
+  s.avg_item_degree = safe_div(degree_sum[1], s.num_items);
+  s.avg_entity_degree = safe_div(degree_sum[2], s.num_entities);
+  s.avg_degree =
+      safe_div(degree_sum[0] + degree_sum[1] + degree_sum[2], s.num_nodes);
+
+  if (s.num_nodes > 1) {
+    s.density = static_cast<double>(s.num_edges) /
+                (static_cast<double>(s.num_nodes) *
+                 static_cast<double>(s.num_nodes - 1) / 2.0);
+  }
+
+  Rng rng(options.seed);
+
+  // Average path length over sampled BFS sources.
+  if (options.path_length_samples > 0 && s.num_nodes > 1) {
+    double total = 0.0;
+    size_t count = 0;
+    for (size_t i = 0; i < options.path_length_samples; ++i) {
+      const NodeId src = static_cast<NodeId>(rng.Uniform(s.num_nodes));
+      const auto hops = graph::BfsHops(g, src);
+      for (NodeId v = 0; v < hops.size(); ++v) {
+        if (v != src && hops[v] != graph::kUnreachedHops) {
+          total += hops[v];
+          ++count;
+        }
+      }
+    }
+    s.avg_path_length = count > 0 ? total / static_cast<double>(count) : 0.0;
+  }
+
+  // Double-sweep diameter lower bound: BFS from a random node, then BFS
+  // from the farthest node found; repeat and keep the max.
+  if (options.diameter_sweeps > 0 && s.num_nodes > 0) {
+    int32_t best = 0;
+    for (size_t sweep = 0; sweep < options.diameter_sweeps; ++sweep) {
+      NodeId src = static_cast<NodeId>(rng.Uniform(s.num_nodes));
+      auto hops = graph::BfsHops(g, src);
+      NodeId far = src;
+      int32_t far_h = 0;
+      for (NodeId v = 0; v < hops.size(); ++v) {
+        if (hops[v] > far_h) {
+          far_h = hops[v];
+          far = v;
+        }
+      }
+      hops = graph::BfsHops(g, far);
+      for (int32_t h : hops) best = std::max(best, h);
+    }
+    s.diameter_estimate = best;
+  }
+  return s;
+}
+
+std::string GraphStats::ToString(const std::string& title) const {
+  TextTable table({"Property", "User", "Item", "External", "Total"});
+  table.AddRow({"Number of nodes", FormatCount(static_cast<int64_t>(num_users)),
+                FormatCount(static_cast<int64_t>(num_items)),
+                FormatCount(static_cast<int64_t>(num_entities)),
+                FormatCount(static_cast<int64_t>(num_nodes))});
+  table.AddRow({"Number of edges",
+                FormatCount(static_cast<int64_t>(num_rated_edges)) +
+                    " (to items)",
+                FormatCount(static_cast<int64_t>(num_triple_edges)) +
+                    " (to external)",
+                "-", FormatCount(static_cast<int64_t>(num_edges))});
+  table.AddRow({"Average degree", FormatDouble(avg_user_degree, 2),
+                FormatDouble(avg_item_degree, 2),
+                FormatDouble(avg_entity_degree, 2),
+                FormatDouble(avg_degree, 2)});
+  table.AddRow({"Density", "", "", "", FormatDouble(density, 4)});
+  table.AddRow(
+      {"Average path length", "", "", "", FormatDouble(avg_path_length, 2)});
+  table.AddRow({"Diameter (est.)", "", "", "",
+                std::to_string(diameter_estimate)});
+  return title + "\n" + table.ToString();
+}
+
+}  // namespace xsum::data

@@ -1,0 +1,58 @@
+/// \file graph_stats.h
+/// \brief Computes the knowledge-graph statistics the paper reports in
+/// Table II (ML1M graph) and Table III (synthetic scaling graphs):
+/// per-type node counts, edge counts, average degrees, density, sampled
+/// average path length, and estimated diameter.
+
+#ifndef XSUM_DATA_GRAPH_STATS_H_
+#define XSUM_DATA_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/kg_builder.h"
+
+namespace xsum::data {
+
+/// \brief The Table II / Table III row for one graph.
+struct GraphStats {
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t num_entities = 0;
+  size_t num_nodes = 0;
+
+  size_t num_rated_edges = 0;   ///< user→item ("to items" in Table II)
+  size_t num_triple_edges = 0;  ///< item→entity ("to external")
+  size_t num_edges = 0;
+
+  double avg_degree = 0.0;        ///< mean undirected degree over all nodes
+  double avg_user_degree = 0.0;   ///< mean degree of user nodes
+  double avg_item_degree = 0.0;   ///< mean degree of item nodes
+  double avg_entity_degree = 0.0; ///< mean degree of entity nodes
+
+  double density = 0.0;  ///< |E| / (|V|·(|V|−1)/2), undirected view
+  /// Mean hop distance over sampled reachable pairs.
+  double avg_path_length = 0.0;
+  /// Lower-bound diameter estimate via double-sweep BFS.
+  int32_t diameter_estimate = 0;
+
+  /// Renders the stats as an aligned key/value table.
+  std::string ToString(const std::string& title) const;
+};
+
+/// \brief Sampling knobs for the expensive statistics.
+struct GraphStatsOptions {
+  /// BFS sources used for average path length (0 disables).
+  size_t path_length_samples = 16;
+  /// Double-sweep iterations for the diameter estimate (0 disables).
+  size_t diameter_sweeps = 4;
+  uint64_t seed = 7;
+};
+
+/// Computes statistics of \p rec_graph.
+GraphStats ComputeGraphStats(const RecGraph& rec_graph,
+                             const GraphStatsOptions& options = {});
+
+}  // namespace xsum::data
+
+#endif  // XSUM_DATA_GRAPH_STATS_H_

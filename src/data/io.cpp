@@ -1,0 +1,281 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace xsum::data {
+
+namespace {
+
+using graph::Relation;
+
+/// Splits a MovieLens "a::b::c" row.
+std::vector<std::string> SplitDoubleColon(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t begin = 0;
+  while (begin <= line.size()) {
+    const size_t pos = line.find("::", begin);
+    if (pos == std::string::npos) {
+      fields.push_back(line.substr(begin));
+      break;
+    }
+    fields.push_back(line.substr(begin, pos - begin));
+    begin = pos + 2;
+  }
+  return fields;
+}
+
+Result<int64_t> ParseInt(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StrCat("bad ", what, ": '", s, "'"));
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StrCat("bad ", what, ": '", s, "'"));
+  }
+  return v;
+}
+
+/// Dense id assignment in first-seen order.
+class IdDenseMap {
+ public:
+  uint32_t Assign(int64_t raw) {
+    auto [it, inserted] = map_.emplace(raw, static_cast<uint32_t>(map_.size()));
+    (void)inserted;
+    return it->second;
+  }
+  const uint32_t* Find(int64_t raw) const {
+    auto it = map_.find(raw);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::map<int64_t, uint32_t> map_;
+};
+
+}  // namespace
+
+graph::Relation ParseRelation(const std::string& name) {
+  for (int r = 0; r < graph::kNumRelations; ++r) {
+    const auto relation = static_cast<Relation>(r);
+    if (name == graph::RelationToString(relation)) return relation;
+  }
+  return Relation::kRelatedTo;
+}
+
+Result<Dataset> LoadMl1m(const Ml1mPaths& paths) {
+  Dataset ds;
+  ds.name = "ml1m";
+  IdDenseMap users;
+  IdDenseMap items;
+  IdDenseMap entities;
+
+  // --- ratings.dat ---------------------------------------------------------
+  std::ifstream ratings(paths.ratings_dat);
+  if (!ratings) {
+    return Status::IOError("cannot open " + paths.ratings_dat);
+  }
+  std::string line;
+  int64_t max_ts = 0;
+  while (std::getline(ratings, line)) {
+    line = Trim(line);
+    if (line.empty()) continue;
+    const auto fields = SplitDoubleColon(line);
+    if (fields.size() != 4) {
+      return Status::InvalidArgument("malformed ratings row: " + line);
+    }
+    XSUM_ASSIGN_OR_RETURN(const int64_t raw_user,
+                          ParseInt(fields[0], "user id"));
+    XSUM_ASSIGN_OR_RETURN(const int64_t raw_item,
+                          ParseInt(fields[1], "item id"));
+    XSUM_ASSIGN_OR_RETURN(const double rating,
+                          ParseDouble(fields[2], "rating"));
+    XSUM_ASSIGN_OR_RETURN(const int64_t ts, ParseInt(fields[3], "timestamp"));
+    if (rating < 1.0 || rating > 5.0) {
+      return Status::InvalidArgument("rating out of range: " + fields[2]);
+    }
+    Rating r;
+    r.user = users.Assign(raw_user);
+    r.item = items.Assign(raw_item);
+    r.rating = static_cast<float>(rating);
+    r.timestamp = ts;
+    max_ts = std::max(max_ts, ts);
+    ds.ratings.push_back(r);
+  }
+  ds.num_users = users.size();
+  ds.num_items = items.size();
+  ds.t0 = max_ts;
+
+  // --- users.dat (gender) ----------------------------------------------------
+  ds.user_gender.assign(ds.num_users, Gender::kMale);
+  if (!paths.users_dat.empty()) {
+    std::ifstream user_file(paths.users_dat);
+    if (!user_file) {
+      return Status::IOError("cannot open " + paths.users_dat);
+    }
+    while (std::getline(user_file, line)) {
+      line = Trim(line);
+      if (line.empty()) continue;
+      const auto fields = SplitDoubleColon(line);
+      if (fields.size() < 2) {
+        return Status::InvalidArgument("malformed users row: " + line);
+      }
+      XSUM_ASSIGN_OR_RETURN(const int64_t raw_user,
+                            ParseInt(fields[0], "user id"));
+      const uint32_t* dense = users.Find(raw_user);
+      if (dense == nullptr) continue;  // user without ratings
+      ds.user_gender[*dense] =
+          ToLower(fields[1]) == "f" ? Gender::kFemale : Gender::kMale;
+    }
+  }
+
+  // --- triples -----------------------------------------------------------------
+  if (!paths.triples_tsv.empty()) {
+    std::ifstream triples(paths.triples_tsv);
+    if (!triples) {
+      return Status::IOError("cannot open " + paths.triples_tsv);
+    }
+    while (std::getline(triples, line)) {
+      line = Trim(line);
+      if (line.empty()) continue;
+      const auto fields = Split(line, '\t');
+      if (fields.size() != 3) {
+        return Status::InvalidArgument("malformed triple row: " + line);
+      }
+      XSUM_ASSIGN_OR_RETURN(const int64_t raw_item,
+                            ParseInt(fields[0], "item id"));
+      const uint32_t* dense_item = items.Find(raw_item);
+      if (dense_item == nullptr) continue;  // item never rated: skip
+      XSUM_ASSIGN_OR_RETURN(const int64_t raw_entity,
+                            ParseInt(fields[2], "entity id"));
+      Triple t;
+      t.subject = *dense_item;
+      t.relation = ParseRelation(fields[1]);
+      t.entity = entities.Assign(raw_entity);
+      ds.triples.push_back(t);
+    }
+  }
+  ds.num_entities = entities.size();
+
+  if (!ds.Validate()) {
+    return Status::Internal("loaded ML1M dataset failed validation");
+  }
+  return ds;
+}
+
+Status SaveDatasetTsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "xsum-dataset\t1\n";
+  out << dataset.name << '\t' << dataset.num_users << '\t'
+      << dataset.num_items << '\t' << dataset.num_entities << '\t'
+      << dataset.t0 << '\n';
+  out << "genders";
+  for (Gender g : dataset.user_gender) {
+    out << '\t' << (g == Gender::kFemale ? 'F' : 'M');
+  }
+  out << '\n';
+  for (const Rating& r : dataset.ratings) {
+    out << "r\t" << r.user << '\t' << r.item << '\t' << r.rating << '\t'
+        << r.timestamp << '\n';
+  }
+  for (const Triple& t : dataset.triples) {
+    out << "t\t" << t.subject << '\t'
+        << graph::RelationToString(t.relation) << '\t' << t.entity << '\t'
+        << (t.subject_is_user ? 1 : 0) << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadDatasetTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || Split(Trim(line), '\t')[0] != "xsum-dataset") {
+    return Status::InvalidArgument("not an xsum dataset file: " + path);
+  }
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("truncated header: " + path);
+  }
+  const auto header = Split(Trim(line), '\t');
+  if (header.size() != 5) {
+    return Status::InvalidArgument("malformed header: " + line);
+  }
+  Dataset ds;
+  ds.name = header[0];
+  XSUM_ASSIGN_OR_RETURN(const int64_t nu, ParseInt(header[1], "num_users"));
+  XSUM_ASSIGN_OR_RETURN(const int64_t ni, ParseInt(header[2], "num_items"));
+  XSUM_ASSIGN_OR_RETURN(const int64_t ne, ParseInt(header[3], "num_entities"));
+  XSUM_ASSIGN_OR_RETURN(const int64_t t0, ParseInt(header[4], "t0"));
+  ds.num_users = static_cast<size_t>(nu);
+  ds.num_items = static_cast<size_t>(ni);
+  ds.num_entities = static_cast<size_t>(ne);
+  ds.t0 = t0;
+
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("missing gender row: " + path);
+  }
+  const auto genders = Split(Trim(line), '\t');
+  if (genders.empty() || genders[0] != "genders" ||
+      genders.size() != ds.num_users + 1) {
+    return Status::InvalidArgument("malformed gender row");
+  }
+  ds.user_gender.reserve(ds.num_users);
+  for (size_t i = 1; i < genders.size(); ++i) {
+    ds.user_gender.push_back(genders[i] == "F" ? Gender::kFemale
+                                               : Gender::kMale);
+  }
+
+  while (std::getline(in, line)) {
+    line = Trim(line);
+    if (line.empty()) continue;
+    const auto fields = Split(line, '\t');
+    if (fields[0] == "r" && fields.size() == 5) {
+      Rating r;
+      XSUM_ASSIGN_OR_RETURN(const int64_t user, ParseInt(fields[1], "user"));
+      XSUM_ASSIGN_OR_RETURN(const int64_t item, ParseInt(fields[2], "item"));
+      XSUM_ASSIGN_OR_RETURN(const double rating,
+                            ParseDouble(fields[3], "rating"));
+      XSUM_ASSIGN_OR_RETURN(const int64_t ts, ParseInt(fields[4], "ts"));
+      r.user = static_cast<uint32_t>(user);
+      r.item = static_cast<uint32_t>(item);
+      r.rating = static_cast<float>(rating);
+      r.timestamp = ts;
+      ds.ratings.push_back(r);
+    } else if (fields[0] == "t" && fields.size() == 5) {
+      Triple t;
+      XSUM_ASSIGN_OR_RETURN(const int64_t subject,
+                            ParseInt(fields[1], "subject"));
+      XSUM_ASSIGN_OR_RETURN(const int64_t entity,
+                            ParseInt(fields[3], "entity"));
+      XSUM_ASSIGN_OR_RETURN(const int64_t is_user,
+                            ParseInt(fields[4], "subject_is_user"));
+      t.subject = static_cast<uint32_t>(subject);
+      t.relation = ParseRelation(fields[2]);
+      t.entity = static_cast<uint32_t>(entity);
+      t.subject_is_user = is_user != 0;
+      ds.triples.push_back(t);
+    } else {
+      return Status::InvalidArgument("malformed dataset row: " + line);
+    }
+  }
+  if (!ds.Validate()) {
+    return Status::InvalidArgument("loaded dataset failed validation");
+  }
+  return ds;
+}
+
+}  // namespace xsum::data

@@ -1,0 +1,49 @@
+/// \file io.h
+/// \brief Dataset (de)serialization.
+///
+/// Two formats:
+///  - **MovieLens 1M native**: `ratings.dat` / `users.dat` in the
+///    `::`-separated format shipped by GroupLens, plus a tab-separated
+///    triples file (`item<TAB>relation<TAB>entity`). This lets the library
+///    run on the *real* ML1M+DBpedia data when it is available, replacing
+///    the synthetic substitute (DESIGN.md §1.3).
+///  - **xsum TSV**: a single-file dump of a `Dataset` (header + ratings +
+///    triples + genders) used for caching generated datasets and for
+///    round-trip tests.
+
+#ifndef XSUM_DATA_IO_H_
+#define XSUM_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace xsum::data {
+
+/// \brief Paths of a MovieLens-1M-style dump.
+struct Ml1mPaths {
+  std::string ratings_dat;       ///< "UserID::MovieID::Rating::Timestamp"
+  std::string users_dat;         ///< "UserID::Gender::Age::Occupation::Zip"
+  std::string triples_tsv = "";  ///< optional "item\trelation\tentity"
+};
+
+/// Loads a dataset from MovieLens-native files. User and item ids are
+/// densified (the returned indices need not match the raw ids). Fails with
+/// IOError when a file cannot be read and InvalidArgument on malformed
+/// rows.
+Result<Dataset> LoadMl1m(const Ml1mPaths& paths);
+
+/// Parses a relation name ("directed_by", "has_genre", ...) back to the
+/// enum; unknown names map to kRelatedTo.
+graph::Relation ParseRelation(const std::string& name);
+
+/// Saves \p dataset to a single TSV file.
+Status SaveDatasetTsv(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset previously written by SaveDatasetTsv.
+Result<Dataset> LoadDatasetTsv(const std::string& path);
+
+}  // namespace xsum::data
+
+#endif  // XSUM_DATA_IO_H_

@@ -1,0 +1,67 @@
+#include "data/kg_builder.h"
+
+#include <algorithm>
+
+namespace xsum::data {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::NodeType;
+using graph::Relation;
+
+Result<RecGraph> BuildRecGraph(const Dataset& dataset,
+                               const WeightParams& params) {
+  if (!dataset.Validate()) {
+    return Status::InvalidArgument("dataset failed validation: " +
+                                   dataset.name);
+  }
+
+  RecGraph rg;
+  rg.num_users_ = dataset.num_users;
+  rg.num_items_ = dataset.num_items;
+  rg.num_entities_ = dataset.num_entities;
+
+  WeightParams effective = params;
+  if (effective.t0 == 0) effective.t0 = dataset.t0;
+  rg.weight_params_ = effective;
+
+  GraphBuilder builder;
+  builder.AddNodes(NodeType::kUser, dataset.num_users);
+  builder.AddNodes(NodeType::kItem, dataset.num_items);
+  builder.AddNodes(NodeType::kEntity, dataset.num_entities);
+
+  for (const Rating& r : dataset.ratings) {
+    const double w = RatedEdgeWeight(effective, r.rating, r.timestamp);
+    auto added = builder.AddEdge(rg.UserNode(r.user), rg.ItemNode(r.item),
+                                 Relation::kRated, w);
+    XSUM_RETURN_NOT_OK(added.status());
+  }
+  for (const Triple& t : dataset.triples) {
+    const NodeId subject = t.subject_is_user ? rg.UserNode(t.subject)
+                                             : rg.ItemNode(t.subject);
+    auto added = builder.AddEdge(subject, rg.EntityNode(t.entity), t.relation,
+                                 effective.wa);
+    XSUM_RETURN_NOT_OK(added.status());
+  }
+
+  rg.graph_ = std::move(builder).Finalize();
+  rg.base_weights_ = rg.graph_.WeightVector();
+  return rg;
+}
+
+std::vector<graph::NodeId> RecGraph::RatedItems(uint32_t user) const {
+  std::vector<graph::NodeId> items;
+  const graph::NodeId u = UserNode(user);
+  for (const graph::AdjEntry& a : graph_.Neighbors(u)) {
+    if (graph_.IsItem(a.neighbor)) items.push_back(a.neighbor);
+  }
+  // Neighbors are sorted by id; dedupe in case of parallel edges.
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  return items;
+}
+
+bool RecGraph::HasRated(uint32_t user, uint32_t item) const {
+  return graph_.FindEdge(UserNode(user), ItemNode(item)) != graph::kInvalidEdge;
+}
+
+}  // namespace xsum::data

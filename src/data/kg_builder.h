@@ -1,0 +1,91 @@
+/// \file kg_builder.h
+/// \brief Builds the knowledge-based graph G(V, E, w) of paper §III from a
+/// `Dataset`, and wraps it in `RecGraph` — the graph plus the user/item/
+/// entity id mapping every higher layer (recommenders, summarizers,
+/// evaluation) works with.
+///
+/// Node id layout is contiguous: users occupy [0, U), items [U, U+I),
+/// entities [U+I, U+I+E). Rated edges are directed user→item and weighted
+/// with wM = β1·r + β2·f(t); knowledge edges are directed item→entity (or
+/// user→entity) and weighted with the constant wA.
+
+#ifndef XSUM_DATA_KG_BUILDER_H_
+#define XSUM_DATA_KG_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/weights.h"
+#include "graph/knowledge_graph.h"
+#include "util/status.h"
+
+namespace xsum::data {
+
+/// \brief The knowledge-based graph together with the dataset id mapping.
+class RecGraph {
+ public:
+  RecGraph() = default;
+
+  /// The underlying immutable graph.
+  const graph::KnowledgeGraph& graph() const { return graph_; }
+
+  size_t num_users() const { return num_users_; }
+  size_t num_items() const { return num_items_; }
+  size_t num_entities() const { return num_entities_; }
+
+  /// Dataset index -> graph node id.
+  graph::NodeId UserNode(uint32_t user) const {
+    return static_cast<graph::NodeId>(user);
+  }
+  graph::NodeId ItemNode(uint32_t item) const {
+    return static_cast<graph::NodeId>(num_users_ + item);
+  }
+  graph::NodeId EntityNode(uint32_t entity) const {
+    return static_cast<graph::NodeId>(num_users_ + num_items_ + entity);
+  }
+
+  /// Graph node id -> dataset index (caller must check the node type).
+  uint32_t NodeToUser(graph::NodeId v) const {
+    return static_cast<uint32_t>(v);
+  }
+  uint32_t NodeToItem(graph::NodeId v) const {
+    return static_cast<uint32_t>(v - num_users_);
+  }
+  uint32_t NodeToEntity(graph::NodeId v) const {
+    return static_cast<uint32_t>(v - num_users_ - num_items_);
+  }
+
+  /// The stored wM/wA weights, indexed by EdgeId (the "initial weights"
+  /// that Eq. (1) adjusts and the Relevance metric sums).
+  const std::vector<double>& base_weights() const { return base_weights_; }
+
+  /// Items rated by \p user, as graph node ids (sorted).
+  std::vector<graph::NodeId> RatedItems(uint32_t user) const;
+
+  /// True iff \p user rated \p item (dataset indices).
+  bool HasRated(uint32_t user, uint32_t item) const;
+
+  /// The weight parameters the graph was built with.
+  const WeightParams& weight_params() const { return weight_params_; }
+
+ private:
+  friend Result<RecGraph> BuildRecGraph(const Dataset& dataset,
+                                        const WeightParams& params);
+
+  graph::KnowledgeGraph graph_;
+  size_t num_users_ = 0;
+  size_t num_items_ = 0;
+  size_t num_entities_ = 0;
+  std::vector<double> base_weights_;
+  WeightParams weight_params_;
+};
+
+/// Builds the knowledge-based graph from \p dataset with weight function
+/// parameters \p params. Fails if the dataset does not validate.
+Result<RecGraph> BuildRecGraph(const Dataset& dataset,
+                               const WeightParams& params = {});
+
+}  // namespace xsum::data
+
+#endif  // XSUM_DATA_KG_BUILDER_H_

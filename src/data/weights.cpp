@@ -1,0 +1,19 @@
+#include "data/weights.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xsum::data {
+
+double RecencyScore(const WeightParams& params, int64_t timestamp) {
+  const double age = static_cast<double>(params.t0 - timestamp);
+  if (age <= 0.0) return 1.0;
+  return std::exp(-params.gamma * age);
+}
+
+double RatedEdgeWeight(const WeightParams& params, double rating,
+                       int64_t timestamp) {
+  return params.beta1 * rating + params.beta2 * RecencyScore(params, timestamp);
+}
+
+}  // namespace xsum::data

@@ -1,0 +1,37 @@
+/// \file weights.h
+/// \brief The paper's §III edge-weight function for the rating graph GM:
+///
+///   wM(u,i) = β1·r + β2·f(t),   f(t) = e^(−γ·(t0 − t))
+///
+/// β1 weighs the rating, β2 weighs recency, γ is the exponential decay
+/// rate. Knowledge edges get the constant wA (the paper's experiments use
+/// wA = 0 so results are comparable with PGPR/CAFE).
+
+#ifndef XSUM_DATA_WEIGHTS_H_
+#define XSUM_DATA_WEIGHTS_H_
+
+#include <cstdint>
+
+namespace xsum::data {
+
+/// \brief Parameters of the §III weight function.
+struct WeightParams {
+  double beta1 = 1.0;  ///< rating importance β1
+  double beta2 = 0.0;  ///< recency importance β2 (paper default: 0)
+  /// Decay rate γ of f(t) = exp(−γ(t0−t)), per second. The default makes
+  /// the recency term halve roughly every 180 days.
+  double gamma = 4.46e-8;
+  int64_t t0 = 0;    ///< reference "now"
+  double wa = 0.0;   ///< wA, constant weight of knowledge edges (paper: 0)
+};
+
+/// Recency score f(t) = exp(−γ(t0−t)), clamped to [0, 1] for t ≤ t0.
+double RecencyScore(const WeightParams& params, int64_t timestamp);
+
+/// Full rated-edge weight wM = β1·r + β2·f(t).
+double RatedEdgeWeight(const WeightParams& params, double rating,
+                       int64_t timestamp);
+
+}  // namespace xsum::data
+
+#endif  // XSUM_DATA_WEIGHTS_H_

@@ -1,0 +1,50 @@
+#include "eval/csv_export.h"
+
+#include <cctype>
+#include <fstream>
+
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace xsum::eval {
+
+Status WritePanelCsv(const std::string& path, const std::vector<int>& ks,
+                     const std::vector<SeriesResult>& series) {
+  std::vector<std::string> headers = {"method"};
+  for (int k : ks) headers.push_back(StrCat("k=", k));
+  TextTable table(std::move(headers));
+  for (const SeriesResult& row : series) {
+    std::vector<std::string> cells = {row.label};
+    for (double v : row.values) cells.push_back(FormatDouble(v, 6));
+    table.AddRow(std::move(cells));
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << table.ToCsv();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string MaybeExportPanelCsv(const std::string& slug,
+                                const std::vector<int>& ks,
+                                const std::vector<SeriesResult>& series) {
+  const std::string dir = GetEnvString("XSUM_CSV_DIR", "");
+  if (dir.empty()) return "";
+  std::string clean;
+  for (char c : slug) {
+    clean += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(std::tolower(c))
+                 : '_';
+  }
+  const std::string path = dir + "/" + clean + ".csv";
+  const Status status = WritePanelCsv(path, ks, series);
+  if (!status.ok()) {
+    XSUM_LOG_WARN << "CSV export failed: " << status.ToString();
+    return "";
+  }
+  return path;
+}
+
+}  // namespace xsum::eval

@@ -1,0 +1,32 @@
+/// \file csv_export.h
+/// \brief CSV export of figure panels, for downstream plotting. Every
+/// bench prints aligned text tables; pointing `XSUM_CSV_DIR` at a
+/// directory makes them also emit one CSV per panel via this helper.
+
+#ifndef XSUM_EVAL_CSV_EXPORT_H_
+#define XSUM_EVAL_CSV_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+#include "util/status.h"
+
+namespace xsum::eval {
+
+/// \brief Writes one panel (rows = methods, columns = k) as CSV.
+/// The first column is "method", remaining columns "k=<v>".
+Status WritePanelCsv(const std::string& path, const std::vector<int>& ks,
+                     const std::vector<SeriesResult>& series);
+
+/// \brief If the env var `XSUM_CSV_DIR` is set, writes the panel to
+/// `<dir>/<slug>.csv` (slug: lowercased, non-alphanumerics → '_') and
+/// returns the path; returns empty string when the env var is unset.
+/// Failures are logged, not fatal (benches should not die on export).
+std::string MaybeExportPanelCsv(const std::string& slug,
+                                const std::vector<int>& ks,
+                                const std::vector<SeriesResult>& series);
+
+}  // namespace xsum::eval
+
+#endif  // XSUM_EVAL_CSV_EXPORT_H_

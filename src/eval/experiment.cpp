@@ -1,0 +1,74 @@
+#include "eval/experiment.h"
+
+#include "util/env.h"
+#include "util/string_util.h"
+
+namespace xsum::eval {
+
+const char* DatasetKindToString(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kMl1m:
+      return "ML1M";
+    case DatasetKind::kLfm1m:
+      return "LFM1M";
+  }
+  return "?";
+}
+
+std::vector<MethodSpec> StandardMethods(
+    const std::string& baseline_label,
+    core::SteinerOptions::Variant variant) {
+  std::vector<MethodSpec> methods;
+
+  MethodSpec baseline;
+  baseline.label = baseline_label;
+  baseline.options.method = core::SummaryMethod::kBaseline;
+  methods.push_back(baseline);
+
+  for (double lambda : {0.01, 1.0, 100.0}) {
+    MethodSpec st;
+    st.options.method = core::SummaryMethod::kSteiner;
+    st.options.lambda = lambda;
+    st.options.steiner.variant = variant;
+    st.label = st.options.Label();
+    methods.push_back(st);
+  }
+
+  MethodSpec pcst;
+  pcst.options.method = core::SummaryMethod::kPcst;
+  pcst.label = "PCST";
+  methods.push_back(pcst);
+  return methods;
+}
+
+ExperimentConfig ExperimentConfig::FromEnv() {
+  return FromEnv(ExperimentConfig{});
+}
+
+ExperimentConfig ExperimentConfig::FromEnv(ExperimentConfig defaults) {
+  ExperimentConfig config = defaults;
+  config.scale = GetEnvDouble("XSUM_SCALE", config.scale);
+  config.seed = static_cast<uint64_t>(
+      GetEnvInt("XSUM_SEED", static_cast<int64_t>(config.seed)));
+  const int64_t users = GetEnvInt(
+      "XSUM_USERS", static_cast<int64_t>(config.users_per_gender * 2));
+  config.users_per_gender = static_cast<size_t>(users) / 2;
+  const int64_t items = GetEnvInt(
+      "XSUM_ITEMS",
+      static_cast<int64_t>(config.items_popular + config.items_unpopular));
+  config.items_popular = static_cast<size_t>(items) / 2;
+  config.items_unpopular = static_cast<size_t>(items) -
+                           config.items_popular;
+  return config;
+}
+
+std::string ExperimentConfig::Describe() const {
+  return StrCat(DatasetKindToString(dataset), " scale=", FormatDouble(scale, 3),
+                " users=", users_per_gender * 2,
+                " items=", items_popular + items_unpopular, " seed=", seed,
+                " (override via XSUM_SCALE / XSUM_USERS / XSUM_ITEMS /",
+                " XSUM_SEED; XSUM_SCALE=1.0 XSUM_USERS=200 XSUM_ITEMS=100",
+                " = paper protocol)");
+}
+
+}  // namespace xsum::eval

@@ -1,0 +1,89 @@
+/// \file experiment.h
+/// \brief Experiment configuration shared by all bench binaries: which
+/// dataset, at what scale, how many sampled users/items (paper §V-A), which
+/// k range, and which summarization methods.
+///
+/// Paper-scale defaults are expensive (the full ML1M graph has 1.13M
+/// edges); benches therefore default to a reduced scale that preserves all
+/// trends, and every knob can be raised via environment variables
+/// (XSUM_SCALE=1.0 XSUM_USERS=200 reproduces the paper's exact protocol).
+
+#ifndef XSUM_EVAL_EXPERIMENT_H_
+#define XSUM_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/steiner.h"
+#include "core/summarizer.h"
+#include "data/synthetic.h"
+#include "data/weights.h"
+#include "rec/recommender.h"
+
+namespace xsum::eval {
+
+/// \brief Which calibrated dataset to generate.
+enum class DatasetKind : uint8_t { kMl1m = 0, kLfm1m = 1 };
+
+const char* DatasetKindToString(DatasetKind kind);
+
+/// \brief One summarization method under evaluation (a figure row).
+struct MethodSpec {
+  std::string label;
+  core::SummarizerOptions options;
+};
+
+/// \brief The paper's method lineup: baseline paths, ST with
+/// λ ∈ {0.01, 1, 100}, and PCST. \p baseline_label names the baseline row
+/// after the path source ("PGPR", "CAFE", ...).
+std::vector<MethodSpec> StandardMethods(
+    const std::string& baseline_label,
+    core::SteinerOptions::Variant variant =
+        core::SteinerOptions::Variant::kMehlhorn);
+
+/// \brief Full experiment configuration.
+struct ExperimentConfig {
+  DatasetKind dataset = DatasetKind::kMl1m;
+  /// Dataset scale; 1.0 = the paper's Table II graph.
+  double scale = 0.08;
+  uint64_t seed = 42;
+
+  /// §V-A sampling: users per gender (paper: 100) and item split
+  /// (paper: 50 + 50).
+  size_t users_per_gender = 15;
+  size_t items_popular = 12;
+  size_t items_unpopular = 12;
+
+  /// Group sizes for the group scenarios of the quality figures.
+  size_t user_group_size = 10;
+  size_t item_group_size = 8;
+
+  /// k range (paper: 1..10).
+  std::vector<int> ks = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+
+  /// §III weight function (paper default: β1=1, β2=0, wA=0).
+  data::WeightParams weight_params;
+
+  rec::RecommenderOptions rec_options;
+
+  /// ST construction used by quality panels. Mehlhorn (one multi-source
+  /// Dijkstra) and KMB (the paper's Algorithm 1) share the 2-approximation
+  /// guarantee; performance benches use KMB to exhibit the |T|-scaling the
+  /// paper reports.
+  core::SteinerOptions::Variant steiner_variant =
+      core::SteinerOptions::Variant::kMehlhorn;
+
+  /// Reads XSUM_SCALE / XSUM_USERS / XSUM_ITEMS / XSUM_SEED on top of the
+  /// given defaults.
+  static ExperimentConfig FromEnv(ExperimentConfig defaults);
+  /// FromEnv over the built-in defaults.
+  static ExperimentConfig FromEnv();
+
+  /// One-line description for bench output headers.
+  std::string Describe() const;
+};
+
+}  // namespace xsum::eval
+
+#endif  // XSUM_EVAL_EXPERIMENT_H_

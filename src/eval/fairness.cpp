@@ -1,0 +1,113 @@
+#include "eval/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/metrics.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace xsum::eval {
+
+namespace {
+
+Result<double> MetricValue(const data::RecGraph& rec_graph,
+                           MetricKind metric,
+                           const metrics::ExplanationView& view) {
+  const graph::KnowledgeGraph& g = rec_graph.graph();
+  switch (metric) {
+    case MetricKind::kComprehensibility:
+      return metrics::Comprehensibility(view);
+    case MetricKind::kActionability:
+      return metrics::Actionability(g, view);
+    case MetricKind::kDiversity:
+      return metrics::Diversity(view);
+    case MetricKind::kRedundancy:
+      return metrics::Redundancy(view);
+    case MetricKind::kRelevance:
+      return metrics::Relevance(view, rec_graph.base_weights());
+    case MetricKind::kPrivacy:
+      return metrics::Privacy(g, view);
+    default:
+      return Status::InvalidArgument(
+          StrCat("metric '", MetricKindToString(metric),
+                 "' not supported in fairness analysis"));
+  }
+}
+
+}  // namespace
+
+Result<FairnessReport> AnalyzeUserGroupFairness(
+    const data::RecGraph& rec_graph, const std::vector<FairnessGroup>& groups,
+    const core::SummarizerOptions& method, int k,
+    const std::vector<MetricKind>& metrics_wanted) {
+  if (groups.size() < 2) {
+    return Status::InvalidArgument("fairness needs at least two groups");
+  }
+  FairnessReport report;
+  for (const FairnessGroup& group : groups) {
+    if (group.units.empty()) {
+      return Status::InvalidArgument("empty fairness group: " + group.label);
+    }
+    report.group_labels.push_back(group.label);
+  }
+
+  // Per (metric, group) accumulators over the groups' units.
+  std::vector<std::vector<StatAccumulator>> acc(
+      metrics_wanted.size(), std::vector<StatAccumulator>(groups.size()));
+
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    for (const core::UserRecs& unit : groups[gi].units) {
+      const auto task = core::MakeUserCentricTask(rec_graph, unit, k);
+      XSUM_ASSIGN_OR_RETURN(core::Summary summary,
+                            core::Summarize(rec_graph, task, method));
+      const auto view = metrics::MakeView(rec_graph.graph(), summary);
+      for (size_t mi = 0; mi < metrics_wanted.size(); ++mi) {
+        XSUM_ASSIGN_OR_RETURN(
+            const double value,
+            MetricValue(rec_graph, metrics_wanted[mi], view));
+        acc[mi][gi].Add(value);
+      }
+    }
+  }
+
+  for (size_t mi = 0; mi < metrics_wanted.size(); ++mi) {
+    FairnessRow row;
+    row.metric = metrics_wanted[mi];
+    double lo = 1e300;
+    double hi = -1e300;
+    double max_abs = 0.0;
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      const double mean = acc[mi][gi].Mean();
+      row.group_means.push_back(mean);
+      lo = std::min(lo, mean);
+      hi = std::max(hi, mean);
+      max_abs = std::max(max_abs, std::fabs(mean));
+    }
+    row.gap = hi - lo;
+    row.relative_gap = max_abs > 0.0 ? row.gap / max_abs : 0.0;
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string FairnessReport::ToString(const std::string& title) const {
+  std::vector<std::string> headers = {"metric"};
+  for (const std::string& label : group_labels) headers.push_back(label);
+  headers.push_back("gap");
+  headers.push_back("relative gap");
+  TextTable table(std::move(headers));
+  for (const FairnessRow& row : rows) {
+    std::vector<std::string> cells = {MetricKindToString(row.metric)};
+    for (double mean : row.group_means) {
+      cells.push_back(FormatDouble(mean, 4));
+    }
+    cells.push_back(FormatDouble(row.gap, 4));
+    cells.push_back(FormatDouble(row.relative_gap, 4));
+    table.AddRow(std::move(cells));
+  }
+  return title + "\n" + table.ToString();
+}
+
+}  // namespace xsum::eval

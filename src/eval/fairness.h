@@ -1,0 +1,68 @@
+/// \file fairness.h
+/// \brief Explanation-fairness analysis across groups (paper §VII:
+/// "explore explanation summaries to assess explanation fairness across
+/// user demographic and item category groups"; §V's popularity-bias
+/// probe, Fig. 17).
+///
+/// Given a partition of evaluation units into named groups (male/female
+/// users, popular/unpopular items, ...), computes each group's mean
+/// explanation quality under a summarization method and reports the
+/// between-group gaps. A method is explanation-fair for a metric when its
+/// gap is small relative to the metric's scale — the paper's finding is
+/// that the ST/PCST summaries are far more even across item-popularity
+/// groups than the raw baseline paths.
+
+#ifndef XSUM_EVAL_FAIRNESS_H_
+#define XSUM_EVAL_FAIRNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "core/summarizer.h"
+#include "data/kg_builder.h"
+#include "eval/runner.h"
+#include "util/status.h"
+
+namespace xsum::eval {
+
+/// \brief One named group of user-centric evaluation units.
+struct FairnessGroup {
+  std::string label;
+  std::vector<core::UserRecs> units;
+};
+
+/// \brief Per-group mean and the resulting gap for one metric.
+struct FairnessRow {
+  MetricKind metric = MetricKind::kComprehensibility;
+  /// Mean metric value per group, parallel to the input groups.
+  std::vector<double> group_means;
+  /// max − min over groups.
+  double gap = 0.0;
+  /// gap / max(|mean|): scale-free disparity in [0, ...]; 0 = perfectly
+  /// even.
+  double relative_gap = 0.0;
+};
+
+/// \brief A full fairness report: one row per requested metric.
+struct FairnessReport {
+  std::vector<std::string> group_labels;
+  std::vector<FairnessRow> rows;
+
+  /// Renders as an aligned table (groups as columns, metrics as rows).
+  std::string ToString(const std::string& title) const;
+};
+
+/// \brief Evaluates \p method on every group at the given \p k and
+/// reports per-group means and gaps for \p metrics.
+///
+/// Only subgraph-quality metrics are supported (time/memory and
+/// consistency are not meaningful per-unit here).
+Result<FairnessReport> AnalyzeUserGroupFairness(
+    const data::RecGraph& rec_graph, const std::vector<FairnessGroup>& groups,
+    const core::SummarizerOptions& method, int k,
+    const std::vector<MetricKind>& metrics);
+
+}  // namespace xsum::eval
+
+#endif  // XSUM_EVAL_FAIRNESS_H_

@@ -1,0 +1,53 @@
+#include "eval/figure.h"
+
+#include "eval/csv_export.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace xsum::eval {
+
+void PrintPanel(std::ostream& os, const std::string& title,
+                const std::vector<int>& ks,
+                const std::vector<SeriesResult>& series, int precision) {
+  std::vector<std::string> headers = {"method"};
+  for (int k : ks) headers.push_back(StrCat("k=", k));
+  TextTable table(std::move(headers));
+  for (const SeriesResult& row : series) {
+    table.AddDoubleRow(row.label, row.values, precision);
+  }
+  os << title << "\n" << table.ToString() << "\n";
+}
+
+Status RunQualityFigure(const ExperimentRunner& runner,
+                        const std::vector<rec::RecommenderKind>& baselines,
+                        const std::vector<core::Scenario>& scenarios,
+                        MetricKind metric, const std::string& figure_title,
+                        std::ostream& os) {
+  os << figure_title << "\n";
+  os << "config: " << runner.config().Describe() << "\n\n";
+
+  char panel_letter = 'a';
+  for (rec::RecommenderKind kind : baselines) {
+    XSUM_ASSIGN_OR_RETURN(BaselineData data, runner.ComputeBaseline(kind));
+    for (core::Scenario scenario : scenarios) {
+      PanelSpec spec;
+      spec.scenario = scenario;
+      spec.metric = metric;
+      spec.ks = runner.config().ks;
+      spec.methods =
+          StandardMethods(data.label, runner.config().steiner_variant);
+      XSUM_ASSIGN_OR_RETURN(std::vector<SeriesResult> series,
+                            runner.RunPanel(data, spec));
+      const std::string title =
+          StrCat("(", panel_letter, ") ", core::ScenarioToString(scenario),
+                 " ", data.label, " - ", MetricKindToString(metric));
+      PrintPanel(os, title, spec.ks, series);
+      // Optional machine-readable export (XSUM_CSV_DIR).
+      MaybeExportPanelCsv(StrCat(figure_title, "_", title), spec.ks, series);
+      ++panel_letter;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xsum::eval

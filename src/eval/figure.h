@@ -1,0 +1,33 @@
+/// \file figure.h
+/// \brief Printing helpers that render panels the way the paper's figures
+/// report them (methods as rows, k = 1..10 as columns), plus the shared
+/// driver for the eight-panel quality figures (Figs. 2-9).
+
+#ifndef XSUM_EVAL_FIGURE_H_
+#define XSUM_EVAL_FIGURE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+
+namespace xsum::eval {
+
+/// Prints one panel as an aligned table: header "method | k=1 ... k=10".
+void PrintPanel(std::ostream& os, const std::string& title,
+                const std::vector<int>& ks,
+                const std::vector<SeriesResult>& series, int precision = 4);
+
+/// \brief Drives one full quality figure: for every baseline × scenario
+/// panel, runs the standard method lineup and prints the series.
+/// Mirrors the paper's panel naming ("(a) User-centric PGPR", ...).
+Status RunQualityFigure(const ExperimentRunner& runner,
+                        const std::vector<rec::RecommenderKind>& baselines,
+                        const std::vector<core::Scenario>& scenarios,
+                        MetricKind metric, const std::string& figure_title,
+                        std::ostream& os);
+
+}  // namespace xsum::eval
+
+#endif  // XSUM_EVAL_FIGURE_H_

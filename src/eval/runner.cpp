@@ -1,0 +1,291 @@
+#include "eval/runner.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "metrics/metrics.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+
+namespace xsum::eval {
+
+namespace {
+
+constexpr int kMaxK = 10;
+
+}  // namespace
+
+const char* MetricKindToString(MetricKind metric) {
+  switch (metric) {
+    case MetricKind::kComprehensibility:
+      return "comprehensibility";
+    case MetricKind::kActionability:
+      return "actionability";
+    case MetricKind::kDiversity:
+      return "diversity";
+    case MetricKind::kRedundancy:
+      return "redundancy";
+    case MetricKind::kConsistency:
+      return "consistency";
+    case MetricKind::kRelevance:
+      return "relevance";
+    case MetricKind::kPrivacy:
+      return "privacy";
+    case MetricKind::kTimeMs:
+      return "time (ms)";
+    case MetricKind::kMemoryMb:
+      return "memory (MiB)";
+  }
+  return "?";
+}
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(std::move(config)) {}
+
+Status ExperimentRunner::Init() {
+  data::SyntheticConfig synth =
+      config_.dataset == DatasetKind::kMl1m
+          ? data::Ml1mConfig(config_.scale, config_.seed)
+          : data::Lfm1mConfig(config_.scale, config_.seed);
+  dataset_ = data::MakeSyntheticDataset(synth);
+
+  data::WeightParams params = config_.weight_params;
+  if (params.t0 == 0) params.t0 = dataset_.t0;
+  XSUM_ASSIGN_OR_RETURN(rec_graph_, data::BuildRecGraph(dataset_, params));
+
+  sampled_users_ = rec::SampleUsersByGender(dataset_, config_.users_per_gender,
+                                            config_.seed + 1);
+  if (sampled_users_.empty()) {
+    return Status::FailedPrecondition("no users sampled");
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<BaselineData> ExperimentRunner::ComputeBaseline(
+    rec::RecommenderKind kind) const {
+  if (!initialized_) {
+    return Status::FailedPrecondition("runner not initialized");
+  }
+  BaselineData data;
+  data.kind = kind;
+  data.label = rec::RecommenderKindToString(kind);
+
+  const auto recommender =
+      rec::MakeRecommender(kind, rec_graph_, config_.seed + 17,
+                           config_.rec_options);
+  if (recommender == nullptr) {
+    return Status::Internal("failed to construct recommender");
+  }
+
+  // --- user-centric units ------------------------------------------------
+  for (uint32_t user : sampled_users_) {
+    core::UserRecs ur;
+    ur.user = user;
+    ur.recs = recommender->Recommend(user, kMaxK);
+    if (ur.recs.empty()) continue;  // isolated user: nothing to explain
+    data.users.push_back(std::move(ur));
+  }
+  if (data.users.empty()) {
+    return Status::FailedPrecondition(
+        StrCat(data.label, " produced no recommendations at this scale"));
+  }
+
+  // --- item-centric units: invert recommendations into audiences ----------
+  // audience[i] = ranked list of (score, user, path) who received item i.
+  std::map<uint32_t, std::vector<std::pair<double, core::AudienceEntry>>>
+      audience;
+  for (const core::UserRecs& ur : data.users) {
+    for (const rec::Recommendation& rec : ur.recs) {
+      core::AudienceEntry entry;
+      entry.user = ur.user;
+      entry.path = rec.path;
+      audience[rec.item].push_back({rec.score, std::move(entry)});
+    }
+  }
+  // §V-A split: among recommended items, the most vs least
+  // catalogue-popular halves.
+  const std::vector<uint32_t> popularity = dataset_.ItemPopularity();
+  std::vector<uint32_t> recommended_items;
+  recommended_items.reserve(audience.size());
+  for (const auto& [item, entries] : audience) {
+    recommended_items.push_back(item);
+  }
+  std::stable_sort(recommended_items.begin(), recommended_items.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     if (popularity[a] != popularity[b]) {
+                       return popularity[a] > popularity[b];
+                     }
+                     return a < b;
+                   });
+  const size_t take_pop =
+      std::min(config_.items_popular, recommended_items.size());
+  const size_t take_unpop = std::min(
+      config_.items_unpopular, recommended_items.size() - take_pop);
+  std::vector<std::pair<uint32_t, bool>> chosen;  // (item, is_popular)
+  for (size_t i = 0; i < take_pop; ++i) {
+    chosen.push_back({recommended_items[i], true});
+  }
+  for (size_t i = 0; i < take_unpop; ++i) {
+    chosen.push_back(
+        {recommended_items[recommended_items.size() - 1 - i], false});
+  }
+  for (const auto& [item, is_popular] : chosen) {
+    auto& entries = audience[item];
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const auto& a, const auto& b) {
+                       if (a.first != b.first) return a.first > b.first;
+                       return a.second.user < b.second.user;
+                     });
+    core::ItemAudience ia;
+    ia.item = item;
+    ia.audience.reserve(entries.size());
+    for (auto& [score, entry] : entries) {
+      ia.audience.push_back(std::move(entry));
+    }
+    data.items.push_back(std::move(ia));
+    data.item_is_popular.push_back(is_popular ? 1 : 0);
+  }
+
+  // --- groups -------------------------------------------------------------
+  {
+    std::vector<uint32_t> users_with_recs;
+    users_with_recs.reserve(data.users.size());
+    std::map<uint32_t, const core::UserRecs*> by_user;
+    for (const core::UserRecs& ur : data.users) {
+      users_with_recs.push_back(ur.user);
+      by_user[ur.user] = &ur;
+    }
+    for (const auto& group :
+         rec::MakeGroups(users_with_recs, config_.user_group_size)) {
+      std::vector<core::UserRecs> members;
+      members.reserve(group.size());
+      for (uint32_t user : group) members.push_back(*by_user.at(user));
+      data.user_groups.push_back(std::move(members));
+    }
+  }
+  for (size_t begin = 0; begin < data.items.size();
+       begin += config_.item_group_size) {
+    const size_t end =
+        std::min(data.items.size(), begin + config_.item_group_size);
+    data.item_groups.emplace_back(data.items.begin() + begin,
+                                  data.items.begin() + end);
+  }
+  return data;
+}
+
+Result<std::vector<SeriesResult>> ExperimentRunner::RunPanel(
+    const BaselineData& data, const PanelSpec& spec) const {
+  if (!initialized_) {
+    return Status::FailedPrecondition("runner not initialized");
+  }
+  const graph::KnowledgeGraph& g = rec_graph_.graph();
+
+  // Enumerate units and their task builders.
+  std::vector<std::function<core::SummaryTask(int)>> units;
+  switch (spec.scenario) {
+    case core::Scenario::kUserCentric:
+      for (const core::UserRecs& ur : data.users) {
+        units.push_back([this, &ur](int k) {
+          return core::MakeUserCentricTask(rec_graph_, ur, k);
+        });
+      }
+      break;
+    case core::Scenario::kItemCentric:
+      for (size_t i = 0; i < data.items.size(); ++i) {
+        if (spec.item_popularity_filter >= 0 &&
+            data.item_is_popular[i] !=
+                static_cast<char>(spec.item_popularity_filter)) {
+          continue;
+        }
+        const core::ItemAudience& ia = data.items[i];
+        units.push_back([this, &ia](int k) {
+          return core::MakeItemCentricTask(rec_graph_, ia.item, ia.audience,
+                                           k);
+        });
+      }
+      break;
+    case core::Scenario::kUserGroup:
+      for (const auto& group : data.user_groups) {
+        units.push_back([this, &group](int k) {
+          return core::MakeUserGroupTask(rec_graph_, group, k);
+        });
+      }
+      break;
+    case core::Scenario::kItemGroup:
+      for (const auto& group : data.item_groups) {
+        units.push_back([this, &group](int k) {
+          return core::MakeItemGroupTask(rec_graph_, group, k);
+        });
+      }
+      break;
+  }
+  if (units.empty()) {
+    return Status::FailedPrecondition("panel has no evaluation units");
+  }
+
+  std::vector<SeriesResult> series;
+  for (const MethodSpec& method : spec.methods) {
+    std::vector<StatAccumulator> acc(spec.ks.size());
+    for (const auto& make_task : units) {
+      std::vector<metrics::ExplanationView> views;  // for consistency
+      for (size_t ki = 0; ki < spec.ks.size(); ++ki) {
+        const core::SummaryTask task = make_task(spec.ks[ki]);
+        XSUM_ASSIGN_OR_RETURN(core::Summary summary,
+                              core::Summarize(rec_graph_, task,
+                                              method.options));
+        double value = 0.0;
+        switch (spec.metric) {
+          case MetricKind::kTimeMs:
+            value = summary.elapsed_ms;
+            break;
+          case MetricKind::kMemoryMb:
+            value = static_cast<double>(summary.memory_bytes) /
+                    (1024.0 * 1024.0);
+            break;
+          case MetricKind::kConsistency: {
+            views.push_back(metrics::MakeView(g, summary));
+            value = metrics::Consistency(views);
+            break;
+          }
+          default: {
+            const metrics::ExplanationView view = metrics::MakeView(g, summary);
+            switch (spec.metric) {
+              case MetricKind::kComprehensibility:
+                value = metrics::Comprehensibility(view);
+                break;
+              case MetricKind::kActionability:
+                value = metrics::Actionability(g, view);
+                break;
+              case MetricKind::kDiversity:
+                value = metrics::Diversity(view);
+                break;
+              case MetricKind::kRedundancy:
+                value = metrics::Redundancy(view);
+                break;
+              case MetricKind::kRelevance:
+                value = metrics::Relevance(view, rec_graph_.base_weights());
+                break;
+              case MetricKind::kPrivacy:
+                value = metrics::Privacy(g, view);
+                break;
+              default:
+                break;
+            }
+            break;
+          }
+        }
+        acc[ki].Add(value);
+      }
+    }
+    SeriesResult row;
+    row.label = method.label;
+    row.values.reserve(spec.ks.size());
+    for (const StatAccumulator& a : acc) row.values.push_back(a.Mean());
+    series.push_back(std::move(row));
+  }
+  return series;
+}
+
+}  // namespace xsum::eval

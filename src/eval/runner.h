@@ -1,0 +1,106 @@
+/// \file runner.h
+/// \brief The experiment runner: builds the dataset and graph, computes the
+/// baseline recommendations once per recommender, and evaluates metric
+/// panels (one panel = one sub-figure of the paper: a scenario × baseline
+/// pair, methods as rows, k on the x-axis).
+
+#ifndef XSUM_EVAL_RUNNER_H_
+#define XSUM_EVAL_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "core/summarizer.h"
+#include "data/graph_stats.h"
+#include "data/kg_builder.h"
+#include "eval/experiment.h"
+#include "rec/recommender.h"
+#include "rec/sampler.h"
+#include "util/status.h"
+
+namespace xsum::eval {
+
+/// \brief Which quantity a panel reports.
+enum class MetricKind : uint8_t {
+  kComprehensibility = 0,
+  kActionability = 1,
+  kDiversity = 2,
+  kRedundancy = 3,
+  kConsistency = 4,
+  kRelevance = 5,
+  kPrivacy = 6,
+  kTimeMs = 7,
+  kMemoryMb = 8,
+};
+
+const char* MetricKindToString(MetricKind metric);
+
+/// \brief Cached recommendations of one baseline recommender over the
+/// sampled users, in all four scenario shapes.
+struct BaselineData {
+  rec::RecommenderKind kind = rec::RecommenderKind::kPgpr;
+  std::string label;
+  /// Per sampled user: ranked top-10 recommendations (k-prefix property).
+  std::vector<core::UserRecs> users;
+  /// Per sampled item: ranked audience (users who received it).
+  std::vector<core::ItemAudience> items;
+  /// Item indices of `items` that are catalogue-popular (for Fig. 17).
+  std::vector<char> item_is_popular;
+  /// Group partitions.
+  std::vector<std::vector<core::UserRecs>> user_groups;
+  std::vector<std::vector<core::ItemAudience>> item_groups;
+};
+
+/// \brief One figure row: method label + mean metric value per k.
+struct SeriesResult {
+  std::string label;
+  std::vector<double> values;  ///< parallel to the panel's ks
+};
+
+/// \brief A sub-figure specification.
+struct PanelSpec {
+  core::Scenario scenario = core::Scenario::kUserCentric;
+  MetricKind metric = MetricKind::kComprehensibility;
+  std::vector<int> ks;
+  std::vector<MethodSpec> methods;
+  /// Restrict item-centric panels to popular (1) / unpopular (0) items;
+  /// -1 = no filter. Used by the Fig. 17 popularity-bias experiment.
+  int item_popularity_filter = -1;
+};
+
+/// \brief Builds graph + baselines and evaluates panels.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentConfig config);
+
+  /// Generates the dataset and knowledge graph. Must be called first.
+  Status Init();
+
+  const ExperimentConfig& config() const { return config_; }
+  const data::Dataset& dataset() const { return dataset_; }
+  const data::RecGraph& rec_graph() const { return rec_graph_; }
+  const std::vector<uint32_t>& sampled_users() const { return sampled_users_; }
+
+  /// Runs the recommender over the sampled users and assembles all four
+  /// scenario unit sets.
+  Result<BaselineData> ComputeBaseline(rec::RecommenderKind kind) const;
+
+  /// Evaluates one panel: mean metric value per (method, k) over the
+  /// scenario's units.
+  Result<std::vector<SeriesResult>> RunPanel(const BaselineData& data,
+                                             const PanelSpec& spec) const;
+
+ private:
+  ExperimentConfig config_;
+  data::Dataset dataset_;
+  data::RecGraph rec_graph_;
+  std::vector<uint32_t> sampled_users_;
+  bool initialized_ = false;
+};
+
+}  // namespace xsum::eval
+
+#endif  // XSUM_EVAL_RUNNER_H_

@@ -1,0 +1,48 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace xsum::graph {
+
+std::vector<int32_t> BfsHops(const KnowledgeGraph& graph, NodeId source,
+                             int32_t max_hops) {
+  return Bfs(graph, source, max_hops).hops;
+}
+
+BfsTree Bfs(const KnowledgeGraph& graph, NodeId source, int32_t max_hops) {
+  const size_t n = graph.num_nodes();
+  BfsTree tree;
+  tree.source = source;
+  tree.hops.assign(n, kUnreachedHops);
+  tree.parent_node.assign(n, kInvalidNode);
+  tree.parent_edge.assign(n, kInvalidEdge);
+
+  std::queue<NodeId> queue;
+  tree.hops[source] = 0;
+  queue.push(source);
+
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    const int32_t h = tree.hops[u];
+    if (max_hops >= 0 && h >= max_hops) continue;
+    for (const AdjEntry& a : graph.Neighbors(u)) {
+      if (tree.hops[a.neighbor] != kUnreachedHops) continue;
+      tree.hops[a.neighbor] = h + 1;
+      tree.parent_node[a.neighbor] = u;
+      tree.parent_edge[a.neighbor] = a.edge;
+      queue.push(a.neighbor);
+    }
+  }
+  return tree;
+}
+
+int32_t Eccentricity(const KnowledgeGraph& graph, NodeId source) {
+  const std::vector<int32_t> hops = BfsHops(graph, source);
+  int32_t ecc = 0;
+  for (int32_t h : hops) ecc = std::max(ecc, h);
+  return ecc;
+}
+
+}  // namespace xsum::graph

@@ -1,0 +1,41 @@
+/// \file bfs.h
+/// \brief Hop-based traversal: hop-limited BFS (path generation, average
+/// path length and diameter estimation for the Table II statistics).
+
+#ifndef XSUM_GRAPH_BFS_H_
+#define XSUM_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+#include "graph/types.h"
+
+namespace xsum::graph {
+
+/// Hop distance meaning "unreached".
+inline constexpr int32_t kUnreachedHops = -1;
+
+/// \brief BFS hop distances from \p source, optionally capped at
+/// \p max_hops (negative = unlimited). Unreached nodes get kUnreachedHops.
+std::vector<int32_t> BfsHops(const KnowledgeGraph& graph, NodeId source,
+                             int32_t max_hops = -1);
+
+/// \brief BFS from \p source recording one predecessor per node, for
+/// hop-shortest path extraction.
+struct BfsTree {
+  NodeId source = kInvalidNode;
+  std::vector<int32_t> hops;
+  std::vector<NodeId> parent_node;
+  std::vector<EdgeId> parent_edge;
+};
+
+/// Runs BFS from \p source up to \p max_hops (negative = unlimited).
+BfsTree Bfs(const KnowledgeGraph& graph, NodeId source, int32_t max_hops = -1);
+
+/// \brief Eccentricity of \p source: max finite hop distance.
+int32_t Eccentricity(const KnowledgeGraph& graph, NodeId source);
+
+}  // namespace xsum::graph
+
+#endif  // XSUM_GRAPH_BFS_H_

@@ -1,0 +1,44 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "util/rng.h"
+
+namespace xsum::graph {
+
+std::vector<double> DegreeCentrality(const KnowledgeGraph& graph) {
+  const size_t n = graph.num_nodes();
+  std::vector<double> centrality(n, 0.0);
+  if (n <= 1) return centrality;
+  const double denom = static_cast<double>(n - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    centrality[v] = static_cast<double>(graph.Degree(v)) / denom;
+  }
+  return centrality;
+}
+
+std::vector<double> HarmonicCentrality(const KnowledgeGraph& graph,
+                                       size_t samples, uint64_t seed) {
+  const size_t n = graph.num_nodes();
+  std::vector<double> centrality(n, 0.0);
+  if (n <= 1 || samples == 0) return centrality;
+
+  Rng rng(seed);
+  const size_t draws = std::min(samples, n);
+  for (uint64_t s : rng.SampleWithoutReplacement(n, draws)) {
+    const auto hops = BfsHops(graph, static_cast<NodeId>(s));
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == s || hops[v] == kUnreachedHops) continue;
+      centrality[v] += 1.0 / static_cast<double>(hops[v]);
+    }
+  }
+  const double max_value =
+      *std::max_element(centrality.begin(), centrality.end());
+  if (max_value > 0.0) {
+    for (double& c : centrality) c /= max_value;
+  }
+  return centrality;
+}
+
+}  // namespace xsum::graph

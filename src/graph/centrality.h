@@ -1,0 +1,29 @@
+/// \file centrality.h
+/// \brief Node centrality measures. The paper's §VII names "incorporating
+/// node centrality measures" into the PCST prize assignment as future
+/// work; this module provides the measures and `core::PcstOptions`
+/// exposes the corresponding prize policy.
+
+#ifndef XSUM_GRAPH_CENTRALITY_H_
+#define XSUM_GRAPH_CENTRALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+
+namespace xsum::graph {
+
+/// \brief Degree centrality: deg(v) / (|V| − 1), in [0, 1].
+std::vector<double> DegreeCentrality(const KnowledgeGraph& graph);
+
+/// \brief Approximate harmonic centrality via sampled BFS:
+/// H(v) ≈ (|V|/samples) · Σ_{s ∈ sample} 1/d(s, v), normalized to [0, 1]
+/// by the maximum observed value. Deterministic in \p seed.
+std::vector<double> HarmonicCentrality(const KnowledgeGraph& graph,
+                                       size_t samples = 32,
+                                       uint64_t seed = 19);
+
+}  // namespace xsum::graph
+
+#endif  // XSUM_GRAPH_CENTRALITY_H_

@@ -1,0 +1,40 @@
+#include "graph/connectivity.h"
+
+#include <queue>
+
+namespace xsum::graph {
+
+ComponentResult WeaklyConnectedComponents(const KnowledgeGraph& graph) {
+  const size_t n = graph.num_nodes();
+  ComponentResult out;
+  out.component.assign(n, UINT32_MAX);
+
+  for (NodeId start = 0; start < n; ++start) {
+    if (out.component[start] != UINT32_MAX) continue;
+    const uint32_t comp = out.num_components++;
+    size_t size = 0;
+    std::queue<NodeId> queue;
+    out.component[start] = comp;
+    queue.push(start);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      ++size;
+      for (const AdjEntry& a : graph.Neighbors(u)) {
+        if (out.component[a.neighbor] == UINT32_MAX) {
+          out.component[a.neighbor] = comp;
+          queue.push(a.neighbor);
+        }
+      }
+    }
+    out.sizes.push_back(size);
+  }
+  return out;
+}
+
+bool IsWeaklyConnected(const KnowledgeGraph& graph) {
+  if (graph.num_nodes() == 0) return true;
+  return WeaklyConnectedComponents(graph).num_components == 1;
+}
+
+}  // namespace xsum::graph

@@ -1,0 +1,31 @@
+/// \file connectivity.h
+/// \brief Weakly connected components of the knowledge graph.
+
+#ifndef XSUM_GRAPH_CONNECTIVITY_H_
+#define XSUM_GRAPH_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+
+namespace xsum::graph {
+
+/// \brief Component labelling of all nodes.
+struct ComponentResult {
+  /// component[v] in [0, num_components).
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+  /// Size of each component.
+  std::vector<size_t> sizes;
+};
+
+/// Computes weakly connected components over the undirected view.
+ComponentResult WeaklyConnectedComponents(const KnowledgeGraph& graph);
+
+/// True iff the whole graph is one weak component (empty graph: true).
+bool IsWeaklyConnected(const KnowledgeGraph& graph);
+
+}  // namespace xsum::graph
+
+#endif  // XSUM_GRAPH_CONNECTIVITY_H_

@@ -1,0 +1,128 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace xsum::graph {
+
+namespace {
+
+struct HeapEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+Path ShortestPathTree::ExtractPath(NodeId target) const {
+  Path path;
+  if (target >= dist.size() || dist[target] == kInfDistance) return path;
+  NodeId v = target;
+  while (v != kInvalidNode) {
+    path.nodes.push_back(v);
+    if (parent_edge[v] != kInvalidEdge) path.edges.push_back(parent_edge[v]);
+    v = parent_node[v];
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+ShortestPathTree Dijkstra(const KnowledgeGraph& graph,
+                          const std::vector<double>& costs, NodeId source,
+                          const std::vector<NodeId>& targets) {
+  assert(costs.size() >= graph.num_edges());
+  const size_t n = graph.num_nodes();
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.dist.assign(n, kInfDistance);
+  tree.parent_node.assign(n, kInvalidNode);
+  tree.parent_edge.assign(n, kInvalidEdge);
+
+  std::vector<char> settled(n, 0);
+  std::vector<char> is_target(targets.empty() ? 0 : n, 0);
+  for (NodeId t : targets) is_target[t] = 1;
+  size_t targets_remaining = targets.size();
+
+  MinHeap heap;
+  tree.dist[source] = 0.0;
+  heap.push(HeapEntry{0.0, source});
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const NodeId u = top.node;
+    if (settled[u]) continue;
+    settled[u] = 1;
+
+    if (targets_remaining > 0 && is_target[u]) {
+      if (--targets_remaining == 0) break;
+    }
+
+    const double du = tree.dist[u];
+    for (const AdjEntry& a : graph.Neighbors(u)) {
+      if (settled[a.neighbor]) continue;
+      const double c = costs[a.edge];
+      assert(c >= 0.0 && "Dijkstra requires non-negative costs");
+      const double nd = du + c;
+      if (nd < tree.dist[a.neighbor]) {
+        tree.dist[a.neighbor] = nd;
+        tree.parent_node[a.neighbor] = u;
+        tree.parent_edge[a.neighbor] = a.edge;
+        heap.push(HeapEntry{nd, a.neighbor});
+      }
+    }
+  }
+  return tree;
+}
+
+VoronoiResult MultiSourceDijkstra(const KnowledgeGraph& graph,
+                                  const std::vector<double>& costs,
+                                  const std::vector<NodeId>& sources) {
+  assert(costs.size() >= graph.num_edges());
+  const size_t n = graph.num_nodes();
+  VoronoiResult out;
+  out.dist.assign(n, kInfDistance);
+  out.nearest_source.assign(n, kInvalidNode);
+  out.parent_node.assign(n, kInvalidNode);
+  out.parent_edge.assign(n, kInvalidEdge);
+
+  std::vector<char> settled(n, 0);
+  MinHeap heap;
+  for (NodeId s : sources) {
+    out.dist[s] = 0.0;
+    out.nearest_source[s] = s;
+    heap.push(HeapEntry{0.0, s});
+  }
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const NodeId u = top.node;
+    if (settled[u]) continue;
+    settled[u] = 1;
+
+    const double du = out.dist[u];
+    for (const AdjEntry& a : graph.Neighbors(u)) {
+      if (settled[a.neighbor]) continue;
+      const double c = costs[a.edge];
+      assert(c >= 0.0 && "Dijkstra requires non-negative costs");
+      const double nd = du + c;
+      if (nd < out.dist[a.neighbor]) {
+        out.dist[a.neighbor] = nd;
+        out.nearest_source[a.neighbor] = out.nearest_source[u];
+        out.parent_node[a.neighbor] = u;
+        out.parent_edge[a.neighbor] = a.edge;
+        heap.push(HeapEntry{nd, a.neighbor});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xsum::graph

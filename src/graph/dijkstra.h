@@ -1,0 +1,72 @@
+/// \file dijkstra.h
+/// \brief Shortest-path machinery over the undirected view of the knowledge
+/// graph. This is the inner loop of the ST summarizer (Algorithm 1 computes
+/// the metric closure over terminals with repeated Dijkstra runs).
+///
+/// Costs must be non-negative. The ST summarizer guarantees this by mapping
+/// the paper's maximize-weight objective through the order-preserving
+/// transform in `core/cost_transform.h` instead of the paper's literal
+/// "multiply weights by −1" (which would produce negative costs Dijkstra
+/// cannot handle); see DESIGN.md §1.4(3).
+
+#ifndef XSUM_GRAPH_DIJKSTRA_H_
+#define XSUM_GRAPH_DIJKSTRA_H_
+
+#include <limits>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+#include "graph/path.h"
+#include "graph/types.h"
+
+namespace xsum::graph {
+
+/// Distance value meaning "unreached".
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// \brief Result of a single-source Dijkstra run.
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  /// dist[v] = cost of the cheapest path source→v, or kInfDistance.
+  std::vector<double> dist;
+  /// parent_node[v] = predecessor of v on that path (kInvalidNode at source
+  /// and unreached nodes).
+  std::vector<NodeId> parent_node;
+  /// parent_edge[v] = edge used to reach v (kInvalidEdge at source and
+  /// unreached nodes).
+  std::vector<EdgeId> parent_edge;
+
+  /// Reconstructs the source→target path; empty path (no nodes) if
+  /// target is unreached.
+  Path ExtractPath(NodeId target) const;
+};
+
+/// \brief Runs Dijkstra from \p source using per-edge \p costs
+/// (indexed by EdgeId; all entries must be >= 0).
+///
+/// If \p targets is non-empty, the search stops once all targets are
+/// settled (early exit). Costs vector must cover every edge id.
+ShortestPathTree Dijkstra(const KnowledgeGraph& graph,
+                          const std::vector<double>& costs, NodeId source,
+                          const std::vector<NodeId>& targets = {});
+
+/// \brief Voronoi-style multi-source Dijkstra (Mehlhorn's construction).
+struct VoronoiResult {
+  /// dist[v] = cost from the nearest source.
+  std::vector<double> dist;
+  /// nearest_source[v] = the source v is assigned to.
+  std::vector<NodeId> nearest_source;
+  /// parent_node/parent_edge trace back toward the assigned source.
+  std::vector<NodeId> parent_node;
+  std::vector<EdgeId> parent_edge;
+};
+
+/// \brief Runs Dijkstra simultaneously from all \p sources, partitioning the
+/// graph into shortest-path Voronoi cells. Used by the Mehlhorn ST variant.
+VoronoiResult MultiSourceDijkstra(const KnowledgeGraph& graph,
+                                  const std::vector<double>& costs,
+                                  const std::vector<NodeId>& sources);
+
+}  // namespace xsum::graph
+
+#endif  // XSUM_GRAPH_DIJKSTRA_H_

@@ -1,0 +1,106 @@
+#include "graph/knowledge_graph.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace xsum::graph {
+
+NodeId GraphBuilder::AddNode(NodeType type) {
+  node_types_.push_back(type);
+  return static_cast<NodeId>(node_types_.size() - 1);
+}
+
+NodeId GraphBuilder::AddNodes(NodeType type, size_t count) {
+  const NodeId first = static_cast<NodeId>(node_types_.size());
+  node_types_.insert(node_types_.end(), count, type);
+  return first;
+}
+
+Result<EdgeId> GraphBuilder::AddEdge(NodeId src, NodeId dst,
+                                     Relation relation, double weight) {
+  if (src >= node_types_.size() || dst >= node_types_.size()) {
+    return Status::InvalidArgument(
+        StrCat("edge endpoint out of range: ", src, " -> ", dst, " with ",
+               node_types_.size(), " nodes"));
+  }
+  if (src == dst) {
+    return Status::InvalidArgument(StrCat("self-loop rejected at node ", src));
+  }
+  edges_.push_back(EdgeRecord{src, dst, relation, weight});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+KnowledgeGraph GraphBuilder::Finalize() && {
+  KnowledgeGraph g;
+  g.node_types_ = std::move(node_types_);
+  g.edges_ = std::move(edges_);
+
+  for (NodeType t : g.node_types_) {
+    ++g.type_counts_[static_cast<int>(t)];
+  }
+
+  const size_t n = g.node_types_.size();
+  // Counting sort of undirected incidences into CSR.
+  std::vector<size_t> degree(n, 0);
+  for (const EdgeRecord& e : g.edges_) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  g.adj_.resize(g.offsets_[n]);
+
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
+    const EdgeRecord& r = g.edges_[e];
+    g.adj_[cursor[r.src]++] = AdjEntry{r.dst, e};
+    g.adj_[cursor[r.dst]++] = AdjEntry{r.src, e};
+  }
+
+  // Sort each node's incidence list by neighbor id for O(log d) lookup.
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),
+              g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]),
+              [](const AdjEntry& a, const AdjEntry& b) {
+                if (a.neighbor != b.neighbor) return a.neighbor < b.neighbor;
+                return a.edge < b.edge;
+              });
+  }
+  return g;
+}
+
+EdgeId KnowledgeGraph::FindEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) return kInvalidEdge;
+  // Search the smaller incidence list.
+  if (Degree(v) < Degree(u)) std::swap(u, v);
+  const auto nbrs = Neighbors(u);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const AdjEntry& a, NodeId target) { return a.neighbor < target; });
+  if (it != nbrs.end() && it->neighbor == v) return it->edge;
+  return kInvalidEdge;
+}
+
+std::vector<double> KnowledgeGraph::WeightVector() const {
+  std::vector<double> w(edges_.size());
+  for (size_t e = 0; e < edges_.size(); ++e) w[e] = edges_[e].weight;
+  return w;
+}
+
+std::vector<NodeId> KnowledgeGraph::NodesOfType(NodeType type) const {
+  std::vector<NodeId> out;
+  out.reserve(NumNodesOfType(type));
+  for (NodeId v = 0; v < node_types_.size(); ++v) {
+    if (node_types_[v] == type) out.push_back(v);
+  }
+  return out;
+}
+
+size_t KnowledgeGraph::MemoryFootprintBytes() const {
+  return node_types_.size() * sizeof(NodeType) +
+         edges_.size() * sizeof(EdgeRecord) +
+         offsets_.size() * sizeof(size_t) + adj_.size() * sizeof(AdjEntry);
+}
+
+}  // namespace xsum::graph

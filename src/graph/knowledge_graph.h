@@ -1,0 +1,143 @@
+/// \file knowledge_graph.h
+/// \brief The knowledge-based graph G = (V, E, w) of paper §III.
+///
+/// Edges are *stored* directed (source → target, as generated from the
+/// rating matrix and the KG triples), but the paper's summaries are weakly
+/// connected subgraphs, so all traversal algorithms run over the undirected
+/// view. `KnowledgeGraph` therefore finalizes into a CSR structure that
+/// indexes, for every node, all incident edges regardless of direction.
+///
+/// Construction is two-phase: populate a `GraphBuilder`, then `Finalize()`
+/// into an immutable `KnowledgeGraph`. Edge weights live in a plain
+/// `std::vector<double>` indexed by EdgeId so that algorithms can run with
+/// *overlay* weights (e.g. the Eq. (1) path-frequency adjustment) without
+/// copying the topology.
+
+#ifndef XSUM_GRAPH_KNOWLEDGE_GRAPH_H_
+#define XSUM_GRAPH_KNOWLEDGE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace xsum::graph {
+
+/// \brief One stored (directed) edge.
+struct EdgeRecord {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Relation relation = Relation::kRelatedTo;
+  double weight = 0.0;  ///< wM for rated edges, wA for knowledge edges
+};
+
+/// \brief (neighbor, incident edge) entry in the undirected adjacency.
+struct AdjEntry {
+  NodeId neighbor = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+};
+
+class KnowledgeGraph;
+
+/// \brief Mutable accumulator for nodes and edges; finalizes into a
+/// `KnowledgeGraph`.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Adds a node of the given type; returns its dense id.
+  NodeId AddNode(NodeType type);
+
+  /// Adds \p count nodes of the given type; returns the first id.
+  NodeId AddNodes(NodeType type, size_t count);
+
+  /// Adds a directed edge; endpoints must already exist.
+  /// Self-loops are rejected (the KG has none; they would corrupt the
+  /// undirected adjacency).
+  Result<EdgeId> AddEdge(NodeId src, NodeId dst, Relation relation,
+                         double weight);
+
+  /// Number of nodes added so far.
+  size_t num_nodes() const { return node_types_.size(); }
+  /// Number of edges added so far.
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Builds the immutable CSR graph. The builder is consumed.
+  KnowledgeGraph Finalize() &&;
+
+ private:
+  std::vector<NodeType> node_types_;
+  std::vector<EdgeRecord> edges_;
+};
+
+/// \brief Immutable CSR knowledge graph with an undirected adjacency view.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  /// Number of nodes |V|.
+  size_t num_nodes() const { return node_types_.size(); }
+  /// Number of stored edges |E| (each undirected incidence pair counts 1).
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Type of node \p v.
+  NodeType node_type(NodeId v) const { return node_types_[v]; }
+  bool IsUser(NodeId v) const { return node_type(v) == NodeType::kUser; }
+  bool IsItem(NodeId v) const { return node_type(v) == NodeType::kItem; }
+  bool IsEntity(NodeId v) const { return node_type(v) == NodeType::kEntity; }
+
+  /// Count of nodes with the given type.
+  size_t NumNodesOfType(NodeType type) const {
+    return type_counts_[static_cast<int>(type)];
+  }
+
+  /// Full record of edge \p e.
+  const EdgeRecord& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Stored (directed) weight of edge \p e.
+  double edge_weight(EdgeId e) const { return edges_[e].weight; }
+
+  /// All incident edges of \p v in the undirected view, sorted by neighbor.
+  std::span<const AdjEntry> Neighbors(NodeId v) const {
+    return {adj_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Undirected degree of \p v.
+  size_t Degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Finds an edge incident to both \p u and \p v (either direction);
+  /// returns kInvalidEdge if none. O(log deg(u)).
+  EdgeId FindEdge(NodeId u, NodeId v) const;
+
+  /// Given edge \p e and one endpoint \p v, returns the other endpoint.
+  NodeId OtherEndpoint(EdgeId e, NodeId v) const {
+    const EdgeRecord& r = edges_[e];
+    return r.src == v ? r.dst : r.src;
+  }
+
+  /// Copy of all stored edge weights, indexed by EdgeId. This is the
+  /// canonical "wM/wA" vector that weight overlays start from.
+  std::vector<double> WeightVector() const;
+
+  /// Ids of all nodes of the given type, ascending.
+  std::vector<NodeId> NodesOfType(NodeType type) const;
+
+  /// Estimated resident bytes of the CSR structure (for perf reporting).
+  size_t MemoryFootprintBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<NodeType> node_types_;
+  std::vector<EdgeRecord> edges_;
+  std::vector<size_t> offsets_;  // size num_nodes+1
+  std::vector<AdjEntry> adj_;    // size 2*num_edges, sorted per node
+  size_t type_counts_[3] = {0, 0, 0};
+};
+
+}  // namespace xsum::graph
+
+#endif  // XSUM_GRAPH_KNOWLEDGE_GRAPH_H_

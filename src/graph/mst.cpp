@@ -1,0 +1,31 @@
+#include "graph/mst.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/union_find.h"
+
+namespace xsum::graph {
+
+std::vector<size_t> KruskalMst(size_t num_vertices,
+                               const std::vector<MstEdge>& edges) {
+  std::vector<size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return edges[x].weight < edges[y].weight;
+  });
+
+  UnionFind uf(num_vertices);
+  std::vector<size_t> selected;
+  selected.reserve(num_vertices > 0 ? num_vertices - 1 : 0);
+  for (size_t idx : order) {
+    const MstEdge& e = edges[idx];
+    if (uf.Union(e.a, e.b)) {
+      selected.push_back(idx);
+      if (selected.size() + 1 == num_vertices) break;
+    }
+  }
+  return selected;
+}
+
+}  // namespace xsum::graph

@@ -1,0 +1,36 @@
+/// \file mst.h
+/// \brief Minimum spanning tree over explicit edge lists (Kruskal). Used by
+/// Algorithm 1 twice: on the terminal metric closure, and as the final
+/// cleanup MST over the expanded subgraph.
+
+#ifndef XSUM_GRAPH_MST_H_
+#define XSUM_GRAPH_MST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace xsum::graph {
+
+/// \brief An abstract weighted edge for MST computation; `a` and `b` are
+/// arbitrary dense ids (not necessarily KnowledgeGraph NodeIds).
+struct MstEdge {
+  size_t a = 0;
+  size_t b = 0;
+  double weight = 0.0;
+  /// Caller-provided payload (e.g. index into a path table).
+  size_t tag = 0;
+};
+
+/// \brief Kruskal MST over \p edges with \p num_vertices dense vertices.
+///
+/// Returns indices into \p edges of the selected edges. If the input is
+/// disconnected, returns a minimum spanning forest. Ties broken by input
+/// order (stable sort), keeping results deterministic.
+std::vector<size_t> KruskalMst(size_t num_vertices,
+                               const std::vector<MstEdge>& edges);
+
+}  // namespace xsum::graph
+
+#endif  // XSUM_GRAPH_MST_H_

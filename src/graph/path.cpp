@@ -1,0 +1,63 @@
+#include "graph/path.h"
+
+#include "graph/knowledge_graph.h"
+#include "util/string_util.h"
+
+namespace xsum::graph {
+
+bool Path::IsFaithful() const {
+  for (EdgeId e : edges) {
+    if (e == kInvalidEdge) return false;
+  }
+  return true;
+}
+
+bool Path::Validate(const KnowledgeGraph& graph,
+                    bool allow_hallucinated) const {
+  if (nodes.empty()) return edges.empty();
+  if (edges.size() + 1 != nodes.size()) return false;
+  for (NodeId v : nodes) {
+    if (v >= graph.num_nodes()) return false;
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const NodeId a = nodes[i];
+    const NodeId b = nodes[i + 1];
+    if (a == b) return false;
+    const EdgeId e = edges[i];
+    if (e == kInvalidEdge) {
+      if (!allow_hallucinated) return false;
+      continue;
+    }
+    if (e >= graph.num_edges()) return false;
+    const EdgeRecord& r = graph.edge(e);
+    const bool joins = (r.src == a && r.dst == b) || (r.src == b && r.dst == a);
+    if (!joins) return false;
+  }
+  return true;
+}
+
+std::string Path::ToString(const KnowledgeGraph& graph) const {
+  std::vector<std::string> parts;
+  parts.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId v = nodes[i];
+    const char* prefix = "?";
+    switch (graph.node_type(v)) {
+      case NodeType::kUser:
+        prefix = "u";
+        break;
+      case NodeType::kItem:
+        prefix = "i";
+        break;
+      case NodeType::kEntity:
+        prefix = "e";
+        break;
+    }
+    std::string token = StrCat(prefix, v);
+    if (i < edges.size() && edges[i] == kInvalidEdge) token += " ~>";
+    parts.push_back(std::move(token));
+  }
+  return Join(parts, " -> ");
+}
+
+}  // namespace xsum::graph

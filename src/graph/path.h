@@ -1,0 +1,56 @@
+/// \file path.h
+/// \brief Explanation path E(u,i) = (u, v1, ..., vk, i) from paper §III.
+///
+/// A `Path` holds the node sequence plus the edge id of every hop. A hop
+/// whose edge id is `kInvalidEdge` is a *hallucinated* hop: a transition the
+/// PLM-style recommender emitted even though no such edge exists in the KG
+/// (paper §II: "PLM-Rec generates novel paths beyond the static KG
+/// topology"). `IsFaithful()` distinguishes PEARLM-style faithful paths.
+
+#ifndef XSUM_GRAPH_PATH_H_
+#define XSUM_GRAPH_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace xsum::graph {
+
+class KnowledgeGraph;
+
+/// \brief A walk through the knowledge graph with per-hop edge ids.
+struct Path {
+  /// Visited nodes in order; size = Length() + 1 when non-empty.
+  std::vector<NodeId> nodes;
+  /// edges[i] connects nodes[i] and nodes[i+1]; kInvalidEdge marks a
+  /// hallucinated hop.
+  std::vector<EdgeId> edges;
+
+  /// Number of hops.
+  size_t Length() const { return edges.size(); }
+
+  /// True iff the path has no nodes.
+  bool Empty() const { return nodes.empty(); }
+
+  /// First node (user end); requires non-empty.
+  NodeId Source() const { return nodes.front(); }
+  /// Last node (item end); requires non-empty.
+  NodeId Target() const { return nodes.back(); }
+
+  /// True iff every hop uses a real KG edge.
+  bool IsFaithful() const;
+
+  /// Structural validation: node/edge counts consistent, every real edge
+  /// actually joins its adjacent node pair in \p graph, node ids in range.
+  /// Hallucinated hops are allowed iff \p allow_hallucinated.
+  bool Validate(const KnowledgeGraph& graph,
+                bool allow_hallucinated = true) const;
+
+  /// "u12 -> i7 -> e3 -> i9" style debug string.
+  std::string ToString(const KnowledgeGraph& graph) const;
+};
+
+}  // namespace xsum::graph
+
+#endif  // XSUM_GRAPH_PATH_H_

@@ -1,0 +1,49 @@
+#include "graph/types.h"
+
+namespace xsum::graph {
+
+const char* NodeTypeToString(NodeType type) {
+  switch (type) {
+    case NodeType::kUser:
+      return "user";
+    case NodeType::kItem:
+      return "item";
+    case NodeType::kEntity:
+      return "entity";
+  }
+  return "?";
+}
+
+const char* RelationToString(Relation relation) {
+  switch (relation) {
+    case Relation::kRated:
+      return "rated";
+    case Relation::kDirectedBy:
+      return "directed_by";
+    case Relation::kActedBy:
+      return "acted_by";
+    case Relation::kHasGenre:
+      return "has_genre";
+    case Relation::kComposedBy:
+      return "composed_by";
+    case Relation::kProducedBy:
+      return "produced_by";
+    case Relation::kWrittenBy:
+      return "written_by";
+    case Relation::kEditedBy:
+      return "edited_by";
+    case Relation::kCinematography:
+      return "cinematography";
+    case Relation::kSungBy:
+      return "sung_by";
+    case Relation::kInAlbum:
+      return "in_album";
+    case Relation::kRelatedTo:
+      return "related_to";
+    case Relation::kUserAttribute:
+      return "user_attribute";
+  }
+  return "?";
+}
+
+}  // namespace xsum::graph

@@ -1,0 +1,61 @@
+/// \file types.h
+/// \brief Fundamental identifiers and enums for the knowledge-based graph
+/// G = (V, E, w) of the paper's §III: users, items, and external
+/// (knowledge) entities connected by typed, weighted edges.
+
+#ifndef XSUM_GRAPH_TYPES_H_
+#define XSUM_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace xsum::graph {
+
+/// Dense node identifier.
+using NodeId = uint32_t;
+/// Dense edge identifier.
+using EdgeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+/// Sentinel for "no edge". Also used by PLM-style recommenders to mark a
+/// hallucinated hop that does not exist in the KG.
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// \brief Role of a node in the knowledge-based graph (paper §III).
+enum class NodeType : uint8_t {
+  kUser = 0,    ///< u ∈ U
+  kItem = 1,    ///< i ∈ I
+  kEntity = 2,  ///< external knowledge node a ∈ V_A (genre, director, ...)
+};
+
+/// Human-readable node-type name ("user"/"item"/"entity").
+const char* NodeTypeToString(NodeType type);
+
+/// \brief Relation labels on edges; covers the ML1M (movie) and LFM1M
+/// (music) flavours used in the paper's experiments.
+enum class Relation : uint8_t {
+  kRated = 0,          ///< user –(rated/watched/listened)– item; carries wM
+  kDirectedBy = 1,     ///< item – director entity
+  kActedBy = 2,        ///< item – actor entity
+  kHasGenre = 3,       ///< item – genre entity
+  kComposedBy = 4,     ///< item – composer entity
+  kProducedBy = 5,     ///< item – producer entity
+  kWrittenBy = 6,      ///< item – writer entity
+  kEditedBy = 7,       ///< item – editor entity
+  kCinematography = 8, ///< item – cinematographer entity
+  kSungBy = 9,         ///< track – artist entity (LFM1M)
+  kInAlbum = 10,       ///< track – album entity (LFM1M)
+  kRelatedTo = 11,     ///< generic DBpedia relatedness
+  kUserAttribute = 12, ///< user – attribute entity (e.g. demographic)
+};
+
+/// Human-readable relation name ("rated", "directed_by", ...).
+const char* RelationToString(Relation relation);
+
+/// Number of distinct Relation values.
+inline constexpr int kNumRelations = 13;
+
+}  // namespace xsum::graph
+
+#endif  // XSUM_GRAPH_TYPES_H_

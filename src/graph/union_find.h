@@ -1,0 +1,62 @@
+/// \file union_find.h
+/// \brief Disjoint-set forest with union-by-rank and path halving. Used by
+/// Kruskal MST, PCST growth (Algorithm 2's D.make_set/find/union), and
+/// weak-connectivity checks.
+
+#ifndef XSUM_GRAPH_UNION_FIND_H_
+#define XSUM_GRAPH_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace xsum::graph {
+
+/// \brief Disjoint-set forest over dense ids [0, n).
+class UnionFind {
+ public:
+  /// Creates \p n singleton sets.
+  explicit UnionFind(size_t n) : parent_(n), rank_(n, 0), num_sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Representative of the set containing \p x (with path halving).
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of \p a and \p b; returns false if already merged.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return false;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --num_sets_;
+    return true;
+  }
+
+  /// True iff \p a and \p b are in the same set.
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  /// Number of disjoint sets remaining.
+  size_t num_sets() const { return num_sets_; }
+
+  /// Number of elements.
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_sets_;
+};
+
+}  // namespace xsum::graph
+
+#endif  // XSUM_GRAPH_UNION_FIND_H_

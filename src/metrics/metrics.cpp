@@ -1,0 +1,174 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace xsum::metrics {
+
+namespace {
+
+using graph::NodeId;
+
+std::vector<NodeId> SortedUnique(std::vector<NodeId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+/// Jaccard similarity of the endpoint sets of two edges. Endpoint sets
+/// have exactly two (distinct) members, so the result is one of
+/// {0, 1/3, 1}.
+double EdgeJaccard(const std::pair<NodeId, NodeId>& a,
+                   const std::pair<NodeId, NodeId>& b) {
+  int shared = 0;
+  if (a.first == b.first || a.first == b.second) ++shared;
+  if (a.second == b.first || a.second == b.second) ++shared;
+  const int union_size = 4 - shared;
+  return union_size == 0 ? 1.0
+                         : static_cast<double>(shared) /
+                               static_cast<double>(union_size);
+}
+
+}  // namespace
+
+ExplanationView MakeViewFromPaths(const std::vector<graph::Path>& paths) {
+  ExplanationView view;
+  for (const graph::Path& path : paths) {
+    for (size_t i = 0; i < path.edges.size(); ++i) {
+      view.edge_occurrences.push_back({path.nodes[i], path.nodes[i + 1]});
+      if (path.edges[i] != graph::kInvalidEdge) {
+        view.edge_ids.push_back(path.edges[i]);
+      }
+    }
+    view.node_occurrences.insert(view.node_occurrences.end(),
+                                 path.nodes.begin(), path.nodes.end());
+  }
+  view.unique_nodes = SortedUnique(view.node_occurrences);
+  return view;
+}
+
+ExplanationView MakeViewFromSubgraph(const graph::KnowledgeGraph& graph,
+                                     const graph::Subgraph& subgraph) {
+  ExplanationView view;
+  view.edge_occurrences.reserve(subgraph.num_edges());
+  view.edge_ids.reserve(subgraph.num_edges());
+  for (graph::EdgeId e : subgraph.edges()) {
+    const graph::EdgeRecord& r = graph.edge(e);
+    view.edge_occurrences.push_back({r.src, r.dst});
+    view.edge_ids.push_back(e);
+  }
+  view.node_occurrences = subgraph.nodes();
+  view.unique_nodes = subgraph.nodes();
+  return view;
+}
+
+ExplanationView MakeView(const graph::KnowledgeGraph& graph,
+                         const core::Summary& summary) {
+  if (summary.method == core::SummaryMethod::kBaseline) {
+    return MakeViewFromPaths(summary.input_paths);
+  }
+  return MakeViewFromSubgraph(graph, summary.subgraph);
+}
+
+double Comprehensibility(const ExplanationView& view) {
+  if (view.edge_occurrences.empty()) return 0.0;
+  return 1.0 / static_cast<double>(view.edge_occurrences.size());
+}
+
+double Actionability(const graph::KnowledgeGraph& graph,
+                     const ExplanationView& view) {
+  if (view.unique_nodes.empty()) return 0.0;
+  size_t items = 0;
+  for (NodeId v : view.unique_nodes) {
+    if (graph.IsItem(v)) ++items;
+  }
+  return static_cast<double>(items) /
+         static_cast<double>(view.unique_nodes.size());
+}
+
+double Diversity(const ExplanationView& view, size_t max_pairs,
+                 uint64_t seed) {
+  const size_t m = view.edge_occurrences.size();
+  if (m < 2) return 0.0;
+  const size_t total_pairs = m * (m - 1) / 2;
+  double sum = 0.0;
+  size_t counted = 0;
+  if (total_pairs <= max_pairs) {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        sum += 1.0 - EdgeJaccard(view.edge_occurrences[i],
+                                 view.edge_occurrences[j]);
+        ++counted;
+      }
+    }
+  } else {
+    Rng rng(seed);
+    for (size_t s = 0; s < max_pairs; ++s) {
+      const size_t i = rng.Uniform(m);
+      size_t j = rng.Uniform(m - 1);
+      if (j >= i) ++j;
+      sum += 1.0 - EdgeJaccard(view.edge_occurrences[i],
+                               view.edge_occurrences[j]);
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+double Redundancy(const ExplanationView& view) {
+  if (view.node_occurrences.empty()) return 0.0;
+  const size_t total = view.node_occurrences.size();
+  const size_t unique = view.unique_nodes.size();
+  return static_cast<double>(total - unique) / static_cast<double>(total);
+}
+
+double Consistency(const std::vector<ExplanationView>& per_k) {
+  if (per_k.size() < 2) return 1.0;
+  double sum = 0.0;
+  for (size_t k = 0; k + 1 < per_k.size(); ++k) {
+    const auto& a = per_k[k].unique_nodes;
+    const auto& b = per_k[k + 1].unique_nodes;
+    // Both vectors are sorted; set intersection by merge.
+    size_t i = 0;
+    size_t j = 0;
+    size_t shared = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] == b[j]) {
+        ++shared;
+        ++i;
+        ++j;
+      } else if (a[i] < b[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    const size_t union_size = a.size() + b.size() - shared;
+    sum += union_size == 0 ? 1.0
+                           : static_cast<double>(shared) /
+                                 static_cast<double>(union_size);
+  }
+  return sum / static_cast<double>(per_k.size() - 1);
+}
+
+double Relevance(const ExplanationView& view,
+                 const std::vector<double>& base_weights) {
+  double total = 0.0;
+  for (graph::EdgeId e : view.edge_ids) total += base_weights[e];
+  return total;
+}
+
+double Privacy(const graph::KnowledgeGraph& graph,
+               const ExplanationView& view) {
+  if (view.unique_nodes.empty()) return 1.0;
+  size_t users = 0;
+  for (NodeId v : view.unique_nodes) {
+    if (graph.IsUser(v)) ++users;
+  }
+  return 1.0 - static_cast<double>(users) /
+                   static_cast<double>(view.unique_nodes.size());
+}
+
+}  // namespace xsum::metrics

@@ -1,0 +1,44 @@
+/// \file perf.h
+/// \brief Performance metric recording (paper §V-B-8, Figures 9-11):
+/// execution time and working memory of summarization calls, aggregated
+/// per configuration.
+
+#ifndef XSUM_METRICS_PERF_H_
+#define XSUM_METRICS_PERF_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.h"
+
+namespace xsum::metrics {
+
+/// \brief Accumulates (time, memory) samples for one configuration.
+class PerfRecorder {
+ public:
+  /// Records one summarization call.
+  void Record(double elapsed_ms, size_t memory_bytes) {
+    time_ms_.Add(elapsed_ms);
+    memory_bytes_.Add(static_cast<double>(memory_bytes));
+  }
+
+  /// Mean wall time in milliseconds.
+  double MeanTimeMs() const { return time_ms_.Mean(); }
+  /// Mean working memory in bytes.
+  double MeanMemoryBytes() const { return memory_bytes_.Mean(); }
+  /// p95 wall time in milliseconds.
+  double P95TimeMs() const { return time_ms_.Percentile(95.0); }
+  /// Number of samples.
+  size_t count() const { return time_ms_.count(); }
+
+  const StatAccumulator& times() const { return time_ms_; }
+  const StatAccumulator& memory() const { return memory_bytes_; }
+
+ private:
+  StatAccumulator time_ms_;
+  StatAccumulator memory_bytes_;
+};
+
+}  // namespace xsum::metrics
+
+#endif  // XSUM_METRICS_PERF_H_

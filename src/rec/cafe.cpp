@@ -1,0 +1,113 @@
+#include "rec/cafe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rec/internal.h"
+
+namespace xsum::rec {
+
+namespace {
+
+using graph::AdjEntry;
+using graph::NodeId;
+using graph::Relation;
+using internal::Candidate;
+
+/// A metapath template u -(rated)-> i1 -(mid)-> x -(mid)-> i2, identified by
+/// the relation of its middle hops. `kRated` denotes the co-user template
+/// (u -> i1 -> u2 -> i2).
+struct Template {
+  Relation mid = Relation::kRelatedTo;
+  double affinity = 0.0;
+};
+
+}  // namespace
+
+CafeRecommender::CafeRecommender(const data::RecGraph& rec_graph,
+                                 uint64_t seed,
+                                 const RecommenderOptions& options)
+    : rg_(rec_graph), seed_(seed), options_(options) {}
+
+std::vector<Recommendation> CafeRecommender::Recommend(uint32_t user,
+                                                       int k) const {
+  const graph::KnowledgeGraph& g = rg_.graph();
+  Rng rng(internal::UserSeed(seed_, /*method_tag=*/2, user));
+  const NodeId u = rg_.UserNode(user);
+  const auto rated = internal::RatedNodeSet(rg_, user);
+
+  // --- Coarse stage: profile = per-relation support over rated items. ----
+  // affinity[X] = Σ_{i1 rated} wM(u,i1) · #X-edges(i1), i.e. how much of
+  // the user's preference mass flows through relation X.
+  double affinity[graph::kNumRelations] = {};
+  std::vector<std::pair<double, AdjEntry>> rated_edges;  // (wM, edge to i1)
+  for (const AdjEntry& a : g.Neighbors(u)) {
+    if (!g.IsItem(a.neighbor)) continue;
+    const double w = g.edge_weight(a.edge);
+    rated_edges.push_back({w, a});
+    for (const AdjEntry& b : g.Neighbors(a.neighbor)) {
+      const Relation rel = g.edge(b.edge).relation;
+      affinity[static_cast<int>(rel)] += w;
+    }
+  }
+  std::stable_sort(rated_edges.begin(), rated_edges.end(),
+                   [](const auto& x, const auto& y) {
+                     if (x.first != y.first) return x.first > y.first;
+                     return x.second.neighbor < y.second.neighbor;
+                   });
+  if (static_cast<int>(rated_edges.size()) > options_.hop1_beam) {
+    rated_edges.resize(options_.hop1_beam);
+  }
+
+  std::vector<Template> templates;
+  for (int r = 0; r < graph::kNumRelations; ++r) {
+    if (affinity[r] <= 0.0) continue;
+    templates.push_back(
+        Template{static_cast<Relation>(r),
+                 affinity[r] * (1.0 + 0.05 * rng.UniformDouble())});
+  }
+  std::stable_sort(templates.begin(), templates.end(),
+                   [](const Template& a, const Template& b) {
+                     return a.affinity > b.affinity;
+                   });
+
+  // --- Fine stage: instantiate paths template-by-template. ---------------
+  std::vector<Candidate> candidates;
+  double template_rank_bonus = static_cast<double>(templates.size());
+  for (const Template& tmpl : templates) {
+    for (const auto& [w1, e1] : rated_edges) {
+      const NodeId i1 = e1.neighbor;
+      int mids_taken = 0;
+      for (const AdjEntry& a : g.Neighbors(i1)) {
+        if (g.edge(a.edge).relation != tmpl.mid) continue;
+        const NodeId mid = a.neighbor;
+        if (mid == u) continue;
+        if (mids_taken++ >= options_.hop2_beam) break;
+        int items_taken = 0;
+        for (const AdjEntry& b : g.Neighbors(mid)) {
+          const NodeId i2 = b.neighbor;
+          if (!g.IsItem(i2) || i2 == i1) continue;
+          if (g.edge(b.edge).relation != tmpl.mid) continue;
+          if (rated.count(i2) > 0) continue;
+          if (items_taken++ >= options_.hop3_beam) break;
+          Candidate c;
+          c.item = rg_.NodeToItem(i2);
+          // Score: template priority dominates, preference strength and
+          // mid-node specificity break ties (coarse-to-fine ordering).
+          c.score = 10.0 * template_rank_bonus + w1 +
+                    internal::DegreePrior(rg_, mid) +
+                    0.01 * rng.UniformDouble();
+          c.path.nodes = {u, i1, mid, i2};
+          c.path.edges = {e1.edge, a.edge, b.edge};
+          candidates.push_back(std::move(c));
+        }
+      }
+    }
+    template_rank_bonus -= 1.0;
+    // Enough raw material for a stable top-k: stop fine search early.
+    if (candidates.size() > static_cast<size_t>(k) * 24) break;
+  }
+  return internal::SelectTopKDistinct(std::move(candidates), k);
+}
+
+}  // namespace xsum::rec

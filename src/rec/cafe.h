@@ -1,0 +1,36 @@
+/// \file cafe.h
+/// \brief CAFE-style simulator: coarse-to-fine metapath reasoning.
+///
+/// CAFE (Xian et al., CIKM'20) first composes a coarse user profile of
+/// metapath patterns mined from history, then fine-searches the KG along
+/// the selected patterns. The simulator mirrors that structure: it ranks
+/// metapath templates by the user's historical support for each relation,
+/// then instantiates paths template-by-template until k distinct items are
+/// collected.
+
+#ifndef XSUM_REC_CAFE_H_
+#define XSUM_REC_CAFE_H_
+
+#include "rec/recommender.h"
+
+namespace xsum::rec {
+
+/// \brief Metapath-template simulator of CAFE.
+class CafeRecommender : public PathRecommender {
+ public:
+  CafeRecommender(const data::RecGraph& rec_graph, uint64_t seed,
+                  const RecommenderOptions& options);
+
+  std::string name() const override { return "CAFE"; }
+
+  std::vector<Recommendation> Recommend(uint32_t user, int k) const override;
+
+ private:
+  const data::RecGraph& rg_;
+  uint64_t seed_;
+  RecommenderOptions options_;
+};
+
+}  // namespace xsum::rec
+
+#endif  // XSUM_REC_CAFE_H_

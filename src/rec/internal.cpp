@@ -1,0 +1,48 @@
+#include "rec/internal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xsum::rec::internal {
+
+std::vector<Recommendation> SelectTopKDistinct(std::vector<Candidate> cands,
+                                               int k) {
+  std::stable_sort(cands.begin(), cands.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.item < b.item;
+                   });
+  std::vector<Recommendation> out;
+  std::unordered_set<uint32_t> taken;
+  for (Candidate& c : cands) {
+    if (static_cast<int>(out.size()) >= k) break;
+    if (!taken.insert(c.item).second) continue;
+    Recommendation rec;
+    rec.item = c.item;
+    rec.score = c.score;
+    rec.path = std::move(c.path);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::unordered_set<graph::NodeId> RatedNodeSet(const data::RecGraph& rg,
+                                               uint32_t user) {
+  std::unordered_set<graph::NodeId> rated;
+  for (graph::NodeId item : rg.RatedItems(user)) rated.insert(item);
+  return rated;
+}
+
+uint64_t UserSeed(uint64_t master_seed, uint32_t method_tag, uint32_t user) {
+  uint64_t state = master_seed ^ (static_cast<uint64_t>(method_tag) << 48) ^
+                   (static_cast<uint64_t>(user) + 0x1234ULL);
+  // Two SplitMix64 rounds decorrelate adjacent users.
+  SplitMix64(&state);
+  return SplitMix64(&state);
+}
+
+double DegreePrior(const data::RecGraph& rg, graph::NodeId v) {
+  return 1.0 / std::log(2.0 + static_cast<double>(rg.graph().Degree(v)));
+}
+
+}  // namespace xsum::rec::internal

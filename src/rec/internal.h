@@ -1,0 +1,44 @@
+/// \file internal.h
+/// \brief Shared machinery for the simulated recommenders. Not part of the
+/// public API.
+
+#ifndef XSUM_REC_INTERNAL_H_
+#define XSUM_REC_INTERNAL_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "data/kg_builder.h"
+#include "graph/path.h"
+#include "rec/recommender.h"
+#include "util/rng.h"
+
+namespace xsum::rec::internal {
+
+/// \brief A scored path candidate before top-k selection.
+struct Candidate {
+  uint32_t item = 0;
+  double score = 0.0;
+  graph::Path path;
+};
+
+/// Sorts candidates by descending score (ties by ascending item id for
+/// determinism) and keeps the best candidate per distinct item, returning
+/// at most \p k recommendations.
+std::vector<Recommendation> SelectTopKDistinct(std::vector<Candidate> cands,
+                                               int k);
+
+/// The set of item *node ids* the user has rated.
+std::unordered_set<graph::NodeId> RatedNodeSet(const data::RecGraph& rg,
+                                               uint32_t user);
+
+/// Deterministic per-user seed derived from a master seed and a method tag.
+uint64_t UserSeed(uint64_t master_seed, uint32_t method_tag, uint32_t user);
+
+/// Hub-dampening prior 1/log(2 + deg(v)); search methods use it to score
+/// intermediate nodes.
+double DegreePrior(const data::RecGraph& rg, graph::NodeId v);
+
+}  // namespace xsum::rec::internal
+
+#endif  // XSUM_REC_INTERNAL_H_

@@ -1,0 +1,87 @@
+#include "rec/itemknn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "rec/pathfind.h"
+#include "rec/internal.h"
+
+namespace xsum::rec {
+
+namespace {
+
+using graph::AdjEntry;
+using graph::NodeId;
+
+}  // namespace
+
+ItemKnnRecommender::ItemKnnRecommender(const data::RecGraph& rec_graph,
+                                       uint64_t seed, int neighbourhood)
+    : rg_(rec_graph), seed_(seed), neighbourhood_(neighbourhood) {}
+
+std::vector<Recommendation> ItemKnnRecommender::Recommend(uint32_t user,
+                                                          int k) const {
+  const graph::KnowledgeGraph& g = rg_.graph();
+  Rng rng(internal::UserSeed(seed_, /*method_tag=*/5, user));
+  const NodeId u = rg_.UserNode(user);
+  const auto rated = internal::RatedNodeSet(rg_, user);
+
+  // Pure collaborative scoring: for each item i1 the user rated, walk its
+  // co-raters and accumulate similarity mass on *their* items. No KG
+  // entities are consulted — this is the "non-graph" model.
+  std::unordered_map<NodeId, double> scores;
+  int history_used = 0;
+  for (const AdjEntry& a : g.Neighbors(u)) {
+    if (!g.IsItem(a.neighbor)) continue;
+    if (history_used++ >= neighbourhood_) break;
+    const double w1 = g.edge_weight(a.edge);
+    const NodeId i1 = a.neighbor;
+    // Co-raters of i1 (dampened by their activity, cosine-style).
+    int coraters = 0;
+    for (const AdjEntry& b : g.Neighbors(i1)) {
+      if (!g.IsUser(b.neighbor) || b.neighbor == u) continue;
+      if (coraters++ >= 24) break;
+      const NodeId u2 = b.neighbor;
+      const double sim =
+          g.edge_weight(b.edge) /
+          std::sqrt(1.0 + static_cast<double>(g.Degree(u2)));
+      int contributed = 0;
+      for (const AdjEntry& c : g.Neighbors(u2)) {
+        if (!g.IsItem(c.neighbor)) continue;
+        if (rated.count(c.neighbor) > 0) continue;
+        if (contributed++ >= 16) break;
+        scores[c.neighbor] += w1 * sim * g.edge_weight(c.edge);
+      }
+    }
+  }
+
+  // Rank candidates; small jitter breaks ties deterministically per user.
+  std::vector<std::pair<double, NodeId>> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [item_node, score] : scores) {
+    ranked.push_back({score + 1e-6 * rng.UniformDouble(), item_node});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  // Attach KG-generated explanation paths (paper §II bridge). Candidates
+  // without a findable path are skipped.
+  std::vector<Recommendation> out;
+  for (const auto& [score, item_node] : ranked) {
+    if (static_cast<int>(out.size()) >= k) break;
+    const uint32_t item = rg_.NodeToItem(item_node);
+    auto path = FindExplanationPath(rg_, user, item);
+    if (!path.ok()) continue;
+    Recommendation rec;
+    rec.item = item;
+    rec.score = score;
+    rec.path = std::move(path).ValueOrDie();
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace xsum::rec

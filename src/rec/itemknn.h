@@ -1,0 +1,44 @@
+/// \file itemknn.h
+/// \brief A *non-graph* recommender: item-based collaborative filtering.
+///
+/// Paper §VII lists "summaries to non-graph-based recommenders" as future
+/// work, and §II notes the summarizers work with any method that provides
+/// recommended items plus access to the graph. `ItemKnnRecommender`
+/// exercises exactly that integration: it scores items purely from
+/// co-rating statistics (no KG reasoning, no paths) and then attaches
+/// explanation paths generated from the KG via `FindExplanationPath`
+/// — turning a black-box recommender into one the summarizers can explain.
+
+#ifndef XSUM_REC_ITEMKNN_H_
+#define XSUM_REC_ITEMKNN_H_
+
+#include "rec/recommender.h"
+
+namespace xsum::rec {
+
+/// \brief Item-based k-nearest-neighbour collaborative filtering with
+/// KG-generated explanation paths.
+class ItemKnnRecommender : public PathRecommender {
+ public:
+  /// \p neighbourhood is the number of co-rated items that contribute to
+  /// each candidate's score.
+  ItemKnnRecommender(const data::RecGraph& rec_graph, uint64_t seed,
+                     int neighbourhood = 20);
+
+  std::string name() const override { return "ItemKNN"; }
+
+  /// Scores candidates by co-rating similarity to the user's history, then
+  /// generates explanation paths from the KG for the winners. Items for
+  /// which no ≤3-hop path exists are dropped (they would not be
+  /// explainable).
+  std::vector<Recommendation> Recommend(uint32_t user, int k) const override;
+
+ private:
+  const data::RecGraph& rg_;
+  uint64_t seed_;
+  int neighbourhood_;
+};
+
+}  // namespace xsum::rec
+
+#endif  // XSUM_REC_ITEMKNN_H_

@@ -1,0 +1,126 @@
+#include "rec/pathfind.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace xsum::rec {
+
+namespace {
+
+using graph::AdjEntry;
+using graph::NodeId;
+using graph::Path;
+
+struct Beam {
+  Path path;
+  double score = 0.0;
+};
+
+double EdgeScore(const graph::KnowledgeGraph& g, graph::EdgeId e,
+                 NodeId next) {
+  // Strong preferences first, hubs dampened.
+  return std::log1p(g.edge_weight(e)) +
+         1.0 / std::log(2.0 + static_cast<double>(g.Degree(next)));
+}
+
+}  // namespace
+
+Result<Path> FindExplanationPath(const data::RecGraph& rec_graph,
+                                 uint32_t user, uint32_t item,
+                                 const PathFindOptions& options) {
+  if (user >= rec_graph.num_users()) {
+    return Status::InvalidArgument(StrCat("user ", user, " out of range"));
+  }
+  if (item >= rec_graph.num_items()) {
+    return Status::InvalidArgument(StrCat("item ", item, " out of range"));
+  }
+  if (options.max_hops < 1) {
+    return Status::InvalidArgument("max_hops must be >= 1");
+  }
+  const graph::KnowledgeGraph& g = rec_graph.graph();
+  const NodeId source = rec_graph.UserNode(user);
+  const NodeId target = rec_graph.ItemNode(item);
+
+  // Direct edge (the item was rated): a one-hop explanation.
+  const graph::EdgeId direct = g.FindEdge(source, target);
+  if (direct != graph::kInvalidEdge) {
+    Path p;
+    p.nodes = {source, target};
+    p.edges = {direct};
+    return p;
+  }
+
+  std::vector<Beam> frontier;
+  frontier.push_back(Beam{Path{{source}, {}}, 0.0});
+  Beam best;
+  bool found = false;
+
+  for (int hop = 0; hop < options.max_hops; ++hop) {
+    std::vector<Beam> next;
+    for (const Beam& beam : frontier) {
+      const NodeId tail = beam.path.nodes.back();
+      for (const AdjEntry& a : g.Neighbors(tail)) {
+        // No revisits: explanation paths are simple walks.
+        if (std::find(beam.path.nodes.begin(), beam.path.nodes.end(),
+                      a.neighbor) != beam.path.nodes.end()) {
+          continue;
+        }
+        Beam extended = beam;
+        extended.path.nodes.push_back(a.neighbor);
+        extended.path.edges.push_back(a.edge);
+        extended.score += EdgeScore(g, a.edge, a.neighbor);
+        if (a.neighbor == target) {
+          if (!found || extended.score > best.score ||
+              (extended.score == best.score &&
+               extended.path.Length() < best.path.Length())) {
+            best = extended;
+            found = true;
+          }
+          continue;
+        }
+        next.push_back(std::move(extended));
+      }
+    }
+    // Keep the strongest beams (deterministic ties by tail node id).
+    std::stable_sort(next.begin(), next.end(),
+                     [](const Beam& a, const Beam& b) {
+                       if (a.score != b.score) return a.score > b.score;
+                       return a.path.nodes.back() < b.path.nodes.back();
+                     });
+    if (static_cast<int>(next.size()) > options.beam_width) {
+      next.resize(options.beam_width);
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+
+  if (!found) {
+    return Status::NotFound(
+        StrCat("no path from user ", user, " to item ", item, " within ",
+               options.max_hops, " hops"));
+  }
+  return best.path;
+}
+
+std::vector<Path> FindExplanationPaths(const data::RecGraph& rec_graph,
+                                       uint32_t user,
+                                       const std::vector<uint32_t>& items,
+                                       const PathFindOptions& options,
+                                       std::vector<uint32_t>* failed) {
+  std::vector<Path> paths;
+  paths.reserve(items.size());
+  for (uint32_t item : items) {
+    auto path = FindExplanationPath(rec_graph, user, item, options);
+    if (path.ok()) {
+      paths.push_back(std::move(path).ValueOrDie());
+    } else if (failed != nullptr) {
+      failed->push_back(item);
+    }
+  }
+  return paths;
+}
+
+}  // namespace xsum::rec

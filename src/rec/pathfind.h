@@ -1,0 +1,54 @@
+/// \file pathfind.h
+/// \brief Explanation-path generation for recommenders that do not output
+/// paths.
+///
+/// Paper §II: "for methods that do not output paths but provide
+/// recommended items and access to underlying graph data, our approach can
+/// generate new path explanations based on the graph structure." This
+/// module implements that bridge: given (user, recommended item) it finds
+/// the best ≤ max_hops walk through the KG, preferring high-weight
+/// (strong-preference) edges, and returns it as the explanation path that
+/// the summarizers and metrics consume.
+
+#ifndef XSUM_REC_PATHFIND_H_
+#define XSUM_REC_PATHFIND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/kg_builder.h"
+#include "graph/path.h"
+#include "util/status.h"
+
+namespace xsum::rec {
+
+/// \brief Knobs for explanation-path generation.
+struct PathFindOptions {
+  /// Maximum path hops (paper baselines: 3).
+  int max_hops = 3;
+  /// Candidate expansions kept per hop level.
+  int beam_width = 16;
+};
+
+/// \brief Finds an explanation path from \p user to \p item (dataset
+/// indices) of at most `options.max_hops` hops.
+///
+/// Search is a beam over the undirected KG scored by Σ log(1 + w(e)) with
+/// a hub-dampening prior, so the returned walk follows the user's
+/// strongest preferences. Returns NotFound when no walk within the hop
+/// budget exists.
+Result<graph::Path> FindExplanationPath(const data::RecGraph& rec_graph,
+                                        uint32_t user, uint32_t item,
+                                        const PathFindOptions& options = {});
+
+/// \brief Batch helper: paths for all \p items of one user; items whose
+/// path search fails are skipped (their indices are appended to
+/// \p failed if non-null).
+std::vector<graph::Path> FindExplanationPaths(
+    const data::RecGraph& rec_graph, uint32_t user,
+    const std::vector<uint32_t>& items, const PathFindOptions& options = {},
+    std::vector<uint32_t>* failed = nullptr);
+
+}  // namespace xsum::rec
+
+#endif  // XSUM_REC_PATHFIND_H_

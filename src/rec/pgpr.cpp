@@ -1,0 +1,124 @@
+#include "rec/pgpr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rec/internal.h"
+
+namespace xsum::rec {
+
+namespace {
+
+using graph::AdjEntry;
+using graph::NodeId;
+using internal::Candidate;
+
+/// A partial walk during beam expansion.
+struct Beam {
+  graph::Path path;
+  double score = 0.0;
+};
+
+/// Keeps the \p width highest-scoring beams (deterministic ties).
+void Truncate(std::vector<Beam>* beams, int width) {
+  if (static_cast<int>(beams->size()) <= width) return;
+  std::stable_sort(beams->begin(), beams->end(),
+                   [](const Beam& a, const Beam& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.path.nodes.back() < b.path.nodes.back();
+                   });
+  beams->resize(width);
+}
+
+}  // namespace
+
+PgprRecommender::PgprRecommender(const data::RecGraph& rec_graph,
+                                 uint64_t seed,
+                                 const RecommenderOptions& options)
+    : rg_(rec_graph), seed_(seed), options_(options) {
+  // The policy's value head estimates an item's accumulated preference
+  // mass: Σ of incident edge weights. Using weights (not raw degree)
+  // makes the recommendations sensitive to the β1/β2 rating-vs-recency
+  // mix of §III, which the Fig. 16 experiment varies.
+  const graph::KnowledgeGraph& g = rg_.graph();
+  item_mass_.assign(g.num_nodes(), 0.0);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::EdgeRecord& r = g.edge(e);
+    if (g.IsItem(r.dst)) item_mass_[r.dst] += r.weight;
+    if (g.IsItem(r.src)) item_mass_[r.src] += r.weight;
+  }
+}
+
+std::vector<Recommendation> PgprRecommender::Recommend(uint32_t user,
+                                                       int k) const {
+  const graph::KnowledgeGraph& g = rg_.graph();
+  Rng rng(internal::UserSeed(seed_, /*method_tag=*/1, user));
+  const NodeId u = rg_.UserNode(user);
+  const auto rated = internal::RatedNodeSet(rg_, user);
+
+  // Hop 1: the policy strongly prefers highly-rated items.
+  std::vector<Beam> level1;
+  for (const AdjEntry& a : g.Neighbors(u)) {
+    if (!g.IsItem(a.neighbor)) continue;
+    Beam b;
+    b.path.nodes = {u, a.neighbor};
+    b.path.edges = {a.edge};
+    // wM plus a small exploration jitter (the RL policy is stochastic).
+    b.score = g.edge_weight(a.edge) + 0.05 * rng.UniformDouble();
+    level1.push_back(std::move(b));
+  }
+  Truncate(&level1, options_.hop1_beam);
+
+  // Hop 2: move to a shared entity or a co-rating user.
+  std::vector<Beam> level2;
+  for (const Beam& beam : level1) {
+    const NodeId i1 = beam.path.nodes.back();
+    std::vector<Beam> local;
+    for (const AdjEntry& a : g.Neighbors(i1)) {
+      const NodeId mid = a.neighbor;
+      if (mid == u) continue;  // walking straight back is uninformative
+      double hop_score = internal::DegreePrior(rg_, mid);
+      if (g.IsUser(mid)) {
+        // Co-rating users contribute their preference strength.
+        hop_score += 0.2 * g.edge_weight(a.edge);
+      }
+      Beam b = beam;
+      b.path.nodes.push_back(mid);
+      b.path.edges.push_back(a.edge);
+      b.score += hop_score + 0.02 * rng.UniformDouble();
+      local.push_back(std::move(b));
+    }
+    Truncate(&local, options_.hop2_beam);
+    for (Beam& b : local) level2.push_back(std::move(b));
+  }
+
+  // Hop 3: land on an unseen item; PGPR's value head skews popular.
+  std::vector<Candidate> candidates;
+  for (const Beam& beam : level2) {
+    const NodeId mid = beam.path.nodes.back();
+    std::vector<Beam> local;
+    for (const AdjEntry& a : g.Neighbors(mid)) {
+      const NodeId i2 = a.neighbor;
+      if (!g.IsItem(i2)) continue;
+      if (rated.count(i2) > 0) continue;
+      Beam b = beam;
+      b.path.nodes.push_back(i2);
+      b.path.edges.push_back(a.edge);
+      // Popularity prior: log accumulated preference mass.
+      b.score += 0.4 * std::log(1.0 + item_mass_[i2]) +
+                 0.02 * rng.UniformDouble();
+      local.push_back(std::move(b));
+    }
+    Truncate(&local, options_.hop3_beam);
+    for (Beam& b : local) {
+      Candidate c;
+      c.item = rg_.NodeToItem(b.path.nodes.back());
+      c.score = b.score;
+      c.path = std::move(b.path);
+      candidates.push_back(std::move(c));
+    }
+  }
+  return internal::SelectTopKDistinct(std::move(candidates), k);
+}
+
+}  // namespace xsum::rec

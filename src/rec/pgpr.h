@@ -1,0 +1,40 @@
+/// \file pgpr.h
+/// \brief PGPR-style simulator: policy-guided 3-hop path reasoning.
+///
+/// PGPR (Xian et al., SIGIR'19) trains an RL agent that walks the KG from
+/// the user and emits the walk as the explanation. The trained policy is
+/// approximated here by a deterministic beam search whose per-hop scores
+/// combine the rated-edge weight wM (preference strength), a hub-dampening
+/// degree prior on intermediates, and an item-popularity prior on the
+/// final hop — reproducing PGPR's well-documented popularity bias
+/// (paper Fig. 17).
+
+#ifndef XSUM_REC_PGPR_H_
+#define XSUM_REC_PGPR_H_
+
+#include "rec/recommender.h"
+
+namespace xsum::rec {
+
+/// \brief Beam-search simulator of PGPR.
+class PgprRecommender : public PathRecommender {
+ public:
+  PgprRecommender(const data::RecGraph& rec_graph, uint64_t seed,
+                  const RecommenderOptions& options);
+
+  std::string name() const override { return "PGPR"; }
+
+  std::vector<Recommendation> Recommend(uint32_t user, int k) const override;
+
+ private:
+  const data::RecGraph& rg_;
+  uint64_t seed_;
+  RecommenderOptions options_;
+  /// Per-node accumulated edge-weight mass; the value-head popularity
+  /// prior for item nodes (weight-sensitive, see constructor comment).
+  std::vector<double> item_mass_;
+};
+
+}  // namespace xsum::rec
+
+#endif  // XSUM_REC_PGPR_H_

@@ -1,0 +1,161 @@
+#include "rec/plm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "rec/internal.h"
+
+namespace xsum::rec {
+
+namespace {
+
+using graph::AdjEntry;
+using graph::EdgeId;
+using graph::kInvalidEdge;
+using graph::NodeId;
+using internal::Candidate;
+
+/// Tally of decoded samples ending at one item.
+struct ItemTally {
+  int count = 0;
+  double best_score = -1e300;
+  graph::Path best_path;
+};
+
+}  // namespace
+
+PlmRecommender::PlmRecommender(const data::RecGraph& rec_graph, uint64_t seed,
+                               const RecommenderOptions& options,
+                               bool faithful)
+    : rg_(rec_graph), seed_(seed), options_(options), faithful_(faithful) {}
+
+std::vector<Recommendation> PlmRecommender::Recommend(uint32_t user,
+                                                      int k) const {
+  const graph::KnowledgeGraph& g = rg_.graph();
+  const uint32_t method_tag = faithful_ ? 4 : 3;
+  Rng rng(internal::UserSeed(seed_, method_tag, user));
+  const NodeId u = rg_.UserNode(user);
+  const auto rated = internal::RatedNodeSet(rg_, user);
+  const double h = faithful_ ? 0.0 : options_.plm_hallucination_rate;
+  const size_t num_items = rg_.num_items();
+
+  // Rated-edge vocabulary for the first decoding step.
+  std::vector<AdjEntry> first_hops;
+  std::vector<double> first_weights;
+  for (const AdjEntry& a : g.Neighbors(u)) {
+    if (!g.IsItem(a.neighbor)) continue;
+    first_hops.push_back(a);
+    first_weights.push_back(g.edge_weight(a.edge));
+  }
+  if (first_hops.empty() && faithful_) return {};
+
+  std::unordered_map<uint32_t, ItemTally> tallies;
+
+  for (int sample = 0; sample < options_.decoder_samples; ++sample) {
+    graph::Path path;
+    path.nodes.push_back(u);
+    double score = 0.0;
+
+    // --- hop 1: user -> item --------------------------------------------
+    if (!first_hops.empty() && !rng.Bernoulli(h)) {
+      const size_t pick = rng.WeightedIndex(first_weights);
+      path.nodes.push_back(first_hops[pick].neighbor);
+      path.edges.push_back(first_hops[pick].edge);
+      score += std::log(1e-9 + first_weights[pick]);
+    } else {
+      // Hallucinated: the decoder emits a plausible but unseen item token.
+      const NodeId fake =
+          rg_.ItemNode(static_cast<uint32_t>(rng.Uniform(num_items)));
+      if (faithful_) continue;  // PEARLM never emits invalid hops
+      path.nodes.push_back(fake);
+      path.edges.push_back(kInvalidEdge);
+      score -= 3.0;
+    }
+
+    // --- hop 2: item -> entity or co-user --------------------------------
+    const NodeId i1 = path.nodes.back();
+    if (!rng.Bernoulli(h)) {
+      const auto nbrs = g.Neighbors(i1);
+      // Uniform neighbor token; resample a few times to avoid stepping
+      // straight back to the user.
+      NodeId mid = graph::kInvalidNode;
+      EdgeId mid_edge = kInvalidEdge;
+      for (int attempt = 0; attempt < 4 && !nbrs.empty(); ++attempt) {
+        const AdjEntry& a = nbrs[rng.Uniform(nbrs.size())];
+        if (a.neighbor == u) continue;
+        mid = a.neighbor;
+        mid_edge = a.edge;
+        break;
+      }
+      if (mid == graph::kInvalidNode) continue;  // dead end, drop sample
+      path.nodes.push_back(mid);
+      path.edges.push_back(mid_edge);
+      score -= std::log(2.0 + static_cast<double>(nbrs.size()));
+    } else {
+      const size_t num_entities = rg_.num_entities();
+      const bool pick_entity = num_entities > 0 && rng.Bernoulli(0.7);
+      const NodeId fake =
+          pick_entity
+              ? rg_.EntityNode(static_cast<uint32_t>(rng.Uniform(num_entities)))
+              : rg_.UserNode(static_cast<uint32_t>(rng.Uniform(
+                    rg_.num_users())));
+      if (fake == i1 || fake == u) continue;
+      path.nodes.push_back(fake);
+      path.edges.push_back(kInvalidEdge);
+      score -= 3.0;
+    }
+
+    // --- hop 3: -> unseen item -------------------------------------------
+    const NodeId mid = path.nodes.back();
+    NodeId target = graph::kInvalidNode;
+    EdgeId target_edge = kInvalidEdge;
+    if (!rng.Bernoulli(h)) {
+      std::vector<AdjEntry> item_nbrs;
+      for (const AdjEntry& a : g.Neighbors(mid)) {
+        if (g.IsItem(a.neighbor) && rated.count(a.neighbor) == 0 &&
+            a.neighbor != i1) {
+          item_nbrs.push_back(a);
+        }
+      }
+      if (!item_nbrs.empty()) {
+        const AdjEntry& a = item_nbrs[rng.Uniform(item_nbrs.size())];
+        target = a.neighbor;
+        target_edge = a.edge;
+        score -= std::log(1.0 + static_cast<double>(item_nbrs.size()));
+      }
+    }
+    if (target == graph::kInvalidNode) {
+      if (faithful_) continue;  // PEARLM rejects unfinishable samples
+      const NodeId fake =
+          rg_.ItemNode(static_cast<uint32_t>(rng.Uniform(num_items)));
+      if (rated.count(fake) > 0 || fake == i1 || fake == mid) continue;
+      target = fake;
+      target_edge = kInvalidEdge;
+      score -= 3.0;
+    }
+    path.nodes.push_back(target);
+    path.edges.push_back(target_edge);
+
+    ItemTally& tally = tallies[rg_.NodeToItem(target)];
+    ++tally.count;
+    if (score > tally.best_score) {
+      tally.best_score = score;
+      tally.best_path = path;
+    }
+  }
+
+  // Rank items by decoded frequency, then by best sample score.
+  std::vector<Candidate> candidates;
+  candidates.reserve(tallies.size());
+  for (auto& [item, tally] : tallies) {
+    Candidate c;
+    c.item = item;
+    c.score = static_cast<double>(tally.count) + 1e-3 * tally.best_score;
+    c.path = std::move(tally.best_path);
+    candidates.push_back(std::move(c));
+  }
+  return internal::SelectTopKDistinct(std::move(candidates), k);
+}
+
+}  // namespace xsum::rec

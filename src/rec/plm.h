@@ -1,0 +1,39 @@
+/// \file plm.h
+/// \brief PLM-Rec and PEARLM simulators: language-model path decoding.
+///
+/// PLM-Rec (Geng et al., WWW'22) decodes explanation paths token-by-token
+/// with a language model, which can emit *novel* hops that do not exist in
+/// the KG. PEARLM (Balloccu et al.) constrains decoding to valid KG edges,
+/// guaranteeing faithful paths. Both are simulated by a Monte-Carlo
+/// autoregressive decoder over the KG: PLM hallucinates a hop with
+/// probability `plm_hallucination_rate` (marked with `kInvalidEdge`),
+/// PEARLM uses rate 0 and rejects dead-end samples.
+
+#ifndef XSUM_REC_PLM_H_
+#define XSUM_REC_PLM_H_
+
+#include "rec/recommender.h"
+
+namespace xsum::rec {
+
+/// \brief LM-decoder simulator; covers PLM (hallucinating) and PEARLM
+/// (faithful) depending on the `faithful` flag.
+class PlmRecommender : public PathRecommender {
+ public:
+  PlmRecommender(const data::RecGraph& rec_graph, uint64_t seed,
+                 const RecommenderOptions& options, bool faithful);
+
+  std::string name() const override { return faithful_ ? "PEARLM" : "PLM"; }
+
+  std::vector<Recommendation> Recommend(uint32_t user, int k) const override;
+
+ private:
+  const data::RecGraph& rg_;
+  uint64_t seed_;
+  RecommenderOptions options_;
+  bool faithful_;
+};
+
+}  // namespace xsum::rec
+
+#endif  // XSUM_REC_PLM_H_

@@ -1,0 +1,41 @@
+#include "rec/recommender.h"
+
+#include "rec/cafe.h"
+#include "rec/pgpr.h"
+#include "rec/plm.h"
+
+namespace xsum::rec {
+
+const char* RecommenderKindToString(RecommenderKind kind) {
+  switch (kind) {
+    case RecommenderKind::kPgpr:
+      return "PGPR";
+    case RecommenderKind::kCafe:
+      return "CAFE";
+    case RecommenderKind::kPlm:
+      return "PLM";
+    case RecommenderKind::kPearlm:
+      return "PEARLM";
+  }
+  return "?";
+}
+
+std::unique_ptr<PathRecommender> MakeRecommender(
+    RecommenderKind kind, const data::RecGraph& rec_graph, uint64_t seed,
+    const RecommenderOptions& options) {
+  switch (kind) {
+    case RecommenderKind::kPgpr:
+      return std::make_unique<PgprRecommender>(rec_graph, seed, options);
+    case RecommenderKind::kCafe:
+      return std::make_unique<CafeRecommender>(rec_graph, seed, options);
+    case RecommenderKind::kPlm:
+      return std::make_unique<PlmRecommender>(rec_graph, seed, options,
+                                              /*faithful=*/false);
+    case RecommenderKind::kPearlm:
+      return std::make_unique<PlmRecommender>(rec_graph, seed, options,
+                                              /*faithful=*/true);
+  }
+  return nullptr;
+}
+
+}  // namespace xsum::rec

@@ -1,0 +1,94 @@
+/// \file recommender.h
+/// \brief Common interface of the path-producing recommenders the paper
+/// benchmarks against (PGPR, CAFE, PLM, PEARLM).
+///
+/// Substitution note (DESIGN.md §1.3): the originals are trained RL /
+/// neural-symbolic / language models. The paper's contribution only
+/// consumes their *output* — top-k item recommendations, each with an
+/// explanation path of at most three hops (§V-A). The simulators here
+/// reproduce each method's path-generation signature deterministically:
+///
+///  - `PgprRecommender`:  score-guided beam search over 3-hop KG walks
+///    (reinforcement path reasoning → greedy policy scores).
+///  - `CafeRecommender`:  coarse-to-fine metapath-template instantiation
+///    from the user profile.
+///  - `PlmRecommender`:   autoregressive decoding that may emit
+///    *hallucinated* hops absent from the KG ("novel paths beyond the
+///    static KG topology").
+///  - `PearlmRecommender`: the same decoder constrained to valid KG edges
+///    (faithful paths).
+
+#ifndef XSUM_REC_RECOMMENDER_H_
+#define XSUM_REC_RECOMMENDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/kg_builder.h"
+#include "graph/path.h"
+#include "util/status.h"
+
+namespace xsum::rec {
+
+/// \brief One recommended item with its explanation path E(u, i).
+struct Recommendation {
+  uint32_t item = 0;   ///< dataset item index
+  double score = 0.0;  ///< model score; lists are sorted descending
+  graph::Path path;    ///< user node → ... → item node, ≤ 3 hops
+};
+
+/// \brief Identifiers of the simulated baseline recommenders.
+enum class RecommenderKind : uint8_t {
+  kPgpr = 0,
+  kCafe = 1,
+  kPlm = 2,
+  kPearlm = 3,
+};
+
+/// Display name ("PGPR", "CAFE", "PLM", "PEARLM").
+const char* RecommenderKindToString(RecommenderKind kind);
+
+/// \brief Tuning knobs shared by the simulators.
+struct RecommenderOptions {
+  /// Maximum explanation path hops (paper §V-A: 3).
+  int max_hops = 3;
+  /// Beam width caps for the search-based methods.
+  int hop1_beam = 24;
+  int hop2_beam = 12;
+  int hop3_beam = 12;
+  /// Monte-Carlo sample count for the LM-style decoders.
+  int decoder_samples = 400;
+  /// Hallucination rate of PLM (PEARLM uses 0 regardless).
+  double plm_hallucination_rate = 0.18;
+};
+
+/// \brief Interface: top-k recommendations with explanation paths.
+///
+/// Implementations are deterministic functions of (seed, user): calling
+/// `Recommend` twice yields identical output, and the k-prefix property of
+/// the paper's protocol holds (Recommend(u, k) is a prefix of
+/// Recommend(u, k') for k < k').
+class PathRecommender {
+ public:
+  virtual ~PathRecommender() = default;
+
+  /// Display name of the simulated method.
+  virtual std::string name() const = 0;
+
+  /// Top-\p k item recommendations for \p user, ranked by score.
+  /// Recommended items exclude items the user already rated (unless the
+  /// user rated the entire catalogue). May return fewer than k when the
+  /// graph neighbourhood is too sparse.
+  virtual std::vector<Recommendation> Recommend(uint32_t user,
+                                                int k) const = 0;
+};
+
+/// Creates the simulator for \p kind over \p rec_graph.
+std::unique_ptr<PathRecommender> MakeRecommender(
+    RecommenderKind kind, const data::RecGraph& rec_graph, uint64_t seed,
+    const RecommenderOptions& options = {});
+
+}  // namespace xsum::rec
+
+#endif  // XSUM_REC_RECOMMENDER_H_

@@ -1,0 +1,92 @@
+#include "rec/sampler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace xsum::rec {
+
+std::vector<uint32_t> SampleUsersByGender(const data::Dataset& dataset,
+                                          size_t per_gender, uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<uint32_t> activity = dataset.UserActivity();
+
+  std::vector<uint32_t> out;
+  for (data::Gender gender : {data::Gender::kMale, data::Gender::kFemale}) {
+    std::vector<uint32_t> pool;
+    for (uint32_t u = 0; u < dataset.num_users; ++u) {
+      if (dataset.user_gender[u] == gender) pool.push_back(u);
+    }
+    if (pool.size() <= per_gender) {
+      out.insert(out.end(), pool.begin(), pool.end());
+      continue;
+    }
+    // Stratify by activity quartile to preserve the rating distribution.
+    std::stable_sort(pool.begin(), pool.end(), [&](uint32_t a, uint32_t b) {
+      if (activity[a] != activity[b]) return activity[a] < activity[b];
+      return a < b;
+    });
+    const size_t num_strata = 4;
+    const size_t stratum_size = (pool.size() + num_strata - 1) / num_strata;
+    size_t taken_total = 0;
+    for (size_t s = 0; s < num_strata; ++s) {
+      const size_t begin = s * stratum_size;
+      if (begin >= pool.size()) break;
+      const size_t end = std::min(pool.size(), begin + stratum_size);
+      const size_t stratum_count = end - begin;
+      // Proportional allocation; the last stratum absorbs rounding.
+      size_t want = per_gender / num_strata;
+      if (s == num_strata - 1) want = per_gender - taken_total;
+      want = std::min(want, stratum_count);
+      const auto picks = rng.SampleWithoutReplacement(stratum_count, want);
+      for (uint64_t p : picks) out.push_back(pool[begin + p]);
+      taken_total += want;
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> ItemSample::All() const {
+  std::vector<uint32_t> all = popular;
+  all.insert(all.end(), unpopular.begin(), unpopular.end());
+  return all;
+}
+
+ItemSample SampleItemsByPopularity(const data::Dataset& dataset,
+                                   size_t num_popular, size_t num_unpopular) {
+  const std::vector<uint32_t> popularity = dataset.ItemPopularity();
+  std::vector<uint32_t> items;
+  for (uint32_t i = 0; i < dataset.num_items; ++i) {
+    if (popularity[i] > 0) items.push_back(i);
+  }
+  std::stable_sort(items.begin(), items.end(), [&](uint32_t a, uint32_t b) {
+    if (popularity[a] != popularity[b]) return popularity[a] > popularity[b];
+    return a < b;
+  });
+
+  ItemSample sample;
+  const size_t take_popular = std::min(num_popular, items.size());
+  sample.popular.assign(items.begin(),
+                        items.begin() + static_cast<ptrdiff_t>(take_popular));
+  const size_t remaining = items.size() - take_popular;
+  const size_t take_unpopular = std::min(num_unpopular, remaining);
+  sample.unpopular.assign(items.end() - static_cast<ptrdiff_t>(take_unpopular),
+                          items.end());
+  std::reverse(sample.unpopular.begin(), sample.unpopular.end());
+  return sample;
+}
+
+std::vector<std::vector<uint32_t>> MakeGroups(
+    const std::vector<uint32_t>& users, size_t group_size) {
+  std::vector<std::vector<uint32_t>> groups;
+  if (group_size == 0) return groups;
+  for (size_t begin = 0; begin < users.size(); begin += group_size) {
+    const size_t end = std::min(users.size(), begin + group_size);
+    groups.emplace_back(users.begin() + static_cast<ptrdiff_t>(begin),
+                        users.begin() + static_cast<ptrdiff_t>(end));
+  }
+  return groups;
+}
+
+}  // namespace xsum::rec

@@ -1,0 +1,47 @@
+/// \file sampler.h
+/// \brief The paper's §V-A user/item sampling protocol.
+///
+/// "For user-centric summarization, we selected 100 male and 100 female
+/// users, preserving the original rating distribution to reduce bias. For
+/// item-centric summarization, we chose 100 items, split equally between
+/// the 50 most and 50 least popular items."
+
+#ifndef XSUM_REC_SAMPLER_H_
+#define XSUM_REC_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace xsum::rec {
+
+/// \brief Draws \p per_gender users of each gender, stratified by activity
+/// quartile within gender so the sample preserves the rating distribution.
+/// Returns dataset user indices (males first, then females). If a gender
+/// has fewer than \p per_gender users, all of them are taken.
+std::vector<uint32_t> SampleUsersByGender(const data::Dataset& dataset,
+                                          size_t per_gender, uint64_t seed);
+
+/// \brief The paper's popularity-split item sample.
+struct ItemSample {
+  std::vector<uint32_t> popular;    ///< the most-rated items
+  std::vector<uint32_t> unpopular;  ///< the least-rated items with >= 1 rating
+
+  /// popular ++ unpopular.
+  std::vector<uint32_t> All() const;
+};
+
+/// \brief Picks the \p num_popular most and \p num_unpopular least popular
+/// items (among items with at least one rating).
+ItemSample SampleItemsByPopularity(const data::Dataset& dataset,
+                                   size_t num_popular, size_t num_unpopular);
+
+/// \brief Splits \p users into consecutive groups of \p group_size
+/// (the last group may be smaller; empty groups are dropped).
+std::vector<std::vector<uint32_t>> MakeGroups(
+    const std::vector<uint32_t>& users, size_t group_size);
+
+}  // namespace xsum::rec
+
+#endif  // XSUM_REC_SAMPLER_H_

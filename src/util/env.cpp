@@ -1,0 +1,32 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace xsum {
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return v;
+}
+
+int64_t GetEnvInt(const std::string& name, int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<int64_t>(v);
+}
+
+std::string GetEnvString(const std::string& name,
+                         const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  return raw;
+}
+
+}  // namespace xsum

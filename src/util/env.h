@@ -1,0 +1,30 @@
+/// \file env.h
+/// \brief Environment-variable knobs for the benchmark harness.
+///
+/// All bench binaries honour:
+///  - `XSUM_SCALE`  (double, default bench-specific): dataset scale factor,
+///    1.0 = paper-scale graphs.
+///  - `XSUM_USERS`  (int): number of sampled users (paper: 200).
+///  - `XSUM_ITEMS`  (int): number of sampled items (paper: 100).
+///  - `XSUM_SEED`   (uint64): master seed.
+
+#ifndef XSUM_UTIL_ENV_H_
+#define XSUM_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xsum {
+
+/// Reads env var \p name as double; returns \p fallback if unset/invalid.
+double GetEnvDouble(const std::string& name, double fallback);
+
+/// Reads env var \p name as int64; returns \p fallback if unset/invalid.
+int64_t GetEnvInt(const std::string& name, int64_t fallback);
+
+/// Reads env var \p name as string; returns \p fallback if unset.
+std::string GetEnvString(const std::string& name, const std::string& fallback);
+
+}  // namespace xsum
+
+#endif  // XSUM_UTIL_ENV_H_

@@ -1,0 +1,46 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace xsum {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) <
+      g_log_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[xsum %s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace xsum

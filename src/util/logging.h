@@ -1,0 +1,64 @@
+/// \file logging.h
+/// \brief Minimal leveled logging for library diagnostics.
+///
+/// Logging is off by default at Debug level; benches raise verbosity via
+/// `SetLogLevel`. Messages go to stderr so bench stdout stays parseable.
+
+#ifndef XSUM_UTIL_LOGGING_H_
+#define XSUM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace xsum {
+
+/// \brief Severity levels, ordered.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+/// Emits \p message at \p level if enabled.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// \brief Stream-style log line; emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, oss_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+
+}  // namespace internal
+
+#define XSUM_LOG_DEBUG ::xsum::internal::LogStream(::xsum::LogLevel::kDebug)
+#define XSUM_LOG_INFO ::xsum::internal::LogStream(::xsum::LogLevel::kInfo)
+#define XSUM_LOG_WARN ::xsum::internal::LogStream(::xsum::LogLevel::kWarning)
+#define XSUM_LOG_ERROR ::xsum::internal::LogStream(::xsum::LogLevel::kError)
+
+}  // namespace xsum
+
+#endif  // XSUM_UTIL_LOGGING_H_

@@ -1,0 +1,36 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace xsum {
+
+namespace {
+
+// Reads a "VmXXX:  <kb> kB" field from /proc/self/status.
+int64_t ReadProcStatusKb(const char* field) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t kb = 0;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      long long value = 0;
+      if (std::sscanf(line + field_len, " %lld", &value) == 1) {
+        kb = static_cast<int64_t>(value);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+int64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS:") * 1024; }
+
+int64_t PeakRssBytes() { return ReadProcStatusKb("VmHWM:") * 1024; }
+
+}  // namespace xsum

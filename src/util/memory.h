@@ -1,0 +1,58 @@
+/// \file memory.h
+/// \brief Memory accounting for the performance metrics (Figures 9-11).
+///
+/// Two complementary mechanisms:
+///  - `MemoryCounter`: an explicit byte counter the summarizers charge for
+///    their materialized data structures (deterministic, what the figures
+///    report as "memory").
+///  - `CurrentRssBytes()`: the process resident set, read from
+///    /proc/self/status, used as a sanity reference in scalability benches.
+
+#ifndef XSUM_UTIL_MEMORY_H_
+#define XSUM_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xsum {
+
+/// \brief Deterministic byte counter with peak tracking.
+class MemoryCounter {
+ public:
+  /// Charges \p bytes to the counter.
+  void Add(size_t bytes) {
+    current_ += static_cast<int64_t>(bytes);
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  /// Releases \p bytes from the counter (clamped at zero).
+  void Sub(size_t bytes) {
+    current_ -= static_cast<int64_t>(bytes);
+    if (current_ < 0) current_ = 0;
+  }
+
+  /// Resets both current and peak to zero.
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+  /// Currently charged bytes.
+  int64_t current_bytes() const { return current_; }
+  /// High-water mark since the last Reset().
+  int64_t peak_bytes() const { return peak_; }
+
+ private:
+  int64_t current_ = 0;
+  int64_t peak_ = 0;
+};
+
+/// \brief Resident-set size of this process in bytes (0 if unavailable).
+int64_t CurrentRssBytes();
+
+/// \brief Peak resident-set size of this process in bytes (0 if unavailable).
+int64_t PeakRssBytes();
+
+}  // namespace xsum
+
+#endif  // XSUM_UTIL_MEMORY_H_

@@ -1,0 +1,109 @@
+/// \file rng.h
+/// \brief Deterministic pseudo-random number generation for xsum.
+///
+/// Every stochastic component in the library (dataset generators, simulated
+/// recommenders, samplers) takes an explicit seed and draws from `Rng`, a
+/// xoshiro256++ generator seeded via SplitMix64. This guarantees bit-exact
+/// reproducibility of experiments across runs and platforms.
+
+#ifndef XSUM_UTIL_RNG_H_
+#define XSUM_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace xsum {
+
+/// \brief SplitMix64 step; used to expand seeds and as a cheap hash.
+uint64_t SplitMix64(uint64_t* state);
+
+/// \brief xoshiro256++ pseudo-random generator with sampling helpers.
+///
+/// Satisfies the UniformRandomBitGenerator concept, so it can also be used
+/// with <random> distributions and std::shuffle.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit output.
+  uint64_t operator()() { return Next64(); }
+  /// Next raw 64-bit output.
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). \p bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+  /// Bernoulli draw with success probability \p p (clamped to [0,1]).
+  bool Bernoulli(double p);
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+  /// Exponential with rate \p lambda (> 0).
+  double Exponential(double lambda);
+
+  /// Zipf-distributed integer in [0, n) with skew \p s (s >= 0).
+  ///
+  /// Uses inverse-CDF over precomputed cumulative weights when a
+  /// `ZipfTable` is supplied; this method builds a one-off table and is
+  /// O(n) — prefer `ZipfTable` for repeated draws.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle of \p v.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples \p k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  /// Picks one index in [0, weights.size()) proportionally to weights.
+  /// All weights must be >= 0 and sum > 0; O(n) per draw.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// \brief Precomputed cumulative table for fast repeated Zipf draws.
+///
+/// P(i) ∝ 1/(i+1)^s for i in [0, n). Draws are O(log n).
+class ZipfTable {
+ public:
+  /// Builds the table for support size \p n and skew \p s.
+  ZipfTable(uint64_t n, double s);
+
+  /// Draws one Zipf-distributed index in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  /// Support size.
+  uint64_t size() const { return cum_.size(); }
+
+  /// Probability mass of index \p i.
+  double Pmf(uint64_t i) const;
+
+ private:
+  std::vector<double> cum_;  // normalized cumulative distribution
+};
+
+}  // namespace xsum
+
+#endif  // XSUM_UTIL_RNG_H_

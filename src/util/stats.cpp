@@ -1,0 +1,54 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xsum {
+
+void StatAccumulator::Add(double value) {
+  values_.push_back(value);
+  sum_ += value;
+}
+
+double StatAccumulator::Mean() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double StatAccumulator::Min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double StatAccumulator::Max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double StatAccumulator::StdDev() const {
+  if (values_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double ss = 0.0;
+  for (double v : values_) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values_.size() - 1));
+}
+
+double StatAccumulator::Percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+void StatAccumulator::Reset() {
+  values_.clear();
+  sum_ = 0.0;
+}
+
+}  // namespace xsum

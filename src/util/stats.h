@@ -1,0 +1,50 @@
+/// \file stats.h
+/// \brief Streaming statistics accumulator used by the evaluation harness to
+/// aggregate per-user / per-item metric values into the series the paper's
+/// figures plot.
+
+#ifndef XSUM_UTIL_STATS_H_
+#define XSUM_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace xsum {
+
+/// \brief Accumulates observations; reports mean/min/max/stddev/percentiles.
+class StatAccumulator {
+ public:
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Number of observations.
+  size_t count() const { return values_.size(); }
+  /// True iff no observations have been added.
+  bool empty() const { return values_.empty(); }
+
+  /// Arithmetic mean (0 when empty).
+  double Mean() const;
+  /// Minimum (0 when empty).
+  double Min() const;
+  /// Maximum (0 when empty).
+  double Max() const;
+  /// Sum of all observations.
+  double Sum() const { return sum_; }
+  /// Sample standard deviation (0 when count < 2).
+  double StdDev() const;
+  /// Percentile in [0,100] by nearest-rank on the sorted sample (0 if empty).
+  double Percentile(double p) const;
+  /// Median, i.e. Percentile(50).
+  double Median() const { return Percentile(50.0); }
+
+  /// Clears all state.
+  void Reset();
+
+ private:
+  std::vector<double> values_;
+  double sum_ = 0.0;
+};
+
+}  // namespace xsum
+
+#endif  // XSUM_UTIL_STATS_H_

@@ -1,0 +1,218 @@
+/// \file status.h
+/// \brief Error model for the xsum library: `Status` and `Result<T>`.
+///
+/// The public API never throws. Fallible operations return `Status` (or
+/// `Result<T>` when they also produce a value), following the Arrow/RocksDB
+/// idiom. Convenience macros `XSUM_RETURN_NOT_OK` and `XSUM_ASSIGN_OR_RETURN`
+/// keep call sites terse.
+
+#ifndef XSUM_UTIL_STATUS_H_
+#define XSUM_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xsum {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kAlreadyExists = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIOError = 8,
+};
+
+/// \brief Human-readable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// An OK status carries no allocation; error states allocate a small state
+/// object. `Status` is cheap to move and to copy-when-OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument error with \p message.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// Returns a NotFound error with \p message.
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  /// Returns an OutOfRange error with \p message.
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  /// Returns a FailedPrecondition error with \p message.
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  /// Returns an AlreadyExists error with \p message.
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  /// Returns an Unimplemented error with \p message.
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  /// Returns an Internal error with \p message.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  /// Returns an IOError with \p message.
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return state_ == nullptr; }
+  /// The status code; kOk when `ok()`.
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  /// The error message; empty when `ok()`.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prepends \p context to the error message; no-op on OK statuses.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code(), context + ": " + message());
+  }
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Either a value of type T or an error `Status`.
+///
+/// Accessing the value of an errored Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding \p value.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a Result holding the error \p status (must not be OK).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The status: OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Const access to the value; requires `ok()`.
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::get<T>(payload_);
+  }
+  /// Mutable access to the value; requires `ok()`.
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::get<T>(payload_);
+  }
+  /// Moves the value out; requires `ok()`.
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// Shorthand accessors mirroring std::optional.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or \p fallback if this Result is an error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define XSUM_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::xsum::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define XSUM_CONCAT_IMPL(a, b) a##b
+#define XSUM_CONCAT(a, b) XSUM_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result-returning expression to `lhs`, or
+/// propagates its error out of the enclosing function.
+#define XSUM_ASSIGN_OR_RETURN(lhs, expr)                          \
+  XSUM_ASSIGN_OR_RETURN_IMPL(XSUM_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define XSUM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+
+}  // namespace xsum
+
+#endif  // XSUM_UTIL_STATUS_H_

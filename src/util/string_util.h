@@ -1,0 +1,51 @@
+/// \file string_util.h
+/// \brief Small string helpers shared across the library.
+
+#ifndef XSUM_UTIL_STRING_UTIL_H_
+#define XSUM_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace xsum {
+
+/// Joins \p parts with \p sep ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits \p s on character \p sep; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// True iff \p s starts with \p prefix.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// True iff \p s ends with \p suffix.
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// Lower-cases ASCII letters in \p s.
+std::string ToLower(const std::string& s);
+
+/// Formats a double with \p precision significant digits after the point.
+std::string FormatDouble(double value, int precision = 4);
+
+/// Formats a byte count with a binary unit suffix ("1.50 MiB").
+std::string FormatBytes(int64_t bytes);
+
+/// Formats a count with thousands separators ("1,125,631").
+std::string FormatCount(int64_t value);
+
+/// Streams all arguments into one string (StrCat-style).
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+
+}  // namespace xsum
+
+#endif  // XSUM_UTIL_STRING_UTIL_H_

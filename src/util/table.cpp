@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace xsum {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() <= headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddDoubleRow(const std::string& label,
+                             const std::vector<double>& vals, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(vals.size() + 1);
+  cells.push_back(label);
+  for (double v : vals) cells.push_back(FormatDouble(v, precision));
+  AddRow(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += cell;
+      if (c + 1 < headers_.size()) {
+        line.append(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  size_t rule_len = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule_len += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule_len, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  std::string out = Join(headers_, ",") + "\n";
+  for (const auto& row : rows_) out += Join(row, ",") + "\n";
+  return out;
+}
+
+void TextTable::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace xsum

@@ -1,0 +1,47 @@
+/// \file table.h
+/// \brief Aligned-column table printer used by every bench binary to emit
+/// the rows/series the paper's tables and figures report.
+
+#ifndef XSUM_UTIL_TABLE_H_
+#define XSUM_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xsum {
+
+/// \brief Collects rows of string cells and prints them column-aligned.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; missing trailing cells render empty, extra cells are an
+  /// error caught by assert.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: row of doubles formatted with \p precision.
+  void AddDoubleRow(const std::string& label, const std::vector<double>& vals,
+                    int precision = 4);
+
+  /// Number of data rows.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with a header rule.
+  std::string ToString() const;
+
+  /// Renders as CSV (no alignment padding).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to \p os.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xsum
+
+#endif  // XSUM_UTIL_TABLE_H_

@@ -1,0 +1,64 @@
+/// \file timer.h
+/// \brief Wall-clock timing utilities used by the performance metrics
+/// (paper §V-B-8, Figures 9-11).
+
+#ifndef XSUM_UTIL_TIMER_H_
+#define XSUM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace xsum {
+
+/// \brief Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  void Start() { start_ = Clock::now(); }
+
+  /// Elapsed time since Start() in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time since Start() in microseconds.
+  int64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+
+  /// Elapsed time since Start() in milliseconds (fractional).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  /// Elapsed time since Start() in seconds (fractional).
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_ = Clock::now();
+};
+
+/// \brief Accumulates elapsed nanoseconds into a counter on destruction.
+class ScopedTimer {
+ public:
+  /// \p accumulator_ns receives the elapsed time when the scope exits.
+  explicit ScopedTimer(int64_t* accumulator_ns)
+      : accumulator_ns_(accumulator_ns) {
+    timer_.Start();
+  }
+  ~ScopedTimer() { *accumulator_ns_ += timer_.ElapsedNanos(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* accumulator_ns_;
+  WallTimer timer_;
+};
+
+}  // namespace xsum
+
+#endif  // XSUM_UTIL_TIMER_H_

@@ -1,0 +1,276 @@
+/// Tests for the four scenario task builders (§III terminal sets), the
+/// baseline union, the summarizer façade, and the text renderer.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/renderer.h"
+#include "core/scenario.h"
+#include "core/summarizer.h"
+#include "data/kg_builder.h"
+
+namespace xsum::core {
+namespace {
+
+using graph::NodeId;
+using graph::Path;
+
+/// 2 users, 4 items, 2 entities; user 0 rated items 0,1; user 1 rated
+/// item 2; items share entities.
+class ScenarioFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::Dataset ds;
+    ds.name = "scenario-fixture";
+    ds.num_users = 2;
+    ds.num_items = 4;
+    ds.num_entities = 2;
+    ds.user_gender = {data::Gender::kMale, data::Gender::kFemale};
+    ds.t0 = 100;
+    ds.ratings = {{0, 0, 5.0f, 50},
+                  {0, 1, 4.0f, 60},
+                  {1, 2, 3.0f, 70}};
+    ds.triples = {{0, graph::Relation::kHasGenre, 0, false},
+                  {1, graph::Relation::kHasGenre, 0, false},
+                  {2, graph::Relation::kHasGenre, 0, false},
+                  {3, graph::Relation::kHasGenre, 0, false},
+                  {1, graph::Relation::kDirectedBy, 1, false},
+                  {3, graph::Relation::kDirectedBy, 1, false}};
+    rg_ = std::move(data::BuildRecGraph(ds)).ValueOrDie();
+  }
+
+  /// Path u -> rated item -> entity -> recommended item.
+  Path MakePath(uint32_t user, uint32_t rated, uint32_t entity,
+                uint32_t item) const {
+    Path p;
+    p.nodes = {rg_.UserNode(user), rg_.ItemNode(rated),
+               rg_.EntityNode(entity), rg_.ItemNode(item)};
+    const auto& g = rg_.graph();
+    p.edges = {g.FindEdge(p.nodes[0], p.nodes[1]),
+               g.FindEdge(p.nodes[1], p.nodes[2]),
+               g.FindEdge(p.nodes[2], p.nodes[3])};
+    EXPECT_TRUE(p.Validate(g, /*allow_hallucinated=*/false));
+    return p;
+  }
+
+  UserRecs MakeRecsForUser0() const {
+    UserRecs ur;
+    ur.user = 0;
+    ur.recs.push_back({2, 2.0, MakePath(0, 0, 0, 2)});
+    ur.recs.push_back({3, 1.0, MakePath(0, 1, 1, 3)});
+    return ur;
+  }
+
+  data::RecGraph rg_;
+};
+
+TEST_F(ScenarioFixture, UserCentricTerminals) {
+  const auto task = MakeUserCentricTask(rg_, MakeRecsForUser0(), 2);
+  EXPECT_EQ(task.scenario, Scenario::kUserCentric);
+  // T = {u0} ∪ {i2, i3}.
+  std::vector<NodeId> expected = {rg_.UserNode(0), rg_.ItemNode(2),
+                                  rg_.ItemNode(3)};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(task.terminals, expected);
+  EXPECT_EQ(task.paths.size(), 2u);
+  EXPECT_EQ(task.s_size, 2u);
+  EXPECT_EQ(task.anchors, std::vector<NodeId>{rg_.UserNode(0)});
+}
+
+TEST_F(ScenarioFixture, UserCentricKPrefix) {
+  const auto task = MakeUserCentricTask(rg_, MakeRecsForUser0(), 1);
+  EXPECT_EQ(task.paths.size(), 1u);
+  EXPECT_EQ(task.s_size, 1u);
+  EXPECT_EQ(task.terminals.size(), 2u);
+}
+
+TEST_F(ScenarioFixture, UserCentricKLargerThanRecs) {
+  const auto task = MakeUserCentricTask(rg_, MakeRecsForUser0(), 10);
+  EXPECT_EQ(task.paths.size(), 2u);
+}
+
+TEST_F(ScenarioFixture, ItemCentricTerminals) {
+  std::vector<AudienceEntry> audience;
+  audience.push_back({0, MakePath(0, 0, 0, 2)});
+  audience.push_back({1, MakePath(1, 2, 0, 2)});
+  const auto task = MakeItemCentricTask(rg_, 2, audience, 2);
+  EXPECT_EQ(task.scenario, Scenario::kItemCentric);
+  std::vector<NodeId> expected = {rg_.UserNode(0), rg_.UserNode(1),
+                                  rg_.ItemNode(2)};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(task.terminals, expected);
+  EXPECT_EQ(task.s_size, 2u);  // |Ci|
+}
+
+TEST_F(ScenarioFixture, UserGroupMergesMembers) {
+  UserRecs u0 = MakeRecsForUser0();
+  UserRecs u1;
+  u1.user = 1;
+  u1.recs.push_back({3, 1.5, MakePath(1, 2, 0, 3)});
+  const auto task = MakeUserGroupTask(rg_, {u0, u1}, 2);
+  EXPECT_EQ(task.scenario, Scenario::kUserGroup);
+  // T = D ∪ RD = {u0, u1} ∪ {i2, i3}.
+  EXPECT_EQ(task.terminals.size(), 4u);
+  EXPECT_EQ(task.paths.size(), 3u);
+  EXPECT_EQ(task.s_size, 2u);  // |RD| = |{i2, i3}|
+  EXPECT_EQ(task.anchors.size(), 2u);
+}
+
+TEST_F(ScenarioFixture, ItemGroupMergesAudiences) {
+  ItemAudience a;
+  a.item = 2;
+  a.audience.push_back({0, MakePath(0, 0, 0, 2)});
+  ItemAudience b;
+  b.item = 3;
+  b.audience.push_back({0, MakePath(0, 1, 1, 3)});
+  b.audience.push_back({1, MakePath(1, 2, 0, 3)});
+  const auto task = MakeItemGroupTask(rg_, {a, b}, 10);
+  EXPECT_EQ(task.scenario, Scenario::kItemGroup);
+  // T = F ∪ CF = {i2, i3} ∪ {u0, u1}.
+  EXPECT_EQ(task.terminals.size(), 4u);
+  EXPECT_EQ(task.paths.size(), 3u);
+  EXPECT_EQ(task.s_size, 2u);  // |CF|
+}
+
+TEST_F(ScenarioFixture, ScenarioNames) {
+  EXPECT_STREQ(ScenarioToString(Scenario::kUserCentric), "user-centric");
+  EXPECT_STREQ(ScenarioToString(Scenario::kItemCentric), "item-centric");
+  EXPECT_STREQ(ScenarioToString(Scenario::kUserGroup), "user-group");
+  EXPECT_STREQ(ScenarioToString(Scenario::kItemGroup), "item-group");
+}
+
+// --- baseline ----------------------------------------------------------------
+
+TEST_F(ScenarioFixture, UnionOfPathsDeduplicates) {
+  const Path p = MakePath(0, 0, 0, 2);
+  const auto s = UnionOfPaths(rg_.graph(), {p, p});
+  EXPECT_EQ(s.num_edges(), 3u);  // deduplicated
+  EXPECT_EQ(s.num_nodes(), 4u);
+}
+
+TEST_F(ScenarioFixture, TotalPathEdgesCountsDuplicates) {
+  const Path p = MakePath(0, 0, 0, 2);
+  EXPECT_EQ(TotalPathEdges({p, p}), 6u);
+  EXPECT_EQ(TotalPathEdges({}), 0u);
+}
+
+TEST_F(ScenarioFixture, UnionOfPathsSkipsHallucinatedEdges) {
+  Path p;
+  p.nodes = {rg_.UserNode(0), rg_.ItemNode(3)};
+  p.edges = {graph::kInvalidEdge};
+  const auto s = UnionOfPaths(rg_.graph(), {p});
+  EXPECT_EQ(s.num_edges(), 0u);
+  EXPECT_EQ(s.num_nodes(), 2u);  // endpoints still counted
+}
+
+// --- summarizer façade ---------------------------------------------------------
+
+TEST_F(ScenarioFixture, SummarizeBaseline) {
+  const auto task = MakeUserCentricTask(rg_, MakeRecsForUser0(), 2);
+  SummarizerOptions options;
+  options.method = SummaryMethod::kBaseline;
+  const auto summary = Summarize(rg_, task, options);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->method, SummaryMethod::kBaseline);
+  EXPECT_EQ(summary->input_paths.size(), 2u);
+  EXPECT_GT(summary->subgraph.num_edges(), 0u);
+}
+
+TEST_F(ScenarioFixture, SummarizeSteinerSpansTerminals) {
+  const auto task = MakeUserCentricTask(rg_, MakeRecsForUser0(), 2);
+  SummarizerOptions options;
+  options.method = SummaryMethod::kSteiner;
+  const auto summary = Summarize(rg_, task, options);
+  ASSERT_TRUE(summary.ok());
+  for (NodeId t : task.terminals) {
+    EXPECT_TRUE(summary->subgraph.ContainsNode(t));
+  }
+  EXPECT_TRUE(summary->subgraph.IsWeaklyConnected(rg_.graph()));
+  EXPECT_GE(summary->elapsed_ms, 0.0);
+  EXPECT_GT(summary->memory_bytes, 0u);
+}
+
+TEST_F(ScenarioFixture, SummarizePcstSpansTerminals) {
+  const auto task = MakeUserCentricTask(rg_, MakeRecsForUser0(), 2);
+  SummarizerOptions options;
+  options.method = SummaryMethod::kPcst;
+  const auto summary = Summarize(rg_, task, options);
+  ASSERT_TRUE(summary.ok());
+  for (NodeId t : task.terminals) {
+    EXPECT_TRUE(summary->subgraph.ContainsNode(t));
+  }
+  EXPECT_TRUE(summary->unreached_terminals.empty());
+}
+
+TEST(SummarizerOptionsTest, Labels) {
+  SummarizerOptions o;
+  o.method = SummaryMethod::kBaseline;
+  EXPECT_EQ(o.Label(), "baseline");
+  o.method = SummaryMethod::kSteiner;
+  o.lambda = 100.0;
+  EXPECT_EQ(o.Label(), "ST l=100");
+  o.lambda = 0.01;
+  EXPECT_EQ(o.Label(), "ST l=0.01");
+  o.method = SummaryMethod::kPcst;
+  EXPECT_EQ(o.Label(), "PCST");
+}
+
+TEST(SummaryMethodTest, Names) {
+  EXPECT_STREQ(SummaryMethodToString(SummaryMethod::kBaseline), "baseline");
+  EXPECT_STREQ(SummaryMethodToString(SummaryMethod::kSteiner), "ST");
+  EXPECT_STREQ(SummaryMethodToString(SummaryMethod::kPcst), "PCST");
+}
+
+// --- renderer --------------------------------------------------------------------
+
+TEST_F(ScenarioFixture, RenderPathDefaults) {
+  const Path p = MakePath(0, 0, 0, 2);
+  const std::string text = RenderPath(rg_, p);
+  EXPECT_NE(text.find("u0"), std::string::npos);
+  EXPECT_NE(text.find("item 2"), std::string::npos);
+  EXPECT_NE(text.find("through"), std::string::npos);
+}
+
+TEST_F(ScenarioFixture, RenderPathWithNames) {
+  NameTable names;
+  names.Set(rg_.UserNode(0), "Alice");
+  names.Set(rg_.ItemNode(2), "The Beekeeper");
+  const Path p = MakePath(0, 0, 0, 2);
+  const std::string text = RenderPath(rg_, p, names);
+  EXPECT_NE(text.find("Alice"), std::string::npos);
+  EXPECT_NE(text.find("The Beekeeper"), std::string::npos);
+}
+
+TEST_F(ScenarioFixture, RenderEmptyPath) {
+  EXPECT_EQ(RenderPath(rg_, Path{}), "(empty path)");
+}
+
+TEST_F(ScenarioFixture, RenderDirectConnection) {
+  Path p;
+  p.nodes = {rg_.UserNode(0), rg_.ItemNode(0)};
+  p.edges = {rg_.graph().FindEdge(p.nodes[0], p.nodes[1])};
+  const std::string text = RenderPath(rg_, p);
+  EXPECT_NE(text.find("directly connected"), std::string::npos);
+}
+
+TEST_F(ScenarioFixture, RenderSummaryListsTerminals) {
+  const auto task = MakeUserCentricTask(rg_, MakeRecsForUser0(), 2);
+  SummarizerOptions options;
+  options.method = SummaryMethod::kSteiner;
+  const auto summary = Summarize(rg_, task, options);
+  ASSERT_TRUE(summary.ok());
+  const std::string text = RenderSummary(rg_, *summary);
+  EXPECT_NE(text.find("u0"), std::string::npos);
+  EXPECT_NE(text.find("item 2"), std::string::npos);
+  EXPECT_NE(text.find("item 3"), std::string::npos);
+}
+
+TEST_F(ScenarioFixture, RenderEmptySummary) {
+  Summary summary;
+  EXPECT_EQ(RenderSummary(rg_, summary), "(empty summary)");
+}
+
+}  // namespace
+}  // namespace xsum::core

@@ -1,0 +1,146 @@
+/// Tests for the Eq. (1) weight adjustment and the max-weight→min-cost
+/// transform.
+
+#include <gtest/gtest.h>
+
+#include "core/cost_transform.h"
+#include "core/weight_adjust.h"
+#include "graph/knowledge_graph.h"
+
+namespace xsum::core {
+namespace {
+
+using graph::GraphBuilder;
+using graph::KnowledgeGraph;
+using graph::NodeType;
+using graph::Path;
+using graph::Relation;
+
+/// u0 - i1 - e2 - i3 with weights 4, 0, 0.
+KnowledgeGraph MakeChain() {
+  GraphBuilder builder;
+  builder.AddNode(NodeType::kUser);
+  builder.AddNode(NodeType::kItem);
+  builder.AddNode(NodeType::kEntity);
+  builder.AddNode(NodeType::kItem);
+  EXPECT_TRUE(builder.AddEdge(0, 1, Relation::kRated, 4.0).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2, Relation::kHasGenre, 0.0).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 3, Relation::kHasGenre, 0.0).ok());
+  return std::move(builder).Finalize();
+}
+
+Path ChainPath() {
+  Path p;
+  p.nodes = {0, 1, 2, 3};
+  p.edges = {0, 1, 2};
+  return p;
+}
+
+TEST(CountEdgeOccurrencesTest, CountsPerEdge) {
+  const KnowledgeGraph g = MakeChain();
+  Path half;
+  half.nodes = {0, 1, 2};
+  half.edges = {0, 1};
+  const auto counts = CountEdgeOccurrences(g, {ChainPath(), half});
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(CountEdgeOccurrencesTest, SkipsHallucinatedHops) {
+  const KnowledgeGraph g = MakeChain();
+  Path p;
+  p.nodes = {0, 3};
+  p.edges = {graph::kInvalidEdge};
+  const auto counts = CountEdgeOccurrences(g, {p});
+  for (uint32_t c : counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(AdjustWeightsTest, EquationOneExact) {
+  const KnowledgeGraph g = MakeChain();
+  const std::vector<double> base = {4.0, 1.0, 1.0};
+  // One path covering all edges; |S| = 2, lambda = 3.
+  const auto adjusted = AdjustWeights(g, base, {ChainPath()}, 3.0, 2);
+  // w(e) = w * (1 + 3 * (1/2)) = 2.5 * w.
+  EXPECT_DOUBLE_EQ(adjusted[0], 4.0 * 2.5);
+  EXPECT_DOUBLE_EQ(adjusted[1], 1.0 * 2.5);
+  EXPECT_DOUBLE_EQ(adjusted[2], 1.0 * 2.5);
+}
+
+TEST(AdjustWeightsTest, LambdaZeroKeepsBaseWeights) {
+  const KnowledgeGraph g = MakeChain();
+  const std::vector<double> base = {4.0, 0.0, 0.0};
+  const auto adjusted = AdjustWeights(g, base, {ChainPath()}, 0.0, 1);
+  EXPECT_EQ(adjusted, base);
+}
+
+TEST(AdjustWeightsTest, EdgesOutsidePathsUnchanged) {
+  const KnowledgeGraph g = MakeChain();
+  const std::vector<double> base = {4.0, 1.0, 1.0};
+  Path prefix;
+  prefix.nodes = {0, 1};
+  prefix.edges = {0};
+  const auto adjusted = AdjustWeights(g, base, {prefix}, 10.0, 1);
+  EXPECT_GT(adjusted[0], base[0]);
+  EXPECT_DOUBLE_EQ(adjusted[1], base[1]);
+  EXPECT_DOUBLE_EQ(adjusted[2], base[2]);
+}
+
+TEST(AdjustWeightsTest, ZeroBaseWeightStaysZero) {
+  // Faithful to Eq. (1): wM(e) = 0 (the paper's wA) is multiplicative, so
+  // path frequency cannot resurrect a zero-weight edge.
+  const KnowledgeGraph g = MakeChain();
+  const std::vector<double> base = {4.0, 0.0, 0.0};
+  const auto adjusted = AdjustWeights(g, base, {ChainPath()}, 100.0, 1);
+  EXPECT_DOUBLE_EQ(adjusted[1], 0.0);
+  EXPECT_DOUBLE_EQ(adjusted[2], 0.0);
+}
+
+TEST(AdjustWeightsTest, FrequencyNormalizedBySSize) {
+  const KnowledgeGraph g = MakeChain();
+  const std::vector<double> base = {1.0, 1.0, 1.0};
+  const auto small_s = AdjustWeights(g, base, {ChainPath()}, 1.0, 1);
+  const auto large_s = AdjustWeights(g, base, {ChainPath()}, 1.0, 10);
+  EXPECT_GT(small_s[0], large_s[0]);
+  EXPECT_DOUBLE_EQ(small_s[0], 2.0);   // 1 * (1 + 1/1)
+  EXPECT_DOUBLE_EQ(large_s[0], 1.1);   // 1 * (1 + 1/10)
+}
+
+// --- cost transform -----------------------------------------------------------
+
+TEST(CostTransformTest, UnitMode) {
+  const auto costs = WeightsToCosts({1.0, 5.0, 2.0}, CostMode::kUnit);
+  EXPECT_EQ(costs, (std::vector<double>{1.0, 1.0, 1.0}));
+}
+
+TEST(CostTransformTest, EmptyInput) {
+  EXPECT_TRUE(WeightsToCosts({}).empty());
+}
+
+TEST(CostTransformTest, AllEqualWeightsYieldUnitCosts) {
+  const auto costs = WeightsToCosts({3.0, 3.0, 3.0});
+  EXPECT_EQ(costs, (std::vector<double>{1.0, 1.0, 1.0}));
+}
+
+TEST(CostTransformTest, OrderPreservingAndBounded) {
+  const std::vector<double> weights = {0.0, 2.0, 5.0, 1.0};
+  const auto costs = WeightsToCosts(weights);
+  // Higher weight -> lower cost; all costs in [1, 2].
+  EXPECT_DOUBLE_EQ(costs[2], 1.0);  // max weight
+  EXPECT_DOUBLE_EQ(costs[0], 2.0);  // min weight
+  EXPECT_GT(costs[3], costs[1]);
+  for (double c : costs) {
+    EXPECT_GE(c, 1.0);
+    EXPECT_LE(c, 2.0);
+  }
+}
+
+TEST(CostTransformTest, EveryEdgeCostsAtLeastOne) {
+  // The "+1 per edge" floor is what makes total cost minimize |E_S| first
+  // (the paper's primary objective).
+  const auto costs = WeightsToCosts({-5.0, 100.0, 7.0});
+  for (double c : costs) EXPECT_GE(c, 1.0);
+}
+
+}  // namespace
+}  // namespace xsum::core

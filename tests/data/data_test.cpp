@@ -1,0 +1,134 @@
+/// Tests for the dataset schema and the §III weight function.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/weights.h"
+
+namespace xsum::data {
+namespace {
+
+Dataset MakeTinyDataset() {
+  Dataset ds;
+  ds.name = "tiny";
+  ds.num_users = 2;
+  ds.num_items = 3;
+  ds.num_entities = 2;
+  ds.user_gender = {Gender::kMale, Gender::kFemale};
+  ds.t0 = 1000;
+  ds.ratings = {{0, 0, 5.0f, 900}, {0, 1, 3.0f, 950}, {1, 0, 4.0f, 980}};
+  ds.triples = {{0, graph::Relation::kHasGenre, 0, false},
+                {2, graph::Relation::kDirectedBy, 1, false}};
+  return ds;
+}
+
+TEST(DatasetTest, ValidatesCleanData) {
+  EXPECT_TRUE(MakeTinyDataset().Validate());
+}
+
+TEST(DatasetTest, RejectsUserIndexOutOfRange) {
+  Dataset ds = MakeTinyDataset();
+  ds.ratings.push_back({5, 0, 4.0f, 0});
+  EXPECT_FALSE(ds.Validate());
+}
+
+TEST(DatasetTest, RejectsItemIndexOutOfRange) {
+  Dataset ds = MakeTinyDataset();
+  ds.ratings.push_back({0, 9, 4.0f, 0});
+  EXPECT_FALSE(ds.Validate());
+}
+
+TEST(DatasetTest, RejectsRatingOutOfBounds) {
+  Dataset ds = MakeTinyDataset();
+  ds.ratings.push_back({0, 0, 6.0f, 0});
+  EXPECT_FALSE(ds.Validate());
+  ds.ratings.back().rating = 0.5f;
+  EXPECT_FALSE(ds.Validate());
+}
+
+TEST(DatasetTest, RejectsBadTriples) {
+  Dataset ds = MakeTinyDataset();
+  ds.triples.push_back({0, graph::Relation::kHasGenre, 7, false});
+  EXPECT_FALSE(ds.Validate());
+  ds.triples.back() = {9, graph::Relation::kHasGenre, 0, false};
+  EXPECT_FALSE(ds.Validate());
+  // user-subject triple with valid user index is fine
+  ds.triples.back() = {1, graph::Relation::kUserAttribute, 0, true};
+  EXPECT_TRUE(ds.Validate());
+  ds.triples.back().subject = 2;  // user index out of range
+  EXPECT_FALSE(ds.Validate());
+}
+
+TEST(DatasetTest, RejectsGenderSizeMismatch) {
+  Dataset ds = MakeTinyDataset();
+  ds.user_gender.pop_back();
+  EXPECT_FALSE(ds.Validate());
+}
+
+TEST(DatasetTest, ItemPopularityCounts) {
+  const Dataset ds = MakeTinyDataset();
+  const auto pop = ds.ItemPopularity();
+  EXPECT_EQ(pop, (std::vector<uint32_t>{2, 1, 0}));
+}
+
+TEST(DatasetTest, UserActivityCounts) {
+  const Dataset ds = MakeTinyDataset();
+  const auto act = ds.UserActivity();
+  EXPECT_EQ(act, (std::vector<uint32_t>{2, 1}));
+}
+
+// --- weights ------------------------------------------------------------------
+
+TEST(WeightsTest, RecencyIsOneAtT0) {
+  WeightParams params;
+  params.t0 = 1000;
+  params.gamma = 0.01;
+  EXPECT_DOUBLE_EQ(RecencyScore(params, 1000), 1.0);
+  EXPECT_DOUBLE_EQ(RecencyScore(params, 2000), 1.0);  // future clamped
+}
+
+TEST(WeightsTest, RecencyDecaysExponentially) {
+  WeightParams params;
+  params.t0 = 1000;
+  params.gamma = 0.001;
+  const double r1 = RecencyScore(params, 900);
+  const double r2 = RecencyScore(params, 800);
+  EXPECT_LT(r2, r1);
+  EXPECT_NEAR(r1, std::exp(-0.1), 1e-12);
+  EXPECT_NEAR(r2 / r1, r1 / 1.0, 1e-9);  // constant ratio per 100s
+}
+
+TEST(WeightsTest, PaperDefaultIgnoresRecency) {
+  WeightParams params;  // beta1=1, beta2=0
+  params.t0 = 1000;
+  EXPECT_DOUBLE_EQ(RatedEdgeWeight(params, 4.0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(RatedEdgeWeight(params, 4.0, 999), 4.0);
+}
+
+TEST(WeightsTest, BetaMixing) {
+  WeightParams params;
+  params.beta1 = 0.5;
+  params.beta2 = 2.0;
+  params.t0 = 1000;
+  params.gamma = 0.0;  // recency term = 1 for any past timestamp
+  EXPECT_DOUBLE_EQ(RatedEdgeWeight(params, 4.0, 500), 0.5 * 4.0 + 2.0);
+}
+
+TEST(WeightsTest, HigherRatingHigherWeight) {
+  WeightParams params;
+  params.t0 = 1000;
+  EXPECT_GT(RatedEdgeWeight(params, 5.0, 900), RatedEdgeWeight(params, 1.0, 900));
+}
+
+TEST(WeightsTest, MoreRecentHigherWeightWhenRecencyOn) {
+  WeightParams params;
+  params.beta1 = 0.0;
+  params.beta2 = 1.0;
+  params.gamma = 0.001;
+  params.t0 = 1000;
+  EXPECT_GT(RatedEdgeWeight(params, 3.0, 950), RatedEdgeWeight(params, 3.0, 500));
+}
+
+}  // namespace
+}  // namespace xsum::data

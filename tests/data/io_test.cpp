@@ -1,0 +1,140 @@
+/// Tests for dataset IO: MovieLens-native loading and the xsum TSV
+/// round-trip.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/io.h"
+#include "data/synthetic.h"
+
+namespace xsum::data {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("xsum_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string WriteFile(const std::string& name, const std::string& body) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << body;
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, LoadsMl1mNativeFormat) {
+  Ml1mPaths paths;
+  paths.ratings_dat = WriteFile("ratings.dat",
+                                "1::1193::5::978300760\n"
+                                "1::661::3::978302109\n"
+                                "2::1193::4::978298413\n");
+  paths.users_dat = WriteFile("users.dat",
+                              "1::F::1::10::48067\n"
+                              "2::M::56::16::70072\n");
+  paths.triples_tsv = WriteFile("triples.tsv",
+                                "1193\tdirected_by\t900\n"
+                                "661\thas_genre\t901\n"
+                                "9999\thas_genre\t901\n");  // unrated: skip
+  const auto ds = LoadMl1m(paths);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->num_users, 2u);
+  EXPECT_EQ(ds->num_items, 2u);
+  EXPECT_EQ(ds->num_entities, 2u);
+  EXPECT_EQ(ds->ratings.size(), 3u);
+  EXPECT_EQ(ds->triples.size(), 2u);  // the unrated item's triple dropped
+  EXPECT_EQ(ds->user_gender[0], Gender::kFemale);
+  EXPECT_EQ(ds->user_gender[1], Gender::kMale);
+  EXPECT_EQ(ds->t0, 978302109);  // max timestamp
+  EXPECT_TRUE(ds->Validate());
+  // Dense ids preserve first-seen order: raw 1193 -> 0, 661 -> 1.
+  EXPECT_EQ(ds->ratings[0].item, 0u);
+  EXPECT_EQ(ds->ratings[1].item, 1u);
+  EXPECT_EQ(ds->triples[0].relation, graph::Relation::kDirectedBy);
+}
+
+TEST_F(IoTest, Ml1mMissingFileIsIOError) {
+  Ml1mPaths paths;
+  paths.ratings_dat = (dir_ / "nope.dat").string();
+  EXPECT_TRUE(LoadMl1m(paths).status().IsIOError());
+}
+
+TEST_F(IoTest, Ml1mMalformedRowRejected) {
+  Ml1mPaths paths;
+  paths.ratings_dat = WriteFile("bad.dat", "1::2\n");
+  EXPECT_TRUE(LoadMl1m(paths).status().IsInvalidArgument());
+}
+
+TEST_F(IoTest, Ml1mRatingOutOfRangeRejected) {
+  Ml1mPaths paths;
+  paths.ratings_dat = WriteFile("bad2.dat", "1::2::9::100\n");
+  EXPECT_TRUE(LoadMl1m(paths).status().IsInvalidArgument());
+}
+
+TEST_F(IoTest, Ml1mWorksWithoutOptionalFiles) {
+  Ml1mPaths paths;
+  paths.ratings_dat = WriteFile("only.dat", "7::8::4::1000\n");
+  const auto ds = LoadMl1m(paths);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_users, 1u);
+  EXPECT_EQ(ds->num_entities, 0u);
+  EXPECT_EQ(ds->user_gender[0], Gender::kMale);  // default
+}
+
+TEST_F(IoTest, TsvRoundTripPreservesDataset) {
+  const Dataset original = MakeSyntheticDataset(Ml1mConfig(0.01, 77));
+  const std::string path = (dir_ / "ds.tsv").string();
+  ASSERT_TRUE(SaveDatasetTsv(original, path).ok());
+  const auto loaded = LoadDatasetTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->name, original.name);
+  EXPECT_EQ(loaded->num_users, original.num_users);
+  EXPECT_EQ(loaded->num_items, original.num_items);
+  EXPECT_EQ(loaded->num_entities, original.num_entities);
+  EXPECT_EQ(loaded->t0, original.t0);
+  ASSERT_EQ(loaded->ratings.size(), original.ratings.size());
+  for (size_t i = 0; i < original.ratings.size(); ++i) {
+    EXPECT_EQ(loaded->ratings[i].user, original.ratings[i].user);
+    EXPECT_EQ(loaded->ratings[i].item, original.ratings[i].item);
+    EXPECT_EQ(loaded->ratings[i].rating, original.ratings[i].rating);
+    EXPECT_EQ(loaded->ratings[i].timestamp, original.ratings[i].timestamp);
+  }
+  ASSERT_EQ(loaded->triples.size(), original.triples.size());
+  for (size_t i = 0; i < original.triples.size(); ++i) {
+    EXPECT_EQ(loaded->triples[i].subject, original.triples[i].subject);
+    EXPECT_EQ(loaded->triples[i].relation, original.triples[i].relation);
+    EXPECT_EQ(loaded->triples[i].entity, original.triples[i].entity);
+  }
+  EXPECT_EQ(loaded->user_gender, original.user_gender);
+}
+
+TEST_F(IoTest, TsvRejectsWrongMagic) {
+  const std::string path = WriteFile("junk.tsv", "not-a-dataset\n");
+  EXPECT_TRUE(LoadDatasetTsv(path).status().IsInvalidArgument());
+}
+
+TEST_F(IoTest, TsvMissingFileIsIOError) {
+  EXPECT_TRUE(
+      LoadDatasetTsv((dir_ / "missing.tsv").string()).status().IsIOError());
+}
+
+TEST(ParseRelationTest, RoundTripsAllRelations) {
+  for (int r = 0; r < graph::kNumRelations; ++r) {
+    const auto relation = static_cast<graph::Relation>(r);
+    EXPECT_EQ(ParseRelation(graph::RelationToString(relation)), relation);
+  }
+  EXPECT_EQ(ParseRelation("unknown-thing"), graph::Relation::kRelatedTo);
+}
+
+}  // namespace
+}  // namespace xsum::data

@@ -1,0 +1,188 @@
+/// Tests for the synthetic dataset generators: structural validity,
+/// calibration to the paper's published statistics, and determinism.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace xsum::data {
+namespace {
+
+TEST(SyntheticTest, Ml1mConfigScalesCounts) {
+  const auto full = Ml1mConfig(1.0);
+  EXPECT_EQ(full.num_users, 6040u);
+  EXPECT_EQ(full.num_items, 3883u);
+  EXPECT_EQ(full.target_ratings, 932293u);
+  EXPECT_EQ(full.target_triples, 178461u);
+  const auto half = Ml1mConfig(0.5);
+  EXPECT_EQ(half.num_users, 3020u);
+}
+
+TEST(SyntheticTest, Lfm1mConfigMatchesPaper) {
+  const auto c = Lfm1mConfig(1.0);
+  EXPECT_EQ(c.num_users, 4817u);
+  EXPECT_EQ(c.num_items, 12492u);
+  EXPECT_EQ(c.num_entities, 17491u);
+  EXPECT_EQ(c.target_ratings, 1091274u);
+  EXPECT_EQ(c.flavor, DatasetFlavor::kMusic);
+}
+
+TEST(SyntheticTest, ScalingConfigRatios) {
+  const auto c = ScalingConfig(10000);
+  // ML1M ratios: ~30.4% users, ~19.6% items, rest entities.
+  EXPECT_NEAR(static_cast<double>(c.num_users), 3044, 10);
+  EXPECT_NEAR(static_cast<double>(c.num_items), 1957, 10);
+  EXPECT_EQ(c.num_users + c.num_items + c.num_entities, 10000u);
+  // ~56.7 edges per node, split ~83/17.
+  EXPECT_NEAR(static_cast<double>(c.target_ratings + c.target_triples),
+              567200, 5000);
+}
+
+TEST(SyntheticTest, GeneratedDatasetValidates) {
+  const Dataset ds = MakeSyntheticDataset(Ml1mConfig(0.02));
+  EXPECT_TRUE(ds.Validate());
+  EXPECT_EQ(ds.num_users, ds.user_gender.size());
+}
+
+TEST(SyntheticTest, RatingsNearTarget) {
+  const auto config = Ml1mConfig(0.05);
+  const Dataset ds = MakeSyntheticDataset(config);
+  // Deduplication loses a little; expect at least 85% of the target.
+  EXPECT_GE(ds.ratings.size(), config.target_ratings * 85 / 100);
+  EXPECT_LE(ds.ratings.size(), config.target_ratings + ds.num_users +
+                                   ds.num_items);
+}
+
+TEST(SyntheticTest, TriplesNearTarget) {
+  const auto config = Ml1mConfig(0.05);
+  const Dataset ds = MakeSyntheticDataset(config);
+  EXPECT_GE(ds.triples.size(), config.target_triples * 80 / 100);
+}
+
+TEST(SyntheticTest, EveryUserAndItemHasARating) {
+  const Dataset ds = MakeSyntheticDataset(Ml1mConfig(0.03));
+  const auto activity = ds.UserActivity();
+  const auto popularity = ds.ItemPopularity();
+  for (uint32_t u = 0; u < ds.num_users; ++u) EXPECT_GE(activity[u], 1u);
+  for (uint32_t i = 0; i < ds.num_items; ++i) EXPECT_GE(popularity[i], 1u);
+}
+
+TEST(SyntheticTest, EveryEntityIsAttached) {
+  const Dataset ds = MakeSyntheticDataset(Ml1mConfig(0.03));
+  std::vector<char> used(ds.num_entities, 0);
+  for (const Triple& t : ds.triples) used[t.entity] = 1;
+  for (uint32_t e = 0; e < ds.num_entities; ++e) {
+    EXPECT_TRUE(used[e]) << "entity " << e << " isolated";
+  }
+}
+
+TEST(SyntheticTest, NoDuplicateRatings) {
+  const Dataset ds = MakeSyntheticDataset(Ml1mConfig(0.03));
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (const Rating& r : ds.ratings) {
+    EXPECT_TRUE(seen.insert({r.user, r.item}).second)
+        << "duplicate rating " << r.user << "," << r.item;
+  }
+}
+
+TEST(SyntheticTest, PopularityIsSkewed) {
+  const Dataset ds = MakeSyntheticDataset(Ml1mConfig(0.05));
+  auto pop = ds.ItemPopularity();
+  std::sort(pop.begin(), pop.end(), std::greater<>());
+  // Zipf head: the top 10% of items should hold far more than 10% of mass.
+  size_t head = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < pop.size(); ++i) {
+    total += pop[i];
+    if (i < pop.size() / 10) head += pop[i];
+  }
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(total), 0.25);
+}
+
+TEST(SyntheticTest, TimestampsWithinWindow) {
+  const auto config = Ml1mConfig(0.02);
+  const Dataset ds = MakeSyntheticDataset(config);
+  for (const Rating& r : ds.ratings) {
+    EXPECT_LE(r.timestamp, config.t0);
+    EXPECT_GE(r.timestamp, config.t0 - config.timestamp_window);
+  }
+}
+
+TEST(SyntheticTest, GenderMixRoughlyMatchesConfig) {
+  const auto config = Ml1mConfig(0.2);
+  const Dataset ds = MakeSyntheticDataset(config);
+  size_t female = 0;
+  for (Gender g : ds.user_gender) {
+    if (g == Gender::kFemale) ++female;
+  }
+  const double frac = static_cast<double>(female) /
+                      static_cast<double>(ds.num_users);
+  EXPECT_NEAR(frac, config.female_fraction, 0.05);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  const Dataset a = MakeSyntheticDataset(Ml1mConfig(0.02, 7));
+  const Dataset b = MakeSyntheticDataset(Ml1mConfig(0.02, 7));
+  ASSERT_EQ(a.ratings.size(), b.ratings.size());
+  for (size_t i = 0; i < a.ratings.size(); ++i) {
+    EXPECT_EQ(a.ratings[i].user, b.ratings[i].user);
+    EXPECT_EQ(a.ratings[i].item, b.ratings[i].item);
+    EXPECT_EQ(a.ratings[i].rating, b.ratings[i].rating);
+  }
+  ASSERT_EQ(a.triples.size(), b.triples.size());
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  const Dataset a = MakeSyntheticDataset(Ml1mConfig(0.02, 7));
+  const Dataset b = MakeSyntheticDataset(Ml1mConfig(0.02, 8));
+  bool any_diff = a.ratings.size() != b.ratings.size();
+  for (size_t i = 0; !any_diff && i < a.ratings.size(); ++i) {
+    any_diff = a.ratings[i].user != b.ratings[i].user ||
+               a.ratings[i].item != b.ratings[i].item;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, MusicFlavorUsesMusicRelations) {
+  const Dataset ds = MakeSyntheticDataset(Lfm1mConfig(0.02));
+  bool has_sung_by = false;
+  bool has_album = false;
+  for (const Triple& t : ds.triples) {
+    has_sung_by |= t.relation == graph::Relation::kSungBy;
+    has_album |= t.relation == graph::Relation::kInAlbum;
+    EXPECT_NE(t.relation, graph::Relation::kDirectedBy);
+  }
+  EXPECT_TRUE(has_sung_by);
+  EXPECT_TRUE(has_album);
+}
+
+TEST(SyntheticTest, MovieFlavorUsesMovieRelations) {
+  const Dataset ds = MakeSyntheticDataset(Ml1mConfig(0.02));
+  bool has_director = false;
+  bool has_actor = false;
+  for (const Triple& t : ds.triples) {
+    has_director |= t.relation == graph::Relation::kDirectedBy;
+    has_actor |= t.relation == graph::Relation::kActedBy;
+    EXPECT_NE(t.relation, graph::Relation::kSungBy);
+  }
+  EXPECT_TRUE(has_director);
+  EXPECT_TRUE(has_actor);
+}
+
+class SyntheticScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SyntheticScaleSweep, ValidAtAllScales) {
+  const Dataset ds = MakeSyntheticDataset(Ml1mConfig(GetParam()));
+  EXPECT_TRUE(ds.Validate());
+  EXPECT_GT(ds.ratings.size(), 0u);
+  EXPECT_GT(ds.triples.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, SyntheticScaleSweep,
+                         ::testing::Values(0.002, 0.01, 0.05, 0.12));
+
+}  // namespace
+}  // namespace xsum::data

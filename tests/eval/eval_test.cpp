@@ -1,0 +1,242 @@
+/// Integration tests of the evaluation harness: config-from-env, baseline
+/// computation, panel evaluation, and the figure driver.
+
+#include <cstdlib>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/figure.h"
+#include "eval/runner.h"
+
+namespace xsum::eval {
+namespace {
+
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config;
+  config.scale = 0.02;
+  config.users_per_gender = 4;
+  config.items_popular = 3;
+  config.items_unpopular = 3;
+  config.user_group_size = 4;
+  config.item_group_size = 3;
+  config.ks = {1, 3, 5};
+  return config;
+}
+
+const ExperimentRunner& TinyRunner() {
+  static ExperimentRunner* runner = [] {
+    auto* r = new ExperimentRunner(TinyConfig());
+    EXPECT_TRUE(r->Init().ok());
+    return r;
+  }();
+  return *runner;
+}
+
+TEST(ExperimentConfigTest, FromEnvOverrides) {
+  setenv("XSUM_SCALE", "0.5", 1);
+  setenv("XSUM_USERS", "44", 1);
+  setenv("XSUM_ITEMS", "13", 1);
+  setenv("XSUM_SEED", "77", 1);
+  const auto config = ExperimentConfig::FromEnv();
+  EXPECT_DOUBLE_EQ(config.scale, 0.5);
+  EXPECT_EQ(config.users_per_gender, 22u);
+  EXPECT_EQ(config.items_popular, 6u);
+  EXPECT_EQ(config.items_unpopular, 7u);  // absorbs the odd remainder
+  EXPECT_EQ(config.seed, 77u);
+  unsetenv("XSUM_SCALE");
+  unsetenv("XSUM_USERS");
+  unsetenv("XSUM_ITEMS");
+  unsetenv("XSUM_SEED");
+}
+
+TEST(ExperimentConfigTest, DescribeMentionsKnobs) {
+  const std::string desc = TinyConfig().Describe();
+  EXPECT_NE(desc.find("ML1M"), std::string::npos);
+  EXPECT_NE(desc.find("XSUM_SCALE"), std::string::npos);
+}
+
+TEST(StandardMethodsTest, PaperLineup) {
+  const auto methods = StandardMethods("PGPR");
+  ASSERT_EQ(methods.size(), 5u);
+  EXPECT_EQ(methods[0].label, "PGPR");
+  EXPECT_EQ(methods[0].options.method, core::SummaryMethod::kBaseline);
+  EXPECT_EQ(methods[1].label, "ST l=0.01");
+  EXPECT_EQ(methods[2].label, "ST l=1");
+  EXPECT_EQ(methods[3].label, "ST l=100");
+  EXPECT_EQ(methods[4].label, "PCST");
+  EXPECT_EQ(methods[4].options.method, core::SummaryMethod::kPcst);
+}
+
+TEST(RunnerTest, InitBuildsGraphAndSample) {
+  const auto& runner = TinyRunner();
+  EXPECT_GT(runner.rec_graph().graph().num_nodes(), 0u);
+  EXPECT_EQ(runner.sampled_users().size(), 8u);
+}
+
+TEST(RunnerTest, UninitializedRunnerRefuses) {
+  ExperimentRunner runner(TinyConfig());
+  EXPECT_TRUE(
+      runner.ComputeBaseline(rec::RecommenderKind::kPgpr).status()
+          .IsFailedPrecondition());
+}
+
+TEST(RunnerTest, ComputeBaselineProducesAllUnitShapes) {
+  const auto data = TinyRunner().ComputeBaseline(rec::RecommenderKind::kPgpr);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->label, "PGPR");
+  EXPECT_GT(data->users.size(), 0u);
+  EXPECT_GT(data->items.size(), 0u);
+  EXPECT_EQ(data->items.size(), data->item_is_popular.size());
+  EXPECT_GT(data->user_groups.size(), 0u);
+  EXPECT_GT(data->item_groups.size(), 0u);
+  for (const auto& ur : data->users) {
+    EXPECT_LE(ur.recs.size(), 10u);
+    EXPECT_FALSE(ur.recs.empty());
+  }
+  // Audiences are ranked and non-empty.
+  for (const auto& ia : data->items) {
+    EXPECT_FALSE(ia.audience.empty());
+  }
+}
+
+TEST(RunnerTest, PanelShapesMatchSpec) {
+  const auto data = TinyRunner().ComputeBaseline(rec::RecommenderKind::kPgpr);
+  ASSERT_TRUE(data.ok());
+  PanelSpec spec;
+  spec.scenario = core::Scenario::kUserCentric;
+  spec.metric = MetricKind::kComprehensibility;
+  spec.ks = {1, 3, 5};
+  spec.methods = StandardMethods(data->label);
+  const auto series = TinyRunner().RunPanel(*data, spec);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 5u);
+  for (const auto& row : *series) {
+    EXPECT_EQ(row.values.size(), 3u);
+    for (double v : row.values) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);  // comprehensibility is 1/|E|
+    }
+  }
+}
+
+TEST(RunnerTest, ComprehensibilityDecreasesWithK) {
+  const auto data = TinyRunner().ComputeBaseline(rec::RecommenderKind::kPgpr);
+  ASSERT_TRUE(data.ok());
+  PanelSpec spec;
+  spec.scenario = core::Scenario::kUserCentric;
+  spec.metric = MetricKind::kComprehensibility;
+  spec.ks = {1, 3, 5};
+  spec.methods = {StandardMethods(data->label)[0]};  // baseline row
+  const auto series = TinyRunner().RunPanel(*data, spec);
+  ASSERT_TRUE(series.ok());
+  const auto& v = (*series)[0].values;
+  EXPECT_GE(v[0], v[1]);
+  EXPECT_GE(v[1], v[2]);
+}
+
+TEST(RunnerTest, ConsistencyInUnitRange) {
+  const auto data = TinyRunner().ComputeBaseline(rec::RecommenderKind::kCafe);
+  ASSERT_TRUE(data.ok());
+  PanelSpec spec;
+  spec.scenario = core::Scenario::kUserCentric;
+  spec.metric = MetricKind::kConsistency;
+  spec.ks = {1, 3, 5};
+  spec.methods = StandardMethods(data->label);
+  const auto series = TinyRunner().RunPanel(*data, spec);
+  ASSERT_TRUE(series.ok());
+  for (const auto& row : *series) {
+    for (double v : row.values) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+    // k=1 consistency is 1 by definition.
+    EXPECT_DOUBLE_EQ(row.values[0], 1.0);
+  }
+}
+
+TEST(RunnerTest, GroupScenariosRun) {
+  const auto data = TinyRunner().ComputeBaseline(rec::RecommenderKind::kPgpr);
+  ASSERT_TRUE(data.ok());
+  for (const auto scenario :
+       {core::Scenario::kUserGroup, core::Scenario::kItemGroup}) {
+    PanelSpec spec;
+    spec.scenario = scenario;
+    spec.metric = MetricKind::kPrivacy;
+    spec.ks = {1, 5};
+    spec.methods = StandardMethods(data->label);
+    const auto series = TinyRunner().RunPanel(*data, spec);
+    ASSERT_TRUE(series.ok());
+    EXPECT_EQ((*series)[0].values.size(), 2u);
+  }
+}
+
+TEST(RunnerTest, ItemPopularityFilterPartitionsUnits) {
+  const auto data = TinyRunner().ComputeBaseline(rec::RecommenderKind::kPgpr);
+  ASSERT_TRUE(data.ok());
+  PanelSpec spec;
+  spec.scenario = core::Scenario::kItemCentric;
+  spec.metric = MetricKind::kComprehensibility;
+  spec.ks = {5};
+  spec.methods = {StandardMethods(data->label)[0]};
+  spec.item_popularity_filter = 1;
+  EXPECT_TRUE(TinyRunner().RunPanel(*data, spec).ok());
+  spec.item_popularity_filter = 0;
+  EXPECT_TRUE(TinyRunner().RunPanel(*data, spec).ok());
+}
+
+TEST(RunnerTest, PerformanceMetricsNonNegative) {
+  const auto data = TinyRunner().ComputeBaseline(rec::RecommenderKind::kPgpr);
+  ASSERT_TRUE(data.ok());
+  for (const auto metric : {MetricKind::kTimeMs, MetricKind::kMemoryMb}) {
+    PanelSpec spec;
+    spec.scenario = core::Scenario::kUserCentric;
+    spec.metric = metric;
+    spec.ks = {2};
+    spec.methods = StandardMethods(data->label);
+    const auto series = TinyRunner().RunPanel(*data, spec);
+    ASSERT_TRUE(series.ok());
+    for (const auto& row : *series) EXPECT_GE(row.values[0], 0.0);
+  }
+}
+
+TEST(MetricKindTest, Names) {
+  EXPECT_STREQ(MetricKindToString(MetricKind::kComprehensibility),
+               "comprehensibility");
+  EXPECT_STREQ(MetricKindToString(MetricKind::kTimeMs), "time (ms)");
+}
+
+TEST(FigureTest, PrintPanelFormats) {
+  std::ostringstream oss;
+  SeriesResult row;
+  row.label = "ST l=1";
+  row.values = {0.5, 0.25};
+  PrintPanel(oss, "(a) test panel", {1, 2}, {row});
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("(a) test panel"), std::string::npos);
+  EXPECT_NE(out.find("k=1"), std::string::npos);
+  EXPECT_NE(out.find("ST l=1"), std::string::npos);
+  EXPECT_NE(out.find("0.2500"), std::string::npos);
+}
+
+TEST(FigureTest, RunQualityFigureEndToEnd) {
+  std::ostringstream oss;
+  const auto status = RunQualityFigure(
+      TinyRunner(), {rec::RecommenderKind::kPgpr},
+      {core::Scenario::kUserCentric}, MetricKind::kComprehensibility,
+      "Figure X", oss);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("Figure X"), std::string::npos);
+  EXPECT_NE(out.find("user-centric"), std::string::npos);
+  EXPECT_NE(out.find("PCST"), std::string::npos);
+}
+
+TEST(DatasetKindTest, Names) {
+  EXPECT_STREQ(DatasetKindToString(DatasetKind::kMl1m), "ML1M");
+  EXPECT_STREQ(DatasetKindToString(DatasetKind::kLfm1m), "LFM1M");
+}
+
+}  // namespace
+}  // namespace xsum::eval

@@ -1,0 +1,170 @@
+/// Tests for the fairness analysis (§VII future work) and CSV export.
+
+#include <cstdlib>
+#include <filesystem>
+#include <cmath>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/csv_export.h"
+#include "eval/fairness.h"
+#include "rec/recommender.h"
+#include "rec/sampler.h"
+
+namespace xsum::eval {
+namespace {
+
+struct FairnessFixture {
+  FairnessFixture() {
+    dataset = data::MakeSyntheticDataset(data::Ml1mConfig(0.03, 51));
+    rg = std::move(data::BuildRecGraph(dataset)).ValueOrDie();
+    const auto model =
+        rec::MakeRecommender(rec::RecommenderKind::kPgpr, rg, 51, {});
+    const auto users = rec::SampleUsersByGender(dataset, 8, 52);
+    FairnessGroup male{"male", {}};
+    FairnessGroup female{"female", {}};
+    for (uint32_t user : users) {
+      core::UserRecs ur;
+      ur.user = user;
+      ur.recs = model->Recommend(user, 10);
+      if (ur.recs.empty()) continue;
+      (dataset.user_gender[user] == data::Gender::kMale ? male : female)
+          .units.push_back(std::move(ur));
+    }
+    groups = {male, female};
+  }
+
+  data::Dataset dataset;
+  data::RecGraph rg;
+  std::vector<FairnessGroup> groups;
+};
+
+FairnessFixture& Fixture() {
+  static FairnessFixture* fixture = new FairnessFixture();
+  return *fixture;
+}
+
+TEST(FairnessTest, ReportsPerGroupMeansAndGaps) {
+  core::SummarizerOptions st;
+  st.method = core::SummaryMethod::kSteiner;
+  const auto report = AnalyzeUserGroupFairness(
+      Fixture().rg, Fixture().groups, st, /*k=*/10,
+      {MetricKind::kComprehensibility, MetricKind::kPrivacy});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->rows.size(), 2u);
+  EXPECT_EQ(report->group_labels,
+            (std::vector<std::string>{"male", "female"}));
+  for (const FairnessRow& row : report->rows) {
+    ASSERT_EQ(row.group_means.size(), 2u);
+    for (double mean : row.group_means) {
+      EXPECT_GE(mean, 0.0);
+      EXPECT_LE(mean, 1.0);
+    }
+    EXPECT_GE(row.gap, 0.0);
+    EXPECT_GE(row.relative_gap, 0.0);
+    EXPECT_NEAR(row.gap,
+                std::fabs(row.group_means[0] - row.group_means[1]), 1e-12);
+  }
+}
+
+TEST(FairnessTest, SummariesAreMoreEvenThanTheyAreLopsided) {
+  // Sanity: relative gaps of ST summaries across gender groups stay well
+  // below 100% (the paper's fairness claim in qualitative form).
+  core::SummarizerOptions st;
+  st.method = core::SummaryMethod::kSteiner;
+  const auto report = AnalyzeUserGroupFairness(
+      Fixture().rg, Fixture().groups, st, 10,
+      {MetricKind::kComprehensibility});
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->rows[0].relative_gap, 0.6);
+}
+
+TEST(FairnessTest, RejectsDegenerateInputs) {
+  core::SummarizerOptions st;
+  EXPECT_TRUE(AnalyzeUserGroupFairness(Fixture().rg, {}, st, 10,
+                                       {MetricKind::kPrivacy})
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<FairnessGroup> with_empty = Fixture().groups;
+  with_empty.push_back(FairnessGroup{"empty", {}});
+  EXPECT_TRUE(AnalyzeUserGroupFairness(Fixture().rg, with_empty, st, 10,
+                                       {MetricKind::kPrivacy})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FairnessTest, RejectsUnsupportedMetric) {
+  core::SummarizerOptions st;
+  EXPECT_TRUE(AnalyzeUserGroupFairness(Fixture().rg, Fixture().groups, st, 10,
+                                       {MetricKind::kTimeMs})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FairnessTest, ToStringRendersTable) {
+  core::SummarizerOptions st;
+  const auto report = AnalyzeUserGroupFairness(
+      Fixture().rg, Fixture().groups, st, 5, {MetricKind::kDiversity});
+  ASSERT_TRUE(report.ok());
+  const std::string text = report->ToString("fairness");
+  EXPECT_NE(text.find("fairness"), std::string::npos);
+  EXPECT_NE(text.find("male"), std::string::npos);
+  EXPECT_NE(text.find("diversity"), std::string::npos);
+  EXPECT_NE(text.find("relative gap"), std::string::npos);
+}
+
+// --- CSV export ---------------------------------------------------------------
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("xsum_csv_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(dir_);
+    unsetenv("XSUM_CSV_DIR");
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, WritePanelCsvRoundTrip) {
+  SeriesResult row;
+  row.label = "ST l=1";
+  row.values = {0.5, 0.25};
+  const std::string path = (dir_ / "panel.csv").string();
+  ASSERT_TRUE(WritePanelCsv(path, {1, 2}, {row}).ok());
+  std::ifstream in(path);
+  std::string header, line;
+  std::getline(in, header);
+  std::getline(in, line);
+  EXPECT_EQ(header, "method,k=1,k=2");
+  EXPECT_EQ(line, "ST l=1,0.500000,0.250000");
+}
+
+TEST_F(CsvTest, WriteFailsOnBadPath) {
+  EXPECT_TRUE(WritePanelCsv((dir_ / "no/such/dir.csv").string(), {1}, {})
+                  .IsIOError());
+}
+
+TEST_F(CsvTest, MaybeExportNoopWithoutEnv) {
+  EXPECT_EQ(MaybeExportPanelCsv("slug", {1}, {}), "");
+}
+
+TEST_F(CsvTest, MaybeExportWritesSluggedFile) {
+  setenv("XSUM_CSV_DIR", dir_.c_str(), 1);
+  SeriesResult row;
+  row.label = "PCST";
+  row.values = {1.0};
+  const std::string path =
+      MaybeExportPanelCsv("Figure 2 (a) User-centric!", {1}, {row});
+  ASSERT_FALSE(path.empty());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_NE(path.find("figure_2__a__user_centric_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xsum::eval

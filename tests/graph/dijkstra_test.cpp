@@ -1,0 +1,161 @@
+#include "graph/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/knowledge_graph.h"
+#include "util/rng.h"
+
+namespace xsum::graph {
+namespace {
+
+/// Builds a weighted path graph 0-1-2-...-(n-1) with the given costs.
+KnowledgeGraph MakePathGraph(const std::vector<double>& edge_costs) {
+  GraphBuilder builder;
+  builder.AddNodes(NodeType::kEntity, edge_costs.size() + 1);
+  for (size_t i = 0; i < edge_costs.size(); ++i) {
+    EXPECT_TRUE(builder
+                    .AddEdge(static_cast<NodeId>(i),
+                             static_cast<NodeId>(i + 1), Relation::kRelatedTo,
+                             edge_costs[i])
+                    .ok());
+  }
+  return std::move(builder).Finalize();
+}
+
+TEST(DijkstraTest, PathGraphDistances) {
+  const KnowledgeGraph g = MakePathGraph({1.0, 2.0, 3.0});
+  const auto tree = Dijkstra(g, g.WeightVector(), 0);
+  EXPECT_DOUBLE_EQ(tree.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(tree.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(tree.dist[2], 3.0);
+  EXPECT_DOUBLE_EQ(tree.dist[3], 6.0);
+}
+
+TEST(DijkstraTest, ParentPointersFormShortestPath) {
+  const KnowledgeGraph g = MakePathGraph({1.0, 1.0, 1.0});
+  const auto tree = Dijkstra(g, g.WeightVector(), 0);
+  const Path path = tree.ExtractPath(3);
+  ASSERT_EQ(path.nodes.size(), 4u);
+  EXPECT_EQ(path.nodes.front(), 0u);
+  EXPECT_EQ(path.nodes.back(), 3u);
+  EXPECT_EQ(path.edges.size(), 3u);
+  EXPECT_TRUE(path.Validate(g, /*allow_hallucinated=*/false));
+}
+
+TEST(DijkstraTest, PicksCheaperOfTwoRoutes) {
+  // 0-1 cost 10; 0-2 cost 1; 2-1 cost 2 => dist(1) = 3 via 2.
+  GraphBuilder builder;
+  builder.AddNodes(NodeType::kEntity, 3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, Relation::kRelatedTo, 10.0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, Relation::kRelatedTo, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 1, Relation::kRelatedTo, 2.0).ok());
+  const KnowledgeGraph g = std::move(builder).Finalize();
+  const auto tree = Dijkstra(g, g.WeightVector(), 0);
+  EXPECT_DOUBLE_EQ(tree.dist[1], 3.0);
+  EXPECT_EQ(tree.parent_node[1], 2u);
+}
+
+TEST(DijkstraTest, UnreachableNodesStayInfinite) {
+  GraphBuilder builder;
+  builder.AddNodes(NodeType::kEntity, 4);
+  ASSERT_TRUE(builder.AddEdge(0, 1, Relation::kRelatedTo, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3, Relation::kRelatedTo, 1.0).ok());
+  const KnowledgeGraph g = std::move(builder).Finalize();
+  const auto tree = Dijkstra(g, g.WeightVector(), 0);
+  EXPECT_EQ(tree.dist[2], kInfDistance);
+  EXPECT_EQ(tree.dist[3], kInfDistance);
+  EXPECT_TRUE(tree.ExtractPath(3).Empty());
+}
+
+TEST(DijkstraTest, ExtractPathAtSourceIsSingleton) {
+  const KnowledgeGraph g = MakePathGraph({1.0});
+  const auto tree = Dijkstra(g, g.WeightVector(), 0);
+  const Path path = tree.ExtractPath(0);
+  ASSERT_EQ(path.nodes.size(), 1u);
+  EXPECT_TRUE(path.edges.empty());
+}
+
+TEST(DijkstraTest, EarlyExitStillCorrectForTargets) {
+  const KnowledgeGraph g = MakePathGraph({1.0, 1.0, 1.0, 1.0, 1.0});
+  const auto full = Dijkstra(g, g.WeightVector(), 0);
+  const auto early = Dijkstra(g, g.WeightVector(), 0, /*targets=*/{2});
+  EXPECT_DOUBLE_EQ(early.dist[2], full.dist[2]);
+  EXPECT_DOUBLE_EQ(early.dist[1], full.dist[1]);
+}
+
+TEST(DijkstraTest, ZeroCostEdgesAllowed) {
+  const KnowledgeGraph g = MakePathGraph({0.0, 0.0});
+  const auto tree = Dijkstra(g, g.WeightVector(), 0);
+  EXPECT_DOUBLE_EQ(tree.dist[2], 0.0);
+}
+
+TEST(MultiSourceDijkstraTest, AssignsNearestSource) {
+  // Path 0-1-2-3-4, sources {0, 4}: Voronoi split at the middle.
+  const KnowledgeGraph g = MakePathGraph({1.0, 1.0, 1.0, 1.0});
+  const auto voronoi = MultiSourceDijkstra(g, g.WeightVector(), {0, 4});
+  EXPECT_EQ(voronoi.nearest_source[0], 0u);
+  EXPECT_EQ(voronoi.nearest_source[1], 0u);
+  EXPECT_EQ(voronoi.nearest_source[3], 4u);
+  EXPECT_EQ(voronoi.nearest_source[4], 4u);
+  EXPECT_DOUBLE_EQ(voronoi.dist[2], 2.0);
+  EXPECT_DOUBLE_EQ(voronoi.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(voronoi.dist[3], 1.0);
+}
+
+TEST(MultiSourceDijkstraTest, SingleSourceEqualsDijkstra) {
+  const KnowledgeGraph g = MakePathGraph({2.0, 3.0, 1.0});
+  const auto single = Dijkstra(g, g.WeightVector(), 1);
+  const auto multi = MultiSourceDijkstra(g, g.WeightVector(), {1});
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(single.dist[v], multi.dist[v]);
+    EXPECT_EQ(multi.nearest_source[v],
+              single.dist[v] == kInfDistance ? kInvalidNode : 1u);
+  }
+}
+
+/// Random-graph property sweep: multi-source distances equal the min over
+/// per-source Dijkstra distances.
+class DijkstraRandomSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DijkstraRandomSweep, MultiSourceMatchesMinOfSingleSources) {
+  Rng rng(GetParam());
+  const size_t n = 40;
+  GraphBuilder builder;
+  builder.AddNodes(NodeType::kEntity, n);
+  // Random connected-ish graph: ring + random chords.
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(builder
+                    .AddEdge(static_cast<NodeId>(i),
+                             static_cast<NodeId>((i + 1) % n),
+                             Relation::kRelatedTo,
+                             rng.UniformDouble(0.1, 2.0))
+                    .ok());
+  }
+  for (int c = 0; c < 30; ++c) {
+    const NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    const NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    if (a == b) continue;
+    ASSERT_TRUE(builder
+                    .AddEdge(a, b, Relation::kRelatedTo,
+                             rng.UniformDouble(0.1, 2.0))
+                    .ok());
+  }
+  const KnowledgeGraph g = std::move(builder).Finalize();
+  const auto costs = g.WeightVector();
+
+  const std::vector<NodeId> sources = {3, 17, 29};
+  const auto voronoi = MultiSourceDijkstra(g, costs, sources);
+  std::vector<ShortestPathTree> trees;
+  for (NodeId s : sources) trees.push_back(Dijkstra(g, costs, s));
+  for (NodeId v = 0; v < n; ++v) {
+    double best = kInfDistance;
+    for (const auto& tree : trees) best = std::min(best, tree.dist[v]);
+    EXPECT_NEAR(voronoi.dist[v], best, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraRandomSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace xsum::graph

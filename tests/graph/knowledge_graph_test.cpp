@@ -1,0 +1,179 @@
+#include "graph/knowledge_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/types.h"
+
+namespace xsum::graph {
+namespace {
+
+TEST(GraphBuilderTest, AddNodesAssignsSequentialIds) {
+  GraphBuilder builder;
+  EXPECT_EQ(builder.AddNode(NodeType::kUser), 0u);
+  EXPECT_EQ(builder.AddNode(NodeType::kItem), 1u);
+  EXPECT_EQ(builder.AddNodes(NodeType::kEntity, 3), 2u);
+  EXPECT_EQ(builder.num_nodes(), 5u);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoints) {
+  GraphBuilder builder;
+  builder.AddNode(NodeType::kUser);
+  auto r = builder.AddEdge(0, 5, Relation::kRated, 1.0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoops) {
+  GraphBuilder builder;
+  builder.AddNode(NodeType::kUser);
+  auto r = builder.AddEdge(0, 0, Relation::kRated, 1.0);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+KnowledgeGraph MakeTriangle() {
+  // u0 - i1 - e2 - u0 (one edge each).
+  GraphBuilder builder;
+  builder.AddNode(NodeType::kUser);
+  builder.AddNode(NodeType::kItem);
+  builder.AddNode(NodeType::kEntity);
+  EXPECT_TRUE(builder.AddEdge(0, 1, Relation::kRated, 5.0).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2, Relation::kHasGenre, 0.0).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 2, Relation::kUserAttribute, 0.5).ok());
+  return std::move(builder).Finalize();
+}
+
+TEST(KnowledgeGraphTest, BasicCounts) {
+  const KnowledgeGraph g = MakeTriangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.NumNodesOfType(NodeType::kUser), 1u);
+  EXPECT_EQ(g.NumNodesOfType(NodeType::kItem), 1u);
+  EXPECT_EQ(g.NumNodesOfType(NodeType::kEntity), 1u);
+}
+
+TEST(KnowledgeGraphTest, NodeTypePredicates) {
+  const KnowledgeGraph g = MakeTriangle();
+  EXPECT_TRUE(g.IsUser(0));
+  EXPECT_TRUE(g.IsItem(1));
+  EXPECT_TRUE(g.IsEntity(2));
+  EXPECT_FALSE(g.IsUser(1));
+}
+
+TEST(KnowledgeGraphTest, UndirectedAdjacencyContainsBothDirections) {
+  const KnowledgeGraph g = MakeTriangle();
+  // Every node of the triangle has undirected degree 2.
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.Degree(v), 2u);
+  // u0's neighbors are i1 and e2, sorted by id.
+  const auto nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].neighbor, 1u);
+  EXPECT_EQ(nbrs[1].neighbor, 2u);
+}
+
+TEST(KnowledgeGraphTest, FindEdgeSymmetric) {
+  const KnowledgeGraph g = MakeTriangle();
+  const EdgeId e = g.FindEdge(0, 1);
+  ASSERT_NE(e, kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(1, 0), e);
+  EXPECT_EQ(g.edge(e).relation, Relation::kRated);
+  EXPECT_DOUBLE_EQ(g.edge_weight(e), 5.0);
+}
+
+TEST(KnowledgeGraphTest, FindEdgeMissing) {
+  GraphBuilder builder;
+  builder.AddNodes(NodeType::kUser, 4);
+  ASSERT_TRUE(builder.AddEdge(0, 1, Relation::kRated, 1.0).ok());
+  const KnowledgeGraph g = std::move(builder).Finalize();
+  EXPECT_EQ(g.FindEdge(0, 2), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(2, 3), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(0, 99), kInvalidEdge);
+}
+
+TEST(KnowledgeGraphTest, OtherEndpoint) {
+  const KnowledgeGraph g = MakeTriangle();
+  const EdgeId e = g.FindEdge(0, 1);
+  EXPECT_EQ(g.OtherEndpoint(e, 0), 1u);
+  EXPECT_EQ(g.OtherEndpoint(e, 1), 0u);
+}
+
+TEST(KnowledgeGraphTest, WeightVectorMatchesEdges) {
+  const KnowledgeGraph g = MakeTriangle();
+  const auto weights = g.WeightVector();
+  ASSERT_EQ(weights.size(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(weights[e], g.edge_weight(e));
+  }
+}
+
+TEST(KnowledgeGraphTest, NodesOfType) {
+  const KnowledgeGraph g = MakeTriangle();
+  EXPECT_EQ(g.NodesOfType(NodeType::kItem), std::vector<NodeId>{1});
+}
+
+TEST(KnowledgeGraphTest, MemoryFootprintPositive) {
+  const KnowledgeGraph g = MakeTriangle();
+  EXPECT_GT(g.MemoryFootprintBytes(), 0u);
+}
+
+TEST(KnowledgeGraphTest, EmptyGraph) {
+  GraphBuilder builder;
+  const KnowledgeGraph g = std::move(builder).Finalize();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(KnowledgeGraphTest, ParallelEdgesAreKept) {
+  GraphBuilder builder;
+  builder.AddNode(NodeType::kUser);
+  builder.AddNode(NodeType::kItem);
+  ASSERT_TRUE(builder.AddEdge(0, 1, Relation::kRated, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1, Relation::kRated, 2.0).ok());
+  const KnowledgeGraph g = std::move(builder).Finalize();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  // FindEdge returns one of the parallel edges.
+  EXPECT_NE(g.FindEdge(0, 1), kInvalidEdge);
+}
+
+TEST(TypesTest, Names) {
+  EXPECT_STREQ(NodeTypeToString(NodeType::kUser), "user");
+  EXPECT_STREQ(NodeTypeToString(NodeType::kItem), "item");
+  EXPECT_STREQ(NodeTypeToString(NodeType::kEntity), "entity");
+  EXPECT_STREQ(RelationToString(Relation::kRated), "rated");
+  EXPECT_STREQ(RelationToString(Relation::kDirectedBy), "directed_by");
+  EXPECT_STREQ(RelationToString(Relation::kSungBy), "sung_by");
+}
+
+class GraphScaleSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GraphScaleSweep, CsrInvariantsHold) {
+  // A ring of n nodes: degree 2 everywhere, adjacency sorted.
+  const size_t n = GetParam();
+  GraphBuilder builder;
+  builder.AddNodes(NodeType::kEntity, n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(builder
+                    .AddEdge(static_cast<NodeId>(i),
+                             static_cast<NodeId>((i + 1) % n),
+                             Relation::kRelatedTo, 1.0)
+                    .ok());
+  }
+  const KnowledgeGraph g = std::move(builder).Finalize();
+  EXPECT_EQ(g.num_edges(), n);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(g.Degree(v), 2u);
+    const auto nbrs = g.Neighbors(v);
+    for (size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LE(nbrs[i - 1].neighbor, nbrs[i].neighbor);
+    }
+    for (const AdjEntry& a : nbrs) {
+      EXPECT_EQ(g.OtherEndpoint(a.edge, a.neighbor), v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, GraphScaleSweep,
+                         ::testing::Values(3, 8, 64, 501));
+
+}  // namespace
+}  // namespace xsum::graph

@@ -1,0 +1,202 @@
+/// Tests for the Subgraph and Path types (the carriers of summary
+/// explanations and individual explanations, respectively).
+
+#include <gtest/gtest.h>
+
+#include "graph/knowledge_graph.h"
+#include "graph/path.h"
+#include "graph/subgraph.h"
+
+namespace xsum::graph {
+namespace {
+
+/// Path graph u0 - i1 - e2 - i3 - u4 plus a chord e2 - u4.
+KnowledgeGraph MakeFixture() {
+  GraphBuilder builder;
+  builder.AddNode(NodeType::kUser);    // 0
+  builder.AddNode(NodeType::kItem);    // 1
+  builder.AddNode(NodeType::kEntity);  // 2
+  builder.AddNode(NodeType::kItem);    // 3
+  builder.AddNode(NodeType::kUser);    // 4
+  EXPECT_TRUE(builder.AddEdge(0, 1, Relation::kRated, 4.0).ok());      // e0
+  EXPECT_TRUE(builder.AddEdge(1, 2, Relation::kHasGenre, 0.0).ok());   // e1
+  EXPECT_TRUE(builder.AddEdge(3, 2, Relation::kHasGenre, 0.0).ok());   // e2
+  EXPECT_TRUE(builder.AddEdge(4, 3, Relation::kRated, 2.0).ok());      // e3
+  EXPECT_TRUE(builder.AddEdge(4, 2, Relation::kUserAttribute, 0.0).ok());  // e4
+  return std::move(builder).Finalize();
+}
+
+// --- Subgraph -----------------------------------------------------------------
+
+TEST(SubgraphTest, FromEdgesDerivesNodes) {
+  const KnowledgeGraph g = MakeFixture();
+  const Subgraph s = Subgraph::FromEdges(g, {0, 1});
+  EXPECT_EQ(s.num_edges(), 2u);
+  EXPECT_EQ(s.nodes(), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_TRUE(s.ContainsNode(1));
+  EXPECT_FALSE(s.ContainsNode(3));
+  EXPECT_TRUE(s.ContainsEdge(0));
+  EXPECT_FALSE(s.ContainsEdge(3));
+}
+
+TEST(SubgraphTest, DeduplicatesEdges) {
+  const KnowledgeGraph g = MakeFixture();
+  const Subgraph s = Subgraph::FromEdges(g, {0, 0, 1, 1, 1});
+  EXPECT_EQ(s.num_edges(), 2u);
+}
+
+TEST(SubgraphTest, ExtraNodesIncluded) {
+  const KnowledgeGraph g = MakeFixture();
+  const Subgraph s = Subgraph::FromEdges(g, {0}, {4});
+  EXPECT_TRUE(s.ContainsNode(4));
+  EXPECT_EQ(s.num_nodes(), 3u);  // 0, 1, 4
+}
+
+TEST(SubgraphTest, EmptySubgraph) {
+  const KnowledgeGraph g = MakeFixture();
+  const Subgraph s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_TRUE(s.IsWeaklyConnected(g));
+  EXPECT_TRUE(s.IsTree(g));
+}
+
+TEST(SubgraphTest, CountNodesOfType) {
+  const KnowledgeGraph g = MakeFixture();
+  const Subgraph s = Subgraph::FromEdges(g, {0, 1, 2, 3});
+  EXPECT_EQ(s.CountNodesOfType(g, NodeType::kUser), 2u);
+  EXPECT_EQ(s.CountNodesOfType(g, NodeType::kItem), 2u);
+  EXPECT_EQ(s.CountNodesOfType(g, NodeType::kEntity), 1u);
+}
+
+TEST(SubgraphTest, TotalWeight) {
+  const KnowledgeGraph g = MakeFixture();
+  const Subgraph s = Subgraph::FromEdges(g, {0, 3});
+  EXPECT_DOUBLE_EQ(s.TotalWeight(g.WeightVector()), 6.0);
+}
+
+TEST(SubgraphTest, ConnectivityChecks) {
+  const KnowledgeGraph g = MakeFixture();
+  const Subgraph connected = Subgraph::FromEdges(g, {0, 1, 2});
+  EXPECT_TRUE(connected.IsWeaklyConnected(g));
+  EXPECT_TRUE(connected.IsTree(g));
+
+  const Subgraph disconnected = Subgraph::FromEdges(g, {0, 3});
+  EXPECT_FALSE(disconnected.IsWeaklyConnected(g));
+  EXPECT_FALSE(disconnected.IsTree(g));
+
+  // Cycle 1-2-4-3-...: edges e1, e2, e3, e4 form the cycle 1-2-4-3? No:
+  // e1=1-2, e4=4-2, e3=4-3, e2=3-2 -> nodes {1,2,3,4}, edges 4 > nodes-1.
+  const Subgraph cyclic = Subgraph::FromEdges(g, {1, 2, 3, 4});
+  EXPECT_TRUE(cyclic.IsWeaklyConnected(g));
+  EXPECT_FALSE(cyclic.IsTree(g));
+}
+
+TEST(SubgraphTest, PruneLeavesNotInKeepsRequired) {
+  const KnowledgeGraph g = MakeFixture();
+  // Chain 0-1-2-3-4 (edges e0,e1,e2,e3); required = {0, 2}.
+  Subgraph s = Subgraph::FromEdges(g, {0, 1, 2, 3});
+  s.PruneLeavesNotIn(g, {0, 2});
+  // Leaves 4 then 3 get pruned; 0 and 2 stay; 1 is interior.
+  EXPECT_EQ(s.nodes(), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(s.edges(), (std::vector<EdgeId>{0, 1}));
+}
+
+TEST(SubgraphTest, PruneKeepsRequiredLeaf) {
+  const KnowledgeGraph g = MakeFixture();
+  Subgraph s = Subgraph::FromEdges(g, {0, 1, 2, 3});
+  s.PruneLeavesNotIn(g, {0, 4});
+  // Both endpoints required: nothing pruned.
+  EXPECT_EQ(s.num_edges(), 4u);
+}
+
+TEST(SubgraphTest, PruneAllWhenNothingRequired) {
+  const KnowledgeGraph g = MakeFixture();
+  Subgraph s = Subgraph::FromEdges(g, {0, 1});
+  s.PruneLeavesNotIn(g, {});
+  EXPECT_EQ(s.num_edges(), 0u);
+}
+
+TEST(SubgraphTest, MemoryFootprint) {
+  const KnowledgeGraph g = MakeFixture();
+  const Subgraph s = Subgraph::FromEdges(g, {0, 1});
+  EXPECT_GT(s.MemoryFootprintBytes(), 0u);
+}
+
+// --- Path ----------------------------------------------------------------------
+
+TEST(PathTest, EmptyPath) {
+  const KnowledgeGraph g = MakeFixture();
+  const Path p;
+  EXPECT_TRUE(p.Empty());
+  EXPECT_EQ(p.Length(), 0u);
+  EXPECT_TRUE(p.Validate(g));
+  EXPECT_TRUE(p.IsFaithful());
+}
+
+TEST(PathTest, ValidThreeHop) {
+  const KnowledgeGraph g = MakeFixture();
+  Path p;
+  p.nodes = {0, 1, 2, 3};
+  p.edges = {0, 1, 2};
+  EXPECT_TRUE(p.Validate(g, /*allow_hallucinated=*/false));
+  EXPECT_TRUE(p.IsFaithful());
+  EXPECT_EQ(p.Length(), 3u);
+  EXPECT_EQ(p.Source(), 0u);
+  EXPECT_EQ(p.Target(), 3u);
+}
+
+TEST(PathTest, HallucinatedHopDetected) {
+  const KnowledgeGraph g = MakeFixture();
+  Path p;
+  p.nodes = {0, 3};  // no edge 0-3 exists
+  p.edges = {kInvalidEdge};
+  EXPECT_FALSE(p.IsFaithful());
+  EXPECT_TRUE(p.Validate(g, /*allow_hallucinated=*/true));
+  EXPECT_FALSE(p.Validate(g, /*allow_hallucinated=*/false));
+}
+
+TEST(PathTest, WrongEdgeRejected) {
+  const KnowledgeGraph g = MakeFixture();
+  Path p;
+  p.nodes = {0, 2};  // edge 0 joins 0-1, not 0-2
+  p.edges = {0};
+  EXPECT_FALSE(p.Validate(g));
+}
+
+TEST(PathTest, CountMismatchRejected) {
+  const KnowledgeGraph g = MakeFixture();
+  Path p;
+  p.nodes = {0, 1};
+  p.edges = {};
+  EXPECT_FALSE(p.Validate(g));
+}
+
+TEST(PathTest, OutOfRangeNodeRejected) {
+  const KnowledgeGraph g = MakeFixture();
+  Path p;
+  p.nodes = {0, 99};
+  p.edges = {0};
+  EXPECT_FALSE(p.Validate(g));
+}
+
+TEST(PathTest, RepeatedNodeInHopRejected) {
+  const KnowledgeGraph g = MakeFixture();
+  Path p;
+  p.nodes = {1, 1};
+  p.edges = {0};
+  EXPECT_FALSE(p.Validate(g));
+}
+
+TEST(PathTest, ToStringMentionsTypesAndHallucination) {
+  const KnowledgeGraph g = MakeFixture();
+  Path p;
+  p.nodes = {0, 1, 2};
+  p.edges = {0, kInvalidEdge};
+  const std::string s = p.ToString(g);
+  EXPECT_NE(s.find("u0"), std::string::npos);
+  EXPECT_NE(s.find("i1"), std::string::npos);
+  EXPECT_NE(s.find("~>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xsum::graph

@@ -1,0 +1,225 @@
+/// End-to-end property tests of the full pipeline: synthetic dataset →
+/// knowledge graph → recommender → scenario task → summarizer → metrics.
+/// Swept over seeds, scenarios, and methods.
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "core/scenario.h"
+#include "core/summarizer.h"
+#include "data/kg_builder.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "rec/recommender.h"
+#include "rec/sampler.h"
+
+namespace xsum {
+namespace {
+
+struct PipelineCase {
+  uint64_t seed;
+  core::SummaryMethod method;
+  double lambda;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineSweep, SummariesSatisfyPaperInvariants) {
+  const PipelineCase param = GetParam();
+  const auto ds =
+      data::MakeSyntheticDataset(data::Ml1mConfig(0.02, param.seed));
+  auto built = data::BuildRecGraph(ds);
+  ASSERT_TRUE(built.ok());
+  const data::RecGraph& rg = *built;
+  const auto recommender = rec::MakeRecommender(rec::RecommenderKind::kPgpr,
+                                                rg, param.seed, {});
+  const auto users = rec::SampleUsersByGender(ds, 3, param.seed);
+  ASSERT_FALSE(users.empty());
+
+  core::SummarizerOptions options;
+  options.method = param.method;
+  options.lambda = param.lambda;
+
+  for (uint32_t user : users) {
+    core::UserRecs ur;
+    ur.user = user;
+    ur.recs = recommender->Recommend(user, 10);
+    if (ur.recs.empty()) continue;
+
+    for (int k : {1, 5, 10}) {
+      const auto task = core::MakeUserCentricTask(rg, ur, k);
+      const auto summary = core::Summarize(rg, task, options);
+      ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+
+      // Problem-definition invariants (§III): terminals ⊆ V_S and S is
+      // weakly connected over the reached terminals.
+      for (graph::NodeId t : task.terminals) {
+        EXPECT_TRUE(summary->subgraph.ContainsNode(t) ||
+                    !summary->unreached_terminals.empty());
+      }
+      if (param.method != core::SummaryMethod::kBaseline &&
+          summary->unreached_terminals.empty()) {
+        EXPECT_TRUE(summary->subgraph.IsWeaklyConnected(rg.graph()));
+      }
+
+      // All metrics are finite and within their ranges.
+      const auto view = metrics::MakeView(rg.graph(), *summary);
+      const double comp = metrics::Comprehensibility(view);
+      EXPECT_GE(comp, 0.0);
+      EXPECT_LE(comp, 1.0);
+      const double act = metrics::Actionability(rg.graph(), view);
+      EXPECT_GE(act, 0.0);
+      EXPECT_LE(act, 1.0);
+      const double div = metrics::Diversity(view);
+      EXPECT_GE(div, 0.0);
+      EXPECT_LE(div, 1.0);
+      const double red = metrics::Redundancy(view);
+      EXPECT_GE(red, 0.0);
+      EXPECT_LT(red, 1.0);
+      const double priv = metrics::Privacy(rg.graph(), view);
+      EXPECT_GE(priv, 0.0);
+      EXPECT_LE(priv, 1.0);
+      EXPECT_GE(metrics::Relevance(view, rg.base_weights()), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PipelineSweep,
+    ::testing::Values(
+        PipelineCase{11, core::SummaryMethod::kBaseline, 0.0},
+        PipelineCase{11, core::SummaryMethod::kSteiner, 0.01},
+        PipelineCase{11, core::SummaryMethod::kSteiner, 1.0},
+        PipelineCase{11, core::SummaryMethod::kSteiner, 100.0},
+        PipelineCase{11, core::SummaryMethod::kPcst, 0.0},
+        PipelineCase{23, core::SummaryMethod::kSteiner, 1.0},
+        PipelineCase{23, core::SummaryMethod::kPcst, 0.0},
+        PipelineCase{37, core::SummaryMethod::kSteiner, 1.0}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      std::string name = "seed";
+      name += std::to_string(info.param.seed);
+      name += core::SummaryMethodToString(info.param.method);
+      if (info.param.method == core::SummaryMethod::kSteiner) {
+        name += "l";
+        const double l = info.param.lambda;
+        name += l < 0.1 ? "001" : (l < 10 ? "1" : "100");
+      }
+      return name;
+    });
+
+TEST(PipelineShapeTest, SteinerSummaryIsSmallerThanBaselinePaths) {
+  // The headline claim of the paper (Table I / Fig. 2): the ST summary has
+  // fewer edges than the union of the individual paths.
+  const auto ds = data::MakeSyntheticDataset(data::Ml1mConfig(0.02, 3));
+  auto built = data::BuildRecGraph(ds);
+  ASSERT_TRUE(built.ok());
+  const data::RecGraph& rg = *built;
+  const auto recommender =
+      rec::MakeRecommender(rec::RecommenderKind::kPgpr, rg, 3, {});
+
+  size_t st_smaller = 0;
+  size_t comparisons = 0;
+  for (uint32_t user = 0; user < 12; ++user) {
+    core::UserRecs ur;
+    ur.user = user;
+    ur.recs = recommender->Recommend(user, 10);
+    if (ur.recs.size() < 5) continue;
+    const auto task = core::MakeUserCentricTask(rg, ur, 10);
+
+    core::SummarizerOptions st;
+    st.method = core::SummaryMethod::kSteiner;
+    const auto summary = core::Summarize(rg, task, st);
+    ASSERT_TRUE(summary.ok());
+
+    size_t path_edges = 0;
+    for (const auto& p : task.paths) path_edges += p.edges.size();
+    ++comparisons;
+    if (summary->subgraph.num_edges() < path_edges) ++st_smaller;
+  }
+  ASSERT_GT(comparisons, 0u);
+  // ST compresses in (nearly) every case.
+  EXPECT_GE(st_smaller * 10, comparisons * 9);
+}
+
+TEST(PipelineShapeTest, PcstLargerThanSteiner) {
+  // The paper's §V-B-1 observation: PCST summaries are larger than ST's.
+  const auto ds = data::MakeSyntheticDataset(data::Ml1mConfig(0.02, 5));
+  auto built = data::BuildRecGraph(ds);
+  ASSERT_TRUE(built.ok());
+  const data::RecGraph& rg = *built;
+  const auto recommender =
+      rec::MakeRecommender(rec::RecommenderKind::kPgpr, rg, 5, {});
+
+  double st_total = 0;
+  double pcst_total = 0;
+  for (uint32_t user = 0; user < 10; ++user) {
+    core::UserRecs ur;
+    ur.user = user;
+    ur.recs = recommender->Recommend(user, 10);
+    if (ur.recs.size() < 5) continue;
+    const auto task = core::MakeUserCentricTask(rg, ur, 10);
+
+    core::SummarizerOptions st;
+    st.method = core::SummaryMethod::kSteiner;
+    core::SummarizerOptions pcst;
+    pcst.method = core::SummaryMethod::kPcst;
+    const auto s1 = core::Summarize(rg, task, st);
+    const auto s2 = core::Summarize(rg, task, pcst);
+    ASSERT_TRUE(s1.ok());
+    ASSERT_TRUE(s2.ok());
+    st_total += static_cast<double>(s1->subgraph.num_edges());
+    pcst_total += static_cast<double>(s2->subgraph.num_edges());
+  }
+  EXPECT_GT(pcst_total, st_total);
+}
+
+TEST(PipelineShapeTest, LambdaIncreasesPathOverlap) {
+  // Eq. (1): larger lambda pins the summary to the input paths.
+  const auto ds = data::MakeSyntheticDataset(data::Ml1mConfig(0.02, 7));
+  auto built = data::BuildRecGraph(ds);
+  ASSERT_TRUE(built.ok());
+  const data::RecGraph& rg = *built;
+  const auto recommender =
+      rec::MakeRecommender(rec::RecommenderKind::kPgpr, rg, 7, {});
+
+  double overlap_low = 0;
+  double overlap_high = 0;
+  size_t counted = 0;
+  for (uint32_t user = 0; user < 10; ++user) {
+    core::UserRecs ur;
+    ur.user = user;
+    ur.recs = recommender->Recommend(user, 10);
+    if (ur.recs.size() < 5) continue;
+    const auto task = core::MakeUserCentricTask(rg, ur, 10);
+
+    std::set<graph::EdgeId> path_edges;
+    for (const auto& p : task.paths) {
+      for (graph::EdgeId e : p.edges) {
+        if (e != graph::kInvalidEdge) path_edges.insert(e);
+      }
+    }
+    auto overlap_for = [&](double lambda) {
+      core::SummarizerOptions options;
+      options.method = core::SummaryMethod::kSteiner;
+      options.lambda = lambda;
+      const auto summary = core::Summarize(rg, task, options);
+      EXPECT_TRUE(summary.ok());
+      size_t hits = 0;
+      for (graph::EdgeId e : summary->subgraph.edges()) {
+        if (path_edges.count(e) > 0) ++hits;
+      }
+      return summary->subgraph.num_edges() == 0
+                 ? 0.0
+                 : static_cast<double>(hits) /
+                       static_cast<double>(summary->subgraph.num_edges());
+    };
+    overlap_low += overlap_for(0.0);
+    overlap_high += overlap_for(100.0);
+    ++counted;
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_GT(overlap_high, overlap_low);
+}
+
+}  // namespace
+}  // namespace xsum

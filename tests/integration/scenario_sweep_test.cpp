@@ -1,0 +1,164 @@
+/// Cross-product property sweep: every scenario × every method on a
+/// realistic synthetic graph, checking the §III problem-definition
+/// invariants and cross-method orderings the paper reports.
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "core/summarizer.h"
+#include "data/kg_builder.h"
+#include "data/synthetic.h"
+#include "eval/runner.h"
+#include "metrics/metrics.h"
+
+namespace xsum {
+namespace {
+
+struct SweepCase {
+  core::Scenario scenario;
+  core::SummaryMethod method;
+};
+
+class ScenarioMethodSweep : public ::testing::TestWithParam<SweepCase> {
+ public:
+  static const eval::ExperimentRunner& Runner() {
+    static eval::ExperimentRunner* runner = [] {
+      eval::ExperimentConfig config;
+      config.scale = 0.03;
+      config.users_per_gender = 5;
+      config.items_popular = 4;
+      config.items_unpopular = 4;
+      config.user_group_size = 5;
+      config.item_group_size = 4;
+      auto* r = new eval::ExperimentRunner(config);
+      EXPECT_TRUE(r->Init().ok());
+      return r;
+    }();
+    return *runner;
+  }
+
+  static const eval::BaselineData& Data() {
+    static eval::BaselineData* data = [] {
+      auto result = Runner().ComputeBaseline(rec::RecommenderKind::kCafe);
+      EXPECT_TRUE(result.ok());
+      return new eval::BaselineData(std::move(result).ValueOrDie());
+    }();
+    return *data;
+  }
+};
+
+TEST_P(ScenarioMethodSweep, SummariesHonourProblemDefinition) {
+  const SweepCase param = GetParam();
+  const auto& runner = Runner();
+  const auto& data = Data();
+
+  std::vector<core::SummaryTask> tasks;
+  switch (param.scenario) {
+    case core::Scenario::kUserCentric:
+      for (const auto& ur : data.users) {
+        tasks.push_back(core::MakeUserCentricTask(runner.rec_graph(), ur, 10));
+      }
+      break;
+    case core::Scenario::kItemCentric:
+      for (const auto& ia : data.items) {
+        tasks.push_back(core::MakeItemCentricTask(runner.rec_graph(), ia.item,
+                                                  ia.audience, 10));
+      }
+      break;
+    case core::Scenario::kUserGroup:
+      for (const auto& group : data.user_groups) {
+        tasks.push_back(core::MakeUserGroupTask(runner.rec_graph(), group, 10));
+      }
+      break;
+    case core::Scenario::kItemGroup:
+      for (const auto& group : data.item_groups) {
+        tasks.push_back(core::MakeItemGroupTask(runner.rec_graph(), group, 10));
+      }
+      break;
+  }
+  ASSERT_FALSE(tasks.empty());
+
+  core::SummarizerOptions options;
+  options.method = param.method;
+  for (const auto& task : tasks) {
+    const auto summary = core::Summarize(runner.rec_graph(), task, options);
+    ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+    EXPECT_EQ(summary->scenario, param.scenario);
+
+    // §III: T ⊆ V_S (unreached terminals may remain as isolated nodes).
+    for (graph::NodeId t : task.terminals) {
+      EXPECT_TRUE(summary->subgraph.ContainsNode(t));
+    }
+    // §III: the summary is weakly connected whenever all terminals are
+    // reachable from each other.
+    if (param.method != core::SummaryMethod::kBaseline &&
+        summary->unreached_terminals.empty()) {
+      EXPECT_TRUE(summary->subgraph.IsWeaklyConnected(runner.rec_graph()
+                                                          .graph()));
+    }
+    // Every summary edge is a real KG edge.
+    for (graph::EdgeId e : summary->subgraph.edges()) {
+      EXPECT_LT(e, runner.rec_graph().graph().num_edges());
+    }
+    EXPECT_GE(summary->elapsed_ms, 0.0);
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name = core::ScenarioToString(info.param.scenario);
+  name += "_";
+  name += core::SummaryMethodToString(info.param.method);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ScenarioMethodSweep,
+    ::testing::Values(
+        SweepCase{core::Scenario::kUserCentric, core::SummaryMethod::kBaseline},
+        SweepCase{core::Scenario::kUserCentric, core::SummaryMethod::kSteiner},
+        SweepCase{core::Scenario::kUserCentric, core::SummaryMethod::kPcst},
+        SweepCase{core::Scenario::kItemCentric, core::SummaryMethod::kBaseline},
+        SweepCase{core::Scenario::kItemCentric, core::SummaryMethod::kSteiner},
+        SweepCase{core::Scenario::kItemCentric, core::SummaryMethod::kPcst},
+        SweepCase{core::Scenario::kUserGroup, core::SummaryMethod::kBaseline},
+        SweepCase{core::Scenario::kUserGroup, core::SummaryMethod::kSteiner},
+        SweepCase{core::Scenario::kUserGroup, core::SummaryMethod::kPcst},
+        SweepCase{core::Scenario::kItemGroup, core::SummaryMethod::kBaseline},
+        SweepCase{core::Scenario::kItemGroup, core::SummaryMethod::kSteiner},
+        SweepCase{core::Scenario::kItemGroup, core::SummaryMethod::kPcst}),
+    CaseName);
+
+TEST(CrossMethodOrderingTest, SteinerBeatsBaselineComprehensibilityEverywhere) {
+  // The paper's headline Fig. 2 ordering, asserted as a test over the
+  // user-centric units.
+  const auto& runner = ScenarioMethodSweep::Runner();
+  const auto& data = ScenarioMethodSweep::Data();
+  double baseline_total = 0.0;
+  double st_total = 0.0;
+  size_t counted = 0;
+  core::SummarizerOptions baseline;
+  baseline.method = core::SummaryMethod::kBaseline;
+  core::SummarizerOptions st;
+  st.method = core::SummaryMethod::kSteiner;
+  for (const auto& ur : data.users) {
+    if (ur.recs.size() < 5) continue;
+    const auto task = core::MakeUserCentricTask(runner.rec_graph(), ur, 10);
+    const auto b = core::Summarize(runner.rec_graph(), task, baseline);
+    const auto s = core::Summarize(runner.rec_graph(), task, st);
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(s.ok());
+    baseline_total += metrics::Comprehensibility(
+        metrics::MakeView(runner.rec_graph().graph(), *b));
+    st_total += metrics::Comprehensibility(
+        metrics::MakeView(runner.rec_graph().graph(), *s));
+    ++counted;
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_GT(st_total, baseline_total);
+}
+
+}  // namespace
+}  // namespace xsum

@@ -1,0 +1,218 @@
+/// Tests for the §V-B explanation-quality metrics against hand-computed
+/// values on the Table I example structure, plus property checks.
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "core/summarizer.h"
+#include "data/kg_builder.h"
+#include "metrics/metrics.h"
+
+namespace xsum::metrics {
+namespace {
+
+using graph::GraphBuilder;
+using graph::KnowledgeGraph;
+using graph::NodeId;
+using graph::NodeType;
+using graph::Path;
+using graph::Relation;
+
+/// u0, u1 users; i2, i3 items; e4 entity. Edges:
+///   e0: u0-i2 (w 5), e1: u1-i2 (w 3), e2: i2-e4 (w 0), e3: i3-e4 (w 0)
+KnowledgeGraph MakeFixture() {
+  GraphBuilder b;
+  b.AddNodes(NodeType::kUser, 2);
+  b.AddNodes(NodeType::kItem, 2);
+  b.AddNodes(NodeType::kEntity, 1);
+  EXPECT_TRUE(b.AddEdge(0, 2, Relation::kRated, 5.0).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2, Relation::kRated, 3.0).ok());
+  EXPECT_TRUE(b.AddEdge(2, 4, Relation::kHasGenre, 0.0).ok());
+  EXPECT_TRUE(b.AddEdge(3, 4, Relation::kHasGenre, 0.0).ok());
+  return std::move(b).Finalize();
+}
+
+Path ThreeHop() {
+  // u0 -> i2 -> e4 -> i3
+  Path p;
+  p.nodes = {0, 2, 4, 3};
+  p.edges = {0, 2, 3};
+  return p;
+}
+
+TEST(ViewTest, FromPathsKeepsDuplicates) {
+  const auto view = MakeViewFromPaths({ThreeHop(), ThreeHop()});
+  EXPECT_EQ(view.edge_occurrences.size(), 6u);
+  EXPECT_EQ(view.edge_ids.size(), 6u);
+  EXPECT_EQ(view.node_occurrences.size(), 8u);
+  EXPECT_EQ(view.unique_nodes.size(), 4u);
+}
+
+TEST(ViewTest, FromSubgraphIsDeduplicated) {
+  const KnowledgeGraph g = MakeFixture();
+  const auto s = graph::Subgraph::FromEdges(g, {0, 2, 3});
+  const auto view = MakeViewFromSubgraph(g, s);
+  EXPECT_EQ(view.edge_occurrences.size(), 3u);
+  EXPECT_EQ(view.node_occurrences.size(), view.unique_nodes.size());
+}
+
+TEST(ViewTest, HallucinatedHopsHaveNoEdgeIds) {
+  Path p;
+  p.nodes = {0, 3};
+  p.edges = {graph::kInvalidEdge};
+  const auto view = MakeViewFromPaths({p});
+  EXPECT_EQ(view.edge_occurrences.size(), 1u);
+  EXPECT_TRUE(view.edge_ids.empty());
+}
+
+TEST(ComprehensibilityTest, InverseOfEdgeCount) {
+  const auto view = MakeViewFromPaths({ThreeHop()});
+  EXPECT_DOUBLE_EQ(Comprehensibility(view), 1.0 / 3.0);
+  const auto two = MakeViewFromPaths({ThreeHop(), ThreeHop()});
+  EXPECT_DOUBLE_EQ(Comprehensibility(two), 1.0 / 6.0);
+}
+
+TEST(ComprehensibilityTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Comprehensibility(ExplanationView{}), 0.0);
+}
+
+TEST(ActionabilityTest, ItemShareOfUniqueNodes) {
+  const KnowledgeGraph g = MakeFixture();
+  const auto view = MakeViewFromPaths({ThreeHop()});
+  // Unique nodes: u0, i2, e4, i3 -> 2 items of 4.
+  EXPECT_DOUBLE_EQ(Actionability(g, view), 0.5);
+}
+
+TEST(ActionabilityTest, EmptyIsZero) {
+  const KnowledgeGraph g = MakeFixture();
+  EXPECT_DOUBLE_EQ(Actionability(g, ExplanationView{}), 0.0);
+}
+
+TEST(DiversityTest, HandComputedPairJaccards) {
+  // Edges (u0,i2), (i2,e4), (e4,i3): pairs share exactly one endpoint
+  // (J = 1/3) except the (u0,i2)/(e4,i3) pair (J = 0).
+  const auto view = MakeViewFromPaths({ThreeHop()});
+  const double expected = (2.0 * (1.0 - 1.0 / 3.0) + 1.0) / 3.0;
+  EXPECT_NEAR(Diversity(view), expected, 1e-12);
+}
+
+TEST(DiversityTest, FewerThanTwoEdgesIsZero) {
+  EXPECT_DOUBLE_EQ(Diversity(ExplanationView{}), 0.0);
+  Path one;
+  one.nodes = {0, 2};
+  one.edges = {0};
+  EXPECT_DOUBLE_EQ(Diversity(MakeViewFromPaths({one})), 0.0);
+}
+
+TEST(DiversityTest, IdenticalEdgesScoreZero) {
+  const KnowledgeGraph g = MakeFixture();
+  Path p;
+  p.nodes = {0, 2};
+  p.edges = {0};
+  const auto view = MakeViewFromPaths({p, p});
+  EXPECT_DOUBLE_EQ(Diversity(view), 0.0);
+}
+
+TEST(DiversityTest, DisjointEdgesScoreOne) {
+  Path a;
+  a.nodes = {0, 2};
+  a.edges = {0};
+  Path b;
+  b.nodes = {3, 4};
+  b.edges = {3};
+  const auto view = MakeViewFromPaths({a, b});
+  EXPECT_DOUBLE_EQ(Diversity(view), 1.0);
+}
+
+TEST(DiversityTest, SampledEstimateCloseToExact) {
+  // Build a large path multiset; compare exact vs sampled.
+  std::vector<Path> paths;
+  for (int i = 0; i < 40; ++i) paths.push_back(ThreeHop());
+  const auto view = MakeViewFromPaths(paths);
+  const double exact = Diversity(view, /*max_pairs=*/1u << 30);
+  const double sampled = Diversity(view, /*max_pairs=*/2000);
+  EXPECT_NEAR(sampled, exact, 0.05);
+}
+
+TEST(RedundancyTest, DuplicateShare) {
+  const auto one = MakeViewFromPaths({ThreeHop()});
+  EXPECT_DOUBLE_EQ(Redundancy(one), 0.0);  // 4 occurrences, 4 unique
+  const auto two = MakeViewFromPaths({ThreeHop(), ThreeHop()});
+  EXPECT_DOUBLE_EQ(Redundancy(two), 0.5);  // 8 occurrences, 4 unique
+}
+
+TEST(RedundancyTest, SubgraphIsZeroByConstruction) {
+  const KnowledgeGraph g = MakeFixture();
+  const auto s = graph::Subgraph::FromEdges(g, {0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(Redundancy(MakeViewFromSubgraph(g, s)), 0.0);
+}
+
+TEST(ConsistencyTest, IdenticalViewsScoreOne) {
+  const auto v = MakeViewFromPaths({ThreeHop()});
+  EXPECT_DOUBLE_EQ(Consistency({v, v, v}), 1.0);
+}
+
+TEST(ConsistencyTest, SingleViewScoresOne) {
+  EXPECT_DOUBLE_EQ(Consistency({MakeViewFromPaths({ThreeHop()})}), 1.0);
+}
+
+TEST(ConsistencyTest, DisjointViewsScoreZero) {
+  Path a;
+  a.nodes = {0, 2};
+  a.edges = {0};
+  Path b;
+  b.nodes = {3, 4};
+  b.edges = {3};
+  const auto va = MakeViewFromPaths({a});
+  const auto vb = MakeViewFromPaths({b});
+  EXPECT_DOUBLE_EQ(Consistency({va, vb}), 0.0);
+}
+
+TEST(ConsistencyTest, PartialOverlapHandChecked) {
+  // {0,2,4,3} vs {0,2}: J = 2/4.
+  Path grow;
+  grow.nodes = {0, 2};
+  grow.edges = {0};
+  const auto small = MakeViewFromPaths({grow});
+  const auto big = MakeViewFromPaths({ThreeHop()});
+  EXPECT_DOUBLE_EQ(Consistency({small, big}), 0.5);
+}
+
+TEST(RelevanceTest, SumsBaseWeightsWithDuplicates) {
+  const KnowledgeGraph g = MakeFixture();
+  const auto weights = g.WeightVector();
+  const auto one = MakeViewFromPaths({ThreeHop()});
+  EXPECT_DOUBLE_EQ(Relevance(one, weights), 5.0);  // only e0 carries weight
+  const auto two = MakeViewFromPaths({ThreeHop(), ThreeHop()});
+  EXPECT_DOUBLE_EQ(Relevance(two, weights), 10.0);  // duplicates count
+}
+
+TEST(PrivacyTest, UserShareOfUniqueNodes) {
+  const KnowledgeGraph g = MakeFixture();
+  const auto view = MakeViewFromPaths({ThreeHop()});
+  // 1 user of 4 unique nodes.
+  EXPECT_DOUBLE_EQ(Privacy(g, view), 0.75);
+}
+
+TEST(PrivacyTest, EmptyIsPerfectlyPrivate) {
+  const KnowledgeGraph g = MakeFixture();
+  EXPECT_DOUBLE_EQ(Privacy(g, ExplanationView{}), 1.0);
+}
+
+TEST(MakeViewTest, DispatchesOnMethod) {
+  const KnowledgeGraph g = MakeFixture();
+  core::Summary baseline;
+  baseline.method = core::SummaryMethod::kBaseline;
+  baseline.input_paths = {ThreeHop(), ThreeHop()};
+  baseline.subgraph = graph::Subgraph::FromEdges(g, {0});
+  const auto bview = MakeView(g, baseline);
+  EXPECT_EQ(bview.edge_occurrences.size(), 6u);  // paths, with duplicates
+
+  core::Summary st = baseline;
+  st.method = core::SummaryMethod::kSteiner;
+  const auto sview = MakeView(g, st);
+  EXPECT_EQ(sview.edge_occurrences.size(), 1u);  // the subgraph
+}
+
+}  // namespace
+}  // namespace xsum::metrics

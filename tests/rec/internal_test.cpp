@@ -1,0 +1,115 @@
+/// Tests for the shared recommender machinery in rec/internal.h.
+
+#include <gtest/gtest.h>
+
+#include "data/kg_builder.h"
+#include "rec/internal.h"
+
+namespace xsum::rec::internal {
+namespace {
+
+TEST(SelectTopKDistinctTest, RanksByScoreDescending) {
+  std::vector<Candidate> cands;
+  for (const auto& [item, score] :
+       {std::pair{1u, 0.5}, {2u, 2.0}, {3u, 1.0}}) {
+    Candidate c;
+    c.item = item;
+    c.score = score;
+    cands.push_back(c);
+  }
+  const auto out = SelectTopKDistinct(std::move(cands), 10);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].item, 2u);
+  EXPECT_EQ(out[1].item, 3u);
+  EXPECT_EQ(out[2].item, 1u);
+}
+
+TEST(SelectTopKDistinctTest, KeepsBestPerItem) {
+  std::vector<Candidate> cands;
+  Candidate low;
+  low.item = 7;
+  low.score = 1.0;
+  Candidate high;
+  high.item = 7;
+  high.score = 3.0;
+  cands.push_back(low);
+  cands.push_back(high);
+  const auto out = SelectTopKDistinct(std::move(cands), 10);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].score, 3.0);
+}
+
+TEST(SelectTopKDistinctTest, TruncatesToK) {
+  std::vector<Candidate> cands;
+  for (uint32_t i = 0; i < 20; ++i) {
+    Candidate c;
+    c.item = i;
+    c.score = static_cast<double>(i);
+    cands.push_back(c);
+  }
+  const auto out = SelectTopKDistinct(std::move(cands), 5);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].item, 19u);
+}
+
+TEST(SelectTopKDistinctTest, TiesBreakByItemId) {
+  std::vector<Candidate> cands;
+  for (uint32_t item : {9u, 4u, 6u}) {
+    Candidate c;
+    c.item = item;
+    c.score = 1.0;
+    cands.push_back(c);
+  }
+  const auto out = SelectTopKDistinct(std::move(cands), 10);
+  EXPECT_EQ(out[0].item, 4u);
+  EXPECT_EQ(out[1].item, 6u);
+  EXPECT_EQ(out[2].item, 9u);
+}
+
+TEST(SelectTopKDistinctTest, EmptyAndZeroK) {
+  EXPECT_TRUE(SelectTopKDistinct({}, 5).empty());
+  std::vector<Candidate> cands(1);
+  EXPECT_TRUE(SelectTopKDistinct(std::move(cands), 0).empty());
+}
+
+TEST(UserSeedTest, DistinctAcrossUsersAndMethods) {
+  const uint64_t a = UserSeed(42, 1, 10);
+  EXPECT_EQ(a, UserSeed(42, 1, 10));           // deterministic
+  EXPECT_NE(a, UserSeed(42, 1, 11));           // user matters
+  EXPECT_NE(a, UserSeed(42, 2, 10));           // method matters
+  EXPECT_NE(a, UserSeed(43, 1, 10));           // master seed matters
+}
+
+TEST(DegreePriorTest, DampensHubs) {
+  data::Dataset ds;
+  ds.num_users = 3;
+  ds.num_items = 2;
+  ds.num_entities = 1;
+  ds.user_gender.assign(3, data::Gender::kMale);
+  ds.ratings = {{0, 0, 5.0f, 0}, {1, 0, 4.0f, 0}, {2, 0, 3.0f, 0},
+                {0, 1, 2.0f, 0}};
+  ds.triples = {{0, graph::Relation::kHasGenre, 0, false}};
+  const auto rg = std::move(data::BuildRecGraph(ds)).ValueOrDie();
+  // Item 0 has degree 4 (3 raters + 1 entity); item 1 degree 1.
+  EXPECT_LT(DegreePrior(rg, rg.ItemNode(0)), DegreePrior(rg, rg.ItemNode(1)));
+  EXPECT_GT(DegreePrior(rg, rg.ItemNode(0)), 0.0);
+}
+
+TEST(RatedNodeSetTest, CollectsItemNodes) {
+  data::Dataset ds;
+  ds.num_users = 2;
+  ds.num_items = 3;
+  ds.num_entities = 1;
+  ds.user_gender.assign(2, data::Gender::kMale);
+  ds.ratings = {{0, 0, 5.0f, 0}, {0, 2, 4.0f, 0}, {1, 1, 3.0f, 0}};
+  ds.triples = {{0, graph::Relation::kHasGenre, 0, false}};
+  const auto rg = std::move(data::BuildRecGraph(ds)).ValueOrDie();
+  const auto rated = RatedNodeSet(rg, 0);
+  EXPECT_EQ(rated.size(), 2u);
+  EXPECT_TRUE(rated.count(rg.ItemNode(0)) > 0);
+  EXPECT_TRUE(rated.count(rg.ItemNode(2)) > 0);
+  EXPECT_EQ(rated.count(rg.ItemNode(1)), 0u);
+}
+
+}  // namespace
+}  // namespace xsum::rec::internal

@@ -1,0 +1,202 @@
+/// Tests for the four simulated path recommenders. The contract every
+/// simulator must honour (paper §V-A): top-k ranked items, each with an
+/// explanation path of at most three hops from the user node to the item
+/// node; recommended items exclude already-rated ones; output is a
+/// deterministic function of (seed, user) with the k-prefix property.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/kg_builder.h"
+#include "data/synthetic.h"
+#include "rec/recommender.h"
+
+namespace xsum::rec {
+namespace {
+
+class RecommenderFixture {
+ public:
+  RecommenderFixture() {
+    dataset_ = data::MakeSyntheticDataset(data::Ml1mConfig(0.03, 5));
+    auto built = data::BuildRecGraph(dataset_);
+    rg_ = std::move(built).ValueOrDie();
+  }
+
+  const data::RecGraph& rg() const { return rg_; }
+  const data::Dataset& dataset() const { return dataset_; }
+
+ private:
+  data::Dataset dataset_;
+  data::RecGraph rg_;
+};
+
+RecommenderFixture& Fixture() {
+  static RecommenderFixture* fixture = new RecommenderFixture();
+  return *fixture;
+}
+
+class RecommenderContractTest
+    : public ::testing::TestWithParam<RecommenderKind> {};
+
+TEST_P(RecommenderContractTest, ReturnsAtMostKRankedItems) {
+  const auto rec = MakeRecommender(GetParam(), Fixture().rg(), 42, {});
+  for (uint32_t user : {0u, 5u, 17u}) {
+    const auto recs = rec->Recommend(user, 10);
+    EXPECT_LE(recs.size(), 10u);
+    for (size_t i = 1; i < recs.size(); ++i) {
+      EXPECT_GE(recs[i - 1].score, recs[i].score) << "not sorted at " << i;
+    }
+  }
+}
+
+TEST_P(RecommenderContractTest, ItemsAreDistinctAndUnrated) {
+  const auto rec = MakeRecommender(GetParam(), Fixture().rg(), 42, {});
+  for (uint32_t user : {1u, 9u, 33u}) {
+    const auto recs = rec->Recommend(user, 10);
+    std::set<uint32_t> items;
+    for (const auto& r : recs) {
+      EXPECT_TRUE(items.insert(r.item).second) << "duplicate item " << r.item;
+      EXPECT_FALSE(Fixture().rg().HasRated(user, r.item))
+          << "recommended an already-rated item";
+    }
+  }
+}
+
+TEST_P(RecommenderContractTest, PathsConnectUserToItemWithinThreeHops) {
+  const auto rec = MakeRecommender(GetParam(), Fixture().rg(), 42, {});
+  const bool allow_hallucinated = GetParam() == RecommenderKind::kPlm;
+  for (uint32_t user : {2u, 21u}) {
+    for (const auto& r : rec->Recommend(user, 10)) {
+      ASSERT_FALSE(r.path.Empty());
+      EXPECT_EQ(r.path.Source(), Fixture().rg().UserNode(user));
+      EXPECT_EQ(r.path.Target(), Fixture().rg().ItemNode(r.item));
+      EXPECT_LE(r.path.Length(), 3u);
+      EXPECT_TRUE(r.path.Validate(Fixture().rg().graph(), allow_hallucinated));
+    }
+  }
+}
+
+TEST_P(RecommenderContractTest, DeterministicAcrossCalls) {
+  const auto rec = MakeRecommender(GetParam(), Fixture().rg(), 42, {});
+  const auto a = rec->Recommend(3, 10);
+  const auto b = rec->Recommend(3, 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_EQ(a[i].path.nodes, b[i].path.nodes);
+  }
+}
+
+TEST_P(RecommenderContractTest, KPrefixProperty) {
+  const auto rec = MakeRecommender(GetParam(), Fixture().rg(), 42, {});
+  const auto full = rec->Recommend(4, 10);
+  const auto top3 = rec->Recommend(4, 3);
+  ASSERT_LE(top3.size(), 3u);
+  for (size_t i = 0; i < top3.size(); ++i) {
+    EXPECT_EQ(top3[i].item, full[i].item);
+  }
+}
+
+TEST_P(RecommenderContractTest, DifferentSeedsChangeOutput) {
+  const auto a = MakeRecommender(GetParam(), Fixture().rg(), 1, {});
+  const auto b = MakeRecommender(GetParam(), Fixture().rg(), 2, {});
+  // At least one of a few users should get a different list.
+  bool any_diff = false;
+  for (uint32_t user : {0u, 1u, 2u, 3u, 4u}) {
+    const auto ra = a->Recommend(user, 10);
+    const auto rb = b->Recommend(user, 10);
+    if (ra.size() != rb.size()) {
+      any_diff = true;
+      break;
+    }
+    for (size_t i = 0; i < ra.size(); ++i) {
+      if (ra[i].item != rb[i].item) {
+        any_diff = true;
+        break;
+      }
+    }
+    if (any_diff) break;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_P(RecommenderContractTest, ProducesRecommendationsForMostUsers) {
+  const auto rec = MakeRecommender(GetParam(), Fixture().rg(), 42, {});
+  size_t with_recs = 0;
+  const uint32_t probe = 40;
+  for (uint32_t user = 0; user < probe; ++user) {
+    if (!rec->Recommend(user, 10).empty()) ++with_recs;
+  }
+  EXPECT_GT(with_recs, probe * 8 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, RecommenderContractTest,
+    ::testing::Values(RecommenderKind::kPgpr, RecommenderKind::kCafe,
+                      RecommenderKind::kPlm, RecommenderKind::kPearlm),
+    [](const ::testing::TestParamInfo<RecommenderKind>& info) {
+      return RecommenderKindToString(info.param);
+    });
+
+TEST(RecommenderKindTest, Names) {
+  EXPECT_STREQ(RecommenderKindToString(RecommenderKind::kPgpr), "PGPR");
+  EXPECT_STREQ(RecommenderKindToString(RecommenderKind::kCafe), "CAFE");
+  EXPECT_STREQ(RecommenderKindToString(RecommenderKind::kPlm), "PLM");
+  EXPECT_STREQ(RecommenderKindToString(RecommenderKind::kPearlm), "PEARLM");
+}
+
+TEST(RecommenderNameTest, MatchesKind) {
+  const auto& rg = Fixture().rg();
+  EXPECT_EQ(MakeRecommender(RecommenderKind::kPgpr, rg, 1, {})->name(),
+            "PGPR");
+  EXPECT_EQ(MakeRecommender(RecommenderKind::kCafe, rg, 1, {})->name(),
+            "CAFE");
+  EXPECT_EQ(MakeRecommender(RecommenderKind::kPlm, rg, 1, {})->name(), "PLM");
+  EXPECT_EQ(MakeRecommender(RecommenderKind::kPearlm, rg, 1, {})->name(),
+            "PEARLM");
+}
+
+TEST(PearlmFaithfulnessTest, AllPathsAreFaithful) {
+  const auto rec =
+      MakeRecommender(RecommenderKind::kPearlm, Fixture().rg(), 42, {});
+  for (uint32_t user = 0; user < 25; ++user) {
+    for (const auto& r : rec->Recommend(user, 10)) {
+      EXPECT_TRUE(r.path.IsFaithful())
+          << "PEARLM must never hallucinate edges";
+    }
+  }
+}
+
+TEST(PlmHallucinationTest, SometimesEmitsNovelHops) {
+  RecommenderOptions options;
+  options.plm_hallucination_rate = 0.35;
+  const auto rec =
+      MakeRecommender(RecommenderKind::kPlm, Fixture().rg(), 42, options);
+  size_t hallucinated = 0;
+  size_t total = 0;
+  for (uint32_t user = 0; user < 25; ++user) {
+    for (const auto& r : rec->Recommend(user, 10)) {
+      ++total;
+      if (!r.path.IsFaithful()) ++hallucinated;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(hallucinated, 0u)
+      << "PLM with a high hallucination rate should emit novel paths";
+}
+
+TEST(PlmHallucinationTest, RateZeroIsFaithful) {
+  RecommenderOptions options;
+  options.plm_hallucination_rate = 0.0;
+  const auto rec =
+      MakeRecommender(RecommenderKind::kPlm, Fixture().rg(), 42, options);
+  for (uint32_t user = 0; user < 10; ++user) {
+    for (const auto& r : rec->Recommend(user, 10)) {
+      EXPECT_TRUE(r.path.IsFaithful());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xsum::rec

@@ -1,0 +1,131 @@
+/// Tests for the §V-A sampling protocol: gender-balanced, activity-
+/// stratified user samples and popularity-split item samples.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "rec/sampler.h"
+
+namespace xsum::rec {
+namespace {
+
+data::Dataset MakeDataset() {
+  auto config = data::Ml1mConfig(0.05, 9);
+  config.female_fraction = 0.4;
+  return data::MakeSyntheticDataset(config);
+}
+
+TEST(SamplerTest, BalancedGenderSample) {
+  const auto ds = MakeDataset();
+  const auto users = SampleUsersByGender(ds, 20, 3);
+  EXPECT_EQ(users.size(), 40u);
+  size_t male = 0;
+  size_t female = 0;
+  for (uint32_t u : users) {
+    (ds.user_gender[u] == data::Gender::kMale ? male : female) += 1;
+  }
+  EXPECT_EQ(male, 20u);
+  EXPECT_EQ(female, 20u);
+}
+
+TEST(SamplerTest, UsersAreDistinctAndInRange) {
+  const auto ds = MakeDataset();
+  const auto users = SampleUsersByGender(ds, 30, 3);
+  std::set<uint32_t> unique(users.begin(), users.end());
+  EXPECT_EQ(unique.size(), users.size());
+  for (uint32_t u : users) EXPECT_LT(u, ds.num_users);
+}
+
+TEST(SamplerTest, DeterministicForSeed) {
+  const auto ds = MakeDataset();
+  EXPECT_EQ(SampleUsersByGender(ds, 15, 3), SampleUsersByGender(ds, 15, 3));
+  EXPECT_NE(SampleUsersByGender(ds, 15, 3), SampleUsersByGender(ds, 15, 4));
+}
+
+TEST(SamplerTest, TakesAllWhenGenderPoolSmall) {
+  data::Dataset ds;
+  ds.num_users = 4;
+  ds.num_items = 2;
+  ds.num_entities = 1;
+  ds.user_gender = {data::Gender::kMale, data::Gender::kMale,
+                    data::Gender::kFemale, data::Gender::kMale};
+  ds.ratings = {{0, 0, 3.0f, 0}, {1, 0, 4.0f, 0}, {2, 1, 5.0f, 0},
+                {3, 1, 2.0f, 0}};
+  const auto users = SampleUsersByGender(ds, 10, 1);
+  EXPECT_EQ(users.size(), 4u);  // everyone
+}
+
+TEST(SamplerTest, PreservesActivityDistribution) {
+  const auto ds = MakeDataset();
+  const auto activity = ds.UserActivity();
+  const auto users = SampleUsersByGender(ds, 50, 3);
+  // The stratified sample must include both low- and high-activity users.
+  uint32_t min_act = UINT32_MAX;
+  uint32_t max_act = 0;
+  for (uint32_t u : users) {
+    min_act = std::min(min_act, activity[u]);
+    max_act = std::max(max_act, activity[u]);
+  }
+  std::vector<uint32_t> sorted_activity = activity;
+  std::sort(sorted_activity.begin(), sorted_activity.end());
+  const uint32_t q1 = sorted_activity[sorted_activity.size() / 4];
+  const uint32_t q3 = sorted_activity[3 * sorted_activity.size() / 4];
+  EXPECT_LE(min_act, q1) << "no low-activity users sampled";
+  EXPECT_GE(max_act, q3) << "no high-activity users sampled";
+}
+
+TEST(ItemSamplerTest, SplitsByPopularity) {
+  const auto ds = MakeDataset();
+  const auto sample = SampleItemsByPopularity(ds, 25, 25);
+  EXPECT_EQ(sample.popular.size(), 25u);
+  EXPECT_EQ(sample.unpopular.size(), 25u);
+  const auto pop = ds.ItemPopularity();
+  uint32_t min_popular = UINT32_MAX;
+  for (uint32_t i : sample.popular) min_popular = std::min(min_popular, pop[i]);
+  uint32_t max_unpopular = 0;
+  for (uint32_t i : sample.unpopular) {
+    max_unpopular = std::max(max_unpopular, pop[i]);
+    EXPECT_GE(pop[i], 1u) << "unpopular items must still have >=1 rating";
+  }
+  EXPECT_GE(min_popular, max_unpopular);
+}
+
+TEST(ItemSamplerTest, AllConcatenates) {
+  const auto ds = MakeDataset();
+  const auto sample = SampleItemsByPopularity(ds, 5, 7);
+  EXPECT_EQ(sample.All().size(), 12u);
+}
+
+TEST(ItemSamplerTest, HandlesTinyCatalogue) {
+  data::Dataset ds;
+  ds.num_users = 2;
+  ds.num_items = 3;
+  ds.num_entities = 1;
+  ds.user_gender = {data::Gender::kMale, data::Gender::kFemale};
+  ds.ratings = {{0, 0, 3.0f, 0}, {1, 1, 4.0f, 0}};
+  const auto sample = SampleItemsByPopularity(ds, 10, 10);
+  // Only 2 rated items exist in total.
+  EXPECT_EQ(sample.popular.size() + sample.unpopular.size(), 2u);
+}
+
+TEST(MakeGroupsTest, ChunksUsers) {
+  const std::vector<uint32_t> users = {1, 2, 3, 4, 5, 6, 7};
+  const auto groups = MakeGroups(users, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(groups[2], (std::vector<uint32_t>{7}));
+}
+
+TEST(MakeGroupsTest, ZeroSizeYieldsNothing) {
+  EXPECT_TRUE(MakeGroups({1, 2, 3}, 0).empty());
+}
+
+TEST(MakeGroupsTest, EmptyInput) {
+  EXPECT_TRUE(MakeGroups({}, 5).empty());
+}
+
+}  // namespace
+}  // namespace xsum::rec

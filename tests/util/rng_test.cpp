@@ -1,0 +1,234 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xsum {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  uint64_t s1 = 1;
+  uint64_t s2 = 1;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  uint64_t a = 1;
+  uint64_t b = 2;
+  EXPECT_NE(SplitMix64(&a), SplitMix64(&b));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsProduceDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ZeroSeedStillWorks) {
+  Rng rng(0);
+  EXPECT_NE(rng.Next64(), 0u);  // degenerate all-zero state avoided
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Uniform(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(13);
+  EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(31);
+  const int n = 40000;
+  double sum = 0;
+  double sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(37);
+  const int n = 40000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(43);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(47);
+  for (uint64_t k : {0ULL, 1ULL, 5ULL, 50ULL, 100ULL}) {
+    const auto sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (uint64_t v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(53);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(59);
+  std::vector<double> weights = {0.0, 1.0, 0.0, 3.0};
+  int counts[4] = {};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / counts[1], 3.0, 0.3);
+}
+
+TEST(ZipfTableTest, PmfSumsToOne) {
+  ZipfTable table(100, 1.0);
+  double total = 0;
+  for (uint64_t i = 0; i < table.size(); ++i) total += table.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTableTest, SkewZeroIsUniform) {
+  ZipfTable table(10, 0.0);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_NEAR(table.Pmf(i), 0.1, 1e-9);
+}
+
+TEST(ZipfTableTest, HeadHeavierThanTail) {
+  ZipfTable table(1000, 1.0);
+  EXPECT_GT(table.Pmf(0), table.Pmf(999) * 100);
+}
+
+TEST(ZipfTableTest, SamplesInRangeAndSkewed) {
+  ZipfTable table(50, 1.2);
+  Rng rng(61);
+  int head = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = table.Sample(&rng);
+    EXPECT_LT(v, 50u);
+    if (v < 5) ++head;
+  }
+  // With skew 1.2 the top-5 of 50 carry well over a third of the mass.
+  EXPECT_GT(head, n / 3);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformBoundsHoldForAllSeeds) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 2, 42, 1337, 999999,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace xsum
