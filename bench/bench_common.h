@@ -1,6 +1,7 @@
 /// \file bench_common.h
 /// \brief Shared plumbing of the bench binaries: config-from-env, error
-/// aborts, and the standard header block every bench prints.
+/// aborts, the standard header block every bench prints, and the
+/// machine-readable JSON perf records the perf-tracking tooling consumes.
 
 #ifndef XSUM_BENCH_BENCH_COMMON_H_
 #define XSUM_BENCH_BENCH_COMMON_H_
@@ -13,6 +14,7 @@
 #include "eval/experiment.h"
 #include "eval/figure.h"
 #include "eval/runner.h"
+#include "util/env.h"
 #include "util/status.h"
 
 namespace xsum::bench {
@@ -43,6 +45,36 @@ inline eval::ExperimentRunner MakeRunner(eval::ExperimentConfig defaults) {
       eval::ExperimentConfig::FromEnv(std::move(defaults)));
   CheckOk(runner.Init(), "runner init");
   return runner;
+}
+
+/// \brief One machine-readable performance observation. Future PRs track
+/// the perf trajectory by diffing these records across commits.
+struct PerfRecord {
+  std::string bench;    ///< bench binary / section, e.g. "fig10.user_group"
+  std::string method;   ///< method label, e.g. "ST-KMB.batch"
+  size_t n = 0;         ///< graph nodes
+  size_t t = 0;         ///< terminals per task (mean, rounded)
+  double wall_ms = 0.0; ///< mean wall time per summarization call
+  size_t peak_workspace_bytes = 0;
+};
+
+/// \brief Appends \p record as one JSON line to the file named by the
+/// `XSUM_JSON` env var ("-" = stdout); no-op when the var is unset.
+/// Failures are logged, not fatal (benches should not die on export).
+inline void EmitPerfJson(const PerfRecord& record) {
+  const std::string dest = GetEnvString("XSUM_JSON", "");
+  if (dest.empty()) return;
+  std::FILE* out = dest == "-" ? stdout : std::fopen(dest.c_str(), "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[perf json] cannot open %s\n", dest.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"%s\",\"method\":\"%s\",\"n\":%zu,\"t\":%zu,"
+               "\"wall_ms\":%.6f,\"peak_workspace_bytes\":%zu}\n",
+               record.bench.c_str(), record.method.c_str(), record.n, record.t,
+               record.wall_ms, record.peak_workspace_bytes);
+  if (out != stdout) std::fclose(out);
 }
 
 }  // namespace xsum::bench

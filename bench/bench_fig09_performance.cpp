@@ -6,8 +6,98 @@
 /// factor — this bench uses the paper's Algorithm 1 / KMB construction);
 /// PCST stays nearly flat (single priority-queue sweep independent of
 /// |T|), with the gap widening as k increases.
+///
+/// The panels run through the batch summarization engine (the runner fans
+/// units across XSUM_WORKERS threads with reusable search workspaces); an
+/// epilogue reports old-vs-new throughput over repeated user-centric
+/// queries — the fresh-context single-shot path (a new workspace + weight
+/// buffers per call) against the steady-state batch engine — and emits
+/// the JSON perf records (XSUM_JSON). For the comparison against the
+/// *seed* algorithms themselves, see the `*SeedRef` rows of
+/// bench_micro_core.
+
+#include <vector>
 
 #include "bench_common.h"
+#include "core/batch.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace xsum;
+
+/// Times `calls` summarization calls over \p tasks; returns mean ms/call.
+template <typename RunFn>
+double TimeCalls(const std::vector<core::SummaryTask>& tasks, int repeats,
+                 const RunFn& run) {
+  WallTimer timer;
+  timer.Start();
+  for (int r = 0; r < repeats; ++r) {
+    for (const core::SummaryTask& task : tasks) {
+      const auto summary = run(task);
+      bench::CheckOk(summary.status(), "summarize");
+    }
+  }
+  return timer.ElapsedMillis() /
+         (static_cast<double>(repeats) * static_cast<double>(tasks.size()));
+}
+
+void ReportOldVsNew(const eval::ExperimentRunner& runner) {
+  const auto data = bench::ValueOrDie(
+      runner.ComputeBaseline(rec::RecommenderKind::kPgpr), "baseline");
+  std::vector<core::SummaryTask> tasks;
+  size_t terminal_sum = 0;
+  for (const core::UserRecs& ur : data.users) {
+    tasks.push_back(core::MakeUserCentricTask(runner.rec_graph(), ur, 10));
+    terminal_sum += tasks.back().terminals.size();
+  }
+  if (tasks.empty()) return;
+  const size_t mean_t = terminal_sum / tasks.size();
+  const size_t n = runner.rec_graph().graph().num_nodes();
+  constexpr int kRepeats = 3;
+
+  std::cout << "Old-vs-new throughput (repeated user-centric queries, "
+            << tasks.size() << " tasks x " << kRepeats << " repeats)\n";
+  for (const auto& [label, options] :
+       {std::pair{std::string("ST-KMB"),
+                  [] {
+                    core::SummarizerOptions o;
+                    o.method = core::SummaryMethod::kSteiner;
+                    o.steiner.variant = core::SteinerOptions::Variant::kKmb;
+                    return o;
+                  }()},
+        std::pair{std::string("PCST"), [] {
+                    core::SummarizerOptions o;
+                    o.method = core::SummaryMethod::kPcst;
+                    return o;
+                  }()}}) {
+    const double old_ms = TimeCalls(tasks, kRepeats, [&](const auto& task) {
+      return core::Summarize(runner.rec_graph(), task, options);
+    });
+    core::BatchSummarizer batch(runner.rec_graph(), /*num_workers=*/1);
+    // One warmup pass grows the workspace to capacity; the measured passes
+    // are the engine's steady state.
+    for (const auto& task : tasks) {
+      bench::CheckOk(batch.Run(task, options).status(), "warmup");
+    }
+    const double new_ms = TimeCalls(tasks, kRepeats, [&](const auto& task) {
+      return batch.Run(task, options);
+    });
+    std::cout << "  " << label << ": single-shot " << FormatDouble(old_ms, 3)
+              << " ms/call (" << FormatDouble(1000.0 / old_ms, 1)
+              << "/s), batch " << FormatDouble(new_ms, 3) << " ms/call ("
+              << FormatDouble(1000.0 / new_ms, 1) << "/s) — speedup "
+              << FormatDouble(old_ms / new_ms, 2) << "x\n";
+    bench::EmitPerfJson({"fig09.user_centric", label + ".single", n, mean_t,
+                         old_ms, 0});
+    bench::EmitPerfJson({"fig09.user_centric", label + ".batch", n, mean_t,
+                         new_ms, batch.peak_workspace_bytes()});
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
 
 int main() {
   using namespace xsum;
@@ -38,5 +128,6 @@ int main() {
                                         "Figure 9 (memory): working memory",
                                         std::cout),
                  "figure 9 memory");
+  ReportOldVsNew(runner);
   return 0;
 }

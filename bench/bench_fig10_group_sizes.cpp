@@ -5,10 +5,15 @@
 /// Expected shape: ST's complexity depends on the number of terminals |T|,
 /// so execution time rises rapidly with group size; PCST's single sweep is
 /// independent of |T| and grows only gently.
+///
+/// Queries run through the batch summarization engine (one persistent
+/// workspace, epoch-reset between groups); each cell also lands as a JSON
+/// perf record when XSUM_JSON is set.
 
 #include <vector>
 
 #include "bench_common.h"
+#include "core/batch.h"
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -40,6 +45,8 @@ int main() {
   const auto data = bench::ValueOrDie(
       runner.ComputeBaseline(rec::RecommenderKind::kPgpr), "baseline");
   constexpr int kK = 10;
+  core::BatchSummarizer batch(runner.rec_graph(), /*num_workers=*/1);
+  const size_t num_nodes = runner.rec_graph().graph().num_nodes();
 
   std::cout << "Figure 10: summarization time vs group size (k=10)\n"
             << "config: " << runner.config().Describe() << "\n\n";
@@ -57,6 +64,8 @@ int main() {
       std::vector<double> row;
       for (size_t size : group_sizes) {
         StatAccumulator acc;
+        size_t terminal_sum = 0;
+        size_t task_count = 0;
         if (user_side) {
           // Chunk the sampled users into groups of `size`.
           for (size_t begin = 0; begin + size <= data.users.size();
@@ -66,10 +75,11 @@ int main() {
                 data.users.begin() + static_cast<ptrdiff_t>(begin + size));
             const auto task =
                 core::MakeUserGroupTask(runner.rec_graph(), group, kK);
-            const auto summary = bench::ValueOrDie(
-                core::Summarize(runner.rec_graph(), task, options),
-                "summarize");
+            const auto summary =
+                bench::ValueOrDie(batch.Run(task, options), "summarize");
             acc.Add(summary.elapsed_ms);
+            terminal_sum += task.terminals.size();
+            ++task_count;
           }
         } else {
           for (size_t begin = 0; begin + size <= data.items.size();
@@ -79,13 +89,21 @@ int main() {
                 data.items.begin() + static_cast<ptrdiff_t>(begin + size));
             const auto task =
                 core::MakeItemGroupTask(runner.rec_graph(), group, kK);
-            const auto summary = bench::ValueOrDie(
-                core::Summarize(runner.rec_graph(), task, options),
-                "summarize");
+            const auto summary =
+                bench::ValueOrDie(batch.Run(task, options), "summarize");
             acc.Add(summary.elapsed_ms);
+            terminal_sum += task.terminals.size();
+            ++task_count;
           }
         }
         row.push_back(acc.empty() ? 0.0 : acc.Mean());
+        if (task_count > 0) {
+          bench::EmitPerfJson(
+              {user_side ? "fig10.user_group" : "fig10.item_group",
+               StrCat(label, ".size=", size), num_nodes,
+               terminal_sum / task_count, acc.Mean(),
+               batch.peak_workspace_bytes()});
+        }
       }
       table.AddDoubleRow(label, row, 2);
     }

@@ -11,10 +11,16 @@
 /// Expected shape: both algorithms slow with graph size; ST rises much
 /// faster (|T| Dijkstra runs over a growing graph) — especially user-group
 /// — while PCST grows gently.
+///
+/// All queries share one batch-engine context whose workspace grows to the
+/// largest graph and is epoch-reused across sizes — the cross-graph reuse
+/// path of `core::SummarizeContext`. Cells land as JSON perf records when
+/// XSUM_JSON is set.
 
 #include <vector>
 
 #include "bench_common.h"
+#include "core/batch.h"
 #include "data/synthetic.h"
 #include "util/env.h"
 #include "util/rng.h"
@@ -81,6 +87,7 @@ int main() {
   core::SummarizerOptions pcst;
   pcst.method = core::SummaryMethod::kPcst;
 
+  core::SummarizeContext ctx;  // shared across methods and graph sizes
   for (const auto& [label, options] :
        {std::pair{std::string("ST l=1"), st},
         std::pair{std::string("PCST"), pcst}}) {
@@ -108,12 +115,14 @@ int main() {
         }
         if (recs.recs.empty()) continue;
         const auto task = core::MakeUserCentricTask(rg, recs, kK);
-        const auto summary =
-            bench::ValueOrDie(core::Summarize(rg, task, options), "sum");
+        const auto summary = bench::ValueOrDie(
+            core::SummarizeWith(rg, task, options, ctx), "sum");
         t_uc.Add(summary.elapsed_ms);
         m_uc.Add(static_cast<double>(summary.memory_bytes) / (1024.0 * 1024.0));
       }
       // User-group: two groups of kGroupSize users.
+      size_t group_tasks = 0;
+      size_t group_terminals = 0;
       for (size_t gidx = 0; gidx < kNumGroups; ++gidx) {
         std::vector<core::UserRecs> group;
         for (size_t member = 0; member < kGroupSize; ++member) {
@@ -131,15 +140,25 @@ int main() {
         }
         if (group.empty()) continue;
         const auto task = core::MakeUserGroupTask(rg, group, kK);
-        const auto summary =
-            bench::ValueOrDie(core::Summarize(rg, task, options), "sum");
+        const auto summary = bench::ValueOrDie(
+            core::SummarizeWith(rg, task, options, ctx), "sum");
         t_ug.Add(summary.elapsed_ms);
         m_ug.Add(static_cast<double>(summary.memory_bytes) / (1024.0 * 1024.0));
+        ++group_tasks;
+        group_terminals += task.terminals.size();
       }
       tuc.push_back(t_uc.Mean());
       tug.push_back(t_ug.Mean());
       muc.push_back(m_uc.Mean());
       mug.push_back(m_ug.Mean());
+      bench::EmitPerfJson({"fig11.user_centric", label,
+                           rg.graph().num_nodes(), kK + 1, t_uc.Mean(),
+                           ctx.MemoryFootprintBytes()});
+      if (group_tasks > 0) {
+        bench::EmitPerfJson({"fig11.user_group", label, rg.graph().num_nodes(),
+                             group_terminals / group_tasks, t_ug.Mean(),
+                             ctx.MemoryFootprintBytes()});
+      }
     }
     time_uc.AddDoubleRow(label, tuc, 2);
     time_ug.AddDoubleRow(label, tug, 2);

@@ -1,0 +1,162 @@
+#include "core/batch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/baseline.h"
+#include "core/weight_adjust.h"
+#include "util/timer.h"
+
+namespace xsum::core {
+
+namespace {
+
+double ScaleWeight(double w, CostMode mode) {
+  if (mode == CostMode::kWeightAwareLog) return std::log1p(std::max(w, 0.0));
+  return w;
+}
+
+/// Cached equivalent of `WeightsToCostsInto(ctx.adjusted_weights, mode,
+/// &ctx.costs)`: identical output bits, but the O(|E|) scale pass over the
+/// base weights runs once per (graph, mode) instead of once per task —
+/// only the Eq.-(1)-touched edges are re-scaled. The cache is validated
+/// with a bitwise compare of the base weights, so a context reused across
+/// graphs (of any sizes) transparently rebuilds.
+void CostsFromAdjusted(const std::vector<double>& base_weights, CostMode mode,
+                       SummarizeContext& ctx) {
+  const std::vector<double>& adjusted = ctx.adjusted_weights;
+  if (mode == CostMode::kUnit) {
+    ctx.costs.assign(adjusted.size(), 1.0);
+    return;
+  }
+  if (adjusted.empty()) {
+    ctx.costs.clear();
+    return;
+  }
+  if (ctx.cost_cache_mode != static_cast<int>(mode) ||
+      ctx.cost_cache_base != base_weights) {
+    ctx.cost_cache_base = base_weights;
+    ctx.cost_cache_scaled.resize(base_weights.size());
+    for (size_t e = 0; e < base_weights.size(); ++e) {
+      ctx.cost_cache_scaled[e] = ScaleWeight(base_weights[e], mode);
+    }
+    ctx.cost_cache_mode = static_cast<int>(mode);
+  }
+  // scale() is non-decreasing, so the scaled extremes are the scaled
+  // images of the raw extremes — same reduction as WeightsToCostsInto.
+  const auto [min_it, max_it] =
+      std::minmax_element(adjusted.begin(), adjusted.end());
+  const double w_min = ScaleWeight(*min_it, mode);
+  const double w_max = ScaleWeight(*max_it, mode);
+  const double span = w_max - w_min;
+  if (span <= 0.0) {
+    ctx.costs.assign(adjusted.size(), 1.0);
+    return;
+  }
+  ctx.costs.resize(adjusted.size());
+  for (size_t e = 0; e < adjusted.size(); ++e) {
+    ctx.costs[e] = 1.0 + (w_max - ctx.cost_cache_scaled[e]) / span;
+  }
+  for (graph::EdgeId e : ctx.touched_edges) {
+    ctx.costs[e] = 1.0 + (w_max - ScaleWeight(adjusted[e], mode)) / span;
+  }
+}
+
+}  // namespace
+
+Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
+                              const SummaryTask& task,
+                              const SummarizerOptions& options,
+                              SummarizeContext& ctx) {
+  const graph::KnowledgeGraph& g = rec_graph.graph();
+  Summary summary;
+  summary.method = options.method;
+  summary.scenario = task.scenario;
+  summary.input_paths = task.paths;
+  summary.anchors = task.anchors;
+  summary.terminals = task.terminals;
+
+  WallTimer timer;
+  timer.Start();
+
+  switch (options.method) {
+    case SummaryMethod::kBaseline: {
+      summary.subgraph = UnionOfPaths(g, task.paths);
+      summary.memory_bytes = summary.subgraph.MemoryFootprintBytes();
+      break;
+    }
+    case SummaryMethod::kSteiner: {
+      // Eq. (1) weight adjustment, then the max-weight -> min-cost
+      // transform, then Algorithm 1 — all into reused context buffers.
+      AdjustWeightsInto(g, rec_graph.base_weights(), task.paths,
+                        options.lambda, task.s_size, &ctx.edge_counts,
+                        &ctx.touched_edges, &ctx.adjusted_weights);
+      CostsFromAdjusted(rec_graph.base_weights(), options.cost_mode, ctx);
+      XSUM_ASSIGN_OR_RETURN(
+          SteinerResult st,
+          SteinerTree(g, ctx.costs, task.terminals, options.steiner,
+                      &ctx.workspace));
+      summary.subgraph = std::move(st.tree);
+      summary.unreached_terminals = std::move(st.unreached_terminals);
+      // The adjusted-weight and cost vectors are part of the ST working
+      // set (two doubles per edge).
+      summary.memory_bytes =
+          st.workspace_bytes + 2 * g.num_edges() * sizeof(double);
+      break;
+    }
+    case SummaryMethod::kPcst: {
+      // The paper's PCST configuration ignores edge weights (§V-A); the
+      // base weights are only consulted when ablation options enable them.
+      XSUM_ASSIGN_OR_RETURN(
+          PcstResult pc,
+          PcstSummary(g, rec_graph.base_weights(), task.terminals,
+                      options.pcst, &ctx.workspace));
+      summary.subgraph = std::move(pc.tree);
+      summary.unreached_terminals = std::move(pc.unreached_terminals);
+      summary.memory_bytes = pc.workspace_bytes;
+      break;
+    }
+  }
+  summary.elapsed_ms = timer.ElapsedMillis();
+  return summary;
+}
+
+BatchSummarizer::BatchSummarizer(const data::RecGraph& rec_graph,
+                                 size_t num_workers)
+    : rec_graph_(rec_graph), pool_(num_workers) {
+  contexts_.reserve(pool_.num_workers());
+  for (size_t w = 0; w < pool_.num_workers(); ++w) {
+    contexts_.push_back(std::make_unique<SummarizeContext>());
+  }
+}
+
+Result<Summary> BatchSummarizer::Run(const SummaryTask& task,
+                                     const SummarizerOptions& options) {
+  return RunWith(0, task, options);
+}
+
+Result<Summary> BatchSummarizer::RunWith(size_t worker, const SummaryTask& task,
+                                         const SummarizerOptions& options) {
+  assert(worker < contexts_.size());
+  return SummarizeWith(rec_graph_, task, options, *contexts_[worker]);
+}
+
+std::vector<Result<Summary>> BatchSummarizer::RunAll(
+    const std::vector<SummaryTask>& tasks, const SummarizerOptions& options) {
+  std::vector<Result<Summary>> results(
+      tasks.size(), Result<Summary>(Status::Internal("task not run")));
+  pool_.ParallelFor(tasks.size(), [&](size_t worker, size_t i) {
+    results[i] = RunWith(worker, tasks[i], options);
+  });
+  return results;
+}
+
+size_t BatchSummarizer::peak_workspace_bytes() const {
+  size_t peak = 0;
+  for (const auto& ctx : contexts_) {
+    peak = std::max(peak, ctx->MemoryFootprintBytes());
+  }
+  return peak;
+}
+
+}  // namespace xsum::core

@@ -1,0 +1,111 @@
+/// \file batch.h
+/// \brief The batch summarization engine: answer many `SummaryTask`s with
+/// zero steady-state allocation and optional parallelism.
+///
+/// `Summarize` (summarizer.h) is a convenience wrapper that pays for a
+/// fresh O(|V|) search workspace and two O(|E|) weight buffers on every
+/// call. The batch engine hoists that state into a `SummarizeContext` that
+/// is epoch-reset between tasks, and `BatchSummarizer` owns one context per
+/// worker plus a thread pool, so a stream of tasks runs allocation-free
+/// and in parallel. Results are bit-identical to single-shot `Summarize`
+/// calls — both run the same code path; the workspace epochs only change
+/// *when* memory is recycled, never what a query observes. See DESIGN.md
+/// §2.
+
+#ifndef XSUM_CORE_BATCH_H_
+#define XSUM_CORE_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/summarizer.h"
+#include "graph/search_workspace.h"
+#include "util/thread_pool.h"
+
+namespace xsum::core {
+
+/// \brief Reusable per-worker scratch state for `SummarizeWith`.
+///
+/// Holds the graph-search workspace plus the Eq. (1) weight-adjustment and
+/// cost-transform buffers. Reusable across tasks, methods, and graphs of
+/// different sizes (capacity grows monotonically). Not thread-safe: one
+/// context per worker.
+struct SummarizeContext {
+  graph::SearchWorkspace workspace;
+  /// Eq. (1) output and the derived Steiner costs (each |E| doubles).
+  std::vector<double> adjusted_weights;
+  std::vector<double> costs;
+  /// Edge-occurrence scratch for `AdjustWeightsInto` (all-zero between
+  /// calls) and the list of edges it touched.
+  std::vector<uint32_t> edge_counts;
+  std::vector<graph::EdgeId> touched_edges;
+
+  /// Cost-transform cache: the base weights Eq. (1) starts from change only
+  /// when the graph changes, so their scaled images (the log1p pass of
+  /// `CostMode::kWeightAwareLog` — the most expensive per-edge op in the
+  /// whole pipeline) are computed once and revalidated with a bitwise
+  /// compare. Per task only the few path-touched edges are re-scaled.
+  std::vector<double> cost_cache_base;    ///< base weights the cache is for
+  std::vector<double> cost_cache_scaled;  ///< scale(base) per edge
+  int cost_cache_mode = -1;               ///< CostMode of the cache, or -1
+
+  /// Resident bytes of all retained buffers.
+  size_t MemoryFootprintBytes() const {
+    return workspace.MemoryFootprintBytes() +
+           (adjusted_weights.capacity() + costs.capacity() +
+            cost_cache_base.capacity() + cost_cache_scaled.capacity()) *
+               sizeof(double) +
+           edge_counts.capacity() * sizeof(uint32_t) +
+           touched_edges.capacity() * sizeof(graph::EdgeId);
+  }
+};
+
+/// Runs the configured summarizer on \p task, borrowing all scratch state
+/// from \p ctx. `Summarize` == `SummarizeWith` on a throwaway context.
+Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
+                              const SummaryTask& task,
+                              const SummarizerOptions& options,
+                              SummarizeContext& ctx);
+
+/// \brief Façade answering many summarization tasks over one graph.
+///
+/// Owns `num_workers` contexts and a thread pool. `RunAll` fans a task
+/// batch across the workers and returns results in task order; `Run` /
+/// `RunWith` serve call sites that loop over tasks themselves (the
+/// evaluation runner drives its units through `RunWith`, one worker per
+/// pool thread).
+class BatchSummarizer {
+ public:
+  explicit BatchSummarizer(const data::RecGraph& rec_graph,
+                           size_t num_workers = 1);
+
+  size_t num_workers() const { return contexts_.size(); }
+  ThreadPool& pool() { return pool_; }
+
+  /// Runs one task on the calling thread with worker 0's context.
+  Result<Summary> Run(const SummaryTask& task, const SummarizerOptions& options);
+
+  /// Runs one task on the calling thread with \p worker's context. Safe to
+  /// call concurrently for distinct workers (ThreadPool::ParallelFor hands
+  /// each worker id to exactly one thread at a time).
+  Result<Summary> RunWith(size_t worker, const SummaryTask& task,
+                          const SummarizerOptions& options);
+
+  /// Runs the whole batch across the pool; `result[i]` corresponds to
+  /// `tasks[i]` regardless of scheduling.
+  std::vector<Result<Summary>> RunAll(const std::vector<SummaryTask>& tasks,
+                                      const SummarizerOptions& options);
+
+  /// Largest per-worker scratch footprint seen so far (perf reporting).
+  size_t peak_workspace_bytes() const;
+
+ private:
+  const data::RecGraph& rec_graph_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<SummarizeContext>> contexts_;
+};
+
+}  // namespace xsum::core
+
+#endif  // XSUM_CORE_BATCH_H_

@@ -8,10 +8,21 @@ namespace xsum::core {
 
 std::vector<double> WeightsToCosts(const std::vector<double>& weights,
                                    CostMode mode) {
+  std::vector<double> costs;
+  WeightsToCostsInto(weights, mode, &costs);
+  return costs;
+}
+
+void WeightsToCostsInto(const std::vector<double>& weights, CostMode mode,
+                        std::vector<double>* out) {
   if (mode == CostMode::kUnit) {
-    return std::vector<double>(weights.size(), 1.0);
+    out->assign(weights.size(), 1.0);
+    return;
   }
-  if (weights.empty()) return {};
+  if (weights.empty()) {
+    out->clear();
+    return;
+  }
   auto scale = [mode](double w) {
     if (mode == CostMode::kWeightAwareLog) return std::log1p(std::max(w, 0.0));
     return w;
@@ -21,12 +32,11 @@ std::vector<double> WeightsToCosts(const std::vector<double>& weights,
   const double w_min = scale(*min_it);
   const double w_max = scale(*max_it);
   const double span = w_max - w_min;
-  std::vector<double> costs(weights.size(), 1.0);
-  if (span <= 0.0) return costs;  // all weights equal -> unit costs
+  out->assign(weights.size(), 1.0);
+  if (span <= 0.0) return;  // all weights equal -> unit costs
   for (size_t e = 0; e < weights.size(); ++e) {
-    costs[e] = 1.0 + (w_max - scale(weights[e])) / span;
+    (*out)[e] = 1.0 + (w_max - scale(weights[e])) / span;
   }
-  return costs;
 }
 
 }  // namespace xsum::core

@@ -50,6 +50,12 @@ std::vector<double> WeightsToCosts(
     const std::vector<double>& weights,
     CostMode mode = CostMode::kWeightAwareLog);
 
+/// Allocation-free variant for the batch engine: writes the costs into
+/// \p out (resized to `weights.size()`), producing the same values as
+/// `WeightsToCosts`.
+void WeightsToCostsInto(const std::vector<double>& weights, CostMode mode,
+                        std::vector<double>* out);
+
 }  // namespace xsum::core
 
 #endif  // XSUM_CORE_COST_TRANSFORM_H_

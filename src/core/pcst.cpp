@@ -1,12 +1,10 @@
 #include "core/pcst.h"
 
 #include <algorithm>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "graph/centrality.h"
 #include "graph/dijkstra.h"
+#include "graph/search_workspace.h"
 #include "util/string_util.h"
 
 namespace xsum::core {
@@ -15,62 +13,19 @@ namespace {
 
 using graph::AdjEntry;
 using graph::EdgeId;
+using graph::EpochUnionFind;
 using graph::KnowledgeGraph;
 using graph::NodeId;
+using graph::SearchWorkspace;
 using graph::Subgraph;
-
-struct HeapEntry {
-  double key;
-  NodeId node;
-  NodeId parent;
-  EdgeId via;
-  bool operator>(const HeapEntry& other) const { return key > other.key; }
-};
-
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
-
-/// Union-find over node ids restricted to touched nodes.
-class SparseUnionFind {
- public:
-  NodeId Find(NodeId x) {
-    auto it = parent_.find(x);
-    if (it == parent_.end()) {
-      parent_[x] = x;
-      return x;
-    }
-    NodeId root = x;
-    while (parent_[root] != root) root = parent_[root];
-    while (parent_[x] != root) {
-      NodeId next = parent_[x];
-      parent_[x] = root;
-      x = next;
-    }
-    return root;
-  }
-
-  /// Returns false if already joined.
-  bool Union(NodeId a, NodeId b) {
-    NodeId ra = Find(a);
-    NodeId rb = Find(b);
-    if (ra == rb) return false;
-    if (ra > rb) std::swap(ra, rb);
-    parent_[rb] = ra;
-    return true;
-  }
-
-  size_t touched() const { return parent_.size(); }
-
- private:
-  std::unordered_map<NodeId, NodeId> parent_;
-};
 
 }  // namespace
 
 Result<PcstResult> PcstSummary(const KnowledgeGraph& graph,
                                const std::vector<double>& weights,
                                const std::vector<NodeId>& terminals,
-                               const PcstOptions& options) {
+                               const PcstOptions& options,
+                               graph::SearchWorkspace* workspace) {
   if (options.use_edge_weights && weights.size() < graph.num_edges()) {
     return Status::InvalidArgument(
         StrCat("weight vector covers ", weights.size(), " of ",
@@ -86,6 +41,11 @@ Result<PcstResult> PcstSummary(const KnowledgeGraph& graph,
   }
   PcstResult result;
   if (seeds.empty()) return result;
+
+  const size_t n = graph.num_nodes();
+  SearchWorkspace local_ws;
+  SearchWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
+  ws.Begin(n);
 
   // --- prizes and edge costs -------------------------------------------
   double alpha = 1.0;
@@ -103,13 +63,15 @@ Result<PcstResult> PcstSummary(const KnowledgeGraph& graph,
     // abandoned because it yields oversized summaries; kept for ablation.
     return std::max(0.0, weights[e]);
   };
-  std::unordered_set<NodeId> terminal_set(seeds.begin(), seeds.end());
+  // Terminal membership lives in the workspace mark set (the seed used an
+  // unordered_set lookup in the prize function, the hottest call here).
+  for (NodeId s : seeds) ws.Mark(s);
   std::vector<double> centrality;
   if (options.prize_policy == PcstOptions::PrizePolicy::kDegreeCentrality) {
     centrality = graph::DegreeCentrality(graph);
   }
   auto prize = [&](NodeId v) {
-    if (terminal_set.count(v) > 0) return alpha;
+    if (ws.marked(v)) return alpha;
     if (!centrality.empty()) return 0.5 * centrality[v];
     return beta;
   };
@@ -131,30 +93,30 @@ Result<PcstResult> PcstSummary(const KnowledgeGraph& graph,
 
   // --- growth (Algorithm 2): simultaneous Prim-style expansion from all
   // terminal seeds; an edge is adopted when it first touches a node or
-  // merges two different components. -------------------------------------
-  const size_t n = graph.num_nodes();
-  std::vector<char> in_tree(n, 0);
-  std::vector<double> best_key(n, graph::kInfDistance);
-  SparseUnionFind components;
-  MinHeap heap;
+  // merges two different components. The workspace provides the in-tree
+  // flags (settled set), the candidate keys (dist + parent arrays, updated
+  // via decrease-key on the indexed heap), the component structure
+  // (epoch union-find), and the per-root terminal counts (tag map). ------
+  EpochUnionFind& components = ws.union_find();
+  components.Reset(n);
+  graph::IndexedMinHeap& heap = ws.heap();
 
   // Number of distinct components that contain at least one terminal;
   // growth may stop once this reaches 1.
   size_t terminal_components = seeds.size();
-  std::unordered_map<NodeId, size_t> root_terminal_count;
-  root_terminal_count.reserve(seeds.size() * 2);
 
-  std::vector<EdgeId> adopted_edges;
+  std::vector<EdgeId>& adopted_edges = ws.edge_scratch();
+  adopted_edges.clear();
 
   auto merge = [&](NodeId a, NodeId b, EdgeId via) {
     const NodeId ra = components.Find(a);
     const NodeId rb = components.Find(b);
     if (ra == rb) return;
-    const size_t ta = root_terminal_count[ra];
-    const size_t tb = root_terminal_count[rb];
+    const size_t ta = ws.TagOr(ra, 0);
+    const size_t tb = ws.TagOr(rb, 0);
     components.Union(ra, rb);
     const NodeId root = components.Find(ra);
-    root_terminal_count[root] = ta + tb;
+    ws.SetTag(root, static_cast<uint32_t>(ta + tb));
     if (ta > 0 && tb > 0) --terminal_components;
     adopted_edges.push_back(via);
   };
@@ -162,88 +124,103 @@ Result<PcstResult> PcstSummary(const KnowledgeGraph& graph,
   // Seed all terminals (they enter Q with priority −p and are extracted
   // first in Algorithm 2).
   for (NodeId s : seeds) {
-    in_tree[s] = 1;
-    best_key[s] = -prize(s);
-    root_terminal_count[components.Find(s)] = 1;
+    ws.SetSettled(s);
+    ws.SetTag(components.Find(s), 1);
   }
   for (NodeId s : seeds) {
     for (const AdjEntry& a : graph.Neighbors(s)) {
-      if (in_tree[a.neighbor]) {
+      if (ws.settled(a.neighbor)) {
         // Terminal adjacent to terminal: adopt the edge immediately.
         merge(s, a.neighbor, a.edge);
         continue;
       }
       const double key =
           edge_cost(a.edge) - prize(a.neighbor) + edge_jitter(a.edge);
-      if (key < best_key[a.neighbor]) {
-        best_key[a.neighbor] = key;
-        heap.push(HeapEntry{key, a.neighbor, s, a.edge});
+      if (key < ws.dist(a.neighbor)) {
+        ws.Relax(a.neighbor, key, s, a.edge);
+        heap.PushOrDecrease(a.neighbor, key);
       }
     }
   }
 
-  while (!heap.empty() && terminal_components > 1) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    const NodeId u = top.node;
-    if (in_tree[u]) {
-      // Late pop: u joined via a cheaper key; but the popped edge may
-      // still merge two components.
-      merge(top.parent, u, top.via);
-      continue;
-    }
-    if (top.key > best_key[u]) continue;  // stale entry
-    in_tree[u] = 1;
-    merge(top.parent, u, top.via);
+  while (!heap.Empty() && terminal_components > 1) {
+    // Indexed heap: each node pops exactly once, at its best key, carrying
+    // the parent/via of that key in the workspace parent arrays. The
+    // seed's late-pop / stale-entry handling is unnecessary: every edge
+    // between two in-tree nodes is offered to merge() when its later
+    // endpoint settles (or in the seeding scan), so duplicate heap entries
+    // never adopted anything the scans below do not.
+    const NodeId u = heap.PopMin();
+    ws.SetSettled(u);
+    merge(ws.parent_node(u), u, ws.parent_edge(u));
     for (const AdjEntry& a : graph.Neighbors(u)) {
-      if (in_tree[a.neighbor]) {
+      if (ws.settled(a.neighbor)) {
         merge(u, a.neighbor, a.edge);
         continue;
       }
       const double key =
           edge_cost(a.edge) - prize(a.neighbor) + edge_jitter(a.edge);
-      if (key < best_key[a.neighbor]) {
-        best_key[a.neighbor] = key;
-        heap.push(HeapEntry{key, a.neighbor, u, a.edge});
+      if (key < ws.dist(a.neighbor)) {
+        ws.Relax(a.neighbor, key, u, a.edge);
+        heap.PushOrDecrease(a.neighbor, key);
       }
     }
   }
   result.workspace_bytes =
-      n * (sizeof(char) + sizeof(double)) +
-      components.touched() * (sizeof(NodeId) * 2 + sizeof(size_t)) +
+      graph::SearchWorkspace::RequiredBytes(n) +
       adopted_edges.size() * sizeof(EdgeId);
 
   // --- pruning: keep terminal-bearing components, trim prize-less leaf
   // chains (strong pruning with p=0 leaves). ------------------------------
-  Subgraph grown = Subgraph::FromEdges(graph, std::move(adopted_edges), seeds);
+  Subgraph grown = Subgraph::FromEdges(
+      graph, std::vector<EdgeId>(adopted_edges.begin(), adopted_edges.end()),
+      seeds);
   if (options.strong_prune) {
     grown.PruneLeavesNotIn(graph, seeds);
+    // Pruning can leave non-terminal isolated nodes behind (leftovers of
+    // terminal-free components grown in a disconnected graph region);
+    // rebuild from the surviving edges to drop them.
+    std::vector<EdgeId> final_edges(grown.edges().begin(),
+                                    grown.edges().end());
+    result.tree = Subgraph::FromEdges(graph, std::move(final_edges), seeds);
+  } else {
+    // Without pruning the rebuild would reproduce `grown` verbatim
+    // (FromEdges already deduplicated edges and derived the node set).
+    result.tree = std::move(grown);
   }
-  // Drop connected components that contain no terminal (possible when the
-  // queue drained in a disconnected graph region).
-  // PruneLeavesNotIn already eliminates such trees down to single nodes;
-  // remove leftover non-terminal isolated nodes by rebuilding.
-  std::vector<EdgeId> final_edges(grown.edges().begin(), grown.edges().end());
-  result.tree = Subgraph::FromEdges(graph, std::move(final_edges), seeds);
 
   // --- unreached terminals & objective -----------------------------------
   {
-    SparseUnionFind uf;
+    // Fresh partition over the final tree edges; roots are compared by id,
+    // so the reset-and-reuse of the growth union-find is safe (same
+    // smallest-id-wins merge rule as the seed's sparse union-find).
+    components.Reset(n);
     for (EdgeId e : result.tree.edges()) {
-      uf.Union(graph.edge(e).src, graph.edge(e).dst);
+      components.Union(graph.edge(e).src, graph.edge(e).dst);
     }
-    std::unordered_map<NodeId, size_t> component_size;
-    for (NodeId s : seeds) ++component_size[uf.Find(s)];
+    // Count terminals per root via the sorted root list (the tag map still
+    // carries growth-time counts and cannot be reused without a reset).
+    std::vector<NodeId>& roots = ws.node_scratch();
+    roots.clear();
+    roots.reserve(seeds.size());
+    for (NodeId s : seeds) roots.push_back(components.Find(s));
+    std::sort(roots.begin(), roots.end());
     NodeId best_root = 0;
     size_t best_size = 0;
-    for (const auto& [root, size] : component_size) {
-      if (size > best_size || (size == best_size && root < best_root)) {
-        best_root = root;
+    for (size_t i = 0; i < roots.size();) {
+      size_t j = i;
+      while (j < roots.size() && roots[j] == roots[i]) ++j;
+      const size_t size = j - i;
+      if (size > best_size || (size == best_size && roots[i] < best_root)) {
+        best_root = roots[i];
         best_size = size;
       }
+      i = j;
     }
     for (NodeId s : seeds) {
-      if (uf.Find(s) != best_root) result.unreached_terminals.push_back(s);
+      if (components.Find(s) != best_root) {
+        result.unreached_terminals.push_back(s);
+      }
     }
   }
   double objective = 0.0;

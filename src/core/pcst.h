@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "graph/knowledge_graph.h"
+#include "graph/search_workspace.h"
 #include "graph/subgraph.h"
 #include "util/status.h"
 
@@ -87,10 +88,15 @@ struct PcstResult {
 /// \p weights are the (possibly Eq.-1-adjusted) edge weights; they are
 /// consulted only when `options.use_edge_weights` is set. Duplicate
 /// terminals are ignored.
+///
+/// Passing a \p workspace lets repeated calls reuse the O(|V|) growth
+/// state (epoch-reset, no per-call allocation); results are identical to a
+/// fresh-workspace call. The workspace contents are invalidated on return.
 Result<PcstResult> PcstSummary(const graph::KnowledgeGraph& graph,
                                const std::vector<double>& weights,
                                const std::vector<graph::NodeId>& terminals,
-                               const PcstOptions& options = {});
+                               const PcstOptions& options = {},
+                               graph::SearchWorkspace* workspace = nullptr);
 
 }  // namespace xsum::core
 

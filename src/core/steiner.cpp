@@ -1,10 +1,11 @@
 #include "core/steiner.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
 
 #include "graph/dijkstra.h"
 #include "graph/mst.h"
+#include "graph/search_workspace.h"
 #include "graph/union_find.h"
 #include "util/string_util.h"
 
@@ -16,8 +17,7 @@ using graph::EdgeId;
 using graph::KnowledgeGraph;
 using graph::MstEdge;
 using graph::NodeId;
-using graph::Path;
-using graph::ShortestPathTree;
+using graph::SearchWorkspace;
 using graph::Subgraph;
 
 std::vector<NodeId> UniqueTerminals(std::vector<NodeId> terminals) {
@@ -29,26 +29,26 @@ std::vector<NodeId> UniqueTerminals(std::vector<NodeId> terminals) {
 
 /// Final cleanup shared by both variants (Algorithm 1 steps 7-14 plus the
 /// standard KMB post-pass): MST over the expanded edge set, then repeatedly
-/// drop non-terminal leaves.
+/// drop non-terminal leaves. The node→dense-index translation lives in the
+/// workspace tag map (the seed rebuilt an unordered_map here per query).
 Subgraph Cleanup(const KnowledgeGraph& graph, const std::vector<double>& costs,
                  std::vector<EdgeId> expansion_edges,
                  const std::vector<NodeId>& terminals,
-                 const std::vector<NodeId>& isolated) {
+                 const std::vector<NodeId>& isolated, SearchWorkspace& ws) {
   Subgraph expanded = Subgraph::FromEdges(graph, std::move(expansion_edges),
                                           isolated);
   // MST over the expansion to break any cycles introduced by overlapping
   // shortest paths.
-  std::unordered_map<NodeId, size_t> index;
-  index.reserve(expanded.num_nodes());
+  ws.Begin(graph.num_nodes());
   for (size_t i = 0; i < expanded.nodes().size(); ++i) {
-    index[expanded.nodes()[i]] = i;
+    ws.SetTag(expanded.nodes()[i], static_cast<uint32_t>(i));
   }
   std::vector<MstEdge> mst_edges;
   mst_edges.reserve(expanded.num_edges());
   for (EdgeId e : expanded.edges()) {
     const graph::EdgeRecord& r = graph.edge(e);
     mst_edges.push_back(
-        MstEdge{index.at(r.src), index.at(r.dst), costs[e], e});
+        MstEdge{ws.TagOr(r.src, 0), ws.TagOr(r.dst, 0), costs[e], e});
   }
   const std::vector<size_t> selected =
       graph::KruskalMst(expanded.num_nodes(), mst_edges);
@@ -64,18 +64,21 @@ Subgraph Cleanup(const KnowledgeGraph& graph, const std::vector<double>& costs,
 
 /// Splits terminals into the connected ones (per closure forest) and the
 /// isolated ones, and records unreached terminals relative to the largest
-/// group.
+/// group. Component sizes are accumulated in a dense vector indexed by the
+/// union-find root (a terminal index < |T|).
 void RecordUnreached(const std::vector<NodeId>& terminals,
                      graph::UnionFind* uf, SteinerResult* result) {
   if (terminals.empty()) return;
   // Find the largest terminal component.
-  std::unordered_map<size_t, size_t> component_size;
+  std::vector<size_t> component_size(terminals.size(), 0);
   for (size_t i = 0; i < terminals.size(); ++i) {
     ++component_size[uf->Find(i)];
   }
   size_t best_root = uf->Find(0);
   size_t best_size = 0;
-  for (const auto& [root, size] : component_size) {
+  for (size_t root = 0; root < component_size.size(); ++root) {
+    const size_t size = component_size[root];
+    if (size == 0) continue;
     if (size > best_size || (size == best_size && root < best_root)) {
       best_root = root;
       best_size = size;
@@ -91,27 +94,63 @@ void RecordUnreached(const std::vector<NodeId>& terminals,
 Result<SteinerResult> SteinerKmb(const KnowledgeGraph& graph,
                                  const std::vector<double>& costs,
                                  const std::vector<NodeId>& terminals,
-                                 const SteinerOptions& options) {
+                                 const SteinerOptions& options,
+                                 SearchWorkspace& ws) {
   SteinerResult result;
   const size_t t = terminals.size();
-  const size_t n = graph.num_nodes();
 
-  // Phase 1 (Algorithm 1 steps 2-6): terminal metric closure. Distances
-  // are kept as a |T|x|T| matrix; the full shortest-path trees are
-  // recomputed on demand in phase 3 to keep memory O(|V|) instead of
-  // O(|T|·|V|).
-  std::vector<double> closure(t * t, graph::kInfDistance);
-  for (size_t i = 0; i < t; ++i) {
-    const ShortestPathTree tree = Dijkstra(graph, costs, terminals[i],
-                                           terminals);
-    for (size_t j = 0; j < t; ++j) {
-      closure[i * t + j] = tree.dist[terminals[j]];
+  // Phase 1 (Algorithm 1 steps 2-6): terminal metric closure. Row i targets
+  // only the terminals j > i — distances are symmetric on the undirected
+  // view, so the lower triangle is mirrored instead of recomputed. Each
+  // Dijkstra early-exits once its remaining targets are settled (later rows
+  // stop almost immediately), and the last row needs no search at all. The
+  // seed ran every row against the full terminal list, letting early rows
+  // sweep far past the settled terminal set and re-deriving each distance
+  // twice.
+  //
+  // While a row's shortest-path tree is still resident in the workspace,
+  // the i→j paths are extracted into an edge arena (O(Σ path length), tiny
+  // next to the searches). Phase 3 then expands the closure MST by
+  // concatenating stored paths instead of re-running one Dijkstra per MST
+  // source — the seed effectively paid for every search twice. A node on
+  // the i→j path settles before j does, so the stored path is exactly what
+  // a fresh phase-3 search from terminal i would reconstruct.
+  std::vector<double>& closure = ws.value_scratch();
+  closure.assign(t * t, graph::kInfDistance);
+  std::vector<EdgeId>& path_arena = ws.edge_scratch();
+  path_arena.clear();
+  // Arena span of the (i, j>i) path: pair_offset[PairIndex(i,j)] .. next.
+  auto pair_index = [t](size_t i, size_t j) {
+    // Dense index of (i, j), j > i, in row-major upper-triangle order.
+    return i * t - i * (i + 1) / 2 + (j - i - 1);
+  };
+  const size_t num_pairs = t * (t - 1) / 2;
+  std::vector<std::pair<uint32_t, uint32_t>> pair_span(
+      num_pairs, {0, 0});
+  // One pass re-orders the costs by adjacency slot so every row's scan
+  // loop streams them instead of gathering by EdgeId; amortized over the
+  // |T|−1 searches below.
+  std::vector<double>& adj_costs = ws.adj_cost_scratch();
+  BuildAdjacencyCosts(graph, costs, &adj_costs);
+  result.workspace_bytes += adj_costs.size() * sizeof(double);
+  for (size_t i = 0; i + 1 < t; ++i) {
+    DijkstraIntoAdj(graph, adj_costs, terminals[i],
+                    std::span<const NodeId>(terminals).subspan(i + 1), ws);
+    for (size_t j = i + 1; j < t; ++j) {
+      const double d = ws.dist(terminals[j]);
+      closure[i * t + j] = d;
+      closure[j * t + i] = d;
+      if (d < graph::kInfDistance) {
+        const uint32_t begin = static_cast<uint32_t>(path_arena.size());
+        AppendPathEdges(ws, terminals[j], &path_arena);
+        pair_span[pair_index(i, j)] = {
+            begin, static_cast<uint32_t>(path_arena.size())};
+      }
     }
   }
   result.workspace_bytes += closure.size() * sizeof(double);
-  // One Dijkstra workspace (dist + parents + heap) per run, charged once
-  // per terminal to reflect the O(|T|·|V|) traffic of Algorithm 1.
-  result.workspace_bytes += t * n * (sizeof(double) + 2 * sizeof(NodeId));
+  result.workspace_bytes += path_arena.size() * sizeof(EdgeId) +
+                            pair_span.size() * sizeof(pair_span[0]);
 
   // Phase 2 (step 7): MST of the closure graph.
   std::vector<MstEdge> closure_edges;
@@ -134,66 +173,56 @@ Result<SteinerResult> SteinerKmb(const KnowledgeGraph& graph,
   RecordUnreached(terminals, &uf, &result);
 
   // Phase 3 (steps 8-14): expand each selected closure edge back into its
-  // underlying shortest path. Group by source terminal: one Dijkstra per
-  // distinct source.
-  std::unordered_map<size_t, std::vector<size_t>> by_source;
-  for (size_t idx : selected) {
-    by_source[closure_edges[idx].a].push_back(closure_edges[idx].b);
-  }
+  // underlying shortest path, read straight from the phase-1 arena.
   std::vector<EdgeId> expansion;
-  for (const auto& [src_idx, dst_indices] : by_source) {
-    std::vector<NodeId> targets;
-    targets.reserve(dst_indices.size());
-    for (size_t j : dst_indices) targets.push_back(terminals[j]);
-    const ShortestPathTree tree =
-        Dijkstra(graph, costs, terminals[src_idx], targets);
-    for (NodeId target : targets) {
-      const Path path = tree.ExtractPath(target);
-      expansion.insert(expansion.end(), path.edges.begin(), path.edges.end());
-    }
+  for (size_t idx : selected) {
+    const auto [begin, end] =
+        pair_span[pair_index(closure_edges[idx].a, closure_edges[idx].b)];
+    expansion.insert(expansion.end(), path_arena.begin() + begin,
+                     path_arena.begin() + end);
   }
-  result.workspace_bytes += n * (sizeof(double) + 2 * sizeof(NodeId));
   result.workspace_bytes += expansion.size() * sizeof(EdgeId);
 
   if (options.cleanup) {
     result.tree = Cleanup(graph, costs, std::move(expansion), terminals,
-                          terminals);
+                          terminals, ws);
   } else {
     result.tree = Subgraph::FromEdges(graph, std::move(expansion), terminals);
   }
-  result.workspace_bytes += result.tree.MemoryFootprintBytes();
+  result.workspace_bytes +=
+      graph::SearchWorkspace::RequiredBytes(graph.num_nodes()) +
+      result.tree.MemoryFootprintBytes();
   return result;
 }
 
 Result<SteinerResult> SteinerMehlhorn(const KnowledgeGraph& graph,
                                       const std::vector<double>& costs,
                                       const std::vector<NodeId>& terminals,
-                                      const SteinerOptions& options) {
+                                      const SteinerOptions& options,
+                                      SearchWorkspace& ws) {
   SteinerResult result;
   const size_t t = terminals.size();
-  const size_t n = graph.num_nodes();
 
-  const graph::VoronoiResult voronoi =
-      MultiSourceDijkstra(graph, costs, terminals);
-  result.workspace_bytes +=
-      n * (sizeof(double) + 3 * sizeof(NodeId));
+  MultiSourceDijkstraInto(graph, costs, terminals, ws);
 
-  std::unordered_map<NodeId, size_t> terminal_index;
-  terminal_index.reserve(t);
-  for (size_t i = 0; i < t; ++i) terminal_index[terminals[i]] = i;
+  // terminal → dense index, in the workspace tag map (same epoch as the
+  // Voronoi state; tags and search state have independent stamp arrays).
+  for (size_t i = 0; i < t; ++i) {
+    ws.SetTag(terminals[i], static_cast<uint32_t>(i));
+  }
 
   // Closure edges are Voronoi boundary edges: cheapest bridge between two
   // cells approximates the terminal-to-terminal distance.
   std::vector<MstEdge> closure_edges;
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {
     const graph::EdgeRecord& r = graph.edge(e);
-    const NodeId su = voronoi.nearest_source[r.src];
-    const NodeId sv = voronoi.nearest_source[r.dst];
+    const NodeId su = ws.origin(r.src);
+    const NodeId sv = ws.origin(r.dst);
     if (su == sv) continue;
     if (su == graph::kInvalidNode || sv == graph::kInvalidNode) continue;
     closure_edges.push_back(
-        MstEdge{terminal_index.at(su), terminal_index.at(sv),
-                voronoi.dist[r.src] + costs[e] + voronoi.dist[r.dst], e});
+        MstEdge{ws.TagOr(su, 0), ws.TagOr(sv, 0),
+                ws.dist(r.src) + costs[e] + ws.dist(r.dst), e});
   }
   result.workspace_bytes += closure_edges.size() * sizeof(MstEdge);
   const std::vector<size_t> selected = graph::KruskalMst(t, closure_edges);
@@ -211,22 +240,20 @@ Result<SteinerResult> SteinerMehlhorn(const KnowledgeGraph& graph,
     expansion.push_back(bridge);
     for (NodeId endpoint :
          {graph.edge(bridge).src, graph.edge(bridge).dst}) {
-      NodeId v = endpoint;
-      while (voronoi.parent_edge[v] != graph::kInvalidEdge) {
-        expansion.push_back(voronoi.parent_edge[v]);
-        v = voronoi.parent_node[v];
-      }
+      AppendPathEdges(ws, endpoint, &expansion);
     }
   }
   result.workspace_bytes += expansion.size() * sizeof(EdgeId);
 
   if (options.cleanup) {
     result.tree = Cleanup(graph, costs, std::move(expansion), terminals,
-                          terminals);
+                          terminals, ws);
   } else {
     result.tree = Subgraph::FromEdges(graph, std::move(expansion), terminals);
   }
-  result.workspace_bytes += result.tree.MemoryFootprintBytes();
+  result.workspace_bytes +=
+      graph::SearchWorkspace::RequiredBytes(graph.num_nodes()) +
+      result.tree.MemoryFootprintBytes();
   return result;
 }
 
@@ -235,7 +262,8 @@ Result<SteinerResult> SteinerMehlhorn(const KnowledgeGraph& graph,
 Result<SteinerResult> SteinerTree(const KnowledgeGraph& graph,
                                   const std::vector<double>& costs,
                                   const std::vector<NodeId>& terminals,
-                                  const SteinerOptions& options) {
+                                  const SteinerOptions& options,
+                                  graph::SearchWorkspace* workspace) {
   if (costs.size() < graph.num_edges()) {
     return Status::InvalidArgument(
         StrCat("cost vector covers ", costs.size(), " of ",
@@ -258,10 +286,12 @@ Result<SteinerResult> SteinerTree(const KnowledgeGraph& graph,
     result.tree = Subgraph::FromEdges(graph, {}, unique);
     return result;
   }
+  SearchWorkspace local_ws;
+  SearchWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
   if (options.variant == SteinerOptions::Variant::kMehlhorn) {
-    return SteinerMehlhorn(graph, costs, unique, options);
+    return SteinerMehlhorn(graph, costs, unique, options, ws);
   }
-  return SteinerKmb(graph, costs, unique, options);
+  return SteinerKmb(graph, costs, unique, options, ws);
 }
 
 }  // namespace xsum::core

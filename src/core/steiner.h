@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graph/knowledge_graph.h"
+#include "graph/search_workspace.h"
 #include "graph/subgraph.h"
 #include "util/status.h"
 
@@ -49,10 +50,15 @@ struct SteinerResult {
 /// Terminals in different weak components yield a Steiner *forest* over the
 /// reachable groups plus the list of unreached terminals; the subgraph is
 /// still returned (per-component trees). Duplicate terminals are ignored.
+///
+/// Passing a \p workspace lets repeated calls reuse the O(|V|) search
+/// state (epoch-reset, no per-call allocation); results are identical to a
+/// fresh-workspace call. The workspace contents are invalidated on return.
 Result<SteinerResult> SteinerTree(const graph::KnowledgeGraph& graph,
                                   const std::vector<double>& costs,
                                   const std::vector<graph::NodeId>& terminals,
-                                  const SteinerOptions& options = {});
+                                  const SteinerOptions& options = {},
+                                  graph::SearchWorkspace* workspace = nullptr);
 
 }  // namespace xsum::core
 

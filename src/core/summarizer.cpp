@@ -1,9 +1,7 @@
 #include "core/summarizer.h"
 
-#include "core/baseline.h"
-#include "core/weight_adjust.h"
+#include "core/batch.h"
 #include "util/string_util.h"
-#include "util/timer.h"
 
 namespace xsum::core {
 
@@ -34,57 +32,11 @@ std::string SummarizerOptions::Label() const {
 Result<Summary> Summarize(const data::RecGraph& rec_graph,
                           const SummaryTask& task,
                           const SummarizerOptions& options) {
-  const graph::KnowledgeGraph& g = rec_graph.graph();
-  Summary summary;
-  summary.method = options.method;
-  summary.scenario = task.scenario;
-  summary.input_paths = task.paths;
-  summary.anchors = task.anchors;
-  summary.terminals = task.terminals;
-
-  WallTimer timer;
-  timer.Start();
-
-  switch (options.method) {
-    case SummaryMethod::kBaseline: {
-      summary.subgraph = UnionOfPaths(g, task.paths);
-      summary.memory_bytes = summary.subgraph.MemoryFootprintBytes();
-      break;
-    }
-    case SummaryMethod::kSteiner: {
-      // Eq. (1) weight adjustment, then the max-weight -> min-cost
-      // transform, then Algorithm 1.
-      const std::vector<double> adjusted =
-          AdjustWeights(g, rec_graph.base_weights(), task.paths,
-                        options.lambda, task.s_size);
-      const std::vector<double> costs =
-          WeightsToCosts(adjusted, options.cost_mode);
-      XSUM_ASSIGN_OR_RETURN(
-          SteinerResult st,
-          SteinerTree(g, costs, task.terminals, options.steiner));
-      summary.subgraph = std::move(st.tree);
-      summary.unreached_terminals = std::move(st.unreached_terminals);
-      // The adjusted-weight and cost vectors are part of the ST working
-      // set (two doubles per edge).
-      summary.memory_bytes =
-          st.workspace_bytes + 2 * g.num_edges() * sizeof(double);
-      break;
-    }
-    case SummaryMethod::kPcst: {
-      // The paper's PCST configuration ignores edge weights (§V-A); the
-      // base weights are only consulted when ablation options enable them.
-      XSUM_ASSIGN_OR_RETURN(
-          PcstResult pc,
-          PcstSummary(g, rec_graph.base_weights(), task.terminals,
-                      options.pcst));
-      summary.subgraph = std::move(pc.tree);
-      summary.unreached_terminals = std::move(pc.unreached_terminals);
-      summary.memory_bytes = pc.workspace_bytes;
-      break;
-    }
-  }
-  summary.elapsed_ms = timer.ElapsedMillis();
-  return summary;
+  // Single-shot path: same engine as the batch façade, on a throwaway
+  // context. Keeping one code path is what makes the batch-vs-single
+  // bit-identical equivalence hold by construction.
+  SummarizeContext ctx;
+  return SummarizeWith(rec_graph, task, options, ctx);
 }
 
 }  // namespace xsum::core

@@ -31,6 +31,20 @@ std::vector<double> AdjustWeights(const graph::KnowledgeGraph& graph,
                                   const std::vector<graph::Path>& paths,
                                   double lambda, size_t s_size);
 
+/// \brief Allocation-free Eq. (1) for the batch engine.
+///
+/// \p counts_scratch is a persistent all-zero vector (grown to |E| here and
+/// returned all-zero: only the path edges recorded in \p touched_scratch
+/// are written and cleared), so repeated calls cost O(|E| copy + Σ|path|)
+/// instead of an O(|E|) allocation + zero-fill per call. \p out receives
+/// the adjusted weights (same values as `AdjustWeights`).
+void AdjustWeightsInto(const graph::KnowledgeGraph& graph,
+                       const std::vector<double>& base_weights,
+                       const std::vector<graph::Path>& paths, double lambda,
+                       size_t s_size, std::vector<uint32_t>* counts_scratch,
+                       std::vector<graph::EdgeId>* touched_scratch,
+                       std::vector<double>* out);
+
 }  // namespace xsum::core
 
 #endif  // XSUM_CORE_WEIGHT_ADJUST_H_

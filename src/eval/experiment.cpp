@@ -59,6 +59,11 @@ ExperimentConfig ExperimentConfig::FromEnv(ExperimentConfig defaults) {
   config.items_popular = static_cast<size_t>(items) / 2;
   config.items_unpopular = static_cast<size_t>(items) -
                            config.items_popular;
+  const int64_t workers = GetEnvInt(
+      "XSUM_WORKERS", static_cast<int64_t>(config.num_workers));
+  // Non-positive values (including a negative that would wrap through
+  // size_t) mean "auto".
+  config.num_workers = workers <= 0 ? 0 : static_cast<size_t>(workers);
   return config;
 }
 

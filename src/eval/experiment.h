@@ -62,6 +62,14 @@ struct ExperimentConfig {
   /// k range (paper: 1..10).
   std::vector<int> ks = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
 
+  /// Worker threads for panel evaluation (0 = one per hardware thread;
+  /// XSUM_WORKERS <= 0 also means auto). Value-derived panel results are
+  /// deterministic and identical for every worker count: units are
+  /// summarized independently (one search workspace per worker) and
+  /// merged in unit order. Wall-clock (kTimeMs) panels always run
+  /// serially to stay uncontended.
+  size_t num_workers = 0;
+
   /// §III weight function (paper default: β1=1, β2=0, wA=0).
   data::WeightParams weight_params;
 
@@ -74,8 +82,8 @@ struct ExperimentConfig {
   core::SteinerOptions::Variant steiner_variant =
       core::SteinerOptions::Variant::kMehlhorn;
 
-  /// Reads XSUM_SCALE / XSUM_USERS / XSUM_ITEMS / XSUM_SEED on top of the
-  /// given defaults.
+  /// Reads XSUM_SCALE / XSUM_USERS / XSUM_ITEMS / XSUM_SEED / XSUM_WORKERS
+  /// on top of the given defaults.
   static ExperimentConfig FromEnv(ExperimentConfig defaults);
   /// FromEnv over the built-in defaults.
   static ExperimentConfig FromEnv();

@@ -4,9 +4,11 @@
 #include <functional>
 #include <map>
 
+#include "core/batch.h"
 #include "metrics/metrics.h"
 #include "util/stats.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace xsum::eval {
 
@@ -42,6 +44,36 @@ const char* MetricKindToString(MetricKind metric) {
 
 ExperimentRunner::ExperimentRunner(ExperimentConfig config)
     : config_(std::move(config)) {}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+ExperimentRunner::ExperimentRunner(ExperimentRunner&& other)
+    : config_(std::move(other.config_)),
+      dataset_(std::move(other.dataset_)),
+      rec_graph_(std::move(other.rec_graph_)),
+      sampled_users_(std::move(other.sampled_users_)),
+      initialized_(other.initialized_) {}
+
+ExperimentRunner& ExperimentRunner::operator=(ExperimentRunner&& other) {
+  config_ = std::move(other.config_);
+  dataset_ = std::move(other.dataset_);
+  rec_graph_ = std::move(other.rec_graph_);
+  sampled_users_ = std::move(other.sampled_users_);
+  initialized_ = other.initialized_;
+  batch_.reset();
+  other.batch_.reset();
+  return *this;
+}
+
+core::BatchSummarizer& ExperimentRunner::batch() const {
+  if (batch_ == nullptr) {
+    const size_t workers = config_.num_workers != 0
+                               ? config_.num_workers
+                               : ThreadPool::DefaultWorkers();
+    batch_ = std::make_unique<core::BatchSummarizer>(rec_graph_, workers);
+  }
+  return *batch_;
+}
 
 Status ExperimentRunner::Init() {
   data::SyntheticConfig synth =
@@ -225,16 +257,32 @@ Result<std::vector<SeriesResult>> ExperimentRunner::RunPanel(
     return Status::FailedPrecondition("panel has no evaluation units");
   }
 
+  // Units are independent: fan them across the worker pool (one summarize
+  // context per worker), collect per-unit metric values into index-addressed
+  // slots, and fold them into the accumulators in unit order afterwards.
+  // The series is therefore bit-identical for every worker count — except
+  // the wall-clock metric, which is a measurement rather than a computed
+  // value: timing panels run serially so concurrent workers cannot
+  // contend with (and inflate) the very quantity being measured.
+  const bool timing_panel = spec.metric == MetricKind::kTimeMs;
+  core::BatchSummarizer& engine = batch();
   std::vector<SeriesResult> series;
   for (const MethodSpec& method : spec.methods) {
-    std::vector<StatAccumulator> acc(spec.ks.size());
-    for (const auto& make_task : units) {
+    std::vector<std::vector<double>> unit_values(units.size());
+    std::vector<Status> unit_status(units.size(), Status::OK());
+    const auto process_unit = [&](size_t worker, size_t i) {
+      std::vector<double>& values = unit_values[i];
+      values.assign(spec.ks.size(), 0.0);
       std::vector<metrics::ExplanationView> views;  // for consistency
       for (size_t ki = 0; ki < spec.ks.size(); ++ki) {
-        const core::SummaryTask task = make_task(spec.ks[ki]);
-        XSUM_ASSIGN_OR_RETURN(core::Summary summary,
-                              core::Summarize(rec_graph_, task,
-                                              method.options));
+        const core::SummaryTask task = units[i](spec.ks[ki]);
+        Result<core::Summary> result =
+            engine.RunWith(worker, task, method.options);
+        if (!result.ok()) {
+          unit_status[i] = result.status();
+          return;
+        }
+        const core::Summary& summary = *result;
         double value = 0.0;
         switch (spec.metric) {
           case MetricKind::kTimeMs:
@@ -276,8 +324,20 @@ Result<std::vector<SeriesResult>> ExperimentRunner::RunPanel(
             break;
           }
         }
-        acc[ki].Add(value);
+        values[ki] = value;
       }
+    };
+    if (timing_panel) {
+      for (size_t i = 0; i < units.size(); ++i) process_unit(0, i);
+    } else {
+      engine.pool().ParallelFor(units.size(), process_unit);
+    }
+    for (const Status& status : unit_status) {
+      XSUM_RETURN_NOT_OK(status);
+    }
+    std::vector<StatAccumulator> acc(spec.ks.size());
+    for (const std::vector<double>& values : unit_values) {
+      for (size_t ki = 0; ki < values.size(); ++ki) acc[ki].Add(values[ki]);
     }
     SeriesResult row;
     row.label = method.label;

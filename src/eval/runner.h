@@ -21,6 +21,12 @@
 #include "rec/sampler.h"
 #include "util/status.h"
 
+namespace xsum {
+namespace core {
+class BatchSummarizer;
+}  // namespace core
+}  // namespace xsum
+
 namespace xsum::eval {
 
 /// \brief Which quantity a panel reports.
@@ -75,6 +81,11 @@ struct PanelSpec {
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(ExperimentConfig config);
+  ~ExperimentRunner();
+  /// Movable; the lazily-created batch engine is dropped on move (it holds
+  /// a reference to the moved-from graph) and recreated on next use.
+  ExperimentRunner(ExperimentRunner&& other);
+  ExperimentRunner& operator=(ExperimentRunner&& other);
 
   /// Generates the dataset and knowledge graph. Must be called first.
   Status Init();
@@ -90,15 +101,28 @@ class ExperimentRunner {
 
   /// Evaluates one panel: mean metric value per (method, k) over the
   /// scenario's units.
+  ///
+  /// Units run across `config().num_workers` threads through the batch
+  /// summarization engine (one reusable search workspace per worker);
+  /// per-unit values are merged in unit order, so every value-derived
+  /// series — down to the last floating-point bit — does not depend on
+  /// the worker count. The wall-clock metric (kTimeMs) is a measurement,
+  /// not a derived value: those panels run serially so other workers
+  /// cannot contend with the quantity being measured.
   Result<std::vector<SeriesResult>> RunPanel(const BaselineData& data,
                                              const PanelSpec& spec) const;
 
  private:
+  /// The lazily-created batch engine shared by all panels (its workspaces
+  /// amortize across panels; recreated only if the worker count changes).
+  core::BatchSummarizer& batch() const;
+
   ExperimentConfig config_;
   data::Dataset dataset_;
   data::RecGraph rec_graph_;
   std::vector<uint32_t> sampled_users_;
   bool initialized_ = false;
+  mutable std::unique_ptr<core::BatchSummarizer> batch_;
 };
 
 }  // namespace xsum::eval

@@ -2,22 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
 
 namespace xsum::graph {
-
-namespace {
-
-struct HeapEntry {
-  double dist;
-  NodeId node;
-  bool operator>(const HeapEntry& other) const { return dist > other.dist; }
-};
-
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
-
-}  // namespace
 
 Path ShortestPathTree::ExtractPath(NodeId target) const {
   Path path;
@@ -33,94 +19,177 @@ Path ShortestPathTree::ExtractPath(NodeId target) const {
   return path;
 }
 
-ShortestPathTree Dijkstra(const KnowledgeGraph& graph,
-                          const std::vector<double>& costs, NodeId source,
-                          const std::vector<NodeId>& targets) {
-  assert(costs.size() >= graph.num_edges());
-  const size_t n = graph.num_nodes();
-  ShortestPathTree tree;
-  tree.source = source;
-  tree.dist.assign(n, kInfDistance);
-  tree.parent_node.assign(n, kInvalidNode);
-  tree.parent_edge.assign(n, kInvalidEdge);
+namespace {
 
-  std::vector<char> settled(n, 0);
-  std::vector<char> is_target(targets.empty() ? 0 : n, 0);
-  for (NodeId t : targets) is_target[t] = 1;
-  size_t targets_remaining = targets.size();
+/// Shared single-source loop; \p cost_at maps (adjacency slot, edge id) to
+/// the edge cost, letting callers choose EdgeId-indexed or slot-indexed
+/// storage without a branch in the scan.
+template <typename CostAt>
+void DijkstraIntoImpl(const KnowledgeGraph& graph, NodeId source,
+                      std::span<const NodeId> targets, SearchWorkspace& ws,
+                      const CostAt& cost_at) {
+  ws.Begin(graph.num_nodes());
 
-  MinHeap heap;
-  tree.dist[source] = 0.0;
-  heap.push(HeapEntry{0.0, source});
+  size_t targets_remaining = 0;
+  for (NodeId t : targets) {
+    if (ws.Mark(t)) ++targets_remaining;
+  }
 
-  while (!heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    const NodeId u = top.node;
-    if (settled[u]) continue;
-    settled[u] = 1;
+  IndexedMinHeap& heap = ws.heap();
+  ws.Relax(source, 0.0, kInvalidNode, kInvalidEdge);
+  heap.PushOrDecrease(source, 0.0);
 
-    if (targets_remaining > 0 && is_target[u]) {
+  while (!heap.Empty()) {
+    const NodeId u = heap.PopMin();
+    ws.SetSettled(u);
+
+    if (targets_remaining > 0 && ws.marked(u)) {
+      ws.Unmark(u);
       if (--targets_remaining == 0) break;
     }
 
-    const double du = tree.dist[u];
-    for (const AdjEntry& a : graph.Neighbors(u)) {
-      if (settled[a.neighbor]) continue;
-      const double c = costs[a.edge];
+    const double du = ws.dist(u);
+    const std::span<const AdjEntry> nbrs = graph.Neighbors(u);
+    const size_t slot_base = graph.adjacency_offset(u);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      const AdjEntry& a = nbrs[k];
+      const double c = cost_at(slot_base + k, a.edge);
       assert(c >= 0.0 && "Dijkstra requires non-negative costs");
       const double nd = du + c;
-      if (nd < tree.dist[a.neighbor]) {
-        tree.dist[a.neighbor] = nd;
-        tree.parent_node[a.neighbor] = u;
-        tree.parent_edge[a.neighbor] = a.edge;
-        heap.push(HeapEntry{nd, a.neighbor});
+      // No settled check: a settled neighbor's distance is final and
+      // nd = du + c >= du >= dist(neighbor), so the strict compare
+      // already rejects it (the indexed heap re-admits nothing popped).
+      if (nd < ws.dist(a.neighbor)) {
+        ws.Relax(a.neighbor, nd, u, a.edge);
+        heap.PushOrDecrease(a.neighbor, nd);
       }
     }
   }
+}
+
+}  // namespace
+
+void DijkstraInto(const KnowledgeGraph& graph, const std::vector<double>& costs,
+                  NodeId source, std::span<const NodeId> targets,
+                  SearchWorkspace& ws) {
+  assert(costs.size() >= graph.num_edges());
+  DijkstraIntoImpl(graph, source, targets, ws,
+                   [&costs](size_t, EdgeId e) { return costs[e]; });
+}
+
+void BuildAdjacencyCosts(const KnowledgeGraph& graph,
+                         const std::vector<double>& costs,
+                         std::vector<double>* adj_costs) {
+  assert(costs.size() >= graph.num_edges());
+  const std::span<const AdjEntry> adj = graph.adjacency();
+  adj_costs->resize(adj.size());
+  for (size_t slot = 0; slot < adj.size(); ++slot) {
+    (*adj_costs)[slot] = costs[adj[slot].edge];
+  }
+}
+
+void DijkstraIntoAdj(const KnowledgeGraph& graph,
+                     std::span<const double> adj_costs, NodeId source,
+                     std::span<const NodeId> targets, SearchWorkspace& ws) {
+  assert(adj_costs.size() >= graph.adjacency().size());
+  DijkstraIntoImpl(graph, source, targets, ws,
+                   [adj_costs](size_t slot, EdgeId) { return adj_costs[slot]; });
+}
+
+Path ExtractPath(const SearchWorkspace& ws, NodeId target) {
+  Path path;
+  if (target >= ws.capacity() || !ws.reached(target)) return path;
+  NodeId v = target;
+  while (v != kInvalidNode) {
+    path.nodes.push_back(v);
+    if (ws.parent_edge(v) != kInvalidEdge) path.edges.push_back(ws.parent_edge(v));
+    v = ws.parent_node(v);
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+void AppendPathEdges(const SearchWorkspace& ws, NodeId target,
+                     std::vector<EdgeId>* out) {
+  if (target >= ws.capacity() || !ws.reached(target)) return;
+  NodeId v = target;
+  while (ws.parent_edge(v) != kInvalidEdge) {
+    out->push_back(ws.parent_edge(v));
+    v = ws.parent_node(v);
+  }
+}
+
+ShortestPathTree Dijkstra(const KnowledgeGraph& graph,
+                          const std::vector<double>& costs, NodeId source,
+                          const std::vector<NodeId>& targets) {
+  SearchWorkspace ws;
+  DijkstraInto(graph, costs, source, targets, ws);
+
+  const size_t n = graph.num_nodes();
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.dist.resize(n);
+  tree.parent_node.resize(n);
+  tree.parent_edge.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    tree.dist[v] = ws.dist(v);
+    tree.parent_node[v] = ws.parent_node(v);
+    tree.parent_edge[v] = ws.parent_edge(v);
+  }
   return tree;
+}
+
+void MultiSourceDijkstraInto(const KnowledgeGraph& graph,
+                             const std::vector<double>& costs,
+                             std::span<const NodeId> sources,
+                             SearchWorkspace& ws) {
+  assert(costs.size() >= graph.num_edges());
+  ws.Begin(graph.num_nodes());
+
+  IndexedMinHeap& heap = ws.heap();
+  for (NodeId s : sources) {
+    ws.RelaxFrom(s, 0.0, kInvalidNode, kInvalidEdge, s);
+    heap.PushOrDecrease(s, 0.0);
+  }
+
+  while (!heap.Empty()) {
+    const NodeId u = heap.PopMin();
+    ws.SetSettled(u);
+
+    const double du = ws.dist(u);
+    const NodeId su = ws.origin(u);
+    for (const AdjEntry& a : graph.Neighbors(u)) {
+      const double c = costs[a.edge];
+      assert(c >= 0.0 && "Dijkstra requires non-negative costs");
+      const double nd = du + c;
+      // Settled neighbors are rejected by the strict compare (see the
+      // single-source loop).
+      if (nd < ws.dist(a.neighbor)) {
+        ws.RelaxFrom(a.neighbor, nd, u, a.edge, su);
+        heap.PushOrDecrease(a.neighbor, nd);
+      }
+    }
+  }
 }
 
 VoronoiResult MultiSourceDijkstra(const KnowledgeGraph& graph,
                                   const std::vector<double>& costs,
                                   const std::vector<NodeId>& sources) {
-  assert(costs.size() >= graph.num_edges());
+  SearchWorkspace ws;
+  MultiSourceDijkstraInto(graph, costs, sources, ws);
+
   const size_t n = graph.num_nodes();
   VoronoiResult out;
-  out.dist.assign(n, kInfDistance);
-  out.nearest_source.assign(n, kInvalidNode);
-  out.parent_node.assign(n, kInvalidNode);
-  out.parent_edge.assign(n, kInvalidEdge);
-
-  std::vector<char> settled(n, 0);
-  MinHeap heap;
-  for (NodeId s : sources) {
-    out.dist[s] = 0.0;
-    out.nearest_source[s] = s;
-    heap.push(HeapEntry{0.0, s});
-  }
-
-  while (!heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    const NodeId u = top.node;
-    if (settled[u]) continue;
-    settled[u] = 1;
-
-    const double du = out.dist[u];
-    for (const AdjEntry& a : graph.Neighbors(u)) {
-      if (settled[a.neighbor]) continue;
-      const double c = costs[a.edge];
-      assert(c >= 0.0 && "Dijkstra requires non-negative costs");
-      const double nd = du + c;
-      if (nd < out.dist[a.neighbor]) {
-        out.dist[a.neighbor] = nd;
-        out.nearest_source[a.neighbor] = out.nearest_source[u];
-        out.parent_node[a.neighbor] = u;
-        out.parent_edge[a.neighbor] = a.edge;
-        heap.push(HeapEntry{nd, a.neighbor});
-      }
-    }
+  out.dist.resize(n);
+  out.nearest_source.resize(n);
+  out.parent_node.resize(n);
+  out.parent_edge.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    out.dist[v] = ws.dist(v);
+    out.nearest_source[v] = ws.origin(v);
+    out.parent_node[v] = ws.parent_node(v);
+    out.parent_edge[v] = ws.parent_edge(v);
   }
   return out;
 }

@@ -13,10 +13,12 @@
 #define XSUM_GRAPH_DIJKSTRA_H_
 
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "graph/knowledge_graph.h"
 #include "graph/path.h"
+#include "graph/search_workspace.h"
 #include "graph/types.h"
 
 namespace xsum::graph {
@@ -45,10 +47,45 @@ struct ShortestPathTree {
 /// (indexed by EdgeId; all entries must be >= 0).
 ///
 /// If \p targets is non-empty, the search stops once all targets are
-/// settled (early exit). Costs vector must cover every edge id.
+/// settled (early exit; duplicates are counted once). Costs vector must
+/// cover every edge id.
+///
+/// Allocates a fresh ShortestPathTree per call; hot paths should prefer
+/// `DijkstraInto` with a reused `SearchWorkspace`.
 ShortestPathTree Dijkstra(const KnowledgeGraph& graph,
                           const std::vector<double>& costs, NodeId source,
                           const std::vector<NodeId>& targets = {});
+
+/// \brief Workspace-resident Dijkstra: runs into \p ws (calling
+/// `ws.Begin()` internally) with zero steady-state allocation. After the
+/// call, `ws.dist/parent_node/parent_edge` hold the shortest-path tree;
+/// the state stays valid until the next `ws.Begin()`.
+void DijkstraInto(const KnowledgeGraph& graph, const std::vector<double>& costs,
+                  NodeId source, std::span<const NodeId> targets,
+                  SearchWorkspace& ws);
+
+/// \brief Fills \p adj_costs (resized to `graph.adjacency().size()`) with
+/// `costs[slot.edge]` per adjacency slot. Batch callers that run many
+/// searches under one cost vector build this once so the scan loop streams
+/// its costs sequentially instead of gathering by EdgeId.
+void BuildAdjacencyCosts(const KnowledgeGraph& graph,
+                         const std::vector<double>& costs,
+                         std::vector<double>* adj_costs);
+
+/// \brief `DijkstraInto` reading per-slot costs from \p adj_costs (as
+/// built by `BuildAdjacencyCosts`). Produces identical results.
+void DijkstraIntoAdj(const KnowledgeGraph& graph,
+                     std::span<const double> adj_costs, NodeId source,
+                     std::span<const NodeId> targets, SearchWorkspace& ws);
+
+/// \brief Reconstructs the path to \p target from workspace-resident search
+/// state (single- or multi-source); empty path if \p target is unreached.
+Path ExtractPath(const SearchWorkspace& ws, NodeId target);
+
+/// \brief Appends the edges of the workspace-resident path to \p target
+/// onto \p out (in target→source order); no-op if unreached.
+void AppendPathEdges(const SearchWorkspace& ws, NodeId target,
+                     std::vector<EdgeId>* out);
 
 /// \brief Voronoi-style multi-source Dijkstra (Mehlhorn's construction).
 struct VoronoiResult {
@@ -63,9 +100,20 @@ struct VoronoiResult {
 
 /// \brief Runs Dijkstra simultaneously from all \p sources, partitioning the
 /// graph into shortest-path Voronoi cells. Used by the Mehlhorn ST variant.
+///
+/// Allocates a fresh VoronoiResult per call; hot paths should prefer
+/// `MultiSourceDijkstraInto` with a reused `SearchWorkspace`.
 VoronoiResult MultiSourceDijkstra(const KnowledgeGraph& graph,
                                   const std::vector<double>& costs,
                                   const std::vector<NodeId>& sources);
+
+/// \brief Workspace-resident multi-source Dijkstra. After the call,
+/// `ws.origin(v)` is the nearest source of v (the Voronoi cell) and
+/// `ws.dist/parent_node/parent_edge` trace back toward it.
+void MultiSourceDijkstraInto(const KnowledgeGraph& graph,
+                             const std::vector<double>& costs,
+                             std::span<const NodeId> sources,
+                             SearchWorkspace& ws);
 
 }  // namespace xsum::graph
 

@@ -105,6 +105,15 @@ class KnowledgeGraph {
     return {adj_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
   }
 
+  /// The flat undirected adjacency array (every node's Neighbors span
+  /// concatenated). Search kernels use it to keep per-slot side data (e.g.
+  /// adjacency-ordered edge costs) that streams sequentially with the scan
+  /// instead of gathering by EdgeId.
+  std::span<const AdjEntry> adjacency() const { return adj_; }
+
+  /// Start of \p v's Neighbors span within `adjacency()`.
+  size_t adjacency_offset(NodeId v) const { return offsets_[v]; }
+
   /// Undirected degree of \p v.
   size_t Degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
 

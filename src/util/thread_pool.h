@@ -1,0 +1,136 @@
+/// \file thread_pool.h
+/// \brief A small fixed-size worker pool built around one primitive:
+/// `ParallelFor(count, fn)`, which runs `fn(worker, index)` for every index
+/// in [0, count) across the workers and blocks until all are done.
+///
+/// Design notes (see DESIGN.md §2.3):
+///  - The calling thread participates as worker 0, so a pool of size 1
+///    spawns no threads and runs strictly inline — the reference ordering
+///    for the determinism guarantees of the evaluation runner.
+///  - Worker ids are stable and dense in [0, num_workers): callers key
+///    per-worker scratch state (e.g. a `SearchWorkspace`) off them.
+///  - Indices are handed out through an atomic counter (dynamic load
+///    balancing); callers that need deterministic *output* must write to
+///    index-addressed slots and merge in index order afterwards, never
+///    accumulate in completion order.
+///  - The library is exception-free (Status-based); `fn` must not throw.
+
+#ifndef XSUM_UTIL_THREAD_POOL_H_
+#define XSUM_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xsum {
+
+class ThreadPool {
+ public:
+  /// Creates a pool of \p num_workers (clamped to >= 1); spawns
+  /// `num_workers - 1` threads, since the caller of ParallelFor is
+  /// worker 0.
+  explicit ThreadPool(size_t num_workers)
+      : num_workers_(num_workers < 1 ? 1 : num_workers) {
+    threads_.reserve(num_workers_ - 1);
+    for (size_t w = 1; w < num_workers_; ++w) {
+      threads_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return num_workers_; }
+
+  /// A sensible default worker count for this machine.
+  static size_t DefaultWorkers() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  /// Runs `fn(worker, index)` for every index in [0, count); returns when
+  /// all indices completed. Must be called from the owning thread only
+  /// (no nesting, not re-entrant).
+  void ParallelFor(size_t count,
+                   const std::function<void(size_t, size_t)>& fn) {
+    if (count == 0) return;
+    if (num_workers_ == 1 || count == 1) {
+      for (size_t i = 0; i < count; ++i) fn(0, i);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      fn_ = &fn;
+      count_ = count;
+      next_.store(0, std::memory_order_relaxed);
+      pending_workers_ = num_workers_ - 1;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    RunIndices(0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+    fn_ = nullptr;
+  }
+
+ private:
+  void RunIndices(size_t worker) {
+    const std::function<void(size_t, size_t)>& fn = *fn_;
+    const size_t count = count_;
+    while (true) {
+      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      fn(worker, i);
+    }
+  }
+
+  void WorkerLoop(size_t worker) {
+    uint64_t seen_generation = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [this, seen_generation] {
+          return shutdown_ || generation_ != seen_generation;
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+      }
+      RunIndices(worker);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --pending_workers_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  const size_t num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t, size_t)>* fn_ = nullptr;
+  size_t count_ = 0;
+  std::atomic<size_t> next_{0};
+  size_t pending_workers_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace xsum
+
+#endif  // XSUM_UTIL_THREAD_POOL_H_
