@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two XSUM_JSON perf-record files and flag throughput regressions.
+
+The bench binaries append one JSON object per line when XSUM_JSON is set:
+
+    {"bench": "service.zipf", "method": "ST+PCST.cached_warm",
+     "n": 594, "t": 8, "wall_ms": 0.000656, "peak_workspace_bytes": 186412}
+
+This script joins two such files on (bench, method, n, t) — duplicate
+keys are averaged — and compares mean wall_ms per key. A key whose new
+wall time exceeds the old by more than --threshold (default 20%) is a
+regression; any regression makes the exit code 1, so the script can gate
+CI. Keys present in only one file are reported but never fatal (benches
+come and go across commits).
+
+Usage:
+    compare_perf.py OLD.jsonl NEW.jsonl [--threshold 0.20]
+
+Typical CI flow: download the perf-records artifact of the base commit,
+run the bench on the candidate with XSUM_JSON, then diff the two files.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_records(path):
+    """Returns {(bench, method, n, t): mean wall_ms}."""
+    sums = defaultdict(float)
+    counts = defaultdict(int)
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key = (record["bench"], record["method"],
+                       int(record.get("n", 0)), int(record.get("t", 0)))
+                wall_ms = float(record["wall_ms"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as e:
+                print(f"{path}:{line_no}: skipping malformed record ({e})",
+                      file=sys.stderr)
+                continue
+            sums[key] += wall_ms
+            counts[key] += 1
+    return {key: sums[key] / counts[key] for key in sums}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Flag wall-time regressions between two XSUM_JSON files.")
+    parser.add_argument("old", help="baseline record file (JSON lines)")
+    parser.add_argument("new", help="candidate record file (JSON lines)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="fractional slowdown that counts as a "
+                             "regression (default 0.20 = +20%%)")
+    args = parser.parse_args()
+
+    old = load_records(args.old)
+    new = load_records(args.new)
+    if not old or not new:
+        print("error: no parseable records in "
+              f"{args.old if not old else args.new}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len("/".join(k[:2])) for k in (set(old) | set(new)))
+    for key in sorted(set(old) | set(new)):
+        name = "/".join(key[:2])
+        if key not in old:
+            print(f"  {name:<{width}}  NEW (no baseline)")
+            continue
+        if key not in new:
+            print(f"  {name:<{width}}  GONE (baseline only)")
+            continue
+        ratio = new[key] / old[key] if old[key] > 0 else float("inf")
+        delta = 100.0 * (ratio - 1.0)
+        verdict = "ok"
+        if ratio > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            regressions.append((name, delta))
+        elif ratio < 1.0 - args.threshold:
+            verdict = "improved"
+        print(f"  {name:<{width}}  {old[key]:.6f} -> {new[key]:.6f} ms "
+              f"({delta:+.1f}%)  {verdict}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"+{100.0 * args.threshold:.0f}%:", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

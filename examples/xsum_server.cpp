@@ -1,0 +1,157 @@
+/// \file xsum_server.cpp
+/// \brief A miniature summary server: replays a synthetic, Zipf-skewed
+/// request stream from concurrent client threads against the
+/// `service::SummaryService`, hot-swaps the serving graph snapshot halfway
+/// through, and prints the service dashboard (QPS, hit rate, p50/p99,
+/// snapshot version) after each phase.
+///
+/// The swap mimics a production weight refresh: the second graph is built
+/// from the same interactions with recency-aware weights (β2 = 1), so the
+/// summaries genuinely change — stale cache entries must not survive, and
+/// the stats show the post-swap misses refilling the cache.
+///
+/// Env knobs: XSUM_SCALE / XSUM_USERS / XSUM_SEED (dataset),
+/// XSUM_REQUESTS (total, default 400), XSUM_CLIENTS (threads, default 2),
+/// XSUM_ZIPF (skew, default 1.1).
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/renderer.h"
+#include "core/scenario.h"
+#include "data/kg_builder.h"
+#include "data/synthetic.h"
+#include "rec/recommender.h"
+#include "rec/sampler.h"
+#include "service/service.h"
+#include "service/snapshot_registry.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+using namespace xsum;
+
+namespace {
+
+void PrintDashboard(const char* phase, const service::ServiceStats& stats) {
+  std::printf(
+      "[%s] v%llu | %llu requests (%.0f QPS) | hit rate %.1f%% | "
+      "computed %llu, coalesced %llu | p50 %.3f ms, p99 %.3f ms | "
+      "cache %zu entries / %s | swaps %llu\n",
+      phase, static_cast<unsigned long long>(stats.snapshot_version),
+      static_cast<unsigned long long>(stats.requests), stats.qps,
+      100.0 * stats.cache.HitRate(),
+      static_cast<unsigned long long>(stats.computed),
+      static_cast<unsigned long long>(stats.coalesced),
+      stats.p50_ms, stats.p99_ms, stats.cache.entries,
+      FormatBytes(static_cast<int64_t>(stats.cache.bytes)).c_str(),
+      static_cast<unsigned long long>(stats.snapshot_swaps));
+}
+
+}  // namespace
+
+int main() {
+  const double scale = GetEnvDouble("XSUM_SCALE", 0.03);
+  const uint64_t seed =
+      static_cast<uint64_t>(GetEnvNonNegativeInt("XSUM_SEED", 42));
+  const size_t num_users =
+      static_cast<size_t>(GetEnvNonNegativeInt("XSUM_USERS", 12));
+  const size_t num_requests =
+      static_cast<size_t>(GetEnvNonNegativeInt("XSUM_REQUESTS", 400));
+  const size_t num_clients = static_cast<size_t>(
+      std::max<int64_t>(1, GetEnvNonNegativeInt("XSUM_CLIENTS", 2)));
+  const double skew = GetEnvDouble("XSUM_ZIPF", 1.1);
+
+  // One dataset, two weight regimes: the serving graph (paper defaults)
+  // and tomorrow's refresh (recency-aware weights).
+  const data::Dataset dataset =
+      data::MakeSyntheticDataset(data::Ml1mConfig(scale, seed));
+  data::WeightParams refresh_params;
+  refresh_params.beta2 = 1.0;
+  refresh_params.t0 = dataset.t0;
+  auto graph_result = data::BuildRecGraph(dataset);
+  auto refresh_result = data::BuildRecGraph(dataset, refresh_params);
+  if (!graph_result.ok() || !refresh_result.ok()) {
+    std::fprintf(stderr, "graph build failed\n");
+    return 1;
+  }
+  auto graph = std::make_shared<const data::RecGraph>(
+      std::move(graph_result).ValueOrDie());
+  auto refresh = std::make_shared<const data::RecGraph>(
+      std::move(refresh_result).ValueOrDie());
+
+  // Task universe: user-centric tasks at every k-prefix for a user sample.
+  const auto recommender =
+      rec::MakeRecommender(rec::RecommenderKind::kPgpr, *graph, seed + 17, {});
+  std::vector<core::SummaryTask> tasks;
+  for (uint32_t user :
+       rec::SampleUsersByGender(dataset, num_users / 2, seed + 1)) {
+    core::UserRecs ur;
+    ur.user = user;
+    ur.recs = recommender->Recommend(user, 10);
+    if (ur.recs.empty()) continue;
+    for (int k = 1; k <= 10; ++k) {
+      tasks.push_back(core::MakeUserCentricTask(*graph, ur, k));
+    }
+  }
+  if (tasks.empty()) {
+    std::fprintf(stderr, "no serveable tasks at this scale\n");
+    return 1;
+  }
+  core::SummarizerOptions st;
+  st.method = core::SummaryMethod::kSteiner;
+
+  service::GraphSnapshotRegistry registry;
+  registry.Publish(graph);
+  service::ServiceOptions options;
+  options.num_workers = num_clients;
+  service::SummaryService service(&registry, options);
+
+  std::printf("xsum_server: %zu clients x Zipf(s=%.2f) over %zu tasks, "
+              "%zu requests total\n\n",
+              num_clients, skew, tasks.size(), num_requests);
+
+  // Each phase fans half the stream across the client threads.
+  const ZipfTable zipf(tasks.size(), skew);
+  const auto run_phase = [&](uint64_t phase_seed) {
+    std::vector<std::thread> clients;
+    clients.reserve(num_clients);
+    for (size_t c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(phase_seed + c);
+        const size_t share = num_requests / 2 / num_clients;
+        for (size_t r = 0; r < share; ++r) {
+          const auto result =
+              service.Summarize(tasks[zipf.Sample(&rng)], st);
+          if (!result.ok()) {
+            std::fprintf(stderr, "request failed: %s\n",
+                         result.status().ToString().c_str());
+            std::exit(1);
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  };
+
+  run_phase(seed + 1000);
+  PrintDashboard("phase 1 / graph v1", service.Stats());
+
+  // Hot swap: publish the recency-weighted graph. In-flight requests
+  // would finish on their pinned snapshot; every v1 cache entry is dead
+  // by key construction (version mismatch), never by scanning.
+  registry.Publish(refresh);
+  std::printf("\n-- published recency-weighted graph (hot swap to v2) --\n\n");
+
+  run_phase(seed + 2000);
+  PrintDashboard("phase 2 / graph v2", service.Stats());
+
+  // One rendered summary off the current snapshot, Table-I style.
+  const auto sample = service.Summarize(tasks.front(), st);
+  if (sample.ok()) {
+    std::printf("\nsample summary (v2 graph):\n%s\n",
+                core::RenderSummary(*refresh, **sample).c_str());
+  }
+  return 0;
+}

@@ -122,10 +122,13 @@ Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
 }
 
 BatchSummarizer::BatchSummarizer(const data::RecGraph& rec_graph,
-                                 size_t num_workers)
-    : rec_graph_(rec_graph), pool_(num_workers) {
-  contexts_.reserve(pool_.num_workers());
-  for (size_t w = 0; w < pool_.num_workers(); ++w) {
+                                 size_t num_workers, size_t pool_workers)
+    : rec_graph_(rec_graph),
+      pool_(std::min(pool_workers == 0 ? num_workers : pool_workers,
+                     std::max<size_t>(num_workers, 1))) {
+  const size_t contexts = std::max<size_t>(num_workers, 1);
+  contexts_.reserve(contexts);
+  for (size_t w = 0; w < contexts; ++w) {
     contexts_.push_back(std::make_unique<SummarizeContext>());
   }
 }

@@ -77,8 +77,14 @@ Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
 /// pool thread).
 class BatchSummarizer {
  public:
+  /// \p num_workers is the number of reusable contexts (the concurrency
+  /// the engine can serve). \p pool_workers sizes the internal thread pool
+  /// `RunAll` fans over: 0 (default) matches `num_workers`; callers that
+  /// drive concurrency from their own threads via `RunWith` (the summary
+  /// service) pass 1 so no idle pool threads are spawned. Clamped to
+  /// [1, num_workers].
   explicit BatchSummarizer(const data::RecGraph& rec_graph,
-                           size_t num_workers = 1);
+                           size_t num_workers = 1, size_t pool_workers = 0);
 
   size_t num_workers() const { return contexts_.size(); }
   ThreadPool& pool() { return pool_; }

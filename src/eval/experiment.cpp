@@ -50,20 +50,25 @@ ExperimentConfig ExperimentConfig::FromEnv(ExperimentConfig defaults) {
   config.scale = GetEnvDouble("XSUM_SCALE", config.scale);
   config.seed = static_cast<uint64_t>(
       GetEnvInt("XSUM_SEED", static_cast<int64_t>(config.seed)));
-  const int64_t users = GetEnvInt(
+  const int64_t users = GetEnvNonNegativeInt(
       "XSUM_USERS", static_cast<int64_t>(config.users_per_gender * 2));
   config.users_per_gender = static_cast<size_t>(users) / 2;
-  const int64_t items = GetEnvInt(
+  const int64_t items = GetEnvNonNegativeInt(
       "XSUM_ITEMS",
       static_cast<int64_t>(config.items_popular + config.items_unpopular));
   config.items_popular = static_cast<size_t>(items) / 2;
   config.items_unpopular = static_cast<size_t>(items) -
                            config.items_popular;
-  const int64_t workers = GetEnvInt(
+  // 0 = auto (one worker per hardware thread); negative or garbage values
+  // warn inside GetEnvNonNegativeInt and keep the default.
+  const int64_t workers = GetEnvNonNegativeInt(
       "XSUM_WORKERS", static_cast<int64_t>(config.num_workers));
-  // Non-positive values (including a negative that would wrap through
-  // size_t) mean "auto".
-  config.num_workers = workers <= 0 ? 0 : static_cast<size_t>(workers);
+  config.num_workers = static_cast<size_t>(workers);
+  config.use_summary_cache =
+      GetEnvNonNegativeInt("XSUM_CACHE", config.use_summary_cache ? 1 : 0) !=
+      0;
+  config.cache_mb = static_cast<size_t>(GetEnvNonNegativeInt(
+      "XSUM_CACHE_MB", static_cast<int64_t>(config.cache_mb)));
   return config;
 }
 

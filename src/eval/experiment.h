@@ -70,6 +70,16 @@ struct ExperimentConfig {
   /// serially to stay uncontended.
   size_t num_workers = 0;
 
+  /// Route panel summarization through the service-layer result cache
+  /// (src/service/): panels whose (method, unit, k) tasks repeat — across
+  /// metrics and overlapping k-prefixes — are answered from the sharded
+  /// LRU instead of recomputed. Cached results are bit-identical to fresh
+  /// ones, so every series is unchanged; wall-clock (kTimeMs) panels
+  /// always bypass the cache so the measurement stays a measurement.
+  /// XSUM_CACHE=0 disables; XSUM_CACHE_MB sizes the budget.
+  bool use_summary_cache = true;
+  size_t cache_mb = 64;
+
   /// §III weight function (paper default: β1=1, β2=0, wA=0).
   data::WeightParams weight_params;
 
@@ -83,7 +93,8 @@ struct ExperimentConfig {
       core::SteinerOptions::Variant::kMehlhorn;
 
   /// Reads XSUM_SCALE / XSUM_USERS / XSUM_ITEMS / XSUM_SEED / XSUM_WORKERS
-  /// on top of the given defaults.
+  /// / XSUM_CACHE / XSUM_CACHE_MB on top of the given defaults. Garbage or
+  /// negative values warn and keep the defaults (util/env.h).
   static ExperimentConfig FromEnv(ExperimentConfig defaults);
   /// FromEnv over the built-in defaults.
   static ExperimentConfig FromEnv();

@@ -6,6 +6,8 @@
 
 #include "core/batch.h"
 #include "metrics/metrics.h"
+#include "service/service.h"
+#include "service/snapshot_registry.h"
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -52,7 +54,13 @@ ExperimentRunner::ExperimentRunner(ExperimentRunner&& other)
       dataset_(std::move(other.dataset_)),
       rec_graph_(std::move(other.rec_graph_)),
       sampled_users_(std::move(other.sampled_users_)),
-      initialized_(other.initialized_) {}
+      initialized_(other.initialized_) {
+  // The moved-from runner's engine/service reference its moved-out graph;
+  // drop them so a re-Init()ed source cannot serve through stale state.
+  other.batch_.reset();
+  other.service_.reset();
+  other.registry_.reset();
+}
 
 ExperimentRunner& ExperimentRunner::operator=(ExperimentRunner&& other) {
   config_ = std::move(other.config_);
@@ -62,6 +70,10 @@ ExperimentRunner& ExperimentRunner::operator=(ExperimentRunner&& other) {
   initialized_ = other.initialized_;
   batch_.reset();
   other.batch_.reset();
+  service_.reset();
+  registry_.reset();
+  other.service_.reset();
+  other.registry_.reset();
   return *this;
 }
 
@@ -73,6 +85,35 @@ core::BatchSummarizer& ExperimentRunner::batch() const {
     batch_ = std::make_unique<core::BatchSummarizer>(rec_graph_, workers);
   }
   return *batch_;
+}
+
+service::SummaryService* ExperimentRunner::service() const {
+  if (!config_.use_summary_cache) return nullptr;
+  if (service_ == nullptr) {
+    registry_ = std::make_unique<service::GraphSnapshotRegistry>();
+    // The runner owns its graph for its lifetime; publish a non-owning
+    // alias rather than copying the whole graph into the registry.
+    registry_->Publish(service::GraphSnapshotRegistry::Alias(rec_graph_));
+    service::ServiceOptions options;
+    options.num_workers = config_.num_workers != 0
+                              ? config_.num_workers
+                              : ThreadPool::DefaultWorkers();
+    // Clamp before shifting so an absurd XSUM_CACHE_MB cannot wrap the
+    // byte budget to ~0 (which would reject every insert).
+    options.cache.max_bytes =
+        std::min<size_t>(config_.cache_mb, size_t{1} << 24) << 20;
+    service_ =
+        std::make_unique<service::SummaryService>(registry_.get(), options);
+  }
+  return service_.get();
+}
+
+uint64_t ExperimentRunner::panel_cache_hits() const {
+  return service_ == nullptr ? 0 : service_->cache_stats().hits;
+}
+
+uint64_t ExperimentRunner::panel_cache_misses() const {
+  return service_ == nullptr ? 0 : service_->cache_stats().misses;
 }
 
 Status ExperimentRunner::Init() {
@@ -112,10 +153,21 @@ Result<BaselineData> ExperimentRunner::ComputeBaseline(
   }
 
   // --- user-centric units ------------------------------------------------
-  for (uint32_t user : sampled_users_) {
-    core::UserRecs ur;
-    ur.user = user;
-    ur.recs = recommender->Recommend(user, kMaxK);
+  // Recommender calls are fanned across the worker pool. Thread-safety
+  // audit: `Recommend` is const on every simulator, all randomness comes
+  // from a function-local `Rng` seeded by (master seed, method tag, user),
+  // and the only precomputed state (PGPR's item-mass prior) is built in
+  // the constructor — concurrent calls over distinct users share nothing
+  // mutable. Per-user results land in index-addressed slots and are merged
+  // in sampled-user order below, so the output is bit-identical to the
+  // serial loop for every worker count.
+  std::vector<core::UserRecs> user_slots(sampled_users_.size());
+  batch().pool().ParallelFor(
+      sampled_users_.size(), [&](size_t /*worker*/, size_t i) {
+        user_slots[i].user = sampled_users_[i];
+        user_slots[i].recs = recommender->Recommend(sampled_users_[i], kMaxK);
+      });
+  for (core::UserRecs& ur : user_slots) {
     if (ur.recs.empty()) continue;  // isolated user: nothing to explain
     data.users.push_back(std::move(ur));
   }
@@ -266,6 +318,9 @@ Result<std::vector<SeriesResult>> ExperimentRunner::RunPanel(
   // contend with (and inflate) the very quantity being measured.
   const bool timing_panel = spec.metric == MetricKind::kTimeMs;
   core::BatchSummarizer& engine = batch();
+  // Timing panels always compute — a cached wall-clock number would be a
+  // replay of an old measurement, not a measurement.
+  service::SummaryService* cache_service = timing_panel ? nullptr : service();
   std::vector<SeriesResult> series;
   for (const MethodSpec& method : spec.methods) {
     std::vector<std::vector<double>> unit_values(units.size());
@@ -276,13 +331,28 @@ Result<std::vector<SeriesResult>> ExperimentRunner::RunPanel(
       std::vector<metrics::ExplanationView> views;  // for consistency
       for (size_t ki = 0; ki < spec.ks.size(); ++ki) {
         const core::SummaryTask task = units[i](spec.ks[ki]);
-        Result<core::Summary> result =
-            engine.RunWith(worker, task, method.options);
-        if (!result.ok()) {
-          unit_status[i] = result.status();
-          return;
+        // Cached and fresh results are bit-identical (the service runs the
+        // very same engine on a miss), so the routing below cannot change
+        // any series value.
+        std::shared_ptr<const core::Summary> held;
+        if (cache_service != nullptr) {
+          Result<std::shared_ptr<const core::Summary>> result =
+              cache_service->Summarize(task, method.options);
+          if (!result.ok()) {
+            unit_status[i] = result.status();
+            return;
+          }
+          held = std::move(*result);
+        } else {
+          Result<core::Summary> result =
+              engine.RunWith(worker, task, method.options);
+          if (!result.ok()) {
+            unit_status[i] = result.status();
+            return;
+          }
+          held = std::make_shared<core::Summary>(std::move(*result));
         }
-        const core::Summary& summary = *result;
+        const core::Summary& summary = *held;
         double value = 0.0;
         switch (spec.metric) {
           case MetricKind::kTimeMs:

@@ -25,6 +25,10 @@ namespace xsum {
 namespace core {
 class BatchSummarizer;
 }  // namespace core
+namespace service {
+class GraphSnapshotRegistry;
+class SummaryService;
+}  // namespace service
 }  // namespace xsum
 
 namespace xsum::eval {
@@ -82,8 +86,9 @@ class ExperimentRunner {
  public:
   explicit ExperimentRunner(ExperimentConfig config);
   ~ExperimentRunner();
-  /// Movable; the lazily-created batch engine is dropped on move (it holds
-  /// a reference to the moved-from graph) and recreated on next use.
+  /// Movable; the lazily-created batch engine and service front end are
+  /// dropped on move (they hold references to the moved-from graph) and
+  /// recreated on next use.
   ExperimentRunner(ExperimentRunner&& other);
   ExperimentRunner& operator=(ExperimentRunner&& other);
 
@@ -109,13 +114,29 @@ class ExperimentRunner {
   /// the worker count. The wall-clock metric (kTimeMs) is a measurement,
   /// not a derived value: those panels run serially so other workers
   /// cannot contend with the quantity being measured.
+  ///
+  /// When `config().use_summary_cache` is set (default), non-timing panels
+  /// route through the service-layer result cache (`service::SummaryService`)
+  /// so repeated (method, unit, k) tasks — the same summaries recur across
+  /// metric panels — are answered from the LRU. Cached summaries are
+  /// bit-identical to fresh ones, leaving every series unchanged; timing
+  /// panels always compute.
   Result<std::vector<SeriesResult>> RunPanel(const BaselineData& data,
                                              const PanelSpec& spec) const;
+
+  /// Counters of the panel result cache (zeros when caching is disabled).
+  /// Exposed for benches and tests; see `service::SummaryService::Stats`.
+  uint64_t panel_cache_hits() const;
+  uint64_t panel_cache_misses() const;
 
  private:
   /// The lazily-created batch engine shared by all panels (its workspaces
   /// amortize across panels; recreated only if the worker count changes).
   core::BatchSummarizer& batch() const;
+
+  /// The lazily-created service front end (registry + sharded summary
+  /// cache) panels route through; nullptr when caching is disabled.
+  service::SummaryService* service() const;
 
   ExperimentConfig config_;
   data::Dataset dataset_;
@@ -123,6 +144,8 @@ class ExperimentRunner {
   std::vector<uint32_t> sampled_users_;
   bool initialized_ = false;
   mutable std::unique_ptr<core::BatchSummarizer> batch_;
+  mutable std::unique_ptr<service::GraphSnapshotRegistry> registry_;
+  mutable std::unique_ptr<service::SummaryService> service_;
 };
 
 }  // namespace xsum::eval

@@ -1,0 +1,178 @@
+#include "service/service.h"
+
+#include <utility>
+
+namespace xsum::service {
+
+SummaryService::SummaryService(GraphSnapshotRegistry* registry,
+                               const ServiceOptions& options)
+    : registry_(registry), options_(options), cache_(options.cache) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  uptime_.Start();
+}
+
+SummaryService::~SummaryService() = default;
+
+std::shared_ptr<SummaryService::ServingState> SummaryService::CurrentState() {
+  const uint64_t version = registry_->current_version();
+  if (version == 0) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (state_ != nullptr && state_->snapshot.version == version) {
+      return state_;
+    }
+  }
+  // Build the new serving state *outside* the lock: engine construction is
+  // O(workers · graph) and must not stall concurrent cache hits during a
+  // hot swap. Racing builders are possible and harmless — the loser's
+  // state is discarded below.
+  auto fresh = std::make_shared<ServingState>();
+  fresh->snapshot = registry_->Current();
+  if (!fresh->snapshot.valid()) return nullptr;
+  fresh->engine = std::make_unique<core::BatchSummarizer>(
+      *fresh->snapshot.graph, options_.num_workers,
+      /*pool_workers=*/1);
+  fresh->free_workers.reserve(options_.num_workers);
+  for (size_t w = options_.num_workers; w > 0; --w) {
+    fresh->free_workers.push_back(w - 1);
+  }
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (state_ != nullptr && state_->snapshot.version >= fresh->snapshot.version) {
+    return state_;  // someone else installed this (or a newer) version
+  }
+  if (state_ != nullptr) ++snapshot_swaps_;
+  // In-flight requests keep pinning the old state (and through it the old
+  // graph snapshot) until they finish; new requests route here.
+  state_ = std::move(fresh);
+  return state_;
+}
+
+Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeOn(
+    ServingState& state, const core::SummaryTask& task,
+    const core::SummarizerOptions& options) {
+  size_t worker = 0;
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.slot_cv.wait(lock, [&] { return !state.free_workers.empty(); });
+    worker = state.free_workers.back();
+    state.free_workers.pop_back();
+  }
+  Result<core::Summary> result = state.engine->RunWith(worker, task, options);
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.free_workers.push_back(worker);
+  }
+  state.slot_cv.notify_one();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++computed_;
+  }
+  if (!result.ok()) return result.status();
+  return std::shared_ptr<const core::Summary>(
+      std::make_shared<core::Summary>(std::move(*result)));
+}
+
+Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
+    const core::SummaryTask& task, const core::SummarizerOptions& options) {
+  WallTimer timer;
+  timer.Start();
+  std::shared_ptr<ServingState> state = CurrentState();
+  if (state == nullptr) {
+    RecordLatency(timer.ElapsedMillis(), /*error=*/true);
+    return Status::FailedPrecondition(
+        "SummaryService: no graph snapshot published");
+  }
+
+  if (!options_.enable_cache) {
+    Result<std::shared_ptr<const core::Summary>> result =
+        ComputeOn(*state, task, options);
+    RecordLatency(timer.ElapsedMillis(), !result.ok());
+    return result;
+  }
+
+  CacheKey key;
+  key.snapshot_version = state->snapshot.version;
+  FingerprintTask(task, options, &key.fp_hi, &key.fp_lo);
+
+  if (std::shared_ptr<const core::Summary> hit = cache_.Lookup(key)) {
+    RecordLatency(timer.ElapsedMillis(), /*error=*/false);
+    return hit;
+  }
+
+  // Single-flight: first miss for this key becomes the leader; concurrent
+  // identical misses block on the leader's flight and share its result.
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      flight = it->second;
+    } else {
+      flight = std::make_shared<Flight>();
+      flights_[key] = flight;
+      leader = true;
+    }
+  }
+  if (!leader) {
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++coalesced_;
+    }
+    RecordLatency(timer.ElapsedMillis(), !flight->status.ok());
+    if (!flight->status.ok()) return flight->status;
+    return flight->summary;
+  }
+
+  Result<std::shared_ptr<const core::Summary>> result =
+      ComputeOn(*state, task, options);
+  if (result.ok()) cache_.Insert(key, *result);
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->done = true;
+    flight->status = result.status();
+    if (result.ok()) flight->summary = *result;
+  }
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    flights_.erase(key);
+  }
+  flight->cv.notify_all();
+  RecordLatency(timer.ElapsedMillis(), !result.ok());
+  return result;
+}
+
+void SummaryService::RecordLatency(double ms, bool error) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++requests_;
+  if (error) ++errors_;
+  latency_ms_.Add(ms);
+}
+
+ServiceStats SummaryService::Stats() const {
+  ServiceStats stats;
+  stats.cache = cache_.stats();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stats.snapshot_swaps = snapshot_swaps_;
+    stats.snapshot_version =
+        state_ != nullptr ? state_->snapshot.version : 0;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats.requests = requests_;
+  stats.computed = computed_;
+  stats.coalesced = coalesced_;
+  stats.errors = errors_;
+  stats.uptime_seconds = uptime_.ElapsedSeconds();
+  stats.qps = stats.uptime_seconds > 0.0
+                  ? static_cast<double>(requests_) / stats.uptime_seconds
+                  : 0.0;
+  stats.mean_ms = latency_ms_.Mean();
+  stats.p50_ms = latency_ms_.Percentile(50.0);
+  stats.p99_ms = latency_ms_.Percentile(99.0);
+  return stats;
+}
+
+}  // namespace xsum::service

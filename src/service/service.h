@@ -1,0 +1,160 @@
+/// \file service.h
+/// \brief `SummaryService` — the request-serving front end over the batch
+/// summarization engine (DESIGN.md §3).
+///
+/// The batch engine (`core::BatchSummarizer`) answers task *batches* from
+/// one driver thread; a serving deployment instead sees a concurrent
+/// stream of independent requests with a heavily repeated (Zipf) task mix.
+/// The service adds the three serving layers on top:
+///
+///  1. **Result cache** — a sharded task-keyed LRU (`SummaryCache`); a hit
+///     answers without touching the graph.
+///  2. **Single-flight deduplication** — concurrent identical misses are
+///     coalesced: one leader computes, followers block on the in-flight
+///     entry and share its result, so a hot key never computes twice.
+///  3. **Snapshot routing** — requests run against the current
+///     `GraphSnapshotRegistry` snapshot and pin it for their duration;
+///     publishing a new graph hot-swaps the serving state without
+///     disturbing in-flight requests, and implicitly invalidates all
+///     older-version cache entries (version is part of the key).
+///
+/// Misses borrow one of `num_workers` `SummarizeContext` slots (blocking
+/// when all are busy), so steady-state serving allocates nothing beyond
+/// the cached summaries themselves. `Stats()` exposes QPS, hit rate, and
+/// p50/p99 latency for dashboards and the service bench.
+
+#ifndef XSUM_SERVICE_SERVICE_H_
+#define XSUM_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/batch.h"
+#include "service/snapshot_registry.h"
+#include "service/summary_cache.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace xsum::service {
+
+/// \brief Service configuration.
+struct ServiceOptions {
+  /// Concurrent summarization slots (one reusable `SummarizeContext`
+  /// each). Requests beyond this block until a slot frees.
+  size_t num_workers = 1;
+  /// Serve results from the cache (false = every request computes; the
+  /// control arm of the service bench).
+  bool enable_cache = true;
+  SummaryCache::Options cache;
+};
+
+/// \brief One observable service counter snapshot.
+struct ServiceStats {
+  uint64_t requests = 0;        ///< Summarize calls answered
+  uint64_t computed = 0;        ///< answered by running the engine
+  uint64_t coalesced = 0;       ///< answered by joining an in-flight leader
+  uint64_t errors = 0;          ///< non-OK responses
+  uint64_t snapshot_swaps = 0;  ///< serving-state rebuilds observed
+  uint64_t snapshot_version = 0;
+  CacheStats cache;
+  double uptime_seconds = 0.0;
+  double qps = 0.0;     ///< requests / uptime
+  double mean_ms = 0.0; ///< mean response latency over all requests
+  double p50_ms = 0.0;  ///< percentiles over the most recent latency window
+  double p99_ms = 0.0;
+};
+
+/// \brief The serving façade. All public methods are thread-safe.
+class SummaryService {
+ public:
+  /// \p registry must outlive the service and have a published snapshot
+  /// before the first Summarize call.
+  SummaryService(GraphSnapshotRegistry* registry,
+                 const ServiceOptions& options = {});
+  ~SummaryService();
+
+  SummaryService(const SummaryService&) = delete;
+  SummaryService& operator=(const SummaryService&) = delete;
+
+  /// Answers one request: cache hit, coalesced wait, or fresh compute on
+  /// the current graph snapshot. The returned summary is shared and
+  /// immutable; it stays valid independent of cache eviction or snapshot
+  /// swaps.
+  Result<std::shared_ptr<const core::Summary>> Summarize(
+      const core::SummaryTask& task, const core::SummarizerOptions& options);
+
+  /// Current counters.
+  ServiceStats Stats() const;
+
+  /// Cache counters only — no latency-lock contention, for callers that
+  /// poll a single number (the evaluation runner's accessors).
+  CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// Version the next request will be served on (observes the registry).
+  uint64_t serving_version() const { return registry_->current_version(); }
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  /// Everything tied to one graph version: the pinned snapshot, its
+  /// engine, and the free-list of engine worker slots.
+  struct ServingState {
+    GraphSnapshot snapshot;
+    std::unique_ptr<core::BatchSummarizer> engine;
+    std::mutex mutex;
+    std::condition_variable slot_cv;
+    std::vector<size_t> free_workers;
+  };
+
+  /// One in-flight computation; followers block on `cv` until `done`.
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    std::shared_ptr<const core::Summary> summary;
+  };
+
+  /// Returns the serving state for the registry's current version,
+  /// building (and hot-swapping to) a new one when the version moved.
+  std::shared_ptr<ServingState> CurrentState();
+
+  Result<std::shared_ptr<const core::Summary>> ComputeOn(
+      ServingState& state, const core::SummaryTask& task,
+      const core::SummarizerOptions& options);
+
+  void RecordLatency(double ms, bool error);
+
+  GraphSnapshotRegistry* registry_;
+  ServiceOptions options_;
+  SummaryCache cache_;
+
+  mutable std::mutex state_mutex_;
+  std::shared_ptr<ServingState> state_;
+  uint64_t snapshot_swaps_ = 0;
+
+  std::mutex flights_mutex_;
+  std::unordered_map<CacheKey, std::shared_ptr<Flight>, CacheKeyHash> flights_;
+
+  /// Retained latency sample size: p50/p99 cover the most recent window
+  /// (bounded memory for a long-running server); requests/mean/QPS cover
+  /// the full history.
+  static constexpr size_t kLatencyWindow = 4096;
+
+  mutable std::mutex stats_mutex_;
+  StatAccumulator latency_ms_{kLatencyWindow};
+  uint64_t requests_ = 0;
+  uint64_t computed_ = 0;
+  uint64_t coalesced_ = 0;
+  uint64_t errors_ = 0;
+  WallTimer uptime_;
+};
+
+}  // namespace xsum::service
+
+#endif  // XSUM_SERVICE_SERVICE_H_

@@ -1,0 +1,35 @@
+#include "service/snapshot_registry.h"
+
+#include <utility>
+
+namespace xsum::service {
+
+uint64_t GraphSnapshotRegistry::Publish(
+    std::shared_ptr<const data::RecGraph> graph) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_.version = next_version_++;
+  current_.graph = std::move(graph);
+  return current_.version;
+}
+
+uint64_t GraphSnapshotRegistry::Publish(data::RecGraph graph) {
+  return Publish(
+      std::make_shared<const data::RecGraph>(std::move(graph)));
+}
+
+GraphSnapshot GraphSnapshotRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+uint64_t GraphSnapshotRegistry::current_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_.version;
+}
+
+uint64_t GraphSnapshotRegistry::num_published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_version_ - 1;
+}
+
+}  // namespace xsum::service

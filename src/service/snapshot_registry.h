@@ -1,0 +1,79 @@
+/// \file snapshot_registry.h
+/// \brief Versioned ownership of the serving graph (DESIGN.md §3.2).
+///
+/// A long-lived summary service cannot summarize over a graph that is
+/// mutated underneath it, and it cannot stop the world to load a new one.
+/// The registry resolves this with immutable *snapshots*: each `Publish`
+/// installs a `RecGraph` under a fresh monotonically increasing version
+/// and atomically becomes the current serving snapshot. In-flight requests
+/// *pin* the snapshot they started on (a `shared_ptr` copy), so a swap
+/// never pulls a graph out from under a running search; a superseded
+/// snapshot is destroyed exactly when its last pin drops.
+///
+/// Cache interaction: `SummaryCache` keys embed the snapshot version, so a
+/// swap implicitly invalidates every cached result of older versions —
+/// their keys can no longer be constructed by any new request. Stale
+/// entries are never scanned for; they age out of the LRU.
+
+#ifndef XSUM_SERVICE_SNAPSHOT_REGISTRY_H_
+#define XSUM_SERVICE_SNAPSHOT_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "data/kg_builder.h"
+
+namespace xsum::service {
+
+/// \brief One pinned graph version. Copying the struct keeps the graph
+/// alive; the version is the cache-key component.
+struct GraphSnapshot {
+  uint64_t version = 0;
+  std::shared_ptr<const data::RecGraph> graph;
+
+  bool valid() const { return graph != nullptr; }
+};
+
+/// \brief Thread-safe holder of the current serving snapshot.
+class GraphSnapshotRegistry {
+ public:
+  GraphSnapshotRegistry() = default;
+  GraphSnapshotRegistry(const GraphSnapshotRegistry&) = delete;
+  GraphSnapshotRegistry& operator=(const GraphSnapshotRegistry&) = delete;
+
+  /// Installs \p graph as the current snapshot; returns its version
+  /// (1, 2, ...). The previous snapshot stays alive while pinned.
+  uint64_t Publish(std::shared_ptr<const data::RecGraph> graph);
+
+  /// Convenience overload: takes ownership of a freshly built graph.
+  uint64_t Publish(data::RecGraph graph);
+
+  /// The current snapshot (pinned by the returned copy); `valid()` is
+  /// false before the first Publish.
+  GraphSnapshot Current() const;
+
+  /// Version of the current snapshot (0 before the first Publish).
+  uint64_t current_version() const;
+
+  /// Number of Publish calls so far.
+  uint64_t num_published() const;
+
+  /// Wraps a caller-owned graph in a non-owning snapshot pointer. The
+  /// caller must guarantee \p graph outlives the registry and every pin —
+  /// the embedding used by `ExperimentRunner`, whose graph is a member.
+  static std::shared_ptr<const data::RecGraph> Alias(
+      const data::RecGraph& graph) {
+    return std::shared_ptr<const data::RecGraph>(&graph,
+                                                 [](const data::RecGraph*) {});
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  GraphSnapshot current_;
+  uint64_t next_version_ = 1;
+};
+
+}  // namespace xsum::service
+
+#endif  // XSUM_SERVICE_SNAPSHOT_REGISTRY_H_

@@ -1,0 +1,165 @@
+#include "service/summary_cache.h"
+
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace xsum::service {
+
+namespace {
+
+/// Two-lane SplitMix64 chain; lanes start from distinct constants so the
+/// 128-bit fingerprint is not just one 64-bit hash written twice.
+struct Fp128 {
+  uint64_t hi = 0x8E2B5C1D0F3A7E95ULL;
+  uint64_t lo = 0x243F6A8885A308D3ULL;
+
+  void Mix(uint64_t word) {
+    hi ^= word + 0x9E3779B97F4A7C15ULL;
+    hi = SplitMix64(&hi);
+    lo ^= word + 0xBF58476D1CE4E5B9ULL;
+    lo = SplitMix64(&lo);
+  }
+
+  void MixDouble(double value) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    Mix(bits);
+  }
+
+  template <typename T>
+  void MixVector(const std::vector<T>& v) {
+    Mix(v.size());
+    for (const T& x : v) Mix(static_cast<uint64_t>(x));
+  }
+};
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void FingerprintTask(const core::SummaryTask& task,
+                     const core::SummarizerOptions& options, uint64_t* fp_hi,
+                     uint64_t* fp_lo) {
+  Fp128 fp;
+  // Task identity: scenario, anchors, terminal set, Eq. (1) inputs.
+  fp.Mix(static_cast<uint64_t>(task.scenario));
+  fp.MixVector(task.anchors);
+  fp.MixVector(task.terminals);
+  fp.Mix(task.s_size);
+  fp.Mix(task.paths.size());
+  for (const graph::Path& path : task.paths) {
+    fp.MixVector(path.nodes);
+    fp.MixVector(path.edges);
+  }
+  // Option fingerprint: every knob that can change the output bits.
+  fp.Mix(static_cast<uint64_t>(options.method));
+  fp.MixDouble(options.lambda);
+  fp.Mix(static_cast<uint64_t>(options.cost_mode));
+  fp.Mix(static_cast<uint64_t>(options.steiner.variant));
+  fp.Mix(options.steiner.cleanup ? 1 : 0);
+  fp.Mix(static_cast<uint64_t>(options.pcst.prize_policy));
+  fp.Mix((options.pcst.use_edge_weights ? 2 : 0) |
+         (options.pcst.strong_prune ? 1 : 0));
+  fp.MixDouble(options.pcst.growth_slack);
+  *fp_hi = fp.hi;
+  *fp_lo = fp.lo;
+}
+
+size_t SummaryFootprintBytes(const core::Summary& summary) {
+  size_t bytes = sizeof(core::Summary);
+  bytes += summary.subgraph.MemoryFootprintBytes();
+  bytes += summary.anchors.capacity() * sizeof(graph::NodeId);
+  bytes += summary.terminals.capacity() * sizeof(graph::NodeId);
+  bytes += summary.unreached_terminals.capacity() * sizeof(graph::NodeId);
+  for (const graph::Path& path : summary.input_paths) {
+    bytes += sizeof(graph::Path);
+    bytes += path.nodes.capacity() * sizeof(graph::NodeId);
+    bytes += path.edges.capacity() * sizeof(graph::EdgeId);
+  }
+  return bytes;
+}
+
+SummaryCache::SummaryCache() : SummaryCache(Options()) {}
+
+SummaryCache::SummaryCache(const Options& options)
+    : max_bytes_(options.max_bytes) {
+  const size_t shards =
+      RoundUpPow2(options.num_shards == 0 ? 1 : options.num_shards);
+  shard_mask_ = shards - 1;
+  shard_budget_ = max_bytes_ / shards;
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const core::Summary> SummaryCache::Lookup(
+    const CacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->summary;
+}
+
+void SummaryCache::Insert(const CacheKey& key,
+                          std::shared_ptr<const core::Summary> summary) {
+  if (summary == nullptr) return;
+  const size_t bytes = SummaryFootprintBytes(*summary) + sizeof(Entry);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.find(key) != shard.map.end()) return;  // first writer wins
+  if (bytes > shard_budget_) {
+    ++shard.rejected;
+    return;
+  }
+  while (shard.bytes + bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(Entry{key, std::move(summary), bytes});
+  shard.map[key] = shard.lru.begin();
+  shard.bytes += bytes;
+  ++shard.insertions;
+}
+
+void SummaryCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->map.clear();
+    shard->bytes = 0;
+  }
+}
+
+CacheStats SummaryCache::stats() const {
+  CacheStats stats;
+  stats.max_bytes = max_bytes_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.insertions += shard->insertions;
+    stats.evictions += shard->evictions;
+    stats.rejected += shard->rejected;
+    stats.entries += shard->lru.size();
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+}  // namespace xsum::service

@@ -1,0 +1,158 @@
+/// \file summary_cache.h
+/// \brief Sharded, task-keyed LRU cache of computed `Summary` objects — the
+/// result store of the summary service layer (DESIGN.md §3).
+///
+/// The paper's workloads are inherently repetitive: the same user/group
+/// task recurs across metric panels, λ values, and overlapping k-prefixes,
+/// and a serving deployment sees the same hot users over and over (Zipf
+/// traffic). Recomputing a Steiner/PCST summary costs graph searches; a
+/// cache hit costs one hash and one shard-local list splice.
+///
+/// Keying. A cache key is the pair (graph snapshot version, 128-bit task
+/// fingerprint). The fingerprint covers *everything* that determines the
+/// summary bits: scenario, anchors, terminal set, explanation paths, |S|,
+/// method, λ, cost mode, and the Steiner/PCST option blocks. Entries for a
+/// superseded graph version are invalidated *by construction* — their keys
+/// can never match a request carrying the new version — and age out under
+/// LRU pressure; no scan ever walks the cache (see
+/// `GraphSnapshotRegistry`).
+///
+/// Sharding. Keys are distributed over `num_shards` independent shards
+/// (shard = fingerprint-low bits), each with its own mutex, LRU list, and
+/// slice of the byte budget, so concurrent requests for different tasks do
+/// not serialize on one lock. Values are `shared_ptr<const Summary>`:
+/// readers share the stored object; eviction never invalidates a summary a
+/// caller already holds.
+///
+/// Budget. `Options::max_bytes` bounds the *accounted* resident size — the
+/// `SummaryFootprintBytes` of every cached value plus per-entry bookkeeping
+/// — enforced per shard (budget / num_shards each); inserting past the
+/// budget evicts least-recently-used entries first. A value larger than a
+/// whole shard budget is simply not retained.
+
+#ifndef XSUM_SERVICE_SUMMARY_CACHE_H_
+#define XSUM_SERVICE_SUMMARY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/summarizer.h"
+
+namespace xsum::service {
+
+/// \brief Cache key: graph snapshot version + 128-bit task fingerprint.
+struct CacheKey {
+  uint64_t snapshot_version = 0;
+  uint64_t fp_hi = 0;
+  uint64_t fp_lo = 0;
+
+  bool operator==(const CacheKey& other) const {
+    return snapshot_version == other.snapshot_version &&
+           fp_hi == other.fp_hi && fp_lo == other.fp_lo;
+  }
+};
+
+/// \brief Hash functor for `CacheKey` (the fingerprint already is a hash).
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const {
+    return static_cast<size_t>(key.fp_lo ^ (key.snapshot_version * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+/// Computes the 128-bit fingerprint of (task, options): two independently
+/// seeded SplitMix64 chains over the task's scenario/anchors/terminals/
+/// paths/|S| and the full option block (method, λ bits, cost mode, Steiner
+/// variant+cleanup, PCST policy/flags/slack). Collisions between distinct
+/// tasks need both 64-bit lanes to collide simultaneously (~2^-128).
+void FingerprintTask(const core::SummaryTask& task,
+                     const core::SummarizerOptions& options, uint64_t* fp_hi,
+                     uint64_t* fp_lo);
+
+/// Accounted resident bytes of a cached summary (subgraph + paths +
+/// terminal/anchor vectors + the struct itself).
+size_t SummaryFootprintBytes(const core::Summary& summary);
+
+/// \brief Aggregated cache counters (summed over shards).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;     ///< LRU evictions (budget pressure)
+  uint64_t rejected = 0;      ///< values larger than a whole shard budget
+  size_t entries = 0;         ///< currently resident entries
+  size_t bytes = 0;           ///< currently accounted bytes
+  size_t max_bytes = 0;       ///< configured budget
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// \brief The sharded LRU cache. All methods are thread-safe.
+class SummaryCache {
+ public:
+  struct Options {
+    /// Total byte budget across all shards.
+    size_t max_bytes = 64ull << 20;
+    /// Shard count; rounded up to a power of two, min 1.
+    size_t num_shards = 8;
+  };
+
+  SummaryCache();
+  explicit SummaryCache(const Options& options);
+
+  /// Returns the cached summary for \p key and marks it most-recently-used,
+  /// or nullptr on miss.
+  std::shared_ptr<const core::Summary> Lookup(const CacheKey& key);
+
+  /// Inserts \p summary under \p key (no-op if the key is already present —
+  /// first writer wins, so concurrent single-flight losers don't churn the
+  /// LRU list). Evicts LRU entries until the shard fits its budget slice.
+  void Insert(const CacheKey& key,
+              std::shared_ptr<const core::Summary> summary);
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  /// Aggregated counters over all shards.
+  CacheStats stats() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const core::Summary> summary;
+    size_t bytes = 0;
+  };
+  /// One independently locked LRU slice; front = most recently used.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t rejected = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    return *shards_[key.fp_lo & shard_mask_];
+  }
+
+  size_t max_bytes_;
+  size_t shard_budget_;
+  size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace xsum::service
+
+#endif  // XSUM_SERVICE_SUMMARY_CACHE_H_

@@ -1,15 +1,44 @@
 #include "util/env.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
+#include "util/logging.h"
+
 namespace xsum {
+
+namespace {
+
+/// True iff \p rest is empty or all ASCII whitespace (a parse that stopped
+/// here consumed the whole meaningful value).
+bool OnlyTrailingSpace(const char* rest) {
+  for (; *rest != '\0'; ++rest) {
+    if (!std::isspace(static_cast<unsigned char>(*rest))) return false;
+  }
+  return true;
+}
+
+void WarnInvalid(const std::string& name, const char* raw,
+                 const char* expected) {
+  XSUM_LOG_WARN << name << "=\"" << raw << "\" is not a valid " << expected
+                << "; ignoring it and using the default";
+}
+
+}  // namespace
 
 double GetEnvDouble(const std::string& name, double fallback) {
   const char* raw = std::getenv(name.c_str());
   if (raw == nullptr || raw[0] == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(raw, &end);
-  if (end == raw) return fallback;
+  // ERANGE: the digits parsed but the value saturated (inf / 0) — treat
+  // it as invalid rather than silently serving the saturated value.
+  if (end == raw || !OnlyTrailingSpace(end) || errno == ERANGE) {
+    WarnInvalid(name, raw, "number");
+    return fallback;
+  }
   return v;
 }
 
@@ -17,9 +46,25 @@ int64_t GetEnvInt(const std::string& name, int64_t fallback) {
   const char* raw = std::getenv(name.c_str());
   if (raw == nullptr || raw[0] == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(raw, &end, 10);
-  if (end == raw) return fallback;
+  if (end == raw || !OnlyTrailingSpace(end) || errno == ERANGE) {
+    WarnInvalid(name, raw, "integer");
+    return fallback;
+  }
   return static_cast<int64_t>(v);
+}
+
+int64_t GetEnvNonNegativeInt(const std::string& name, int64_t fallback) {
+  const int64_t v = GetEnvInt(name, fallback);
+  if (v < 0) {
+    const char* raw = std::getenv(name.c_str());
+    XSUM_LOG_WARN << name << "=" << (raw != nullptr ? raw : "") << " is "
+                  << "negative; ignoring it and using the default ("
+                  << fallback << ")";
+    return fallback;
+  }
+  return v;
 }
 
 std::string GetEnvString(const std::string& name,

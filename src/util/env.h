@@ -16,11 +16,19 @@
 
 namespace xsum {
 
-/// Reads env var \p name as double; returns \p fallback if unset/invalid.
+/// Reads env var \p name as double; returns \p fallback if unset. A set but
+/// unparseable value (garbage, or trailing junk after the number) logs a
+/// warning and returns \p fallback — never a silent partial parse.
 double GetEnvDouble(const std::string& name, double fallback);
 
-/// Reads env var \p name as int64; returns \p fallback if unset/invalid.
+/// Reads env var \p name as int64 with the same strictness as
+/// `GetEnvDouble`: garbage warns and falls back.
 int64_t GetEnvInt(const std::string& name, int64_t fallback);
+
+/// `GetEnvInt` for count-like knobs (worker counts, request counts): a
+/// negative value warns and returns \p fallback instead of being clamped
+/// or wrapped through an unsigned conversion.
+int64_t GetEnvNonNegativeInt(const std::string& name, int64_t fallback);
 
 /// Reads env var \p name as string; returns \p fallback if unset.
 std::string GetEnvString(const std::string& name, const std::string& fallback);

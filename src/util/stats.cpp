@@ -6,13 +6,19 @@
 namespace xsum {
 
 void StatAccumulator::Add(double value) {
-  values_.push_back(value);
+  ++count_;
   sum_ += value;
+  if (window_ == 0 || values_.size() < window_) {
+    values_.push_back(value);
+  } else {
+    values_[next_] = value;
+    next_ = (next_ + 1) % window_;
+  }
 }
 
 double StatAccumulator::Mean() const {
-  if (values_.empty()) return 0.0;
-  return sum_ / static_cast<double>(values_.size());
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
 }
 
 double StatAccumulator::Min() const {
@@ -27,7 +33,10 @@ double StatAccumulator::Max() const {
 
 double StatAccumulator::StdDev() const {
   if (values_.size() < 2) return 0.0;
-  const double mean = Mean();
+  // Mean of the retained sample (== Mean() when unwindowed).
+  double mean = 0.0;
+  for (double v : values_) mean += v;
+  mean /= static_cast<double>(values_.size());
   double ss = 0.0;
   for (double v : values_) ss += (v - mean) * (v - mean);
   return std::sqrt(ss / static_cast<double>(values_.size() - 1));
@@ -48,6 +57,8 @@ double StatAccumulator::Percentile(double p) const {
 
 void StatAccumulator::Reset() {
   values_.clear();
+  next_ = 0;
+  count_ = 0;
   sum_ = 0.0;
 }
 

@@ -12,27 +12,38 @@
 namespace xsum {
 
 /// \brief Accumulates observations; reports mean/min/max/stddev/percentiles.
+///
+/// With a \p window, only the most recent `window` observations are
+/// retained (ring buffer) — the mode long-running consumers (the summary
+/// service's latency tracking) use so memory stays bounded. Count, Sum,
+/// and Mean always cover the full history; the sample statistics
+/// (Min/Max/StdDev/Percentile) cover the retained window.
 class StatAccumulator {
  public:
+  /// \p window = 0 retains every observation; \p window > 0 retains only
+  /// the most recent `window` of them for the sample statistics.
+  explicit StatAccumulator(size_t window = 0) : window_(window) {}
+
   /// Adds one observation.
   void Add(double value);
 
-  /// Number of observations.
-  size_t count() const { return values_.size(); }
+  /// Number of observations ever added.
+  size_t count() const { return count_; }
   /// True iff no observations have been added.
-  bool empty() const { return values_.empty(); }
+  bool empty() const { return count_ == 0; }
 
-  /// Arithmetic mean (0 when empty).
+  /// Arithmetic mean over all observations (0 when empty).
   double Mean() const;
-  /// Minimum (0 when empty).
+  /// Minimum of the retained sample (0 when empty).
   double Min() const;
-  /// Maximum (0 when empty).
+  /// Maximum of the retained sample (0 when empty).
   double Max() const;
   /// Sum of all observations.
   double Sum() const { return sum_; }
-  /// Sample standard deviation (0 when count < 2).
+  /// Sample standard deviation of the retained sample (0 when count < 2).
   double StdDev() const;
-  /// Percentile in [0,100] by nearest-rank on the sorted sample (0 if empty).
+  /// Percentile in [0,100] over the sorted retained sample, linearly
+  /// interpolated between adjacent ranks (0 if empty).
   double Percentile(double p) const;
   /// Median, i.e. Percentile(50).
   double Median() const { return Percentile(50.0); }
@@ -41,7 +52,10 @@ class StatAccumulator {
   void Reset();
 
  private:
-  std::vector<double> values_;
+  std::vector<double> values_;  ///< all (window 0) or a ring of the last W
+  size_t window_ = 0;
+  size_t next_ = 0;     ///< ring write position once the window is full
+  size_t count_ = 0;    ///< observations ever added
   double sum_ = 0.0;
 };
 

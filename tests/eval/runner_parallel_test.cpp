@@ -113,5 +113,58 @@ TEST(RunnerParallelTest, WorkersFromEnvOverride) {
   unsetenv("XSUM_WORKERS");
 }
 
+TEST(RunnerParallelTest, NegativeWorkersWarnsAndKeepsDefault) {
+  setenv("XSUM_WORKERS", "-4", 1);
+  testing::internal::CaptureStderr();
+  const auto config = ExperimentConfig::FromEnv();
+  const std::string log = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(config.num_workers, 0u);  // the auto default, not a wrapped value
+  EXPECT_NE(log.find("XSUM_WORKERS"), std::string::npos);
+  EXPECT_NE(log.find("negative"), std::string::npos);
+  unsetenv("XSUM_WORKERS");
+}
+
+TEST(RunnerParallelTest, SummaryCacheDoesNotChangePanelResults) {
+  // The service-layer result cache answers repeated (method, unit, k)
+  // tasks; the series it produces must be bit-identical to the uncached
+  // path. Two panels of the same scenario repeat every summary, so the
+  // cached run must also report hits.
+  ExperimentConfig cached_config = TinyConfig(2);
+  cached_config.use_summary_cache = true;
+  ExperimentConfig uncached_config = TinyConfig(2);
+  uncached_config.use_summary_cache = false;
+  ExperimentRunner cached(cached_config);
+  ExperimentRunner uncached(uncached_config);
+  ASSERT_TRUE(cached.Init().ok());
+  ASSERT_TRUE(uncached.Init().ok());
+  const auto cached_data = cached.ComputeBaseline(rec::RecommenderKind::kPgpr);
+  const auto uncached_data =
+      uncached.ComputeBaseline(rec::RecommenderKind::kPgpr);
+  ASSERT_TRUE(cached_data.ok());
+  ASSERT_TRUE(uncached_data.ok());
+
+  for (const MetricKind metric :
+       {MetricKind::kComprehensibility, MetricKind::kDiversity,
+        MetricKind::kMemoryMb}) {
+    PanelSpec spec;
+    spec.scenario = core::Scenario::kUserCentric;
+    spec.metric = metric;
+    spec.ks = cached.config().ks;
+    spec.methods = StandardMethods("PGPR");
+    const auto with_cache = cached.RunPanel(*cached_data, spec);
+    const auto without_cache = uncached.RunPanel(*uncached_data, spec);
+    ASSERT_TRUE(with_cache.ok()) << with_cache.status();
+    ASSERT_TRUE(without_cache.ok()) << without_cache.status();
+    ASSERT_EQ(with_cache->size(), without_cache->size());
+    for (size_t row = 0; row < with_cache->size(); ++row) {
+      EXPECT_EQ((*with_cache)[row].values, (*without_cache)[row].values)
+          << "metric " << MetricKindToString(metric) << " row " << row;
+    }
+  }
+  // Three panels over identical units: the 2nd and 3rd runs are pure hits.
+  EXPECT_GT(cached.panel_cache_hits(), 0u);
+  EXPECT_EQ(uncached.panel_cache_hits(), 0u);
+}
+
 }  // namespace
 }  // namespace xsum::eval

@@ -1,0 +1,285 @@
+/// Property tests of the summary service front end: cached responses must
+/// be bit-identical to fresh `Summarize` calls across methods and
+/// scenarios, concurrent identical requests must coalesce into one
+/// computation, and a snapshot swap must never serve a stale entry.
+
+#include "service/service.h"
+
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/summarizer.h"
+#include "data/kg_builder.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "eval/runner.h"
+#include "service/snapshot_registry.h"
+
+namespace xsum::service {
+namespace {
+
+eval::ExperimentConfig TinyConfig() {
+  eval::ExperimentConfig config;
+  config.scale = 0.02;
+  config.users_per_gender = 4;
+  config.items_popular = 3;
+  config.items_unpopular = 3;
+  config.user_group_size = 4;
+  config.item_group_size = 3;
+  config.ks = {1, 3, 5};
+  return config;
+}
+
+/// Tasks covering all four paper scenarios, built from a real baseline.
+std::vector<core::SummaryTask> ScenarioTasks(
+    const eval::ExperimentRunner& runner, const eval::BaselineData& data) {
+  std::vector<core::SummaryTask> tasks;
+  for (int k : {1, 3, 5}) {  // overlapping k-prefixes of the same unit
+    tasks.push_back(
+        core::MakeUserCentricTask(runner.rec_graph(), data.users[0], k));
+  }
+  tasks.push_back(core::MakeItemCentricTask(
+      runner.rec_graph(), data.items[0].item, data.items[0].audience, 3));
+  tasks.push_back(
+      core::MakeUserGroupTask(runner.rec_graph(), data.user_groups[0], 3));
+  tasks.push_back(
+      core::MakeItemGroupTask(runner.rec_graph(), data.item_groups[0], 3));
+  return tasks;
+}
+
+std::vector<core::SummarizerOptions> MethodLineup() {
+  std::vector<core::SummarizerOptions> methods;
+  core::SummarizerOptions baseline;
+  baseline.method = core::SummaryMethod::kBaseline;
+  methods.push_back(baseline);
+  for (auto [variant, lambda] :
+       {std::pair{core::SteinerOptions::Variant::kKmb, 0.01},
+        std::pair{core::SteinerOptions::Variant::kMehlhorn, 1.0}}) {
+    core::SummarizerOptions st;
+    st.method = core::SummaryMethod::kSteiner;
+    st.lambda = lambda;
+    st.steiner.variant = variant;
+    methods.push_back(st);
+  }
+  core::SummarizerOptions pcst;
+  pcst.method = core::SummaryMethod::kPcst;
+  methods.push_back(pcst);
+  return methods;
+}
+
+void ExpectIdentical(const core::Summary& a, const core::Summary& b) {
+  EXPECT_EQ(a.subgraph.nodes(), b.subgraph.nodes());
+  EXPECT_EQ(a.subgraph.edges(), b.subgraph.edges());
+  EXPECT_EQ(a.unreached_terminals, b.unreached_terminals);
+  EXPECT_EQ(a.terminals, b.terminals);
+  EXPECT_EQ(a.anchors, b.anchors);
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_EQ(a.scenario, b.scenario);
+}
+
+TEST(SummaryServiceTest, CachedBitIdenticalToFreshAcrossMethodsAndScenarios) {
+  eval::ExperimentRunner runner(TinyConfig());
+  ASSERT_TRUE(runner.Init().ok());
+  const auto data = runner.ComputeBaseline(rec::RecommenderKind::kPgpr);
+  ASSERT_TRUE(data.ok()) << data.status();
+  ASSERT_FALSE(data->users.empty());
+  ASSERT_FALSE(data->items.empty());
+  ASSERT_FALSE(data->user_groups.empty());
+  ASSERT_FALSE(data->item_groups.empty());
+
+  GraphSnapshotRegistry registry;
+  registry.Publish(GraphSnapshotRegistry::Alias(runner.rec_graph()));
+  ServiceOptions options;
+  options.num_workers = 2;
+  SummaryService service(&registry, options);
+
+  uint64_t distinct = 0;
+  for (const core::SummaryTask& task : ScenarioTasks(runner, *data)) {
+    for (const core::SummarizerOptions& method : MethodLineup()) {
+      const auto first = service.Summarize(task, method);
+      ASSERT_TRUE(first.ok()) << first.status();
+      ++distinct;
+
+      // Property: the cached value is bit-identical to a fresh
+      // single-shot Summarize on the same graph.
+      const auto fresh = core::Summarize(runner.rec_graph(), task, method);
+      ASSERT_TRUE(fresh.ok()) << fresh.status();
+      ExpectIdentical(*fresh, **first);
+
+      // The repeat is served from the cache: same shared object, no new
+      // engine run.
+      const auto repeat = service.Summarize(task, method);
+      ASSERT_TRUE(repeat.ok()) << repeat.status();
+      EXPECT_EQ(first->get(), repeat->get());
+    }
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, 2 * distinct);
+  EXPECT_EQ(stats.computed, distinct);
+  EXPECT_EQ(stats.cache.hits, distinct);
+  EXPECT_EQ(stats.cache.insertions, distinct);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GT(stats.qps, 0.0);
+}
+
+TEST(SummaryServiceTest, SnapshotSwapNeverServesStaleEntries) {
+  // Graphs A and B share topology (same dataset) but carry different edge
+  // weights, so a stale ST answer would be observably wrong.
+  data::Dataset dataset =
+      data::MakeSyntheticDataset(data::Ml1mConfig(0.02, 11));
+  data::WeightParams params_b;
+  params_b.beta1 = 0.25;
+  params_b.beta2 = 1.0;
+  params_b.t0 = dataset.t0;
+  auto graph_a = std::make_shared<const data::RecGraph>(
+      std::move(data::BuildRecGraph(dataset)).ValueOrDie());
+  auto graph_b = std::make_shared<const data::RecGraph>(
+      std::move(data::BuildRecGraph(dataset, params_b)).ValueOrDie());
+
+  core::SummaryTask task;
+  task.terminals = {graph_a->UserNode(0), graph_a->ItemNode(0),
+                    graph_a->ItemNode(1)};
+  task.anchors = {task.terminals.front()};
+  task.s_size = 2;
+  core::SummarizerOptions st;
+  st.method = core::SummaryMethod::kSteiner;
+
+  GraphSnapshotRegistry registry;
+  SummaryService service(&registry, ServiceOptions());
+
+  ASSERT_EQ(registry.Publish(graph_a), 1u);
+  const auto on_a = service.Summarize(task, st);
+  ASSERT_TRUE(on_a.ok()) << on_a.status();
+  const auto fresh_a = core::Summarize(*graph_a, task, st);
+  ASSERT_TRUE(fresh_a.ok());
+  ExpectIdentical(*fresh_a, **on_a);
+
+  ASSERT_EQ(registry.Publish(graph_b), 2u);
+  const auto on_b = service.Summarize(task, st);
+  ASSERT_TRUE(on_b.ok()) << on_b.status();
+  const auto fresh_b = core::Summarize(*graph_b, task, st);
+  ASSERT_TRUE(fresh_b.ok());
+  // The version-2 request was recomputed on graph B — not served from the
+  // version-1 entry (its key can no longer match).
+  ExpectIdentical(*fresh_b, **on_b);
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.computed, 2u);
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.snapshot_swaps, 1u);
+  EXPECT_EQ(stats.snapshot_version, 2u);
+
+  // After the swap, the version-2 entry serves hits as usual.
+  const auto repeat_b = service.Summarize(task, st);
+  ASSERT_TRUE(repeat_b.ok());
+  EXPECT_EQ(on_b->get(), repeat_b->get());
+}
+
+TEST(SummaryServiceTest, SingleFlightCoalescesConcurrentIdenticalRequests) {
+  eval::ExperimentRunner runner(TinyConfig());
+  ASSERT_TRUE(runner.Init().ok());
+  const auto data = runner.ComputeBaseline(rec::RecommenderKind::kPgpr);
+  ASSERT_TRUE(data.ok());
+  const core::SummaryTask task =
+      core::MakeUserCentricTask(runner.rec_graph(), data->users[0], 5);
+  core::SummarizerOptions st;
+  st.method = core::SummaryMethod::kSteiner;
+
+  GraphSnapshotRegistry registry;
+  registry.Publish(GraphSnapshotRegistry::Alias(runner.rec_graph()));
+  ServiceOptions options;
+  options.num_workers = 2;
+  SummaryService service(&registry, options);
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const core::Summary>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto result = service.Summarize(task, st);
+      ASSERT_TRUE(result.ok()) << result.status();
+      results[t] = *result;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Exactly one engine run; everyone shares its bits (hit or coalesced).
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.computed, 1u);
+  EXPECT_EQ(stats.cache.insertions, 1u);
+  EXPECT_EQ(stats.cache.hits + stats.coalesced,
+            static_cast<uint64_t>(kThreads - 1));
+  for (const auto& result : results) {
+    ASSERT_NE(result, nullptr);
+    ExpectIdentical(*results[0], *result);
+  }
+}
+
+TEST(SummaryServiceTest, CacheDisabledAlwaysComputes) {
+  eval::ExperimentRunner runner(TinyConfig());
+  ASSERT_TRUE(runner.Init().ok());
+  const auto data = runner.ComputeBaseline(rec::RecommenderKind::kPgpr);
+  ASSERT_TRUE(data.ok());
+  const core::SummaryTask task =
+      core::MakeUserCentricTask(runner.rec_graph(), data->users[0], 3);
+  core::SummarizerOptions st;
+  st.method = core::SummaryMethod::kSteiner;
+
+  GraphSnapshotRegistry registry;
+  registry.Publish(GraphSnapshotRegistry::Alias(runner.rec_graph()));
+  ServiceOptions options;
+  options.enable_cache = false;
+  SummaryService service(&registry, options);
+
+  const auto first = service.Summarize(task, st);
+  const auto second = service.Summarize(task, st);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ExpectIdentical(**first, **second);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.computed, 2u);
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.insertions, 0u);
+}
+
+TEST(SummaryServiceTest, ErrorsPropagateAndAreNotCached) {
+  eval::ExperimentRunner runner(TinyConfig());
+  ASSERT_TRUE(runner.Init().ok());
+  core::SummaryTask bad;
+  bad.terminals = {static_cast<graph::NodeId>(
+      runner.rec_graph().graph().num_nodes() + 7)};
+  core::SummarizerOptions pcst;
+  pcst.method = core::SummaryMethod::kPcst;
+
+  GraphSnapshotRegistry registry;
+  registry.Publish(GraphSnapshotRegistry::Alias(runner.rec_graph()));
+  SummaryService service(&registry, ServiceOptions());
+
+  const auto first = service.Summarize(bad, pcst);
+  const auto second = service.Summarize(bad, pcst);
+  EXPECT_FALSE(first.ok());
+  EXPECT_FALSE(second.ok());
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.errors, 2u);
+  EXPECT_EQ(stats.computed, 2u);  // the failure was not cached
+  EXPECT_EQ(stats.cache.insertions, 0u);
+}
+
+TEST(SummaryServiceTest, NoPublishedSnapshotFailsPrecondition) {
+  GraphSnapshotRegistry registry;
+  SummaryService service(&registry, ServiceOptions());
+  core::SummaryTask task;
+  task.terminals = {0};
+  const auto result = service.Summarize(task, core::SummarizerOptions());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace xsum::service

@@ -58,6 +58,25 @@ TEST(StatAccumulatorTest, ResetClears) {
   EXPECT_EQ(acc.Sum(), 0.0);
 }
 
+TEST(StatAccumulatorTest, WindowBoundsRetainedSample) {
+  StatAccumulator acc(/*window=*/4);
+  for (int i = 1; i <= 100; ++i) acc.Add(i);
+  // Full-history statistics are unaffected by the window.
+  EXPECT_EQ(acc.count(), 100u);
+  EXPECT_DOUBLE_EQ(acc.Sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 50.5);
+  // Sample statistics cover only the last 4 observations (97..100).
+  EXPECT_DOUBLE_EQ(acc.Min(), 97.0);
+  EXPECT_DOUBLE_EQ(acc.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(0), 97.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(100), 100.0);
+  acc.Reset();
+  EXPECT_TRUE(acc.empty());
+  acc.Add(7.0);  // ring restarts cleanly after Reset
+  EXPECT_DOUBLE_EQ(acc.Max(), 7.0);
+  EXPECT_EQ(acc.count(), 1u);
+}
+
 TEST(StatAccumulatorTest, SingleValueStdDevZero) {
   StatAccumulator acc;
   acc.Add(3.0);
@@ -181,6 +200,58 @@ TEST(EnvTest, InvalidFallsBack) {
   setenv("XSUM_TEST_VAR", "not-a-number", 1);
   EXPECT_DOUBLE_EQ(GetEnvDouble("XSUM_TEST_VAR", 9.0), 9.0);
   EXPECT_EQ(GetEnvInt("XSUM_TEST_VAR", 8), 8);
+  unsetenv("XSUM_TEST_VAR");
+}
+
+TEST(EnvTest, GarbageWarnsAndFallsBack) {
+  // A partial numeric prefix must not silently parse ("12abc" != 12).
+  setenv("XSUM_TEST_VAR", "12abc", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(GetEnvInt("XSUM_TEST_VAR", 8), 8);
+  std::string log = testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("XSUM_TEST_VAR"), std::string::npos);
+  EXPECT_NE(log.find("not a valid"), std::string::npos);
+
+  setenv("XSUM_TEST_VAR", "3.5x", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_DOUBLE_EQ(GetEnvDouble("XSUM_TEST_VAR", 9.0), 9.0);
+  log = testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("not a valid"), std::string::npos);
+  unsetenv("XSUM_TEST_VAR");
+}
+
+TEST(EnvTest, OutOfRangeWarnsAndFallsBack) {
+  // Saturating parses (strtoll/strtod ERANGE) are invalid, not silently
+  // clamped to LLONG_MAX / inf.
+  setenv("XSUM_TEST_VAR", "99999999999999999999999", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(GetEnvInt("XSUM_TEST_VAR", 8), 8);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("not a valid"),
+            std::string::npos);
+  setenv("XSUM_TEST_VAR", "1e999", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_DOUBLE_EQ(GetEnvDouble("XSUM_TEST_VAR", 9.0), 9.0);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("not a valid"),
+            std::string::npos);
+  unsetenv("XSUM_TEST_VAR");
+}
+
+TEST(EnvTest, TrailingWhitespaceIsAccepted) {
+  setenv("XSUM_TEST_VAR", "42 ", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(GetEnvInt("XSUM_TEST_VAR", 0), 42);
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+  unsetenv("XSUM_TEST_VAR");
+}
+
+TEST(EnvTest, NonNegativeRejectsNegativeWithWarning) {
+  setenv("XSUM_TEST_VAR", "-3", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(GetEnvNonNegativeInt("XSUM_TEST_VAR", 5), 5);
+  const std::string log = testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("negative"), std::string::npos);
+  setenv("XSUM_TEST_VAR", "3", 1);
+  EXPECT_EQ(GetEnvNonNegativeInt("XSUM_TEST_VAR", 5), 3);
   unsetenv("XSUM_TEST_VAR");
 }
 
