@@ -5,23 +5,31 @@
 /// Complements the paper-shaped tables of bench_fig09/10/11 with per-op
 /// timings.
 ///
-/// Each search primitive comes in two flavours:
-///  - the plain name is the single-shot path (a fresh O(|V|) workspace
-///    allocated and zero-filled per query — what the seed implementation
-///    always paid), and
-///  - the `Reuse` suffix runs the same queries against one persistent
-///    `SearchWorkspace` / batch-engine context (the steady state of
-///    `core::BatchSummarizer`), which epoch-resets in O(1).
-/// Comparing the pairs reports the old-vs-new throughput of repeated
-/// queries; the reuse rows are the numbers the batch engine serves at.
+/// Each search primitive comes in flavours:
+///  - the plain name is the single-shot path (a fresh O(|V|) workspace and
+///    a throwaway cost view per query — what a cold caller pays),
+///  - the `SeedRef` suffix is a verbatim transcription of the *seed*
+///    algorithm (commit "v0": per-call allocation, binary heap with
+///    duplicate entries, unordered containers, per-relaxation cost
+///    gathers), and
+///  - the `CostView` suffix runs the same queries against one persistent
+///    `SearchWorkspace` and a prebuilt shared `graph::CostView` (the
+///    steady state of `core::BatchSummarizer` / the summary service).
+/// Comparing SeedRef vs CostView rows reports the old-vs-new throughput of
+/// repeated queries; the `BM_PcstGrowthFrontier` pair additionally splits
+/// the indexed-heap and Dial-bucket frontiers of the PCST growth
+/// (DESIGN.md §4). The SeedRef/CostView/Frontier rows emit `XSUM_JSON`
+/// perf records for cross-commit trend tracking.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "bench_common.h"
 #include "core/batch.h"
 #include "core/cost_transform.h"
 #include "core/pcst.h"
@@ -29,12 +37,14 @@
 #include "core/weight_adjust.h"
 #include "data/kg_builder.h"
 #include "data/synthetic.h"
+#include "graph/cost_view.h"
 #include "graph/dijkstra.h"
 #include "graph/mst.h"
 #include "graph/search_workspace.h"
 #include "graph/subgraph.h"
 #include "util/env.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -297,6 +307,47 @@ const data::RecGraph& FixtureGraph() {
   return *rg;
 }
 
+/// Shared prebuilt cost views over the fixture graph (the steady state the
+/// batch engine and service serve from).
+const graph::CostView& FixtureCostView() {
+  static const graph::CostView* view = [] {
+    auto* v = new graph::CostView();
+    v->Assign(FixtureGraph().graph(),
+              core::WeightsToCosts(FixtureGraph().base_weights()));
+    return v;
+  }();
+  return *view;
+}
+
+const graph::CostView& FixtureUnitView() {
+  static const graph::CostView* view = [] {
+    auto* v = new graph::CostView();
+    v->AssignUnit(FixtureGraph().graph());
+    return v;
+  }();
+  return *view;
+}
+
+/// Appends one XSUM_JSON record for a finished google-benchmark run (mean
+/// wall per iteration over the whole timing loop). No-op when XSUM_JSON is
+/// unset; repeated runs of one row are averaged by bench/compare_perf.py.
+void EmitMicroPerf(const benchmark::State& state, const std::string& method,
+                   size_t t, double loop_ms) {
+  // google-benchmark invokes each row several times while calibrating the
+  // iteration count (starting at 1 iteration); for fast rows those cold,
+  // short runs would skew the equal-weight per-key mean compare_perf.py
+  // computes, so they are dropped. Slow rows legitimately run few
+  // iterations — a run that spent real wall time is kept regardless.
+  if (state.iterations() < 32 && loop_ms < 10.0) return;
+  bench::PerfRecord record;
+  record.bench = "micro_core";
+  record.method = method;
+  record.n = FixtureGraph().graph().num_nodes();
+  record.t = t;
+  record.wall_ms = loop_ms / static_cast<double>(state.iterations());
+  bench::EmitPerfJson(record);
+}
+
 std::vector<graph::NodeId> PickTerminals(const data::RecGraph& rg, size_t t,
                                          uint64_t seed) {
   Rng rng(seed);
@@ -328,31 +379,37 @@ void BM_DijkstraSeedRef(benchmark::State& state) {
   const auto& rg = FixtureGraph();
   const auto costs = core::WeightsToCosts(rg.base_weights());
   Rng rng(7);
+  WallTimer timer;
+  timer.Start();
   for (auto _ : state) {
     const auto src =
         rg.UserNode(static_cast<uint32_t>(rng.Uniform(rg.num_users())));
     benchmark::DoNotOptimize(seed_ref::Dijkstra(rg.graph(), costs, src, {}));
   }
+  EmitMicroPerf(state, "DijkstraSeedRef", 0, timer.ElapsedMillis());
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(rg.graph().num_edges()));
 }
 BENCHMARK(BM_DijkstraSeedRef);
 
-void BM_DijkstraReuse(benchmark::State& state) {
+void BM_DijkstraCostView(benchmark::State& state) {
   const auto& rg = FixtureGraph();
-  const auto costs = core::WeightsToCosts(rg.base_weights());
+  const graph::CostView& view = FixtureCostView();
   Rng rng(7);
   graph::SearchWorkspace ws;
+  WallTimer timer;
+  timer.Start();
   for (auto _ : state) {
     const auto src =
         rg.UserNode(static_cast<uint32_t>(rng.Uniform(rg.num_users())));
-    graph::DijkstraInto(rg.graph(), costs, src, {}, ws);
+    graph::DijkstraInto(view, src, {}, ws);
     benchmark::DoNotOptimize(ws);
   }
+  EmitMicroPerf(state, "DijkstraCostView", 0, timer.ElapsedMillis());
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(rg.graph().num_edges()));
 }
-BENCHMARK(BM_DijkstraReuse);
+BENCHMARK(BM_DijkstraCostView);
 
 void BM_MultiSourceDijkstra(benchmark::State& state) {
   const auto& rg = FixtureGraph();
@@ -392,21 +449,24 @@ void BM_SteinerKmbSeedRef(benchmark::State& state) {
 }
 BENCHMARK(BM_SteinerKmbSeedRef)->Arg(11)->Arg(51);
 
-void BM_SteinerKmbReuse(benchmark::State& state) {
+void BM_SteinerKmbCostView(benchmark::State& state) {
   const auto& rg = FixtureGraph();
-  const auto costs = core::WeightsToCosts(rg.base_weights());
+  const graph::CostView& view = FixtureCostView();
   const auto terminals =
       PickTerminals(rg, static_cast<size_t>(state.range(0)), 13);
   core::SteinerOptions options;
   options.variant = core::SteinerOptions::Variant::kKmb;
   graph::SearchWorkspace ws;
+  WallTimer timer;
+  timer.Start();
   for (auto _ : state) {
-    auto result =
-        core::SteinerTree(rg.graph(), costs, terminals, options, &ws);
+    auto result = core::SteinerTree(view, terminals, options, &ws);
     benchmark::DoNotOptimize(result);
   }
+  EmitMicroPerf(state, "SteinerKmbCostView", terminals.size(),
+                timer.ElapsedMillis());
 }
-BENCHMARK(BM_SteinerKmbReuse)->Arg(11)->Arg(51);
+BENCHMARK(BM_SteinerKmbCostView)->Arg(11)->Arg(51);
 
 void BM_SteinerMehlhorn(benchmark::State& state) {
   const auto& rg = FixtureGraph();
@@ -422,21 +482,24 @@ void BM_SteinerMehlhorn(benchmark::State& state) {
 }
 BENCHMARK(BM_SteinerMehlhorn)->Arg(11)->Arg(51)->Arg(201);
 
-void BM_SteinerMehlhornReuse(benchmark::State& state) {
+void BM_SteinerMehlhornCostView(benchmark::State& state) {
   const auto& rg = FixtureGraph();
-  const auto costs = core::WeightsToCosts(rg.base_weights());
+  const graph::CostView& view = FixtureCostView();
   const auto terminals =
       PickTerminals(rg, static_cast<size_t>(state.range(0)), 13);
   core::SteinerOptions options;
   options.variant = core::SteinerOptions::Variant::kMehlhorn;
   graph::SearchWorkspace ws;
+  WallTimer timer;
+  timer.Start();
   for (auto _ : state) {
-    auto result =
-        core::SteinerTree(rg.graph(), costs, terminals, options, &ws);
+    auto result = core::SteinerTree(view, terminals, options, &ws);
     benchmark::DoNotOptimize(result);
   }
+  EmitMicroPerf(state, "SteinerMehlhornCostView", terminals.size(),
+                timer.ElapsedMillis());
 }
-BENCHMARK(BM_SteinerMehlhornReuse)->Arg(11)->Arg(51)->Arg(201);
+BENCHMARK(BM_SteinerMehlhornCostView)->Arg(11)->Arg(51)->Arg(201);
 
 void BM_PcstGrowth(benchmark::State& state) {
   const auto& rg = FixtureGraph();
@@ -458,25 +521,64 @@ void BM_PcstGrowthSeedRef(benchmark::State& state) {
   std::vector<graph::NodeId> seeds = terminals;
   std::sort(seeds.begin(), seeds.end());
   seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  WallTimer timer;
+  timer.Start();
   for (auto _ : state) {
     auto tree = seed_ref::PcstGrowth(rg.graph(), seeds);
     benchmark::DoNotOptimize(tree);
   }
+  EmitMicroPerf(state, "PcstGrowthSeedRef", seeds.size(),
+                timer.ElapsedMillis());
 }
 BENCHMARK(BM_PcstGrowthSeedRef)->Arg(11)->Arg(51)->Arg(201);
 
-void BM_PcstGrowthReuse(benchmark::State& state) {
+void BM_PcstGrowthCostView(benchmark::State& state) {
   const auto& rg = FixtureGraph();
+  const graph::CostView& view = FixtureUnitView();
   const auto terminals =
       PickTerminals(rg, static_cast<size_t>(state.range(0)), 17);
   graph::SearchWorkspace ws;
+  WallTimer timer;
+  timer.Start();
   for (auto _ : state) {
     auto result =
-        core::PcstSummary(rg.graph(), rg.base_weights(), terminals, {}, &ws);
+        core::PcstSummary(view, rg.base_weights(), terminals, {}, &ws);
     benchmark::DoNotOptimize(result);
   }
+  EmitMicroPerf(state, "PcstGrowthCostView", terminals.size(),
+                timer.ElapsedMillis());
 }
-BENCHMARK(BM_PcstGrowthReuse)->Arg(11)->Arg(51)->Arg(201);
+BENCHMARK(BM_PcstGrowthCostView)->Arg(11)->Arg(51)->Arg(201);
+
+/// Heap vs Dial-bucket frontier under the moat-discretization slack (the
+/// tie-free regime where the automatic selection admits the bucket; both
+/// rows force their frontier so the pair isolates the queue). Results are
+/// bit-identical between the two (tests/core/cost_view_equivalence_test).
+void BM_PcstGrowthFrontier(benchmark::State& state) {
+  const auto& rg = FixtureGraph();
+  const graph::CostView& view = FixtureUnitView();
+  const auto terminals =
+      PickTerminals(rg, static_cast<size_t>(state.range(0)), 17);
+  core::PcstOptions options;
+  options.growth_slack = 0.5;
+  const bool bucket = state.range(1) != 0;
+  options.frontier = bucket ? core::PcstOptions::Frontier::kBucket
+                            : core::PcstOptions::Frontier::kHeap;
+  graph::SearchWorkspace ws;
+  WallTimer timer;
+  timer.Start();
+  for (auto _ : state) {
+    auto result =
+        core::PcstSummary(view, rg.base_weights(), terminals, options, &ws);
+    benchmark::DoNotOptimize(result);
+  }
+  EmitMicroPerf(state,
+                bucket ? "PcstGrowthBucketFrontier" : "PcstGrowthHeapFrontier",
+                terminals.size(), timer.ElapsedMillis());
+}
+BENCHMARK(BM_PcstGrowthFrontier)
+    ->ArgsProduct({{11, 51, 201}, {0, 1}})
+    ->ArgNames({"t", "bucket"});
 
 /// Builds a bare summarization task over random terminals (no input paths:
 /// Eq. (1) degenerates to the base weights, isolating engine overhead).

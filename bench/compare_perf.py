@@ -66,6 +66,14 @@ def main():
               f"{args.old if not old else args.new}", file=sys.stderr)
         return 2
 
+    overlap = set(old) & set(new)
+    if not overlap:
+        # Tolerated (bench suites can be renamed wholesale), but called out
+        # loudly: a gate with no common rows verifies nothing.
+        print("warning: no overlapping keys between the two files — "
+              "every row is one-sided and the gate is vacuous",
+              file=sys.stderr)
+
     regressions = []
     width = max(len("/".join(k[:2])) for k in (set(old) | set(new)))
     for key in sorted(set(old) | set(new)):

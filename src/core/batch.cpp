@@ -17,20 +17,20 @@ double ScaleWeight(double w, CostMode mode) {
 }
 
 /// Cached equivalent of `WeightsToCostsInto(ctx.adjusted_weights, mode,
-/// &ctx.costs)`: identical output bits, but the O(|E|) scale pass over the
-/// base weights runs once per (graph, mode) instead of once per task —
-/// only the Eq.-(1)-touched edges are re-scaled. The cache is validated
-/// with a bitwise compare of the base weights, so a context reused across
-/// graphs (of any sizes) transparently rebuilds.
+/// out)`: identical output bits, but the O(|E|) scale pass over the base
+/// weights runs once per (graph, mode) instead of once per task — only the
+/// Eq.-(1)-touched edges are re-scaled. The cache is validated with a
+/// bitwise compare of the base weights, so a context reused across graphs
+/// (of any sizes) transparently rebuilds.
 void CostsFromAdjusted(const std::vector<double>& base_weights, CostMode mode,
-                       SummarizeContext& ctx) {
+                       SummarizeContext& ctx, std::vector<double>* out) {
   const std::vector<double>& adjusted = ctx.adjusted_weights;
   if (mode == CostMode::kUnit) {
-    ctx.costs.assign(adjusted.size(), 1.0);
+    out->assign(adjusted.size(), 1.0);
     return;
   }
   if (adjusted.empty()) {
-    ctx.costs.clear();
+    out->clear();
     return;
   }
   if (ctx.cost_cache_mode != static_cast<int>(mode) ||
@@ -50,16 +50,48 @@ void CostsFromAdjusted(const std::vector<double>& base_weights, CostMode mode,
   const double w_max = ScaleWeight(*max_it, mode);
   const double span = w_max - w_min;
   if (span <= 0.0) {
-    ctx.costs.assign(adjusted.size(), 1.0);
+    out->assign(adjusted.size(), 1.0);
     return;
   }
-  ctx.costs.resize(adjusted.size());
+  out->resize(adjusted.size());
   for (size_t e = 0; e < adjusted.size(); ++e) {
-    ctx.costs[e] = 1.0 + (w_max - ctx.cost_cache_scaled[e]) / span;
+    (*out)[e] = 1.0 + (w_max - ctx.cost_cache_scaled[e]) / span;
   }
   for (graph::EdgeId e : ctx.touched_edges) {
-    ctx.costs[e] = 1.0 + (w_max - ScaleWeight(adjusted[e], mode)) / span;
+    (*out)[e] = 1.0 + (w_max - ScaleWeight(adjusted[e], mode)) / span;
   }
+}
+
+/// Resolves the cost view an ST task runs under. Zero-overlay tasks (no
+/// input path touched an edge — then `adjusted_weights` is bitwise equal
+/// to the base weights) and all `kUnit` tasks read the shared prebuilt
+/// view; overlay tasks rebuild the context-local view in place. Either
+/// way the values are bit-identical to `WeightsToCostsInto` over the
+/// adjusted weights.
+const graph::CostView& SteinerCostView(const data::RecGraph& rec_graph,
+                                       CostMode mode, SummarizeContext& ctx,
+                                       const SharedCostViews* shared) {
+  const bool zero_overlay = ctx.touched_edges.empty();
+  if (shared != nullptr && (mode == CostMode::kUnit || zero_overlay)) {
+    return shared->ForMode(mode);
+  }
+  std::vector<double>& out = ctx.cost_view.StartAssign(rec_graph.graph());
+  CostsFromAdjusted(rec_graph.base_weights(), mode, ctx, &out);
+  ctx.cost_view.Commit();
+  return ctx.cost_view;
+}
+
+/// Resolves the cost view a PCST task runs under: the shared all-ones view
+/// when available, the context-local one otherwise. The ablation path that
+/// costs edges by their raw weights goes through the compat `PcstSummary`
+/// overload instead (it is exercised once per ablation run, not on the
+/// serving path).
+const graph::CostView& PcstCostView(const data::RecGraph& rec_graph,
+                                    SummarizeContext& ctx,
+                                    const SharedCostViews* shared) {
+  if (shared != nullptr) return shared->unit();
+  ctx.unit_view.AssignUnit(rec_graph.graph());
+  return ctx.unit_view;
 }
 
 }  // namespace
@@ -67,7 +99,8 @@ void CostsFromAdjusted(const std::vector<double>& base_weights, CostMode mode,
 Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
                               const SummaryTask& task,
                               const SummarizerOptions& options,
-                              SummarizeContext& ctx) {
+                              SummarizeContext& ctx,
+                              const SharedCostViews* shared_views) {
   const graph::KnowledgeGraph& g = rec_graph.graph();
   Summary summary;
   summary.method = options.method;
@@ -75,6 +108,11 @@ Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
   summary.input_paths = task.paths;
   summary.anchors = task.anchors;
   summary.terminals = task.terminals;
+
+  if (shared_views != nullptr && !shared_views->Matches(rec_graph)) {
+    return Status::InvalidArgument(
+        "SummarizeWith: shared cost views built for a different graph");
+  }
 
   WallTimer timer;
   timer.Start();
@@ -87,30 +125,38 @@ Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
     }
     case SummaryMethod::kSteiner: {
       // Eq. (1) weight adjustment, then the max-weight -> min-cost
-      // transform, then Algorithm 1 — all into reused context buffers.
+      // transform into a cost view (shared when the overlay is a no-op),
+      // then Algorithm 1 — all in reused or prebuilt storage.
       AdjustWeightsInto(g, rec_graph.base_weights(), task.paths,
                         options.lambda, task.s_size, &ctx.edge_counts,
                         &ctx.touched_edges, &ctx.adjusted_weights);
-      CostsFromAdjusted(rec_graph.base_weights(), options.cost_mode, ctx);
+      const graph::CostView& costs =
+          SteinerCostView(rec_graph, options.cost_mode, ctx, shared_views);
       XSUM_ASSIGN_OR_RETURN(
           SteinerResult st,
-          SteinerTree(g, ctx.costs, task.terminals, options.steiner,
+          SteinerTree(costs, task.terminals, options.steiner,
                       &ctx.workspace));
       summary.subgraph = std::move(st.tree);
       summary.unreached_terminals = std::move(st.unreached_terminals);
-      // The adjusted-weight and cost vectors are part of the ST working
-      // set (two doubles per edge).
-      summary.memory_bytes =
-          st.workspace_bytes + 2 * g.num_edges() * sizeof(double);
+      // The adjusted-weight vector and the cost view are part of the ST
+      // working set.
+      summary.memory_bytes = st.workspace_bytes +
+                             g.num_edges() * sizeof(double) +
+                             graph::CostView::RequiredBytes(g);
       break;
     }
     case SummaryMethod::kPcst: {
-      // The paper's PCST configuration ignores edge weights (§V-A); the
-      // base weights are only consulted when ablation options enable them.
+      // The paper's PCST configuration ignores edge weights (§V-A): the
+      // all-ones cost view. The ablation that costs edges by raw weights
+      // derives its view in the compat overload.
       XSUM_ASSIGN_OR_RETURN(
           PcstResult pc,
-          PcstSummary(g, rec_graph.base_weights(), task.terminals,
-                      options.pcst, &ctx.workspace));
+          options.pcst.use_edge_weights
+              ? PcstSummary(g, rec_graph.base_weights(), task.terminals,
+                            options.pcst, &ctx.workspace)
+              : PcstSummary(PcstCostView(rec_graph, ctx, shared_views),
+                            rec_graph.base_weights(), task.terminals,
+                            options.pcst, &ctx.workspace));
       summary.subgraph = std::move(pc.tree);
       summary.unreached_terminals = std::move(pc.unreached_terminals);
       summary.memory_bytes = pc.workspace_bytes;
@@ -122,10 +168,15 @@ Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
 }
 
 BatchSummarizer::BatchSummarizer(const data::RecGraph& rec_graph,
-                                 size_t num_workers, size_t pool_workers)
+                                 size_t num_workers, size_t pool_workers,
+                                 std::shared_ptr<const SharedCostViews> views)
     : rec_graph_(rec_graph),
       pool_(std::min(pool_workers == 0 ? num_workers : pool_workers,
-                     std::max<size_t>(num_workers, 1))) {
+                     std::max<size_t>(num_workers, 1))),
+      views_(std::move(views)) {
+  if (views_ == nullptr || !views_->Matches(rec_graph_)) {
+    views_ = std::make_shared<SharedCostViews>(rec_graph_);
+  }
   const size_t contexts = std::max<size_t>(num_workers, 1);
   contexts_.reserve(contexts);
   for (size_t w = 0; w < contexts; ++w) {
@@ -141,7 +192,8 @@ Result<Summary> BatchSummarizer::Run(const SummaryTask& task,
 Result<Summary> BatchSummarizer::RunWith(size_t worker, const SummaryTask& task,
                                          const SummarizerOptions& options) {
   assert(worker < contexts_.size());
-  return SummarizeWith(rec_graph_, task, options, *contexts_[worker]);
+  return SummarizeWith(rec_graph_, task, options, *contexts_[worker],
+                       views_.get());
 }
 
 std::vector<Result<Summary>> BatchSummarizer::RunAll(

@@ -3,14 +3,15 @@
 /// zero steady-state allocation and optional parallelism.
 ///
 /// `Summarize` (summarizer.h) is a convenience wrapper that pays for a
-/// fresh O(|V|) search workspace and two O(|E|) weight buffers on every
+/// fresh O(|V|) search workspace and fresh O(|E|) cost views on every
 /// call. The batch engine hoists that state into a `SummarizeContext` that
 /// is epoch-reset between tasks, and `BatchSummarizer` owns one context per
-/// worker plus a thread pool, so a stream of tasks runs allocation-free
-/// and in parallel. Results are bit-identical to single-shot `Summarize`
-/// calls — both run the same code path; the workspace epochs only change
-/// *when* memory is recycled, never what a query observes. See DESIGN.md
-/// §2.
+/// worker plus a thread pool and the graph's shared base cost views
+/// (`SharedCostViews`), so a stream of tasks runs allocation-free and in
+/// parallel — zero-overlay tasks do not even rebuild costs. Results are
+/// bit-identical to single-shot `Summarize` calls — both run the same code
+/// path; the workspace epochs and view reuse only change *when* memory is
+/// recycled, never what a query observes. See DESIGN.md §2 and §4.
 
 #ifndef XSUM_CORE_BATCH_H_
 #define XSUM_CORE_BATCH_H_
@@ -19,7 +20,9 @@
 #include <memory>
 #include <vector>
 
+#include "core/cost_views.h"
 #include "core/summarizer.h"
+#include "graph/cost_view.h"
 #include "graph/search_workspace.h"
 #include "util/thread_pool.h"
 
@@ -27,19 +30,26 @@ namespace xsum::core {
 
 /// \brief Reusable per-worker scratch state for `SummarizeWith`.
 ///
-/// Holds the graph-search workspace plus the Eq. (1) weight-adjustment and
-/// cost-transform buffers. Reusable across tasks, methods, and graphs of
-/// different sizes (capacity grows monotonically). Not thread-safe: one
-/// context per worker.
+/// Holds the graph-search workspace plus the Eq. (1) weight-adjustment
+/// buffers and the task-local cost views. Reusable across tasks, methods,
+/// and graphs of different sizes (capacity grows monotonically). Not
+/// thread-safe: one context per worker.
 struct SummarizeContext {
   graph::SearchWorkspace workspace;
-  /// Eq. (1) output and the derived Steiner costs (each |E| doubles).
+  /// Eq. (1) output (|E| doubles).
   std::vector<double> adjusted_weights;
-  std::vector<double> costs;
   /// Edge-occurrence scratch for `AdjustWeightsInto` (all-zero between
   /// calls) and the list of edges it touched.
   std::vector<uint32_t> edge_counts;
   std::vector<graph::EdgeId> touched_edges;
+
+  /// Task-local cost view, rebuilt in place (capacity retained) for tasks
+  /// whose Eq. (1) overlay actually changes costs. Zero-overlay tasks
+  /// borrow a shared prebuilt view instead and never touch this.
+  graph::CostView cost_view;
+  /// All-ones view for PCST callers without shared views (rebuilt per
+  /// call; the engine path always has shared views and skips it).
+  graph::CostView unit_view;
 
   /// Cost-transform cache: the base weights Eq. (1) starts from change only
   /// when the graph changes, so their scaled images (the log1p pass of
@@ -53,28 +63,35 @@ struct SummarizeContext {
   /// Resident bytes of all retained buffers.
   size_t MemoryFootprintBytes() const {
     return workspace.MemoryFootprintBytes() +
-           (adjusted_weights.capacity() + costs.capacity() +
-            cost_cache_base.capacity() + cost_cache_scaled.capacity()) *
+           (adjusted_weights.capacity() + cost_cache_base.capacity() +
+            cost_cache_scaled.capacity()) *
                sizeof(double) +
+           cost_view.MemoryFootprintBytes() +
+           unit_view.MemoryFootprintBytes() +
            edge_counts.capacity() * sizeof(uint32_t) +
            touched_edges.capacity() * sizeof(graph::EdgeId);
   }
 };
 
 /// Runs the configured summarizer on \p task, borrowing all scratch state
-/// from \p ctx. `Summarize` == `SummarizeWith` on a throwaway context.
+/// from \p ctx. When \p shared_views (the prebuilt base views of
+/// `rec_graph`) is provided, zero-overlay tasks consume them directly;
+/// otherwise every cost view is derived per call. Both routes produce
+/// bit-identical summaries; `Summarize` == `SummarizeWith` on a throwaway
+/// context without shared views.
 Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
                               const SummaryTask& task,
                               const SummarizerOptions& options,
-                              SummarizeContext& ctx);
+                              SummarizeContext& ctx,
+                              const SharedCostViews* shared_views = nullptr);
 
 /// \brief Façade answering many summarization tasks over one graph.
 ///
-/// Owns `num_workers` contexts and a thread pool. `RunAll` fans a task
-/// batch across the workers and returns results in task order; `Run` /
-/// `RunWith` serve call sites that loop over tasks themselves (the
-/// evaluation runner drives its units through `RunWith`, one worker per
-/// pool thread).
+/// Owns `num_workers` contexts, a thread pool, and the graph's shared base
+/// cost views. `RunAll` fans a task batch across the workers and returns
+/// results in task order; `Run` / `RunWith` serve call sites that loop
+/// over tasks themselves (the evaluation runner drives its units through
+/// `RunWith`, one worker per pool thread).
 class BatchSummarizer {
  public:
   /// \p num_workers is the number of reusable contexts (the concurrency
@@ -82,12 +99,19 @@ class BatchSummarizer {
   /// `RunAll` fans over: 0 (default) matches `num_workers`; callers that
   /// drive concurrency from their own threads via `RunWith` (the summary
   /// service) pass 1 so no idle pool threads are spawned. Clamped to
-  /// [1, num_workers].
-  explicit BatchSummarizer(const data::RecGraph& rec_graph,
-                           size_t num_workers = 1, size_t pool_workers = 0);
+  /// [1, num_workers]. \p views lets the caller supply prebuilt base
+  /// views of `rec_graph` (a graph snapshot's); when absent or built for a
+  /// different graph, the engine builds its own.
+  explicit BatchSummarizer(
+      const data::RecGraph& rec_graph, size_t num_workers = 1,
+      size_t pool_workers = 0,
+      std::shared_ptr<const SharedCostViews> views = nullptr);
 
   size_t num_workers() const { return contexts_.size(); }
   ThreadPool& pool() { return pool_; }
+
+  /// The shared base cost views every worker consumes.
+  const SharedCostViews& views() const { return *views_; }
 
   /// Runs one task on the calling thread with worker 0's context.
   Result<Summary> Run(const SummaryTask& task, const SummarizerOptions& options);
@@ -109,6 +133,7 @@ class BatchSummarizer {
  private:
   const data::RecGraph& rec_graph_;
   ThreadPool pool_;
+  std::shared_ptr<const SharedCostViews> views_;
   std::vector<std::unique_ptr<SummarizeContext>> contexts_;
 };
 

@@ -1,0 +1,38 @@
+#include "core/cost_views.h"
+
+#include <cassert>
+
+namespace xsum::core {
+
+const graph::CostView& SharedCostViews::ForMode(CostMode mode) const {
+  const size_t idx = static_cast<size_t>(mode);
+  assert(idx < kNumModes);
+  std::call_once(built_[idx], [&] {
+    graph::CostView& view = views_[idx];
+    if (mode == CostMode::kUnit) {
+      view.AssignUnit(rec_graph_->graph());
+      return;
+    }
+    // Same arithmetic as the per-task transform on a zero-overlay task, so
+    // a summary computed against this view is bit-identical to one that
+    // rebuilt its costs (tests/core/cost_view_equivalence_test.cpp).
+    std::vector<double>& out = view.StartAssign(rec_graph_->graph());
+    WeightsToCostsInto(rec_graph_->base_weights(), mode, &out);
+    view.Commit();
+  });
+  built_mask_.fetch_or(uint32_t{1} << idx, std::memory_order_release);
+  return views_[idx];
+}
+
+size_t SharedCostViews::MemoryFootprintBytes() const {
+  const uint32_t mask = built_mask_.load(std::memory_order_acquire);
+  size_t bytes = 0;
+  for (size_t idx = 0; idx < kNumModes; ++idx) {
+    if (mask & (uint32_t{1} << idx)) {
+      bytes += views_[idx].MemoryFootprintBytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace xsum::core

@@ -11,7 +11,8 @@ namespace xsum::core {
 
 namespace {
 
-using graph::AdjEntry;
+using graph::CostSlot;
+using graph::CostView;
 using graph::EdgeId;
 using graph::EpochUnionFind;
 using graph::KnowledgeGraph;
@@ -21,16 +22,15 @@ using graph::Subgraph;
 
 }  // namespace
 
-Result<PcstResult> PcstSummary(const KnowledgeGraph& graph,
+Result<PcstResult> PcstSummary(const CostView& costs,
                                const std::vector<double>& weights,
                                const std::vector<NodeId>& terminals,
                                const PcstOptions& options,
                                graph::SearchWorkspace* workspace) {
-  if (options.use_edge_weights && weights.size() < graph.num_edges()) {
-    return Status::InvalidArgument(
-        StrCat("weight vector covers ", weights.size(), " of ",
-               graph.num_edges(), " edges"));
+  if (!costs.valid()) {
+    return Status::InvalidArgument("PcstSummary: uncommitted cost view");
   }
+  const KnowledgeGraph& graph = costs.graph();
   std::vector<NodeId> seeds = terminals;
   std::sort(seeds.begin(), seeds.end());
   seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
@@ -47,7 +47,7 @@ Result<PcstResult> PcstSummary(const KnowledgeGraph& graph,
   SearchWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
   ws.Begin(n);
 
-  // --- prizes and edge costs -------------------------------------------
+  // --- prizes ------------------------------------------------------------
   double alpha = 1.0;
   double beta = 0.0;
   if (options.prize_policy == PcstOptions::PrizePolicy::kAlphaBeta &&
@@ -57,12 +57,6 @@ Result<PcstResult> PcstSummary(const KnowledgeGraph& graph,
     alpha = *max_it;
     beta = *min_it;
   }
-  auto edge_cost = [&](EdgeId e) {
-    if (!options.use_edge_weights) return 1.0;
-    // Raw weights as costs — the configuration the paper tried and
-    // abandoned because it yields oversized summaries; kept for ablation.
-    return std::max(0.0, weights[e]);
-  };
   // Terminal membership lives in the workspace mark set (the seed used an
   // unordered_set lookup in the prize function, the hottest call here).
   for (NodeId s : seeds) ws.Mark(s);
@@ -94,12 +88,14 @@ Result<PcstResult> PcstSummary(const KnowledgeGraph& graph,
   // --- growth (Algorithm 2): simultaneous Prim-style expansion from all
   // terminal seeds; an edge is adopted when it first touches a node or
   // merges two different components. The workspace provides the in-tree
-  // flags (settled set), the candidate keys (dist + parent arrays, updated
-  // via decrease-key on the indexed heap), the component structure
-  // (epoch union-find), and the per-root terminal counts (tag map). ------
+  // flags (settled set), the candidate keys (dist + parent arrays), the
+  // component structure (epoch union-find), and the per-root terminal
+  // counts (tag map). The frontier queue is selected per DESIGN.md §4:
+  // keys are static per node, so a bounded cost range admits a Dial-style
+  // bucket frontier; tie-free keys (slack > 0) make its exact-min pops
+  // reproduce the indexed heap's sequence bit-for-bit. ------------------
   EpochUnionFind& components = ws.union_find();
   components.Reset(n);
-  graph::IndexedMinHeap& heap = ws.heap();
 
   // Number of distinct components that contain at least one terminal;
   // growth may stop once this reaches 1.
@@ -121,50 +117,70 @@ Result<PcstResult> PcstSummary(const KnowledgeGraph& graph,
     adopted_edges.push_back(via);
   };
 
-  // Seed all terminals (they enter Q with priority −p and are extracted
-  // first in Algorithm 2).
-  for (NodeId s : seeds) {
-    ws.SetSettled(s);
-    ws.SetTag(components.Find(s), 1);
-  }
-  for (NodeId s : seeds) {
-    for (const AdjEntry& a : graph.Neighbors(s)) {
-      if (ws.settled(a.neighbor)) {
-        // Terminal adjacent to terminal: adopt the edge immediately.
-        merge(s, a.neighbor, a.edge);
+  // Offers u's incident slots to the frontier: settled neighbors merge
+  // immediately (every in-tree/in-tree edge is offered exactly once, when
+  // its later endpoint settles or during seeding), unsettled ones are
+  // relaxed under the static growth key.
+  auto scan = [&](NodeId u, auto& frontier) {
+    for (const CostSlot& s : costs.Neighbors(u)) {
+      if (ws.settled(s.neighbor)) {
+        merge(u, s.neighbor, s.edge);
         continue;
       }
-      const double key =
-          edge_cost(a.edge) - prize(a.neighbor) + edge_jitter(a.edge);
-      if (key < ws.dist(a.neighbor)) {
-        ws.Relax(a.neighbor, key, s, a.edge);
-        heap.PushOrDecrease(a.neighbor, key);
+      const double key = s.cost - prize(s.neighbor) + edge_jitter(s.edge);
+      if (key < ws.dist(s.neighbor)) {
+        ws.Relax(s.neighbor, key, u, s.edge);
+        frontier.PushOrDecrease(s.neighbor, key);
       }
     }
-  }
+  };
 
-  while (!heap.Empty() && terminal_components > 1) {
-    // Indexed heap: each node pops exactly once, at its best key, carrying
-    // the parent/via of that key in the workspace parent arrays. The
-    // seed's late-pop / stale-entry handling is unnecessary: every edge
-    // between two in-tree nodes is offered to merge() when its later
-    // endpoint settles (or in the seeding scan), so duplicate heap entries
-    // never adopted anything the scans below do not.
-    const NodeId u = heap.PopMin();
-    ws.SetSettled(u);
-    merge(ws.parent_node(u), u, ws.parent_edge(u));
-    for (const AdjEntry& a : graph.Neighbors(u)) {
-      if (ws.settled(a.neighbor)) {
-        merge(u, a.neighbor, a.edge);
-        continue;
-      }
-      const double key =
-          edge_cost(a.edge) - prize(a.neighbor) + edge_jitter(a.edge);
-      if (key < ws.dist(a.neighbor)) {
-        ws.Relax(a.neighbor, key, u, a.edge);
-        heap.PushOrDecrease(a.neighbor, key);
-      }
+  auto grow = [&](auto& frontier) {
+    // Seed all terminals (they enter Q with priority −p and are extracted
+    // first in Algorithm 2).
+    for (NodeId s : seeds) {
+      ws.SetSettled(s);
+      ws.SetTag(components.Find(s), 1);
     }
+    for (NodeId s : seeds) scan(s, frontier);
+
+    while (!frontier.Empty() && terminal_components > 1) {
+      // Each node pops exactly once, at its best key, carrying the
+      // parent/via of that key in the workspace parent arrays. The seed's
+      // late-pop / stale-entry handling is unnecessary: every edge between
+      // two in-tree nodes is offered to merge() when its later endpoint
+      // settles (or in the seeding scan), so duplicate queue entries never
+      // adopted anything the scans do not.
+      const NodeId u = frontier.PopMin();
+      ws.SetSettled(u);
+      merge(ws.parent_node(u), u, ws.parent_edge(u));
+      scan(u, frontier);
+    }
+  };
+
+  bool use_bucket = options.frontier == PcstOptions::Frontier::kBucket;
+  if (options.frontier == PcstOptions::Frontier::kAuto) {
+    use_bucket = options.growth_slack > 0.0 && costs.has_bounded_costs();
+  }
+  if (use_bucket) {
+    // Key range: cost ∈ [min, max], prize ∈ [pmin, pmax] over the nodes the
+    // frontier can hold (non-terminals; terminals settle before any scan),
+    // jitter ∈ [0, slack). The bounds only size the buckets — out-of-range
+    // keys clamp into the boundary buckets and still pop exactly.
+    double pmin = beta;
+    double pmax = beta;
+    if (!centrality.empty()) {
+      const auto [cmin, cmax] =
+          std::minmax_element(centrality.begin(), centrality.end());
+      pmin = 0.5 * *cmin;
+      pmax = 0.5 * *cmax;
+    }
+    graph::BucketFrontier& frontier = ws.bucket_frontier();
+    frontier.Reset(n, costs.min_cost() - pmax,
+                   costs.max_cost() - pmin + std::max(options.growth_slack, 0.0));
+    grow(frontier);
+  } else {
+    grow(ws.heap());
   }
   result.workspace_bytes =
       graph::SearchWorkspace::RequiredBytes(n) +
@@ -224,11 +240,36 @@ Result<PcstResult> PcstSummary(const KnowledgeGraph& graph,
     }
   }
   double objective = 0.0;
-  for (EdgeId e : result.tree.edges()) objective += edge_cost(e);
+  for (EdgeId e : result.tree.edges()) objective += costs.cost(e);
   for (NodeId v : result.tree.nodes()) objective -= prize(v);
   result.objective = objective;
   result.workspace_bytes += result.tree.MemoryFootprintBytes();
   return result;
+}
+
+Result<PcstResult> PcstSummary(const KnowledgeGraph& graph,
+                               const std::vector<double>& weights,
+                               const std::vector<NodeId>& terminals,
+                               const PcstOptions& options,
+                               graph::SearchWorkspace* workspace) {
+  if (options.use_edge_weights && weights.size() < graph.num_edges()) {
+    return Status::InvalidArgument(
+        StrCat("weight vector covers ", weights.size(), " of ",
+               graph.num_edges(), " edges"));
+  }
+  CostView view;
+  if (options.use_edge_weights) {
+    // Raw weights as costs — the configuration the paper tried and
+    // abandoned because it yields oversized summaries; kept for ablation.
+    std::vector<double>& out = view.StartAssign(graph);
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      out[e] = std::max(0.0, weights[e]);
+    }
+    view.Commit();
+  } else {
+    view.AssignUnit(graph);
+  }
+  return PcstSummary(view, weights, terminals, options, workspace);
 }
 
 }  // namespace xsum::core

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/cost_view.h"
 #include "graph/knowledge_graph.h"
 #include "graph/search_workspace.h"
 #include "graph/subgraph.h"
@@ -70,6 +71,20 @@ struct PcstOptions {
   /// its ST summaries (§V-B-1). 0 disables the slack and yields
   /// near-optimal (Prim-like) connections.
   double growth_slack = 0.0;
+
+  /// Which priority queue drives the growth. The growth keys are *static*
+  /// per frontier node (edge cost − prize + slack), so when the cost view
+  /// reports a bounded range a Dial-style bucket frontier answers
+  /// push/decrease in O(1) instead of heap sifts. `kAuto` selects the
+  /// bucket frontier exactly when that is safe *and* bit-compatible:
+  /// bounded cost range and tie-free keys (`growth_slack > 0` — the
+  /// per-edge hash makes every key distinct, so the exact-min bucket pops
+  /// provably reproduce the heap's pop sequence; see DESIGN.md §4). With
+  /// slack 0 every key collapses to the same value and ordering is pure
+  /// tie-breaking, which the indexed heap's layout defines — kAuto keeps
+  /// the heap there. The forced settings exist for benches and tests.
+  enum class Frontier : uint8_t { kAuto = 0, kHeap = 1, kBucket = 2 };
+  Frontier frontier = Frontier::kAuto;
 };
 
 /// \brief Outcome of the PCST construction.
@@ -83,15 +98,25 @@ struct PcstResult {
   size_t workspace_bytes = 0;
 };
 
-/// \brief Runs the prize-collecting growth of Algorithm 2 over \p graph.
-///
-/// \p weights are the (possibly Eq.-1-adjusted) edge weights; they are
-/// consulted only when `options.use_edge_weights` is set. Duplicate
-/// terminals are ignored.
+/// \brief Runs the prize-collecting growth of Algorithm 2 under the edge
+/// costs carried by \p costs (a committed `graph::CostView`; the paper's
+/// configuration uses the all-ones view). \p weights are the raw edge
+/// weights, consulted only by the α/β prize policy. Duplicate terminals
+/// are ignored.
 ///
 /// Passing a \p workspace lets repeated calls reuse the O(|V|) growth
 /// state (epoch-reset, no per-call allocation); results are identical to a
 /// fresh-workspace call. The workspace contents are invalidated on return.
+Result<PcstResult> PcstSummary(const graph::CostView& costs,
+                               const std::vector<double>& weights,
+                               const std::vector<graph::NodeId>& terminals,
+                               const PcstOptions& options = {},
+                               graph::SearchWorkspace* workspace = nullptr);
+
+/// \brief Convenience overload: derives the cost view per call (all-ones,
+/// or the non-negative-clamped \p weights when `options.use_edge_weights`)
+/// and delegates. Batch callers should hold a prebuilt view instead (the
+/// batch engine shares one across the task stream).
 Result<PcstResult> PcstSummary(const graph::KnowledgeGraph& graph,
                                const std::vector<double>& weights,
                                const std::vector<graph::NodeId>& terminals,

@@ -13,6 +13,8 @@ namespace xsum::core {
 
 namespace {
 
+using graph::CostSlot;
+using graph::CostView;
 using graph::EdgeId;
 using graph::KnowledgeGraph;
 using graph::MstEdge;
@@ -31,10 +33,10 @@ std::vector<NodeId> UniqueTerminals(std::vector<NodeId> terminals) {
 /// standard KMB post-pass): MST over the expanded edge set, then repeatedly
 /// drop non-terminal leaves. The node→dense-index translation lives in the
 /// workspace tag map (the seed rebuilt an unordered_map here per query).
-Subgraph Cleanup(const KnowledgeGraph& graph, const std::vector<double>& costs,
-                 std::vector<EdgeId> expansion_edges,
+Subgraph Cleanup(const CostView& costs, std::vector<EdgeId> expansion_edges,
                  const std::vector<NodeId>& terminals,
                  const std::vector<NodeId>& isolated, SearchWorkspace& ws) {
+  const KnowledgeGraph& graph = costs.graph();
   Subgraph expanded = Subgraph::FromEdges(graph, std::move(expansion_edges),
                                           isolated);
   // MST over the expansion to break any cycles introduced by overlapping
@@ -48,7 +50,7 @@ Subgraph Cleanup(const KnowledgeGraph& graph, const std::vector<double>& costs,
   for (EdgeId e : expanded.edges()) {
     const graph::EdgeRecord& r = graph.edge(e);
     mst_edges.push_back(
-        MstEdge{ws.TagOr(r.src, 0), ws.TagOr(r.dst, 0), costs[e], e});
+        MstEdge{ws.TagOr(r.src, 0), ws.TagOr(r.dst, 0), costs.cost(e), e});
   }
   const std::vector<size_t> selected =
       graph::KruskalMst(expanded.num_nodes(), mst_edges);
@@ -91,11 +93,11 @@ void RecordUnreached(const std::vector<NodeId>& terminals,
   }
 }
 
-Result<SteinerResult> SteinerKmb(const KnowledgeGraph& graph,
-                                 const std::vector<double>& costs,
+Result<SteinerResult> SteinerKmb(const CostView& costs,
                                  const std::vector<NodeId>& terminals,
                                  const SteinerOptions& options,
                                  SearchWorkspace& ws) {
+  const KnowledgeGraph& graph = costs.graph();
   SteinerResult result;
   const size_t t = terminals.size();
 
@@ -106,7 +108,8 @@ Result<SteinerResult> SteinerKmb(const KnowledgeGraph& graph,
   // stop almost immediately), and the last row needs no search at all. The
   // seed ran every row against the full terminal list, letting early rows
   // sweep far past the settled terminal set and re-deriving each distance
-  // twice.
+  // twice. Every row streams its costs from the shared interleaved
+  // `CostView` (the seed gathered `costs[edge]` per relaxation).
   //
   // While a row's shortest-path tree is still resident in the workspace,
   // the i→j paths are extracted into an edge arena (O(Σ path length), tiny
@@ -127,15 +130,9 @@ Result<SteinerResult> SteinerKmb(const KnowledgeGraph& graph,
   const size_t num_pairs = t * (t - 1) / 2;
   std::vector<std::pair<uint32_t, uint32_t>> pair_span(
       num_pairs, {0, 0});
-  // One pass re-orders the costs by adjacency slot so every row's scan
-  // loop streams them instead of gathering by EdgeId; amortized over the
-  // |T|−1 searches below.
-  std::vector<double>& adj_costs = ws.adj_cost_scratch();
-  BuildAdjacencyCosts(graph, costs, &adj_costs);
-  result.workspace_bytes += adj_costs.size() * sizeof(double);
   for (size_t i = 0; i + 1 < t; ++i) {
-    DijkstraIntoAdj(graph, adj_costs, terminals[i],
-                    std::span<const NodeId>(terminals).subspan(i + 1), ws);
+    DijkstraInto(costs, terminals[i],
+                 std::span<const NodeId>(terminals).subspan(i + 1), ws);
     for (size_t j = i + 1; j < t; ++j) {
       const double d = ws.dist(terminals[j]);
       closure[i * t + j] = d;
@@ -184,7 +181,7 @@ Result<SteinerResult> SteinerKmb(const KnowledgeGraph& graph,
   result.workspace_bytes += expansion.size() * sizeof(EdgeId);
 
   if (options.cleanup) {
-    result.tree = Cleanup(graph, costs, std::move(expansion), terminals,
+    result.tree = Cleanup(costs, std::move(expansion), terminals,
                           terminals, ws);
   } else {
     result.tree = Subgraph::FromEdges(graph, std::move(expansion), terminals);
@@ -195,15 +192,15 @@ Result<SteinerResult> SteinerKmb(const KnowledgeGraph& graph,
   return result;
 }
 
-Result<SteinerResult> SteinerMehlhorn(const KnowledgeGraph& graph,
-                                      const std::vector<double>& costs,
+Result<SteinerResult> SteinerMehlhorn(const CostView& costs,
                                       const std::vector<NodeId>& terminals,
                                       const SteinerOptions& options,
                                       SearchWorkspace& ws) {
+  const KnowledgeGraph& graph = costs.graph();
   SteinerResult result;
   const size_t t = terminals.size();
 
-  MultiSourceDijkstraInto(graph, costs, terminals, ws);
+  MultiSourceDijkstraInto(costs, terminals, ws);
 
   // terminal → dense index, in the workspace tag map (same epoch as the
   // Voronoi state; tags and search state have independent stamp arrays).
@@ -222,7 +219,7 @@ Result<SteinerResult> SteinerMehlhorn(const KnowledgeGraph& graph,
     if (su == graph::kInvalidNode || sv == graph::kInvalidNode) continue;
     closure_edges.push_back(
         MstEdge{ws.TagOr(su, 0), ws.TagOr(sv, 0),
-                ws.dist(r.src) + costs[e] + ws.dist(r.dst), e});
+                ws.dist(r.src) + costs.cost(e) + ws.dist(r.dst), e});
   }
   result.workspace_bytes += closure_edges.size() * sizeof(MstEdge);
   const std::vector<size_t> selected = graph::KruskalMst(t, closure_edges);
@@ -246,7 +243,7 @@ Result<SteinerResult> SteinerMehlhorn(const KnowledgeGraph& graph,
   result.workspace_bytes += expansion.size() * sizeof(EdgeId);
 
   if (options.cleanup) {
-    result.tree = Cleanup(graph, costs, std::move(expansion), terminals,
+    result.tree = Cleanup(costs, std::move(expansion), terminals,
                           terminals, ws);
   } else {
     result.tree = Subgraph::FromEdges(graph, std::move(expansion), terminals);
@@ -259,21 +256,17 @@ Result<SteinerResult> SteinerMehlhorn(const KnowledgeGraph& graph,
 
 }  // namespace
 
-Result<SteinerResult> SteinerTree(const KnowledgeGraph& graph,
-                                  const std::vector<double>& costs,
+Result<SteinerResult> SteinerTree(const CostView& costs,
                                   const std::vector<NodeId>& terminals,
                                   const SteinerOptions& options,
                                   graph::SearchWorkspace* workspace) {
-  if (costs.size() < graph.num_edges()) {
-    return Status::InvalidArgument(
-        StrCat("cost vector covers ", costs.size(), " of ",
-               graph.num_edges(), " edges"));
+  if (!costs.valid()) {
+    return Status::InvalidArgument("SteinerTree: uncommitted cost view");
   }
-  for (double c : costs) {
-    if (c < 0.0) {
-      return Status::InvalidArgument("Steiner costs must be non-negative");
-    }
+  if (costs.min_cost() < 0.0) {
+    return Status::InvalidArgument("Steiner costs must be non-negative");
   }
+  const KnowledgeGraph& graph = costs.graph();
   std::vector<NodeId> unique = UniqueTerminals(terminals);
   for (NodeId v : unique) {
     if (v >= graph.num_nodes()) {
@@ -289,9 +282,24 @@ Result<SteinerResult> SteinerTree(const KnowledgeGraph& graph,
   SearchWorkspace local_ws;
   SearchWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
   if (options.variant == SteinerOptions::Variant::kMehlhorn) {
-    return SteinerMehlhorn(graph, costs, unique, options, ws);
+    return SteinerMehlhorn(costs, unique, options, ws);
   }
-  return SteinerKmb(graph, costs, unique, options, ws);
+  return SteinerKmb(costs, unique, options, ws);
+}
+
+Result<SteinerResult> SteinerTree(const KnowledgeGraph& graph,
+                                  const std::vector<double>& costs,
+                                  const std::vector<NodeId>& terminals,
+                                  const SteinerOptions& options,
+                                  graph::SearchWorkspace* workspace) {
+  if (costs.size() < graph.num_edges()) {
+    return Status::InvalidArgument(
+        StrCat("cost vector covers ", costs.size(), " of ",
+               graph.num_edges(), " edges"));
+  }
+  CostView view;
+  view.Assign(graph, costs);
+  return SteinerTree(view, terminals, options, workspace);
 }
 
 }  // namespace xsum::core

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/cost_view.h"
 #include "graph/knowledge_graph.h"
 #include "graph/search_workspace.h"
 #include "graph/subgraph.h"
@@ -45,7 +46,8 @@ struct SteinerResult {
 };
 
 /// \brief Computes an approximate minimum-cost Steiner tree spanning
-/// \p terminals under non-negative per-edge \p costs.
+/// \p terminals under the non-negative edge costs carried by \p costs
+/// (a committed `graph::CostView` — built once, shared across queries).
 ///
 /// Terminals in different weak components yield a Steiner *forest* over the
 /// reachable groups plus the list of unreached terminals; the subgraph is
@@ -54,6 +56,14 @@ struct SteinerResult {
 /// Passing a \p workspace lets repeated calls reuse the O(|V|) search
 /// state (epoch-reset, no per-call allocation); results are identical to a
 /// fresh-workspace call. The workspace contents are invalidated on return.
+Result<SteinerResult> SteinerTree(const graph::CostView& costs,
+                                  const std::vector<graph::NodeId>& terminals,
+                                  const SteinerOptions& options = {},
+                                  graph::SearchWorkspace* workspace = nullptr);
+
+/// \brief Convenience overload taking EdgeId-indexed \p costs: builds a
+/// throwaway `CostView` per call and delegates. Batch callers should build
+/// the view once instead (the batch engine's context does).
 Result<SteinerResult> SteinerTree(const graph::KnowledgeGraph& graph,
                                   const std::vector<double>& costs,
                                   const std::vector<graph::NodeId>& terminals,

@@ -19,15 +19,11 @@ Path ShortestPathTree::ExtractPath(NodeId target) const {
   return path;
 }
 
-namespace {
-
-/// Shared single-source loop; \p cost_at maps (adjacency slot, edge id) to
-/// the edge cost, letting callers choose EdgeId-indexed or slot-indexed
-/// storage without a branch in the scan.
-template <typename CostAt>
-void DijkstraIntoImpl(const KnowledgeGraph& graph, NodeId source,
-                      std::span<const NodeId> targets, SearchWorkspace& ws,
-                      const CostAt& cost_at) {
+void DijkstraInto(const CostView& costs, NodeId source,
+                  std::span<const NodeId> targets, SearchWorkspace& ws) {
+  assert(costs.valid());
+  assert(costs.min_cost() >= 0.0 && "Dijkstra requires non-negative costs");
+  const KnowledgeGraph& graph = costs.graph();
   ws.Begin(graph.num_nodes());
 
   size_t targets_remaining = 0;
@@ -49,51 +45,17 @@ void DijkstraIntoImpl(const KnowledgeGraph& graph, NodeId source,
     }
 
     const double du = ws.dist(u);
-    const std::span<const AdjEntry> nbrs = graph.Neighbors(u);
-    const size_t slot_base = graph.adjacency_offset(u);
-    for (size_t k = 0; k < nbrs.size(); ++k) {
-      const AdjEntry& a = nbrs[k];
-      const double c = cost_at(slot_base + k, a.edge);
-      assert(c >= 0.0 && "Dijkstra requires non-negative costs");
-      const double nd = du + c;
+    for (const CostSlot& s : costs.Neighbors(u)) {
+      const double nd = du + s.cost;
       // No settled check: a settled neighbor's distance is final and
-      // nd = du + c >= du >= dist(neighbor), so the strict compare
+      // nd = du + cost >= du >= dist(neighbor), so the strict compare
       // already rejects it (the indexed heap re-admits nothing popped).
-      if (nd < ws.dist(a.neighbor)) {
-        ws.Relax(a.neighbor, nd, u, a.edge);
-        heap.PushOrDecrease(a.neighbor, nd);
+      if (nd < ws.dist(s.neighbor)) {
+        ws.Relax(s.neighbor, nd, u, s.edge);
+        heap.PushOrDecrease(s.neighbor, nd);
       }
     }
   }
-}
-
-}  // namespace
-
-void DijkstraInto(const KnowledgeGraph& graph, const std::vector<double>& costs,
-                  NodeId source, std::span<const NodeId> targets,
-                  SearchWorkspace& ws) {
-  assert(costs.size() >= graph.num_edges());
-  DijkstraIntoImpl(graph, source, targets, ws,
-                   [&costs](size_t, EdgeId e) { return costs[e]; });
-}
-
-void BuildAdjacencyCosts(const KnowledgeGraph& graph,
-                         const std::vector<double>& costs,
-                         std::vector<double>* adj_costs) {
-  assert(costs.size() >= graph.num_edges());
-  const std::span<const AdjEntry> adj = graph.adjacency();
-  adj_costs->resize(adj.size());
-  for (size_t slot = 0; slot < adj.size(); ++slot) {
-    (*adj_costs)[slot] = costs[adj[slot].edge];
-  }
-}
-
-void DijkstraIntoAdj(const KnowledgeGraph& graph,
-                     std::span<const double> adj_costs, NodeId source,
-                     std::span<const NodeId> targets, SearchWorkspace& ws) {
-  assert(adj_costs.size() >= graph.adjacency().size());
-  DijkstraIntoImpl(graph, source, targets, ws,
-                   [adj_costs](size_t slot, EdgeId) { return adj_costs[slot]; });
 }
 
 Path ExtractPath(const SearchWorkspace& ws, NodeId target) {
@@ -123,8 +85,11 @@ void AppendPathEdges(const SearchWorkspace& ws, NodeId target,
 ShortestPathTree Dijkstra(const KnowledgeGraph& graph,
                           const std::vector<double>& costs, NodeId source,
                           const std::vector<NodeId>& targets) {
+  assert(costs.size() >= graph.num_edges());
+  CostView view;
+  view.Assign(graph, costs);
   SearchWorkspace ws;
-  DijkstraInto(graph, costs, source, targets, ws);
+  DijkstraInto(view, source, targets, ws);
 
   const size_t n = graph.num_nodes();
   ShortestPathTree tree;
@@ -140,11 +105,12 @@ ShortestPathTree Dijkstra(const KnowledgeGraph& graph,
   return tree;
 }
 
-void MultiSourceDijkstraInto(const KnowledgeGraph& graph,
-                             const std::vector<double>& costs,
+void MultiSourceDijkstraInto(const CostView& costs,
                              std::span<const NodeId> sources,
                              SearchWorkspace& ws) {
-  assert(costs.size() >= graph.num_edges());
+  assert(costs.valid());
+  assert(costs.min_cost() >= 0.0 && "Dijkstra requires non-negative costs");
+  const KnowledgeGraph& graph = costs.graph();
   ws.Begin(graph.num_nodes());
 
   IndexedMinHeap& heap = ws.heap();
@@ -159,15 +125,13 @@ void MultiSourceDijkstraInto(const KnowledgeGraph& graph,
 
     const double du = ws.dist(u);
     const NodeId su = ws.origin(u);
-    for (const AdjEntry& a : graph.Neighbors(u)) {
-      const double c = costs[a.edge];
-      assert(c >= 0.0 && "Dijkstra requires non-negative costs");
-      const double nd = du + c;
+    for (const CostSlot& s : costs.Neighbors(u)) {
+      const double nd = du + s.cost;
       // Settled neighbors are rejected by the strict compare (see the
       // single-source loop).
-      if (nd < ws.dist(a.neighbor)) {
-        ws.RelaxFrom(a.neighbor, nd, u, a.edge, su);
-        heap.PushOrDecrease(a.neighbor, nd);
+      if (nd < ws.dist(s.neighbor)) {
+        ws.RelaxFrom(s.neighbor, nd, u, s.edge, su);
+        heap.PushOrDecrease(s.neighbor, nd);
       }
     }
   }
@@ -176,8 +140,11 @@ void MultiSourceDijkstraInto(const KnowledgeGraph& graph,
 VoronoiResult MultiSourceDijkstra(const KnowledgeGraph& graph,
                                   const std::vector<double>& costs,
                                   const std::vector<NodeId>& sources) {
+  assert(costs.size() >= graph.num_edges());
+  CostView view;
+  view.Assign(graph, costs);
   SearchWorkspace ws;
-  MultiSourceDijkstraInto(graph, costs, sources, ws);
+  MultiSourceDijkstraInto(view, sources, ws);
 
   const size_t n = graph.num_nodes();
   VoronoiResult out;

@@ -3,11 +3,15 @@
 /// graph. This is the inner loop of the ST summarizer (Algorithm 1 computes
 /// the metric closure over terminals with repeated Dijkstra runs).
 ///
-/// Costs must be non-negative. The ST summarizer guarantees this by mapping
-/// the paper's maximize-weight objective through the order-preserving
-/// transform in `core/cost_transform.h` instead of the paper's literal
-/// "multiply weights by −1" (which would produce negative costs Dijkstra
-/// cannot handle); see DESIGN.md §1.4(3).
+/// All workspace-resident kernels consume a `CostView` (graph/cost_view.h):
+/// the interleaved (neighbor, edge, cost) CSR built once per cost vector and
+/// shared across searches, so the scan loop streams one sequential array
+/// instead of gathering `costs[edge]` per relaxation. Costs must be
+/// non-negative. The ST summarizer guarantees this by mapping the paper's
+/// maximize-weight objective through the order-preserving transform in
+/// `core/cost_transform.h` instead of the paper's literal "multiply weights
+/// by −1" (which would produce negative costs Dijkstra cannot handle); see
+/// DESIGN.md §1.4(3) and §4.
 
 #ifndef XSUM_GRAPH_DIJKSTRA_H_
 #define XSUM_GRAPH_DIJKSTRA_H_
@@ -16,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/cost_view.h"
 #include "graph/knowledge_graph.h"
 #include "graph/path.h"
 #include "graph/search_workspace.h"
@@ -50,33 +55,19 @@ struct ShortestPathTree {
 /// settled (early exit; duplicates are counted once). Costs vector must
 /// cover every edge id.
 ///
-/// Allocates a fresh ShortestPathTree per call; hot paths should prefer
-/// `DijkstraInto` with a reused `SearchWorkspace`.
+/// Allocates a fresh ShortestPathTree (and a throwaway `CostView`) per
+/// call; hot paths should prefer `DijkstraInto` with a reused workspace
+/// and a prebuilt view.
 ShortestPathTree Dijkstra(const KnowledgeGraph& graph,
                           const std::vector<double>& costs, NodeId source,
                           const std::vector<NodeId>& targets = {});
 
-/// \brief Workspace-resident Dijkstra: runs into \p ws (calling
-/// `ws.Begin()` internally) with zero steady-state allocation. After the
-/// call, `ws.dist/parent_node/parent_edge` hold the shortest-path tree;
-/// the state stays valid until the next `ws.Begin()`.
-void DijkstraInto(const KnowledgeGraph& graph, const std::vector<double>& costs,
-                  NodeId source, std::span<const NodeId> targets,
-                  SearchWorkspace& ws);
-
-/// \brief Fills \p adj_costs (resized to `graph.adjacency().size()`) with
-/// `costs[slot.edge]` per adjacency slot. Batch callers that run many
-/// searches under one cost vector build this once so the scan loop streams
-/// its costs sequentially instead of gathering by EdgeId.
-void BuildAdjacencyCosts(const KnowledgeGraph& graph,
-                         const std::vector<double>& costs,
-                         std::vector<double>* adj_costs);
-
-/// \brief `DijkstraInto` reading per-slot costs from \p adj_costs (as
-/// built by `BuildAdjacencyCosts`). Produces identical results.
-void DijkstraIntoAdj(const KnowledgeGraph& graph,
-                     std::span<const double> adj_costs, NodeId source,
-                     std::span<const NodeId> targets, SearchWorkspace& ws);
+/// \brief Workspace-resident Dijkstra over \p costs: runs into \p ws
+/// (calling `ws.Begin()` internally) with zero steady-state allocation.
+/// After the call, `ws.dist/parent_node/parent_edge` hold the
+/// shortest-path tree; the state stays valid until the next `ws.Begin()`.
+void DijkstraInto(const CostView& costs, NodeId source,
+                  std::span<const NodeId> targets, SearchWorkspace& ws);
 
 /// \brief Reconstructs the path to \p target from workspace-resident search
 /// state (single- or multi-source); empty path if \p target is unreached.
@@ -101,17 +92,16 @@ struct VoronoiResult {
 /// \brief Runs Dijkstra simultaneously from all \p sources, partitioning the
 /// graph into shortest-path Voronoi cells. Used by the Mehlhorn ST variant.
 ///
-/// Allocates a fresh VoronoiResult per call; hot paths should prefer
-/// `MultiSourceDijkstraInto` with a reused `SearchWorkspace`.
+/// Allocates a fresh VoronoiResult (and a throwaway `CostView`) per call;
+/// hot paths should prefer `MultiSourceDijkstraInto`.
 VoronoiResult MultiSourceDijkstra(const KnowledgeGraph& graph,
                                   const std::vector<double>& costs,
                                   const std::vector<NodeId>& sources);
 
-/// \brief Workspace-resident multi-source Dijkstra. After the call,
-/// `ws.origin(v)` is the nearest source of v (the Voronoi cell) and
+/// \brief Workspace-resident multi-source Dijkstra over \p costs. After the
+/// call, `ws.origin(v)` is the nearest source of v (the Voronoi cell) and
 /// `ws.dist/parent_node/parent_edge` trace back toward it.
-void MultiSourceDijkstraInto(const KnowledgeGraph& graph,
-                             const std::vector<double>& costs,
+void MultiSourceDijkstraInto(const CostView& costs,
                              std::span<const NodeId> sources,
                              SearchWorkspace& ws);
 

@@ -20,6 +20,9 @@
 ///  - a mark set (terminal / target membership tests)
 ///  - a u32 tag map (dense node→index translations, small counters)
 ///  - an indexed 4-ary min-heap with decrease-key (`IndexedMinHeap`)
+///  - a Dial-style bounded-range bucket frontier (`BucketFrontier`,
+///    self-resetting; selected by the PCST growth when its `CostView`
+///    reports a bounded cost range — DESIGN.md §4)
 ///  - an epoch-stamped union-find (`EpochUnionFind`, self-resetting)
 ///  - unstamped scratch vectors callers clear themselves
 ///
@@ -111,6 +114,90 @@ class IndexedMinHeap {
   std::vector<uint32_t> pos_epoch_;
   uint32_t epoch_ = 0;
   size_t size_ = 0;
+};
+
+/// \brief Dial-style bucket frontier over dense node ids for priorities in
+/// a known bounded range.
+///
+/// The PCST growth loop (the one unit-cost-shaped kernel here) assigns
+/// each frontier node a *static* key — edge cost minus prize plus slack —
+/// whose range is known before the sweep starts: the `CostView` reports
+/// the cost range and the prize policy bounds the rest. For such keys a
+/// bucket array beats a heap: push and decrease-key are O(1) appends, and
+/// pop scans only the lowest non-empty bucket. Keys outside the declared
+/// range are clamped into the boundary buckets, so the bounds affect only
+/// performance, never correctness.
+///
+/// Pops are *exact*: the globally smallest key wins every pop (the active
+/// bucket is scanned for its minimum), with ties broken by smaller node
+/// id. The growth's automatic frontier selection only engages when keys
+/// are tie-free (see DESIGN.md §4), which makes the bucket pop sequence
+/// provably identical to the indexed heap's — bit-identical summaries.
+///
+/// Same contract as `IndexedMinHeap`: each node pops at most once per
+/// `Reset`; a push for a popped node is rejected; a push with a key not
+/// smaller than the node's current one is rejected. Decreases leave a
+/// stale entry behind (lazy deletion), which pops skip.
+class BucketFrontier {
+ public:
+  /// Prepares the frontier for ids in [0, n) and keys in [\p lo, \p hi].
+  /// O(#buckets) plus O(1) amortized growth.
+  void Reset(size_t n, double lo, double hi);
+
+  bool Empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  /// Inserts \p v with \p key, or lowers its key if already queued with a
+  /// larger one. Returns true iff the frontier changed.
+  bool PushOrDecrease(NodeId v, double key);
+
+  /// Removes and returns the node with the smallest key (ties: smallest
+  /// node id); requires `!Empty()`.
+  NodeId PopMin();
+
+  size_t MemoryFootprintBytes() const;
+
+ private:
+  /// Bucket resolution. 512 spans the [1, 2]-cost regimes here at ~2e-3
+  /// key granularity; resolution only affects how many entries one pop
+  /// scans, never which node pops.
+  static constexpr size_t kNumBuckets = 512;
+
+  struct Entry {
+    double key;
+    NodeId node;
+  };
+
+  static constexpr size_t kBitmapWords = kNumBuckets / 64;
+
+  /// Per-node frontier state on one 16-byte record (one random memory
+  /// access per offer): the current key, its validity stamp, and the
+  /// popped stamp (valid only while `stamp == epoch`).
+  struct NodeState {
+    double key;
+    uint32_t stamp;
+    uint32_t popped;
+  };
+
+  size_t BucketOf(double key) const;
+
+  std::vector<std::vector<Entry>> buckets_;
+  /// Number of leading entries of each bucket that are compacted and
+  /// sorted descending by (key, node id) — pops read the exact minimum off
+  /// the back in O(1). A push appends past the watermark; the next pop of
+  /// that bucket recompacts and re-sorts (rare: a push lands in the
+  /// currently-draining bucket only when its key falls within the active
+  /// 1/kNumBuckets slice of the range).
+  std::vector<uint32_t> sorted_;
+  /// One bit per non-empty bucket: pops find the lowest candidate bucket
+  /// with a find-first-set over 8 words instead of walking empty buckets,
+  /// and Reset clears only the buckets whose bit is set.
+  uint64_t occupied_[kBitmapWords] = {};
+  std::vector<NodeState> node_state_;
+  double lo_ = 0.0;
+  double bucket_scale_ = 0.0;  // buckets per key unit
+  size_t size_ = 0;            // queued (not yet popped) nodes
+  uint32_t epoch_ = 0;
 };
 
 /// \brief Epoch-stamped disjoint-set forest over dense node ids.
@@ -242,6 +329,9 @@ class SearchWorkspace {
   // --- sub-structures ----------------------------------------------------
 
   IndexedMinHeap& heap() { return heap_; }
+  /// Self-resetting: call `bucket_frontier().Reset(n, lo, hi)` before each
+  /// use (the key range is query-specific, so `Begin` cannot reset it).
+  BucketFrontier& bucket_frontier() { return bucket_frontier_; }
   /// Self-resetting: call `union_find().Reset(n)` before each use.
   EpochUnionFind& union_find() { return union_find_; }
 
@@ -250,8 +340,6 @@ class SearchWorkspace {
   std::vector<NodeId>& node_scratch() { return node_scratch_; }
   std::vector<EdgeId>& edge_scratch() { return edge_scratch_; }
   std::vector<double>& value_scratch() { return value_scratch_; }
-  /// Adjacency-slot-ordered cost buffer (see `BuildAdjacencyCosts`).
-  std::vector<double>& adj_cost_scratch() { return adj_cost_scratch_; }
 
   /// Resident bytes of all retained arrays (the "peak workspace" number
   /// reported by the perf benches). History-dependent: capacity only
@@ -291,12 +379,12 @@ class SearchWorkspace {
   uint32_t epoch_ = 0;
 
   IndexedMinHeap heap_;
+  BucketFrontier bucket_frontier_;
   EpochUnionFind union_find_;
 
   std::vector<NodeId> node_scratch_;
   std::vector<EdgeId> edge_scratch_;
   std::vector<double> value_scratch_;
-  std::vector<double> adj_cost_scratch_;
 };
 
 }  // namespace xsum::graph

@@ -31,7 +31,7 @@ std::shared_ptr<SummaryService::ServingState> SummaryService::CurrentState() {
   if (!fresh->snapshot.valid()) return nullptr;
   fresh->engine = std::make_unique<core::BatchSummarizer>(
       *fresh->snapshot.graph, options_.num_workers,
-      /*pool_workers=*/1);
+      /*pool_workers=*/1, fresh->snapshot.views);
   fresh->free_workers.reserve(options_.num_workers);
   for (size_t w = options_.num_workers; w > 0; --w) {
     fresh->free_workers.push_back(w - 1);

@@ -6,9 +6,16 @@ namespace xsum::service {
 
 uint64_t GraphSnapshotRegistry::Publish(
     std::shared_ptr<const data::RecGraph> graph) {
+  // Build the view holder outside the lock; the views themselves
+  // materialize lazily on first use, so Publish stays O(1).
+  std::shared_ptr<core::SharedCostViews> views;
+  if (graph != nullptr) {
+    views = std::make_shared<core::SharedCostViews>(*graph);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   current_.version = next_version_++;
   current_.graph = std::move(graph);
+  current_.views = std::move(views);
   return current_.version;
 }
 

@@ -14,6 +14,12 @@
 /// swap implicitly invalidates every cached result of older versions —
 /// their keys can no longer be constructed by any new request. Stale
 /// entries are never scanned for; they age out of the LRU.
+///
+/// Each snapshot also carries the graph's prebuilt base cost views
+/// (`core::SharedCostViews`, DESIGN.md §4): every engine serving the
+/// snapshot consumes the same interleaved cost CSRs instead of rebuilding
+/// them per request, and a swap atomically replaces views together with
+/// the graph they were built over.
 
 #ifndef XSUM_SERVICE_SNAPSHOT_REGISTRY_H_
 #define XSUM_SERVICE_SNAPSHOT_REGISTRY_H_
@@ -22,15 +28,20 @@
 #include <memory>
 #include <mutex>
 
+#include "core/cost_views.h"
 #include "data/kg_builder.h"
 
 namespace xsum::service {
 
 /// \brief One pinned graph version. Copying the struct keeps the graph
-/// alive; the version is the cache-key component.
+/// (and its prebuilt cost views) alive; the version is the cache-key
+/// component.
 struct GraphSnapshot {
   uint64_t version = 0;
   std::shared_ptr<const data::RecGraph> graph;
+  /// Prebuilt base cost views over `graph` (never null when `valid()`;
+  /// individual views materialize lazily on first use).
+  std::shared_ptr<const core::SharedCostViews> views;
 
   bool valid() const { return graph != nullptr; }
 };

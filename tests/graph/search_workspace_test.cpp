@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/cost_view.h"
 #include "graph/dijkstra.h"
 #include "graph/knowledge_graph.h"
 #include "util/rng.h"
@@ -86,6 +87,81 @@ TEST(IndexedMinHeapTest, RandomizedAgainstSort) {
       best[v] = -1.0;
     }
     for (double b : best) EXPECT_LT(b, 0.0);  // everything queued popped
+  }
+}
+
+TEST(BucketFrontierTest, PopsExactMinWithNodeIdTies) {
+  BucketFrontier frontier;
+  frontier.Reset(16, 0.0, 10.0);
+  const std::vector<double> keys = {5.0, 1.0, 9.0, 3.5, 0.5, 7.0, 3.5};
+  for (NodeId v = 0; v < keys.size(); ++v) {
+    EXPECT_TRUE(frontier.PushOrDecrease(v, keys[v]));
+  }
+  // Exact key order; the 3.5 tie breaks by smaller node id (3 before 6).
+  const std::vector<NodeId> expected = {4, 1, 3, 6, 0, 5, 2};
+  for (NodeId want : expected) {
+    ASSERT_FALSE(frontier.Empty());
+    EXPECT_EQ(frontier.PopMin(), want);
+  }
+  EXPECT_TRUE(frontier.Empty());
+}
+
+TEST(BucketFrontierTest, DecreaseReordersPopRejectedAndOutOfRangeClamps) {
+  BucketFrontier frontier;
+  frontier.Reset(8, 1.0, 2.0);
+  frontier.PushOrDecrease(0, 1.8);
+  frontier.PushOrDecrease(1, 1.2);
+  EXPECT_FALSE(frontier.PushOrDecrease(0, 1.9));  // increase: no-op
+  EXPECT_TRUE(frontier.PushOrDecrease(0, 1.1));   // decrease: now ahead of 1
+  // Keys outside the declared range still order correctly (clamped bucket,
+  // exact within-bucket scan).
+  frontier.PushOrDecrease(2, 0.25);  // below lo
+  frontier.PushOrDecrease(3, 5.0);   // above hi
+  EXPECT_EQ(frontier.PopMin(), 2u);
+  EXPECT_EQ(frontier.PopMin(), 0u);
+  // A popped node cannot re-enter until the next Reset.
+  EXPECT_FALSE(frontier.PushOrDecrease(0, 0.1));
+  EXPECT_EQ(frontier.PopMin(), 1u);
+  EXPECT_EQ(frontier.PopMin(), 3u);
+  EXPECT_TRUE(frontier.Empty());
+  frontier.Reset(8, 1.0, 2.0);
+  EXPECT_TRUE(frontier.PushOrDecrease(0, 0.1));
+  EXPECT_EQ(frontier.PopMin(), 0u);
+}
+
+TEST(BucketFrontierTest, RandomizedMatchesIndexedHeapPopSequence) {
+  // With distinct keys the bucket frontier must reproduce the indexed
+  // heap's pop sequence exactly — the property the PCST growth's automatic
+  // frontier selection relies on (DESIGN.md §4).
+  Rng rng(1234);
+  for (int round = 0; round < 20; ++round) {
+    const size_t n = 1 + rng.Uniform(300);
+    IndexedMinHeap heap;
+    BucketFrontier frontier;
+    heap.Reset(n);
+    frontier.Reset(n, 0.0, 1.0);
+    std::vector<double> best(n, -1.0);
+    for (int op = 0; op < 500; ++op) {
+      const NodeId v = static_cast<NodeId>(rng.Uniform(n));
+      // Distinct-by-construction keys: a fresh uniform double plus a
+      // node-dependent offset far below the uniform's resolution.
+      const double key =
+          static_cast<double>(rng.Uniform(1 << 20)) / (1 << 20) +
+          static_cast<double>(v) * 0x1.0p-40;
+      const bool heap_changed = heap.PushOrDecrease(v, key);
+      const bool frontier_changed = frontier.PushOrDecrease(v, key);
+      EXPECT_EQ(heap_changed, frontier_changed);
+      if (heap_changed) best[v] = key;
+    }
+    EXPECT_EQ(heap.size(), frontier.size());
+    while (!heap.Empty()) {
+      ASSERT_FALSE(frontier.Empty());
+      const NodeId from_heap = heap.PopMin();
+      const NodeId from_frontier = frontier.PopMin();
+      EXPECT_EQ(from_heap, from_frontier);
+      EXPECT_DOUBLE_EQ(best[from_heap], best[from_frontier]);
+    }
+    EXPECT_TRUE(frontier.Empty());
   }
 }
 
@@ -182,8 +258,10 @@ TEST(DijkstraWorkspaceTest, ReusedWorkspaceMatchesFreshAcrossGraphSizes) {
       targets.push_back(static_cast<NodeId>(rng.Uniform(n)));
     }
 
+    CostView view;
+    view.Assign(g, costs);
     const ShortestPathTree fresh = Dijkstra(g, costs, source, targets);
-    DijkstraInto(g, costs, source, targets, reused);
+    DijkstraInto(view, source, targets, reused);
     for (NodeId t : targets) {
       EXPECT_EQ(fresh.dist[t], reused.dist(t));
       const Path a = fresh.ExtractPath(t);
@@ -194,15 +272,17 @@ TEST(DijkstraWorkspaceTest, ReusedWorkspaceMatchesFreshAcrossGraphSizes) {
 
     // Full-sweep comparison (no targets): every node's distance matches.
     const ShortestPathTree full = Dijkstra(g, costs, source);
-    DijkstraInto(g, costs, source, {}, reused);
+    DijkstraInto(view, source, {}, reused);
     for (NodeId v = 0; v < n; ++v) {
       EXPECT_EQ(full.dist[v], reused.dist(v)) << "node " << v;
     }
 
-    // Adjacency-ordered costs produce identical results.
-    std::vector<double> adj_costs;
-    BuildAdjacencyCosts(g, costs, &adj_costs);
-    DijkstraIntoAdj(g, adj_costs, source, {}, reused);
+    // A recommitted view (fresh version, same costs) produces identical
+    // results.
+    CostView recommitted;
+    recommitted.Assign(g, costs);
+    EXPECT_NE(recommitted.version(), view.version());
+    DijkstraInto(recommitted, source, {}, reused);
     for (NodeId v = 0; v < n; ++v) {
       EXPECT_EQ(full.dist[v], reused.dist(v)) << "node " << v;
     }
@@ -220,8 +300,10 @@ TEST(DijkstraWorkspaceTest, MultiSourceReuseMatchesFresh) {
     for (int s = 0; s < 4; ++s) {
       sources.push_back(static_cast<NodeId>(rng.Uniform(n)));
     }
+    CostView view;
+    view.Assign(g, costs);
     const VoronoiResult fresh = MultiSourceDijkstra(g, costs, sources);
-    MultiSourceDijkstraInto(g, costs, sources, reused);
+    MultiSourceDijkstraInto(view, sources, reused);
     for (NodeId v = 0; v < n; ++v) {
       EXPECT_EQ(fresh.dist[v], reused.dist(v));
       EXPECT_EQ(fresh.nearest_source[v], reused.origin(v));
