@@ -629,6 +629,99 @@ BENCHMARK(BM_EngineBatch)
     ->ArgsProduct({{11, 51}, {0, 1}})
     ->ArgNames({"t", "pcst"});
 
+/// Fixture task chains for the k-sweep pair: synthetic ranked top-10
+/// recommendations (random-walk explanation paths, k-prefix property) for
+/// a handful of users — the user-centric panel unit shape the paper puts
+/// on every k axis.
+const std::vector<core::UserRecs>& SweepUnits() {
+  static const std::vector<core::UserRecs>* units = [] {
+    const auto& rg = FixtureGraph();
+    Rng rng(41);
+    auto* v = new std::vector<core::UserRecs>();
+    for (int u = 0; u < 4; ++u) {
+      core::UserRecs recs;
+      recs.user = static_cast<uint32_t>(rng.Uniform(rg.num_users()));
+      for (int r = 0; r < 10; ++r) {
+        rec::Recommendation rec;
+        rec.item = static_cast<uint32_t>(rng.Uniform(rg.num_items()));
+        rec.score = 1.0 - 0.01 * static_cast<double>(r);
+        graph::NodeId node = rg.UserNode(recs.user);
+        rec.path.nodes.push_back(node);
+        for (int hop = 0; hop < 3; ++hop) {
+          const auto nbrs = rg.graph().Neighbors(node);
+          if (nbrs.empty()) break;
+          const auto& a = nbrs[rng.Uniform(nbrs.size())];
+          rec.path.nodes.push_back(a.neighbor);
+          rec.path.edges.push_back(a.edge);
+          node = a.neighbor;
+        }
+        recs.recs.push_back(std::move(rec));
+      }
+      v->push_back(std::move(recs));
+    }
+    return v;
+  }();
+  return *units;
+}
+
+/// The sweep rows run ST/KMB at λ = 0 — the cost-stable regime (Eq. (1)
+/// multiplies every touched edge by exactly 1), which is where the
+/// chained engine's closure reuse engages. Results are bit-identical
+/// between the two rows (tests/core/incremental_test).
+core::SummarizerOptions SweepOptions() {
+  core::SummarizerOptions options;
+  options.method = core::SummaryMethod::kSteiner;
+  options.lambda = 0.0;
+  options.steiner.variant = core::SteinerOptions::Variant::kKmb;
+  return options;
+}
+
+/// One iteration = the full k = 1..10 user-centric sweep over all fixture
+/// units, each (unit, k) summarized independently through the batch engine
+/// (persistent context + shared views — the pre-chaining steady state).
+void BM_SweepFromScratch(benchmark::State& state) {
+  const auto& rg = FixtureGraph();
+  const auto& units = SweepUnits();
+  const auto options = SweepOptions();
+  core::BatchSummarizer engine(rg, /*num_workers=*/1);
+  WallTimer timer;
+  timer.Start();
+  for (auto _ : state) {
+    for (const core::UserRecs& recs : units) {
+      for (int k = 1; k <= 10; ++k) {
+        auto result =
+            engine.Run(core::MakeUserCentricTask(rg, recs, k), options);
+        benchmark::DoNotOptimize(result);
+      }
+    }
+  }
+  EmitMicroPerf(state, "SweepFromScratch", 10, timer.ElapsedMillis());
+}
+BENCHMARK(BM_SweepFromScratch);
+
+/// Same work through `RunSweep`: one summarization chain per unit walks
+/// the ks ascending, so each k reuses the previous k's metric-closure rows
+/// (core/incremental.h).
+void BM_SweepIncremental(benchmark::State& state) {
+  const auto& rg = FixtureGraph();
+  const auto& units = SweepUnits();
+  const auto options = SweepOptions();
+  core::BatchSummarizer engine(rg, /*num_workers=*/1);
+  const std::vector<int> ks = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  WallTimer timer;
+  timer.Start();
+  for (auto _ : state) {
+    for (const core::UserRecs& recs : units) {
+      auto results = engine.RunSweep(
+          0, [&](int k) { return core::MakeUserCentricTask(rg, recs, k); },
+          ks, options);
+      benchmark::DoNotOptimize(results);
+    }
+  }
+  EmitMicroPerf(state, "SweepIncremental", 10, timer.ElapsedMillis());
+}
+BENCHMARK(BM_SweepIncremental);
+
 void BM_WeightAdjust(benchmark::State& state) {
   const auto& rg = FixtureGraph();
   // Synthetic path set: 10 three-hop paths.

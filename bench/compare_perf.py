@@ -22,6 +22,7 @@ run the bench on the candidate with XSUM_JSON, then diff the two files.
 
 import argparse
 import json
+import math
 import sys
 from collections import defaultdict
 
@@ -43,6 +44,12 @@ def load_records(path):
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as e:
                 print(f"{path}:{line_no}: skipping malformed record ({e})",
                       file=sys.stderr)
+                continue
+            if not math.isfinite(wall_ms):
+                # A NaN/inf sample would poison the per-key mean and make
+                # every comparison of that key vacuously "ok".
+                print(f"{path}:{line_no}: skipping non-finite wall_ms "
+                      f"({record['wall_ms']!r})", file=sys.stderr)
                 continue
             sums[key] += wall_ms
             counts[key] += 1
@@ -75,6 +82,7 @@ def main():
               file=sys.stderr)
 
     regressions = []
+    skipped = 0
     width = max(len("/".join(k[:2])) for k in (set(old) | set(new)))
     for key in sorted(set(old) | set(new)):
         name = "/".join(key[:2])
@@ -84,7 +92,15 @@ def main():
         if key not in new:
             print(f"  {name:<{width}}  GONE (baseline only)")
             continue
-        ratio = new[key] / old[key] if old[key] > 0 else float("inf")
+        if old[key] <= 0.0 or new[key] <= 0.0:
+            # Smoke-scale runs can legitimately report ~0 wall time; a
+            # ratio against zero is meaningless, so the row degrades to a
+            # warning instead of a spurious regression (or a crash).
+            print(f"  {name:<{width}}  {old[key]:.6f} -> {new[key]:.6f} ms "
+                  "SKIPPED (zero wall time — not comparable)")
+            skipped += 1
+            continue
+        ratio = new[key] / old[key]
         delta = 100.0 * (ratio - 1.0)
         verdict = "ok"
         if ratio > 1.0 + args.threshold:
@@ -95,6 +111,9 @@ def main():
         print(f"  {name:<{width}}  {old[key]:.6f} -> {new[key]:.6f} ms "
               f"({delta:+.1f}%)  {verdict}")
 
+    if skipped:
+        print(f"warning: {skipped} key(s) skipped for zero wall time — "
+              "those rows verified nothing", file=sys.stderr)
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
               f"+{100.0 * args.threshold:.0f}%:", file=sys.stderr)

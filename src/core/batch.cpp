@@ -1,9 +1,13 @@
 #include "core/batch.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstring>
+#include <numeric>
 
 #include "core/baseline.h"
+#include "core/incremental.h"
 #include "core/weight_adjust.h"
 #include "util/timer.h"
 
@@ -67,11 +71,16 @@ void CostsFromAdjusted(const std::vector<double>& base_weights, CostMode mode,
 /// to the base weights) and all `kUnit` tasks read the shared prebuilt
 /// view; overlay tasks rebuild the context-local view in place. Either
 /// way the values are bit-identical to `WeightsToCostsInto` over the
-/// adjusted weights.
+/// adjusted weights. \p overlay_is_noop lets the chained path extend the
+/// shared-view fast path to tasks whose overlay touched edges *without
+/// moving any value* (a λ = 0 sweep: the cost signature proved
+/// adjusted == base bitwise, so the rebuild would reproduce the shared
+/// view exactly).
 const graph::CostView& SteinerCostView(const data::RecGraph& rec_graph,
                                        CostMode mode, SummarizeContext& ctx,
-                                       const SharedCostViews* shared) {
-  const bool zero_overlay = ctx.touched_edges.empty();
+                                       const SharedCostViews* shared,
+                                       bool overlay_is_noop = false) {
+  const bool zero_overlay = ctx.touched_edges.empty() || overlay_is_noop;
   if (shared != nullptr && (mode == CostMode::kUnit || zero_overlay)) {
     return shared->ForMode(mode);
   }
@@ -94,13 +103,84 @@ const graph::CostView& PcstCostView(const data::RecGraph& rec_graph,
   return ctx.unit_view;
 }
 
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Computes the cost signature (incremental.h) of the ST cost vector the
+/// current Eq. (1) state in \p ctx resolves to, in O(|touched edges|):
+/// `AdjustWeightsInto` resets every untouched edge to its base weight, so
+/// (mode, deviating-edge bits) reconstructs the whole adjusted-weight
+/// vector and signature equality implies a bitwise-equal cost vector.
+CostSignature SteinerCostSignature(const data::RecGraph& rec_graph,
+                                   CostMode mode, SummarizeContext& ctx) {
+  CostSignature sig;
+  sig.mode = mode;
+  if (mode == CostMode::kUnit) {
+    sig.kind = CostSignature::Kind::kUnit;
+    return sig;
+  }
+  const std::vector<double>& base = rec_graph.base_weights();
+  const std::vector<double>& adjusted = ctx.adjusted_weights;
+  for (graph::EdgeId e : ctx.touched_edges) {
+    if (DoubleBits(adjusted[e]) != DoubleBits(base[e])) {
+      sig.deviations.push_back({e, DoubleBits(adjusted[e])});
+    }
+  }
+  if (sig.deviations.empty()) {
+    sig.kind = CostSignature::Kind::kBase;
+    return sig;
+  }
+  std::sort(sig.deviations.begin(), sig.deviations.end());
+  sig.deviations.erase(
+      std::unique(sig.deviations.begin(), sig.deviations.end()),
+      sig.deviations.end());
+  sig.kind = CostSignature::Kind::kOverlay;
+  return sig;
+}
+
+/// Drops a chain's reusable state (method change, cost-signature move,
+/// graph change, non-KMB step). Counted so tests and benches can observe
+/// when reuse disengaged.
+void ResetChainState(SummaryChain* chain) {
+  if (chain == nullptr) return;
+  if (chain->has_state) ++chain->resets;
+  chain->has_state = false;
+  chain->links = 0;
+  chain->closure.Clear();
+}
+
+/// The one place a summary's perf counters are filled: the one-shot
+/// (`Summarize`), batch (`SummarizeWith` / `RunWith`), and chained sweep
+/// paths all finish through here, so none of them can return the zeroed
+/// defaults (Summary::elapsed_ms / memory_bytes feed the paper's
+/// Fig. 9-11 panels and the service accounting).
+void FinalizeSummaryPerf(const WallTimer& timer, size_t memory_bytes,
+                         Summary* summary) {
+  summary->memory_bytes = memory_bytes;
+  summary->elapsed_ms = timer.ElapsedMillis();
+}
+
 }  // namespace
 
-Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
-                              const SummaryTask& task,
-                              const SummarizerOptions& options,
-                              SummarizeContext& ctx,
-                              const SharedCostViews* shared_views) {
+std::vector<size_t> AscendingKOrder(const std::vector<int>& ks) {
+  std::vector<size_t> order(ks.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return ks[a] < ks[b]; });
+  return order;
+}
+
+Result<Summary> SummarizeChained(const data::RecGraph& rec_graph,
+                                 const SummaryTask& task,
+                                 const SummarizerOptions& options,
+                                 SummarizeContext& ctx,
+                                 const SharedCostViews* shared_views,
+                                 const SummaryChain* prev,
+                                 SummaryChain* next) {
   const graph::KnowledgeGraph& g = rec_graph.graph();
   Summary summary;
   summary.method = options.method;
@@ -119,8 +199,11 @@ Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
 
   switch (options.method) {
     case SummaryMethod::kBaseline: {
+      // The path union carries nothing a later step could reuse.
+      ResetChainState(next);
       summary.subgraph = UnionOfPaths(g, task.paths);
-      summary.memory_bytes = summary.subgraph.MemoryFootprintBytes();
+      FinalizeSummaryPerf(timer, summary.subgraph.MemoryFootprintBytes(),
+                          &summary);
       break;
     }
     case SummaryMethod::kSteiner: {
@@ -130,25 +213,86 @@ Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
       AdjustWeightsInto(g, rec_graph.base_weights(), task.paths,
                         options.lambda, task.s_size, &ctx.edge_counts,
                         &ctx.touched_edges, &ctx.adjusted_weights);
-      const graph::CostView& costs =
-          SteinerCostView(rec_graph, options.cost_mode, ctx, shared_views);
-      XSUM_ASSIGN_OR_RETURN(
-          SteinerResult st,
-          SteinerTree(costs, task.terminals, options.steiner,
-                      &ctx.workspace));
+      const bool chain_kmb =
+          next != nullptr &&
+          options.steiner.variant == SteinerOptions::Variant::kKmb;
+      CostSignature sig;
+      if (chain_kmb) {
+        sig = SteinerCostSignature(rec_graph, options.cost_mode, ctx);
+      }
+      const graph::CostView& costs = SteinerCostView(
+          rec_graph, options.cost_mode, ctx, shared_views,
+          /*overlay_is_noop=*/chain_kmb &&
+              sig.kind != CostSignature::Kind::kOverlay);
+      SteinerResult st;
+      if (!chain_kmb) {
+        // Plain path (no recording). A Mehlhorn step also lands here: its
+        // single multi-source sweep has nothing to memoize, so only the
+        // context/workspace reuse applies.
+        ResetChainState(next);
+        XSUM_ASSIGN_OR_RETURN(
+            st, SteinerTree(costs, task.terminals, options.steiner,
+                            &ctx.workspace));
+      } else {
+        // Reuse engages only when the previous step's closure entries are
+        // provably valid: same graph, same method/variant, and a cost
+        // signature match (bitwise-equal cost vectors). Anything else
+        // restarts the chain — the step then runs from scratch and seeds
+        // the store for the next one.
+        const bool carry = prev != nullptr && prev->has_state &&
+                           prev->graph == &rec_graph &&
+                           prev->method == SummaryMethod::kSteiner &&
+                           prev->variant == SteinerOptions::Variant::kKmb &&
+                           prev->cost_sig == sig;
+        if (next != prev) {
+          const bool retain = next->closure.retain_trees;
+          if (carry) {
+            next->closure = prev->closure;
+            next->links = prev->links;
+            next->resets = prev->resets;
+            next->closure.retain_trees = retain;
+            if (!retain) next->closure.trees.clear();
+          } else {
+            ResetChainState(next);
+            if (prev != nullptr && prev->has_state) ++next->resets;
+          }
+        } else if (!carry) {
+          ResetChainState(next);
+        }
+        Result<SteinerResult> chained =
+            SteinerTreeChained(costs, task.terminals, options.steiner,
+                               &ctx.workspace, &next->closure);
+        if (!chained.ok()) {
+          ResetChainState(next);
+          return chained.status();
+        }
+        st = std::move(*chained);
+        next->has_state = true;
+        next->graph = &rec_graph;
+        next->method = SummaryMethod::kSteiner;
+        next->variant = SteinerOptions::Variant::kKmb;
+        next->cost_sig = std::move(sig);
+        ++next->links;
+      }
       summary.subgraph = std::move(st.tree);
       summary.unreached_terminals = std::move(st.unreached_terminals);
       // The adjusted-weight vector and the cost view are part of the ST
       // working set.
-      summary.memory_bytes = st.workspace_bytes +
-                             g.num_edges() * sizeof(double) +
-                             graph::CostView::RequiredBytes(g);
+      FinalizeSummaryPerf(timer,
+                          st.workspace_bytes + g.num_edges() * sizeof(double) +
+                              graph::CostView::RequiredBytes(g),
+                          &summary);
       break;
     }
     case SummaryMethod::kPcst: {
       // The paper's PCST configuration ignores edge weights (§V-A): the
       // all-ones cost view. The ablation that costs edges by raw weights
-      // derives its view in the compat overload.
+      // derives its view in the compat overload. The growth is one global
+      // priority-queue sweep whose pop sequence changes with every added
+      // seed, so no structural state carries over bit-safely — chained
+      // PCST steps reuse the context workspace and the shared unit view,
+      // nothing more (DESIGN.md §5).
+      ResetChainState(next);
       XSUM_ASSIGN_OR_RETURN(
           PcstResult pc,
           options.pcst.use_edge_weights
@@ -159,12 +303,20 @@ Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
                             options.pcst, &ctx.workspace));
       summary.subgraph = std::move(pc.tree);
       summary.unreached_terminals = std::move(pc.unreached_terminals);
-      summary.memory_bytes = pc.workspace_bytes;
+      FinalizeSummaryPerf(timer, pc.workspace_bytes, &summary);
       break;
     }
   }
-  summary.elapsed_ms = timer.ElapsedMillis();
   return summary;
+}
+
+Result<Summary> SummarizeWith(const data::RecGraph& rec_graph,
+                              const SummaryTask& task,
+                              const SummarizerOptions& options,
+                              SummarizeContext& ctx,
+                              const SharedCostViews* shared_views) {
+  return SummarizeChained(rec_graph, task, options, ctx, shared_views,
+                          /*prev=*/nullptr, /*next=*/nullptr);
 }
 
 BatchSummarizer::BatchSummarizer(const data::RecGraph& rec_graph,
@@ -202,6 +354,44 @@ std::vector<Result<Summary>> BatchSummarizer::RunAll(
       tasks.size(), Result<Summary>(Status::Internal("task not run")));
   pool_.ParallelFor(tasks.size(), [&](size_t worker, size_t i) {
     results[i] = RunWith(worker, tasks[i], options);
+  });
+  return results;
+}
+
+Result<Summary> BatchSummarizer::RunChainedWith(size_t worker,
+                                                const SummaryTask& task,
+                                                const SummarizerOptions& options,
+                                                const SummaryChain* prev,
+                                                SummaryChain* next) {
+  assert(worker < contexts_.size());
+  return SummarizeChained(rec_graph_, task, options, *contexts_[worker],
+                          views_.get(), prev, next);
+}
+
+std::vector<Result<Summary>> BatchSummarizer::RunSweep(
+    size_t worker, const std::function<SummaryTask(int)>& builder,
+    const std::vector<int>& ks, const SummarizerOptions& options) {
+  assert(worker < contexts_.size());
+  // Walk the ks ascending (slots are still filled in the caller's order).
+  const std::vector<size_t> order = AscendingKOrder(ks);
+  SummaryChain chain;
+  chain.closure.retain_trees = true;
+  std::vector<Result<Summary>> results(
+      ks.size(), Result<Summary>(Status::Internal("k not run")));
+  for (size_t idx : order) {
+    results[idx] =
+        SummarizeChained(rec_graph_, builder(ks[idx]), options,
+                         *contexts_[worker], views_.get(), &chain, &chain);
+  }
+  return results;
+}
+
+std::vector<std::vector<Result<Summary>>> BatchSummarizer::RunPanelSweep(
+    const std::vector<std::function<SummaryTask(int)>>& units,
+    const std::vector<int>& ks, const SummarizerOptions& options) {
+  std::vector<std::vector<Result<Summary>>> results(units.size());
+  pool_.ParallelFor(units.size(), [&](size_t worker, size_t u) {
+    results[u] = RunSweep(worker, units[u], ks, options);
   });
   return results;
 }

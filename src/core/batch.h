@@ -17,6 +17,7 @@
 #define XSUM_CORE_BATCH_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -27,6 +28,8 @@
 #include "util/thread_pool.h"
 
 namespace xsum::core {
+
+struct SummaryChain;  // incremental.h
 
 /// \brief Reusable per-worker scratch state for `SummarizeWith`.
 ///
@@ -72,6 +75,13 @@ struct SummarizeContext {
            touched_edges.capacity() * sizeof(graph::EdgeId);
   }
 };
+
+/// Indices of \p ks in ascending-k order (stable): the walk order every
+/// sweep path uses so each step's terminal set nests into the next one's
+/// (the k-prefix property of the scenario builders). Shared by
+/// `BatchSummarizer::RunSweep` and the evaluation runner's service route,
+/// which must agree on the order for predecessor hints to line up.
+std::vector<size_t> AscendingKOrder(const std::vector<int>& ks);
 
 /// Runs the configured summarizer on \p task, borrowing all scratch state
 /// from \p ctx. When \p shared_views (the prebuilt base views of
@@ -126,6 +136,35 @@ class BatchSummarizer {
   /// `tasks[i]` regardless of scheduling.
   std::vector<Result<Summary>> RunAll(const std::vector<SummaryTask>& tasks,
                                       const SummarizerOptions& options);
+
+  /// Runs one *chained* task on \p worker's context: like `RunWith`
+  /// (bit-identical summary), but reusing the closure state of \p prev
+  /// when provably safe and recording into \p next (incremental.h;
+  /// prev may be null or alias next). The summary service threads cached
+  /// chain checkpoints through here.
+  Result<Summary> RunChainedWith(size_t worker, const SummaryTask& task,
+                                 const SummarizerOptions& options,
+                                 const SummaryChain* prev,
+                                 SummaryChain* next);
+
+  /// Sweeps one task chain on \p worker: builds `builder(k)` for every k
+  /// of \p ks and summarizes them through a single chain, walking the ks
+  /// in ascending order so each step extends the previous one's closure
+  /// state. `result[i]` corresponds to `ks[i]` regardless of the walk
+  /// order; every summary is bit-identical to an independent `RunWith`
+  /// call for that k.
+  std::vector<Result<Summary>> RunSweep(
+      size_t worker, const std::function<SummaryTask(int)>& builder,
+      const std::vector<int>& ks, const SummarizerOptions& options);
+
+  /// Panel sweep: one chain per unit, units fanned across the pool (each
+  /// worker walks its unit's ks ascending). `result[u][i]` corresponds to
+  /// `units[u](ks[i])`; deterministic and worker-count independent like
+  /// `RunAll`. This is the k-axis-figure serving path of the evaluation
+  /// runner.
+  std::vector<std::vector<Result<Summary>>> RunPanelSweep(
+      const std::vector<std::function<SummaryTask(int)>>& units,
+      const std::vector<int>& ks, const SummarizerOptions& options);
 
   /// Largest per-worker scratch footprint seen so far (perf reporting).
   size_t peak_workspace_bytes() const;

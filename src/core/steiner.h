@@ -16,6 +16,7 @@
 #define XSUM_CORE_STEINER_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/cost_view.h"
@@ -69,6 +70,74 @@ Result<SteinerResult> SteinerTree(const graph::KnowledgeGraph& graph,
                                   const std::vector<graph::NodeId>& terminals,
                                   const SteinerOptions& options = {},
                                   graph::SearchWorkspace* workspace = nullptr);
+
+/// \brief Metric-closure memo shared by a *chain* of KMB queries over one
+/// fixed cost view: the closure distance and expansion path of every
+/// terminal pair searched so far, keyed by node-id pair, plus (optionally)
+/// the full shortest-path trees of the sources that produced them.
+///
+/// `SteinerTreeChained` serves closure rows from the store and searches
+/// only the missing pairs, which is what makes a nested-terminal k-sweep
+/// (the k-prefix tasks of core/scenario.h) incremental: the pairs of the
+/// k-summary are exactly a subset of the pairs of the k+1-summary. Entries
+/// are valid only while the costs stay bitwise identical to the view they
+/// were recorded under — the caller (`core::SummarizeChained`) guards that
+/// with a cost signature and clears the store otherwise.
+///
+/// With `retain_trees` set, each searched source keeps its complete
+/// shortest-path tree (O(|V|) per source), so a source is searched at most
+/// once per chain: every later pair of that source is extracted from the
+/// stored tree without touching the graph. Off, only the compact pair
+/// entries are kept (the mode used for service-cache checkpoints, whose
+/// footprint is byte-budgeted).
+struct KmbClosureStore {
+  struct PairEntry {
+    /// Closure distance of the pair (`graph::kInfDistance` if unreached).
+    double dist = 0.0;
+    /// Arena span [path_begin, path_end) of the stored expansion path.
+    uint32_t path_begin = 0;
+    uint32_t path_end = 0;
+  };
+  /// One complete single-source shortest-path tree (no early exit).
+  struct SourceTree {
+    std::vector<double> dist;
+    std::vector<graph::NodeId> parent_node;
+    std::vector<graph::EdgeId> parent_edge;
+  };
+
+  /// Keep full source trees (see file comment). Set before first use.
+  bool retain_trees = false;
+
+  /// (min(u,v) << 32 | max(u,v)) → pair entry.
+  std::unordered_map<uint64_t, PairEntry> pairs;
+  /// Concatenated expansion-path edges referenced by the pair spans.
+  std::vector<graph::EdgeId> arena;
+  /// Full trees of searched sources (only populated when `retain_trees`).
+  std::unordered_map<graph::NodeId, SourceTree> trees;
+
+  /// Telemetry of the most recent chained call (tests and benches).
+  size_t last_reused_pairs = 0;
+  size_t last_computed_pairs = 0;
+  size_t last_searches = 0;
+
+  /// Drops every memoized entry (keeps `retain_trees`).
+  void Clear();
+  /// Approximate resident bytes of the memo.
+  size_t MemoryFootprintBytes() const;
+};
+
+/// \brief KMB construction that reads already-known closure rows from
+/// \p store, searches only the missing terminal pairs, and extends the
+/// store with what it computed. Bit-identical to `SteinerTree` with
+/// `variant == kKmb` for *any* terminal set, provided every store entry
+/// was recorded under bitwise-identical costs (DESIGN.md §5); an empty
+/// store reproduces the from-scratch construction exactly. A `kMehlhorn`
+/// \p options delegates to the plain construction (nothing to memoize
+/// across a single multi-source sweep).
+Result<SteinerResult> SteinerTreeChained(
+    const graph::CostView& costs,
+    const std::vector<graph::NodeId>& terminals, const SteinerOptions& options,
+    graph::SearchWorkspace* workspace, KmbClosureStore* store);
 
 }  // namespace xsum::core
 

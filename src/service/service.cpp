@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/incremental.h"
+
 namespace xsum::service {
 
 SummaryService::SummaryService(GraphSnapshotRegistry* registry,
@@ -49,7 +51,9 @@ std::shared_ptr<SummaryService::ServingState> SummaryService::CurrentState() {
 
 Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeOn(
     ServingState& state, const core::SummaryTask& task,
-    const core::SummarizerOptions& options) {
+    const core::SummarizerOptions& options,
+    const core::SummaryChain* prev_chain,
+    std::shared_ptr<core::SummaryChain>* out_chain) {
   size_t worker = 0;
   {
     std::unique_lock<std::mutex> lock(state.mutex);
@@ -57,23 +61,50 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeOn(
     worker = state.free_workers.back();
     state.free_workers.pop_back();
   }
-  Result<core::Summary> result = state.engine->RunWith(worker, task, options);
+  // The cached checkpoint is immutable and shared; the step copies what it
+  // can carry into a fresh compact chain (no retained trees — checkpoints
+  // are byte-budgeted cache residents) and extends that. Chains exist
+  // only for the method that can carry state (ST/KMB); everything else
+  // computes chain-free and caches no checkpoint.
+  const bool chainable =
+      options.method == core::SummaryMethod::kSteiner &&
+      options.steiner.variant == core::SteinerOptions::Variant::kKmb;
+  std::shared_ptr<core::SummaryChain> next_chain;
+  if (out_chain != nullptr && chainable) {
+    next_chain = std::make_shared<core::SummaryChain>();
+    next_chain->closure.retain_trees = false;
+  }
+  Result<core::Summary> result = state.engine->RunChainedWith(
+      worker, task, options, prev_chain, next_chain.get());
   {
     std::lock_guard<std::mutex> lock(state.mutex);
     state.free_workers.push_back(worker);
   }
   state.slot_cv.notify_one();
+  // A compute counts as incremental only when the predecessor's closure
+  // rows were actually consulted — a stale or signature-mismatched hint
+  // resets the chain and runs from scratch, and must not be reported as
+  // reuse.
+  const bool reused = result.ok() && next_chain != nullptr &&
+                      next_chain->has_state &&
+                      next_chain->closure.last_reused_pairs > 0;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++computed_;
+    if (reused) ++incremental_;
   }
   if (!result.ok()) return result.status();
+  if (out_chain != nullptr && next_chain != nullptr &&
+      next_chain->has_state) {
+    *out_chain = std::move(next_chain);
+  }
   return std::shared_ptr<const core::Summary>(
       std::make_shared<core::Summary>(std::move(*result)));
 }
 
 Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
-    const core::SummaryTask& task, const core::SummarizerOptions& options) {
+    const core::SummaryTask& task, const core::SummarizerOptions& options,
+    const core::SummaryTask* predecessor) {
   WallTimer timer;
   timer.Start();
   std::shared_ptr<ServingState> state = CurrentState();
@@ -84,8 +115,11 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
   }
 
   if (!options_.enable_cache) {
+    // Without a cache there is no (task, k−1) entry to seed from; the
+    // predecessor hint is meaningless here.
     Result<std::shared_ptr<const core::Summary>> result =
-        ComputeOn(*state, task, options);
+        ComputeOn(*state, task, options, /*prev_chain=*/nullptr,
+                  /*out_chain=*/nullptr);
     RecordLatency(timer.ElapsedMillis(), !result.ok());
     return result;
   }
@@ -126,9 +160,23 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
     return flight->summary;
   }
 
+  // Incremental assist: a k-sweep caller names the same unit's k−1 task;
+  // its cached chain checkpoint (recorded under the same snapshot version
+  // and options) seeds this compute. Validity is re-verified inside the
+  // engine (graph + cost signature), so a stale or mismatched hint can
+  // only cost the lookup, never change the answer.
+  std::shared_ptr<const core::SummaryChain> prev_chain;
+  if (predecessor != nullptr) {
+    CacheKey pred_key;
+    pred_key.snapshot_version = state->snapshot.version;
+    FingerprintTask(*predecessor, options, &pred_key.fp_hi, &pred_key.fp_lo);
+    prev_chain = cache_.LookupChain(pred_key);
+  }
+
+  std::shared_ptr<core::SummaryChain> out_chain;
   Result<std::shared_ptr<const core::Summary>> result =
-      ComputeOn(*state, task, options);
-  if (result.ok()) cache_.Insert(key, *result);
+      ComputeOn(*state, task, options, prev_chain.get(), &out_chain);
+  if (result.ok()) cache_.Insert(key, *result, std::move(out_chain));
   {
     std::lock_guard<std::mutex> lock(flight->mutex);
     flight->done = true;
@@ -163,15 +211,28 @@ ServiceStats SummaryService::Stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   stats.requests = requests_;
   stats.computed = computed_;
+  stats.incremental = incremental_;
   stats.coalesced = coalesced_;
   stats.errors = errors_;
   stats.uptime_seconds = uptime_.ElapsedSeconds();
   stats.qps = stats.uptime_seconds > 0.0
                   ? static_cast<double>(requests_) / stats.uptime_seconds
                   : 0.0;
-  stats.mean_ms = latency_ms_.Mean();
-  stats.p50_ms = latency_ms_.Percentile(50.0);
-  stats.p99_ms = latency_ms_.Percentile(99.0);
+  // Degenerate latency reservoirs are well-defined: no traffic yet
+  // reports 0 for mean/p50/p99, one sample reports that sample for every
+  // percentile. `StatAccumulator` already guarantees both (empty → 0,
+  // interpolation rank clamped into the window); the explicit branch
+  // states the service-level contract locally, pinned by
+  // service_test.StatsWellDefinedBeforeAndAfterFirstRequest.
+  if (latency_ms_.empty()) {
+    stats.mean_ms = 0.0;
+    stats.p50_ms = 0.0;
+    stats.p99_ms = 0.0;
+  } else {
+    stats.mean_ms = latency_ms_.Mean();
+    stats.p50_ms = latency_ms_.Percentile(50.0);
+    stats.p99_ms = latency_ms_.Percentile(99.0);
+  }
   return stats;
 }
 

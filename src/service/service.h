@@ -57,6 +57,9 @@ struct ServiceOptions {
 struct ServiceStats {
   uint64_t requests = 0;        ///< Summarize calls answered
   uint64_t computed = 0;        ///< answered by running the engine
+  /// Computes that actually reused a (task, k−1) chain's closure rows
+  /// (hints that reset the chain and ran from scratch are not counted).
+  uint64_t incremental = 0;
   uint64_t coalesced = 0;       ///< answered by joining an in-flight leader
   uint64_t errors = 0;          ///< non-OK responses
   uint64_t snapshot_swaps = 0;  ///< serving-state rebuilds observed
@@ -65,7 +68,10 @@ struct ServiceStats {
   double uptime_seconds = 0.0;
   double qps = 0.0;     ///< requests / uptime
   double mean_ms = 0.0; ///< mean response latency over all requests
-  double p50_ms = 0.0;  ///< percentiles over the most recent latency window
+  /// Percentiles over the most recent latency window. Well-defined for
+  /// every reservoir size: 0 before any traffic, the single sample when
+  /// only one request has been served.
+  double p50_ms = 0.0;
   double p99_ms = 0.0;
 };
 
@@ -85,8 +91,17 @@ class SummaryService {
   /// the current graph snapshot. The returned summary is shared and
   /// immutable; it stays valid independent of cache eviction or snapshot
   /// swaps.
+  ///
+  /// \p predecessor optionally names the chain-predecessor task (the same
+  /// unit at k−1, built by the k-sweep callers). On a cache miss the
+  /// service consults the predecessor's cache entry and, when it carries a
+  /// chain checkpoint, summarizes *incrementally* from it — reusing its
+  /// metric-closure rows where provably safe (core/incremental.h). The
+  /// answer is bit-identical with or without the hint; a wrong or stale
+  /// hint degrades to a fresh compute.
   Result<std::shared_ptr<const core::Summary>> Summarize(
-      const core::SummaryTask& task, const core::SummarizerOptions& options);
+      const core::SummaryTask& task, const core::SummarizerOptions& options,
+      const core::SummaryTask* predecessor = nullptr);
 
   /// Current counters.
   ServiceStats Stats() const;
@@ -124,9 +139,14 @@ class SummaryService {
   /// building (and hot-swapping to) a new one when the version moved.
   std::shared_ptr<ServingState> CurrentState();
 
+  /// Leases a worker slot and runs the engine. \p prev_chain (may be null)
+  /// seeds the chained summarization; \p out_chain (may be null) receives
+  /// the checkpoint the step produced, for caching alongside the summary.
   Result<std::shared_ptr<const core::Summary>> ComputeOn(
       ServingState& state, const core::SummaryTask& task,
-      const core::SummarizerOptions& options);
+      const core::SummarizerOptions& options,
+      const core::SummaryChain* prev_chain,
+      std::shared_ptr<core::SummaryChain>* out_chain);
 
   void RecordLatency(double ms, bool error);
 
@@ -150,6 +170,7 @@ class SummaryService {
   StatAccumulator latency_ms_{kLatencyWindow};
   uint64_t requests_ = 0;
   uint64_t computed_ = 0;
+  uint64_t incremental_ = 0;
   uint64_t coalesced_ = 0;
   uint64_t errors_ = 0;
   WallTimer uptime_;

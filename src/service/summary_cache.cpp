@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/incremental.h"
 #include "util/rng.h"
 
 namespace xsum::service {
@@ -117,10 +118,21 @@ std::shared_ptr<const core::Summary> SummaryCache::Lookup(
   return it->second->summary;
 }
 
+std::shared_ptr<const core::SummaryChain> SummaryCache::LookupChain(
+    const CacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  return it->second->chain;
+}
+
 void SummaryCache::Insert(const CacheKey& key,
-                          std::shared_ptr<const core::Summary> summary) {
+                          std::shared_ptr<const core::Summary> summary,
+                          std::shared_ptr<const core::SummaryChain> chain) {
   if (summary == nullptr) return;
-  const size_t bytes = SummaryFootprintBytes(*summary) + sizeof(Entry);
+  size_t bytes = SummaryFootprintBytes(*summary) + sizeof(Entry);
+  if (chain != nullptr) bytes += chain->MemoryFootprintBytes();
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (shard.map.find(key) != shard.map.end()) return;  // first writer wins
@@ -135,7 +147,7 @@ void SummaryCache::Insert(const CacheKey& key,
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.push_front(Entry{key, std::move(summary), bytes});
+  shard.lru.push_front(Entry{key, std::move(summary), std::move(chain), bytes});
   shard.map[key] = shard.lru.begin();
   shard.bytes += bytes;
   ++shard.insertions;

@@ -42,6 +42,10 @@
 
 #include "core/summarizer.h"
 
+namespace xsum::core {
+struct SummaryChain;  // incremental.h
+}  // namespace xsum::core
+
 namespace xsum::service {
 
 /// \brief Cache key: graph snapshot version + 128-bit task fingerprint.
@@ -110,11 +114,21 @@ class SummaryCache {
   /// or nullptr on miss.
   std::shared_ptr<const core::Summary> Lookup(const CacheKey& key);
 
+  /// Returns the chain checkpoint stored alongside \p key's summary, or
+  /// nullptr when the key is absent or was inserted without one. Does not
+  /// touch the hit/miss counters or the LRU order: this is the internal
+  /// assist the service uses to summarize a (task, k) miss incrementally
+  /// from the (task, k−1) entry, not a cache answer.
+  std::shared_ptr<const core::SummaryChain> LookupChain(const CacheKey& key);
+
   /// Inserts \p summary under \p key (no-op if the key is already present —
   /// first writer wins, so concurrent single-flight losers don't churn the
   /// LRU list). Evicts LRU entries until the shard fits its budget slice.
+  /// \p chain optionally attaches the summarization chain checkpoint that
+  /// produced the summary (its footprint counts against the byte budget).
   void Insert(const CacheKey& key,
-              std::shared_ptr<const core::Summary> summary);
+              std::shared_ptr<const core::Summary> summary,
+              std::shared_ptr<const core::SummaryChain> chain = nullptr);
 
   /// Drops every entry (counters are kept).
   void Clear();
@@ -128,6 +142,8 @@ class SummaryCache {
   struct Entry {
     CacheKey key;
     std::shared_ptr<const core::Summary> summary;
+    /// Chain checkpoint of the chained-summarization path (may be null).
+    std::shared_ptr<const core::SummaryChain> chain;
     size_t bytes = 0;
   };
   /// One independently locked LRU slice; front = most recently used.

@@ -281,5 +281,86 @@ TEST(SummaryServiceTest, NoPublishedSnapshotFailsPrecondition) {
   EXPECT_TRUE(result.status().IsFailedPrecondition());
 }
 
+TEST(SummaryServiceTest, StatsWellDefinedBeforeAndAfterFirstRequest) {
+  // Regression: the latency percentiles must be well-defined on an empty
+  // (no traffic yet) and a one-sample reservoir — zeros and the single
+  // sample respectively, never garbage.
+  eval::ExperimentRunner runner(TinyConfig());
+  ASSERT_TRUE(runner.Init().ok());
+  GraphSnapshotRegistry registry;
+  registry.Publish(GraphSnapshotRegistry::Alias(runner.rec_graph()));
+  SummaryService service(&registry, ServiceOptions());
+
+  const ServiceStats before = service.Stats();
+  EXPECT_EQ(before.requests, 0u);
+  EXPECT_EQ(before.mean_ms, 0.0);
+  EXPECT_EQ(before.p50_ms, 0.0);
+  EXPECT_EQ(before.p99_ms, 0.0);
+  EXPECT_EQ(before.qps, 0.0);
+
+  const auto data = runner.ComputeBaseline(rec::RecommenderKind::kPgpr);
+  ASSERT_TRUE(data.ok());
+  const core::SummaryTask task =
+      core::MakeUserCentricTask(runner.rec_graph(), data->users[0], 3);
+  core::SummarizerOptions st;
+  st.method = core::SummaryMethod::kSteiner;
+  ASSERT_TRUE(service.Summarize(task, st).ok());
+
+  const ServiceStats after = service.Stats();
+  EXPECT_EQ(after.requests, 1u);
+  // One sample: every percentile is that sample, and the mean equals it.
+  EXPECT_EQ(after.p50_ms, after.p99_ms);
+  EXPECT_EQ(after.p50_ms, after.mean_ms);
+  EXPECT_GT(after.p50_ms, 0.0);
+}
+
+TEST(SummaryServiceTest, PredecessorHintSummarizesIncrementallyBitIdentical) {
+  eval::ExperimentRunner runner(TinyConfig());
+  ASSERT_TRUE(runner.Init().ok());
+  const auto data = runner.ComputeBaseline(rec::RecommenderKind::kPgpr);
+  ASSERT_TRUE(data.ok());
+  GraphSnapshotRegistry registry;
+  registry.Publish(GraphSnapshotRegistry::Alias(runner.rec_graph()));
+  SummaryService service(&registry, ServiceOptions());
+
+  // λ = 0 KMB: the resolved costs are k-stable, so the chained compute
+  // actually reuses the predecessor's closure rows (not just the wiring).
+  core::SummarizerOptions st;
+  st.method = core::SummaryMethod::kSteiner;
+  st.lambda = 0.0;
+  st.steiner.variant = core::SteinerOptions::Variant::kKmb;
+
+  const core::SummaryTask* predecessor = nullptr;
+  core::SummaryTask prev_task;
+  for (int k = 1; k <= 5; ++k) {
+    const core::SummaryTask task =
+        core::MakeUserCentricTask(runner.rec_graph(), data->users[0], k);
+    const auto incremental = service.Summarize(task, st, predecessor);
+    ASSERT_TRUE(incremental.ok()) << incremental.status();
+    // Property: the hinted answer is bit-identical to a fresh one-shot.
+    const auto fresh = core::Summarize(runner.rec_graph(), task, st);
+    ASSERT_TRUE(fresh.ok());
+    ExpectIdentical(*fresh, **incremental);
+    prev_task = task;
+    predecessor = &prev_task;
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.computed, 5u);
+  // Every step past the first was seeded by the (task, k−1) checkpoint.
+  EXPECT_EQ(stats.incremental, 4u);
+  EXPECT_EQ(stats.errors, 0u);
+
+  // A wrong or unrelated hint degrades to a fresh compute, never a wrong
+  // answer.
+  const core::SummaryTask unrelated =
+      core::MakeUserCentricTask(runner.rec_graph(), data->users.back(), 2);
+  const core::SummaryTask task =
+      core::MakeUserCentricTask(runner.rec_graph(), data->users[0], 6);
+  const auto hinted = service.Summarize(task, st, &unrelated);
+  const auto fresh = core::Summarize(runner.rec_graph(), task, st);
+  ASSERT_TRUE(hinted.ok() && fresh.ok());
+  ExpectIdentical(*fresh, **hinted);
+}
+
 }  // namespace
 }  // namespace xsum::service
