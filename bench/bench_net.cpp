@@ -1,0 +1,292 @@
+/// \file bench_net.cpp
+/// \brief Cost of the network front (DESIGN.md §6): the same Zipf-skewed
+/// summary request stream replayed through three transports —
+///
+///   inproc        handler called directly (no sockets; the §3 service
+///                 steady state and the floor for the other arms)
+///   http_loopback one `net::HttpServer` over loopback TCP (adds JSON
+///                 parse/render + HTTP framing + one socket hop)
+///   routed2       client -> router server -> one of 2 shard servers
+///                 (adds consistent-hash placement + a second hop; the
+///                 minimal multi-process serving topology)
+///
+/// Each arm reports total wall time, QPS, and client-side p50/p99, and a
+/// sample of responses is verified *byte-identical* across all three arms
+/// — the routing invariant that makes the shard layer safe to deploy.
+///
+/// Env knobs (on top of the standard XSUM_* set):
+///   XSUM_REQUESTS     requests per arm       (default 300)
+///   XSUM_CLIENTS      client threads         (default 2)
+///   XSUM_ZIPF         task-mix skew          (default 1.1)
+///   XSUM_NET_WORKERS  server worker threads  (default 4)
+///
+/// XSUM_JSON emits one record per arm into the *gated* perf artifact, so
+/// `bench/compare_perf.py` tracks transport overhead across commits.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/scenario.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/replay.h"
+#include "service/handler.h"
+#include "service/service.h"
+#include "service/shard_router.h"
+#include "service/snapshot_registry.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace xsum;
+
+namespace {
+
+struct ArmResult {
+  std::string name;
+  net::ReplayStats replay;
+};
+
+/// Replays \p stream across client threads; \p issue answers one request.
+ArmResult RunArm(
+    const std::string& name,
+    const std::vector<service::SummaryRequest>& stream, size_t num_clients,
+    const std::function<net::HttpResponse(size_t client,
+                                          const service::SummaryRequest&)>&
+        issue) {
+  ArmResult result;
+  result.name = name;
+  result.replay = net::ReplayConcurrent(
+      stream.size(), num_clients,
+      [&](size_t c, size_t i) { return issue(c, stream[i]); });
+  if (!result.replay.ok) {
+    std::fprintf(stderr, "[%s] request failed: HTTP %d %s\n", name.c_str(),
+                 result.replay.error_status,
+                 result.replay.error_body.c_str());
+    std::exit(1);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  eval::ExperimentConfig defaults;
+  defaults.scale = 0.05;
+  defaults.users_per_gender = 8;
+  defaults.items_popular = 6;
+  defaults.items_unpopular = 6;
+  eval::ExperimentRunner runner = bench::MakeRunner(defaults);
+  const auto data = bench::ValueOrDie(
+      runner.ComputeBaseline(rec::RecommenderKind::kPgpr), "baseline");
+
+  const size_t num_requests = static_cast<size_t>(
+      GetEnvNonNegativeInt("XSUM_REQUESTS", 300));
+  const size_t num_clients = static_cast<size_t>(
+      std::max<int64_t>(1, GetEnvNonNegativeInt("XSUM_CLIENTS", 2)));
+  const double skew = GetEnvDouble("XSUM_ZIPF", 1.1);
+  const size_t net_workers = static_cast<size_t>(
+      std::max<int64_t>(1, GetEnvNonNegativeInt("XSUM_NET_WORKERS", 4)));
+
+  // Shared task catalog: user-centric k-prefixes for every baseline user.
+  service::TaskCatalog catalog;
+  for (const core::UserRecs& ur : data.users) {
+    catalog.AddUserCentric(runner.rec_graph(), ur, 10);
+  }
+  if (catalog.size() == 0) {
+    std::fprintf(stderr, "no serveable tasks at this scale\n");
+    return 1;
+  }
+
+  // Request universe: catalog entries under ST λ=1 and PCST.
+  std::vector<service::SummaryRequest> universe;
+  for (const auto& entry : catalog.entries()) {
+    service::SummaryRequest st;
+    st.scenario = entry.scenario;
+    st.unit = entry.unit;
+    st.k = entry.k;
+    universe.push_back(st);
+    service::SummaryRequest pcst = st;
+    pcst.method = core::SummaryMethod::kPcst;
+    universe.push_back(pcst);
+  }
+  const ZipfTable zipf(universe.size(), skew);
+  Rng rng(runner.config().seed + 7);
+  std::vector<service::SummaryRequest> stream;
+  stream.reserve(num_requests);
+  for (size_t r = 0; r < num_requests; ++r) {
+    stream.push_back(universe[zipf.Sample(&rng)]);
+  }
+
+  // One registry (the runner's graph) behind every arm; each arm gets its
+  // own service so cache state starts cold everywhere.
+  service::GraphSnapshotRegistry registry;
+  registry.Publish(service::GraphSnapshotRegistry::Alias(runner.rec_graph()));
+  service::ServiceOptions service_options;
+  service_options.num_workers = num_clients;
+
+  std::printf("bench_net: Zipf(s=%.2f) stream of %zu requests over %zu "
+              "distinct requests, %zu clients, %zu server workers\n",
+              skew, stream.size(), universe.size(), num_clients,
+              net_workers);
+  std::printf("config: %s\n\n", runner.config().Describe().c_str());
+
+  // --- arm 1: in-process ---------------------------------------------------
+  service::SummaryService inproc_service(&registry, service_options);
+  service::SummaryHandler inproc(&inproc_service, &catalog);
+  const ArmResult arm_inproc =
+      RunArm("inproc", stream, num_clients,
+             [&](size_t, const service::SummaryRequest& request) {
+               return inproc.Summarize(request);
+             });
+
+  // --- arm 2: loopback HTTP ------------------------------------------------
+  service::SummaryService http_service(&registry, service_options);
+  service::SummaryHandler http_handler(&http_service, &catalog);
+  net::HttpServer::Options server_options;
+  server_options.num_workers = net_workers;
+  net::HttpServer http_server(
+      [&](const net::HttpRequest& request) {
+        return http_handler.Handle(request);
+      },
+      server_options);
+  bench::CheckOk(http_server.Start(), "loopback server start");
+  {
+    std::vector<std::unique_ptr<net::HttpClient>> clients;
+    for (size_t c = 0; c < num_clients; ++c) {
+      clients.push_back(std::make_unique<net::HttpClient>(
+          "127.0.0.1", http_server.port()));
+    }
+    const ArmResult arm_http =
+        RunArm("http_loopback", stream, num_clients,
+               [&](size_t c, const service::SummaryRequest& request) {
+                 const auto response = clients[c]->Post(
+                     "/summarize",
+                     service::SummaryRequestToJson(request).Dump());
+                 if (!response.ok()) {
+                   net::HttpResponse error;
+                   error.status = 599;
+                   error.body = response.status().ToString();
+                   return error;
+                 }
+                 return *response;
+               });
+
+    // --- arm 3: routed through 2 shard servers -----------------------------
+    service::SummaryService shard_a_service(&registry, service_options);
+    service::SummaryHandler shard_a(&shard_a_service, &catalog);
+    service::SummaryService shard_b_service(&registry, service_options);
+    service::SummaryHandler shard_b(&shard_b_service, &catalog);
+    net::HttpServer server_a(
+        [&](const net::HttpRequest& request) { return shard_a.Handle(request); },
+        server_options);
+    net::HttpServer server_b(
+        [&](const net::HttpRequest& request) { return shard_b.Handle(request); },
+        server_options);
+    bench::CheckOk(server_a.Start(), "shard A start");
+    bench::CheckOk(server_b.Start(), "shard B start");
+    service::ShardRouter::Options router_options;
+    router_options.endpoints = {
+        "127.0.0.1:" + std::to_string(server_a.port()),
+        "127.0.0.1:" + std::to_string(server_b.port())};
+    router_options.local_fallback = false;
+    service::ShardRouter router(nullptr, router_options);
+    net::HttpServer router_server(
+        [&](const net::HttpRequest& request) { return router.Handle(request); },
+        server_options);
+    bench::CheckOk(router_server.Start(), "router start");
+    std::vector<std::unique_ptr<net::HttpClient>> router_clients;
+    for (size_t c = 0; c < num_clients; ++c) {
+      router_clients.push_back(std::make_unique<net::HttpClient>(
+          "127.0.0.1", router_server.port()));
+    }
+    const ArmResult arm_routed =
+        RunArm("routed2", stream, num_clients,
+               [&](size_t c, const service::SummaryRequest& request) {
+                 const auto response = router_clients[c]->Post(
+                     "/summarize",
+                     service::SummaryRequestToJson(request).Dump());
+                 if (!response.ok()) {
+                   net::HttpResponse error;
+                   error.status = 599;
+                   error.body = response.status().ToString();
+                   return error;
+                 }
+                 return *response;
+               });
+
+    // Byte-identity across all three transports.
+    size_t verified = 0;
+    for (size_t i = 0; i < universe.size() && verified < 60; i += 5) {
+      const service::SummaryRequest& request = universe[i];
+      const std::string local = inproc.Summarize(request).body;
+      const auto http = clients[0]->Post(
+          "/summarize", service::SummaryRequestToJson(request).Dump());
+      const auto routed = router_clients[0]->Post(
+          "/summarize", service::SummaryRequestToJson(request).Dump());
+      bench::CheckOk(http.status(), "verify http");
+      bench::CheckOk(routed.status(), "verify routed");
+      if (http->body != local || routed->body != local) {
+        std::fprintf(stderr,
+                     "FATAL: transport changed the response bytes\n"
+                     "  inproc: %s\n  http:   %s\n  routed: %s\n",
+                     local.c_str(), http->body.c_str(),
+                     routed->body.c_str());
+        return 1;
+      }
+      ++verified;
+    }
+
+    const service::RouterStats rs = router.stats();
+    TextTable table({"arm", "requests", "wall ms", "QPS", "p50 ms",
+                     "p99 ms"});
+    const auto add_row = [&](const ArmResult& arm) {
+      const double wall_ms = arm.replay.wall_ms;
+      const double qps = wall_ms > 0.0
+                             ? 1000.0 * static_cast<double>(stream.size()) /
+                                   wall_ms
+                             : 0.0;
+      table.AddRow({arm.name,
+                    FormatCount(static_cast<int64_t>(stream.size())),
+                    FormatDouble(wall_ms, 1), FormatDouble(qps, 0),
+                    FormatDouble(arm.replay.latencies_ms.Percentile(50.0), 4),
+                    FormatDouble(arm.replay.latencies_ms.Percentile(99.0),
+                                 4)});
+    };
+    add_row(arm_inproc);
+    add_row(arm_http);
+    add_row(arm_routed);
+    table.Print(std::cout);
+    std::printf(
+        "\n%zu responses verified byte-identical across all transports; "
+        "shard split %llu/%llu, failovers %llu\n",
+        verified, static_cast<unsigned long long>(rs.per_endpoint[0]),
+        static_cast<unsigned long long>(rs.per_endpoint[1]),
+        static_cast<unsigned long long>(rs.failovers));
+
+    const size_t n = runner.rec_graph().graph().num_nodes();
+    const auto per_request = [&](const ArmResult& arm) {
+      return arm.replay.wall_ms / static_cast<double>(stream.size());
+    };
+    bench::EmitPerfJson(
+        {"net.zipf", "inproc", n, 0, per_request(arm_inproc), 0});
+    bench::EmitPerfJson(
+        {"net.zipf", "http_loopback", n, 0, per_request(arm_http), 0});
+    bench::EmitPerfJson(
+        {"net.zipf", "routed2", n, 0, per_request(arm_routed), 0});
+
+    router_server.Stop();
+    server_a.Stop();
+    server_b.Stop();
+  }
+  http_server.Stop();
+  return 0;
+}

@@ -1,70 +1,96 @@
 /// \file xsum_server.cpp
-/// \brief A miniature summary server: replays a synthetic, Zipf-skewed
-/// request stream from concurrent client threads against the
-/// `service::SummaryService`, hot-swaps the serving graph snapshot halfway
-/// through, and prints the service dashboard (QPS, hit rate, p50/p99,
-/// snapshot version) after each phase.
+/// \brief The summary-serving binary: one executable that runs as an HTTP
+/// shard, a shard router, or both (DESIGN.md §6), plus a bench driver
+/// that forks real shard processes and replays a Zipf stream through the
+/// routed path.
 ///
-/// The swap mimics a production weight refresh: the second graph is built
-/// from the same interactions with recency-aware weights (β2 = 1), so the
-/// summaries genuinely change — stale cache entries must not survive, and
-/// the stats show the post-swap misses refilling the cache.
+/// Subcommands:
+///   serve          Start the HTTP front on XSUM_PORT. With XSUM_SHARDS
+///                  set (comma-separated host:port list) the process is a
+///                  *router* over those backends (local fallback per
+///                  XSUM_LOCAL_FALLBACK); without it, a plain *shard*.
+///                  Prints "LISTENING <port>" once ready; stops on
+///                  SIGINT/SIGTERM.
+///   bench          (default) Forks two `serve` shard children on
+///                  ephemeral ports, routes a Zipf-skewed request stream
+///                  through them from XSUM_CLIENTS threads, hot-swaps the
+///                  graph fleet-wide mid-stream via /snapshot, prints the
+///                  dashboard per phase, and verifies a sample of routed
+///                  responses byte-identical against the in-process
+///                  engine.
+///   oneshot JSON   Answer one /summarize body in-process and print the
+///                  exact response body — the reference side of the CI
+///                  smoke diff.
+///   request        Print a valid /summarize body for this dataset (the
+///                  first catalog unit), for quickstarts and CI.
+///
+/// Determinism: every subcommand builds the identical dataset, task
+/// catalog, and graph snapshot from the XSUM_* env knobs, which is what
+/// makes `oneshot` output byte-comparable with a routed `serve` answer.
 ///
 /// Env knobs: XSUM_SCALE / XSUM_USERS / XSUM_SEED (dataset),
-/// XSUM_REQUESTS (total, default 400), XSUM_CLIENTS (threads, default 2),
-/// XSUM_ZIPF (skew, default 1.1).
+/// XSUM_PORT / XSUM_SHARDS / XSUM_NET_WORKERS / XSUM_LOCAL_FALLBACK
+/// (network), XSUM_REQUESTS (default 400), XSUM_CLIENTS (default 2),
+/// XSUM_ZIPF (default 1.1). See docs/OPERATIONS.md.
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
-#include "core/renderer.h"
 #include "core/scenario.h"
 #include "data/kg_builder.h"
 #include "data/synthetic.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/replay.h"
 #include "rec/recommender.h"
 #include "rec/sampler.h"
+#include "service/handler.h"
 #include "service/service.h"
+#include "service/shard_router.h"
 #include "service/snapshot_registry.h"
 #include "util/env.h"
 #include "util/rng.h"
+#include "util/stats.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 using namespace xsum;
 
 namespace {
 
-void PrintDashboard(const char* phase, const service::ServiceStats& stats) {
-  std::printf(
-      "[%s] v%llu | %llu requests (%.0f QPS) | hit rate %.1f%% | "
-      "computed %llu, coalesced %llu | p50 %.3f ms, p99 %.3f ms | "
-      "cache %zu entries / %s | swaps %llu\n",
-      phase, static_cast<unsigned long long>(stats.snapshot_version),
-      static_cast<unsigned long long>(stats.requests), stats.qps,
-      100.0 * stats.cache.HitRate(),
-      static_cast<unsigned long long>(stats.computed),
-      static_cast<unsigned long long>(stats.coalesced),
-      stats.p50_ms, stats.p99_ms, stats.cache.entries,
-      FormatBytes(static_cast<int64_t>(stats.cache.bytes)).c_str(),
-      static_cast<unsigned long long>(stats.snapshot_swaps));
-}
+/// Everything one serving process owns: graphs, registry, catalog,
+/// service, handler. Identical across processes given identical env.
+struct ServingStack {
+  std::shared_ptr<const data::RecGraph> graph;
+  std::shared_ptr<const data::RecGraph> refresh;
+  service::GraphSnapshotRegistry registry;
+  service::TaskCatalog catalog;
+  std::unique_ptr<service::SummaryService> service;
+  std::unique_ptr<service::SummaryHandler> handler;
+};
 
-}  // namespace
-
-int main() {
+std::unique_ptr<ServingStack> BuildStack(size_t service_workers) {
   const double scale = GetEnvDouble("XSUM_SCALE", 0.03);
   const uint64_t seed =
       static_cast<uint64_t>(GetEnvNonNegativeInt("XSUM_SEED", 42));
   const size_t num_users =
       static_cast<size_t>(GetEnvNonNegativeInt("XSUM_USERS", 12));
-  const size_t num_requests =
-      static_cast<size_t>(GetEnvNonNegativeInt("XSUM_REQUESTS", 400));
-  const size_t num_clients = static_cast<size_t>(
-      std::max<int64_t>(1, GetEnvNonNegativeInt("XSUM_CLIENTS", 2)));
-  const double skew = GetEnvDouble("XSUM_ZIPF", 1.1);
+
+  auto stack = std::make_unique<ServingStack>();
 
   // One dataset, two weight regimes: the serving graph (paper defaults)
-  // and tomorrow's refresh (recency-aware weights).
+  // and the refresh /snapshot publishes (recency-aware weights), so a hot
+  // swap genuinely changes summaries.
   const data::Dataset dataset =
       data::MakeSyntheticDataset(data::Ml1mConfig(scale, seed));
   data::WeightParams refresh_params;
@@ -74,84 +100,353 @@ int main() {
   auto refresh_result = data::BuildRecGraph(dataset, refresh_params);
   if (!graph_result.ok() || !refresh_result.ok()) {
     std::fprintf(stderr, "graph build failed\n");
-    return 1;
+    return nullptr;
   }
-  auto graph = std::make_shared<const data::RecGraph>(
+  stack->graph = std::make_shared<const data::RecGraph>(
       std::move(graph_result).ValueOrDie());
-  auto refresh = std::make_shared<const data::RecGraph>(
+  stack->refresh = std::make_shared<const data::RecGraph>(
       std::move(refresh_result).ValueOrDie());
 
-  // Task universe: user-centric tasks at every k-prefix for a user sample.
-  const auto recommender =
-      rec::MakeRecommender(rec::RecommenderKind::kPgpr, *graph, seed + 17, {});
-  std::vector<core::SummaryTask> tasks;
+  // Task universe: user-centric tasks at every k-prefix for a
+  // deterministic user sample.
+  const auto recommender = rec::MakeRecommender(
+      rec::RecommenderKind::kPgpr, *stack->graph, seed + 17, {});
   for (uint32_t user :
        rec::SampleUsersByGender(dataset, num_users / 2, seed + 1)) {
     core::UserRecs ur;
     ur.user = user;
     ur.recs = recommender->Recommend(user, 10);
     if (ur.recs.empty()) continue;
-    for (int k = 1; k <= 10; ++k) {
-      tasks.push_back(core::MakeUserCentricTask(*graph, ur, k));
+    stack->catalog.AddUserCentric(*stack->graph, ur, 10);
+  }
+  if (stack->catalog.size() == 0) {
+    std::fprintf(stderr, "no serveable tasks at this scale\n");
+    return nullptr;
+  }
+
+  stack->registry.Publish(stack->graph);
+  service::ServiceOptions options;
+  options.num_workers = service_workers;
+  options.enable_cache = GetEnvNonNegativeInt("XSUM_CACHE", 1) != 0;
+  options.cache.max_bytes =
+      static_cast<size_t>(GetEnvNonNegativeInt("XSUM_CACHE_MB", 64)) << 20;
+  stack->service =
+      std::make_unique<service::SummaryService>(&stack->registry, options);
+  stack->handler = std::make_unique<service::SummaryHandler>(
+      stack->service.get(), &stack->catalog,
+      [stack_ptr = stack.get()]() -> Result<uint64_t> {
+        return stack_ptr->registry.Publish(stack_ptr->refresh);
+      });
+  return stack;
+}
+
+/// The /summarize body of the catalog's first unit (k = 3 when present) —
+/// the deterministic request the quickstart and CI smoke use.
+service::SummaryRequest DefaultRequest(const service::TaskCatalog& catalog) {
+  const auto& entries = catalog.entries();
+  service::SummaryRequest request;
+  request.scenario = entries.front().scenario;
+  request.unit = entries.front().unit;
+  request.k = entries.front().k;
+  for (const auto& entry : entries) {
+    if (entry.unit == request.unit && entry.k == 3) {
+      request.k = 3;
+      break;
     }
   }
-  if (tasks.empty()) {
-    std::fprintf(stderr, "no serveable tasks at this scale\n");
+  return request;
+}
+
+// --- serve -----------------------------------------------------------------
+
+int RunServe() {
+  // Block the stop signals before any server thread exists so every
+  // thread inherits the mask and sigwait below is race-free.
+  sigset_t stop_set;
+  sigemptyset(&stop_set);
+  sigaddset(&stop_set, SIGINT);
+  sigaddset(&stop_set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &stop_set, nullptr);
+
+  const size_t net_workers = static_cast<size_t>(
+      std::max<int64_t>(1, GetEnvNonNegativeInt("XSUM_NET_WORKERS", 4)));
+  auto stack = BuildStack(net_workers);
+  if (!stack) return 1;
+
+  const std::string shards = GetEnvString("XSUM_SHARDS", "");
+  std::unique_ptr<service::ShardRouter> router;
+  net::HttpServer::Options server_options;
+  const int64_t port = GetEnvNonNegativeInt("XSUM_PORT", 8080);
+  if (port > 65535) {
+    // The env contract: out-of-range values warn and keep the default,
+    // never silently wrap.
+    std::fprintf(stderr,
+                 "XSUM_PORT=%lld is not a valid port; using 8080\n",
+                 static_cast<long long>(port));
+    server_options.port = 8080;
+  } else {
+    server_options.port = static_cast<uint16_t>(port);
+  }
+  server_options.num_workers = net_workers;
+
+  net::HttpServer::Handler http_handler;
+  if (!shards.empty()) {
+    service::ShardRouter::Options router_options;
+    for (const std::string& part : Split(shards, ',')) {
+      const std::string endpoint = Trim(part);
+      if (!endpoint.empty()) router_options.endpoints.push_back(endpoint);
+    }
+    router_options.local_fallback =
+        GetEnvNonNegativeInt("XSUM_LOCAL_FALLBACK", 1) != 0;
+    router = std::make_unique<service::ShardRouter>(stack->handler.get(),
+                                                    router_options);
+    http_handler = [&router](const net::HttpRequest& request) {
+      return router->Handle(request);
+    };
+  } else {
+    http_handler = [&stack](const net::HttpRequest& request) {
+      return stack->handler->Handle(request);
+    };
+  }
+
+  net::HttpServer server(http_handler, server_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
     return 1;
   }
-  core::SummarizerOptions st;
-  st.method = core::SummaryMethod::kSteiner;
+  std::printf("LISTENING %u\n", server.port());
+  std::printf("xsum_server: role=%s port=%u tasks=%zu workers=%zu\n",
+              router ? "router" : "shard", server.port(),
+              stack->catalog.size(), net_workers);
+  std::fflush(stdout);
 
-  service::GraphSnapshotRegistry registry;
-  registry.Publish(graph);
-  service::ServiceOptions options;
-  options.num_workers = num_clients;
-  service::SummaryService service(&registry, options);
+  int sig = 0;
+  sigwait(&stop_set, &sig);
+  std::printf("xsum_server: stopping (signal %d), served %llu requests\n",
+              sig,
+              static_cast<unsigned long long>(server.requests_served()));
+  server.Stop();
+  return 0;
+}
 
-  std::printf("xsum_server: %zu clients x Zipf(s=%.2f) over %zu tasks, "
-              "%zu requests total\n\n",
-              num_clients, skew, tasks.size(), num_requests);
+// --- oneshot / request -----------------------------------------------------
 
-  // Each phase fans half the stream across the client threads.
-  const ZipfTable zipf(tasks.size(), skew);
-  const auto run_phase = [&](uint64_t phase_seed) {
-    std::vector<std::thread> clients;
-    clients.reserve(num_clients);
-    for (size_t c = 0; c < num_clients; ++c) {
-      clients.emplace_back([&, c] {
-        Rng rng(phase_seed + c);
-        const size_t share = num_requests / 2 / num_clients;
-        for (size_t r = 0; r < share; ++r) {
-          const auto result =
-              service.Summarize(tasks[zipf.Sample(&rng)], st);
-          if (!result.ok()) {
-            std::fprintf(stderr, "request failed: %s\n",
-                         result.status().ToString().c_str());
-            std::exit(1);
-          }
-        }
-      });
-    }
-    for (std::thread& client : clients) client.join();
-  };
-
-  run_phase(seed + 1000);
-  PrintDashboard("phase 1 / graph v1", service.Stats());
-
-  // Hot swap: publish the recency-weighted graph. In-flight requests
-  // would finish on their pinned snapshot; every v1 cache entry is dead
-  // by key construction (version mismatch), never by scanning.
-  registry.Publish(refresh);
-  std::printf("\n-- published recency-weighted graph (hot swap to v2) --\n\n");
-
-  run_phase(seed + 2000);
-  PrintDashboard("phase 2 / graph v2", service.Stats());
-
-  // One rendered summary off the current snapshot, Table-I style.
-  const auto sample = service.Summarize(tasks.front(), st);
-  if (sample.ok()) {
-    std::printf("\nsample summary (v2 graph):\n%s\n",
-                core::RenderSummary(*refresh, **sample).c_str());
+int RunOneshot(const std::string& body) {
+  auto stack = BuildStack(1);
+  if (!stack) return 1;
+  const net::HttpRequest request{
+      "POST", "/summarize", 1, {}, body, true};
+  const net::HttpResponse response = stack->handler->Handle(request);
+  std::printf("%s\n", response.body.c_str());
+  if (response.status != 200) {
+    std::fprintf(stderr, "oneshot failed: HTTP %d\n", response.status);
+    return 1;
   }
   return 0;
+}
+
+int RunRequest() {
+  auto stack = BuildStack(1);
+  if (!stack) return 1;
+  std::printf("%s\n",
+              service::SummaryRequestToJson(DefaultRequest(stack->catalog))
+                  .Dump()
+                  .c_str());
+  return 0;
+}
+
+// --- bench -----------------------------------------------------------------
+
+/// One forked `serve` child on an ephemeral port.
+struct ShardProcess {
+  pid_t pid = -1;
+  uint16_t port = 0;
+};
+
+bool SpawnShard(ShardProcess* out) {
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) return false;
+  const pid_t pid = fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    // Child: banner goes to the parent through the pipe.
+    dup2(pipe_fds[1], STDOUT_FILENO);
+    close(pipe_fds[0]);
+    close(pipe_fds[1]);
+    setenv("XSUM_PORT", "0", 1);
+    unsetenv("XSUM_SHARDS");  // children are shards, never routers
+    execl("/proc/self/exe", "xsum_server", "serve",
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(pipe_fds[1]);
+  std::FILE* from_child = fdopen(pipe_fds[0], "r");
+  char line[256];
+  uint16_t port = 0;
+  while (from_child != nullptr &&
+         std::fgets(line, sizeof(line), from_child) != nullptr) {
+    unsigned parsed = 0;
+    if (std::sscanf(line, "LISTENING %u", &parsed) == 1) {
+      port = static_cast<uint16_t>(parsed);
+      break;
+    }
+  }
+  // Keep the read end open: serve prints nothing further, and closing it
+  // would SIGPIPE the child's shutdown banner.
+  if (port == 0) {
+    kill(pid, SIGKILL);
+    return false;
+  }
+  out->pid = pid;
+  out->port = port;
+  return true;
+}
+
+void StopShard(const ShardProcess& shard) {
+  if (shard.pid <= 0) return;
+  kill(shard.pid, SIGTERM);
+  int status = 0;
+  waitpid(shard.pid, &status, 0);
+}
+
+
+int RunBench() {
+  const size_t num_requests =
+      static_cast<size_t>(GetEnvNonNegativeInt("XSUM_REQUESTS", 400));
+  const size_t num_clients = static_cast<size_t>(
+      std::max<int64_t>(1, GetEnvNonNegativeInt("XSUM_CLIENTS", 2)));
+  const double skew = GetEnvDouble("XSUM_ZIPF", 1.1);
+  const uint64_t seed =
+      static_cast<uint64_t>(GetEnvNonNegativeInt("XSUM_SEED", 42));
+
+  // In-process reference engine (also the router's local fallback).
+  auto stack = BuildStack(num_clients);
+  if (!stack) return 1;
+
+  // Request universe: every catalog (unit, k) under ST λ=1.
+  std::vector<service::SummaryRequest> universe;
+  for (const auto& entry : stack->catalog.entries()) {
+    service::SummaryRequest request;
+    request.scenario = entry.scenario;
+    request.unit = entry.unit;
+    request.k = entry.k;
+    universe.push_back(request);
+  }
+
+  std::printf("xsum_server bench: forking 2 shard processes...\n");
+  ShardProcess shard_a, shard_b;
+  if (!SpawnShard(&shard_a)) {
+    std::fprintf(stderr, "failed to spawn shard A\n");
+    return 1;
+  }
+  if (!SpawnShard(&shard_b)) {
+    std::fprintf(stderr, "failed to spawn shard B\n");
+    StopShard(shard_a);
+    return 1;
+  }
+  std::printf("shards up on 127.0.0.1:%u and 127.0.0.1:%u\n", shard_a.port,
+              shard_b.port);
+
+  service::ShardRouter::Options router_options;
+  router_options.endpoints = {
+      "127.0.0.1:" + std::to_string(shard_a.port),
+      "127.0.0.1:" + std::to_string(shard_b.port)};
+  service::ShardRouter router(stack->handler.get(), router_options);
+
+  const ZipfTable zipf(universe.size(), skew);
+  const auto run_phase = [&](uint64_t phase_seed) {
+    const size_t total = num_requests / 2;
+    // One deterministic RNG per client; ReplayConcurrent runs each client
+    // index on exactly one thread, so no locking is needed.
+    std::vector<Rng> rngs;
+    for (size_t c = 0; c < num_clients; ++c) rngs.emplace_back(phase_seed + c);
+    const net::ReplayStats result = net::ReplayConcurrent(
+        total, num_clients, [&](size_t c, size_t /*i*/) {
+          return router.Summarize(universe[zipf.Sample(&rngs[c])]);
+        });
+    if (!result.ok) {
+      std::fprintf(stderr, "routed request failed: HTTP %d %s\n",
+                   result.error_status, result.error_body.c_str());
+      // Don't orphan the forked serve children on a failed phase.
+      StopShard(shard_a);
+      StopShard(shard_b);
+      std::exit(1);
+    }
+    return result;
+  };
+
+  const auto print_phase = [&](const char* name,
+                               const net::ReplayStats& phase) {
+    const size_t n = phase.latencies_ms.count();
+    const double qps =
+        phase.wall_ms > 0.0 ? 1000.0 * static_cast<double>(n) / phase.wall_ms
+                            : 0.0;
+    const service::RouterStats rs = router.stats();
+    std::printf(
+        "[%s] %zu routed requests in %.1f ms (%.0f QPS) | p50 %.3f ms, "
+        "p99 %.3f ms | per-shard %llu/%llu, failovers %llu, local %llu\n",
+        name, n, phase.wall_ms, qps, phase.latencies_ms.Percentile(50.0),
+        phase.latencies_ms.Percentile(99.0),
+        static_cast<unsigned long long>(rs.per_endpoint[0]),
+        static_cast<unsigned long long>(rs.per_endpoint[1]),
+        static_cast<unsigned long long>(rs.failovers),
+        static_cast<unsigned long long>(rs.local));
+  };
+
+  print_phase("phase 1 / graph v1", run_phase(seed + 1000));
+
+  // Fleet-wide hot swap through the router's /snapshot broadcast: both
+  // shards and the local fallback republish the recency-weighted graph.
+  const net::HttpRequest swap{"POST", "/snapshot", 1, {}, "{}", true};
+  const net::HttpResponse swapped = router.Handle(swap);
+  std::printf("\n-- /snapshot broadcast (hot swap to v2): %s --\n\n",
+              swapped.body.c_str());
+
+  print_phase("phase 2 / graph v2", run_phase(seed + 2000));
+
+  // Routing invariant: routed bytes == in-process bytes, per request.
+  size_t verified = 0;
+  for (size_t i = 0; i < universe.size() && verified < 50; i += 3) {
+    const net::HttpResponse routed = router.Summarize(universe[i]);
+    const net::HttpResponse local = stack->handler->Summarize(universe[i]);
+    if (routed.status != 200 || routed.body != local.body) {
+      std::fprintf(stderr,
+                   "FATAL: routed response differs from in-process result\n"
+                   "  routed (HTTP %d): %s\n  local  (HTTP %d): %s\n",
+                   routed.status, routed.body.c_str(), local.status,
+                   local.body.c_str());
+      StopShard(shard_a);
+      StopShard(shard_b);
+      return 1;
+    }
+    ++verified;
+  }
+  std::printf("\n%zu routed responses verified byte-identical to the "
+              "in-process engine\n",
+              verified);
+
+  StopShard(shard_a);
+  StopShard(shard_b);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "bench";
+  if (mode == "serve") return RunServe();
+  if (mode == "oneshot") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: xsum_server oneshot '<json body>'\n");
+      return 2;
+    }
+    return RunOneshot(argv[2]);
+  }
+  if (mode == "request") return RunRequest();
+  if (mode == "bench") return RunBench();
+  std::fprintf(stderr,
+               "usage: xsum_server [bench|serve|oneshot <json>|request]\n");
+  return 2;
 }

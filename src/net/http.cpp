@@ -1,0 +1,436 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace xsum::net {
+
+namespace {
+
+/// RFC 7230 token characters (header names, methods).
+bool IsTokenChar(unsigned char c) {
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!':
+    case '#':
+    case '$':
+    case '%':
+    case '&':
+    case '\'':
+    case '*':
+    case '+':
+    case '-':
+    case '.':
+    case '^':
+    case '_':
+    case '`':
+    case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  for (unsigned char c : s) {
+    if (!IsTokenChar(c)) return false;
+  }
+  return true;
+}
+
+/// Parses an all-digit Content-Length value; false on anything else
+/// (signs, whitespace, overflow — a smuggling-relevant field gets no
+/// leniency).
+bool ParseContentLength(std::string_view s, size_t* out) {
+  if (s.empty() || s.size() > 18) return false;
+  size_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// Splits one header line into (lower-cased name, trimmed value); false on
+/// malformed lines (no colon, empty/invalid name, whitespace before the
+/// colon — the request-smuggling classic).
+bool ParseHeaderLine(std::string_view line, std::string* name,
+                     std::string* value) {
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos) return false;
+  std::string_view raw_name = line.substr(0, colon);
+  if (!IsToken(raw_name)) return false;
+  *name = ToLower(std::string(raw_name));
+  *value = Trim(std::string(line.substr(colon + 1)));
+  return true;
+}
+
+/// Shared header-section scan: keep-alive + content-length extraction.
+/// Returns a non-empty error string on framing violations.
+struct FramingInfo {
+  size_t content_length = 0;
+  bool saw_content_length = false;
+  bool keep_alive = true;  // caller pre-sets the version default
+  bool saw_transfer_encoding = false;
+};
+
+std::string ApplyHeader(const std::string& name, const std::string& value,
+                        FramingInfo* info) {
+  if (name == "content-length") {
+    size_t length = 0;
+    if (!ParseContentLength(value, &length)) {
+      return "invalid Content-Length";
+    }
+    // Any repeat is rejected, even value-identical ones: duplicate
+    // framing headers are the request-smuggling primitive and get no
+    // benefit of the doubt.
+    if (info->saw_content_length) {
+      return "duplicate Content-Length headers";
+    }
+    info->saw_content_length = true;
+    info->content_length = length;
+  } else if (name == "transfer-encoding") {
+    info->saw_transfer_encoding = true;
+  } else if (name == "connection") {
+    const std::string token = ToLower(Trim(value));
+    if (token == "close") {
+      info->keep_alive = false;
+    } else if (token == "keep-alive") {
+      info->keep_alive = true;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 502:
+      return "Bad Gateway";
+    case 503:
+      return "Service Unavailable";
+    case 505:
+      return "HTTP Version Not Supported";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(response.body.size() + 128);
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(response.status));
+  out.push_back(' ');
+  out.append(HttpStatusReason(response.status));
+  out.append("\r\nContent-Type: ");
+  out.append(response.content_type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(response.body.size()));
+  out.append("\r\nConnection: ");
+  out.append(keep_alive ? "keep-alive" : "close");
+  out.append("\r\n\r\n");
+  out.append(response.body);
+  return out;
+}
+
+std::string SerializeRequest(const std::string& method,
+                             const std::string& target,
+                             const std::string& host, const std::string& body,
+                             const std::string& content_type) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out.append(method);
+  out.push_back(' ');
+  out.append(target);
+  out.append(" HTTP/1.1\r\nHost: ");
+  out.append(host);
+  out.append("\r\nContent-Type: ");
+  out.append(content_type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(body.size()));
+  out.append("\r\nConnection: keep-alive\r\n\r\n");
+  out.append(body);
+  return out;
+}
+
+// --- HttpRequestParser -----------------------------------------------------
+
+HttpRequestParser::State HttpRequestParser::Consume(std::string_view bytes) {
+  buffer_.append(bytes);
+  return Advance();
+}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status,
+                                                 std::string detail) {
+  phase_ = Phase::kError;
+  error_status_ = status;
+  error_detail_ = std::move(detail);
+  return State::kError;
+}
+
+HttpRequestParser::State HttpRequestParser::Advance() {
+  if (phase_ == Phase::kError) return State::kError;
+  if (phase_ == Phase::kHeaders) {
+    const size_t end = buffer_.find("\r\n\r\n", scan_from_);
+    if (end == std::string::npos) {
+      // Resume the next scan just before the unexamined tail, so
+      // trickled (byte-at-a-time) input stays linear instead of
+      // rescanning the whole buffer per Consume.
+      scan_from_ = buffer_.size() > 3 ? buffer_.size() - 3 : 0;
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return Fail(431, "header section exceeds limit");
+      }
+      return State::kNeedMore;
+    }
+    if (end + 4 > limits_.max_header_bytes) {
+      return Fail(431, "header section exceeds limit");
+    }
+    if (!ParseHeaderSection(std::string_view(buffer_).substr(0, end))) {
+      return State::kError;  // Fail() already recorded the cause
+    }
+    body_start_ = end + 4;
+    phase_ = Phase::kBody;
+  }
+  if (phase_ == Phase::kBody) {
+    if (buffer_.size() < body_start_ + content_length_) {
+      return State::kNeedMore;
+    }
+    request_.body = buffer_.substr(body_start_, content_length_);
+    phase_ = Phase::kDone;
+  }
+  return State::kDone;
+}
+
+bool HttpRequestParser::ParseHeaderSection(std::string_view section) {
+  // Request line.
+  const size_t line_end = section.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? section
+                                         : section.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (!IsToken(method)) {
+    Fail(400, "invalid method token");
+    return false;
+  }
+  if (target.empty() || target[0] != '/') {
+    Fail(400, "target must be origin-form");
+    return false;
+  }
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+  } else if (version.substr(0, 5) == "HTTP/") {
+    Fail(505, "unsupported HTTP version");
+    return false;
+  } else {
+    Fail(400, "malformed HTTP version");
+    return false;
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+
+  FramingInfo info;
+  info.keep_alive = request_.version_minor >= 1;
+  size_t pos = line_end == std::string_view::npos ? section.size()
+                                                  : line_end + 2;
+  while (pos < section.size()) {
+    size_t next = section.find("\r\n", pos);
+    if (next == std::string_view::npos) next = section.size();
+    const std::string_view line = section.substr(pos, next - pos);
+    pos = next + 2;
+    if (line.empty()) continue;
+    if (line[0] == ' ' || line[0] == '\t') {
+      Fail(400, "obsolete header folding");
+      return false;
+    }
+    std::string name;
+    std::string value;
+    if (!ParseHeaderLine(line, &name, &value)) {
+      Fail(400, "malformed header line");
+      return false;
+    }
+    const std::string framing_error = ApplyHeader(name, value, &info);
+    if (!framing_error.empty()) {
+      Fail(400, framing_error);
+      return false;
+    }
+    request_.headers.emplace_back(std::move(name), std::move(value));
+  }
+  if (info.saw_transfer_encoding) {
+    Fail(501, "Transfer-Encoding not supported");
+    return false;
+  }
+  if (info.content_length > limits_.max_body_bytes) {
+    Fail(413, "declared body exceeds limit");
+    return false;
+  }
+  content_length_ = info.content_length;
+  request_.keep_alive = info.keep_alive;
+  return true;
+}
+
+void HttpRequestParser::Reset() {
+  if (phase_ == Phase::kDone) {
+    buffer_.erase(0, body_start_ + content_length_);
+  } else {
+    buffer_.clear();
+  }
+  body_start_ = 0;
+  content_length_ = 0;
+  scan_from_ = 0;
+  phase_ = Phase::kHeaders;
+  request_ = HttpRequest();
+  error_status_ = 0;
+  error_detail_.clear();
+  // Pipelined bytes already buffered may complete the next message; the
+  // caller drives Advance via the next Consume (possibly empty).
+}
+
+// --- HttpResponseParser ----------------------------------------------------
+
+HttpResponseParser::State HttpResponseParser::Consume(std::string_view bytes) {
+  buffer_.append(bytes);
+  return Advance();
+}
+
+HttpResponseParser::State HttpResponseParser::Fail(std::string detail) {
+  phase_ = Phase::kError;
+  error_detail_ = std::move(detail);
+  return State::kError;
+}
+
+HttpResponseParser::State HttpResponseParser::Advance() {
+  if (phase_ == Phase::kError) return State::kError;
+  if (phase_ == Phase::kHeaders) {
+    const size_t end = buffer_.find("\r\n\r\n", scan_from_);
+    if (end == std::string::npos) {
+      scan_from_ = buffer_.size() > 3 ? buffer_.size() - 3 : 0;
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return Fail("response header section exceeds limit");
+      }
+      return State::kNeedMore;
+    }
+    const std::string_view section = std::string_view(buffer_).substr(0, end);
+    const size_t line_end = section.find("\r\n");
+    const std::string_view status_line =
+        line_end == std::string_view::npos ? section
+                                           : section.substr(0, line_end);
+    // "HTTP/1.x NNN reason"
+    if (status_line.size() < 12 || status_line.substr(0, 5) != "HTTP/") {
+      return Fail("malformed status line");
+    }
+    const size_t sp1 = status_line.find(' ');
+    if (sp1 == std::string_view::npos || sp1 + 4 > status_line.size()) {
+      return Fail("malformed status line");
+    }
+    const std::string_view code = status_line.substr(sp1 + 1, 3);
+    int status = 0;
+    for (char c : code) {
+      if (c < '0' || c > '9') return Fail("non-numeric status code");
+      status = status * 10 + (c - '0');
+    }
+    status_ = status;
+    keep_alive_ = status_line.substr(5, 3) != "1.0";
+
+    FramingInfo info;
+    info.keep_alive = keep_alive_;
+    size_t pos = line_end == std::string_view::npos ? section.size()
+                                                    : line_end + 2;
+    while (pos < section.size()) {
+      size_t next = section.find("\r\n", pos);
+      if (next == std::string_view::npos) next = section.size();
+      const std::string_view line = section.substr(pos, next - pos);
+      pos = next + 2;
+      if (line.empty()) continue;
+      std::string name;
+      std::string value;
+      if (!ParseHeaderLine(line, &name, &value)) {
+        return Fail("malformed response header");
+      }
+      const std::string framing_error = ApplyHeader(name, value, &info);
+      if (!framing_error.empty()) return Fail(framing_error);
+    }
+    if (info.saw_transfer_encoding) {
+      return Fail("Transfer-Encoding responses not supported");
+    }
+    if (!info.saw_content_length) {
+      return Fail("response without Content-Length");
+    }
+    if (info.content_length > limits_.max_body_bytes) {
+      return Fail("response body exceeds limit");
+    }
+    keep_alive_ = info.keep_alive;
+    content_length_ = info.content_length;
+    body_start_ = end + 4;
+    phase_ = Phase::kBody;
+  }
+  if (phase_ == Phase::kBody) {
+    if (buffer_.size() < body_start_ + content_length_) {
+      return State::kNeedMore;
+    }
+    body_ = buffer_.substr(body_start_, content_length_);
+    phase_ = Phase::kDone;
+  }
+  return State::kDone;
+}
+
+void HttpResponseParser::Reset() {
+  if (phase_ == Phase::kDone) {
+    buffer_.erase(0, body_start_ + content_length_);
+  } else {
+    buffer_.clear();
+  }
+  body_start_ = 0;
+  content_length_ = 0;
+  scan_from_ = 0;
+  phase_ = Phase::kHeaders;
+  status_ = 0;
+  keep_alive_ = true;
+  body_.clear();
+  error_detail_.clear();
+}
+
+}  // namespace xsum::net

@@ -1,0 +1,172 @@
+/// \file http.h
+/// \brief HTTP/1.1 message framing for the network front end (DESIGN.md
+/// §6): request/response structs, serializers, and the incremental
+/// parsers shared by `net::HttpServer` and `net::HttpClient`.
+///
+/// Scope is deliberately small — the subset a loopback/intra-cluster
+/// summary-serving deployment needs:
+///
+///  - `Content-Length` framing only (a `Transfer-Encoding` request is
+///    answered 501 rather than mis-framed);
+///  - keep-alive with HTTP/1.1 semantics (persistent unless
+///    `Connection: close`; HTTP/1.0 closes unless `keep-alive`);
+///  - strict, byte-budgeted parsing: a request whose header section
+///    exceeds the limit is 431, a declared body over the limit is 413,
+///    anything malformed is 400 — *never* a crash or an over-read, which
+///    is what the parser property tests in tests/net/ hammer on.
+///
+/// The parsers are incremental (`Consume` feeds arbitrary byte chunks)
+/// because a TCP read boundary can land anywhere, including inside the
+/// request line; they keep bytes beyond the current message so pipelined
+/// requests survive `Reset`.
+
+#ifndef XSUM_NET_HTTP_H_
+#define XSUM_NET_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xsum::net {
+
+/// \brief One parsed HTTP request.
+struct HttpRequest {
+  std::string method;   ///< e.g. "GET", "POST" (uppercase token)
+  std::string target;   ///< origin-form, e.g. "/summarize"
+  int version_minor = 1;  ///< 1 for HTTP/1.1, 0 for HTTP/1.0
+  /// Headers in arrival order; names lower-cased, values trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection persistence the client asked for (version default +
+  /// `Connection` header applied).
+  bool keep_alive = true;
+
+  /// First header value for lower-case \p name, or nullptr.
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+/// \brief One HTTP response.
+struct HttpResponse {
+  int status = 200;
+  /// `Content-Type` of the body; every endpoint of this system speaks
+  /// JSON, so that is the default.
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Canonical reason phrase for \p status ("OK", "Not Found", ...).
+const char* HttpStatusReason(int status);
+
+/// Serializes \p response with `Content-Length` framing and an explicit
+/// `Connection: keep-alive` / `close` header.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// Serializes a request in origin-form with `Host`, `Content-Length`, and
+/// `Connection: keep-alive` headers.
+std::string SerializeRequest(const std::string& method,
+                             const std::string& target,
+                             const std::string& host, const std::string& body,
+                             const std::string& content_type =
+                                 "application/json");
+
+/// \brief Parse limits — the denial-of-service budget of one connection.
+struct HttpLimits {
+  /// Request line + headers, bytes (431 beyond).
+  size_t max_header_bytes = 16 * 1024;
+  /// Declared `Content-Length`, bytes (413 beyond).
+  size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+/// \brief Incremental HTTP/1.x request parser.
+///
+/// Feed raw bytes with `Consume`; the parser returns `kNeedMore` until a
+/// full message is framed (`kDone`) or the input is rejected (`kError`,
+/// with the HTTP status to answer in `error_status()`). After `kDone`,
+/// `Reset()` re-arms the parser keeping any pipelined leftover bytes.
+class HttpRequestParser {
+ public:
+  enum class State { kNeedMore, kDone, kError };
+
+  explicit HttpRequestParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Appends \p bytes and advances as far as possible.
+  State Consume(std::string_view bytes);
+
+  /// The parsed request; valid after `kDone`.
+  const HttpRequest& request() const { return request_; }
+
+  /// HTTP status describing the rejection; valid after `kError`
+  /// (400 malformed, 413 body too large, 431 headers too large,
+  /// 501 transfer-encoding, 505 unsupported version).
+  int error_status() const { return error_status_; }
+  /// Human-readable rejection detail.
+  const std::string& error_detail() const { return error_detail_; }
+
+  /// Prepares for the next pipelined message: clears message state and
+  /// moves leftover buffered bytes to the front.
+  void Reset();
+
+ private:
+  enum class Phase { kHeaders, kBody, kDone, kError };
+
+  State Advance();
+  State Fail(int status, std::string detail);
+  bool ParseHeaderSection(std::string_view section);
+
+  HttpLimits limits_;
+  std::string buffer_;
+  size_t body_start_ = 0;
+  size_t content_length_ = 0;
+  /// Header-terminator scan resume point: keeps trickled input linear.
+  size_t scan_from_ = 0;
+  Phase phase_ = Phase::kHeaders;
+  HttpRequest request_;
+  int error_status_ = 0;
+  std::string error_detail_;
+};
+
+/// \brief Incremental HTTP/1.x response parser (the client side).
+/// Framing rules match `HttpRequestParser`; a malformed or over-budget
+/// response surfaces as `kError` with a detail string.
+class HttpResponseParser {
+ public:
+  enum class State { kNeedMore, kDone, kError };
+
+  explicit HttpResponseParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  State Consume(std::string_view bytes);
+
+  /// Parsed status code and body; valid after `kDone`.
+  int status() const { return status_; }
+  const std::string& body() const { return body_; }
+  /// Whether the server will keep the connection open.
+  bool keep_alive() const { return keep_alive_; }
+
+  const std::string& error_detail() const { return error_detail_; }
+
+  void Reset();
+
+ private:
+  enum class Phase { kHeaders, kBody, kDone, kError };
+
+  State Advance();
+  State Fail(std::string detail);
+
+  HttpLimits limits_;
+  std::string buffer_;
+  size_t body_start_ = 0;
+  size_t content_length_ = 0;
+  /// Header-terminator scan resume point (see HttpRequestParser).
+  size_t scan_from_ = 0;
+  Phase phase_ = Phase::kHeaders;
+  int status_ = 0;
+  bool keep_alive_ = true;
+  std::string body_;
+  std::string error_detail_;
+};
+
+}  // namespace xsum::net
+
+#endif  // XSUM_NET_HTTP_H_

@@ -1,0 +1,144 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/socket_io.h"
+
+namespace xsum::net {
+
+using internal::SendAll;
+using internal::SetNoDelay;
+using internal::SetSocketTimeouts;
+
+HttpClient::HttpClient(std::string host, uint16_t port)
+    : HttpClient(std::move(host), port, Options()) {}
+
+HttpClient::HttpClient(std::string host, uint16_t port, Options options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status HttpClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  // Resolve the host — the documented endpoint form is "host:port", so a
+  // DNS name must work, not only IPv4 literals.
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host_.c_str(), std::to_string(port_).c_str(),
+                               &hints, &results);
+  if (rc != 0) {
+    return Status::IOError("resolve " + host_ + ": " + ::gai_strerror(rc));
+  }
+  std::string detail = "no addresses resolved";
+  for (const addrinfo* entry = results; entry != nullptr;
+       entry = entry->ai_next) {
+    const int fd = ::socket(entry->ai_family, entry->ai_socktype,
+                            entry->ai_protocol);
+    if (fd < 0) {
+      detail = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    SetSocketTimeouts(fd, options_.timeout_ms, /*send_too=*/true);
+    if (::connect(fd, entry->ai_addr, entry->ai_addrlen) == 0) {
+      SetNoDelay(fd);
+      fd_ = fd;
+      ::freeaddrinfo(results);
+      return Status::OK();
+    }
+    detail = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  return Status::IOError("connect " + host_ + ":" + std::to_string(port_) +
+                         ": " + detail);
+}
+
+Result<HttpResponse> HttpClient::RoundTrip(const std::string& wire) {
+  if (!SendAll(fd_, wire)) {
+    Disconnect();
+    return Status::IOError("send failed: " + std::string(std::strerror(errno)));
+  }
+  HttpResponseParser parser(options_.limits);
+  char chunk[4096];
+  HttpResponseParser::State state = parser.Consume(std::string_view());
+  while (state == HttpResponseParser::State::kNeedMore) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      Disconnect();
+      return Status::IOError(n == 0 ? "connection closed mid-response"
+                                    : "recv failed: " +
+                                          std::string(std::strerror(errno)));
+    }
+    state = parser.Consume(std::string_view(chunk, static_cast<size_t>(n)));
+  }
+  if (state == HttpResponseParser::State::kError) {
+    Disconnect();
+    return Status::IOError("bad response: " + parser.error_detail());
+  }
+  HttpResponse response;
+  response.status = parser.status();
+  response.body = parser.body();
+  if (!parser.keep_alive()) Disconnect();
+  return response;
+}
+
+Result<HttpResponse> HttpClient::Send(const std::string& method,
+                                      const std::string& target,
+                                      const std::string& body,
+                                      bool retry_stale) {
+  const bool reused = fd_ >= 0;
+  XSUM_RETURN_NOT_OK(EnsureConnected());
+  const std::string wire =
+      SerializeRequest(method, target, host_ + ":" + std::to_string(port_),
+                       body);
+  Result<HttpResponse> result = RoundTrip(wire);
+  if (!result.ok() && reused && retry_stale) {
+    // The pooled connection may have been reaped by the server between
+    // requests; one retry on a fresh connection disambiguates a stale
+    // socket from a down endpoint.
+    XSUM_RETURN_NOT_OK(EnsureConnected());
+    result = RoundTrip(wire);
+  }
+  return result;
+}
+
+Result<HttpResponse> HttpClient::Get(const std::string& target) {
+  return Send("GET", target, "", /*retry_stale=*/true);
+}
+
+Result<HttpResponse> HttpClient::Post(const std::string& target,
+                                      const std::string& body,
+                                      bool retry_stale) {
+  return Send("POST", target, body, retry_stale);
+}
+
+Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
+                               const std::string& method,
+                               const std::string& target,
+                               const std::string& body, int timeout_ms) {
+  HttpClient::Options options;
+  options.timeout_ms = timeout_ms;
+  HttpClient client(host, port, options);
+  if (method == "GET") return client.Get(target);
+  return client.Post(target, body);
+}
+
+}  // namespace xsum::net

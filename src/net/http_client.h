@@ -1,0 +1,83 @@
+/// \file http_client.h
+/// \brief Minimal blocking HTTP/1.1 client matching `net::HttpServer`:
+/// keep-alive connection reuse, `Content-Length` framing, socket
+/// timeouts, and one transparent retry over a stale pooled connection.
+///
+/// This is the transport of the shard router (`service::ShardRouter`) and
+/// the loopback benches — not a general web client: one origin per
+/// instance, origin-form targets, JSON bodies.
+
+#ifndef XSUM_NET_HTTP_CLIENT_H_
+#define XSUM_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/http.h"
+#include "util/status.h"
+
+namespace xsum::net {
+
+/// \brief A persistent connection to one `host:port` origin.
+///
+/// Not thread-safe: one instance per thread (the router keeps a small
+/// per-endpoint pool). A request on a connection the server has since
+/// closed (keep-alive reaped) is retried once on a fresh connection;
+/// network errors surface as `IOError`, while HTTP error *statuses* are
+/// successful transports and come back as normal responses.
+class HttpClient {
+ public:
+  struct Options {
+    /// Connect/send/receive timeout.
+    int timeout_ms = 5000;
+    /// Response parse budgets.
+    HttpLimits limits;
+  };
+
+  HttpClient(std::string host, uint16_t port);
+  HttpClient(std::string host, uint16_t port, Options options);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// GET \p target (origin-form, e.g. "/stats").
+  Result<HttpResponse> Get(const std::string& target);
+
+  /// POST \p body (JSON) to \p target. \p retry_stale enables the
+  /// one-shot resend on a reaped pooled connection; pass false for
+  /// requests that are not idempotent (a republish trigger), where "the
+  /// server may or may not have seen the first copy" must surface as an
+  /// error instead of a silent second delivery.
+  Result<HttpResponse> Post(const std::string& target,
+                            const std::string& body,
+                            bool retry_stale = true);
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  Result<HttpResponse> Send(const std::string& method,
+                            const std::string& target,
+                            const std::string& body, bool retry_stale);
+  /// One wire round trip on the current connection.
+  Result<HttpResponse> RoundTrip(const std::string& wire);
+  Status EnsureConnected();
+  void Disconnect();
+
+  std::string host_;
+  uint16_t port_;
+  Options options_;
+  int fd_ = -1;
+};
+
+/// One-shot convenience: connect, send, read, close.
+Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
+                               const std::string& method,
+                               const std::string& target,
+                               const std::string& body = "",
+                               int timeout_ms = 5000);
+
+}  // namespace xsum::net
+
+#endif  // XSUM_NET_HTTP_CLIENT_H_

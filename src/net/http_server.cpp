@@ -1,0 +1,212 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "net/socket_io.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace xsum::net {
+
+using internal::SendAll;
+using internal::SetNoDelay;
+using internal::SetSocketTimeouts;
+
+HttpServer::HttpServer(Handler handler)
+    : HttpServer(std::move(handler), Options()) {}
+
+HttpServer::HttpServer(Handler handler, Options options)
+    : handler_(std::move(handler)), options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("invalid listen address: " +
+                                   options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind " + options_.host + ":" +
+                           std::to_string(options_.port) + ": " + detail);
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("listen: " + detail);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+
+  stopping_.store(false);
+  running_.store(true);
+  listener_ = std::thread([this] { AcceptLoop(); });
+  dispatcher_ = std::thread([this] {
+    // The worker pool: one ParallelFor whose indices are long-running
+    // connection-drain loops. Each pool worker claims exactly one index
+    // (a loop runs until Stop), so this reuses the batch engine's pool
+    // primitive as a fixed server worker pool.
+    ThreadPool pool(options_.num_workers);
+    pool.ParallelFor(pool.num_workers(),
+                     [this](size_t /*worker*/, size_t /*index*/) {
+                       WorkerLoop();
+                     });
+  });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    // The store must happen under queue_mutex_: a worker that has just
+    // evaluated the wait predicate (stopping_ false, queue empty) but
+    // not yet blocked would otherwise miss both the flag and the
+    // notify_all below and sleep forever — the classic lost wakeup
+    // (ThreadPool's shutdown does the same).
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_.store(true);
+  }
+  // Unblock accept(2).
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  // Unblock every worker sitting in recv(2) on an open connection.
+  {
+    std::lock_guard<std::mutex> lock(open_mutex_);
+    for (int fd : open_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  queue_cv_.notify_all();
+  if (listener_.joinable()) listener_.join();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Connections still queued but never picked up.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  for (int fd : pending_) ::close(fd);
+  pending_.clear();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Transient resource exhaustion (a connection burst ate the fd
+        // table): back off and keep listening — exiting here would
+        // silently kill the listener for the life of the process.
+        XSUM_LOG_WARN << "http accept backing off: "
+                      << std::strerror(errno);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      XSUM_LOG_ERROR << "http accept failed: " << std::strerror(errno);
+      break;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    SetNoDelay(fd);
+    SetSocketTimeouts(fd, options_.idle_timeout_ms, /*send_too=*/false);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load() || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // stopping and drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lock(open_mutex_);
+      open_fds_.insert(fd);
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(open_mutex_);
+      open_fds_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  HttpRequestParser parser(options_.limits);
+  char chunk[4096];
+  while (!stopping_.load()) {
+    // Drain whatever is already buffered (pipelined requests) before
+    // touching the socket again.
+    HttpRequestParser::State state = parser.Consume(std::string_view());
+    while (state == HttpRequestParser::State::kNeedMore) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return;  // peer closed, idle timeout, or Stop()
+      state = parser.Consume(std::string_view(chunk, static_cast<size_t>(n)));
+    }
+    if (state == HttpRequestParser::State::kError) {
+      HttpResponse error;
+      error.status = parser.error_status();
+      error.body = "{\"error\":\"" + parser.error_detail() + "\"}";
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      SendAll(fd, SerializeResponse(error, /*keep_alive=*/false));
+      return;  // framing is unrecoverable; drop the connection
+    }
+    const HttpRequest& request = parser.request();
+    const bool keep_alive = request.keep_alive;
+    HttpResponse response = handler_(request);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (!SendAll(fd, SerializeResponse(response, keep_alive))) return;
+    if (!keep_alive) return;
+    parser.Reset();
+  }
+}
+
+}  // namespace xsum::net

@@ -1,0 +1,125 @@
+/// \file http_server.h
+/// \brief `net::HttpServer` — the blocking HTTP/1.1 front of the summary
+/// service (DESIGN.md §6): one listener thread accepting connections, a
+/// fixed worker pool (reusing `util/thread_pool.h`) draining them, strict
+/// `Content-Length` framing and keep-alive via `net/http.h`.
+///
+/// Threading model. `Start()` spawns the listener thread (a blocking
+/// `accept` loop feeding a connection queue) and one dispatch thread that
+/// owns a `ThreadPool` and issues a single
+/// `ParallelFor(num_workers, connection-drain-loop)`: each of the
+/// `num_workers` indices is a long-running drain loop, so the pool's
+/// dynamic index hand-out degenerates into exactly one loop per worker —
+/// the same pool primitive the batch engine uses, no second threading
+/// abstraction. A worker owns one connection at a time and serves its
+/// keep-alive request sequence to completion (bounded by
+/// `Options::idle_timeout_ms` between requests), so a request never
+/// migrates between workers mid-parse.
+///
+/// Robustness guarantees (property-tested in tests/net/):
+///  - malformed, truncated, or oversized inputs are answered with the
+///    parser's 4xx/5xx status and the connection closed — never a crash;
+///  - `Stop()` is prompt: it shuts down the listener *and* every open
+///    connection socket, so no worker stays blocked in `recv`;
+///  - responses always carry `Content-Length` and an explicit
+///    `Connection` header, so clients never need read-until-close.
+
+#ifndef XSUM_NET_HTTP_SERVER_H_
+#define XSUM_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "net/http.h"
+#include "util/status.h"
+
+namespace xsum::net {
+
+/// \brief A minimal multi-threaded HTTP/1.1 server.
+class HttpServer {
+ public:
+  /// Application callback: one parsed request in, one response out. Runs
+  /// on a server worker thread; must be thread-safe across workers.
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    /// Listen address. Loopback by default — the shard deployments this
+    /// PR targets are co-located; bind 0.0.0.0 explicitly for remote
+    /// shards.
+    std::string host = "127.0.0.1";
+    /// Listen port; 0 picks an ephemeral port (read it back via
+    /// `port()`), which is what the tests and in-process benches use.
+    uint16_t port = 0;
+    /// Concurrent connection-serving workers.
+    size_t num_workers = 4;
+    /// Per-connection parse budgets (see `HttpLimits`).
+    HttpLimits limits;
+    /// `listen(2)` backlog.
+    int backlog = 64;
+    /// Read timeout between bytes of a connection; an idle keep-alive
+    /// connection is closed after this long.
+    int idle_timeout_ms = 5000;
+  };
+
+  /// \p handler must outlive the server's running span.
+  explicit HttpServer(Handler handler);
+  HttpServer(Handler handler, Options options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the listener + worker threads. Errors
+  /// (address in use, no permission) come back as IOError.
+  Status Start();
+
+  /// Stops accepting, unblocks every worker, joins all threads, and
+  /// closes remaining sockets. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port 0 to the kernel-assigned one); valid
+  /// after a successful `Start`.
+  uint16_t port() const { return port_; }
+
+  /// Total connections accepted / requests answered (including error
+  /// responses), for tests and dashboards.
+  uint64_t connections_accepted() const { return connections_accepted_; }
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  Handler handler_;
+  Options options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread listener_;
+  std::thread dispatcher_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+
+  std::mutex open_mutex_;
+  std::unordered_set<int> open_fds_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+}  // namespace xsum::net
+
+#endif  // XSUM_NET_HTTP_SERVER_H_

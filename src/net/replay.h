@@ -1,0 +1,88 @@
+/// \file replay.h
+/// \brief Concurrent request-replay harness shared by the serving drivers
+/// (`bench_net`, `examples/xsum_server bench`): fan a fixed request
+/// stream across client threads, collect client-side latencies, and fold
+/// them into a `StatAccumulator` (the same percentile definition the
+/// service's `/stats` document uses).
+///
+/// Concurrency shape: each client owns a contiguous index range (the last
+/// one takes the remainder, so every slot is written exactly once),
+/// latencies land in index-addressed slots during the run, and the
+/// accumulator is folded only after the join — `StatAccumulator::Add` is
+/// not thread-safe and fold order must not depend on the schedule.
+
+#ifndef XSUM_NET_REPLAY_H_
+#define XSUM_NET_REPLAY_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace xsum::net {
+
+/// \brief Outcome of one replay pass.
+struct ReplayStats {
+  double wall_ms = 0.0;
+  /// Client-observed per-request latencies.
+  StatAccumulator latencies_ms;
+  bool ok = true;
+  /// First failing response (valid when !ok).
+  int error_status = 0;
+  std::string error_body;
+};
+
+/// Replays request indices [0, count) across \p num_clients threads.
+/// \p issue answers index \p i on client \p c and must be thread-safe
+/// across clients. A non-200 response stops that client and marks the
+/// pass failed (first failure is recorded); the other clients finish
+/// their shares.
+inline ReplayStats ReplayConcurrent(
+    size_t count, size_t num_clients,
+    const std::function<HttpResponse(size_t c, size_t i)>& issue) {
+  ReplayStats result;
+  if (num_clients == 0) num_clients = 1;
+  std::vector<double> slots(count, 0.0);
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  const size_t share = count / num_clients;
+  WallTimer timer;
+  timer.Start();
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      const size_t begin = c * share;
+      const size_t end = c + 1 == num_clients ? count : begin + share;
+      for (size_t i = begin; i < end; ++i) {
+        WallTimer rt;
+        rt.Start();
+        const HttpResponse response = issue(c, i);
+        slots[i] = rt.ElapsedMillis();
+        if (response.status != 200) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!failed.exchange(true)) {
+            result.error_status = response.status;
+            result.error_body = response.body;
+          }
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  result.wall_ms = timer.ElapsedMillis();
+  result.ok = !failed.load();
+  for (const double ms : slots) result.latencies_ms.Add(ms);
+  return result;
+}
+
+}  // namespace xsum::net
+
+#endif  // XSUM_NET_REPLAY_H_

@@ -1,0 +1,56 @@
+/// \file socket_io.h
+/// \brief Shared low-level socket helpers of the net layer — the one copy
+/// of send-everything and option-setting used by both `net::HttpServer`
+/// and `net::HttpClient`.
+
+#ifndef XSUM_NET_SOCKET_IO_H_
+#define XSUM_NET_SOCKET_IO_H_
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <string>
+
+namespace xsum::net::internal {
+
+/// send(2) the whole buffer; false on a broken connection. MSG_NOSIGNAL
+/// turns the SIGPIPE of a vanished peer into an EPIPE return.
+inline bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Installs SO_RCVTIMEO (and SO_SNDTIMEO when \p send_too) of
+/// \p timeout_ms; <= 0 leaves the socket blocking.
+inline void SetSocketTimeouts(int fd, int timeout_ms, bool send_too) {
+  if (timeout_ms <= 0) return;
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  if (send_too) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+}
+
+/// Disables Nagle: request/response round trips must not wait out
+/// delayed-ACK timers.
+inline void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace xsum::net::internal
+
+#endif  // XSUM_NET_SOCKET_IO_H_

@@ -1,0 +1,354 @@
+#include "service/handler.h"
+
+#include <utility>
+
+namespace xsum::service {
+
+namespace {
+
+Status ParseScenario(const std::string& s, core::Scenario* out) {
+  if (s == "user-centric") {
+    *out = core::Scenario::kUserCentric;
+  } else if (s == "item-centric") {
+    *out = core::Scenario::kItemCentric;
+  } else if (s == "user-group") {
+    *out = core::Scenario::kUserGroup;
+  } else if (s == "item-group") {
+    *out = core::Scenario::kItemGroup;
+  } else {
+    return Status::InvalidArgument("unknown scenario: " + s);
+  }
+  return Status::OK();
+}
+
+Status ParseMethod(const std::string& s, core::SummaryMethod* out) {
+  if (s == "baseline") {
+    *out = core::SummaryMethod::kBaseline;
+  } else if (s == "ST") {
+    *out = core::SummaryMethod::kSteiner;
+  } else if (s == "PCST") {
+    *out = core::SummaryMethod::kPcst;
+  } else {
+    return Status::InvalidArgument("unknown method: " + s);
+  }
+  return Status::OK();
+}
+
+Status ParseCostMode(const std::string& s, core::CostMode* out) {
+  if (s == "log") {
+    *out = core::CostMode::kWeightAwareLog;
+  } else if (s == "linear") {
+    *out = core::CostMode::kWeightAware;
+  } else if (s == "unit") {
+    *out = core::CostMode::kUnit;
+  } else {
+    return Status::InvalidArgument("unknown cost_mode: " + s);
+  }
+  return Status::OK();
+}
+
+Status ParseVariant(const std::string& s,
+                    core::SteinerOptions::Variant* out) {
+  if (s == "kmb") {
+    *out = core::SteinerOptions::Variant::kKmb;
+  } else if (s == "mehlhorn") {
+    *out = core::SteinerOptions::Variant::kMehlhorn;
+  } else {
+    return Status::InvalidArgument("unknown variant: " + s);
+  }
+  return Status::OK();
+}
+
+const char* CostModeToString(core::CostMode mode) {
+  switch (mode) {
+    case core::CostMode::kWeightAwareLog:
+      return "log";
+    case core::CostMode::kWeightAware:
+      return "linear";
+    case core::CostMode::kUnit:
+      return "unit";
+  }
+  return "log";
+}
+
+const char* VariantToString(core::SteinerOptions::Variant variant) {
+  return variant == core::SteinerOptions::Variant::kKmb ? "kmb" : "mehlhorn";
+}
+
+bool UnitIsUser(core::Scenario scenario) {
+  return scenario == core::Scenario::kUserCentric ||
+         scenario == core::Scenario::kUserGroup;
+}
+
+template <typename T>
+net::JsonValue IdArray(const std::vector<T>& ids) {
+  net::JsonValue array = net::JsonValue::Array();
+  for (const T id : ids) {
+    array.Append(net::JsonValue(static_cast<int64_t>(id)));
+  }
+  return array;
+}
+
+}  // namespace
+
+Result<SummaryRequest> ParseSummaryRequest(const net::JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  SummaryRequest request;
+  if (const net::JsonValue* scenario = json.Find("scenario")) {
+    if (!scenario->is_string()) {
+      return Status::InvalidArgument("scenario must be a string");
+    }
+    XSUM_RETURN_NOT_OK(ParseScenario(scenario->AsString(), &request.scenario));
+  }
+  const char* unit_key = UnitIsUser(request.scenario) ? "user" : "item";
+  const net::JsonValue* unit = json.Find(unit_key);
+  if (unit == nullptr || !unit->is_int() || unit->AsInt() < 0) {
+    return Status::InvalidArgument(
+        std::string("request requires a non-negative integer '") + unit_key +
+        "'");
+  }
+  request.unit = static_cast<uint32_t>(unit->AsInt());
+  const net::JsonValue* k = json.Find("k");
+  if (k == nullptr || !k->is_int() || k->AsInt() < 1 || k->AsInt() > 1000) {
+    return Status::InvalidArgument("k must be an integer in [1, 1000]");
+  }
+  request.k = static_cast<int>(k->AsInt());
+  if (const net::JsonValue* method = json.Find("method")) {
+    if (!method->is_string()) {
+      return Status::InvalidArgument("method must be a string");
+    }
+    XSUM_RETURN_NOT_OK(ParseMethod(method->AsString(), &request.method));
+  }
+  if (const net::JsonValue* lambda = json.Find("lambda")) {
+    if (!lambda->is_number()) {
+      return Status::InvalidArgument("lambda must be a number");
+    }
+    request.lambda = lambda->AsDouble();
+    if (request.lambda < 0.0) {
+      return Status::InvalidArgument("lambda must be >= 0");
+    }
+  }
+  if (const net::JsonValue* mode = json.Find("cost_mode")) {
+    if (!mode->is_string()) {
+      return Status::InvalidArgument("cost_mode must be a string");
+    }
+    XSUM_RETURN_NOT_OK(ParseCostMode(mode->AsString(), &request.cost_mode));
+  }
+  if (const net::JsonValue* variant = json.Find("variant")) {
+    if (!variant->is_string()) {
+      return Status::InvalidArgument("variant must be a string");
+    }
+    XSUM_RETURN_NOT_OK(ParseVariant(variant->AsString(), &request.variant));
+  }
+  if (const net::JsonValue* prev = json.Find("prev_k")) {
+    if (!prev->is_int() || prev->AsInt() < 0 || prev->AsInt() >= request.k) {
+      return Status::InvalidArgument("prev_k must be an integer in [0, k)");
+    }
+    request.prev_k = static_cast<int>(prev->AsInt());
+  }
+  return request;
+}
+
+net::JsonValue SummaryRequestToJson(const SummaryRequest& request) {
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("scenario", core::ScenarioToString(request.scenario));
+  json.Set(UnitIsUser(request.scenario) ? "user" : "item",
+           static_cast<int64_t>(request.unit));
+  json.Set("k", static_cast<int64_t>(request.k));
+  json.Set("method", core::SummaryMethodToString(request.method));
+  json.Set("lambda", request.lambda);
+  json.Set("cost_mode", CostModeToString(request.cost_mode));
+  json.Set("variant", VariantToString(request.variant));
+  if (request.prev_k > 0) {
+    json.Set("prev_k", static_cast<int64_t>(request.prev_k));
+  }
+  return json;
+}
+
+core::SummarizerOptions RequestOptions(const SummaryRequest& request) {
+  core::SummarizerOptions options;
+  options.method = request.method;
+  options.lambda = request.lambda;
+  options.cost_mode = request.cost_mode;
+  options.steiner.variant = request.variant;
+  return options;
+}
+
+void TaskCatalog::Add(core::Scenario scenario, uint32_t unit, int k,
+                      core::SummaryTask task) {
+  const uint64_t key = Key(scenario, unit, k);
+  if (tasks_.find(key) == tasks_.end()) {
+    entries_.push_back(Entry{scenario, unit, k});
+  }
+  tasks_[key] = std::move(task);
+}
+
+void TaskCatalog::AddUserCentric(const data::RecGraph& rec_graph,
+                                 const core::UserRecs& recs, int max_k) {
+  for (int k = 1; k <= max_k; ++k) {
+    Add(core::Scenario::kUserCentric, recs.user, k,
+        core::MakeUserCentricTask(rec_graph, recs, k));
+  }
+}
+
+const core::SummaryTask* TaskCatalog::Find(core::Scenario scenario,
+                                           uint32_t unit, int k) const {
+  const auto it = tasks_.find(Key(scenario, unit, k));
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+SummaryHandler::SummaryHandler(SummaryService* service,
+                               const TaskCatalog* catalog, PublishFn publish)
+    : service_(service), catalog_(catalog), publish_(std::move(publish)) {}
+
+net::HttpResponse JsonError(int status, const std::string& message) {
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("error", message);
+  net::HttpResponse response;
+  response.status = status;
+  response.body = json.Dump();
+  return response;
+}
+
+net::HttpResponse SummaryHandler::Handle(const net::HttpRequest& request) {
+  if (request.target == "/summarize") {
+    if (request.method != "POST") {
+      return JsonError(405, "/summarize requires POST");
+    }
+    return HandleSummarizeBody(request.body);
+  }
+  if (request.target == "/stats") {
+    if (request.method != "GET") return JsonError(405, "/stats requires GET");
+    return HandleStats();
+  }
+  if (request.target == "/healthz") {
+    if (request.method != "GET") {
+      return JsonError(405, "/healthz requires GET");
+    }
+    return HandleHealthz();
+  }
+  if (request.target == "/snapshot") {
+    if (request.method != "POST") {
+      return JsonError(405, "/snapshot requires POST");
+    }
+    return HandleSnapshot();
+  }
+  return JsonError(404, "unknown endpoint: " + request.target);
+}
+
+net::HttpResponse SummaryHandler::HandleSummarizeBody(
+    const std::string& body) {
+  auto json = net::ParseJson(body);
+  if (!json.ok()) {
+    return JsonError(400, json.status().message());
+  }
+  auto request = ParseSummaryRequest(*json);
+  if (!request.ok()) {
+    return JsonError(400, request.status().message());
+  }
+  return Summarize(*request);
+}
+
+net::HttpResponse SummaryHandler::Summarize(const SummaryRequest& request) {
+  const core::SummaryTask* task =
+      catalog_->Find(request.scenario, request.unit, request.k);
+  if (task == nullptr) {
+    return JsonError(404, "no task for this (scenario, unit, k)");
+  }
+  // A stale or unknown predecessor hint is dropped, not an error: hints
+  // are a reuse opportunity, never a correctness input (DESIGN.md §5.3).
+  const core::SummaryTask* predecessor =
+      request.prev_k > 0
+          ? catalog_->Find(request.scenario, request.unit, request.prev_k)
+          : nullptr;
+  // The version must be the one the request was *pinned* to, not a
+  // registry read racing a concurrent /snapshot publish.
+  uint64_t version = 0;
+  const auto result = service_->Summarize(*task, RequestOptions(request),
+                                          predecessor, &version);
+  if (!result.ok()) {
+    return JsonError(500, result.status().ToString());
+  }
+  net::HttpResponse response;
+  response.body = SummaryToJson(**result, version);
+  return response;
+}
+
+net::HttpResponse SummaryHandler::HandleStats() {
+  net::HttpResponse response;
+  response.body = ServiceStatsToJson(service_->Stats());
+  return response;
+}
+
+net::HttpResponse SummaryHandler::HandleHealthz() {
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("status", "ok");
+  json.Set("snapshot_version", service_->serving_version());
+  json.Set("catalog_tasks", catalog_->size());
+  net::HttpResponse response;
+  response.body = json.Dump();
+  return response;
+}
+
+net::HttpResponse SummaryHandler::HandleSnapshot() {
+  if (!publish_) {
+    return JsonError(503, "no snapshot publisher configured");
+  }
+  const auto version = publish_();
+  if (!version.ok()) {
+    return JsonError(500, version.status().ToString());
+  }
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("snapshot_version", *version);
+  net::HttpResponse response;
+  response.body = json.Dump();
+  return response;
+}
+
+std::string SummaryToJson(const core::Summary& summary,
+                          uint64_t snapshot_version) {
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("snapshot_version", snapshot_version);
+  json.Set("scenario", core::ScenarioToString(summary.scenario));
+  json.Set("method", core::SummaryMethodToString(summary.method));
+  json.Set("anchors", IdArray(summary.anchors));
+  json.Set("terminals", IdArray(summary.terminals));
+  json.Set("unreached_terminals", IdArray(summary.unreached_terminals));
+  json.Set("num_nodes", summary.subgraph.num_nodes());
+  json.Set("num_edges", summary.subgraph.num_edges());
+  json.Set("nodes", IdArray(summary.subgraph.nodes()));
+  json.Set("edges", IdArray(summary.subgraph.edges()));
+  return json.Dump();
+}
+
+std::string ServiceStatsToJson(const ServiceStats& stats) {
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("requests", stats.requests);
+  json.Set("computed", stats.computed);
+  json.Set("incremental", stats.incremental);
+  json.Set("coalesced", stats.coalesced);
+  json.Set("errors", stats.errors);
+  json.Set("snapshot_swaps", stats.snapshot_swaps);
+  json.Set("snapshot_version", stats.snapshot_version);
+  json.Set("uptime_seconds", stats.uptime_seconds);
+  json.Set("qps", stats.qps);
+  json.Set("mean_ms", stats.mean_ms);
+  json.Set("p50_ms", stats.p50_ms);
+  json.Set("p99_ms", stats.p99_ms);
+  net::JsonValue cache = net::JsonValue::Object();
+  cache.Set("hits", stats.cache.hits);
+  cache.Set("misses", stats.cache.misses);
+  cache.Set("hit_rate", stats.cache.HitRate());
+  cache.Set("insertions", stats.cache.insertions);
+  cache.Set("evictions", stats.cache.evictions);
+  cache.Set("rejected", stats.cache.rejected);
+  cache.Set("entries", stats.cache.entries);
+  cache.Set("bytes", stats.cache.bytes);
+  cache.Set("max_bytes", stats.cache.max_bytes);
+  json.Set("cache", std::move(cache));
+  return json.Dump();
+}
+
+}  // namespace xsum::service

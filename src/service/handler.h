@@ -1,0 +1,171 @@
+/// \file handler.h
+/// \brief `service::SummaryHandler` — the transport-facing edge of the
+/// summary service (DESIGN.md §6): translates JSON requests into
+/// `SummaryService::Summarize` calls and renders summaries and stats back
+/// as JSON.
+///
+/// The handler is deliberately transport-agnostic: it consumes
+/// `net::HttpRequest` values and produces `net::HttpResponse` values but
+/// never touches a socket, so the same object serves an `net::HttpServer`,
+/// the shard router's in-process fallback, the `oneshot` CLI mode the CI
+/// smoke test diffs against, and the in-process arm of `bench_net`. That
+/// one-object-many-transports design is what makes the routing invariant
+/// (routed bytes == in-process bytes) testable at all.
+///
+/// Wire protocol (all bodies JSON):
+///   POST /summarize  {scenario, user|item, k, method, lambda?, cost_mode?,
+///                     variant?, prev_k?}        -> summary document
+///   GET  /stats                                  -> ServiceStats document
+///   GET  /healthz                                -> liveness + version
+///   POST /snapshot                               -> hot-swap publish
+///
+/// `/summarize` responses contain only *deterministic* fields (subgraph,
+/// terminals, anchors, version) — never timings — so two processes that
+/// computed the same task return byte-identical bodies.
+
+#ifndef XSUM_SERVICE_HANDLER_H_
+#define XSUM_SERVICE_HANDLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scenario.h"
+#include "core/summarizer.h"
+#include "net/http.h"
+#include "net/json.h"
+#include "service/service.h"
+#include "util/status.h"
+
+namespace xsum::service {
+
+/// \brief The wire form of one summarization call: the task-fingerprint
+/// fields a client supplies. The handler resolves them to a full
+/// `core::SummaryTask` through the `TaskCatalog`.
+struct SummaryRequest {
+  core::Scenario scenario = core::Scenario::kUserCentric;
+  /// The unit id: the user id for user-centric/user-group requests, the
+  /// item id for item-centric/item-group ones.
+  uint32_t unit = 0;
+  /// Recommendation-prefix size (>= 1).
+  int k = 1;
+  core::SummaryMethod method = core::SummaryMethod::kSteiner;
+  double lambda = 1.0;
+  core::CostMode cost_mode = core::CostMode::kWeightAwareLog;
+  core::SteinerOptions::Variant variant =
+      core::SteinerOptions::Variant::kMehlhorn;
+  /// Optional chain-predecessor hint: the same unit's k−1 (or any earlier
+  /// k) whose cached checkpoint the service may extend incrementally.
+  /// 0 = no hint.
+  int prev_k = 0;
+};
+
+/// Parses the `/summarize` body. Unknown members are ignored (forward
+/// compatibility); missing or ill-typed required members, unknown enum
+/// strings, and out-of-range values are InvalidArgument.
+Result<SummaryRequest> ParseSummaryRequest(const net::JsonValue& json);
+
+/// Renders \p request back to its wire form (the inverse of
+/// `ParseSummaryRequest`; used by the router benches and drivers).
+net::JsonValue SummaryRequestToJson(const SummaryRequest& request);
+
+/// The engine options a request resolves to.
+core::SummarizerOptions RequestOptions(const SummaryRequest& request);
+
+/// \brief Pre-resolved task universe: (scenario, unit, k) -> SummaryTask.
+///
+/// Task construction needs the recommender outputs (`core::UserRecs`,
+/// audiences) which exist only at graph-build time, so the serving binary
+/// resolves its unit universe once and the handler answers lookups from
+/// this immutable catalog. Shard determinism: two processes built from
+/// the same dataset env knobs construct identical catalogs, which is the
+/// precondition for routed == in-process responses.
+class TaskCatalog {
+ public:
+  /// Registers \p task under (scenario, unit, k); last insert wins.
+  void Add(core::Scenario scenario, uint32_t unit, int k,
+           core::SummaryTask task);
+
+  /// Convenience: registers the user-centric tasks for every k-prefix
+  /// 1..max_k of \p recs.
+  void AddUserCentric(const data::RecGraph& rec_graph,
+                      const core::UserRecs& recs, int max_k);
+
+  /// Lookup; nullptr when the triple is unknown.
+  const core::SummaryTask* Find(core::Scenario scenario, uint32_t unit,
+                                int k) const;
+
+  /// Distinct (scenario, unit, k) triples registered.
+  size_t size() const { return tasks_.size(); }
+
+  /// \brief One registered triple (enumeration for drivers and benches,
+  /// in insertion order).
+  struct Entry {
+    core::Scenario scenario;
+    uint32_t unit;
+    int k;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  static uint64_t Key(core::Scenario scenario, uint32_t unit, int k) {
+    return (static_cast<uint64_t>(scenario) << 56) |
+           (static_cast<uint64_t>(unit) << 24) |
+           (static_cast<uint64_t>(k) & 0xFFFFFF);
+  }
+
+  std::unordered_map<uint64_t, core::SummaryTask> tasks_;
+  std::vector<Entry> entries_;
+};
+
+/// \brief HTTP-facing request handler over one `SummaryService`.
+/// Thread-safe: called concurrently by every server worker.
+class SummaryHandler {
+ public:
+  /// Publishes a new graph snapshot on POST /snapshot; wired by the
+  /// serving binary (e.g. "rebuild with refreshed weights"). Returns the
+  /// new version.
+  using PublishFn = std::function<Result<uint64_t>()>;
+
+  /// \p service and \p catalog must outlive the handler.
+  SummaryHandler(SummaryService* service, const TaskCatalog* catalog,
+                 PublishFn publish = nullptr);
+
+  /// Full endpoint dispatch (the `net::HttpServer` handler).
+  net::HttpResponse Handle(const net::HttpRequest& request);
+
+  /// The `/summarize` core without HTTP envelope parsing — the entry the
+  /// shard router's local fallback, the oneshot CLI, and the in-process
+  /// bench arm call directly.
+  net::HttpResponse Summarize(const SummaryRequest& request);
+
+  const TaskCatalog& catalog() const { return *catalog_; }
+  SummaryService* service() const { return service_; }
+
+ private:
+  net::HttpResponse HandleSummarizeBody(const std::string& body);
+  net::HttpResponse HandleStats();
+  net::HttpResponse HandleHealthz();
+  net::HttpResponse HandleSnapshot();
+
+  SummaryService* service_;
+  const TaskCatalog* catalog_;
+  PublishFn publish_;
+};
+
+/// Renders \p summary as the deterministic `/summarize` response document
+/// (sorted subgraph ids, no timing fields).
+std::string SummaryToJson(const core::Summary& summary,
+                          uint64_t snapshot_version);
+
+/// Renders \p stats as the `/stats` document.
+std::string ServiceStatsToJson(const ServiceStats& stats);
+
+/// JSON error envelope `{"error": ...}` with the given HTTP status.
+net::HttpResponse JsonError(int status, const std::string& message);
+
+}  // namespace xsum::service
+
+#endif  // XSUM_SERVICE_HANDLER_H_

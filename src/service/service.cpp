@@ -104,7 +104,7 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeOn(
 
 Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
     const core::SummaryTask& task, const core::SummarizerOptions& options,
-    const core::SummaryTask* predecessor) {
+    const core::SummaryTask* predecessor, uint64_t* served_version) {
   WallTimer timer;
   timer.Start();
   std::shared_ptr<ServingState> state = CurrentState();
@@ -112,6 +112,9 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
     RecordLatency(timer.ElapsedMillis(), /*error=*/true);
     return Status::FailedPrecondition(
         "SummaryService: no graph snapshot published");
+  }
+  if (served_version != nullptr) {
+    *served_version = state->snapshot.version;
   }
 
   if (!options_.enable_cache) {

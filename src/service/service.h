@@ -99,9 +99,16 @@ class SummaryService {
   /// metric-closure rows where provably safe (core/incremental.h). The
   /// answer is bit-identical with or without the hint; a wrong or stale
   /// hint degrades to a fresh compute.
+  ///
+  /// \p served_version, when non-null, receives the version of the
+  /// snapshot this request was actually pinned to — which a concurrent
+  /// Publish can make different from `serving_version()` read before or
+  /// after the call. Responses that report a version (the §6 handler)
+  /// must use this, not a registry re-read.
   Result<std::shared_ptr<const core::Summary>> Summarize(
       const core::SummaryTask& task, const core::SummarizerOptions& options,
-      const core::SummaryTask* predecessor = nullptr);
+      const core::SummaryTask* predecessor = nullptr,
+      uint64_t* served_version = nullptr);
 
   /// Current counters.
   ServiceStats Stats() const;

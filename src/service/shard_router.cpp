@@ -1,0 +1,269 @@
+#include "service/shard_router.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace xsum::service {
+
+namespace {
+
+/// FNV-1a over a string, then one SplitMix64 scramble — the ring-point
+/// seed for an endpoint label.
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return SplitMix64(&h);
+}
+
+}  // namespace
+
+uint64_t UnitFingerprint(const SummaryRequest& request) {
+  // k and prev_k are intentionally absent: the fingerprint names the
+  // chain, not the step (see file comment in shard_router.h).
+  uint64_t state = 0x5851F42D4C957F2DULL;
+  state ^= static_cast<uint64_t>(request.scenario);
+  state = SplitMix64(&state);
+  state ^= request.unit;
+  state = SplitMix64(&state);
+  state ^= static_cast<uint64_t>(request.method);
+  state = SplitMix64(&state);
+  uint64_t lambda_bits = 0;
+  static_assert(sizeof(lambda_bits) == sizeof(request.lambda));
+  std::memcpy(&lambda_bits, &request.lambda, sizeof(lambda_bits));
+  state ^= lambda_bits;
+  state = SplitMix64(&state);
+  state ^= static_cast<uint64_t>(request.cost_mode);
+  state = SplitMix64(&state);
+  state ^= static_cast<uint64_t>(request.variant);
+  return SplitMix64(&state);
+}
+
+Result<std::pair<std::string, uint16_t>> ParseEndpoint(
+    const std::string& endpoint) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+    return Status::InvalidArgument("endpoint must be host:port, got '" +
+                                   endpoint + "'");
+  }
+  std::string host = Trim(endpoint.substr(0, colon));
+  if (host.empty()) host = "127.0.0.1";
+  const std::string port_str = Trim(endpoint.substr(colon + 1));
+  uint32_t port = 0;
+  for (char c : port_str) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("invalid port in endpoint '" + endpoint +
+                                     "'");
+    }
+    port = port * 10 + static_cast<uint32_t>(c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("port out of range in endpoint '" +
+                                     endpoint + "'");
+    }
+  }
+  if (port == 0) {
+    return Status::InvalidArgument("port 0 is not routable in endpoint '" +
+                                   endpoint + "'");
+  }
+  return std::make_pair(std::move(host), static_cast<uint16_t>(port));
+}
+
+ShardRouter::ShardRouter(SummaryHandler* local, Options options)
+    : local_(local), options_(std::move(options)) {
+  for (const std::string& label : options_.endpoints) {
+    auto parsed = ParseEndpoint(label);
+    if (!parsed.ok()) {
+      XSUM_LOG_WARN << "shard router: skipping endpoint: "
+                    << parsed.status().ToString();
+      continue;
+    }
+    auto endpoint = std::make_unique<Endpoint>();
+    endpoint->host = parsed->first;
+    endpoint->port = parsed->second;
+    endpoint->label = label;
+    endpoints_.push_back(std::move(endpoint));
+  }
+  const size_t points = options_.virtual_nodes == 0 ? 1 : options_.virtual_nodes;
+  ring_.reserve(endpoints_.size() * points);
+  for (size_t e = 0; e < endpoints_.size(); ++e) {
+    uint64_t state = HashString(endpoints_[e]->label);
+    for (size_t v = 0; v < points; ++v) {
+      ring_.emplace_back(SplitMix64(&state), e);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+  stats_.per_endpoint.assign(endpoints_.size(), 0);
+}
+
+std::vector<size_t> ShardRouter::RingOrder(uint64_t key) const {
+  std::vector<size_t> order;
+  if (ring_.empty()) return order;
+  order.reserve(endpoints_.size());
+  std::vector<bool> seen(endpoints_.size(), false);
+  // First ring point at or after the key, wrapping.
+  const auto start = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(key, size_t{0}));
+  const size_t begin = static_cast<size_t>(start - ring_.begin());
+  for (size_t i = 0; i < ring_.size() && order.size() < endpoints_.size();
+       ++i) {
+    const size_t e = ring_[(begin + i) % ring_.size()].second;
+    if (!seen[e]) {
+      seen[e] = true;
+      order.push_back(e);
+    }
+  }
+  return order;
+}
+
+size_t ShardRouter::EndpointFor(const SummaryRequest& request) const {
+  const std::vector<size_t> order = RingOrder(UnitFingerprint(request));
+  return order.empty() ? 0 : order.front();
+}
+
+std::unique_ptr<net::HttpClient> ShardRouter::Acquire(Endpoint& endpoint,
+                                                      bool fresh) {
+  if (!fresh) {
+    std::lock_guard<std::mutex> lock(endpoint.mutex);
+    if (!endpoint.idle.empty()) {
+      auto client = std::move(endpoint.idle.back());
+      endpoint.idle.pop_back();
+      return client;
+    }
+  }
+  net::HttpClient::Options client_options;
+  client_options.timeout_ms = options_.timeout_ms;
+  return std::make_unique<net::HttpClient>(endpoint.host, endpoint.port,
+                                           client_options);
+}
+
+void ShardRouter::Release(Endpoint& endpoint,
+                          std::unique_ptr<net::HttpClient> client) {
+  std::lock_guard<std::mutex> lock(endpoint.mutex);
+  if (endpoint.idle.size() < 8) {
+    endpoint.idle.push_back(std::move(client));
+  }
+  // Beyond the pool bound the connection just closes with the client.
+}
+
+Result<net::HttpResponse> ShardRouter::Forward(size_t endpoint_index,
+                                               const std::string& target,
+                                               const std::string& body) {
+  Endpoint& endpoint = *endpoints_[endpoint_index];
+  // /snapshot is the one non-idempotent endpoint: it gets a *fresh*
+  // connection (a pooled one the shard has idle-reaped would fail a
+  // healthy broadcast) and no stale-retry (a resend over a maybe-seen
+  // first copy could publish twice and skew the shard's version stream).
+  const bool non_idempotent = target == "/snapshot";
+  std::unique_ptr<net::HttpClient> client =
+      Acquire(endpoint, /*fresh=*/non_idempotent);
+  Result<net::HttpResponse> result =
+      body.empty() ? client->Get(target)
+                   : client->Post(target, body,
+                                  /*retry_stale=*/!non_idempotent);
+  if (result.ok()) {
+    // Only healthy connections return to the pool.
+    Release(endpoint, std::move(client));
+  }
+  return result;
+}
+
+net::HttpResponse ShardRouter::Summarize(const SummaryRequest& request) {
+  const std::string body = SummaryRequestToJson(request).Dump();
+  const std::vector<size_t> order = RingOrder(UnitFingerprint(request));
+  for (size_t attempt = 0; attempt < order.size(); ++attempt) {
+    const size_t e = order[attempt];
+    auto result = Forward(e, "/summarize", body);
+    if (result.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.routed;
+      stats_.failovers += attempt;
+      ++stats_.per_endpoint[e];
+      return *std::move(result);
+    }
+    XSUM_LOG_WARN << "shard " << endpoints_[e]->label
+                  << " unreachable: " << result.status().ToString();
+  }
+  if (local_ != nullptr && (options_.local_fallback || order.empty())) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.local;
+      stats_.failovers += order.size();
+    }
+    return local_->Summarize(request);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.failovers += order.size();
+  }
+  return JsonError(502, "all shard endpoints unreachable");
+}
+
+net::HttpResponse ShardRouter::Handle(const net::HttpRequest& request) {
+  if (request.target == "/summarize") {
+    if (request.method != "POST") {
+      return JsonError(405, "/summarize requires POST");
+    }
+    auto json = net::ParseJson(request.body);
+    if (!json.ok()) return JsonError(400, json.status().message());
+    auto parsed = ParseSummaryRequest(*json);
+    if (!parsed.ok()) return JsonError(400, parsed.status().message());
+    return Summarize(*parsed);
+  }
+  if (request.target == "/snapshot" && request.method == "POST") {
+    // Broadcast the hot swap: every shard republishes, then the local
+    // handler (when present). Per-shard outcomes are reported; a
+    // partially reachable fleet is visible, not hidden.
+    net::JsonValue shards = net::JsonValue::Array();
+    for (size_t e = 0; e < endpoints_.size(); ++e) {
+      net::JsonValue entry = net::JsonValue::Object();
+      entry.Set("endpoint", endpoints_[e]->label);
+      auto result = Forward(e, "/snapshot", request.body.empty()
+                                                ? "{}"
+                                                : request.body);
+      if (result.ok()) {
+        entry.Set("status", result->status);
+      } else {
+        entry.Set("status", 502);
+        entry.Set("error", result.status().message());
+      }
+      shards.Append(std::move(entry));
+    }
+    net::JsonValue json = net::JsonValue::Object();
+    json.Set("shards", std::move(shards));
+    if (local_ != nullptr) {
+      const net::HttpResponse local = local_->Handle(request);
+      json.Set("local_status", local.status);
+    }
+    net::HttpResponse response;
+    response.body = json.Dump();
+    return response;
+  }
+  if (local_ != nullptr) {
+    // /stats, /healthz, and anything else answer from the local handler:
+    // the router-level service view (404s included).
+    return local_->Handle(request);
+  }
+  if (request.target == "/healthz" && request.method == "GET") {
+    net::JsonValue json = net::JsonValue::Object();
+    json.Set("status", "ok");
+    json.Set("role", "router");
+    json.Set("endpoints", endpoints_.size());
+    net::HttpResponse response;
+    response.body = json.Dump();
+    return response;
+  }
+  return JsonError(404, "unknown endpoint: " + request.target);
+}
+
+RouterStats ShardRouter::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace xsum::service

@@ -1,0 +1,142 @@
+/// \file shard_router.h
+/// \brief `service::ShardRouter` — consistent-hash placement of summary
+/// requests over N shard backends, with failover and an optional
+/// in-process fallback (DESIGN.md §6.3).
+///
+/// Placement. A `/summarize` request maps to a shard by the consistent
+/// hash of its **unit fingerprint** — scenario, unit id, method, λ bits,
+/// cost mode, and Steiner variant, with **k and prev_k deliberately
+/// excluded**. Every k of a (unit, method, λ, mode) chain therefore lands
+/// on the same shard, which is what keeps the incremental k-sweep path
+/// alive across the network boundary: the (task, k−1) chain checkpoint a
+/// predecessor hint names lives in *that shard's* cache, so shard-sticky
+/// chains summarize k from k−1 while a k-spreading placement would
+/// recompute every step from scratch (§5.3).
+///
+/// Ring. Each endpoint contributes `virtual_nodes` points hashed onto a
+/// 64-bit ring; a request walks clockwise from its fingerprint and takes
+/// endpoints in first-appearance order. That order is also the failover
+/// order: a transport-level failure (refused, reset, timeout) moves to
+/// the next distinct endpoint, and when every endpoint is unreachable the
+/// router answers from its in-process handler (if configured) or 502.
+/// HTTP error *statuses* from a shard are proxied verbatim — they are
+/// answers, not transport failures. Consistent hashing keeps placement
+/// stable under endpoint-list edits: adding a shard remaps only the ring
+/// arcs it claims, preserving the other shards' cache and chain state.
+///
+/// Roles. One binary runs as a shard (no router), a router (endpoints,
+/// no local handler), or both (endpoints + local fallback) — see
+/// `examples/xsum_server.cpp`.
+
+#ifndef XSUM_SERVICE_SHARD_ROUTER_H_
+#define XSUM_SERVICE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "net/http_client.h"
+#include "service/handler.h"
+#include "util/status.h"
+
+namespace xsum::service {
+
+/// Hash of the request fields that identify a summarization *chain* —
+/// everything in `SummaryRequest` except k and prev_k. Requests with
+/// equal fingerprints are shard-sticky.
+uint64_t UnitFingerprint(const SummaryRequest& request);
+
+/// Parses "host:port"; host may be empty ("":8080 -> 127.0.0.1).
+Result<std::pair<std::string, uint16_t>> ParseEndpoint(
+    const std::string& endpoint);
+
+/// \brief Router counters.
+struct RouterStats {
+  uint64_t routed = 0;     ///< requests answered by a shard backend
+  uint64_t local = 0;      ///< answered by the in-process fallback
+  uint64_t failovers = 0;  ///< endpoint attempts that failed over
+  /// Requests answered per endpoint (index-aligned with the option list).
+  std::vector<uint64_t> per_endpoint;
+};
+
+/// \brief The routing front. Thread-safe; keeps a small keep-alive
+/// connection pool per endpoint.
+class ShardRouter {
+ public:
+  struct Options {
+    /// Backend shards as "host:port" strings. May be empty — the router
+    /// then degenerates to the local handler (a pure shard role).
+    std::vector<std::string> endpoints;
+    /// Ring points per endpoint; more points = smoother key spread.
+    size_t virtual_nodes = 64;
+    /// Answer from the local handler when every endpoint fails (requires
+    /// a local handler).
+    bool local_fallback = true;
+    /// Per-attempt connect/send/recv timeout. A shard whose *compute*
+    /// exceeds this is indistinguishable from a down one: the request
+    /// fails over and is recomputed elsewhere (byte-identical by the §6
+    /// invariant, so correctness is unaffected — the cost is duplicated
+    /// work). Size it well above the slowest expected cold summarize.
+    int timeout_ms = 5000;
+  };
+
+  /// \p local may be null for a pure forwarding router (then
+  /// `local_fallback` is moot and total failure is 502). Must outlive the
+  /// router.
+  ShardRouter(SummaryHandler* local, Options options);
+
+  /// Full endpoint dispatch: `/summarize` routes by fingerprint;
+  /// `/stats` and `/healthz` answer locally (router-level view);
+  /// `/snapshot` broadcasts to every endpoint and the local handler so a
+  /// hot swap reaches all serving processes.
+  net::HttpResponse Handle(const net::HttpRequest& request);
+
+  /// Routes one parsed summarize request (bench/driver entry).
+  net::HttpResponse Summarize(const SummaryRequest& request);
+
+  /// The endpoint index \p request routes to first (tests assert
+  /// k-stickiness and placement stability on this).
+  size_t EndpointFor(const SummaryRequest& request) const;
+
+  size_t num_endpoints() const { return endpoints_.size(); }
+  RouterStats stats() const;
+
+ private:
+  struct Endpoint {
+    std::string host;
+    uint16_t port = 0;
+    std::string label;  ///< original "host:port" string
+    std::mutex mutex;
+    std::vector<std::unique_ptr<net::HttpClient>> idle;
+  };
+
+  /// Endpoint indices in ring walk order starting at \p key's successor;
+  /// every distinct endpoint appears exactly once.
+  std::vector<size_t> RingOrder(uint64_t key) const;
+
+  /// \p fresh bypasses the idle pool (used for non-idempotent sends that
+  /// must not ride a maybe-reaped connection).
+  std::unique_ptr<net::HttpClient> Acquire(Endpoint& endpoint, bool fresh);
+  void Release(Endpoint& endpoint, std::unique_ptr<net::HttpClient> client);
+
+  /// One POST to one endpoint; IOError on transport failure.
+  Result<net::HttpResponse> Forward(size_t endpoint_index,
+                                    const std::string& target,
+                                    const std::string& body);
+
+  SummaryHandler* local_;
+  Options options_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  /// Sorted (point, endpoint index) ring.
+  std::vector<std::pair<uint64_t, size_t>> ring_;
+
+  mutable std::mutex stats_mutex_;
+  RouterStats stats_;
+};
+
+}  // namespace xsum::service
+
+#endif  // XSUM_SERVICE_SHARD_ROUTER_H_

@@ -74,4 +74,54 @@ std::string GetEnvString(const std::string& name,
   return raw;
 }
 
+const std::vector<EnvVarInfo>& EnvVarCatalog() {
+  // Display order == docs/OPERATIONS.md table order: dataset knobs,
+  // engine knobs, serving knobs, network knobs, output knobs.
+  static const std::vector<EnvVarInfo> catalog = {
+      {"XSUM_SCALE", "double", "bench-specific (0.08 eval, 0.03 serving)",
+       "> 0", "all benches, examples",
+       "dataset scale factor; 1.0 = the paper's Table II graphs"},
+      {"XSUM_USERS", "int", "bench-specific (30 eval, 12 serving)", ">= 0",
+       "all benches, examples",
+       "sampled users (paper: 200; eval splits them per gender)"},
+      {"XSUM_ITEMS", "int", "24", ">= 0", "eval benches",
+       "sampled items for item-centric panels (paper: 100)"},
+      {"XSUM_SEED", "int", "42", ">= 0", "all benches, examples",
+       "master RNG seed; every derived stream is seeded from it"},
+      {"XSUM_WORKERS", "int", "0 (auto)", ">= 0",
+       "eval benches, examples (panel evaluation)",
+       "worker threads for panel evaluation; 0 = one per hardware thread"},
+      {"XSUM_CACHE", "int", "1", "0 or 1", "eval benches, xsum_server",
+       "route panel/service summarization through the summary cache"},
+      {"XSUM_CACHE_MB", "int", "64", ">= 0", "eval benches, xsum_server",
+       "summary-cache byte budget in MiB"},
+      {"XSUM_REQUESTS", "int", "bench-specific (2000 bench_service, "
+       "400 xsum_server, 300 bench_net)", ">= 0",
+       "bench_service, bench_net, xsum_server",
+       "total requests replayed per serving arm/phase"},
+      {"XSUM_CLIENTS", "int", "2", ">= 1", "bench_net, xsum_server",
+       "concurrent client threads driving the request stream"},
+      {"XSUM_ZIPF", "double", "1.1", ">= 0",
+       "bench_service, bench_net, xsum_server",
+       "Zipf skew of the synthetic task mix (0 = uniform)"},
+      {"XSUM_PORT", "int", "8080", "0..65535 (0 = ephemeral)",
+       "xsum_server serve",
+       "HTTP listen port of the serving process"},
+      {"XSUM_SHARDS", "string", "\"\" (no shards: run as a plain shard)",
+       "comma-separated host:port list", "xsum_server serve",
+       "backend shard endpoints; non-empty makes the process a router"},
+      {"XSUM_NET_WORKERS", "int", "4", ">= 1",
+       "xsum_server serve, bench_net",
+       "HTTP server worker threads (connection-serving pool)"},
+      {"XSUM_LOCAL_FALLBACK", "int", "1", "0 or 1", "xsum_server serve",
+       "router answers from its in-process engine when all shards are down"},
+      {"XSUM_JSON", "string", "\"\" (disabled)", "file path or \"-\"",
+       "all benches",
+       "append machine-readable perf records here (\"-\" = stdout)"},
+      {"XSUM_CSV_DIR", "string", "\"\" (disabled)", "directory path",
+       "eval benches", "export per-panel CSV series into this directory"},
+  };
+  return catalog;
+}
+
 }  // namespace xsum

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace xsum {
 
@@ -32,6 +33,27 @@ int64_t GetEnvNonNegativeInt(const std::string& name, int64_t fallback);
 
 /// Reads env var \p name as string; returns \p fallback if unset.
 std::string GetEnvString(const std::string& name, const std::string& fallback);
+
+/// \brief One documented `XSUM_*` environment knob.
+///
+/// The catalog below is the single source of truth for the operator
+/// surface: `docs/OPERATIONS.md`'s table is cross-checked against it by
+/// `tests/util/env_docs_test.cpp` (exact name set, matching types and
+/// defaults), and the same test greps the source tree so no binary can
+/// read an `XSUM_*` variable the catalog does not list. Adding a knob
+/// therefore means adding it here *and* to the table, or the tier-1 suite
+/// fails.
+struct EnvVarInfo {
+  const char* name;         ///< e.g. "XSUM_SCALE"
+  const char* type;         ///< "double" | "int" | "string"
+  const char* default_str;  ///< human-readable default, e.g. "0.08"
+  const char* range;        ///< valid range, e.g. ">= 0"
+  const char* consumers;    ///< which binaries honour it
+  const char* description;  ///< one line
+};
+
+/// All documented `XSUM_*` knobs, in display order.
+const std::vector<EnvVarInfo>& EnvVarCatalog();
 
 }  // namespace xsum
 

@@ -1,0 +1,271 @@
+/// Property tests of the HTTP request/response parsers: arbitrary read
+/// boundaries never change the parse, truncated/oversized/garbage inputs
+/// never crash and always map to the documented 4xx/5xx statuses, and
+/// pipelined keep-alive messages survive `Reset`.
+
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace xsum::net {
+namespace {
+
+HttpRequestParser::State FeedWhole(HttpRequestParser* parser,
+                                   const std::string& wire) {
+  return parser->Consume(wire);
+}
+
+TEST(HttpParserTest, ParsesPostWithBody) {
+  HttpRequestParser parser;
+  const std::string wire =
+      "POST /summarize HTTP/1.1\r\n"
+      "Host: localhost:8080\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "{\"user\":7}x";
+  ASSERT_EQ(FeedWhole(&parser, wire), HttpRequestParser::State::kDone);
+  const HttpRequest& request = parser.request();
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/summarize");
+  EXPECT_EQ(request.version_minor, 1);
+  EXPECT_EQ(request.body, "{\"user\":7}x");
+  EXPECT_TRUE(request.keep_alive);
+  ASSERT_NE(request.FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*request.FindHeader("content-type"), "application/json");
+  EXPECT_EQ(request.FindHeader("absent"), nullptr);
+}
+
+TEST(HttpParserTest, KeepAliveSemanticsFollowVersionAndHeader) {
+  {
+    HttpRequestParser parser;
+    ASSERT_EQ(FeedWhole(&parser, "GET / HTTP/1.1\r\n\r\n"),
+              HttpRequestParser::State::kDone);
+    EXPECT_TRUE(parser.request().keep_alive);
+  }
+  {
+    HttpRequestParser parser;
+    ASSERT_EQ(FeedWhole(&parser,
+                        "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+              HttpRequestParser::State::kDone);
+    EXPECT_FALSE(parser.request().keep_alive);
+  }
+  {
+    HttpRequestParser parser;
+    ASSERT_EQ(FeedWhole(&parser, "GET / HTTP/1.0\r\n\r\n"),
+              HttpRequestParser::State::kDone);
+    EXPECT_FALSE(parser.request().keep_alive);
+  }
+  {
+    HttpRequestParser parser;
+    ASSERT_EQ(FeedWhole(&parser,
+                        "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"),
+              HttpRequestParser::State::kDone);
+    EXPECT_TRUE(parser.request().keep_alive);
+  }
+}
+
+TEST(HttpParserTest, ByteAtATimeEqualsWholeBuffer) {
+  const std::string wire =
+      "POST /summarize HTTP/1.1\r\n"
+      "Content-Length: 5\r\n"
+      "X-Extra: v\r\n"
+      "\r\n"
+      "hello";
+  HttpRequestParser whole;
+  ASSERT_EQ(FeedWhole(&whole, wire), HttpRequestParser::State::kDone);
+
+  HttpRequestParser dribble;
+  HttpRequestParser::State state = HttpRequestParser::State::kNeedMore;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    state = dribble.Consume(std::string_view(&wire[i], 1));
+    if (i + 1 < wire.size()) {
+      ASSERT_EQ(state, HttpRequestParser::State::kNeedMore)
+          << "completed early at byte " << i;
+    }
+  }
+  ASSERT_EQ(state, HttpRequestParser::State::kDone);
+  EXPECT_EQ(dribble.request().method, whole.request().method);
+  EXPECT_EQ(dribble.request().target, whole.request().target);
+  EXPECT_EQ(dribble.request().body, whole.request().body);
+  EXPECT_EQ(dribble.request().headers, whole.request().headers);
+}
+
+TEST(HttpParserTest, EveryPrefixNeedsMoreNeverCrashes) {
+  const std::string wire =
+      "GET /stats HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n\r\nabc";
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    HttpRequestParser parser;
+    const auto state = parser.Consume(std::string_view(wire).substr(0, cut));
+    EXPECT_EQ(state, HttpRequestParser::State::kNeedMore)
+        << "prefix of length " << cut;
+  }
+}
+
+TEST(HttpParserTest, MalformedInputsMapToDocumentedStatuses) {
+  const std::vector<std::pair<std::string, int>> cases = {
+      {"GARBAGE\r\n\r\n", 400},                       // no spaces
+      {"GET /\r\n\r\n", 400},                         // missing version
+      {"GET / HTTP/1.1 extra\r\n\r\n", 400},          // 4 tokens
+      {"GET noslash HTTP/1.1\r\n\r\n", 400},          // not origin-form
+      {"G@T / HTTP/1.1\r\n\r\n", 400},                // bad method token
+      {"GET / HTTP/2.0\r\n\r\n", 505},                // unsupported version
+      {"GET / XYZZY/1.1\r\n\r\n", 400},               // not HTTP at all
+      {"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", 400},
+      {"GET / HTTP/1.1\r\nBad Name: v\r\n\r\n", 400},  // space in name
+      {"GET / HTTP/1.1\r\n: empty\r\n\r\n", 400},      // empty name
+      {"GET / HTTP/1.1\r\nA: 1\r\n continued\r\n\r\n", 400},  // obs-fold
+      {"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400},
+      {"POST / HTTP/1.1\r\nContent-Length: 1e3\r\n\r\n", 400},
+      {"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\n",
+       400},
+      // Value-identical duplicates are equally rejected (smuggling
+      // posture documented in DESIGN.md §6.2).
+      {"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n",
+       400},
+      {"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501},
+  };
+  for (const auto& [wire, expected_status] : cases) {
+    HttpRequestParser parser;
+    ASSERT_EQ(parser.Consume(wire), HttpRequestParser::State::kError)
+        << wire;
+    EXPECT_EQ(parser.error_status(), expected_status) << wire;
+    EXPECT_FALSE(parser.error_detail().empty());
+  }
+}
+
+TEST(HttpParserTest, OversizedHeadersAre431) {
+  HttpLimits limits;
+  limits.max_header_bytes = 256;
+  // Terminated but oversized header section.
+  {
+    HttpRequestParser parser(limits);
+    std::string wire = "GET / HTTP/1.1\r\nX-Pad: ";
+    wire.append(300, 'a');
+    wire.append("\r\n\r\n");
+    ASSERT_EQ(parser.Consume(wire), HttpRequestParser::State::kError);
+    EXPECT_EQ(parser.error_status(), 431);
+  }
+  // Unterminated flood: must reject as soon as the budget is crossed,
+  // not buffer forever.
+  {
+    HttpRequestParser parser(limits);
+    HttpRequestParser::State state = HttpRequestParser::State::kNeedMore;
+    std::string flood(64, 'x');
+    size_t fed = 0;
+    while (state == HttpRequestParser::State::kNeedMore && fed < 10000) {
+      state = parser.Consume(flood);
+      fed += flood.size();
+    }
+    ASSERT_EQ(state, HttpRequestParser::State::kError);
+    EXPECT_EQ(parser.error_status(), 431);
+    EXPECT_LE(fed, 512u);
+  }
+}
+
+TEST(HttpParserTest, OversizedDeclaredBodyIs413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 100;
+  HttpRequestParser parser(limits);
+  ASSERT_EQ(
+      parser.Consume("POST / HTTP/1.1\r\nContent-Length: 101\r\n\r\n"),
+      HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, PipelinedMessagesSurviveReset) {
+  HttpRequestParser parser;
+  const std::string two =
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"
+      "GET /b HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(parser.Consume(two), HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().target, "/a");
+  EXPECT_EQ(parser.request().body, "abc");
+  parser.Reset();
+  ASSERT_EQ(parser.Consume(std::string_view()),
+            HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().target, "/b");
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParserTest, RandomGarbageNeverCrashesOrOverReads) {
+  Rng rng(77);
+  HttpLimits limits;
+  limits.max_header_bytes = 1024;
+  limits.max_body_bytes = 1024;
+  for (int trial = 0; trial < 1000; ++trial) {
+    HttpRequestParser parser(limits);
+    std::string garbage;
+    const size_t length = rng.Uniform(300);
+    for (size_t i = 0; i < length; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    const auto state = parser.Consume(garbage);
+    if (state == HttpRequestParser::State::kError) {
+      const int status = parser.error_status();
+      EXPECT_TRUE(status == 400 || status == 413 || status == 431 ||
+                  status == 501 || status == 505)
+          << status;
+    }
+  }
+  // Mutations of a valid request: single byte flips.
+  const std::string valid =
+      "POST /summarize HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"k\": 12}";
+  for (int trial = 0; trial < 2000; ++trial) {
+    HttpRequestParser parser(limits);
+    std::string mutated = valid;
+    mutated[rng.Uniform(mutated.size())] =
+        static_cast<char>(rng.Uniform(256));
+    (void)parser.Consume(mutated);  // must terminate without crashing
+  }
+}
+
+TEST(HttpResponseParserTest, RoundTripsSerializedResponses) {
+  HttpResponse response;
+  response.status = 404;
+  response.body = "{\"error\":\"nope\"}";
+  const std::string wire = SerializeResponse(response, /*keep_alive=*/true);
+  HttpResponseParser parser;
+  ASSERT_EQ(parser.Consume(wire), HttpResponseParser::State::kDone);
+  EXPECT_EQ(parser.status(), 404);
+  EXPECT_EQ(parser.body(), response.body);
+  EXPECT_TRUE(parser.keep_alive());
+
+  parser.Reset();
+  const std::string closed = SerializeResponse(response, /*keep_alive=*/false);
+  ASSERT_EQ(parser.Consume(closed), HttpResponseParser::State::kDone);
+  EXPECT_FALSE(parser.keep_alive());
+}
+
+TEST(HttpResponseParserTest, RejectsUnframedResponses) {
+  HttpResponseParser parser;
+  ASSERT_EQ(parser.Consume("HTTP/1.1 200 OK\r\n\r\n"),
+            HttpResponseParser::State::kError);  // no Content-Length
+  HttpResponseParser parser2;
+  ASSERT_EQ(parser2.Consume("NONSENSE\r\n\r\n"),
+            HttpResponseParser::State::kError);
+  HttpResponseParser parser3;
+  ASSERT_EQ(parser3.Consume("HTTP/1.1 2xx OK\r\nContent-Length: 0\r\n\r\n"),
+            HttpResponseParser::State::kError);
+}
+
+TEST(HttpSerializationTest, RequestsRoundTripThroughRequestParser) {
+  const std::string wire = SerializeRequest(
+      "POST", "/summarize", "127.0.0.1:8080", "{\"user\":1,\"k\":2}");
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Consume(wire), HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().target, "/summarize");
+  EXPECT_EQ(parser.request().body, "{\"user\":1,\"k\":2}");
+  ASSERT_NE(parser.request().FindHeader("host"), nullptr);
+  EXPECT_EQ(*parser.request().FindHeader("host"), "127.0.0.1:8080");
+}
+
+}  // namespace
+}  // namespace xsum::net

@@ -1,0 +1,137 @@
+/// Tests of the minimal JSON layer: parse/dump round trips, deterministic
+/// serialization (insertion-ordered keys, shortest-round-trip doubles),
+/// escape handling, and strict rejection of malformed documents.
+
+#include "net/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace xsum::net {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->AsBool());
+  EXPECT_FALSE(ParseJson("false")->AsBool());
+  EXPECT_EQ(ParseJson("42")->AsInt(), 42);
+  EXPECT_EQ(ParseJson("-7")->AsInt(), -7);
+  EXPECT_TRUE(ParseJson("42")->is_int());
+  EXPECT_FALSE(ParseJson("42.5")->is_int());
+  EXPECT_DOUBLE_EQ(ParseJson("42.5")->AsDouble(), 42.5);
+  EXPECT_DOUBLE_EQ(ParseJson("-1e3")->AsDouble(), -1000.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedDocuments) {
+  const auto doc = ParseJson(
+      R"({"a": [1, 2.5, "x"], "b": {"c": true, "d": null}, "e": -3})");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[0].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(a->items()[1].AsDouble(), 2.5);
+  EXPECT_EQ(a->items()[2].AsString(), "x");
+  const JsonValue* b = doc->Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->Find("c")->AsBool());
+  EXPECT_TRUE(b->Find("d")->is_null());
+  EXPECT_EQ(doc->Find("e")->AsInt(), -3);
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, DumpIsDeterministicAndInsertionOrdered) {
+  JsonValue object = JsonValue::Object();
+  object.Set("zeta", 1);
+  object.Set("alpha", JsonValue::Array());
+  object.Set("mid", "s");
+  // Re-setting a key keeps its original position.
+  object.Set("zeta", 2);
+  EXPECT_EQ(object.Dump(), R"({"zeta":2,"alpha":[],"mid":"s"})");
+  EXPECT_EQ(object.Dump(), object.Dump());
+}
+
+TEST(JsonTest, DumpEscapesControlCharacters) {
+  JsonValue value(std::string("a\"b\\c\nd\te\x01" "f"));
+  EXPECT_EQ(value.Dump(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+  // Round trip.
+  const auto parsed = ParseJson(value.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "a\"b\\c\nd\te\x01" "f");
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(ParseJson("\"\\u0041\"")->AsString(), "A");
+  EXPECT_EQ(ParseJson("\"\\u00e9\"")->AsString(), "\xC3\xA9");
+  EXPECT_EQ(ParseJson("\"\\u20ac\"")->AsString(), "\xE2\x82\xAC");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(ParseJson("\"\\ud83d\\ude00\"")->AsString(),
+            "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(ParseJson("\"\\ud83d\"").ok());    // unpaired high
+  EXPECT_FALSE(ParseJson("\"\\ude00\"").ok());    // unpaired low
+  EXPECT_FALSE(ParseJson("\"\\u12g4\"").ok());    // bad hex
+}
+
+TEST(JsonTest, RoundTripPreservesDoublesExactly) {
+  for (const double d : {0.1, 1.0 / 3.0, 1e-300, 6.02e23, 2.5}) {
+    const std::string dumped = JsonValue(d).Dump();
+    const auto parsed = ParseJson(dumped);
+    ASSERT_TRUE(parsed.ok()) << dumped;
+    EXPECT_EQ(parsed->AsDouble(), d) << dumped;
+    // Deterministic: dumping the reparsed value gives the same bytes.
+    EXPECT_EQ(JsonValue(parsed->AsDouble()).Dump(), dumped);
+  }
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  const std::vector<std::string> bad = {
+      "",        "{",         "}",         "[1,",       "{\"a\":}",
+      "{a:1}",   "tru",       "nul",       "01x",       "1.",
+      "1e",      "\"abc",     "[1 2]",     "{\"a\" 1}", "1 2",
+      "{}extra", "\"\\q\"",   "+1",        "--1",       "[,]",
+      "{\"a\":1,}",
+  };
+  for (const std::string& text : bad) {
+    EXPECT_FALSE(ParseJson(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonTest, DepthLimitStopsHostileNesting) {
+  std::string deep(2000, '[');
+  deep.append(2000, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+  // A compliant document within the limit parses.
+  EXPECT_TRUE(ParseJson("[[[[1]]]]", 8).ok());
+  EXPECT_FALSE(ParseJson("[[[[1]]]]", 2).ok());
+}
+
+TEST(JsonTest, RandomGarbageNeverCrashes) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string garbage;
+    const size_t length = rng.Uniform(64);
+    for (size_t i = 0; i < length; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    // Must return, never crash; validity is input-dependent.
+    (void)ParseJson(garbage).ok();
+  }
+  // Mutated valid documents: flip bytes of a real document.
+  const std::string valid =
+      R"({"scenario":"user-centric","user":7,"k":3,"lambda":0.5})";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = valid;
+    mutated[rng.Uniform(mutated.size())] =
+        static_cast<char>(rng.Uniform(256));
+    (void)ParseJson(mutated).ok();
+  }
+}
+
+}  // namespace
+}  // namespace xsum::net

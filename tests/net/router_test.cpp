@@ -1,0 +1,355 @@
+/// Tests of the shard-routing layer over real loopback servers: the
+/// routing invariant (routed responses byte-identical to direct in-process
+/// calls across methods × λ × k-chains), k-stickiness of the consistent
+/// hash, failover to surviving shards, local fallback, and placement
+/// stability when the endpoint list grows.
+
+#include "service/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/runner.h"
+#include "net/http_server.h"
+#include "service/handler.h"
+#include "service/snapshot_registry.h"
+
+namespace xsum::service {
+namespace {
+
+eval::ExperimentConfig TinyConfig() {
+  eval::ExperimentConfig config;
+  config.scale = 0.02;
+  config.users_per_gender = 3;
+  config.items_popular = 3;
+  config.items_unpopular = 3;
+  config.ks = {1, 3, 5};
+  return config;
+}
+
+/// One in-process shard: its own service + handler + HTTP server, over
+/// the shared registry and catalog (exactly the multi-process topology,
+/// minus the fork).
+struct Shard {
+  std::unique_ptr<SummaryService> service;
+  std::unique_ptr<SummaryHandler> handler;
+  std::unique_ptr<net::HttpServer> server;
+
+  std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(server->port());
+  }
+};
+
+class RouterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    runner_ = new eval::ExperimentRunner(TinyConfig());
+    ASSERT_TRUE(runner_->Init().ok());
+    auto data = runner_->ComputeBaseline(rec::RecommenderKind::kPgpr);
+    ASSERT_TRUE(data.ok()) << data.status();
+    ASSERT_GE(data->users.size(), 2u);
+    catalog_ = new TaskCatalog();
+    for (const core::UserRecs& ur : data->users) {
+      catalog_->AddUserCentric(runner_->rec_graph(), ur, 5);
+    }
+    registry_ = new GraphSnapshotRegistry();
+    registry_->Publish(GraphSnapshotRegistry::Alias(runner_->rec_graph()));
+  }
+
+  static void TearDownTestSuite() {
+    delete catalog_;
+    delete registry_;
+    delete runner_;
+    catalog_ = nullptr;
+    registry_ = nullptr;
+    runner_ = nullptr;
+  }
+
+  static std::unique_ptr<Shard> StartShard() {
+    auto shard = std::make_unique<Shard>();
+    shard->service = std::make_unique<SummaryService>(registry_);
+    shard->handler =
+        std::make_unique<SummaryHandler>(shard->service.get(), catalog_);
+    net::HttpServer::Options options;
+    options.num_workers = 2;
+    SummaryHandler* handler = shard->handler.get();
+    shard->server = std::make_unique<net::HttpServer>(
+        [handler](const net::HttpRequest& request) {
+          return handler->Handle(request);
+        },
+        options);
+    EXPECT_TRUE(shard->server->Start().ok());
+    return shard;
+  }
+
+  /// Every (unit, k, method-config) triple of the identity sweep.
+  static std::vector<SummaryRequest> IdentitySweep() {
+    std::vector<SummaryRequest> requests;
+    std::vector<uint32_t> units;
+    for (const auto& entry : catalog_->entries()) {
+      if (units.empty() || units.back() != entry.unit) {
+        units.push_back(entry.unit);
+      }
+    }
+    units.resize(std::min<size_t>(units.size(), 3));
+    struct MethodConfig {
+      core::SummaryMethod method;
+      double lambda;
+      core::SteinerOptions::Variant variant;
+    };
+    const std::vector<MethodConfig> methods = {
+        {core::SummaryMethod::kBaseline, 1.0,
+         core::SteinerOptions::Variant::kMehlhorn},
+        {core::SummaryMethod::kSteiner, 0.0,
+         core::SteinerOptions::Variant::kKmb},
+        {core::SummaryMethod::kSteiner, 0.01,
+         core::SteinerOptions::Variant::kMehlhorn},
+        {core::SummaryMethod::kSteiner, 1.0,
+         core::SteinerOptions::Variant::kKmb},
+        {core::SummaryMethod::kPcst, 1.0,
+         core::SteinerOptions::Variant::kMehlhorn},
+    };
+    for (const uint32_t unit : units) {
+      for (const MethodConfig& config : methods) {
+        for (int k = 1; k <= 5; ++k) {
+          SummaryRequest request;
+          request.unit = unit;
+          request.k = k;
+          request.prev_k = k > 1 ? k - 1 : 0;  // chained sweep with hints
+          request.method = config.method;
+          request.lambda = config.lambda;
+          request.variant = config.variant;
+          requests.push_back(request);
+        }
+      }
+    }
+    return requests;
+  }
+
+  static eval::ExperimentRunner* runner_;
+  static TaskCatalog* catalog_;
+  static GraphSnapshotRegistry* registry_;
+};
+
+eval::ExperimentRunner* RouterTest::runner_ = nullptr;
+TaskCatalog* RouterTest::catalog_ = nullptr;
+GraphSnapshotRegistry* RouterTest::registry_ = nullptr;
+
+TEST_F(RouterTest, RoutedEqualsDirectAcrossMethodsLambdasAndChains) {
+  auto shard_a = StartShard();
+  auto shard_b = StartShard();
+  ShardRouter::Options options;
+  options.endpoints = {shard_a->endpoint(), shard_b->endpoint()};
+  ShardRouter router(nullptr, options);
+
+  // Direct reference engine, fresh service (cold cache).
+  SummaryService direct_service(registry_);
+  SummaryHandler direct(&direct_service, catalog_);
+
+  size_t checked = 0;
+  for (const SummaryRequest& request : IdentitySweep()) {
+    const net::HttpResponse routed = router.Summarize(request);
+    const net::HttpResponse local = direct.Summarize(request);
+    ASSERT_EQ(routed.status, 200) << routed.body;
+    ASSERT_EQ(local.status, 200) << local.body;
+    // The routing invariant: byte identity, not structural similarity.
+    ASSERT_EQ(routed.body, local.body)
+        << "unit=" << request.unit << " k=" << request.k
+        << " method=" << static_cast<int>(request.method)
+        << " lambda=" << request.lambda;
+    ++checked;
+  }
+  EXPECT_GE(checked, 50u);
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.routed, checked);
+  EXPECT_EQ(stats.local, 0u);
+  // Both shards actually served traffic (placement spreads units).
+  EXPECT_GT(stats.per_endpoint[0], 0u);
+  EXPECT_GT(stats.per_endpoint[1], 0u);
+
+  shard_a->server->Stop();
+  shard_b->server->Stop();
+}
+
+TEST_F(RouterTest, ChainedKsAreShardSticky) {
+  ShardRouter::Options options;
+  options.endpoints = {"127.0.0.1:9001", "127.0.0.1:9002",
+                       "127.0.0.1:9003"};
+  ShardRouter router(nullptr, options);
+
+  for (const auto& entry : catalog_->entries()) {
+    SummaryRequest request;
+    request.unit = entry.unit;
+    request.k = 1;
+    const size_t home = router.EndpointFor(request);
+    for (int k = 2; k <= 10; ++k) {
+      request.k = k;
+      request.prev_k = k - 1;
+      EXPECT_EQ(router.EndpointFor(request), home)
+          << "unit " << entry.unit << " k " << k
+          << " left its home shard — chain checkpoints would be lost";
+    }
+  }
+}
+
+TEST_F(RouterTest, PlacementIsStableWhenEndpointsGrow) {
+  // Consistent hashing: adding a shard must not reshuffle every key.
+  ShardRouter::Options two;
+  two.endpoints = {"127.0.0.1:9001", "127.0.0.1:9002"};
+  ShardRouter router_two(nullptr, two);
+  ShardRouter::Options three = two;
+  three.endpoints.push_back("127.0.0.1:9003");
+  ShardRouter router_three(nullptr, three);
+
+  size_t moved = 0;
+  size_t total = 0;
+  for (uint32_t unit = 0; unit < 600; ++unit) {
+    SummaryRequest request;
+    request.unit = unit;
+    const size_t before = router_two.EndpointFor(request);
+    const size_t after = router_three.EndpointFor(request);
+    ++total;
+    if (after != before) {
+      ++moved;
+      // A moved key may only move to the *new* shard, never between the
+      // two old ones.
+      EXPECT_EQ(after, 2u) << "unit " << unit;
+    }
+  }
+  // Expected movement is ~1/3; anything above 60% means the hash is not
+  // consistent (modulo-N placement moves ~2/3).
+  EXPECT_LT(moved, total * 6 / 10);
+  EXPECT_GT(moved, 0u);
+}
+
+TEST_F(RouterTest, FailoverToSurvivingShardKeepsAnswersIdentical) {
+  auto shard_a = StartShard();
+  auto shard_b = StartShard();
+  ShardRouter::Options options;
+  options.endpoints = {shard_a->endpoint(), shard_b->endpoint()};
+  options.timeout_ms = 1000;
+  ShardRouter router(nullptr, options);
+
+  SummaryService direct_service(registry_);
+  SummaryHandler direct(&direct_service, catalog_);
+
+  // Find requests homed on shard A, then kill A.
+  std::vector<SummaryRequest> homed_on_a;
+  for (const auto& entry : catalog_->entries()) {
+    SummaryRequest request;
+    request.unit = entry.unit;
+    request.k = entry.k;
+    if (router.EndpointFor(request) == 0) homed_on_a.push_back(request);
+  }
+  ASSERT_FALSE(homed_on_a.empty());
+  shard_a->server->Stop();
+
+  for (const SummaryRequest& request : homed_on_a) {
+    const net::HttpResponse routed = router.Summarize(request);
+    ASSERT_EQ(routed.status, 200) << routed.body;
+    EXPECT_EQ(routed.body, direct.Summarize(request).body);
+  }
+  const RouterStats stats = router.stats();
+  EXPECT_GE(stats.failovers, homed_on_a.size());
+  EXPECT_EQ(stats.routed, homed_on_a.size());
+  EXPECT_EQ(stats.per_endpoint[0], 0u);
+  EXPECT_EQ(stats.per_endpoint[1], homed_on_a.size());
+
+  shard_b->server->Stop();
+}
+
+TEST_F(RouterTest, LocalFallbackAnswersWhenEveryShardIsDown) {
+  SummaryService local_service(registry_);
+  SummaryHandler local(&local_service, catalog_);
+  ShardRouter::Options options;
+  // Nothing listens on these ports (kernel refuses instantly on loopback).
+  options.endpoints = {"127.0.0.1:1", "127.0.0.1:2"};
+  options.timeout_ms = 500;
+  ShardRouter router(&local, options);
+
+  SummaryRequest request;
+  request.unit = catalog_->entries().front().unit;
+  request.k = 3;
+  const net::HttpResponse response = router.Summarize(request);
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_EQ(response.body, local.Summarize(request).body);
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.local, 1u);
+  EXPECT_EQ(stats.routed, 0u);
+}
+
+TEST_F(RouterTest, AllShardsDownWithoutFallbackIs502) {
+  ShardRouter::Options options;
+  options.endpoints = {"127.0.0.1:1", "127.0.0.1:2"};
+  options.timeout_ms = 500;
+  options.local_fallback = false;
+  ShardRouter router(nullptr, options);
+
+  SummaryRequest request;
+  request.unit = catalog_->entries().front().unit;
+  request.k = 1;
+  EXPECT_EQ(router.Summarize(request).status, 502);
+}
+
+TEST_F(RouterTest, HandleDispatchesNonSummarizeEndpointsLocally) {
+  SummaryService local_service(registry_);
+  SummaryHandler local(&local_service, catalog_);
+  ShardRouter::Options options;
+  ShardRouter router(&local, options);  // no endpoints: pure shard role
+
+  net::HttpRequest healthz;
+  healthz.method = "GET";
+  healthz.target = "/healthz";
+  EXPECT_EQ(router.Handle(healthz).status, 200);
+
+  net::HttpRequest bad;
+  bad.method = "POST";
+  bad.target = "/summarize";
+  bad.body = "{broken";
+  EXPECT_EQ(router.Handle(bad).status, 400);
+
+  net::HttpRequest summarize = bad;
+  summarize.body = R"({"user":)" +
+                   std::to_string(catalog_->entries().front().unit) +
+                   R"(,"k":1})";
+  const net::HttpResponse response = router.Handle(summarize);
+  EXPECT_EQ(response.status, 200) << response.body;
+}
+
+TEST_F(RouterTest, ParseEndpointValidation) {
+  EXPECT_TRUE(ParseEndpoint("10.0.0.1:8080").ok());
+  EXPECT_EQ(ParseEndpoint(":8080")->first, "127.0.0.1");
+  EXPECT_EQ(ParseEndpoint("host:1")->second, 1);
+  EXPECT_FALSE(ParseEndpoint("").ok());
+  EXPECT_FALSE(ParseEndpoint("hostonly").ok());
+  EXPECT_FALSE(ParseEndpoint("h:").ok());
+  EXPECT_FALSE(ParseEndpoint("h:abc").ok());
+  EXPECT_FALSE(ParseEndpoint("h:70000").ok());
+  EXPECT_FALSE(ParseEndpoint("h:0").ok());
+}
+
+TEST_F(RouterTest, UnitFingerprintSeparatesChainsButNotKs) {
+  SummaryRequest request;
+  request.unit = 42;
+  request.k = 1;
+  const uint64_t base = UnitFingerprint(request);
+  request.k = 7;
+  request.prev_k = 6;
+  EXPECT_EQ(UnitFingerprint(request), base) << "k must not affect placement";
+  SummaryRequest other = request;
+  other.unit = 43;
+  EXPECT_NE(UnitFingerprint(other), base);
+  other = request;
+  other.method = core::SummaryMethod::kPcst;
+  EXPECT_NE(UnitFingerprint(other), base);
+  other = request;
+  other.lambda = 0.5;
+  EXPECT_NE(UnitFingerprint(other), base);
+}
+
+}  // namespace
+}  // namespace xsum::service

@@ -1,0 +1,153 @@
+/// Anti-rot contract between the env-var catalog (`util/env.h`), the
+/// operator documentation (`docs/OPERATIONS.md`), and the source tree:
+///
+///  1. every catalog entry appears in the OPERATIONS.md table, cell for
+///     cell (name, type, default, range, consumers, description);
+///  2. the table documents nothing the catalog does not know;
+///  3. every `"XSUM_*"` string literal in src/ + bench/ + examples/ (the
+///     convention for every GetEnv* call site) is a catalogued name — a
+///     binary cannot grow an undocumented knob.
+///
+/// `XSUM_SOURCE_DIR` is injected by CMake so the test can read the
+/// repository it was built from.
+
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace xsum {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+fs::path SourceDir() { return fs::path(XSUM_SOURCE_DIR); }
+
+/// The markdown row `docs/OPERATIONS.md` must carry for \p info.
+std::string ExpectedRow(const EnvVarInfo& info) {
+  std::string row = "| `";
+  row += info.name;
+  row += "` | ";
+  row += info.type;
+  row += " | ";
+  row += info.default_str;
+  row += " | ";
+  row += info.range;
+  row += " | ";
+  row += info.consumers;
+  row += " | ";
+  row += info.description;
+  row += " |";
+  return row;
+}
+
+TEST(EnvDocsTest, CatalogIsNonTrivialAndWellFormed) {
+  const auto& catalog = EnvVarCatalog();
+  ASSERT_GE(catalog.size(), 12u);
+  std::set<std::string> names;
+  for (const EnvVarInfo& info : catalog) {
+    EXPECT_TRUE(std::string(info.name).rfind("XSUM_", 0) == 0) << info.name;
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate catalog entry: " << info.name;
+    EXPECT_STRNE(info.type, "");
+    EXPECT_STRNE(info.default_str, "");
+    EXPECT_STRNE(info.range, "");
+    EXPECT_STRNE(info.consumers, "");
+    EXPECT_STRNE(info.description, "");
+    const std::string type = info.type;
+    EXPECT_TRUE(type == "double" || type == "int" || type == "string")
+        << info.name << " has unknown type " << type;
+  }
+  // The serving knobs this PR introduced are present.
+  EXPECT_TRUE(names.count("XSUM_PORT"));
+  EXPECT_TRUE(names.count("XSUM_SHARDS"));
+  EXPECT_TRUE(names.count("XSUM_NET_WORKERS"));
+  EXPECT_TRUE(names.count("XSUM_LOCAL_FALLBACK"));
+}
+
+TEST(EnvDocsTest, OperationsTableMatchesCatalogExactly) {
+  const fs::path doc_path = SourceDir() / "docs" / "OPERATIONS.md";
+  ASSERT_TRUE(fs::exists(doc_path)) << doc_path;
+  const std::string doc = ReadFile(doc_path);
+
+  // 1) Every catalog entry appears as a full, exact table row.
+  for (const EnvVarInfo& info : EnvVarCatalog()) {
+    const std::string row = ExpectedRow(info);
+    EXPECT_NE(doc.find(row), std::string::npos)
+        << "docs/OPERATIONS.md is missing or has drifted for " << info.name
+        << "\nexpected row:\n" << row;
+  }
+
+  // 2) The table has no rows the catalog does not know.
+  std::set<std::string> known;
+  for (const EnvVarInfo& info : EnvVarCatalog()) known.insert(info.name);
+  std::istringstream lines(doc);
+  std::string line;
+  size_t rows = 0;
+  while (std::getline(lines, line)) {
+    const std::string prefix = "| `XSUM_";
+    if (line.rfind(prefix, 0) != 0) continue;
+    ++rows;
+    const size_t name_end = line.find('`', 3);
+    ASSERT_NE(name_end, std::string::npos) << line;
+    const std::string name = line.substr(3, name_end - 3);
+    EXPECT_TRUE(known.count(name))
+        << "docs/OPERATIONS.md documents " << name
+        << " which util/env.cpp's EnvVarCatalog() does not list";
+  }
+  EXPECT_EQ(rows, EnvVarCatalog().size())
+      << "table row count and catalog size diverged";
+}
+
+TEST(EnvDocsTest, EverySourceEnvLiteralIsCatalogued) {
+  std::set<std::string> known;
+  for (const EnvVarInfo& info : EnvVarCatalog()) known.insert(info.name);
+
+  size_t literals_seen = 0;
+  for (const char* tree : {"src", "bench", "examples"}) {
+    const fs::path root = SourceDir() / tree;
+    ASSERT_TRUE(fs::exists(root)) << root;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp") continue;
+      const std::string content = ReadFile(entry.path());
+      // Convention: env reads pass the name as a string literal, so the
+      // opening quote directly precedes XSUM_.
+      size_t pos = 0;
+      while ((pos = content.find("\"XSUM_", pos)) != std::string::npos) {
+        size_t end = pos + 1;
+        while (end < content.size() &&
+               (std::isupper(static_cast<unsigned char>(content[end])) ||
+                std::isdigit(static_cast<unsigned char>(content[end])) ||
+                content[end] == '_')) {
+          ++end;
+        }
+        const std::string name = content.substr(pos + 1, end - pos - 1);
+        EXPECT_TRUE(known.count(name))
+            << entry.path().string() << " reads " << name
+            << " which is not in util/env.cpp's EnvVarCatalog() — add it "
+               "there and to docs/OPERATIONS.md";
+        ++literals_seen;
+        pos = end;
+      }
+    }
+  }
+  // Sanity: the scan actually found the well-known call sites.
+  EXPECT_GE(literals_seen, 15u);
+}
+
+}  // namespace
+}  // namespace xsum
