@@ -14,17 +14,28 @@
 /// sample of responses is verified *byte-identical* across all three arms
 /// — the routing invariant that makes the shard layer safe to deploy.
 ///
+/// With XSUM_FAULT=1 a fourth arm runs the same stream against a
+/// 4-shard x 2-replica fleet and kills the busiest shard a quarter of
+/// the way in, rejoining it at the halfway mark: per-phase latency
+/// (steady / outage / recovered) quantifies what replica failover,
+/// ejection, and probe-reinstatement cost, and the run fails unless the
+/// outage p99 stays within 2x the steady p99 and every response stays
+/// byte-identical to the in-process reference.
+///
 /// Env knobs (on top of the standard XSUM_* set):
 ///   XSUM_REQUESTS     requests per arm       (default 300)
 ///   XSUM_CLIENTS      client threads         (default 2)
 ///   XSUM_ZIPF         task-mix skew          (default 1.1)
 ///   XSUM_NET_WORKERS  server worker threads  (default 4)
+///   XSUM_FAULT        fault-injection arm    (default 0)
 ///
-/// XSUM_JSON emits one record per arm into the *gated* perf artifact, so
-/// `bench/compare_perf.py` tracks transport overhead across commits.
+/// XSUM_JSON emits one record per arm/phase into the *gated* perf
+/// artifact, so `bench/compare_perf.py` tracks transport overhead across
+/// commits.
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -121,9 +132,13 @@ int main() {
   const ZipfTable zipf(universe.size(), skew);
   Rng rng(runner.config().seed + 7);
   std::vector<service::SummaryRequest> stream;
+  std::vector<size_t> stream_universe;  // universe index of each element
   stream.reserve(num_requests);
+  stream_universe.reserve(num_requests);
   for (size_t r = 0; r < num_requests; ++r) {
-    stream.push_back(universe[zipf.Sample(&rng)]);
+    const size_t pick = zipf.Sample(&rng);
+    stream.push_back(universe[pick]);
+    stream_universe.push_back(pick);
   }
 
   // One registry (the runner's graph) behind every arm; each arm gets its
@@ -288,5 +303,192 @@ int main() {
     server_b.Stop();
   }
   http_server.Stop();
+
+  // --- fault-injection arm (XSUM_FAULT=1) ----------------------------------
+  // A 4-shard x 2-replica fleet replays the same stream in three phases:
+  // steady (all shards up), outage (the busiest shard killed at N/4 —
+  // requests fail over, the breaker ejects it), recovered (the shard
+  // rejoins on its old port at N/2 and is probe-reinstated). Every
+  // response is checked byte-identical to the in-process reference, and
+  // the run fails when the outage p99 exceeds 2x the steady p99 — the
+  // bound that makes replica failover an operational non-event.
+  if (GetEnvNonNegativeInt("XSUM_FAULT", 0) != 0) {
+    service::SummaryService reference_service(&registry, service_options);
+    service::SummaryHandler reference(&reference_service, &catalog);
+    std::vector<std::string> expected(universe.size());
+    for (size_t i = 0; i < universe.size(); ++i) {
+      expected[i] = reference.Summarize(universe[i]).body;
+    }
+
+    constexpr size_t kShards = 4;
+    std::vector<std::unique_ptr<service::SummaryService>> fleet_services;
+    std::vector<std::unique_ptr<service::SummaryHandler>> fleet_handlers;
+    std::vector<std::unique_ptr<net::HttpServer>> fleet;
+    net::HttpServer::Options shard_options;
+    shard_options.num_workers = net_workers;
+    for (size_t s = 0; s < kShards; ++s) {
+      fleet_services.push_back(
+          std::make_unique<service::SummaryService>(&registry,
+                                                    service_options));
+      fleet_handlers.push_back(std::make_unique<service::SummaryHandler>(
+          fleet_services.back().get(), &catalog));
+      service::SummaryHandler* handler = fleet_handlers.back().get();
+      fleet.push_back(std::make_unique<net::HttpServer>(
+          [handler](const net::HttpRequest& request) {
+            return handler->Handle(request);
+          },
+          shard_options));
+      bench::CheckOk(fleet.back()->Start(), "fleet shard start");
+    }
+
+    service::ShardRouter::Options fleet_options;
+    for (const auto& shard : fleet) {
+      fleet_options.endpoints.push_back("127.0.0.1:" +
+                                        std::to_string(shard->port()));
+    }
+    fleet_options.replicas = 2;
+    fleet_options.local_fallback = false;
+    fleet_options.timeout_ms = 2000;
+    // Fast ejection/reinstatement so both transitions land inside the
+    // bench window.
+    fleet_options.health.failure_threshold = 2;
+    fleet_options.health.base_backoff_ms = 100;
+    fleet_options.health.max_backoff_ms = 1000;
+    fleet_options.probe_interval_ms = 25;
+    service::ShardRouter fleet_router(nullptr, fleet_options);
+
+    const size_t kill_at = stream.size() / 4;
+    const size_t rejoin_at = stream.size() / 2;
+    // Kill the shard the outage window leans on hardest, so the phase
+    // actually exercises failover instead of missing the victim.
+    std::vector<size_t> homed(kShards, 0);
+    for (size_t i = kill_at; i < rejoin_at; ++i) {
+      ++homed[fleet_router.EndpointFor(stream[i])];
+    }
+    const size_t victim = static_cast<size_t>(
+        std::max_element(homed.begin(), homed.end()) - homed.begin());
+
+    const auto replay_phase = [&](const char* phase, size_t begin,
+                                  size_t end) {
+      const net::ReplayStats replay = net::ReplayConcurrent(
+          end - begin, num_clients, [&](size_t, size_t i) {
+            net::HttpResponse response =
+                fleet_router.Summarize(stream[begin + i]);
+            if (response.status == 200 &&
+                response.body != expected[stream_universe[begin + i]]) {
+              response.status = 598;
+              response.body = "response bytes diverged from the in-process "
+                              "reference";
+            }
+            return response;
+          });
+      if (!replay.ok) {
+        std::fprintf(stderr, "[fault.%s] request failed: HTTP %d %s\n",
+                     phase, replay.error_status, replay.error_body.c_str());
+        std::exit(1);
+      }
+      return replay;
+    };
+
+    const net::ReplayStats steady = replay_phase("steady", 0, kill_at);
+    const uint16_t victim_port = fleet[victim]->port();
+    fleet[victim]->Stop();
+    const net::ReplayStats outage =
+        replay_phase("outage", kill_at, rejoin_at);
+    const service::RouterStats mid = fleet_router.stats();
+    if (mid.ejections == 0) {
+      std::fprintf(stderr,
+                   "FATAL: outage phase never ejected the killed shard\n");
+      return 1;
+    }
+
+    // Rejoin on the old address; the probe loop must reinstate it before
+    // the recovered phase starts (the rejoin wait is operational, not
+    // request latency, so it is timed separately).
+    shard_options.port = victim_port;
+    service::SummaryHandler* victim_handler = fleet_handlers[victim].get();
+    auto rejoined = std::make_unique<net::HttpServer>(
+        [victim_handler](const net::HttpRequest& request) {
+          return victim_handler->Handle(request);
+        },
+        shard_options);
+    bench::CheckOk(rejoined->Start(), "victim rejoin");
+    fleet[victim] = std::move(rejoined);
+    WallTimer rejoin_timer;
+    rejoin_timer.Start();
+    while (fleet_router.endpoint_state(victim) !=
+           service::EndpointHealth::State::kHealthy) {
+      if (rejoin_timer.ElapsedMillis() > 15000.0) {
+        std::fprintf(stderr,
+                     "FATAL: rejoined shard was never reinstated\n");
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const double rejoin_ms = rejoin_timer.ElapsedMillis();
+    const net::ReplayStats recovered =
+        replay_phase("recovered", rejoin_at, stream.size());
+
+    const service::RouterStats fs = fleet_router.stats();
+    TextTable fault_table(
+        {"phase", "requests", "wall ms", "p50 ms", "p99 ms"});
+    const auto fault_row = [&](const char* phase,
+                               const net::ReplayStats& replay,
+                               size_t requests) {
+      fault_table.AddRow(
+          {phase, FormatCount(static_cast<int64_t>(requests)),
+           FormatDouble(replay.wall_ms, 1),
+           FormatDouble(replay.latencies_ms.Percentile(50.0), 4),
+           FormatDouble(replay.latencies_ms.Percentile(99.0), 4)});
+    };
+    std::printf("\nfault injection: %zu shards, %zu replicas, shard %zu "
+                "killed at request %zu, rejoined at %zu (reinstated in "
+                "%.0f ms)\n",
+                kShards, fleet_options.replicas, victim, kill_at,
+                rejoin_at, rejoin_ms);
+    fault_row("steady", steady, kill_at);
+    fault_row("outage", outage, rejoin_at - kill_at);
+    fault_row("recovered", recovered, stream.size() - rejoin_at);
+    fault_table.Print(std::cout);
+    std::printf("every response byte-identical to the in-process "
+                "reference; ejections %llu, probes %llu, reinstatements "
+                "%llu, failovers %llu, hedges %llu\n",
+                static_cast<unsigned long long>(fs.ejections),
+                static_cast<unsigned long long>(fs.probes),
+                static_cast<unsigned long long>(fs.reinstatements),
+                static_cast<unsigned long long>(fs.failovers),
+                static_cast<unsigned long long>(fs.hedges));
+
+    const double steady_p99 = steady.latencies_ms.Percentile(99.0);
+    const double outage_p99 = outage.latencies_ms.Percentile(99.0);
+    // 2x steady, with a small absolute floor so sub-millisecond baselines
+    // do not turn scheduler noise into a failure.
+    const double bound = std::max(2.0 * steady_p99, steady_p99 + 2.0);
+    if (outage_p99 > bound) {
+      std::fprintf(stderr,
+                   "FATAL: outage p99 %.4f ms exceeds the failover bound "
+                   "%.4f ms (steady p99 %.4f ms)\n",
+                   outage_p99, bound, steady_p99);
+      return 1;
+    }
+    std::printf("outage p99 %.4f ms within bound %.4f ms "
+                "(steady p99 %.4f ms)\n\n",
+                outage_p99, bound, steady_p99);
+
+    const size_t n = runner.rec_graph().graph().num_nodes();
+    const auto phase_mean = [](const net::ReplayStats& replay,
+                               size_t requests) {
+      return requests > 0 ? replay.wall_ms / static_cast<double>(requests)
+                          : 0.0;
+    };
+    bench::EmitPerfJson(
+        {"net.fault", "steady", n, 0, phase_mean(steady, kill_at), 0});
+    bench::EmitPerfJson({"net.fault", "outage", n, 0,
+                         phase_mean(outage, rejoin_at - kill_at), 0});
+    bench::EmitPerfJson({"net.fault", "recovered", n, 0,
+                         phase_mean(recovered, stream.size() - rejoin_at),
+                         0});
+    for (const auto& shard : fleet) shard->Stop();
+  }
   return 0;
 }

@@ -30,8 +30,11 @@
 ///
 /// Env knobs: XSUM_SCALE / XSUM_USERS / XSUM_SEED (dataset),
 /// XSUM_PORT / XSUM_SHARDS / XSUM_NET_WORKERS / XSUM_LOCAL_FALLBACK
-/// (network), XSUM_REQUESTS (default 400), XSUM_CLIENTS (default 2),
-/// XSUM_ZIPF (default 1.1). See docs/OPERATIONS.md.
+/// (network), XSUM_REPLICAS / XSUM_MAX_FAILOVER / XSUM_HEDGE /
+/// XSUM_HEDGE_MS / XSUM_EJECT_MS (fleet resilience), XSUM_MAX_QUEUE /
+/// XSUM_QUEUE_MS (admission control), XSUM_REQUESTS (default 400),
+/// XSUM_CLIENTS (default 2), XSUM_ZIPF (default 1.1).
+/// See docs/OPERATIONS.md.
 
 #include <signal.h>
 #include <sys/wait.h>
@@ -188,6 +191,12 @@ int RunServe() {
     server_options.port = static_cast<uint16_t>(port);
   }
   server_options.num_workers = net_workers;
+  // Admission control: bound the accepted-connection queue and shed
+  // stale entries instead of serving them past their useful deadline.
+  server_options.max_pending =
+      static_cast<size_t>(GetEnvNonNegativeInt("XSUM_MAX_QUEUE", 256));
+  server_options.queue_budget_ms = static_cast<int>(
+      GetEnvNonNegativeInt("XSUM_QUEUE_MS", 250));
 
   net::HttpServer::Handler http_handler;
   if (!shards.empty()) {
@@ -198,6 +207,15 @@ int RunServe() {
     }
     router_options.local_fallback =
         GetEnvNonNegativeInt("XSUM_LOCAL_FALLBACK", 1) != 0;
+    router_options.replicas = static_cast<size_t>(
+        std::max<int64_t>(1, GetEnvNonNegativeInt("XSUM_REPLICAS", 2)));
+    router_options.max_failover = static_cast<int>(
+        GetEnvNonNegativeInt("XSUM_MAX_FAILOVER", 2));
+    router_options.hedge = GetEnvNonNegativeInt("XSUM_HEDGE", 1) != 0;
+    router_options.hedge_min_ms = static_cast<int>(
+        std::max<int64_t>(1, GetEnvNonNegativeInt("XSUM_HEDGE_MS", 20)));
+    router_options.health.base_backoff_ms = static_cast<int>(
+        std::max<int64_t>(1, GetEnvNonNegativeInt("XSUM_EJECT_MS", 500)));
     router = std::make_unique<service::ShardRouter>(stack->handler.get(),
                                                     router_options);
     http_handler = [&router](const net::HttpRequest& request) {
@@ -210,6 +228,11 @@ int RunServe() {
   }
 
   net::HttpServer server(http_handler, server_options);
+  // Surface the server-level gauges in /stats next to the service view.
+  stack->handler->set_extra_stats([&server](net::JsonValue* json) {
+    json->Set("queue_depth", server.queue_depth());
+    json->Set("requests_shed", server.requests_shed());
+  });
   const Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",

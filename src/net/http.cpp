@@ -160,6 +160,12 @@ std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
   out.append(std::to_string(response.body.size()));
   out.append("\r\nConnection: ");
   out.append(keep_alive ? "keep-alive" : "close");
+  for (const auto& [name, value] : response.extra_headers) {
+    out.append("\r\n");
+    out.append(name);
+    out.append(": ");
+    out.append(value);
+  }
   out.append("\r\n\r\n");
   out.append(response.body);
   return out;

@@ -53,6 +53,11 @@ struct HttpResponse {
   /// `Content-Type` of the body; every endpoint of this system speaks
   /// JSON, so that is the default.
   std::string content_type = "application/json";
+  /// Additional response headers beyond the framing set (`Retry-After` on
+  /// a load-shed 503, for example). Names must be valid header tokens;
+  /// `Content-Type`/`Content-Length`/`Connection` belong to the
+  /// serializer and must not appear here.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
   std::string body;
 };
 

@@ -8,10 +8,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "net/socket_io.h"
+#include "util/rng.h"
 
 namespace xsum::net {
 
@@ -34,8 +37,49 @@ void HttpClient::Disconnect() {
   }
 }
 
+namespace {
+
+/// Thread-local jitter stream for connect backoff; seeded from the clock
+/// and the slot address so concurrent clients decorrelate.
+uint64_t JitterBits() {
+  static thread_local uint64_t state = [] {
+    uint64_t seed = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    seed ^= reinterpret_cast<uint64_t>(&seed);
+    return SplitMix64(&seed);
+  }();
+  return SplitMix64(&state);
+}
+
+}  // namespace
+
 Status HttpClient::EnsureConnected() {
   if (fd_ >= 0) return Status::OK();
+  bool refused = false;
+  Status status = TryConnect(&refused);
+  // A refused connect means nothing is listening *right now* — the one
+  // transport failure where an immediate-future retry is likely to
+  // succeed (a shard being restarted re-binds in milliseconds). Timeouts
+  // and resets are not retried: they already cost their full budget.
+  for (int attempt = 1;
+       !status.ok() && refused && attempt <= options_.connect_retries;
+       ++attempt) {
+    const int base = options_.connect_backoff_ms > 0
+                         ? options_.connect_backoff_ms * attempt
+                         : 0;
+    if (base > 0) {
+      const int jittered =
+          base / 2 + static_cast<int>(JitterBits() %
+                                      static_cast<uint64_t>(base / 2 + 1));
+      std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+    }
+    status = TryConnect(&refused);
+  }
+  return status;
+}
+
+Status HttpClient::TryConnect(bool* refused) {
+  *refused = false;
   // Resolve the host — the documented endpoint form is "host:port", so a
   // DNS name must work, not only IPv4 literals.
   addrinfo hints{};
@@ -48,12 +92,14 @@ Status HttpClient::EnsureConnected() {
     return Status::IOError("resolve " + host_ + ": " + ::gai_strerror(rc));
   }
   std::string detail = "no addresses resolved";
+  bool all_refused = results != nullptr;
   for (const addrinfo* entry = results; entry != nullptr;
        entry = entry->ai_next) {
     const int fd = ::socket(entry->ai_family, entry->ai_socktype,
                             entry->ai_protocol);
     if (fd < 0) {
       detail = std::string("socket: ") + std::strerror(errno);
+      all_refused = false;
       continue;
     }
     SetSocketTimeouts(fd, options_.timeout_ms, /*send_too=*/true);
@@ -63,10 +109,12 @@ Status HttpClient::EnsureConnected() {
       ::freeaddrinfo(results);
       return Status::OK();
     }
+    if (errno != ECONNREFUSED) all_refused = false;
     detail = std::strerror(errno);
     ::close(fd);
   }
   ::freeaddrinfo(results);
+  *refused = all_refused;
   return Status::IOError("connect " + host_ + ":" + std::to_string(port_) +
                          ": " + detail);
 }

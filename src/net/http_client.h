@@ -32,6 +32,16 @@ class HttpClient {
     int timeout_ms = 5000;
     /// Response parse budgets.
     HttpLimits limits;
+    /// Extra connect attempts after a refused connection (the listener is
+    /// down, typically a shard mid-restart), each preceded by a jittered
+    /// backoff. Refused-only: timeouts and resets are not retried here —
+    /// they already consumed their timeout budget and the caller's
+    /// failover policy owns them. 0 disables.
+    int connect_retries = 2;
+    /// Base backoff before connect retry n (n = 1, 2, ...): a uniformly
+    /// jittered sleep in [n·base/2, n·base), so a burst of callers hitting
+    /// the same restarting endpoint does not reconnect in lockstep.
+    int connect_backoff_ms = 25;
   };
 
   HttpClient(std::string host, uint16_t port);
@@ -63,6 +73,9 @@ class HttpClient {
   /// One wire round trip on the current connection.
   Result<HttpResponse> RoundTrip(const std::string& wire);
   Status EnsureConnected();
+  /// One resolve+connect pass; sets \p refused when every address failed
+  /// with ECONNREFUSED (the retryable failure class).
+  Status TryConnect(bool* refused);
   void Disconnect();
 
   std::string host_;

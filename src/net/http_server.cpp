@@ -120,8 +120,23 @@ void HttpServer::Stop() {
   }
   // Connections still queued but never picked up.
   std::lock_guard<std::mutex> lock(queue_mutex_);
-  for (int fd : pending_) ::close(fd);
+  for (const PendingConn& conn : pending_) ::close(conn.fd);
   pending_.clear();
+}
+
+size_t HttpServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return pending_.size();
+}
+
+void HttpServer::Shed(int fd) {
+  HttpResponse response;
+  response.status = 503;
+  response.body = "{\"error\":\"server overloaded, retry later\"}";
+  response.extra_headers.emplace_back("Retry-After", "1");
+  SendAll(fd, SerializeResponse(response, /*keep_alive=*/false));
+  ::close(fd);
+  requests_shed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void HttpServer::AcceptLoop() {
@@ -146,26 +161,54 @@ void HttpServer::AcceptLoop() {
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     SetNoDelay(fd);
     SetSocketTimeouts(fd, options_.idle_timeout_ms, /*send_too=*/false);
+    bool admit = true;
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
-      pending_.push_back(fd);
+      if (options_.max_pending > 0 &&
+          pending_.size() >= options_.max_pending) {
+        // Queue overflow: every worker is busy and the waiting line is
+        // full. Shedding here (503 + Retry-After, below, outside the
+        // lock) keeps the queue delay of admitted connections bounded
+        // instead of letting overload translate into latency.
+        admit = false;
+      } else {
+        pending_.push_back(
+            PendingConn{fd, std::chrono::steady_clock::now()});
+      }
     }
-    queue_cv_.notify_one();
+    if (admit) {
+      queue_cv_.notify_one();
+    } else {
+      Shed(fd);
+    }
   }
 }
 
 void HttpServer::WorkerLoop() {
   while (true) {
-    int fd = -1;
+    PendingConn conn;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] {
         return stopping_.load() || !pending_.empty();
       });
       if (pending_.empty()) return;  // stopping and drained
-      fd = pending_.front();
+      conn = pending_.front();
       pending_.pop_front();
     }
+    if (options_.queue_budget_ms > 0 && !stopping_.load()) {
+      const auto waited =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - conn.enqueued);
+      if (waited.count() > options_.queue_budget_ms) {
+        // Stale in the queue past the deadline budget: the client has
+        // probably given up; answering 503 now frees this worker for a
+        // connection that can still be served in time.
+        Shed(conn.fd);
+        continue;
+      }
+    }
+    const int fd = conn.fd;
     {
       std::lock_guard<std::mutex> lock(open_mutex_);
       open_fds_.insert(fd);

@@ -28,6 +28,7 @@
 #define XSUM_NET_HTTP_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -66,6 +67,17 @@ class HttpServer {
     /// Read timeout between bytes of a connection; an idle keep-alive
     /// connection is closed after this long.
     int idle_timeout_ms = 5000;
+    /// Admission control: accepted connections waiting for a worker
+    /// beyond this are *shed* — answered `503` + `Retry-After` and
+    /// closed — instead of queueing unboundedly. 0 = unbounded (the
+    /// pre-admission-control behaviour; in-process test servers).
+    size_t max_pending = 0;
+    /// Deadline-aware shedding: a connection that waited longer than this
+    /// in the queue is shed when a worker finally picks it up — its
+    /// client has likely timed out already, and serving it would spend a
+    /// worker on a dead request while fresh ones queue behind it.
+    /// 0 = never shed on queue delay.
+    int queue_budget_ms = 0;
   };
 
   /// \p handler must outlive the server's running span.
@@ -92,11 +104,25 @@ class HttpServer {
   /// responses), for tests and dashboards.
   uint64_t connections_accepted() const { return connections_accepted_; }
   uint64_t requests_served() const { return requests_served_; }
+  /// Connections shed by admission control (queue overflow or queue-delay
+  /// budget), each answered `503` before the close.
+  uint64_t requests_shed() const { return requests_shed_; }
+  /// Connections currently waiting for a worker.
+  size_t queue_depth() const;
 
  private:
+  /// One accepted connection waiting for a worker, stamped at accept time
+  /// so the queue-delay budget can be enforced at pickup.
+  struct PendingConn {
+    int fd = -1;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void AcceptLoop();
   void WorkerLoop();
   void ServeConnection(int fd);
+  /// Answers 503 + `Retry-After` on \p fd and closes it.
+  void Shed(int fd);
 
   Handler handler_;
   Options options_;
@@ -109,15 +135,16 @@ class HttpServer {
   std::thread listener_;
   std::thread dispatcher_;
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<int> pending_;
+  std::deque<PendingConn> pending_;
 
   std::mutex open_mutex_;
   std::unordered_set<int> open_fds_;
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> requests_shed_{0};
 };
 
 }  // namespace xsum::net

@@ -1,0 +1,240 @@
+#include "service/chain_transfer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace xsum::service {
+
+namespace {
+
+std::string ToHex(uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  if (value == 0) return "0";
+  char buffer[16];
+  int i = 16;
+  while (value != 0) {
+    buffer[--i] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return std::string(buffer + i, buffer + 16);
+}
+
+Result<uint64_t> FromHex(const net::JsonValue* value, const char* what) {
+  if (value == nullptr || !value->is_string()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be a hex string");
+  }
+  const std::string& s = value->AsString();
+  if (s.empty() || s.size() > 16) {
+    return Status::InvalidArgument(std::string(what) + " hex out of range");
+  }
+  uint64_t out = 0;
+  for (char c : s) {
+    uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return Status::InvalidArgument(std::string(what) +
+                                     " has a non-hex digit");
+    }
+    out = (out << 4) | digit;
+  }
+  return out;
+}
+
+Result<int64_t> GetInt(const net::JsonValue& json, const char* key,
+                       int64_t min_value, int64_t max_value) {
+  const net::JsonValue* value = json.Find(key);
+  if (value == nullptr || !value->is_int()) {
+    return Status::InvalidArgument(std::string("chain checkpoint: '") + key +
+                                   "' must be an integer");
+  }
+  const int64_t v = value->AsInt();
+  if (v < min_value || v > max_value) {
+    return Status::InvalidArgument(std::string("chain checkpoint: '") + key +
+                                   "' out of range");
+  }
+  return v;
+}
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+net::JsonValue ChainCheckpointToJson(const SummaryCache::ChainExport& entry) {
+  const core::SummaryChain& chain = *entry.chain;
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("v", kChainWireVersion);
+  json.Set("snapshot_version",
+           static_cast<int64_t>(entry.key.snapshot_version));
+  json.Set("fp_hi", ToHex(entry.key.fp_hi));
+  json.Set("fp_lo", ToHex(entry.key.fp_lo));
+  json.Set("route_key", ToHex(entry.route_key));
+  json.Set("method", static_cast<int64_t>(chain.method));
+  json.Set("variant", static_cast<int64_t>(chain.variant));
+  json.Set("sig_kind", static_cast<int64_t>(chain.cost_sig.kind));
+  json.Set("sig_mode", static_cast<int64_t>(chain.cost_sig.mode));
+  net::JsonValue deviations = net::JsonValue::Array();
+  for (const auto& [edge, bits] : chain.cost_sig.deviations) {
+    net::JsonValue pair = net::JsonValue::Array();
+    pair.Append(static_cast<int64_t>(edge));
+    pair.Append(ToHex(bits));
+    deviations.Append(std::move(pair));
+  }
+  json.Set("deviations", std::move(deviations));
+  // The pair memo is an unordered map: sort by key so the wire bytes are
+  // deterministic (two exports of the same checkpoint compare equal).
+  std::vector<std::pair<uint64_t, core::KmbClosureStore::PairEntry>> pairs(
+      chain.closure.pairs.begin(), chain.closure.pairs.end());
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  net::JsonValue pairs_json = net::JsonValue::Array();
+  for (const auto& [pair_key, pair_entry] : pairs) {
+    net::JsonValue row = net::JsonValue::Array();
+    row.Append(ToHex(pair_key));
+    row.Append(ToHex(DoubleBits(pair_entry.dist)));
+    row.Append(static_cast<int64_t>(pair_entry.path_begin));
+    row.Append(static_cast<int64_t>(pair_entry.path_end));
+    pairs_json.Append(std::move(row));
+  }
+  json.Set("pairs", std::move(pairs_json));
+  net::JsonValue arena = net::JsonValue::Array();
+  for (const graph::EdgeId edge : chain.closure.arena) {
+    arena.Append(static_cast<int64_t>(edge));
+  }
+  json.Set("arena", std::move(arena));
+  json.Set("links", static_cast<int64_t>(chain.links));
+  json.Set("resets", static_cast<int64_t>(chain.resets));
+  return json;
+}
+
+Result<ChainCheckpoint> ChainCheckpointFromJson(const net::JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("chain checkpoint must be a JSON object");
+  }
+  const auto version = GetInt(json, "v", 1, kChainWireVersion);
+  if (!version.ok()) return version.status();
+
+  ChainCheckpoint out;
+  const auto snapshot_version =
+      GetInt(json, "snapshot_version", 1, INT64_MAX);
+  if (!snapshot_version.ok()) return snapshot_version.status();
+  out.key.snapshot_version = static_cast<uint64_t>(*snapshot_version);
+  auto fp_hi = FromHex(json.Find("fp_hi"), "fp_hi");
+  if (!fp_hi.ok()) return fp_hi.status();
+  out.key.fp_hi = *fp_hi;
+  auto fp_lo = FromHex(json.Find("fp_lo"), "fp_lo");
+  if (!fp_lo.ok()) return fp_lo.status();
+  out.key.fp_lo = *fp_lo;
+  auto route_key = FromHex(json.Find("route_key"), "route_key");
+  if (!route_key.ok()) return route_key.status();
+  out.route_key = *route_key;
+
+  const auto method = GetInt(json, "method", 0, 2);
+  if (!method.ok()) return method.status();
+  out.chain.method = static_cast<core::SummaryMethod>(*method);
+  const auto variant = GetInt(json, "variant", 0, 1);
+  if (!variant.ok()) return variant.status();
+  out.chain.variant = static_cast<core::SteinerOptions::Variant>(*variant);
+  const auto sig_kind = GetInt(json, "sig_kind", 0, 3);
+  if (!sig_kind.ok()) return sig_kind.status();
+  out.chain.cost_sig.kind =
+      static_cast<core::CostSignature::Kind>(*sig_kind);
+  const auto sig_mode = GetInt(json, "sig_mode", 0, 2);
+  if (!sig_mode.ok()) return sig_mode.status();
+  out.chain.cost_sig.mode = static_cast<core::CostMode>(*sig_mode);
+
+  const net::JsonValue* deviations = json.Find("deviations");
+  if (deviations == nullptr || !deviations->is_array()) {
+    return Status::InvalidArgument(
+        "chain checkpoint: 'deviations' must be an array");
+  }
+  out.chain.cost_sig.deviations.reserve(deviations->items().size());
+  for (const net::JsonValue& row : deviations->items()) {
+    if (!row.is_array() || row.items().size() != 2 ||
+        !row.items()[0].is_int() || row.items()[0].AsInt() < 0) {
+      return Status::InvalidArgument(
+          "chain checkpoint: bad deviation entry");
+    }
+    auto bits = FromHex(&row.items()[1], "deviation bits");
+    if (!bits.ok()) return bits.status();
+    out.chain.cost_sig.deviations.emplace_back(
+        static_cast<graph::EdgeId>(row.items()[0].AsInt()), *bits);
+  }
+
+  const net::JsonValue* arena = json.Find("arena");
+  if (arena == nullptr || !arena->is_array()) {
+    return Status::InvalidArgument(
+        "chain checkpoint: 'arena' must be an array");
+  }
+  out.chain.closure.arena.reserve(arena->items().size());
+  for (const net::JsonValue& edge : arena->items()) {
+    if (!edge.is_int() || edge.AsInt() < 0 || edge.AsInt() > UINT32_MAX) {
+      return Status::InvalidArgument(
+          "chain checkpoint: bad arena edge id");
+    }
+    out.chain.closure.arena.push_back(
+        static_cast<graph::EdgeId>(edge.AsInt()));
+  }
+
+  const net::JsonValue* pairs = json.Find("pairs");
+  if (pairs == nullptr || !pairs->is_array()) {
+    return Status::InvalidArgument(
+        "chain checkpoint: 'pairs' must be an array");
+  }
+  const int64_t arena_size =
+      static_cast<int64_t>(out.chain.closure.arena.size());
+  out.chain.closure.pairs.reserve(pairs->items().size());
+  for (const net::JsonValue& row : pairs->items()) {
+    if (!row.is_array() || row.items().size() != 4) {
+      return Status::InvalidArgument("chain checkpoint: bad pair entry");
+    }
+    auto pair_key = FromHex(&row.items()[0], "pair key");
+    if (!pair_key.ok()) return pair_key.status();
+    auto dist_bits = FromHex(&row.items()[1], "pair dist bits");
+    if (!dist_bits.ok()) return dist_bits.status();
+    const net::JsonValue& begin = row.items()[2];
+    const net::JsonValue& end = row.items()[3];
+    // Span bounds are validated here, not trusted: an out-of-range span
+    // would index past the arena on reuse.
+    if (!begin.is_int() || !end.is_int() || begin.AsInt() < 0 ||
+        end.AsInt() < begin.AsInt() || end.AsInt() > arena_size) {
+      return Status::InvalidArgument(
+          "chain checkpoint: pair span outside arena");
+    }
+    core::KmbClosureStore::PairEntry pair_entry;
+    pair_entry.dist = BitsToDouble(*dist_bits);
+    pair_entry.path_begin = static_cast<uint32_t>(begin.AsInt());
+    pair_entry.path_end = static_cast<uint32_t>(end.AsInt());
+    out.chain.closure.pairs.emplace(*pair_key, pair_entry);
+  }
+
+  const auto links = GetInt(json, "links", 0, INT64_MAX);
+  if (!links.ok()) return links.status();
+  out.chain.links = static_cast<size_t>(*links);
+  const auto resets = GetInt(json, "resets", 0, INT64_MAX);
+  if (!resets.ok()) return resets.status();
+  out.chain.resets = static_cast<size_t>(*resets);
+
+  out.chain.has_state = true;
+  out.chain.closure.retain_trees = false;
+  out.chain.graph = nullptr;  // ImportChain re-anchors to the local graph
+  return out;
+}
+
+}  // namespace xsum::service

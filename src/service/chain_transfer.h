@@ -1,0 +1,51 @@
+/// \file chain_transfer.h
+/// \brief JSON wire form of a §5 chain checkpoint — what a draining shard
+/// exports and the ring inheritor imports (DESIGN.md §7.4).
+///
+/// A checkpoint is the compact (no retained trees) `core::SummaryChain`:
+/// the cost signature that guards reuse, the KMB pair memo, and its path
+/// arena. The wire form is JSON so it travels over the same `/drain` →
+/// `/chains` POST path as every other fleet message; u64 values
+/// (fingerprints, double bit patterns) are hex *strings* because the JSON
+/// integer lane is int64.
+///
+/// The format is deliberately version-tagged and strictly validated on
+/// import: a malformed or out-of-bounds document is rejected with
+/// InvalidArgument, never trusted — checkpoints are an optimization, and
+/// a dropped one only costs a from-scratch compute.
+
+#ifndef XSUM_SERVICE_CHAIN_TRANSFER_H_
+#define XSUM_SERVICE_CHAIN_TRANSFER_H_
+
+#include <cstdint>
+
+#include "core/incremental.h"
+#include "net/json.h"
+#include "service/summary_cache.h"
+#include "util/status.h"
+
+namespace xsum::service {
+
+/// Current chain wire-format version.
+inline constexpr int kChainWireVersion = 1;
+
+/// \brief One parsed chain checkpoint: cache key, routing fingerprint,
+/// and the chain payload (graph pointer unset — `ImportChain` re-anchors
+/// it to the importing process's snapshot).
+struct ChainCheckpoint {
+  CacheKey key;
+  uint64_t route_key = 0;
+  core::SummaryChain chain;
+};
+
+/// Serializes one exported checkpoint. Deterministic: pair entries are
+/// emitted in ascending pair-key order regardless of hash-map iteration.
+net::JsonValue ChainCheckpointToJson(const SummaryCache::ChainExport& entry);
+
+/// Parses and validates one checkpoint document: wire version, enum
+/// ranges, and arena span bounds are all checked.
+Result<ChainCheckpoint> ChainCheckpointFromJson(const net::JsonValue& json);
+
+}  // namespace xsum::service
+
+#endif  // XSUM_SERVICE_CHAIN_TRANSFER_H_

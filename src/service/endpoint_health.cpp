@@ -1,0 +1,110 @@
+#include "service/endpoint_health.h"
+
+#include <algorithm>
+
+namespace xsum::service {
+
+bool EndpointHealth::Selectable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !draining_ && state_ != State::kEjected;
+}
+
+EndpointHealth::State EndpointHealth::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+bool EndpointHealth::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void EndpointHealth::set_draining(bool draining) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = draining;
+}
+
+bool EndpointHealth::RecordSuccess(double latency_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool reinstated = state_ == State::kEjected;
+  state_ = State::kHealthy;
+  failures_ = 0;
+  backoff_ms_ = 0;
+  ewma_ms_ = ewma_ms_ == 0.0
+                 ? latency_ms
+                 : (1.0 - options_.ewma_alpha) * ewma_ms_ +
+                       options_.ewma_alpha * latency_ms;
+  return reinstated;
+}
+
+bool EndpointHealth::RecordFailureLocked(TimePoint now) {
+  ++failures_;
+  if (state_ == State::kEjected) {
+    // Already out: each further failure doubles the quiet period, so a
+    // long-dead shard converges to one probe per max_backoff_ms.
+    backoff_ms_ = std::min(options_.max_backoff_ms,
+                           std::max(backoff_ms_, 1) * 2);
+    ejected_until_ = now + std::chrono::milliseconds(backoff_ms_);
+    return false;
+  }
+  if (failures_ >= options_.failure_threshold) {
+    state_ = State::kEjected;
+    backoff_ms_ = std::max(1, options_.base_backoff_ms);
+    ejected_until_ = now + std::chrono::milliseconds(backoff_ms_);
+    return true;
+  }
+  state_ = State::kSuspect;
+  return false;
+}
+
+bool EndpointHealth::RecordFailure(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RecordFailureLocked(now);
+}
+
+bool EndpointHealth::ShouldProbe(TimePoint now,
+                                 int liveness_interval_ms) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_) return false;
+  if (state_ == State::kEjected) return now >= ejected_until_;
+  if (liveness_interval_ms <= 0) return false;
+  return now - last_probe_ >= std::chrono::milliseconds(liveness_interval_ms);
+}
+
+bool EndpointHealth::OnProbeResult(bool ok, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_probe_ = now;
+  if (ok) {
+    const bool reinstated = state_ == State::kEjected;
+    state_ = State::kHealthy;
+    failures_ = 0;
+    backoff_ms_ = 0;
+    return reinstated;
+  }
+  RecordFailureLocked(now);
+  return false;
+}
+
+double EndpointHealth::ewma_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ewma_ms_;
+}
+
+int EndpointHealth::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failures_;
+}
+
+const char* EndpointStateName(EndpointHealth::State state) {
+  switch (state) {
+    case EndpointHealth::State::kHealthy:
+      return "healthy";
+    case EndpointHealth::State::kSuspect:
+      return "suspect";
+    case EndpointHealth::State::kEjected:
+      return "ejected";
+  }
+  return "healthy";
+}
+
+}  // namespace xsum::service

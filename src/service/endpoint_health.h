@@ -1,0 +1,116 @@
+/// \file endpoint_health.h
+/// \brief `service::EndpointHealth` — the per-endpoint circuit-breaker
+/// state machine of the shard router (DESIGN.md §7).
+///
+/// States and transitions:
+///
+///       success                failure            failures >= threshold
+///   kHealthy <────────────── kSuspect ──────────────────> kEjected
+///       ^  \────────────────────^                             │
+///       │        (first failure)                              │
+///       └──────── probe 200 after backoff ────────────────────┘
+///                 (probe failure doubles the backoff)
+///
+/// A *failure* is a transport-level event: refused connect, reset,
+/// timeout, or a failed `/readyz` probe. HTTP error statuses are answers,
+/// not failures. Ejection removes the endpoint from replica selection
+/// (`Selectable()` == false); reinstatement is driven by the router's
+/// probe thread, which re-checks an ejected endpoint after an
+/// exponentially backed-off quiet period — so a dead shard costs one
+/// probe per backoff window instead of one timeout per request.
+///
+/// Draining is an orthogonal, operator-driven flag: a draining endpoint
+/// is healthy but must receive no new traffic (and is not probed), until
+/// `/undrain` clears it.
+///
+/// All methods take an explicit `now` where time matters, so the state
+/// machine is unit-testable without sleeping.
+
+#ifndef XSUM_SERVICE_ENDPOINT_HEALTH_H_
+#define XSUM_SERVICE_ENDPOINT_HEALTH_H_
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace xsum::service {
+
+/// \brief Health and load state of one routed endpoint. Thread-safe.
+class EndpointHealth {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  enum class State { kHealthy, kSuspect, kEjected };
+
+  struct Options {
+    /// Consecutive failures that eject the endpoint.
+    int failure_threshold = 3;
+    /// First post-ejection probe delay; doubles on every failed probe.
+    int base_backoff_ms = 500;
+    /// Backoff ceiling.
+    int max_backoff_ms = 30000;
+    /// EWMA smoothing factor for the latency estimate (weight of the
+    /// newest sample).
+    double ewma_alpha = 0.3;
+  };
+
+  EndpointHealth() : EndpointHealth(Options()) {}
+  explicit EndpointHealth(Options options) : options_(options) {}
+
+  /// Eligible for replica selection: not draining and not ejected.
+  bool Selectable() const;
+
+  State state() const;
+  bool draining() const;
+  void set_draining(bool draining);
+
+  /// Records a successful round trip of \p latency_ms. Any state resets
+  /// to healthy; returns true when this call reinstated an ejected
+  /// endpoint (a request raced the probe thread and won).
+  bool RecordSuccess(double latency_ms);
+
+  /// Records a transport failure at \p now. Returns true when this call
+  /// crossed the threshold and ejected the endpoint.
+  bool RecordFailure(TimePoint now);
+
+  /// True when the endpoint is due a health probe at \p now: ejected and
+  /// past its backoff window, or healthy/suspect but unprobed for
+  /// \p liveness_interval_ms (0 = no periodic liveness probing).
+  /// Draining endpoints are never probed.
+  bool ShouldProbe(TimePoint now, int liveness_interval_ms) const;
+
+  /// Outcome of a probe issued at \p now: success reinstates an ejected
+  /// endpoint (returns true iff it did); failure counts like a transport
+  /// failure and doubles the ejection backoff.
+  bool OnProbeResult(bool ok, TimePoint now);
+
+  /// Smoothed round-trip latency estimate (0 before any sample).
+  double ewma_ms() const;
+
+  int consecutive_failures() const;
+
+  /// In-flight request gauge; maintained by the router around each
+  /// forwarded attempt and read by load-aware replica selection.
+  std::atomic<int> in_flight{0};
+
+ private:
+  /// Caller holds mutex_. Returns true when the transition ejected.
+  bool RecordFailureLocked(TimePoint now);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kHealthy;
+  bool draining_ = false;
+  int failures_ = 0;          ///< consecutive failures
+  int backoff_ms_ = 0;        ///< current ejection backoff
+  TimePoint ejected_until_{};  ///< next probe not before this
+  TimePoint last_probe_{};     ///< liveness-probe cadence anchor
+  double ewma_ms_ = 0.0;
+};
+
+/// Display name of \p state ("healthy", "suspect", "ejected").
+const char* EndpointStateName(EndpointHealth::State state);
+
+}  // namespace xsum::service
+
+#endif  // XSUM_SERVICE_ENDPOINT_HEALTH_H_

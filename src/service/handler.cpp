@@ -1,6 +1,12 @@
 #include "service/handler.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include "service/chain_transfer.h"
+#include "service/shard_router.h"
+#include "util/timer.h"
 
 namespace xsum::service {
 
@@ -229,11 +235,35 @@ net::HttpResponse SummaryHandler::Handle(const net::HttpRequest& request) {
     }
     return HandleHealthz();
   }
+  if (request.target == "/readyz") {
+    if (request.method != "GET") {
+      return JsonError(405, "/readyz requires GET");
+    }
+    return HandleReadyz();
+  }
   if (request.target == "/snapshot") {
     if (request.method != "POST") {
       return JsonError(405, "/snapshot requires POST");
     }
     return HandleSnapshot();
+  }
+  if (request.target == "/drain") {
+    if (request.method != "POST") {
+      return JsonError(405, "/drain requires POST");
+    }
+    return HandleDrain(request.body);
+  }
+  if (request.target == "/undrain") {
+    if (request.method != "POST") {
+      return JsonError(405, "/undrain requires POST");
+    }
+    return HandleUndrain();
+  }
+  if (request.target == "/chains") {
+    if (request.method != "POST") {
+      return JsonError(405, "/chains requires POST");
+    }
+    return HandleChains(request.body);
   }
   return JsonError(404, "unknown endpoint: " + request.target);
 }
@@ -266,9 +296,19 @@ net::HttpResponse SummaryHandler::Summarize(const SummaryRequest& request) {
   // The version must be the one the request was *pinned* to, not a
   // registry read racing a concurrent /snapshot publish.
   uint64_t version = 0;
-  const auto result = service_->Summarize(*task, RequestOptions(request),
-                                          predecessor, &version);
+  const auto result =
+      service_->Summarize(*task, RequestOptions(request), predecessor,
+                          &version, UnitFingerprint(request));
   if (!result.ok()) {
+    // No published snapshot is a *readiness* condition, not a server bug:
+    // the process answers 503 so routers fail over instead of ejecting it
+    // for an application error.
+    if (result.status().IsFailedPrecondition()) {
+      net::HttpResponse response =
+          JsonError(503, result.status().ToString());
+      response.extra_headers.emplace_back("Retry-After", "1");
+      return response;
+    }
     return JsonError(500, result.status().ToString());
   }
   net::HttpResponse response;
@@ -277,8 +317,11 @@ net::HttpResponse SummaryHandler::Summarize(const SummaryRequest& request) {
 }
 
 net::HttpResponse SummaryHandler::HandleStats() {
+  net::JsonValue json = ServiceStatsToJsonValue(service_->Stats());
+  json.Set("draining", draining());
+  if (extra_stats_) extra_stats_(&json);
   net::HttpResponse response;
-  response.body = ServiceStatsToJson(service_->Stats());
+  response.body = json.Dump();
   return response;
 }
 
@@ -289,6 +332,110 @@ net::HttpResponse SummaryHandler::HandleHealthz() {
   json.Set("catalog_tasks", catalog_->size());
   net::HttpResponse response;
   response.body = json.Dump();
+  return response;
+}
+
+net::HttpResponse SummaryHandler::HandleReadyz() {
+  const uint64_t version = service_->serving_version();
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("snapshot_version", version);
+  json.Set("draining", draining());
+  net::HttpResponse response;
+  if (draining()) {
+    json.Set("status", "draining");
+    response.status = 503;
+    response.extra_headers.emplace_back("Retry-After", "1");
+  } else if (version == 0) {
+    json.Set("status", "no snapshot published");
+    response.status = 503;
+    response.extra_headers.emplace_back("Retry-After", "1");
+  } else {
+    json.Set("status", "ready");
+  }
+  response.body = json.Dump();
+  return response;
+}
+
+net::HttpResponse SummaryHandler::HandleDrain(const std::string& body) {
+  int wait_ms = 2000;
+  if (!body.empty()) {
+    auto json = net::ParseJson(body);
+    if (!json.ok()) return JsonError(400, json.status().message());
+    if (const net::JsonValue* wait = json->Find("wait_ms")) {
+      if (!wait->is_int() || wait->AsInt() < 0 || wait->AsInt() > 60000) {
+        return JsonError(400, "wait_ms must be an integer in [0, 60000]");
+      }
+      wait_ms = static_cast<int>(wait->AsInt());
+    }
+  }
+  // Flip readiness off first so the router (and its probes) stop sending
+  // new work here, then wait out requests already inside the service.
+  // The wait is bounded: a straggler past the budget still finishes and
+  // answers correctly — it just races the export, and a checkpoint it
+  // writes after the export is simply not handed off.
+  set_draining(true);
+  WallTimer timer;
+  timer.Start();
+  while (service_->in_flight() > 0 && timer.ElapsedMillis() < wait_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  net::JsonValue chains = net::JsonValue::Array();
+  for (const SummaryCache::ChainExport& entry : service_->ExportChains()) {
+    chains.Append(ChainCheckpointToJson(entry));
+  }
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("draining", true);
+  json.Set("in_flight", service_->in_flight());
+  json.Set("chains", std::move(chains));
+  net::HttpResponse response;
+  response.body = json.Dump();
+  return response;
+}
+
+net::HttpResponse SummaryHandler::HandleUndrain() {
+  set_draining(false);
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("draining", false);
+  net::HttpResponse response;
+  response.body = json.Dump();
+  return response;
+}
+
+net::HttpResponse SummaryHandler::HandleChains(const std::string& body) {
+  auto json = net::ParseJson(body);
+  if (!json.ok()) return JsonError(400, json.status().message());
+  if (!json->is_object()) {
+    return JsonError(400, "/chains body must be a JSON object");
+  }
+  const net::JsonValue* chains = json->Find("chains");
+  if (chains == nullptr || !chains->is_array()) {
+    return JsonError(400, "/chains requires a 'chains' array");
+  }
+  // Imports are best-effort per entry: a checkpoint recorded under a
+  // different snapshot version (or malformed) is skipped, never fatal —
+  // the unit it covered just computes from scratch on its first miss.
+  int64_t imported = 0;
+  int64_t skipped = 0;
+  for (const net::JsonValue& entry : chains->items()) {
+    auto checkpoint = ChainCheckpointFromJson(entry);
+    if (!checkpoint.ok()) {
+      ++skipped;
+      continue;
+    }
+    const Status status =
+        service_->ImportChain(checkpoint->key, checkpoint->route_key,
+                              std::move(checkpoint->chain));
+    if (status.ok()) {
+      ++imported;
+    } else {
+      ++skipped;
+    }
+  }
+  net::JsonValue out = net::JsonValue::Object();
+  out.Set("imported", imported);
+  out.Set("skipped", skipped);
+  net::HttpResponse response;
+  response.body = out.Dump();
   return response;
 }
 
@@ -324,6 +471,10 @@ std::string SummaryToJson(const core::Summary& summary,
 }
 
 std::string ServiceStatsToJson(const ServiceStats& stats) {
+  return ServiceStatsToJsonValue(stats).Dump();
+}
+
+net::JsonValue ServiceStatsToJsonValue(const ServiceStats& stats) {
   net::JsonValue json = net::JsonValue::Object();
   json.Set("requests", stats.requests);
   json.Set("computed", stats.computed);
@@ -332,6 +483,8 @@ std::string ServiceStatsToJson(const ServiceStats& stats) {
   json.Set("errors", stats.errors);
   json.Set("snapshot_swaps", stats.snapshot_swaps);
   json.Set("snapshot_version", stats.snapshot_version);
+  json.Set("chains_imported", stats.chains_imported);
+  json.Set("in_flight", stats.in_flight);
   json.Set("uptime_seconds", stats.uptime_seconds);
   json.Set("qps", stats.qps);
   json.Set("mean_ms", stats.mean_ms);
@@ -348,7 +501,7 @@ std::string ServiceStatsToJson(const ServiceStats& stats) {
   cache.Set("bytes", stats.cache.bytes);
   cache.Set("max_bytes", stats.cache.max_bytes);
   json.Set("cache", std::move(cache));
-  return json.Dump();
+  return json;
 }
 
 }  // namespace xsum::service

@@ -17,7 +17,14 @@
 ///                     variant?, prev_k?}        -> summary document
 ///   GET  /stats                                  -> ServiceStats document
 ///   GET  /healthz                                -> liveness + version
+///   GET  /readyz                                 -> readiness (503 while
+///                                                   draining / unpublished)
 ///   POST /snapshot                               -> hot-swap publish
+///   POST /drain      {wait_ms?}                  -> readiness off, wait out
+///                                                   in-flight, export chains
+///   POST /undrain                                -> readiness back on
+///   POST /chains     {chains: [...]}             -> import a drained peer's
+///                                                   chain checkpoints
 ///
 /// `/summarize` responses contain only *deterministic* fields (subgraph,
 /// terminals, anchors, version) — never timings — so two processes that
@@ -26,6 +33,7 @@
 #ifndef XSUM_SERVICE_HANDLER_H_
 #define XSUM_SERVICE_HANDLER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -129,6 +137,11 @@ class SummaryHandler {
   /// new version.
   using PublishFn = std::function<Result<uint64_t>()>;
 
+  /// Appends process-level fields (server queue depth, shed count) into
+  /// the `/stats` document; wired by the serving binary which owns the
+  /// `net::HttpServer`.
+  using ExtraStatsFn = std::function<void(net::JsonValue*)>;
+
   /// \p service and \p catalog must outlive the handler.
   SummaryHandler(SummaryService* service, const TaskCatalog* catalog,
                  PublishFn publish = nullptr);
@@ -141,6 +154,18 @@ class SummaryHandler {
   /// bench arm call directly.
   net::HttpResponse Summarize(const SummaryRequest& request);
 
+  /// Draining: readiness reports 503 and the router stops selecting this
+  /// shard, but in-flight and straggler `/summarize` requests still
+  /// answer (they finish the byte-identical way, DESIGN.md §7.4).
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+  void set_draining(bool draining) {
+    draining_.store(draining, std::memory_order_relaxed);
+  }
+
+  void set_extra_stats(ExtraStatsFn fn) { extra_stats_ = std::move(fn); }
+
   const TaskCatalog& catalog() const { return *catalog_; }
   SummaryService* service() const { return service_; }
 
@@ -148,11 +173,17 @@ class SummaryHandler {
   net::HttpResponse HandleSummarizeBody(const std::string& body);
   net::HttpResponse HandleStats();
   net::HttpResponse HandleHealthz();
+  net::HttpResponse HandleReadyz();
   net::HttpResponse HandleSnapshot();
+  net::HttpResponse HandleDrain(const std::string& body);
+  net::HttpResponse HandleUndrain();
+  net::HttpResponse HandleChains(const std::string& body);
 
   SummaryService* service_;
   const TaskCatalog* catalog_;
   PublishFn publish_;
+  ExtraStatsFn extra_stats_;
+  std::atomic<bool> draining_{false};
 };
 
 /// Renders \p summary as the deterministic `/summarize` response document
@@ -162,6 +193,11 @@ std::string SummaryToJson(const core::Summary& summary,
 
 /// Renders \p stats as the `/stats` document.
 std::string ServiceStatsToJson(const ServiceStats& stats);
+
+/// The `/stats` document as a JSON value (callers that merge additional
+/// sections before dumping — the handler itself, the router's fleet
+/// view).
+net::JsonValue ServiceStatsToJsonValue(const ServiceStats& stats);
 
 /// JSON error envelope `{"error": ...}` with the given HTTP status.
 net::HttpResponse JsonError(int status, const std::string& message);

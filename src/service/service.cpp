@@ -104,9 +104,15 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeOn(
 
 Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
     const core::SummaryTask& task, const core::SummarizerOptions& options,
-    const core::SummaryTask* predecessor, uint64_t* served_version) {
+    const core::SummaryTask* predecessor, uint64_t* served_version,
+    uint64_t route_key) {
   WallTimer timer;
   timer.Start();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  struct InFlightGuard {
+    std::atomic<int64_t>* gauge;
+    ~InFlightGuard() { gauge->fetch_sub(1, std::memory_order_relaxed); }
+  } in_flight_guard{&in_flight_};
   std::shared_ptr<ServingState> state = CurrentState();
   if (state == nullptr) {
     RecordLatency(timer.ElapsedMillis(), /*error=*/true);
@@ -179,7 +185,9 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
   std::shared_ptr<core::SummaryChain> out_chain;
   Result<std::shared_ptr<const core::Summary>> result =
       ComputeOn(*state, task, options, prev_chain.get(), &out_chain);
-  if (result.ok()) cache_.Insert(key, *result, std::move(out_chain));
+  if (result.ok()) {
+    cache_.Insert(key, *result, std::move(out_chain), route_key);
+  }
   {
     std::lock_guard<std::mutex> lock(flight->mutex);
     flight->done = true;
@@ -193,6 +201,40 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
   flight->cv.notify_all();
   RecordLatency(timer.ElapsedMillis(), !result.ok());
   return result;
+}
+
+Status SummaryService::ImportChain(const CacheKey& key, uint64_t route_key,
+                                   core::SummaryChain chain) {
+  std::shared_ptr<ServingState> state = CurrentState();
+  if (state == nullptr) {
+    return Status::FailedPrecondition(
+        "SummaryService: no graph snapshot published");
+  }
+  if (key.snapshot_version != state->snapshot.version) {
+    return Status::InvalidArgument(
+        "imported chain names snapshot version " +
+        std::to_string(key.snapshot_version) + " but this process serves " +
+        std::to_string(state->snapshot.version));
+  }
+  if (route_key == 0) {
+    return Status::InvalidArgument("imported chain carries no route key");
+  }
+  // Re-anchor: the engine's carry check compares graph *pointers*, so the
+  // imported closure rows must claim this process's snapshot graph. That
+  // claim is sound because fleet processes build bit-identical graphs
+  // from the same dataset knobs and the version equality above pins the
+  // publish generation (DESIGN.md §7).
+  chain.graph = state->snapshot.graph.get();
+  chain.has_state = true;
+  chain.closure.retain_trees = false;
+  cache_.InsertChainOnly(
+      key, std::make_shared<const core::SummaryChain>(std::move(chain)),
+      route_key);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++chains_imported_;
+  }
+  return Status::OK();
 }
 
 void SummaryService::RecordLatency(double ms, bool error) {
@@ -211,12 +253,14 @@ ServiceStats SummaryService::Stats() const {
     stats.snapshot_version =
         state_ != nullptr ? state_->snapshot.version : 0;
   }
+  stats.in_flight = in_flight_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   stats.requests = requests_;
   stats.computed = computed_;
   stats.incremental = incremental_;
   stats.coalesced = coalesced_;
   stats.errors = errors_;
+  stats.chains_imported = chains_imported_;
   stats.uptime_seconds = uptime_.ElapsedSeconds();
   stats.qps = stats.uptime_seconds > 0.0
                   ? static_cast<double>(requests_) / stats.uptime_seconds

@@ -26,6 +26,7 @@
 #ifndef XSUM_SERVICE_SERVICE_H_
 #define XSUM_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -64,6 +65,11 @@ struct ServiceStats {
   uint64_t errors = 0;          ///< non-OK responses
   uint64_t snapshot_swaps = 0;  ///< serving-state rebuilds observed
   uint64_t snapshot_version = 0;
+  /// Chain checkpoints accepted from a draining peer (`ImportChain`).
+  uint64_t chains_imported = 0;
+  /// Requests currently inside `Summarize` (gauge, not a counter) — the
+  /// drain sequence waits for this to reach zero before exporting.
+  int64_t in_flight = 0;
   CacheStats cache;
   double uptime_seconds = 0.0;
   double qps = 0.0;     ///< requests / uptime
@@ -105,10 +111,36 @@ class SummaryService {
   /// Publish can make different from `serving_version()` read before or
   /// after the call. Responses that report a version (the §6 handler)
   /// must use this, not a registry re-read.
+  /// \p route_key optionally tags the resulting cache entry with the
+  /// request's routing fingerprint (`UnitFingerprint`), which is what
+  /// lets a later drain hand this unit's chain checkpoint to the ring
+  /// inheritor. 0 = untagged.
   Result<std::shared_ptr<const core::Summary>> Summarize(
       const core::SummaryTask& task, const core::SummarizerOptions& options,
       const core::SummaryTask* predecessor = nullptr,
-      uint64_t* served_version = nullptr);
+      uint64_t* served_version = nullptr, uint64_t route_key = 0);
+
+  /// Accepts one chain checkpoint exported by a draining peer: the chain
+  /// is re-anchored to *this* process's current graph snapshot (all fleet
+  /// processes build bit-identical graphs from the same env knobs and
+  /// publish versions in lockstep, so closure rows recorded there are
+  /// valid here — DESIGN.md §7) and stored as a summary-less cache entry
+  /// that the next (task, k+1) miss extends incrementally.
+  /// FailedPrecondition when no snapshot is published; InvalidArgument
+  /// when \p key names a different snapshot version than the current one
+  /// (stale checkpoints never cross versions).
+  Status ImportChain(const CacheKey& key, uint64_t route_key,
+                     core::SummaryChain chain);
+
+  /// Every cached chain checkpoint with a route key — the drain export.
+  std::vector<SummaryCache::ChainExport> ExportChains() const {
+    return cache_.ExportChains();
+  }
+
+  /// Requests currently inside `Summarize`.
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
 
   /// Current counters.
   ServiceStats Stats() const;
@@ -180,6 +212,8 @@ class SummaryService {
   uint64_t incremental_ = 0;
   uint64_t coalesced_ = 0;
   uint64_t errors_ = 0;
+  uint64_t chains_imported_ = 0;
+  std::atomic<int64_t> in_flight_{0};
   WallTimer uptime_;
 };
 

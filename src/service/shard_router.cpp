@@ -1,11 +1,17 @@
 #include "service/shard_router.h"
 
 #include <algorithm>
+#include <chrono>
+#include <climits>
 #include <cstring>
+#include <map>
+#include <utility>
 
+#include "service/chain_transfer.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace xsum::service {
 
@@ -74,6 +80,50 @@ Result<std::pair<std::string, uint16_t>> ParseEndpoint(
   return std::make_pair(std::move(host), static_cast<uint16_t>(port));
 }
 
+ShardRouter::HedgePool::HedgePool(size_t workers) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ShardRouter::HedgePool::~HedgePool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ShardRouter::HedgePool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Refusing beyond one queued task per worker keeps hedging from
+    // turning into a latency *source*: the caller runs inline instead.
+    if (stopping_ || queue_.size() >= workers_.size()) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void ShardRouter::HedgePool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      // Accepted tasks always run (a Summarize caller may be blocked on
+      // this round's completion); exit only once the queue is drained.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
 ShardRouter::ShardRouter(SummaryHandler* local, Options options)
     : local_(local), options_(std::move(options)) {
   for (const std::string& label : options_.endpoints) {
@@ -83,7 +133,7 @@ ShardRouter::ShardRouter(SummaryHandler* local, Options options)
                     << parsed.status().ToString();
       continue;
     }
-    auto endpoint = std::make_unique<Endpoint>();
+    auto endpoint = std::make_unique<Endpoint>(options_.health);
     endpoint->host = parsed->first;
     endpoint->port = parsed->second;
     endpoint->label = label;
@@ -99,6 +149,25 @@ ShardRouter::ShardRouter(SummaryHandler* local, Options options)
   }
   std::sort(ring_.begin(), ring_.end());
   stats_.per_endpoint.assign(endpoints_.size(), 0);
+  if (options_.health_probes && !endpoints_.empty()) {
+    probe_thread_ = std::thread([this] { ProbeLoop(); });
+  }
+  if (options_.hedge && endpoints_.size() > 1) {
+    hedge_pool_ = std::make_unique<HedgePool>(
+        std::max<size_t>(1, options_.hedge_workers));
+  }
+}
+
+ShardRouter::~ShardRouter() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
+  // Joins the hedge workers while endpoints_ and stats_ still exist for
+  // any in-flight hedged primary.
+  hedge_pool_.reset();
 }
 
 std::vector<size_t> ShardRouter::RingOrder(uint64_t key) const {
@@ -126,6 +195,63 @@ size_t ShardRouter::EndpointFor(const SummaryRequest& request) const {
   return order.empty() ? 0 : order.front();
 }
 
+std::vector<size_t> ShardRouter::ReplicaSetFor(
+    const SummaryRequest& request) const {
+  std::vector<size_t> order = RingOrder(UnitFingerprint(request));
+  const size_t window = std::max<size_t>(options_.replicas, 1);
+  if (order.size() > window) order.resize(window);
+  return order;
+}
+
+std::vector<size_t> ShardRouter::AttemptPlan(
+    const std::vector<size_t>& order) const {
+  // Selectable replica-set members first (load-aware within the set),
+  // then the remaining selectable endpoints as the failover tail, then —
+  // last resort, so a fully ejected fleet still gets attempts before the
+  // 502/local verdict — the unselectable ones in ring order.
+  std::vector<size_t> replicas;
+  std::vector<size_t> rest;
+  std::vector<size_t> last_resort;
+  const size_t window =
+      std::min(std::max<size_t>(options_.replicas, 1), order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const size_t e = order[i];
+    if (!endpoints_[e]->health.Selectable()) {
+      last_resort.push_back(e);
+    } else if (i < window) {
+      replicas.push_back(e);
+    } else {
+      rest.push_back(e);
+    }
+  }
+  if (replicas.size() > 1) {
+    int min_in_flight = INT_MAX;
+    for (const size_t e : replicas) {
+      const EndpointHealth& health = endpoints_[e]->health;
+      min_in_flight = std::min(
+          min_in_flight, health.in_flight.load(std::memory_order_relaxed));
+    }
+    // Stable partition keeps ring order among peers of equal standing, so
+    // an idle fleet routes every unit to its ring primary (deterministic
+    // placement) and load only *demotes* an outlier replica. In-flight
+    // depth is the one signal used here: per-endpoint latency EWMAs
+    // mostly reflect which *units* an endpoint serves (cold expensive
+    // ones vs hot cached ones), so demoting on them reroutes cold
+    // traffic off its cache- and chain-sticky home. Escaping a genuinely
+    // slow endpoint is hedging's job.
+    std::stable_partition(
+        replicas.begin(), replicas.end(), [&](size_t e) {
+          const EndpointHealth& health = endpoints_[e]->health;
+          const int load = health.in_flight.load(std::memory_order_relaxed);
+          return load <= min_in_flight + options_.load_slack;
+        });
+  }
+  std::vector<size_t> plan = std::move(replicas);
+  plan.insert(plan.end(), rest.begin(), rest.end());
+  plan.insert(plan.end(), last_resort.begin(), last_resort.end());
+  return plan;
+}
+
 std::unique_ptr<net::HttpClient> ShardRouter::Acquire(Endpoint& endpoint,
                                                       bool fresh) {
   if (!fresh) {
@@ -138,6 +264,11 @@ std::unique_ptr<net::HttpClient> ShardRouter::Acquire(Endpoint& endpoint,
   }
   net::HttpClient::Options client_options;
   client_options.timeout_ms = options_.timeout_ms;
+  // No connect retries inside the router: a refused connect must fail
+  // over immediately — the circuit breaker and probe thread own the
+  // retry policy here, and a retrying attempt would hold the endpoint's
+  // in-flight gauge up and skew load-aware replica selection.
+  client_options.connect_retries = 0;
   return std::make_unique<net::HttpClient>(endpoint.host, endpoint.port,
                                            client_options);
 }
@@ -173,35 +304,416 @@ Result<net::HttpResponse> ShardRouter::Forward(size_t endpoint_index,
   return result;
 }
 
+Result<net::HttpResponse> ShardRouter::AttemptOnce(size_t endpoint_index,
+                                                   const std::string& body) {
+  Endpoint& endpoint = *endpoints_[endpoint_index];
+  endpoint.health.in_flight.fetch_add(1, std::memory_order_relaxed);
+  WallTimer timer;
+  timer.Start();
+  Result<net::HttpResponse> result =
+      Forward(endpoint_index, "/summarize", body);
+  endpoint.health.in_flight.fetch_sub(1, std::memory_order_relaxed);
+  if (result.ok()) {
+    const double ms = timer.ElapsedMillis();
+    const bool reinstated = endpoint.health.RecordSuccess(ms);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (reinstated) ++stats_.reinstatements;
+    latency_window_.Add(ms);
+  } else {
+    XSUM_LOG_WARN << "shard " << endpoint.label
+                  << " unreachable: " << result.status().ToString();
+    if (endpoint.health.RecordFailure(std::chrono::steady_clock::now())) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.ejections;
+    }
+  }
+  return result;
+}
+
+int ShardRouter::HedgeDelayMs() const {
+  double p99 = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (!latency_window_.empty()) p99 = latency_window_.Percentile(99.0);
+  }
+  const int adaptive = static_cast<int>(1.25 * p99);
+  const int delay = std::max(options_.hedge_min_ms, adaptive);
+  return std::min(delay, std::max(1, options_.timeout_ms / 2));
+}
+
+Result<net::HttpResponse> ShardRouter::HedgedAttempt(
+    size_t primary, size_t secondary, const std::string& body,
+    size_t* served, int* transport_failures) {
+  struct Round {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Result<net::HttpResponse> result{Status::IOError("hedge: pending")};
+  };
+  auto round = std::make_shared<Round>();
+  const bool submitted =
+      hedge_pool_ != nullptr &&
+      hedge_pool_->TrySubmit([this, round, primary, body] {
+        Result<net::HttpResponse> result = AttemptOnce(primary, body);
+        {
+          std::lock_guard<std::mutex> lock(round->mutex);
+          round->result = std::move(result);
+          round->done = true;
+        }
+        round->cv.notify_all();
+      });
+  if (!submitted) {
+    // Pool saturated (or hedging off): plain unhedged attempt.
+    *served = primary;
+    Result<net::HttpResponse> result = AttemptOnce(primary, body);
+    if (!result.ok()) ++*transport_failures;
+    return result;
+  }
+  std::unique_lock<std::mutex> lock(round->mutex);
+  const bool primary_fast = round->cv.wait_for(
+      lock, std::chrono::milliseconds(HedgeDelayMs()),
+      [&] { return round->done; });
+  if (!primary_fast) {
+    // Primary still pending past the delay: race the next replica. The
+    // two responses are byte-identical (§6 invariant), so whichever
+    // lands first is *the* answer.
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.hedges;
+    }
+    Result<net::HttpResponse> second = AttemptOnce(secondary, body);
+    lock.lock();
+    if (second.ok()) {
+      if (!round->done) {
+        // The straggling primary finishes on the pool thread; its health
+        // bookkeeping still happens there.
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.hedge_wins;
+      } else if (round->result.ok()) {
+        *served = primary;
+        return std::move(round->result);
+      }
+      *served = secondary;
+      return second;
+    }
+    ++*transport_failures;
+    // Secondary failed at the transport: the primary is the only hope
+    // left in this round — wait it out.
+    round->cv.wait(lock, [&] { return round->done; });
+  }
+  *served = primary;
+  if (!round->result.ok()) ++*transport_failures;
+  return std::move(round->result);
+}
+
 net::HttpResponse ShardRouter::Summarize(const SummaryRequest& request) {
+  const uint64_t key = UnitFingerprint(request);
   const std::string body = SummaryRequestToJson(request).Dump();
-  const std::vector<size_t> order = RingOrder(UnitFingerprint(request));
-  for (size_t attempt = 0; attempt < order.size(); ++attempt) {
-    const size_t e = order[attempt];
-    auto result = Forward(e, "/summarize", body);
+  const std::vector<size_t> order = RingOrder(key);
+  const std::vector<size_t> plan = AttemptPlan(order);
+  int failures = 0;
+  bool capped = false;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    if (failures > 0 && failures >= options_.max_failover) {
+      // The walk already burned its transport-failure budget; skipping
+      // the tail bounds worst-case latency at ~max_failover·timeout.
+      capped = true;
+      break;
+    }
+    const size_t e = plan[i];
+    size_t served = e;
+    Result<net::HttpResponse> result = Status::IOError("unattempted");
+    if (i == 0 && plan.size() > 1 && hedge_pool_ != nullptr &&
+        endpoints_[plan[1]]->health.Selectable()) {
+      result = HedgedAttempt(e, plan[1], body, &served, &failures);
+    } else {
+      result = AttemptOnce(e, body);
+      if (!result.ok()) ++failures;
+    }
     if (result.ok()) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.routed;
-      stats_.failovers += attempt;
-      ++stats_.per_endpoint[e];
+      // Failover accounting covers both shapes of rerouting: attempts
+      // that failed at the transport this request, and unselectable
+      // (ejected/draining) ring predecessors the plan skipped outright.
+      uint64_t skipped = 0;
+      for (size_t j = 0; j < order.size() && order[j] != served; ++j) {
+        if (!endpoints_[order[j]]->health.Selectable()) ++skipped;
+      }
+      uint64_t moved = static_cast<uint64_t>(failures) + skipped;
+      // Served off the ring primary with nothing charged above — a hedge
+      // win, or a load demotion, against a primary whose failure has not
+      // landed yet. The request still left its home endpoint, and that
+      // is a failover even before the circuit breaker catches up.
+      if (moved == 0 && served != order.front()) moved = 1;
+      stats_.failovers += moved;
+      ++stats_.per_endpoint[served];
       return *std::move(result);
     }
-    XSUM_LOG_WARN << "shard " << endpoints_[e]->label
-                  << " unreachable: " << result.status().ToString();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.failovers += static_cast<uint64_t>(failures);
+    if (capped) ++stats_.capped;
   }
   if (local_ != nullptr && (options_.local_fallback || order.empty())) {
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.local;
-      stats_.failovers += order.size();
     }
     return local_->Summarize(request);
   }
+  return JsonError(502, "all shard endpoints unreachable");
+}
+
+void ShardRouter::ProbeLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mutex_);
+      stop_cv_.wait_for(lock,
+                        std::chrono::milliseconds(std::max(
+                            1, options_.probe_interval_ms)),
+                        [&] { return stopping_; });
+      if (stopping_) return;
+    }
+    for (size_t e = 0; e < endpoints_.size(); ++e) {
+      {
+        std::lock_guard<std::mutex> lock(stop_mutex_);
+        if (stopping_) return;
+      }
+      EndpointHealth& health = endpoints_[e]->health;
+      if (!health.ShouldProbe(std::chrono::steady_clock::now(),
+                              options_.liveness_interval_ms)) {
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.probes;
+      }
+      const EndpointHealth::State before = health.state();
+      const bool ok = ProbeOnce(e);
+      const bool reinstated =
+          health.OnProbeResult(ok, std::chrono::steady_clock::now());
+      const EndpointHealth::State after = health.state();
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (reinstated) ++stats_.reinstatements;
+      if (before != EndpointHealth::State::kEjected &&
+          after == EndpointHealth::State::kEjected) {
+        ++stats_.ejections;
+      }
+    }
+  }
+}
+
+bool ShardRouter::ProbeOnce(size_t endpoint_index) {
+  const Endpoint& endpoint = *endpoints_[endpoint_index];
+  net::HttpClient::Options client_options;
+  // Probes answer "is it back" — they get a short leash and no connect
+  // retries; the next loop tick is the retry.
+  client_options.timeout_ms = std::min(options_.timeout_ms, 1000);
+  client_options.connect_retries = 0;
+  net::HttpClient client(endpoint.host, endpoint.port, client_options);
+  const auto result = client.Get("/readyz");
+  // Readiness, not liveness: a 503 (draining, no snapshot) keeps the
+  // endpoint out of rotation exactly like a dead one.
+  return result.ok() && result->status == 200;
+}
+
+size_t ShardRouter::FindEndpoint(const std::string& label) const {
+  for (size_t e = 0; e < endpoints_.size(); ++e) {
+    if (endpoints_[e]->label == label) return e;
+  }
+  // Accept a normalized host:port spelling of a known endpoint too.
+  auto parsed = ParseEndpoint(label);
+  if (parsed.ok()) {
+    for (size_t e = 0; e < endpoints_.size(); ++e) {
+      if (endpoints_[e]->host == parsed->first &&
+          endpoints_[e]->port == parsed->second) {
+        return e;
+      }
+    }
+  }
+  return static_cast<size_t>(-1);
+}
+
+net::HttpResponse ShardRouter::DrainEndpoint(const std::string& label,
+                                             int wait_ms) {
+  const size_t source = FindEndpoint(label);
+  if (source == static_cast<size_t>(-1)) {
+    return JsonError(404, "unknown endpoint: " + label);
+  }
+  // Stop selecting the shard *before* asking it to drain, so no request
+  // races into it between the flip and the export.
+  endpoints_[source]->health.set_draining(true);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.failovers += order.size();
+    ++stats_.drains;
   }
-  return JsonError(502, "all shard endpoints unreachable");
+  net::JsonValue drain_body = net::JsonValue::Object();
+  drain_body.Set("wait_ms", static_cast<int64_t>(wait_ms));
+  auto drained = Forward(source, "/drain", drain_body.Dump());
+  if (!drained.ok()) {
+    // The draining mark stays: the operator asked this shard out of
+    // rotation, reachability problems don't override that.
+    return JsonError(502, "drain of " + label +
+                              " failed: " + drained.status().ToString());
+  }
+  if (drained->status != 200) return *drained;
+  auto report = net::ParseJson(drained->body);
+  if (!report.ok() || !report->is_object()) {
+    return JsonError(502, "drain of " + label + " returned a bad report");
+  }
+  const net::JsonValue* chains = report->Find("chains");
+
+  // Hand each exported checkpoint to its unit's ring inheritor: the first
+  // selectable endpoint on the unit's ring walk that is not the drained
+  // source. With none left, the local handler (when present) inherits —
+  // local fallback serves those units next.
+  std::map<size_t, net::JsonValue> batches;  // inheritor -> chains array
+  const size_t kLocal = static_cast<size_t>(-1);
+  int64_t exported = 0;
+  int64_t unroutable = 0;
+  if (chains != nullptr && chains->is_array()) {
+    for (const net::JsonValue& entry : chains->items()) {
+      auto checkpoint = ChainCheckpointFromJson(entry);
+      if (!checkpoint.ok()) {
+        ++unroutable;
+        continue;
+      }
+      ++exported;
+      size_t inheritor = kLocal;
+      for (const size_t e : RingOrder(checkpoint->route_key)) {
+        if (e != source && endpoints_[e]->health.Selectable()) {
+          inheritor = e;
+          break;
+        }
+      }
+      if (inheritor == kLocal && local_ == nullptr) {
+        ++unroutable;
+        continue;
+      }
+      auto it = batches.find(inheritor);
+      if (it == batches.end()) {
+        it = batches.emplace(inheritor, net::JsonValue::Array()).first;
+      }
+      it->second.Append(entry);
+    }
+  }
+
+  net::JsonValue handoff = net::JsonValue::Array();
+  for (auto& [inheritor, batch] : batches) {
+    const int64_t batch_size = static_cast<int64_t>(batch.items().size());
+    net::JsonValue chains_body = net::JsonValue::Object();
+    chains_body.Set("chains", std::move(batch));
+    net::JsonValue row = net::JsonValue::Object();
+    row.Set("endpoint",
+            inheritor == kLocal ? "local" : endpoints_[inheritor]->label);
+    row.Set("chains", batch_size);
+    net::HttpResponse imported_response;
+    if (inheritor == kLocal) {
+      net::HttpRequest chains_request;
+      chains_request.method = "POST";
+      chains_request.target = "/chains";
+      chains_request.body = chains_body.Dump();
+      imported_response = local_->Handle(chains_request);
+    } else {
+      auto forwarded = Forward(inheritor, "/chains", chains_body.Dump());
+      if (!forwarded.ok()) {
+        row.Set("status", 502);
+        row.Set("error", forwarded.status().message());
+        handoff.Append(std::move(row));
+        continue;
+      }
+      imported_response = *std::move(forwarded);
+    }
+    row.Set("status", imported_response.status);
+    auto imported_json = net::ParseJson(imported_response.body);
+    if (imported_json.ok() && imported_json->is_object()) {
+      if (const net::JsonValue* imported = imported_json->Find("imported")) {
+        if (imported->is_int()) {
+          row.Set("imported", imported->AsInt());
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          stats_.chains_handed_off +=
+              static_cast<uint64_t>(std::max<int64_t>(0, imported->AsInt()));
+        }
+      }
+    }
+    handoff.Append(std::move(row));
+  }
+
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("drained", endpoints_[source]->label);
+  json.Set("exported", exported);
+  json.Set("unroutable", unroutable);
+  json.Set("handoff", std::move(handoff));
+  net::HttpResponse response;
+  response.body = json.Dump();
+  return response;
+}
+
+net::HttpResponse ShardRouter::UndrainEndpoint(const std::string& label) {
+  const size_t e = FindEndpoint(label);
+  if (e == static_cast<size_t>(-1)) {
+    return JsonError(404, "unknown endpoint: " + label);
+  }
+  auto undrained = Forward(e, "/undrain", "{}");
+  if (!undrained.ok()) {
+    return JsonError(502, "undrain of " + label +
+                              " failed: " + undrained.status().ToString());
+  }
+  // Clear the router-side mark only after the shard accepted traffic
+  // again, so selection can't race ahead of the shard's readiness flip.
+  endpoints_[e]->health.set_draining(false);
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("undrained", endpoints_[e]->label);
+  json.Set("status", undrained->status);
+  net::HttpResponse response;
+  response.body = json.Dump();
+  return response;
+}
+
+net::HttpResponse ShardRouter::RouterStatsResponse() {
+  RouterStats rs = stats();
+  net::JsonValue router = net::JsonValue::Object();
+  router.Set("routed", rs.routed);
+  router.Set("local", rs.local);
+  router.Set("failovers", rs.failovers);
+  router.Set("capped", rs.capped);
+  router.Set("hedges", rs.hedges);
+  router.Set("hedge_wins", rs.hedge_wins);
+  router.Set("ejections", rs.ejections);
+  router.Set("reinstatements", rs.reinstatements);
+  router.Set("probes", rs.probes);
+  router.Set("drains", rs.drains);
+  router.Set("chains_handed_off", rs.chains_handed_off);
+  net::JsonValue per_endpoint = net::JsonValue::Array();
+  for (size_t e = 0; e < endpoints_.size(); ++e) {
+    const Endpoint& endpoint = *endpoints_[e];
+    net::JsonValue row = net::JsonValue::Object();
+    row.Set("endpoint", endpoint.label);
+    row.Set("requests", rs.per_endpoint[e]);
+    row.Set("state", EndpointStateName(endpoint.health.state()));
+    row.Set("draining", endpoint.health.draining());
+    row.Set("in_flight",
+            static_cast<int64_t>(
+                endpoint.health.in_flight.load(std::memory_order_relaxed)));
+    row.Set("ewma_ms", endpoint.health.ewma_ms());
+    per_endpoint.Append(std::move(row));
+  }
+  router.Set("endpoints", std::move(per_endpoint));
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("router", std::move(router));
+  if (local_ != nullptr) {
+    net::HttpRequest stats_request;
+    stats_request.method = "GET";
+    stats_request.target = "/stats";
+    auto parsed = net::ParseJson(local_->Handle(stats_request).body);
+    if (parsed.ok()) json.Set("service", *std::move(parsed));
+  }
+  net::HttpResponse response;
+  response.body = json.Dump();
+  return response;
 }
 
 net::HttpResponse ShardRouter::Handle(const net::HttpRequest& request) {
@@ -244,9 +756,42 @@ net::HttpResponse ShardRouter::Handle(const net::HttpRequest& request) {
     response.body = json.Dump();
     return response;
   }
+  if (!endpoints_.empty()) {
+    if (request.target == "/stats" && request.method == "GET") {
+      return RouterStatsResponse();
+    }
+    if ((request.target == "/drain" || request.target == "/undrain") &&
+        request.method == "POST" && !request.body.empty()) {
+      // An "endpoint" member addresses a fleet shard (router
+      // orchestration); without one the request is for the local shard
+      // and falls through to the handler below.
+      auto json = net::ParseJson(request.body);
+      if (json.ok() && json->is_object()) {
+        if (const net::JsonValue* target = json->Find("endpoint")) {
+          if (!target->is_string()) {
+            return JsonError(400, "'endpoint' must be a host:port string");
+          }
+          if (request.target == "/undrain") {
+            return UndrainEndpoint(target->AsString());
+          }
+          int wait_ms = 2000;
+          if (const net::JsonValue* wait = json->Find("wait_ms")) {
+            if (!wait->is_int() || wait->AsInt() < 0 ||
+                wait->AsInt() > 60000) {
+              return JsonError(400,
+                               "wait_ms must be an integer in [0, 60000]");
+            }
+            wait_ms = static_cast<int>(wait->AsInt());
+          }
+          return DrainEndpoint(target->AsString(), wait_ms);
+        }
+      }
+    }
+  }
   if (local_ != nullptr) {
-    // /stats, /healthz, and anything else answer from the local handler:
-    // the router-level service view (404s included).
+    // /healthz, /readyz, shard-side /drain, and anything else answer
+    // from the local handler: the router-level service view (404s
+    // included).
     return local_->Handle(request);
   }
   if (request.target == "/healthz" && request.method == "GET") {
@@ -257,6 +802,19 @@ net::HttpResponse ShardRouter::Handle(const net::HttpRequest& request) {
     net::HttpResponse response;
     response.body = json.Dump();
     return response;
+  }
+  if (request.target == "/readyz" && request.method == "GET") {
+    // A pure router is ready as soon as it is constructed; per-shard
+    // readiness lives behind each endpoint's own /readyz.
+    net::JsonValue json = net::JsonValue::Object();
+    json.Set("status", "ready");
+    json.Set("role", "router");
+    net::HttpResponse response;
+    response.body = json.Dump();
+    return response;
+  }
+  if (request.target == "/stats" && request.method == "GET") {
+    return RouterStatsResponse();
   }
   return JsonError(404, "unknown endpoint: " + request.target);
 }

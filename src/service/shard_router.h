@@ -1,7 +1,8 @@
 /// \file shard_router.h
 /// \brief `service::ShardRouter` — consistent-hash placement of summary
-/// requests over N shard backends, with failover and an optional
-/// in-process fallback (DESIGN.md §6.3).
+/// requests over N shard backends, with replication, health-driven
+/// failover, latency hedging, and drain orchestration (DESIGN.md §6.3,
+/// §7).
 ///
 /// Placement. A `/summarize` request maps to a shard by the consistent
 /// hash of its **unit fingerprint** — scenario, unit id, method, λ bits,
@@ -15,14 +16,38 @@
 ///
 /// Ring. Each endpoint contributes `virtual_nodes` points hashed onto a
 /// 64-bit ring; a request walks clockwise from its fingerprint and takes
-/// endpoints in first-appearance order. That order is also the failover
-/// order: a transport-level failure (refused, reset, timeout) moves to
-/// the next distinct endpoint, and when every endpoint is unreachable the
-/// router answers from its in-process handler (if configured) or 502.
-/// HTTP error *statuses* from a shard are proxied verbatim — they are
-/// answers, not transport failures. Consistent hashing keeps placement
-/// stable under endpoint-list edits: adding a shard remaps only the ring
-/// arcs it claims, preserving the other shards' cache and chain state.
+/// endpoints in first-appearance order. The first `replicas` entries of
+/// that walk form the request's **replica set**: any member may serve it
+/// (responses are byte-identical by the §6 invariant), and the router
+/// picks the least-loaded selectable member, preferring ring order on
+/// ties. The walk order is also the failover order — a transport-level
+/// failure (refused, reset, timeout) moves to the next distinct endpoint,
+/// bounded at `max_failover` transport failures per request — and when
+/// every allowed attempt fails the router answers from its in-process
+/// handler (if configured) or 502. HTTP error *statuses* from a shard are
+/// proxied verbatim — they are answers, not transport failures.
+/// Consistent hashing keeps placement stable under endpoint-list edits:
+/// adding a shard remaps only the ring arcs it claims, preserving the
+/// other shards' cache and chain state.
+///
+/// Health. Each endpoint carries an `EndpointHealth` circuit breaker:
+/// consecutive transport failures eject it from selection, and a
+/// background probe thread re-checks ejected endpoints after an
+/// exponentially backed-off quiet period (and idles a cheap liveness
+/// probe over healthy ones, so a silent shard death is noticed without
+/// waiting for traffic to trip over it). Probes hit `/readyz`, so a
+/// draining or not-yet-published shard is avoided like a dead one.
+///
+/// Hedging. A request whose first attempt is still pending after an
+/// adaptive delay (~1.25 × the router-observed p99, floored at
+/// `hedge_min_ms`) issues a second attempt to the next replica and takes
+/// whichever answers first. Safe because responses are byte-identical;
+/// the cost is bounded duplicated compute on the latency tail.
+///
+/// Drain. `POST /drain {"endpoint": "host:port"}` takes one shard out of
+/// rotation gracefully: readiness off, in-flight requests finish, and the
+/// shard's chain checkpoints are exported and handed to each unit's ring
+/// inheritor so the §5 incremental k-sweep reuse survives the departure.
 ///
 /// Roles. One binary runs as a shard (no router), a router (endpoints,
 /// no local handler), or both (endpoints + local fallback) — see
@@ -31,15 +56,22 @@
 #ifndef XSUM_SERVICE_SHARD_ROUTER_H_
 #define XSUM_SERVICE_SHARD_ROUTER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/http.h"
 #include "net/http_client.h"
+#include "service/endpoint_health.h"
 #include "service/handler.h"
+#include "util/stats.h"
 #include "util/status.h"
 
 namespace xsum::service {
@@ -58,6 +90,17 @@ struct RouterStats {
   uint64_t routed = 0;     ///< requests answered by a shard backend
   uint64_t local = 0;      ///< answered by the in-process fallback
   uint64_t failovers = 0;  ///< endpoint attempts that failed over
+  /// Requests whose failover walk hit `max_failover` with candidate
+  /// endpoints still untried.
+  uint64_t capped = 0;
+  uint64_t hedges = 0;      ///< hedged second attempts launched
+  uint64_t hedge_wins = 0;  ///< hedges that answered before the primary
+  uint64_t ejections = 0;   ///< endpoint transitions into kEjected
+  uint64_t reinstatements = 0;  ///< ejected endpoints brought back
+  uint64_t probes = 0;          ///< health probes issued
+  uint64_t drains = 0;          ///< drain orchestrations started
+  /// Chain checkpoints delivered to ring inheritors during drains.
+  uint64_t chains_handed_off = 0;
   /// Requests answered per endpoint (index-aligned with the option list).
   std::vector<uint64_t> per_endpoint;
 };
@@ -72,6 +115,9 @@ class ShardRouter {
     std::vector<std::string> endpoints;
     /// Ring points per endpoint; more points = smoother key spread.
     size_t virtual_nodes = 64;
+    /// Replica-set size: how many distinct ring successors may serve a
+    /// unit. 1 = the pre-replication single-home behavior.
+    size_t replicas = 2;
     /// Answer from the local handler when every endpoint fails (requires
     /// a local handler).
     bool local_fallback = true;
@@ -81,41 +127,121 @@ class ShardRouter {
     /// invariant, so correctness is unaffected — the cost is duplicated
     /// work). Size it well above the slowest expected cold summarize.
     int timeout_ms = 5000;
+    /// Transport failures tolerated per request before the walk stops
+    /// (remaining candidates are skipped and the request falls back or
+    /// 502s). Bounds worst-case added latency to
+    /// ~max_failover · timeout_ms.
+    int max_failover = 2;
+    /// Tail hedging: when a first attempt is still pending after the
+    /// adaptive delay, race a second replica and take the first answer.
+    bool hedge = true;
+    /// Floor for the hedge delay (the adaptive term is ~1.25 × observed
+    /// p99, clamped to timeout_ms / 2).
+    int hedge_min_ms = 20;
+    /// Worker threads that carry hedged primaries. When all are busy the
+    /// request simply runs unhedged inline — saturation degrades the
+    /// optimization, never correctness.
+    size_t hedge_workers = 4;
+    /// A replica is demoted behind its peers when its in-flight count
+    /// exceeds the replica-set minimum by more than this.
+    int load_slack = 2;
+    /// Circuit-breaker thresholds shared by every endpoint.
+    EndpointHealth::Options health;
+    /// Run the background probe thread (ejected-endpoint reinstatement
+    /// and periodic liveness checks).
+    bool health_probes = true;
+    /// Probe-loop tick.
+    int probe_interval_ms = 100;
+    /// Cadence of liveness probes over healthy endpoints (0 = only probe
+    /// ejected endpoints).
+    int liveness_interval_ms = 1000;
   };
 
   /// \p local may be null for a pure forwarding router (then
   /// `local_fallback` is moot and total failure is 502). Must outlive the
   /// router.
   ShardRouter(SummaryHandler* local, Options options);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
 
   /// Full endpoint dispatch: `/summarize` routes by fingerprint;
-  /// `/stats` and `/healthz` answer locally (router-level view);
   /// `/snapshot` broadcasts to every endpoint and the local handler so a
-  /// hot swap reaches all serving processes.
+  /// hot swap reaches all serving processes; `/drain` and `/undrain`
+  /// (with an "endpoint" body member) orchestrate graceful shard
+  /// removal; `/stats` merges the router and local-service views;
+  /// everything else answers from the local handler when present.
   net::HttpResponse Handle(const net::HttpRequest& request);
 
   /// Routes one parsed summarize request (bench/driver entry).
   net::HttpResponse Summarize(const SummaryRequest& request);
 
   /// The endpoint index \p request routes to first (tests assert
-  /// k-stickiness and placement stability on this).
+  /// k-stickiness and placement stability on this). Pure ring placement:
+  /// health and load do not move the home.
   size_t EndpointFor(const SummaryRequest& request) const;
+
+  /// The request's replica set: the first `replicas` distinct endpoints
+  /// of its ring walk, in ring order (health-agnostic).
+  std::vector<size_t> ReplicaSetFor(const SummaryRequest& request) const;
+
+  /// Orchestrates a graceful drain of \p label: marks it draining,
+  /// forwards `/drain`, and hands the exported chain checkpoints to each
+  /// unit's ring inheritor. Returns the JSON report response.
+  net::HttpResponse DrainEndpoint(const std::string& label, int wait_ms);
+
+  /// Clears the draining mark and forwards `/undrain`.
+  net::HttpResponse UndrainEndpoint(const std::string& label);
+
+  /// Health state of endpoint \p index (test and /stats introspection).
+  EndpointHealth::State endpoint_state(size_t index) const {
+    return endpoints_[index]->health.state();
+  }
 
   size_t num_endpoints() const { return endpoints_.size(); }
   RouterStats stats() const;
 
  private:
   struct Endpoint {
+    explicit Endpoint(const EndpointHealth::Options& health_options)
+        : health(health_options) {}
+
     std::string host;
     uint16_t port = 0;
     std::string label;  ///< original "host:port" string
+    EndpointHealth health;
     std::mutex mutex;
     std::vector<std::unique_ptr<net::HttpClient>> idle;
+  };
+
+  /// \brief Fixed worker pool that carries hedged primary attempts.
+  /// Submission never blocks: a saturated pool refuses and the caller
+  /// runs inline (unhedged).
+  class HedgePool {
+   public:
+    explicit HedgePool(size_t workers);
+    ~HedgePool();
+    bool TrySubmit(std::function<void()> task);
+
+   private:
+    void WorkerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
   };
 
   /// Endpoint indices in ring walk order starting at \p key's successor;
   /// every distinct endpoint appears exactly once.
   std::vector<size_t> RingOrder(uint64_t key) const;
+
+  /// The attempt order for one request: selectable replica-set members
+  /// first (load-aware within the set), then the remaining selectable
+  /// endpoints in ring order, then — last resort — the unselectable ones.
+  std::vector<size_t> AttemptPlan(const std::vector<size_t>& order) const;
 
   /// \p fresh bypasses the idle pool (used for non-idempotent sends that
   /// must not ride a maybe-reaped connection).
@@ -127,6 +253,33 @@ class ShardRouter {
                                     const std::string& target,
                                     const std::string& body);
 
+  /// `Forward` wrapped with health accounting: in-flight gauge, latency
+  /// EWMA + hedge window on success, circuit-breaker feed on failure.
+  Result<net::HttpResponse> AttemptOnce(size_t endpoint_index,
+                                        const std::string& body);
+
+  /// Primary on the hedge pool, secondary raced after the adaptive
+  /// delay; first answer wins. \p served receives the endpoint whose
+  /// response is returned.
+  Result<net::HttpResponse> HedgedAttempt(size_t primary, size_t secondary,
+                                          const std::string& body,
+                                          size_t* served,
+                                          int* transport_failures);
+
+  /// Current hedge delay: max(hedge_min_ms, 1.25 × windowed p99),
+  /// clamped to timeout_ms / 2.
+  int HedgeDelayMs() const;
+
+  /// Background loop: reinstatement probes for ejected endpoints,
+  /// periodic liveness probes for the rest.
+  void ProbeLoop();
+  bool ProbeOnce(size_t endpoint_index);
+
+  /// Index of the endpoint labeled \p label; npos when unknown.
+  size_t FindEndpoint(const std::string& label) const;
+
+  net::HttpResponse RouterStatsResponse();
+
   SummaryHandler* local_;
   Options options_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
@@ -135,6 +288,16 @@ class ShardRouter {
 
   mutable std::mutex stats_mutex_;
   RouterStats stats_;
+  /// Recent successful-attempt latencies; feeds the adaptive hedge delay.
+  StatAccumulator latency_window_{512};
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread probe_thread_;
+  /// Declared last: destroyed (joined) first, while endpoints_ and the
+  /// stats still exist for in-flight hedged primaries.
+  std::unique_ptr<HedgePool> hedge_pool_;
 };
 
 }  // namespace xsum::service

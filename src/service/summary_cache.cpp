@@ -109,7 +109,10 @@ std::shared_ptr<const core::Summary> SummaryCache::Lookup(
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.map.find(key);
-  if (it == shard.map.end()) {
+  if (it == shard.map.end() || it->second->summary == nullptr) {
+    // A chain-only placeholder (imported drain checkpoint) is a *miss*:
+    // it holds reusable closure state, not an answer, and serving it
+    // would break the byte-identity invariant.
     ++shard.misses;
     return nullptr;
   }
@@ -127,15 +130,8 @@ std::shared_ptr<const core::SummaryChain> SummaryCache::LookupChain(
   return it->second->chain;
 }
 
-void SummaryCache::Insert(const CacheKey& key,
-                          std::shared_ptr<const core::Summary> summary,
-                          std::shared_ptr<const core::SummaryChain> chain) {
-  if (summary == nullptr) return;
-  size_t bytes = SummaryFootprintBytes(*summary) + sizeof(Entry);
-  if (chain != nullptr) bytes += chain->MemoryFootprintBytes();
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  if (shard.map.find(key) != shard.map.end()) return;  // first writer wins
+void SummaryCache::EmplaceLocked(Shard& shard, Entry entry) {
+  const size_t bytes = entry.bytes;
   if (bytes > shard_budget_) {
     ++shard.rejected;
     return;
@@ -147,10 +143,75 @@ void SummaryCache::Insert(const CacheKey& key,
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.push_front(Entry{key, std::move(summary), std::move(chain), bytes});
+  const CacheKey key = entry.key;
+  shard.lru.push_front(std::move(entry));
   shard.map[key] = shard.lru.begin();
   shard.bytes += bytes;
   ++shard.insertions;
+}
+
+void SummaryCache::Insert(const CacheKey& key,
+                          std::shared_ptr<const core::Summary> summary,
+                          std::shared_ptr<const core::SummaryChain> chain,
+                          uint64_t route_key) {
+  if (summary == nullptr) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    if (it->second->summary != nullptr) return;  // first full writer wins
+    // Chain-only placeholder from a drain handoff: upgrade it. The
+    // imported chain survives when the writer brings none (it may hold a
+    // longer-reusable closure than this step produced).
+    if (chain == nullptr) chain = it->second->chain;
+    if (route_key == 0) route_key = it->second->route_key;
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  size_t bytes = SummaryFootprintBytes(*summary) + sizeof(Entry);
+  if (chain != nullptr) bytes += chain->MemoryFootprintBytes();
+  EmplaceLocked(shard, Entry{key, std::move(summary), std::move(chain),
+                             route_key, bytes});
+}
+
+void SummaryCache::InsertChainOnly(
+    const CacheKey& key, std::shared_ptr<const core::SummaryChain> chain,
+    uint64_t route_key) {
+  if (chain == nullptr) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::shared_ptr<const core::Summary> summary;
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    if (it->second->chain != nullptr) return;  // resident checkpoint wins
+    // The key holds a summary without a chain (e.g. a non-chainable
+    // method landed first under fingerprint reuse is impossible — same
+    // key means same options — but a budget-trimmed insert can): attach
+    // the imported chain, keeping the summary.
+    summary = it->second->summary;
+    if (route_key == 0) route_key = it->second->route_key;
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  size_t bytes = sizeof(Entry) + chain->MemoryFootprintBytes();
+  if (summary != nullptr) bytes += SummaryFootprintBytes(*summary);
+  EmplaceLocked(shard, Entry{key, std::move(summary), std::move(chain),
+                             route_key, bytes});
+}
+
+std::vector<SummaryCache::ChainExport> SummaryCache::ExportChains() const {
+  std::vector<ChainExport> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Entry& entry : shard->lru) {
+      if (entry.chain != nullptr && entry.route_key != 0) {
+        out.push_back(ChainExport{entry.key, entry.route_key, entry.chain});
+      }
+    }
+  }
+  return out;
 }
 
 void SummaryCache::Clear() {

@@ -121,14 +121,39 @@ class SummaryCache {
   /// from the (task, k−1) entry, not a cache answer.
   std::shared_ptr<const core::SummaryChain> LookupChain(const CacheKey& key);
 
-  /// Inserts \p summary under \p key (no-op if the key is already present —
-  /// first writer wins, so concurrent single-flight losers don't churn the
-  /// LRU list). Evicts LRU entries until the shard fits its budget slice.
-  /// \p chain optionally attaches the summarization chain checkpoint that
-  /// produced the summary (its footprint counts against the byte budget).
+  /// Inserts \p summary under \p key (no-op if the key already holds a
+  /// summary — first writer wins, so concurrent single-flight losers
+  /// don't churn the LRU list; a chain-only placeholder from a drain
+  /// handoff *is* upgraded in place, keeping its imported chain when the
+  /// writer brings none). Evicts LRU entries until the shard fits its
+  /// budget slice. \p chain optionally attaches the summarization chain
+  /// checkpoint that produced the summary (its footprint counts against
+  /// the byte budget); \p route_key tags the entry with its routing
+  /// fingerprint (`UnitFingerprint`) so a drain can hand the chain to
+  /// the ring inheritor (0 = untagged, not exportable).
   void Insert(const CacheKey& key,
               std::shared_ptr<const core::Summary> summary,
-              std::shared_ptr<const core::SummaryChain> chain = nullptr);
+              std::shared_ptr<const core::SummaryChain> chain = nullptr,
+              uint64_t route_key = 0);
+
+  /// Inserts \p chain as a summary-less placeholder entry (a drained
+  /// peer's checkpoint import): `Lookup` misses it, `LookupChain` serves
+  /// it, and the next computed summary for the key upgrades it in place.
+  /// An existing entry that already carries a chain wins over the import.
+  void InsertChainOnly(const CacheKey& key,
+                       std::shared_ptr<const core::SummaryChain> chain,
+                       uint64_t route_key);
+
+  /// \brief One exportable chain checkpoint (drain handoff wire unit).
+  struct ChainExport {
+    CacheKey key;
+    uint64_t route_key = 0;
+    std::shared_ptr<const core::SummaryChain> chain;
+  };
+
+  /// Every resident entry that carries both a chain checkpoint and a
+  /// route key — the state worth handing to ring inheritors on drain.
+  std::vector<ChainExport> ExportChains() const;
 
   /// Drops every entry (counters are kept).
   void Clear();
@@ -141,9 +166,13 @@ class SummaryCache {
  private:
   struct Entry {
     CacheKey key;
+    /// Null for a chain-only placeholder (imported drain checkpoint).
     std::shared_ptr<const core::Summary> summary;
     /// Chain checkpoint of the chained-summarization path (may be null).
     std::shared_ptr<const core::SummaryChain> chain;
+    /// `UnitFingerprint` of the request that produced the entry; 0 when
+    /// unknown (entries inserted outside the routed path).
+    uint64_t route_key = 0;
     size_t bytes = 0;
   };
   /// One independently locked LRU slice; front = most recently used.
@@ -162,6 +191,11 @@ class SummaryCache {
   Shard& ShardFor(const CacheKey& key) {
     return *shards_[key.fp_lo & shard_mask_];
   }
+
+  /// Budget check + LRU eviction + front insertion of \p entry (bytes
+  /// already computed). Caller holds the shard lock and has removed any
+  /// previous entry for the key.
+  void EmplaceLocked(Shard& shard, Entry entry);
 
   size_t max_bytes_;
   size_t shard_budget_;

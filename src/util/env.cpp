@@ -115,6 +115,25 @@ const std::vector<EnvVarInfo>& EnvVarCatalog() {
        "HTTP server worker threads (connection-serving pool)"},
       {"XSUM_LOCAL_FALLBACK", "int", "1", "0 or 1", "xsum_server serve",
        "router answers from its in-process engine when all shards are down"},
+      {"XSUM_REPLICAS", "int", "2", ">= 1", "xsum_server serve",
+       "replica-set size: ring successors eligible to serve each unit"},
+      {"XSUM_MAX_FAILOVER", "int", "2", ">= 0", "xsum_server serve",
+       "transport failures tolerated per routed request before giving up"},
+      {"XSUM_HEDGE", "int", "1", "0 or 1", "xsum_server serve",
+       "hedge slow requests to a second replica after the adaptive delay"},
+      {"XSUM_HEDGE_MS", "int", "20", ">= 1", "xsum_server serve",
+       "floor of the adaptive (p99-driven) hedge delay, in milliseconds"},
+      {"XSUM_EJECT_MS", "int", "500", ">= 1", "xsum_server serve",
+       "base reinstatement backoff after an ejection; doubles per failed "
+       "probe"},
+      {"XSUM_MAX_QUEUE", "int", "256", ">= 0 (0 = unbounded)",
+       "xsum_server serve",
+       "accepted-connection queue bound; overflow sheds 503 + Retry-After"},
+      {"XSUM_QUEUE_MS", "int", "250", ">= 0 (0 = off)", "xsum_server serve",
+       "queue-age budget: connections that waited longer are shed unread"},
+      {"XSUM_FAULT", "int", "0", "0 or 1", "bench_net",
+       "run the fault-injection arm: kill one shard of a replicated fleet "
+       "mid-stream, rejoin it, report per-phase latency"},
       {"XSUM_JSON", "string", "\"\" (disabled)", "file path or \"-\"",
        "all benches",
        "append machine-readable perf records here (\"-\" = stdout)"},

@@ -252,6 +252,200 @@ TEST(HttpClientTest, ConnectionRefusedIsIOErrorNotCrash) {
   EXPECT_TRUE(response.status().IsIOError());
 }
 
+TEST(HttpServerTest, ByteDrippingPeerIsTimedOutNotHeldForever) {
+  HttpServer::Options options = TestOptions();
+  options.num_workers = 1;
+  options.idle_timeout_ms = 300;
+  HttpServer server(EchoHandler, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A peer that sends half a request line and then goes quiet must not
+  // pin the (only) worker past the socket timeout.
+  const auto before = std::chrono::steady_clock::now();
+  {
+    RawConnection raw(server.port());
+    ASSERT_TRUE(raw.connected());
+    raw.Send("GET /slow HT");
+    const std::string response = raw.ReadAll();  // blocks until the close
+    EXPECT_EQ(response.find("200"), std::string::npos) << response;
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - before);
+  EXPECT_LT(elapsed.count(), 3000) << "read timeout did not fire";
+
+  // The worker slot is free again: a well-behaved client is served.
+  HttpClient client("127.0.0.1", server.port());
+  const auto response = client.Get("/after");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 200);
+  server.Stop();
+}
+
+TEST(HttpServerTest, MidBodyDisconnectReclaimsTheWorkerSlot) {
+  HttpServer::Options options = TestOptions();
+  options.num_workers = 1;
+  options.idle_timeout_ms = 500;
+  HttpServer server(EchoHandler, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Declare a 1000-byte body, deliver 10, hang up. The worker must
+  // abandon the parse on the peer close, not wait for the rest.
+  {
+    RawConnection raw(server.port());
+    ASSERT_TRUE(raw.connected());
+    raw.Send("POST /half HTTP/1.1\r\nContent-Length: 1000\r\n\r\nabcdefghij");
+  }  // destructor closes the socket mid-body
+
+  HttpClient client("127.0.0.1", server.port());
+  const auto response = client.Get("/next");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(server.requests_served(), 1u) << "the half request is not served";
+  server.Stop();
+}
+
+/// Handler used by the shedding tests: /block parks until released.
+struct GatedHandler {
+  std::atomic<bool>* entered;
+  std::atomic<bool>* release;
+
+  HttpResponse operator()(const HttpRequest& request) const {
+    if (request.target == "/block") {
+      entered->store(true);
+      while (!release->load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return EchoHandler(request);
+  }
+};
+
+TEST(HttpServerTest, QueueOverflowIsShedWith503AndRetryAfter) {
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  HttpServer::Options options = TestOptions();
+  options.num_workers = 1;
+  options.max_pending = 1;
+  HttpServer server(GatedHandler{&entered, &release}, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Occupy the only worker...
+  std::thread blocked([&] {
+    HttpClient client("127.0.0.1", server.port());
+    const auto response = client.Get("/block");
+    EXPECT_TRUE(response.ok()) << response.status();
+  });
+  while (!entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // ...fill the one queue slot...
+  RawConnection queued(server.port());
+  ASSERT_TRUE(queued.connected());
+  queued.Send("GET /queued HTTP/1.1\r\nConnection: close\r\n\r\n");
+  while (server.queue_depth() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // ...and the next arrival is shed at the door, without being read.
+  RawConnection shed(server.port());
+  ASSERT_TRUE(shed.connected());
+  shed.Send("GET /shed HTTP/1.1\r\n\r\n");
+  const std::string response = shed.ReadAll();
+  EXPECT_NE(response.find("503"), std::string::npos) << response;
+  EXPECT_NE(response.find("Retry-After: 1"), std::string::npos) << response;
+  EXPECT_GE(server.requests_shed(), 1u);
+
+  release.store(true);
+  blocked.join();
+  // The queued connection was legitimate work and is still answered.
+  EXPECT_NE(queued.ReadAll().find("/queued"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StaleQueuedConnectionsAreShedAtPickup) {
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  HttpServer::Options options = TestOptions();
+  options.num_workers = 1;
+  options.queue_budget_ms = 50;
+  HttpServer server(GatedHandler{&entered, &release}, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::thread blocked([&] {
+    HttpClient client("127.0.0.1", server.port());
+    const auto response = client.Get("/block");
+    EXPECT_TRUE(response.ok()) << response.status();
+  });
+  while (!entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  RawConnection stale(server.port());
+  ASSERT_TRUE(stale.connected());
+  stale.Send("GET /stale HTTP/1.1\r\n\r\n");
+  while (server.queue_depth() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Let the queued connection age far past its 50 ms budget, then free
+  // the worker: pickup must shed it instead of serving a dead deadline.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  release.store(true);
+  blocked.join();
+  const std::string response = stale.ReadAll();
+  EXPECT_NE(response.find("503"), std::string::npos) << response;
+  EXPECT_EQ(response.find("/stale"), std::string::npos)
+      << "stale connection was served, not shed";
+  EXPECT_GE(server.requests_shed(), 1u);
+  server.Stop();
+}
+
+TEST(HttpClientTest, RetriesRefusedConnectsUntilTheListenerIsBack) {
+  // Find a free port, leave nothing listening on it.
+  HttpServer probe(EchoHandler, TestOptions());
+  ASSERT_TRUE(probe.Start().ok());
+  const uint16_t port = probe.port();
+  probe.Stop();
+
+  // Bring a server up on that port only after a delay: the first
+  // connect attempts are refused, a later backed-off retry lands.
+  HttpServer::Options revived_options = TestOptions();
+  revived_options.port = port;
+  HttpServer revived(EchoHandler, revived_options);
+  std::thread restarter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    ASSERT_TRUE(revived.Start().ok());
+  });
+
+  HttpClient::Options options;
+  options.timeout_ms = 2000;
+  options.connect_retries = 6;
+  options.connect_backoff_ms = 40;
+  HttpClient client("127.0.0.1", port, options);
+  const auto response = client.Get("/revived");
+  restarter.join();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_NE(response->body.find("/revived"), std::string::npos);
+  revived.Stop();
+}
+
+TEST(HttpClientTest, ZeroConnectRetriesFailsImmediately) {
+  HttpServer probe(EchoHandler, TestOptions());
+  ASSERT_TRUE(probe.Start().ok());
+  const uint16_t dead_port = probe.port();
+  probe.Stop();
+
+  HttpClient::Options options;
+  options.timeout_ms = 2000;
+  options.connect_retries = 0;
+  HttpClient client("127.0.0.1", dead_port, options);
+  const auto before = std::chrono::steady_clock::now();
+  const auto response = client.Get("/gone");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - before);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsIOError());
+  // A loopback refusal is instant; no-retry must not sit in backoff.
+  EXPECT_LT(elapsed.count(), 1000);
+}
+
 TEST(HttpClientTest, SurvivesServerSideConnectionReap) {
   HttpServer server(EchoHandler, TestOptions());
   ASSERT_TRUE(server.Start().ok());

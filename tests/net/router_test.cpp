@@ -8,12 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "eval/experiment.h"
 #include "eval/runner.h"
+#include "net/http_client.h"
 #include "net/http_server.h"
 #include "service/handler.h"
 #include "service/snapshot_registry.h"
@@ -69,13 +72,16 @@ class RouterTest : public ::testing::Test {
     runner_ = nullptr;
   }
 
-  static std::unique_ptr<Shard> StartShard() {
+  /// \p port 0 = ephemeral; a fixed port restarts a "rejoining" shard on
+  /// its old address (the ejection-recovery test).
+  static std::unique_ptr<Shard> StartShard(uint16_t port = 0) {
     auto shard = std::make_unique<Shard>();
     shard->service = std::make_unique<SummaryService>(registry_);
     shard->handler =
         std::make_unique<SummaryHandler>(shard->service.get(), catalog_);
     net::HttpServer::Options options;
     options.num_workers = 2;
+    options.port = port;
     SummaryHandler* handler = shard->handler.get();
     shard->server = std::make_unique<net::HttpServer>(
         [handler](const net::HttpRequest& request) {
@@ -330,6 +336,255 @@ TEST_F(RouterTest, ParseEndpointValidation) {
   EXPECT_FALSE(ParseEndpoint("h:abc").ok());
   EXPECT_FALSE(ParseEndpoint("h:70000").ok());
   EXPECT_FALSE(ParseEndpoint("h:0").ok());
+}
+
+TEST_F(RouterTest, ReplicaSetIsTheDistinctRingPrefix) {
+  ShardRouter::Options options;
+  options.endpoints = {"127.0.0.1:9001", "127.0.0.1:9002",
+                       "127.0.0.1:9003"};
+  options.replicas = 2;
+  options.health_probes = false;
+  ShardRouter router(nullptr, options);
+
+  for (uint32_t unit = 0; unit < 200; ++unit) {
+    SummaryRequest request;
+    request.unit = unit;
+    const std::vector<size_t> replicas = router.ReplicaSetFor(request);
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_NE(replicas[0], replicas[1]);
+    // The primary of the replica set is the pure ring home.
+    EXPECT_EQ(replicas[0], router.EndpointFor(request));
+    // k never moves the replica set either (shard-sticky chains).
+    SummaryRequest chained = request;
+    chained.k = 7;
+    chained.prev_k = 6;
+    EXPECT_EQ(router.ReplicaSetFor(chained), replicas);
+  }
+}
+
+TEST_F(RouterTest, BoundedFailoverCapsTheWalkAndCounts) {
+  ShardRouter::Options options;
+  // Three dead endpoints, one tolerated failure: the walk must stop
+  // after 1 failed attempt with candidates still untried.
+  options.endpoints = {"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"};
+  options.timeout_ms = 500;
+  options.max_failover = 1;
+  options.local_fallback = false;
+  options.hedge = false;
+  options.health_probes = false;
+  ShardRouter router(nullptr, options);
+
+  SummaryRequest request;
+  request.unit = catalog_->entries().front().unit;
+  request.k = 1;
+  EXPECT_EQ(router.Summarize(request).status, 502);
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.capped, 1u);
+  EXPECT_EQ(stats.failovers, 1u) << "exactly one attempt may fail";
+  EXPECT_EQ(stats.routed, 0u);
+}
+
+TEST_F(RouterTest, EjectionThenProbeReinstatementWhenTheShardRejoins) {
+  auto shard_a = StartShard();
+  auto shard_b = StartShard();
+  ShardRouter::Options options;
+  options.endpoints = {shard_a->endpoint(), shard_b->endpoint()};
+  options.timeout_ms = 1000;
+  options.hedge = false;  // deterministic attempt accounting
+  options.health.failure_threshold = 1;
+  options.health.base_backoff_ms = 50;
+  options.health.max_backoff_ms = 200;
+  options.probe_interval_ms = 10;
+  options.liveness_interval_ms = 0;  // only ejected endpoints are probed
+  ShardRouter router(nullptr, options);
+
+  // A request homed on B, with B dead: answered by A, B ejected.
+  SummaryRequest on_b;
+  bool found = false;
+  for (const auto& entry : catalog_->entries()) {
+    on_b.unit = entry.unit;
+    on_b.k = entry.k;
+    if (router.EndpointFor(on_b) == 1) {
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  const uint16_t port_b = shard_b->server->port();
+  shard_b->server->Stop();
+
+  ASSERT_EQ(router.Summarize(on_b).status, 200);
+  EXPECT_EQ(router.endpoint_state(1), EndpointHealth::State::kEjected);
+  {
+    const RouterStats stats = router.stats();
+    EXPECT_GE(stats.ejections, 1u);
+    EXPECT_GE(stats.failovers, 1u);
+    EXPECT_EQ(stats.per_endpoint[1], 0u);
+  }
+  // While ejected, B is skipped outright, not re-attempted: the next
+  // request adds exactly one skip-failover and zero transport failures
+  // (an attempted-and-failed B would add two).
+  const uint64_t failovers_before = router.stats().failovers;
+  ASSERT_EQ(router.Summarize(on_b).status, 200);
+  EXPECT_EQ(router.stats().failovers, failovers_before + 1);
+
+  // The shard rejoins on its old address; the probe loop notices and
+  // reinstates it without any request-path help.
+  auto shard_b2 = StartShard(port_b);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (router.endpoint_state(1) != EndpointHealth::State::kHealthy &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(router.endpoint_state(1), EndpointHealth::State::kHealthy)
+      << "probe loop never reinstated the rejoined shard";
+  {
+    const RouterStats stats = router.stats();
+    EXPECT_GE(stats.reinstatements, 1u);
+    EXPECT_GE(stats.probes, 1u);
+  }
+  // Traffic homed on B lands on B again.
+  ASSERT_EQ(router.Summarize(on_b).status, 200);
+  EXPECT_GT(router.stats().per_endpoint[1], 0u);
+
+  shard_a->server->Stop();
+  shard_b2->server->Stop();
+}
+
+TEST_F(RouterTest, ReadyzFollowsTheDrainLifecycle) {
+  SummaryService service(registry_);
+  SummaryHandler handler(&service, catalog_);
+
+  net::HttpRequest readyz;
+  readyz.method = "GET";
+  readyz.target = "/readyz";
+  EXPECT_EQ(handler.Handle(readyz).status, 200);
+
+  net::HttpRequest drain;
+  drain.method = "POST";
+  drain.target = "/drain";
+  drain.body = "{}";
+  const net::HttpResponse drained = handler.Handle(drain);
+  EXPECT_EQ(drained.status, 200) << drained.body;
+  EXPECT_NE(drained.body.find("\"chains\""), std::string::npos);
+  EXPECT_TRUE(handler.draining());
+
+  const net::HttpResponse not_ready = handler.Handle(readyz);
+  EXPECT_EQ(not_ready.status, 503);
+  bool has_retry_after = false;
+  for (const auto& [name, value] : not_ready.extra_headers) {
+    if (name == "Retry-After") has_retry_after = true;
+  }
+  EXPECT_TRUE(has_retry_after);
+
+  // A draining shard still answers straggler summarize requests.
+  SummaryRequest request;
+  request.unit = catalog_->entries().front().unit;
+  request.k = 1;
+  EXPECT_EQ(handler.Summarize(request).status, 200);
+
+  net::HttpRequest undrain;
+  undrain.method = "POST";
+  undrain.target = "/undrain";
+  undrain.body = "{}";
+  EXPECT_EQ(handler.Handle(undrain).status, 200);
+  EXPECT_FALSE(handler.draining());
+  EXPECT_EQ(handler.Handle(readyz).status, 200);
+
+  // Before the first snapshot there is nothing to serve: not ready.
+  GraphSnapshotRegistry unpublished;
+  SummaryService cold_service(&unpublished);
+  SummaryHandler cold(&cold_service, catalog_);
+  EXPECT_EQ(cold.Handle(readyz).status, 503);
+}
+
+TEST_F(RouterTest, DrainHandsChainsToTheInheritorAndKeepsReusealive) {
+  auto shard_a = StartShard();
+  auto shard_b = StartShard();
+  ShardRouter::Options options;
+  options.endpoints = {shard_a->endpoint(), shard_b->endpoint()};
+  options.timeout_ms = 2000;
+  options.hedge = false;
+  options.health_probes = false;
+  ShardRouter router(nullptr, options);
+
+  SummaryService direct_service(registry_);
+  SummaryHandler direct(&direct_service, catalog_);
+
+  // Warm chained sweeps (k = 1..3) for every unit homed on shard A,
+  // in the KMB configuration whose checkpoints carry state (Mehlhorn
+  // computes chain-free — nothing to hand off there).
+  std::vector<uint32_t> units_on_a;
+  for (const auto& entry : catalog_->entries()) {
+    if (entry.k != 1) continue;
+    SummaryRequest request;
+    request.unit = entry.unit;
+    request.lambda = 0.0;
+    request.variant = core::SteinerOptions::Variant::kKmb;
+    if (router.EndpointFor(request) == 0) units_on_a.push_back(entry.unit);
+  }
+  ASSERT_FALSE(units_on_a.empty());
+  for (const uint32_t unit : units_on_a) {
+    for (int k = 1; k <= 3; ++k) {
+      SummaryRequest request;
+      request.unit = unit;
+      request.k = k;
+      request.prev_k = k > 1 ? k - 1 : 0;
+      request.lambda = 0.0;
+      request.variant = core::SteinerOptions::Variant::kKmb;
+      ASSERT_EQ(router.Summarize(request).status, 200);
+    }
+  }
+  ASSERT_FALSE(shard_a->service->ExportChains().empty());
+  ASSERT_GT(shard_a->service->Stats().incremental, 0u);
+
+  // Drain A through the router: checkpoints must land on B (the only
+  // possible ring inheritor) and A must stop being routable.
+  const uint64_t b_incremental = shard_b->service->Stats().incremental;
+  const net::HttpResponse report =
+      router.DrainEndpoint(shard_a->endpoint(), /*wait_ms=*/2000);
+  ASSERT_EQ(report.status, 200) << report.body;
+  EXPECT_NE(report.body.find("\"drained\""), std::string::npos);
+  EXPECT_TRUE(shard_a->handler->draining());
+  EXPECT_GT(shard_b->service->Stats().chains_imported, 0u)
+      << "no checkpoint reached the inheritor";
+  {
+    const RouterStats stats = router.stats();
+    EXPECT_EQ(stats.drains, 1u);
+    EXPECT_GT(stats.chains_handed_off, 0u);
+  }
+  const auto readyz =
+      net::HttpFetch("127.0.0.1", shard_a->server->port(), "GET", "/readyz");
+  ASSERT_TRUE(readyz.ok()) << readyz.status();
+  EXPECT_EQ(readyz->status, 503) << "drained shard still reports ready";
+
+  // Extending each sweep now routes to B and keeps running
+  // *incrementally* off the handed-over k=3 checkpoints — the §5 reuse
+  // survived the drain (the acceptance property of ISSUE 6).
+  const uint64_t a_served = router.stats().per_endpoint[0];
+  for (const uint32_t unit : units_on_a) {
+    SummaryRequest request;
+    request.unit = unit;
+    request.k = 4;
+    request.prev_k = 3;
+    request.lambda = 0.0;
+    request.variant = core::SteinerOptions::Variant::kKmb;
+    const net::HttpResponse routed = router.Summarize(request);
+    ASSERT_EQ(routed.status, 200) << routed.body;
+    EXPECT_EQ(routed.body, direct.Summarize(request).body);
+  }
+  EXPECT_EQ(router.stats().per_endpoint[0], a_served)
+      << "draining endpoint was still routed to";
+  EXPECT_GT(shard_b->service->Stats().incremental, b_incremental)
+      << "inheritor recomputed from scratch: the handoff lost the chains";
+
+  // Undrain restores the endpoint to rotation.
+  EXPECT_EQ(router.UndrainEndpoint(shard_a->endpoint()).status, 200);
+  EXPECT_FALSE(shard_a->handler->draining());
+
+  shard_a->server->Stop();
+  shard_b->server->Stop();
 }
 
 TEST_F(RouterTest, UnitFingerprintSeparatesChainsButNotKs) {

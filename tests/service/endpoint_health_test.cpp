@@ -1,0 +1,159 @@
+/// Fake-time unit tests of the `EndpointHealth` circuit breaker: the
+/// healthy → suspect → ejected transitions, exponential probe backoff
+/// with its cap, reinstatement (by probe and by a racing request), the
+/// liveness-probe cadence, and the draining override. Every time-
+/// dependent method takes an explicit `now`, so no test sleeps.
+
+#include "service/endpoint_health.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+namespace xsum::service {
+namespace {
+
+using State = EndpointHealth::State;
+using TimePoint = EndpointHealth::TimePoint;
+
+TimePoint At(int ms) {
+  return TimePoint{} + std::chrono::milliseconds(ms);
+}
+
+EndpointHealth::Options TestOptions() {
+  EndpointHealth::Options options;
+  options.failure_threshold = 3;
+  options.base_backoff_ms = 100;
+  options.max_backoff_ms = 400;
+  return options;
+}
+
+TEST(EndpointHealthTest, StartsHealthyAndSelectable) {
+  EndpointHealth health(TestOptions());
+  EXPECT_EQ(health.state(), State::kHealthy);
+  EXPECT_TRUE(health.Selectable());
+  EXPECT_EQ(health.consecutive_failures(), 0);
+  EXPECT_EQ(health.ewma_ms(), 0.0);
+}
+
+TEST(EndpointHealthTest, ConsecutiveFailuresCrossThresholdIntoEjected) {
+  EndpointHealth health(TestOptions());
+  EXPECT_FALSE(health.RecordFailure(At(0)));
+  EXPECT_EQ(health.state(), State::kSuspect);
+  EXPECT_TRUE(health.Selectable()) << "suspect still serves";
+  EXPECT_FALSE(health.RecordFailure(At(1)));
+  // The threshold crossing — and only it — reports the ejection.
+  EXPECT_TRUE(health.RecordFailure(At(2)));
+  EXPECT_EQ(health.state(), State::kEjected);
+  EXPECT_FALSE(health.Selectable());
+  // Further failures while ejected never re-report.
+  EXPECT_FALSE(health.RecordFailure(At(3)));
+}
+
+TEST(EndpointHealthTest, OneSuccessResetsTheFailureStreak) {
+  EndpointHealth health(TestOptions());
+  health.RecordFailure(At(0));
+  health.RecordFailure(At(1));
+  EXPECT_FALSE(health.RecordSuccess(5.0)) << "not a reinstatement";
+  EXPECT_EQ(health.state(), State::kHealthy);
+  EXPECT_EQ(health.consecutive_failures(), 0);
+  // The streak restarts from zero: two more failures do not eject.
+  health.RecordFailure(At(2));
+  health.RecordFailure(At(3));
+  EXPECT_EQ(health.state(), State::kSuspect);
+}
+
+TEST(EndpointHealthTest, EjectedProbesOnlyAfterTheBackoffWindow) {
+  EndpointHealth health(TestOptions());
+  for (int i = 0; i < 3; ++i) health.RecordFailure(At(0));
+  ASSERT_EQ(health.state(), State::kEjected);
+  EXPECT_FALSE(health.ShouldProbe(At(99), 0));
+  EXPECT_TRUE(health.ShouldProbe(At(100), 0));
+  EXPECT_TRUE(health.ShouldProbe(At(5000), 0));
+}
+
+TEST(EndpointHealthTest, FailedProbesDoubleTheBackoffUpToTheCap) {
+  EndpointHealth health(TestOptions());
+  for (int i = 0; i < 3; ++i) health.RecordFailure(At(0));
+  // Probe at t=100 fails: backoff 100 -> 200, next window at 300.
+  EXPECT_FALSE(health.OnProbeResult(false, At(100)));
+  EXPECT_FALSE(health.ShouldProbe(At(299), 0));
+  EXPECT_TRUE(health.ShouldProbe(At(300), 0));
+  // 200 -> 400 (the cap), then 400 -> 400.
+  EXPECT_FALSE(health.OnProbeResult(false, At(300)));
+  EXPECT_FALSE(health.ShouldProbe(At(699), 0));
+  EXPECT_TRUE(health.ShouldProbe(At(700), 0));
+  EXPECT_FALSE(health.OnProbeResult(false, At(700)));
+  EXPECT_TRUE(health.ShouldProbe(At(1100), 0))
+      << "backoff must cap at max_backoff_ms, not keep doubling";
+}
+
+TEST(EndpointHealthTest, SuccessfulProbeReinstatesAndResetsBackoff) {
+  EndpointHealth health(TestOptions());
+  for (int i = 0; i < 3; ++i) health.RecordFailure(At(0));
+  EXPECT_FALSE(health.OnProbeResult(false, At(100)));
+  EXPECT_TRUE(health.OnProbeResult(true, At(300)));
+  EXPECT_EQ(health.state(), State::kHealthy);
+  EXPECT_TRUE(health.Selectable());
+  // The next ejection starts again from the base backoff, not the
+  // doubled one.
+  for (int i = 0; i < 3; ++i) health.RecordFailure(At(1000));
+  EXPECT_FALSE(health.ShouldProbe(At(1099), 0));
+  EXPECT_TRUE(health.ShouldProbe(At(1100), 0));
+}
+
+TEST(EndpointHealthTest, RacingRequestSuccessAlsoReinstates) {
+  EndpointHealth health(TestOptions());
+  for (int i = 0; i < 3; ++i) health.RecordFailure(At(0));
+  // A last-resort attempt (every peer worse) that succeeds beats the
+  // probe thread to the reinstatement.
+  EXPECT_TRUE(health.RecordSuccess(4.0));
+  EXPECT_EQ(health.state(), State::kHealthy);
+}
+
+TEST(EndpointHealthTest, HealthyEndpointsGetLivenessCadenceProbes) {
+  EndpointHealth health(TestOptions());
+  // 0 disables liveness probing outright.
+  EXPECT_FALSE(health.ShouldProbe(At(1000000), 0));
+  // Never probed: due immediately once a cadence is configured.
+  EXPECT_TRUE(health.ShouldProbe(At(1000), 1000));
+  health.OnProbeResult(true, At(1000));
+  EXPECT_FALSE(health.ShouldProbe(At(1500), 1000));
+  EXPECT_TRUE(health.ShouldProbe(At(2000), 1000));
+}
+
+TEST(EndpointHealthTest, DrainingIsUnselectableAndNeverProbed) {
+  EndpointHealth health(TestOptions());
+  health.set_draining(true);
+  EXPECT_TRUE(health.draining());
+  EXPECT_EQ(health.state(), State::kHealthy) << "draining is not a verdict";
+  EXPECT_FALSE(health.Selectable());
+  EXPECT_FALSE(health.ShouldProbe(At(1000000), 100));
+  // Even an *ejected* draining endpoint is left alone — /undrain first.
+  for (int i = 0; i < 3; ++i) health.RecordFailure(At(0));
+  EXPECT_FALSE(health.ShouldProbe(At(1000000), 0));
+  health.set_draining(false);
+  EXPECT_TRUE(health.ShouldProbe(At(1000000), 0));
+}
+
+TEST(EndpointHealthTest, EwmaSeedsOnFirstSampleThenSmooths) {
+  EndpointHealth::Options options = TestOptions();
+  options.ewma_alpha = 0.5;
+  EndpointHealth health(options);
+  health.RecordSuccess(10.0);
+  EXPECT_DOUBLE_EQ(health.ewma_ms(), 10.0) << "first sample seeds, no blend";
+  health.RecordSuccess(20.0);
+  EXPECT_DOUBLE_EQ(health.ewma_ms(), 15.0);
+  health.RecordSuccess(15.0);
+  EXPECT_DOUBLE_EQ(health.ewma_ms(), 15.0);
+}
+
+TEST(EndpointHealthTest, StateNamesMatchTheStatsWireStrings) {
+  EXPECT_EQ(std::string(EndpointStateName(State::kHealthy)), "healthy");
+  EXPECT_EQ(std::string(EndpointStateName(State::kSuspect)), "suspect");
+  EXPECT_EQ(std::string(EndpointStateName(State::kEjected)), "ejected");
+}
+
+}  // namespace
+}  // namespace xsum::service

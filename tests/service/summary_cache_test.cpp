@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/incremental.h"
 #include "data/kg_builder.h"
 #include "data/synthetic.h"
 #include "service/snapshot_registry.h"
@@ -143,8 +144,9 @@ TEST(SummaryCacheTest, FirstWriterWins) {
 TEST(SummaryCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
   SummaryCache::Options options;
   options.num_shards = 1;  // deterministic single LRU list
-  // Room for exactly two dummy entries (64 covers per-entry bookkeeping).
-  options.max_bytes = 2 * (SummaryFootprintBytes(*DummySummary(8)) + 64);
+  // Room for exactly two dummy entries (96 covers per-entry bookkeeping:
+  // key, summary/chain pointers, route key, byte count).
+  options.max_bytes = 2 * (SummaryFootprintBytes(*DummySummary(8)) + 96);
   SummaryCache cache(options);
 
   cache.Insert(Key(1, 1), DummySummary(8));
@@ -189,6 +191,72 @@ TEST(SummaryCacheTest, ClearDropsEntriesKeepsCounters) {
   EXPECT_EQ(stats.entries, 0u);
   EXPECT_EQ(stats.bytes, 0u);
   EXPECT_EQ(stats.hits, 1u);  // history survives
+}
+
+std::shared_ptr<const core::SummaryChain> DummyChain(size_t links) {
+  auto chain = std::make_shared<core::SummaryChain>();
+  chain->has_state = true;
+  chain->links = links;
+  return chain;
+}
+
+TEST(SummaryCacheTest, ChainOnlyPlaceholderIsALookupMissButAChainHit) {
+  SummaryCache cache;
+  cache.InsertChainOnly(Key(1, 7), DummyChain(3), /*route_key=*/0xBEEF);
+  // A placeholder is not an answer: Lookup must miss so the service
+  // computes the summary...
+  EXPECT_EQ(cache.Lookup(Key(1, 7)), nullptr);
+  // ...but the incremental assist serves the imported checkpoint.
+  const auto chain = cache.LookupChain(Key(1, 7));
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->links, 3u);
+}
+
+TEST(SummaryCacheTest, InsertUpgradesPlaceholderInPlaceKeepingItsChain) {
+  SummaryCache cache;
+  cache.InsertChainOnly(Key(1, 7), DummyChain(3), 0xBEEF);
+  // The computed summary arrives without a chain of its own (a plain
+  // from-scratch compute): the imported checkpoint must survive.
+  cache.Insert(Key(1, 7), DummySummary(4));
+  const auto hit = cache.Lookup(Key(1, 7));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->terminals.size(), 4u);
+  const auto chain = cache.LookupChain(Key(1, 7));
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->links, 3u);
+}
+
+TEST(SummaryCacheTest, ResidentChainWinsOverAChainOnlyImport) {
+  SummaryCache cache;
+  cache.Insert(Key(1, 7), DummySummary(4), DummyChain(9), 0xA);
+  // A drained peer's import for a key we already have state for loses.
+  cache.InsertChainOnly(Key(1, 7), DummyChain(1), 0xB);
+  const auto chain = cache.LookupChain(Key(1, 7));
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->links, 9u);
+  ASSERT_NE(cache.Lookup(Key(1, 7)), nullptr) << "summary not clobbered";
+}
+
+TEST(SummaryCacheTest, ExportChainsReturnsOnlyRouteTaggedChainEntries) {
+  SummaryCache cache;
+  cache.Insert(Key(1, 1), DummySummary(4));                   // no chain
+  cache.Insert(Key(1, 2), DummySummary(4), DummyChain(1));    // no route key
+  cache.Insert(Key(1, 3), DummySummary(4), DummyChain(2), 0xCAFE);
+  cache.InsertChainOnly(Key(1, 4), DummyChain(3), 0xF00D);
+  const auto exports = cache.ExportChains();
+  ASSERT_EQ(exports.size(), 2u);
+  for (const auto& entry : exports) {
+    ASSERT_NE(entry.chain, nullptr);
+    ASSERT_NE(entry.route_key, 0u);
+    if (entry.key == Key(1, 3)) {
+      EXPECT_EQ(entry.route_key, 0xCAFEu);
+      EXPECT_EQ(entry.chain->links, 2u);
+    } else {
+      EXPECT_EQ(entry.key, Key(1, 4));
+      EXPECT_EQ(entry.route_key, 0xF00Du);
+      EXPECT_EQ(entry.chain->links, 3u);
+    }
+  }
 }
 
 TEST(SnapshotRegistryTest, VersionsAreMonotonicAndPinned) {
