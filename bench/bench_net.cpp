@@ -47,6 +47,8 @@
 #include "net/http_client.h"
 #include "net/http_server.h"
 #include "net/replay.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/handler.h"
 #include "service/service.h"
 #include "service/shard_router.h"
@@ -238,6 +240,29 @@ int main() {
                  return *response;
                });
 
+    // Server-side accounting of the routed arm, read the way an operator
+    // would: the router's fleet-merged registry (its own counters plus
+    // every shard's scraped /metrics.json). Captured before the
+    // verification pass below adds extra traffic.
+    const obs::MetricsSnapshot fleet = router.FleetMetrics();
+
+    // One traced request proves the X-Xsum-Trace contract end to end
+    // through the HTTP front: the caller's ID must come back on the
+    // response, not a re-minted one.
+    const uint64_t trace_id = obs::NewTraceId();
+    const auto traced = router_clients[0]->Post(
+        "/summarize", service::SummaryRequestToJson(universe[0]).Dump(),
+        /*retry_stale=*/true,
+        {{obs::kTraceHeader, obs::TraceIdToHex(trace_id)}});
+    bench::CheckOk(traced.status(), "traced request");
+    const std::string* echoed = traced->FindHeader("x-xsum-trace");
+    if (echoed == nullptr || *echoed != obs::TraceIdToHex(trace_id)) {
+      std::fprintf(stderr,
+                   "FATAL: trace ID was not adopted and echoed by the "
+                   "router front\n");
+      return 1;
+    }
+
     // Byte-identity across all three transports.
     size_t verified = 0;
     for (size_t i = 0; i < universe.size() && verified < 60; i += 5) {
@@ -286,6 +311,23 @@ int main() {
         verified, static_cast<unsigned long long>(rs.per_endpoint[0]),
         static_cast<unsigned long long>(rs.per_endpoint[1]),
         static_cast<unsigned long long>(rs.failovers));
+
+    const auto fleet_latency = fleet.histograms.find("service_latency_ms");
+    const auto fleet_requests = fleet.counters.find("service_requests");
+    std::printf(
+        "fleet view (router-merged /metrics): %llu shard requests, "
+        "server-side p50 %.4f ms / p99 %.4f ms; trace %s adopted and "
+        "echoed end to end\n",
+        static_cast<unsigned long long>(
+            fleet_requests != fleet.counters.end() ? fleet_requests->second
+                                                   : 0),
+        fleet_latency != fleet.histograms.end()
+            ? fleet_latency->second.PercentileMs(50.0)
+            : 0.0,
+        fleet_latency != fleet.histograms.end()
+            ? fleet_latency->second.PercentileMs(99.0)
+            : 0.0,
+        obs::TraceIdToHex(trace_id).c_str());
 
     const size_t n = runner.rec_graph().graph().num_nodes();
     const auto per_request = [&](const ArmResult& arm) {

@@ -9,6 +9,10 @@
 /// requests it compares the cached response bit-for-bit against a fresh
 /// single-shot `Summarize` call and aborts on any mismatch.
 ///
+/// A fourth warm arm runs with histogram recording disabled
+/// (`ServiceOptions::enable_metrics = false`) — the control that prices
+/// the observability layer on the hottest path (gate: <2% overhead).
+///
 /// Env knobs (on top of the standard XSUM_* set):
 ///   XSUM_REQUESTS  requests per arm           (default 2000)
 ///   XSUM_ZIPF      task-mix skew s            (default 1.1)
@@ -136,6 +140,15 @@ int main() {
   const double warm_ms = replay(cached);
   const service::ServiceStats stats = cached.Stats();
 
+  // Arm 3: warm cache with histogram recording off — the control that
+  // prices the observability layer. The gate is <2% overhead on the warm
+  // path; counters stay on in both arms (they are not optional).
+  service::ServiceOptions nometrics_options;
+  nometrics_options.enable_metrics = false;
+  service::SummaryService nometrics(&registry, nometrics_options);
+  replay(nometrics);  // fill
+  const double nometrics_warm_ms = replay(nometrics);
+
   // Safety: cached responses are bit-identical to fresh computation.
   size_t checked = 0;
   for (size_t i = 0; i < tasks.size() && checked < 100; i += 7) {
@@ -171,7 +184,19 @@ int main() {
                 FormatDouble(warm_ms, 1), FormatDouble(qps(warm_ms), 0),
                 FormatDouble(100.0 * stats.cache.HitRate(), 1) + "%",
                 FormatDouble(stats.p50_ms, 4), FormatDouble(stats.p99_ms, 4)});
+  table.AddRow({"warm, metrics off",
+                FormatCount(static_cast<int64_t>(stream.size())),
+                FormatDouble(nometrics_warm_ms, 1),
+                FormatDouble(qps(nometrics_warm_ms), 0), "-", "-", "-"});
   table.Print(std::cout);
+
+  const double metrics_overhead_pct =
+      nometrics_warm_ms > 0.0
+          ? 100.0 * (warm_ms - nometrics_warm_ms) / nometrics_warm_ms
+          : 0.0;
+  std::printf("\nmetrics-on overhead vs metrics-off (warm cache): %+.2f%% "
+              "(gate < 2%%)\n",
+              metrics_overhead_pct);
 
   const double speedup = warm_ms > 0.0 ? uncached_ms / warm_ms : 0.0;
   std::printf(
@@ -194,5 +219,9 @@ int main() {
                        per_request_uncached, 0});
   bench::EmitPerfJson({"service.zipf", "ST+PCST.cached_warm", n, mean_t,
                        per_request_warm, stats.cache.bytes});
+  bench::EmitPerfJson({"service.zipf", "ST+PCST.cached_warm_nometrics", n,
+                       mean_t,
+                       nometrics_warm_ms / static_cast<double>(stream.size()),
+                       0});
   return 0;
 }

@@ -32,7 +32,8 @@
 /// XSUM_PORT / XSUM_SHARDS / XSUM_NET_WORKERS / XSUM_LOCAL_FALLBACK
 /// (network), XSUM_REPLICAS / XSUM_MAX_FAILOVER / XSUM_HEDGE /
 /// XSUM_HEDGE_MS / XSUM_EJECT_MS (fleet resilience), XSUM_MAX_QUEUE /
-/// XSUM_QUEUE_MS (admission control), XSUM_REQUESTS (default 400),
+/// XSUM_QUEUE_MS (admission control), XSUM_LOG_LEVEL / XSUM_TRACE
+/// (observability), XSUM_REQUESTS (default 400),
 /// XSUM_CLIENTS (default 2), XSUM_ZIPF (default 1.1).
 /// See docs/OPERATIONS.md.
 
@@ -62,6 +63,7 @@
 #include "service/shard_router.h"
 #include "service/snapshot_registry.h"
 #include "util/env.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/string_util.h"
@@ -197,6 +199,11 @@ int RunServe() {
       static_cast<size_t>(GetEnvNonNegativeInt("XSUM_MAX_QUEUE", 256));
   server_options.queue_budget_ms = static_cast<int>(
       GetEnvNonNegativeInt("XSUM_QUEUE_MS", 250));
+  // One registry per process: the server's queue/handler histograms land
+  // next to the service's, so /metrics is a single merged document.
+  server_options.metrics = stack->service->metrics_registry();
+  const bool trace_on = GetEnvNonNegativeInt("XSUM_TRACE", 1) != 0;
+  stack->handler->set_trace_enabled(trace_on);
 
   net::HttpServer::Handler http_handler;
   if (!shards.empty()) {
@@ -218,6 +225,7 @@ int RunServe() {
         std::max<int64_t>(1, GetEnvNonNegativeInt("XSUM_EJECT_MS", 500)));
     router = std::make_unique<service::ShardRouter>(stack->handler.get(),
                                                     router_options);
+    router->set_trace_enabled(trace_on);
     http_handler = [&router](const net::HttpRequest& request) {
       return router->Handle(request);
     };
@@ -458,6 +466,7 @@ int RunBench() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  InitLogLevelFromEnv();
   const std::string mode = argc > 1 ? argv[1] : "bench";
   if (mode == "serve") return RunServe();
   if (mode == "oneshot") {

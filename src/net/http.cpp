@@ -116,6 +116,21 @@ const std::string* HttpRequest::FindHeader(const std::string& name) const {
   return nullptr;
 }
 
+const std::string* HttpResponse::FindHeader(const std::string& name) const {
+  for (const auto& [key, value] : extra_headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+const std::string* HttpResponseParser::FindHeader(
+    const std::string& name) const {
+  for (const auto& [key, value] : headers_) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
 const char* HttpStatusReason(int status) {
   switch (status) {
     case 200:
@@ -171,10 +186,11 @@ std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
   return out;
 }
 
-std::string SerializeRequest(const std::string& method,
-                             const std::string& target,
-                             const std::string& host, const std::string& body,
-                             const std::string& content_type) {
+std::string SerializeRequest(
+    const std::string& method, const std::string& target,
+    const std::string& host, const std::string& body,
+    const std::string& content_type,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string out;
   out.reserve(body.size() + 128);
   out.append(method);
@@ -186,7 +202,14 @@ std::string SerializeRequest(const std::string& method,
   out.append(content_type);
   out.append("\r\nContent-Length: ");
   out.append(std::to_string(body.size()));
-  out.append("\r\nConnection: keep-alive\r\n\r\n");
+  out.append("\r\nConnection: keep-alive");
+  for (const auto& [name, value] : extra_headers) {
+    out.append("\r\n");
+    out.append(name);
+    out.append(": ");
+    out.append(value);
+  }
+  out.append("\r\n\r\n");
   out.append(body);
   return out;
 }
@@ -398,6 +421,7 @@ HttpResponseParser::State HttpResponseParser::Advance() {
       }
       const std::string framing_error = ApplyHeader(name, value, &info);
       if (!framing_error.empty()) return Fail(framing_error);
+      headers_.emplace_back(std::move(name), std::move(value));
     }
     if (info.saw_transfer_encoding) {
       return Fail("Transfer-Encoding responses not supported");
@@ -435,6 +459,7 @@ void HttpResponseParser::Reset() {
   phase_ = Phase::kHeaders;
   status_ = 0;
   keep_alive_ = true;
+  headers_.clear();
   body_.clear();
   error_detail_.clear();
 }

@@ -54,11 +54,19 @@ struct HttpResponse {
   /// JSON, so that is the default.
   std::string content_type = "application/json";
   /// Additional response headers beyond the framing set (`Retry-After` on
-  /// a load-shed 503, for example). Names must be valid header tokens;
-  /// `Content-Type`/`Content-Length`/`Connection` belong to the
-  /// serializer and must not appear here.
+  /// a load-shed 503, `X-Xsum-Trace` echoes, for example). Names must be
+  /// valid header tokens; `Content-Type`/`Content-Length`/`Connection`
+  /// belong to the serializer and must not appear here. On responses
+  /// *received* by `HttpClient`, this holds the parsed non-framing
+  /// header set (lower-cased names; `Content-Type` is lifted into
+  /// `content_type`, `Content-Length`/`Connection` are dropped so a
+  /// forwarded response re-serializes cleanly).
   std::vector<std::pair<std::string, std::string>> extra_headers;
   std::string body;
+
+  /// First extra-header value for \p name (exact match against the stored
+  /// form — lower-case on the client side), or nullptr.
+  const std::string* FindHeader(const std::string& name) const;
 };
 
 /// Canonical reason phrase for \p status ("OK", "Not Found", ...).
@@ -69,12 +77,16 @@ const char* HttpStatusReason(int status);
 std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
 
 /// Serializes a request in origin-form with `Host`, `Content-Length`, and
-/// `Connection: keep-alive` headers.
-std::string SerializeRequest(const std::string& method,
-                             const std::string& target,
-                             const std::string& host, const std::string& body,
-                             const std::string& content_type =
-                                 "application/json");
+/// `Connection: keep-alive` headers. \p extra_headers are appended
+/// verbatim after the framing set (e.g. `X-Xsum-Trace` propagation);
+/// names must be valid tokens and must not collide with the framing
+/// headers the serializer owns.
+std::string SerializeRequest(
+    const std::string& method, const std::string& target,
+    const std::string& host, const std::string& body,
+    const std::string& content_type = "application/json",
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {});
 
 /// \brief Parse limits — the denial-of-service budget of one connection.
 struct HttpLimits {
@@ -101,6 +113,9 @@ class HttpRequestParser {
 
   /// The parsed request; valid after `kDone`.
   const HttpRequest& request() const { return request_; }
+  /// Mutable access for the server's pre-handler decoration (it injects
+  /// internal headers like the queue-wait stamp); valid after `kDone`.
+  HttpRequest& mutable_request() { return request_; }
 
   /// HTTP status describing the rejection; valid after `kError`
   /// (400 malformed, 413 body too large, 431 headers too large,
@@ -146,6 +161,13 @@ class HttpResponseParser {
   /// Parsed status code and body; valid after `kDone`.
   int status() const { return status_; }
   const std::string& body() const { return body_; }
+  /// Response headers in arrival order; names lower-cased, values
+  /// trimmed. Valid after `kDone` (the obs layer reads trace IDs back).
+  const std::vector<std::pair<std::string, std::string>>& headers() const {
+    return headers_;
+  }
+  /// First header value for lower-case \p name, or nullptr.
+  const std::string* FindHeader(const std::string& name) const;
   /// Whether the server will keep the connection open.
   bool keep_alive() const { return keep_alive_; }
 
@@ -168,6 +190,7 @@ class HttpResponseParser {
   Phase phase_ = Phase::kHeaders;
   int status_ = 0;
   bool keep_alive_ = true;
+  std::vector<std::pair<std::string, std::string>> headers_;
   std::string body_;
   std::string error_detail_;
 };

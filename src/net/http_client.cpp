@@ -144,6 +144,19 @@ Result<HttpResponse> HttpClient::RoundTrip(const std::string& wire) {
   HttpResponse response;
   response.status = parser.status();
   response.body = parser.body();
+  // Framing headers belong to whichever serializer emits the response
+  // next: the router forwards shard answers through its own HttpServer,
+  // and re-emitting a received Content-Length/Connection would duplicate
+  // them on the wire. Content-Type is lifted into its field; everything
+  // else (trace echoes, Retry-After, ...) is preserved verbatim.
+  for (const auto& [name, value] : parser.headers()) {
+    if (name == "content-length" || name == "connection") continue;
+    if (name == "content-type") {
+      response.content_type = value;
+      continue;
+    }
+    response.extra_headers.emplace_back(name, value);
+  }
   if (!parser.keep_alive()) Disconnect();
   return response;
 }
@@ -151,12 +164,13 @@ Result<HttpResponse> HttpClient::RoundTrip(const std::string& wire) {
 Result<HttpResponse> HttpClient::Send(const std::string& method,
                                       const std::string& target,
                                       const std::string& body,
-                                      bool retry_stale) {
+                                      bool retry_stale,
+                                      const HttpHeaderList& extra_headers) {
   const bool reused = fd_ >= 0;
   XSUM_RETURN_NOT_OK(EnsureConnected());
   const std::string wire =
       SerializeRequest(method, target, host_ + ":" + std::to_string(port_),
-                       body);
+                       body, "application/json", extra_headers);
   Result<HttpResponse> result = RoundTrip(wire);
   if (!result.ok() && reused && retry_stale) {
     // The pooled connection may have been reaped by the server between
@@ -168,14 +182,16 @@ Result<HttpResponse> HttpClient::Send(const std::string& method,
   return result;
 }
 
-Result<HttpResponse> HttpClient::Get(const std::string& target) {
-  return Send("GET", target, "", /*retry_stale=*/true);
+Result<HttpResponse> HttpClient::Get(const std::string& target,
+                                     const HttpHeaderList& extra_headers) {
+  return Send("GET", target, "", /*retry_stale=*/true, extra_headers);
 }
 
 Result<HttpResponse> HttpClient::Post(const std::string& target,
                                       const std::string& body,
-                                      bool retry_stale) {
-  return Send("POST", target, body, retry_stale);
+                                      bool retry_stale,
+                                      const HttpHeaderList& extra_headers) {
+  return Send("POST", target, body, retry_stale, extra_headers);
 }
 
 Result<HttpResponse> HttpFetch(const std::string& host, uint16_t port,

@@ -12,11 +12,16 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/http.h"
 #include "util/status.h"
 
 namespace xsum::net {
+
+/// Extra request headers, appended verbatim after the framing set.
+using HttpHeaderList = std::vector<std::pair<std::string, std::string>>;
 
 /// \brief A persistent connection to one `host:port` origin.
 ///
@@ -51,8 +56,10 @@ class HttpClient {
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
 
-  /// GET \p target (origin-form, e.g. "/stats").
-  Result<HttpResponse> Get(const std::string& target);
+  /// GET \p target (origin-form, e.g. "/stats"). \p extra_headers ride
+  /// after the framing set (trace propagation).
+  Result<HttpResponse> Get(const std::string& target,
+                           const HttpHeaderList& extra_headers = {});
 
   /// POST \p body (JSON) to \p target. \p retry_stale enables the
   /// one-shot resend on a reaped pooled connection; pass false for
@@ -61,7 +68,8 @@ class HttpClient {
   /// error instead of a silent second delivery.
   Result<HttpResponse> Post(const std::string& target,
                             const std::string& body,
-                            bool retry_stale = true);
+                            bool retry_stale = true,
+                            const HttpHeaderList& extra_headers = {});
 
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
@@ -69,7 +77,8 @@ class HttpClient {
  private:
   Result<HttpResponse> Send(const std::string& method,
                             const std::string& target,
-                            const std::string& body, bool retry_stale);
+                            const std::string& body, bool retry_stale,
+                            const HttpHeaderList& extra_headers);
   /// One wire round trip on the current connection.
   Result<HttpResponse> RoundTrip(const std::string& wire);
   Status EnsureConnected();

@@ -8,10 +8,13 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
+#include <vector>
 
 #include "net/socket_io.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -25,7 +28,14 @@ HttpServer::HttpServer(Handler handler)
     : HttpServer(std::move(handler), Options()) {}
 
 HttpServer::HttpServer(Handler handler, Options options)
-    : handler_(std::move(handler)), options_(std::move(options)) {}
+    : handler_(std::move(handler)), options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    queue_wait_hist_ = options_.metrics->GetHistogram("http_queue_wait_ms");
+    handler_hist_ = options_.metrics->GetHistogram("http_handler_ms");
+    requests_counter_ = options_.metrics->GetCounter("http_requests");
+    shed_counter_ = options_.metrics->GetCounter("http_shed");
+  }
+}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -137,6 +147,7 @@ void HttpServer::Shed(int fd) {
   SendAll(fd, SerializeResponse(response, /*keep_alive=*/false));
   ::close(fd);
   requests_shed_.fetch_add(1, std::memory_order_relaxed);
+  if (shed_counter_ != nullptr) shed_counter_->Add();
 }
 
 void HttpServer::AcceptLoop() {
@@ -196,24 +207,25 @@ void HttpServer::WorkerLoop() {
       conn = pending_.front();
       pending_.pop_front();
     }
-    if (options_.queue_budget_ms > 0 && !stopping_.load()) {
-      const auto waited =
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              std::chrono::steady_clock::now() - conn.enqueued);
-      if (waited.count() > options_.queue_budget_ms) {
-        // Stale in the queue past the deadline budget: the client has
-        // probably given up; answering 503 now frees this worker for a
-        // connection that can still be served in time.
-        Shed(conn.fd);
-        continue;
-      }
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - conn.enqueued)
+            .count();
+    if (queue_wait_hist_ != nullptr) queue_wait_hist_->RecordMs(waited_ms);
+    if (options_.queue_budget_ms > 0 && !stopping_.load() &&
+        waited_ms > static_cast<double>(options_.queue_budget_ms)) {
+      // Stale in the queue past the deadline budget: the client has
+      // probably given up; answering 503 now frees this worker for a
+      // connection that can still be served in time.
+      Shed(conn.fd);
+      continue;
     }
     const int fd = conn.fd;
     {
       std::lock_guard<std::mutex> lock(open_mutex_);
       open_fds_.insert(fd);
     }
-    ServeConnection(fd);
+    ServeConnection(fd, waited_ms);
     {
       std::lock_guard<std::mutex> lock(open_mutex_);
       open_fds_.erase(fd);
@@ -222,9 +234,10 @@ void HttpServer::WorkerLoop() {
   }
 }
 
-void HttpServer::ServeConnection(int fd) {
+void HttpServer::ServeConnection(int fd, double queue_wait_ms) {
   HttpRequestParser parser(options_.limits);
   char chunk[4096];
+  bool first_request = true;
   while (!stopping_.load()) {
     // Drain whatever is already buffered (pipelined requests) before
     // touching the socket again.
@@ -242,9 +255,29 @@ void HttpServer::ServeConnection(int fd) {
       SendAll(fd, SerializeResponse(error, /*keep_alive=*/false));
       return;  // framing is unrecoverable; drop the connection
     }
-    const HttpRequest& request = parser.request();
+    HttpRequest& request = parser.mutable_request();
+    // Stamp the connection's queue wait onto its first request so the
+    // handler can record a "queue.wait" trace span. Any inbound copy of
+    // the internal header is dropped first — it is server-owned.
+    std::erase_if(request.headers, [](const auto& h) {
+      return h.first == kQueueWaitHeader;
+    });
+    if (first_request) {
+      first_request = false;
+      char wait[32];
+      std::snprintf(wait, sizeof(wait), "%.3f", queue_wait_ms);
+      request.headers.emplace_back(kQueueWaitHeader, wait);
+    }
     const bool keep_alive = request.keep_alive;
+    const auto handler_start = std::chrono::steady_clock::now();
     HttpResponse response = handler_(request);
+    if (handler_hist_ != nullptr) {
+      handler_hist_->RecordMs(std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() -
+                                  handler_start)
+                                  .count());
+    }
+    if (requests_counter_ != nullptr) requests_counter_->Add();
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     if (!SendAll(fd, SerializeResponse(response, keep_alive))) return;
     if (!keep_alive) return;

@@ -41,7 +41,19 @@
 #include "net/http.h"
 #include "util/status.h"
 
+namespace xsum::obs {
+class Counter;
+class Histogram;
+class Registry;
+}  // namespace xsum::obs
+
 namespace xsum::net {
+
+/// Internal header the server injects before invoking the handler: how
+/// long the connection waited for a worker, in milliseconds. Handlers
+/// turn it into the trace's "queue.wait" span. Never sent by clients
+/// (the server overwrites any inbound value).
+inline constexpr char kQueueWaitHeader[] = "x-xsum-queue-ms";
 
 /// \brief A minimal multi-threaded HTTP/1.1 server.
 class HttpServer {
@@ -78,6 +90,10 @@ class HttpServer {
     /// worker on a dead request while fresh ones queue behind it.
     /// 0 = never shed on queue delay.
     int queue_budget_ms = 0;
+    /// Observability registry for per-request timing (queue wait and
+    /// handler wall time histograms, request/shed counters). Must
+    /// outlive the server. nullptr disables the hooks.
+    obs::Registry* metrics = nullptr;
   };
 
   /// \p handler must outlive the server's running span.
@@ -120,12 +136,20 @@ class HttpServer {
 
   void AcceptLoop();
   void WorkerLoop();
-  void ServeConnection(int fd);
+  /// \p queue_wait_ms is how long the connection sat in the pending
+  /// queue; it is stamped onto the first request as `kQueueWaitHeader`.
+  void ServeConnection(int fd, double queue_wait_ms);
   /// Answers 503 + `Retry-After` on \p fd and closes it.
   void Shed(int fd);
 
   Handler handler_;
   Options options_;
+
+  /// Cached metric handles (null when Options::metrics is null).
+  obs::Histogram* queue_wait_hist_ = nullptr;
+  obs::Histogram* handler_hist_ = nullptr;
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -1,0 +1,169 @@
+/// \file metrics.h
+/// \brief Process-wide observability metrics: monotonic counters, gauges,
+/// and log-bucketed latency histograms with an *exact* merge.
+///
+/// The fleet (DESIGN.md §§6–7) needs latency and counter statistics that
+/// aggregate across shards. Reservoir-sampled percentiles cannot merge —
+/// two windows of 4096 samples do not compose into the percentile of the
+/// union — so every accumulator here is a sufficient statistic in the
+/// cdec `ns.h` / lamtram `eval-measure.cc` style: plain integer vectors
+/// whose `operator+=` adds element-wise. Merging the snapshots of N shard
+/// registries is therefore *bit-exact*: the bucket counts of the merged
+/// histogram equal those of a single process that observed every sample
+/// (property-tested in tests/obs/metrics_test.cpp).
+///
+/// Histogram buckets are base-2 log-spaced over integer microseconds:
+/// bucket 0 holds sub-microsecond samples, bucket i (i ≥ 1) holds
+/// [2^(i-1), 2^i) µs, and the last bucket is the +Inf overflow. All live
+/// counters are relaxed atomics — recording a latency is a handful of
+/// `fetch_add`s, cheap enough for the warm-cache serving path (gated
+/// bench_service row keeps the overhead <2%).
+///
+/// Two exposition forms, both deterministic given identical state:
+///  - Prometheus text (`PrometheusText`): sorted metric names, integer
+///    bucket counts, shortest-round-trip doubles for sums/bounds;
+///  - JSON (`ToJson`/`MetricsSnapshotFromJson`): lossless round-trip so a
+///    router can scrape shard registries over HTTP and `+=` them into a
+///    fleet-wide view.
+
+#ifndef XSUM_OBS_METRICS_H_
+#define XSUM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "net/json.h"
+#include "util/status.h"
+
+namespace xsum::obs {
+
+/// Number of log2 buckets per histogram (fixed so merges line up).
+/// Bucket kHistogramBuckets-1 is the +Inf overflow; bucket 38's upper
+/// bound of 2^38 µs ≈ 76 hours dwarfs any plausible request latency.
+inline constexpr int kHistogramBuckets = 40;
+
+/// Bucket index for a sample of \p micros microseconds.
+int HistogramBucketIndex(uint64_t micros);
+
+/// Inclusive-exclusive bounds of bucket \p index in microseconds; the
+/// last bucket's upper bound is reported as UINT64_MAX.
+uint64_t HistogramBucketLowerMicros(int index);
+uint64_t HistogramBucketUpperMicros(int index);
+
+/// \brief Plain-value histogram state: the mergeable sufficient statistic.
+///
+/// `operator+=` adds bucket counts element-wise and widens min/max, so
+/// `a += b` yields exactly the state of one histogram that saw both
+/// sample streams. All fields are integers; equality is bit-exact.
+struct HistogramSnapshot {
+  std::array<uint64_t, kHistogramBuckets> counts{};
+  uint64_t count = 0;
+  uint64_t sum_micros = 0;
+  uint64_t min_micros = UINT64_MAX;  ///< UINT64_MAX when empty.
+  uint64_t max_micros = 0;
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& rhs);
+  bool operator==(const HistogramSnapshot&) const = default;
+
+  bool empty() const { return count == 0; }
+  double MeanMs() const;
+  /// Percentile estimate in milliseconds: linear interpolation inside the
+  /// owning bucket, clamped to the observed [min, max] so a one-sample
+  /// histogram reports that sample exactly for every percentile.
+  double PercentileMs(double p) const;
+};
+
+/// \brief Monotonic counter (relaxed atomic).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Gauge: a settable signed level (relaxed atomic). Merging sums,
+/// which is the useful fleet semantic for levels like in-flight depth.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Live log-bucketed latency histogram; thread-safe, lock-free.
+class Histogram {
+ public:
+  void RecordMicros(uint64_t micros);
+  /// Records a millisecond sample (rounded to integer microseconds, the
+  /// canonical unit — integers keep merges and exposition deterministic).
+  void RecordMs(double ms);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> counts_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+  std::atomic<uint64_t> min_micros_{UINT64_MAX};
+  std::atomic<uint64_t> max_micros_{0};
+};
+
+/// \brief Value snapshot of a whole registry (or a merge of many).
+///
+/// Sorted maps make every exposition order deterministic. Metrics with
+/// the same name across snapshots merge by kind: counters and gauges
+/// add, histograms `+=` bucket-wise.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  MetricsSnapshot& operator+=(const MetricsSnapshot& rhs);
+  bool operator==(const MetricsSnapshot&) const = default;
+
+  /// Deterministic Prometheus text exposition. Metric names gain an
+  /// `xsum_` prefix; counters gain the conventional `_total` suffix;
+  /// histogram bucket bounds (`le`) are emitted in milliseconds.
+  std::string PrometheusText() const;
+  /// Lossless JSON form (integers only), `MetricsSnapshotFromJson`'s dual.
+  net::JsonValue ToJson() const;
+};
+
+/// Parses a snapshot previously produced by `MetricsSnapshot::ToJson`
+/// (e.g. scraped from a shard's /metrics.json). Strict about shape so a
+/// half-parsed scrape can never silently corrupt a fleet merge.
+Result<MetricsSnapshot> MetricsSnapshotFromJson(const net::JsonValue& value);
+
+/// \brief Named registry of live metrics for one process (or component).
+///
+/// Handles returned by the getters are stable for the registry's
+/// lifetime and safe to cache; lookups take a mutex, recording through a
+/// cached handle does not.
+class Registry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace xsum::obs
+
+#endif  // XSUM_OBS_METRICS_H_

@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace xsum::obs {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t NewTraceId() {
+  static std::atomic<uint64_t> process_salt{0};
+  thread_local uint64_t state = [] {
+    const uint64_t salt = process_salt.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t now = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return now ^ (salt << 48) ^ 0x6a09e667f3bcc909ull;
+  }();
+  uint64_t id;
+  do {
+    id = SplitMix64(&state);
+  } while (id == 0);
+  return id;
+}
+
+std::string TraceIdToHex(uint64_t id) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kHex[id & 0xf];
+    id >>= 4;
+  }
+  return out;
+}
+
+bool ParseTraceId(std::string_view text, uint64_t* id) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  if (value == 0) return false;
+  *id = value;
+  return true;
+}
+
+void Trace::AddSpan(std::string name, double start_ms, double elapsed_ms,
+                    std::string note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(Span{std::move(name), start_ms, elapsed_ms,
+                        std::move(note)});
+}
+
+std::vector<Span> Trace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+SpanTimer::SpanTimer(Trace* trace, std::string name)
+    : trace_(trace), name_(std::move(name)) {
+  if (trace_ != nullptr) start_ms_ = trace_->ElapsedMs();
+}
+
+SpanTimer::~SpanTimer() {
+  if (trace_ == nullptr) return;
+  trace_->AddSpan(std::move(name_), start_ms_, trace_->ElapsedMs() - start_ms_,
+                  std::move(note_));
+}
+
+void TraceLog::Record(const Trace& trace) {
+  Entry entry;
+  entry.id = trace.id();
+  entry.spans = trace.spans();
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+bool TraceLog::Find(uint64_t id, Entry* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Newest first: a retried ID should surface its latest record.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->id == id) {
+      *out = *it;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TraceLog::Entry> TraceLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Entry>(entries_.begin(), entries_.end());
+}
+
+net::JsonValue TraceLog::ToJson() const {
+  const std::vector<Entry> entries = Snapshot();
+  net::JsonValue root = net::JsonValue::Object();
+  net::JsonValue traces = net::JsonValue::Array();
+  for (const Entry& entry : entries) {
+    net::JsonValue trace = net::JsonValue::Object();
+    trace.Set("id", TraceIdToHex(entry.id));
+    net::JsonValue spans = net::JsonValue::Array();
+    for (const Span& span : entry.spans) {
+      net::JsonValue s = net::JsonValue::Object();
+      s.Set("name", span.name);
+      s.Set("start_ms", span.start_ms);
+      s.Set("elapsed_ms", span.elapsed_ms);
+      if (!span.note.empty()) s.Set("note", span.note);
+      spans.Append(std::move(s));
+    }
+    trace.Set("spans", std::move(spans));
+    traces.Append(std::move(trace));
+  }
+  root.Set("traces", std::move(traces));
+  return root;
+}
+
+}  // namespace xsum::obs

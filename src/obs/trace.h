@@ -1,0 +1,129 @@
+/// \file trace.h
+/// \brief Request tracing for the serving path: one trace ID per request,
+/// minted at the edge or adopted from the `X-Xsum-Trace` header, with a
+/// span appended at every hop (queue wait, cache lookup, kernel time,
+/// render, upstream wall time).
+///
+/// The contract (docs/OPERATIONS.md "Observability"):
+///  - the first process to see a request without an `X-Xsum-Trace`
+///    header mints a 64-bit ID and every response echoes it back;
+///  - the router forwards the header on every replica attempt, failover,
+///    and hedge, so all processes that touched one answer log spans
+///    under the same ID;
+///  - trace data rides *only* in headers — never in `/summarize` bodies,
+///    which stay byte-identical between routed and in-process execution
+///    (the §6 routing invariant).
+///
+/// Each process keeps a bounded ring of recently completed traces
+/// (`TraceLog`), exposed as JSON on `/traces` for fleet debugging: grep
+/// the same ID across endpoints to reconstruct a request end to end.
+
+#ifndef XSUM_OBS_TRACE_H_
+#define XSUM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/json.h"
+#include "util/timer.h"
+
+namespace xsum::obs {
+
+/// Wire header carrying the trace ID (lower-case form is what the HTTP
+/// parser hands back for incoming requests).
+inline constexpr char kTraceHeader[] = "X-Xsum-Trace";
+inline constexpr char kTraceHeaderLower[] = "x-xsum-trace";
+
+/// Returns a fresh nonzero 64-bit trace ID (thread-local SplitMix64,
+/// seeded once per thread from a process-wide counter and the steady
+/// clock — IDs need uniqueness, not unpredictability).
+uint64_t NewTraceId();
+
+/// 16-digit lower-case hex form used on the wire.
+std::string TraceIdToHex(uint64_t id);
+
+/// Parses the wire form; accepts 1..16 hex digits. Returns false (and
+/// leaves \p id untouched) on anything else, including zero.
+bool ParseTraceId(std::string_view text, uint64_t* id);
+
+/// \brief One timed step of a request on one process.
+struct Span {
+  std::string name;      ///< e.g. "cache.lookup", "attempt", "compute"
+  double start_ms = 0;   ///< offset from this process first seeing the trace
+  double elapsed_ms = 0;
+  std::string note;      ///< outcome detail, e.g. "hit", "127.0.0.1:9101 ok"
+};
+
+/// \brief Mutable per-request trace; thread-safe so hedge pool threads
+/// can append attempt spans concurrently with the caller.
+class Trace {
+ public:
+  explicit Trace(uint64_t id) : id_(id) { birth_.Start(); }
+
+  uint64_t id() const { return id_; }
+  std::string IdHex() const { return TraceIdToHex(id_); }
+  /// Milliseconds since this process first saw the trace.
+  double ElapsedMs() const { return birth_.ElapsedMillis(); }
+
+  void AddSpan(std::string name, double start_ms, double elapsed_ms,
+               std::string note = std::string());
+  std::vector<Span> spans() const;
+
+ private:
+  uint64_t id_;
+  WallTimer birth_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+};
+
+/// \brief RAII span: records [construction, destruction) into \p trace.
+/// A null trace makes every operation a no-op, so instrumented code
+/// needs no branches at call sites.
+class SpanTimer {
+ public:
+  SpanTimer(Trace* trace, std::string name);
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+  ~SpanTimer();
+
+  void set_note(std::string note) { note_ = std::move(note); }
+
+ private:
+  Trace* trace_;
+  std::string name_;
+  std::string note_;
+  double start_ms_ = 0;
+};
+
+/// \brief Bounded ring of completed traces for one endpoint.
+class TraceLog {
+ public:
+  struct Entry {
+    uint64_t id = 0;
+    std::vector<Span> spans;
+  };
+
+  explicit TraceLog(size_t capacity = 128) : capacity_(capacity) {}
+
+  /// Copies the trace's current spans into the ring (a hedged straggler
+  /// that finishes later simply misses the copy; the winner's record is
+  /// what matters).
+  void Record(const Trace& trace);
+  bool Find(uint64_t id, Entry* out) const;
+  std::vector<Entry> Snapshot() const;
+  /// `{"traces":[{"id":"…","spans":[…]}, …]}`, newest last.
+  net::JsonValue ToJson() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace xsum::obs
+
+#endif  // XSUM_OBS_TRACE_H_

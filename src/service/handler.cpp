@@ -1,9 +1,12 @@
 #include "service/handler.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <utility>
 
+#include "net/http_server.h"
+#include "obs/trace.h"
 #include "service/chain_transfer.h"
 #include "service/shard_router.h"
 #include "util/timer.h"
@@ -219,11 +222,37 @@ net::HttpResponse JsonError(int status, const std::string& message) {
 }
 
 net::HttpResponse SummaryHandler::Handle(const net::HttpRequest& request) {
+  if (!trace_enabled()) return Dispatch(request, nullptr);
+  // Adopt the caller's trace ID (the router propagates one ID across
+  // every replica attempt) or mint a fresh one at this edge.
+  uint64_t trace_id = 0;
+  if (const std::string* header =
+          request.FindHeader(obs::kTraceHeaderLower)) {
+    obs::ParseTraceId(*header, &trace_id);
+  }
+  if (trace_id == 0) trace_id = obs::NewTraceId();
+  obs::Trace trace(trace_id);
+  // The server stamps how long the connection queued for a worker; that
+  // wait happened *before* the trace was born, so anchor it at 0.
+  if (const std::string* wait = request.FindHeader(net::kQueueWaitHeader)) {
+    trace.AddSpan("queue.wait", 0.0, std::strtod(wait->c_str(), nullptr));
+  }
+  net::HttpResponse response = Dispatch(request, &trace);
+  response.extra_headers.emplace_back(obs::kTraceHeader,
+                                      obs::TraceIdToHex(trace_id));
+  // Only request traces are worth keeping; health probes and metric
+  // scrapes would churn the bounded log into noise.
+  if (request.target == "/summarize") trace_log_.Record(trace);
+  return response;
+}
+
+net::HttpResponse SummaryHandler::Dispatch(const net::HttpRequest& request,
+                                           obs::Trace* trace) {
   if (request.target == "/summarize") {
     if (request.method != "POST") {
       return JsonError(405, "/summarize requires POST");
     }
-    return HandleSummarizeBody(request.body);
+    return HandleSummarizeBody(request.body, trace);
   }
   if (request.target == "/stats") {
     if (request.method != "GET") return JsonError(405, "/stats requires GET");
@@ -265,11 +294,29 @@ net::HttpResponse SummaryHandler::Handle(const net::HttpRequest& request) {
     }
     return HandleChains(request.body);
   }
+  if (request.target == "/metrics") {
+    if (request.method != "GET") {
+      return JsonError(405, "/metrics requires GET");
+    }
+    return HandleMetrics(/*json_form=*/false);
+  }
+  if (request.target == "/metrics.json") {
+    if (request.method != "GET") {
+      return JsonError(405, "/metrics.json requires GET");
+    }
+    return HandleMetrics(/*json_form=*/true);
+  }
+  if (request.target == "/traces") {
+    if (request.method != "GET") {
+      return JsonError(405, "/traces requires GET");
+    }
+    return HandleTraces();
+  }
   return JsonError(404, "unknown endpoint: " + request.target);
 }
 
-net::HttpResponse SummaryHandler::HandleSummarizeBody(
-    const std::string& body) {
+net::HttpResponse SummaryHandler::HandleSummarizeBody(const std::string& body,
+                                                      obs::Trace* trace) {
   auto json = net::ParseJson(body);
   if (!json.ok()) {
     return JsonError(400, json.status().message());
@@ -278,10 +325,11 @@ net::HttpResponse SummaryHandler::HandleSummarizeBody(
   if (!request.ok()) {
     return JsonError(400, request.status().message());
   }
-  return Summarize(*request);
+  return Summarize(*request, trace);
 }
 
-net::HttpResponse SummaryHandler::Summarize(const SummaryRequest& request) {
+net::HttpResponse SummaryHandler::Summarize(const SummaryRequest& request,
+                                            obs::Trace* trace) {
   const core::SummaryTask* task =
       catalog_->Find(request.scenario, request.unit, request.k);
   if (task == nullptr) {
@@ -298,7 +346,7 @@ net::HttpResponse SummaryHandler::Summarize(const SummaryRequest& request) {
   uint64_t version = 0;
   const auto result =
       service_->Summarize(*task, RequestOptions(request), predecessor,
-                          &version, UnitFingerprint(request));
+                          &version, UnitFingerprint(request), trace);
   if (!result.ok()) {
     // No published snapshot is a *readiness* condition, not a server bug:
     // the process answers 503 so routers fail over instead of ejecting it
@@ -322,6 +370,24 @@ net::HttpResponse SummaryHandler::HandleStats() {
   if (extra_stats_) extra_stats_(&json);
   net::HttpResponse response;
   response.body = json.Dump();
+  return response;
+}
+
+net::HttpResponse SummaryHandler::HandleMetrics(bool json_form) {
+  const obs::MetricsSnapshot snapshot = service_->Metrics();
+  net::HttpResponse response;
+  if (json_form) {
+    response.body = snapshot.ToJson().Dump();
+  } else {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = snapshot.PrometheusText();
+  }
+  return response;
+}
+
+net::HttpResponse SummaryHandler::HandleTraces() {
+  net::HttpResponse response;
+  response.body = trace_log_.ToJson().Dump();
   return response;
 }
 

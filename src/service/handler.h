@@ -25,10 +25,19 @@
 ///   POST /undrain                                -> readiness back on
 ///   POST /chains     {chains: [...]}             -> import a drained peer's
 ///                                                   chain checkpoints
+///   GET  /metrics                                -> Prometheus text
+///                                                   exposition (obs registry)
+///   GET  /metrics.json                           -> the same snapshot in its
+///                                                   lossless JSON form (what
+///                                                   the router scrapes+merges)
+///   GET  /traces                                 -> recent request traces
 ///
 /// `/summarize` responses contain only *deterministic* fields (subgraph,
 /// terminals, anchors, version) — never timings — so two processes that
-/// computed the same task return byte-identical bodies.
+/// computed the same task return byte-identical bodies. Trace IDs
+/// therefore ride exclusively in the `X-Xsum-Trace` header: adopted from
+/// the request when present (the router propagates one ID across every
+/// attempt), minted here otherwise, echoed on every response.
 
 #ifndef XSUM_SERVICE_HANDLER_H_
 #define XSUM_SERVICE_HANDLER_H_
@@ -146,13 +155,17 @@ class SummaryHandler {
   SummaryHandler(SummaryService* service, const TaskCatalog* catalog,
                  PublishFn publish = nullptr);
 
-  /// Full endpoint dispatch (the `net::HttpServer` handler).
+  /// Full endpoint dispatch (the `net::HttpServer` handler). Adopts or
+  /// mints the request's trace ID, echoes it as an `X-Xsum-Trace`
+  /// response header, and records completed `/summarize` traces in
+  /// `trace_log()`.
   net::HttpResponse Handle(const net::HttpRequest& request);
 
   /// The `/summarize` core without HTTP envelope parsing — the entry the
   /// shard router's local fallback, the oneshot CLI, and the in-process
-  /// bench arm call directly.
-  net::HttpResponse Summarize(const SummaryRequest& request);
+  /// bench arm call directly. \p trace (optional) collects service spans.
+  net::HttpResponse Summarize(const SummaryRequest& request,
+                              obs::Trace* trace = nullptr);
 
   /// Draining: readiness reports 503 and the router stops selecting this
   /// shard, but in-flight and straggler `/summarize` requests still
@@ -166,12 +179,29 @@ class SummaryHandler {
 
   void set_extra_stats(ExtraStatsFn fn) { extra_stats_ = std::move(fn); }
 
+  /// Tracing toggle (the `XSUM_TRACE` env knob): off skips trace
+  /// allocation, spans, the response header echo, and the trace log.
+  bool trace_enabled() const {
+    return trace_enabled_.load(std::memory_order_relaxed);
+  }
+  void set_trace_enabled(bool enabled) {
+    trace_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Recent completed `/summarize` traces on this endpoint.
+  const obs::TraceLog& trace_log() const { return trace_log_; }
+
   const TaskCatalog& catalog() const { return *catalog_; }
   SummaryService* service() const { return service_; }
 
  private:
-  net::HttpResponse HandleSummarizeBody(const std::string& body);
+  net::HttpResponse Dispatch(const net::HttpRequest& request,
+                             obs::Trace* trace);
+  net::HttpResponse HandleSummarizeBody(const std::string& body,
+                                        obs::Trace* trace);
   net::HttpResponse HandleStats();
+  net::HttpResponse HandleMetrics(bool json_form);
+  net::HttpResponse HandleTraces();
   net::HttpResponse HandleHealthz();
   net::HttpResponse HandleReadyz();
   net::HttpResponse HandleSnapshot();
@@ -184,6 +214,8 @@ class SummaryHandler {
   PublishFn publish_;
   ExtraStatsFn extra_stats_;
   std::atomic<bool> draining_{false};
+  std::atomic<bool> trace_enabled_{true};
+  obs::TraceLog trace_log_;
 };
 
 /// Renders \p summary as the deterministic `/summarize` response document

@@ -10,6 +10,9 @@ SummaryService::SummaryService(GraphSnapshotRegistry* registry,
                                const ServiceOptions& options)
     : registry_(registry), options_(options), cache_(options.cache) {
   if (options_.num_workers == 0) options_.num_workers = 1;
+  latency_hist_ = metrics_.GetHistogram("service_latency_ms");
+  compute_hist_ = metrics_.GetHistogram("service_compute_ms");
+  slot_wait_hist_ = metrics_.GetHistogram("service_slot_wait_ms");
   uptime_.Start();
 }
 
@@ -53,13 +56,19 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeOn(
     ServingState& state, const core::SummaryTask& task,
     const core::SummarizerOptions& options,
     const core::SummaryChain* prev_chain,
-    std::shared_ptr<core::SummaryChain>* out_chain) {
+    std::shared_ptr<core::SummaryChain>* out_chain, obs::Trace* trace) {
   size_t worker = 0;
   {
+    obs::SpanTimer slot_span(trace, "slot.wait");
+    WallTimer slot_timer;
+    slot_timer.Start();
     std::unique_lock<std::mutex> lock(state.mutex);
     state.slot_cv.wait(lock, [&] { return !state.free_workers.empty(); });
     worker = state.free_workers.back();
     state.free_workers.pop_back();
+    if (options_.enable_metrics) {
+      slot_wait_hist_->RecordMs(slot_timer.ElapsedMillis());
+    }
   }
   // The cached checkpoint is immutable and shared; the step copies what it
   // can carry into a fresh compact chain (no retained trees — checkpoints
@@ -74,8 +83,14 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeOn(
     next_chain = std::make_shared<core::SummaryChain>();
     next_chain->closure.retain_trees = false;
   }
+  WallTimer compute_timer;
+  compute_timer.Start();
+  const double compute_start_ms =
+      trace != nullptr ? trace->ElapsedMs() : 0.0;
   Result<core::Summary> result = state.engine->RunChainedWith(
       worker, task, options, prev_chain, next_chain.get());
+  const double compute_ms = compute_timer.ElapsedMillis();
+  if (options_.enable_metrics) compute_hist_->RecordMs(compute_ms);
   {
     std::lock_guard<std::mutex> lock(state.mutex);
     state.free_workers.push_back(worker);
@@ -88,6 +103,12 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeOn(
   const bool reused = result.ok() && next_chain != nullptr &&
                       next_chain->has_state &&
                       next_chain->closure.last_reused_pairs > 0;
+  if (trace != nullptr) {
+    trace->AddSpan("compute", compute_start_ms, compute_ms,
+                   !result.ok()        ? "error"
+                   : reused            ? "incremental"
+                                       : "fresh");
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++computed_;
@@ -105,7 +126,7 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeOn(
 Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
     const core::SummaryTask& task, const core::SummarizerOptions& options,
     const core::SummaryTask* predecessor, uint64_t* served_version,
-    uint64_t route_key) {
+    uint64_t route_key, obs::Trace* trace) {
   WallTimer timer;
   timer.Start();
   in_flight_.fetch_add(1, std::memory_order_relaxed);
@@ -128,7 +149,7 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
     // predecessor hint is meaningless here.
     Result<std::shared_ptr<const core::Summary>> result =
         ComputeOn(*state, task, options, /*prev_chain=*/nullptr,
-                  /*out_chain=*/nullptr);
+                  /*out_chain=*/nullptr, trace);
     RecordLatency(timer.ElapsedMillis(), !result.ok());
     return result;
   }
@@ -137,9 +158,15 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
   key.snapshot_version = state->snapshot.version;
   FingerprintTask(task, options, &key.fp_hi, &key.fp_lo);
 
-  if (std::shared_ptr<const core::Summary> hit = cache_.Lookup(key)) {
-    RecordLatency(timer.ElapsedMillis(), /*error=*/false);
-    return hit;
+  {
+    obs::SpanTimer lookup_span(trace, "cache.lookup");
+    std::shared_ptr<const core::Summary> hit = cache_.Lookup(key);
+    if (hit != nullptr) {
+      lookup_span.set_note("hit");
+      RecordLatency(timer.ElapsedMillis(), /*error=*/false);
+      return hit;
+    }
+    lookup_span.set_note("miss");
   }
 
   // Single-flight: first miss for this key becomes the leader; concurrent
@@ -158,6 +185,7 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
     }
   }
   if (!leader) {
+    obs::SpanTimer wait_span(trace, "singleflight.wait");
     std::unique_lock<std::mutex> lock(flight->mutex);
     flight->cv.wait(lock, [&] { return flight->done; });
     {
@@ -176,15 +204,17 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
   // only cost the lookup, never change the answer.
   std::shared_ptr<const core::SummaryChain> prev_chain;
   if (predecessor != nullptr) {
+    obs::SpanTimer chain_span(trace, "chain.lookup");
     CacheKey pred_key;
     pred_key.snapshot_version = state->snapshot.version;
     FingerprintTask(*predecessor, options, &pred_key.fp_hi, &pred_key.fp_lo);
     prev_chain = cache_.LookupChain(pred_key);
+    chain_span.set_note(prev_chain != nullptr ? "reusable" : "absent");
   }
 
   std::shared_ptr<core::SummaryChain> out_chain;
   Result<std::shared_ptr<const core::Summary>> result =
-      ComputeOn(*state, task, options, prev_chain.get(), &out_chain);
+      ComputeOn(*state, task, options, prev_chain.get(), &out_chain, trace);
   if (result.ok()) {
     cache_.Insert(key, *result, std::move(out_chain), route_key);
   }
@@ -238,10 +268,11 @@ Status SummaryService::ImportChain(const CacheKey& key, uint64_t route_key,
 }
 
 void SummaryService::RecordLatency(double ms, bool error) {
+  // The histogram is lock-free; only the plain counters take the mutex.
+  if (options_.enable_metrics) latency_hist_->RecordMs(ms);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++requests_;
   if (error) ++errors_;
-  latency_ms_.Add(ms);
 }
 
 ServiceStats SummaryService::Stats() const {
@@ -265,22 +296,48 @@ ServiceStats SummaryService::Stats() const {
   stats.qps = stats.uptime_seconds > 0.0
                   ? static_cast<double>(requests_) / stats.uptime_seconds
                   : 0.0;
-  // Degenerate latency reservoirs are well-defined: no traffic yet
-  // reports 0 for mean/p50/p99, one sample reports that sample for every
-  // percentile. `StatAccumulator` already guarantees both (empty → 0,
-  // interpolation rank clamped into the window); the explicit branch
-  // states the service-level contract locally, pinned by
+  // Percentiles come from the mergeable obs histogram (PR 7), which
+  // keeps the service-level contract the old reservoir had: no traffic
+  // yet reports 0 for mean/p50/p99, one sample reports that sample for
+  // every percentile (the snapshot clamps percentile interpolation to
+  // the observed [min, max]), pinned by
   // service_test.StatsWellDefinedBeforeAndAfterFirstRequest.
-  if (latency_ms_.empty()) {
+  const obs::HistogramSnapshot latency = latency_hist_->Snapshot();
+  if (latency.empty()) {
     stats.mean_ms = 0.0;
     stats.p50_ms = 0.0;
     stats.p99_ms = 0.0;
   } else {
-    stats.mean_ms = latency_ms_.Mean();
-    stats.p50_ms = latency_ms_.Percentile(50.0);
-    stats.p99_ms = latency_ms_.Percentile(99.0);
+    stats.mean_ms = latency.MeanMs();
+    stats.p50_ms = latency.PercentileMs(50.0);
+    stats.p99_ms = latency.PercentileMs(99.0);
   }
   return stats;
+}
+
+obs::MetricsSnapshot SummaryService::Metrics() const {
+  obs::MetricsSnapshot snap = metrics_.Snapshot();
+  const ServiceStats stats = Stats();
+  // Overlay the mutex-guarded service counters and the cache counters
+  // under stable names: everything here is a monotonic count or an
+  // additive gauge, so the router's `+=` over shard snapshots is exact.
+  snap.counters["service_requests"] = stats.requests;
+  snap.counters["service_computed"] = stats.computed;
+  snap.counters["service_incremental"] = stats.incremental;
+  snap.counters["service_coalesced"] = stats.coalesced;
+  snap.counters["service_errors"] = stats.errors;
+  snap.counters["service_snapshot_swaps"] = stats.snapshot_swaps;
+  snap.counters["service_chains_imported"] = stats.chains_imported;
+  snap.counters["cache_hits"] = stats.cache.hits;
+  snap.counters["cache_misses"] = stats.cache.misses;
+  snap.counters["cache_insertions"] = stats.cache.insertions;
+  snap.counters["cache_evictions"] = stats.cache.evictions;
+  snap.gauges["service_in_flight"] = stats.in_flight;
+  snap.gauges["service_snapshot_version"] =
+      static_cast<int64_t>(stats.snapshot_version);
+  snap.gauges["cache_entries"] = static_cast<int64_t>(stats.cache.entries);
+  snap.gauges["cache_bytes"] = static_cast<int64_t>(stats.cache.bytes);
+  return snap;
 }
 
 }  // namespace xsum::service

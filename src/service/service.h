@@ -35,9 +35,10 @@
 #include <vector>
 
 #include "core/batch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/snapshot_registry.h"
 #include "service/summary_cache.h"
-#include "util/stats.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -51,6 +52,10 @@ struct ServiceOptions {
   /// Serve results from the cache (false = every request computes; the
   /// control arm of the service bench).
   bool enable_cache = true;
+  /// Record latency histograms in the obs registry (false = counters
+  /// only, no percentile data; the metrics-off control arm of the
+  /// service bench that prices the instrumentation).
+  bool enable_metrics = true;
   SummaryCache::Options cache;
 };
 
@@ -74,8 +79,10 @@ struct ServiceStats {
   double uptime_seconds = 0.0;
   double qps = 0.0;     ///< requests / uptime
   double mean_ms = 0.0; ///< mean response latency over all requests
-  /// Percentiles over the most recent latency window. Well-defined for
-  /// every reservoir size: 0 before any traffic, the single sample when
+  /// Percentiles over the full request history, read from the obs-layer
+  /// log-bucketed histogram (`service_latency_ms`) — mergeable across
+  /// shards, unlike the reservoir window they replaced. Well-defined for
+  /// every history size: 0 before any traffic, the single sample when
   /// only one request has been served.
   double p50_ms = 0.0;
   double p99_ms = 0.0;
@@ -115,10 +122,13 @@ class SummaryService {
   /// request's routing fingerprint (`UnitFingerprint`), which is what
   /// lets a later drain hand this unit's chain checkpoint to the ring
   /// inheritor. 0 = untagged.
+  /// \p trace, when non-null, receives spans for the request's cache
+  /// lookup, single-flight wait, worker-slot wait, and kernel time.
   Result<std::shared_ptr<const core::Summary>> Summarize(
       const core::SummaryTask& task, const core::SummarizerOptions& options,
       const core::SummaryTask* predecessor = nullptr,
-      uint64_t* served_version = nullptr, uint64_t route_key = 0);
+      uint64_t* served_version = nullptr, uint64_t route_key = 0,
+      obs::Trace* trace = nullptr);
 
   /// Accepts one chain checkpoint exported by a draining peer: the chain
   /// is re-anchored to *this* process's current graph snapshot (all fleet
@@ -144,6 +154,16 @@ class SummaryService {
 
   /// Current counters.
   ServiceStats Stats() const;
+
+  /// The service's live metrics registry. The serving binary hands this
+  /// to its `net::HttpServer` too, so one process exposes one registry.
+  obs::Registry* metrics_registry() { return &metrics_; }
+
+  /// Mergeable snapshot of everything this process observes: registry
+  /// histograms plus the ServiceStats counters and cache counters,
+  /// overlaid under `service_*` / `cache_*` names. The router `+=`s these
+  /// across shards into the fleet-wide `/metrics` view.
+  obs::MetricsSnapshot Metrics() const;
 
   /// Cache counters only — no latency-lock contention, for callers that
   /// poll a single number (the evaluation runner's accessors).
@@ -185,7 +205,7 @@ class SummaryService {
       ServingState& state, const core::SummaryTask& task,
       const core::SummarizerOptions& options,
       const core::SummaryChain* prev_chain,
-      std::shared_ptr<core::SummaryChain>* out_chain);
+      std::shared_ptr<core::SummaryChain>* out_chain, obs::Trace* trace);
 
   void RecordLatency(double ms, bool error);
 
@@ -200,13 +220,15 @@ class SummaryService {
   std::mutex flights_mutex_;
   std::unordered_map<CacheKey, std::shared_ptr<Flight>, CacheKeyHash> flights_;
 
-  /// Retained latency sample size: p50/p99 cover the most recent window
-  /// (bounded memory for a long-running server); requests/mean/QPS cover
-  /// the full history.
-  static constexpr size_t kLatencyWindow = 4096;
+  /// Live metrics. The latency histogram is the percentile source of
+  /// truth (PR 7): log-bucketed, constant memory, and — unlike the
+  /// reservoir window it replaced — exactly mergeable across shards.
+  obs::Registry metrics_;
+  obs::Histogram* latency_hist_;    // service_latency_ms
+  obs::Histogram* compute_hist_;    // service_compute_ms
+  obs::Histogram* slot_wait_hist_;  // service_slot_wait_ms
 
   mutable std::mutex stats_mutex_;
-  StatAccumulator latency_ms_{kLatencyWindow};
   uint64_t requests_ = 0;
   uint64_t computed_ = 0;
   uint64_t incremental_ = 0;

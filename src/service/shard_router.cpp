@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <climits>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <utility>
 
+#include "net/http_server.h"
 #include "service/chain_transfer.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -126,6 +128,8 @@ void ShardRouter::HedgePool::WorkerLoop() {
 
 ShardRouter::ShardRouter(SummaryHandler* local, Options options)
     : local_(local), options_(std::move(options)) {
+  attempt_hist_ = metrics_.GetHistogram("router_attempt_ms");
+  scrape_errors_ = metrics_.GetCounter("router_scrape_errors");
   for (const std::string& label : options_.endpoints) {
     auto parsed = ParseEndpoint(label);
     if (!parsed.ok()) {
@@ -282,9 +286,9 @@ void ShardRouter::Release(Endpoint& endpoint,
   // Beyond the pool bound the connection just closes with the client.
 }
 
-Result<net::HttpResponse> ShardRouter::Forward(size_t endpoint_index,
-                                               const std::string& target,
-                                               const std::string& body) {
+Result<net::HttpResponse> ShardRouter::Forward(
+    size_t endpoint_index, const std::string& target, const std::string& body,
+    const net::HttpHeaderList& extra_headers) {
   Endpoint& endpoint = *endpoints_[endpoint_index];
   // /snapshot is the one non-idempotent endpoint: it gets a *fresh*
   // connection (a pooled one the shard has idle-reaped would fail a
@@ -294,9 +298,10 @@ Result<net::HttpResponse> ShardRouter::Forward(size_t endpoint_index,
   std::unique_ptr<net::HttpClient> client =
       Acquire(endpoint, /*fresh=*/non_idempotent);
   Result<net::HttpResponse> result =
-      body.empty() ? client->Get(target)
+      body.empty() ? client->Get(target, extra_headers)
                    : client->Post(target, body,
-                                  /*retry_stale=*/!non_idempotent);
+                                  /*retry_stale=*/!non_idempotent,
+                                  extra_headers);
   if (result.ok()) {
     // Only healthy connections return to the pool.
     Release(endpoint, std::move(client));
@@ -305,23 +310,41 @@ Result<net::HttpResponse> ShardRouter::Forward(size_t endpoint_index,
 }
 
 Result<net::HttpResponse> ShardRouter::AttemptOnce(size_t endpoint_index,
-                                                   const std::string& body) {
+                                                   const std::string& body,
+                                                   obs::Trace* trace) {
   Endpoint& endpoint = *endpoints_[endpoint_index];
   endpoint.health.in_flight.fetch_add(1, std::memory_order_relaxed);
+  const double start_ms = trace != nullptr ? trace->ElapsedMs() : 0.0;
+  net::HttpHeaderList headers;
+  if (trace != nullptr) {
+    headers.emplace_back(obs::kTraceHeader, trace->IdHex());
+  }
   WallTimer timer;
   timer.Start();
   Result<net::HttpResponse> result =
-      Forward(endpoint_index, "/summarize", body);
+      Forward(endpoint_index, "/summarize", body, headers);
   endpoint.health.in_flight.fetch_sub(1, std::memory_order_relaxed);
+  const double ms = timer.ElapsedMillis();
+  if (trace != nullptr) {
+    trace->AddSpan("attempt", start_ms, ms,
+                   endpoint.label +
+                       (result.ok() ? " ok" : " transport-error"));
+  }
   if (result.ok()) {
-    const double ms = timer.ElapsedMillis();
+    attempt_hist_->RecordMs(ms);
     const bool reinstated = endpoint.health.RecordSuccess(ms);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     if (reinstated) ++stats_.reinstatements;
-    latency_window_.Add(ms);
   } else {
-    XSUM_LOG_WARN << "shard " << endpoint.label
-                  << " unreachable: " << result.status().ToString();
+    // Rate-limited: during a fleet outage every request to a dead shard
+    // reaches this line, and an unthrottled WARN per attempt would melt
+    // the log (and the disk) exactly when the operator needs it.
+    static LogRateLimiter warn_limiter(/*per_sec=*/10.0, /*burst=*/20.0);
+    if (warn_limiter.Allow()) {
+      XSUM_CLOG_WARN("router", trace != nullptr ? trace->id() : 0)
+          << "shard " << endpoint.label
+          << " unreachable: " << result.status().ToString();
+    }
     if (endpoint.health.RecordFailure(std::chrono::steady_clock::now())) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.ejections;
@@ -331,11 +354,8 @@ Result<net::HttpResponse> ShardRouter::AttemptOnce(size_t endpoint_index,
 }
 
 int ShardRouter::HedgeDelayMs() const {
-  double p99 = 0.0;
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    if (!latency_window_.empty()) p99 = latency_window_.Percentile(99.0);
-  }
+  const obs::HistogramSnapshot attempts = attempt_hist_->Snapshot();
+  const double p99 = attempts.empty() ? 0.0 : attempts.PercentileMs(99.0);
   const int adaptive = static_cast<int>(1.25 * p99);
   const int delay = std::max(options_.hedge_min_ms, adaptive);
   return std::min(delay, std::max(1, options_.timeout_ms / 2));
@@ -343,7 +363,8 @@ int ShardRouter::HedgeDelayMs() const {
 
 Result<net::HttpResponse> ShardRouter::HedgedAttempt(
     size_t primary, size_t secondary, const std::string& body,
-    size_t* served, int* transport_failures) {
+    const std::shared_ptr<obs::Trace>& trace, size_t* served,
+    int* transport_failures) {
   struct Round {
     std::mutex mutex;
     std::condition_variable cv;
@@ -351,10 +372,15 @@ Result<net::HttpResponse> ShardRouter::HedgedAttempt(
     Result<net::HttpResponse> result{Status::IOError("hedge: pending")};
   };
   auto round = std::make_shared<Round>();
+  // The lambda captures the trace by shared_ptr: a straggling primary
+  // may append its attempt span on the pool thread after this frame —
+  // and even after the caller logged the trace — so the Trace must not
+  // die under it (the late span is merely absent from the logged copy).
   const bool submitted =
       hedge_pool_ != nullptr &&
-      hedge_pool_->TrySubmit([this, round, primary, body] {
-        Result<net::HttpResponse> result = AttemptOnce(primary, body);
+      hedge_pool_->TrySubmit([this, round, primary, body, trace] {
+        Result<net::HttpResponse> result =
+            AttemptOnce(primary, body, trace.get());
         {
           std::lock_guard<std::mutex> lock(round->mutex);
           round->result = std::move(result);
@@ -365,7 +391,7 @@ Result<net::HttpResponse> ShardRouter::HedgedAttempt(
   if (!submitted) {
     // Pool saturated (or hedging off): plain unhedged attempt.
     *served = primary;
-    Result<net::HttpResponse> result = AttemptOnce(primary, body);
+    Result<net::HttpResponse> result = AttemptOnce(primary, body, trace.get());
     if (!result.ok()) ++*transport_failures;
     return result;
   }
@@ -382,7 +408,12 @@ Result<net::HttpResponse> ShardRouter::HedgedAttempt(
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       ++stats_.hedges;
     }
-    Result<net::HttpResponse> second = AttemptOnce(secondary, body);
+    if (trace != nullptr) {
+      trace->AddSpan("hedge.fire", trace->ElapsedMs(), 0.0,
+                     endpoints_[secondary]->label);
+    }
+    Result<net::HttpResponse> second =
+        AttemptOnce(secondary, body, trace.get());
     lock.lock();
     if (second.ok()) {
       if (!round->done) {
@@ -408,6 +439,21 @@ Result<net::HttpResponse> ShardRouter::HedgedAttempt(
 }
 
 net::HttpResponse ShardRouter::Summarize(const SummaryRequest& request) {
+  std::shared_ptr<obs::Trace> trace;
+  if (trace_enabled()) {
+    trace = std::make_shared<obs::Trace>(obs::NewTraceId());
+  }
+  net::HttpResponse response = SummarizeRouted(request, trace);
+  if (trace != nullptr) {
+    response.extra_headers.emplace_back(obs::kTraceHeader, trace->IdHex());
+    trace_log_.Record(*trace);
+  }
+  return response;
+}
+
+net::HttpResponse ShardRouter::SummarizeRouted(
+    const SummaryRequest& request,
+    const std::shared_ptr<obs::Trace>& trace) {
   const uint64_t key = UnitFingerprint(request);
   const std::string body = SummaryRequestToJson(request).Dump();
   const std::vector<size_t> order = RingOrder(key);
@@ -426,9 +472,9 @@ net::HttpResponse ShardRouter::Summarize(const SummaryRequest& request) {
     Result<net::HttpResponse> result = Status::IOError("unattempted");
     if (i == 0 && plan.size() > 1 && hedge_pool_ != nullptr &&
         endpoints_[plan[1]]->health.Selectable()) {
-      result = HedgedAttempt(e, plan[1], body, &served, &failures);
+      result = HedgedAttempt(e, plan[1], body, trace, &served, &failures);
     } else {
-      result = AttemptOnce(e, body);
+      result = AttemptOnce(e, body, trace.get());
       if (!result.ok()) ++failures;
     }
     if (result.ok()) {
@@ -449,6 +495,18 @@ net::HttpResponse ShardRouter::Summarize(const SummaryRequest& request) {
       if (moved == 0 && served != order.front()) moved = 1;
       stats_.failovers += moved;
       ++stats_.per_endpoint[served];
+      // The shard echoed the propagated trace ID; the router re-echoes
+      // at its own edge, so drop the inner copy to keep one header on
+      // the wire.
+      if (trace != nullptr) {
+        auto& headers = result->extra_headers;
+        headers.erase(
+            std::remove_if(headers.begin(), headers.end(),
+                           [](const std::pair<std::string, std::string>& h) {
+                             return h.first == obs::kTraceHeaderLower;
+                           }),
+            headers.end());
+      }
       return *std::move(result);
     }
   }
@@ -462,7 +520,8 @@ net::HttpResponse ShardRouter::Summarize(const SummaryRequest& request) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.local;
     }
-    return local_->Summarize(request);
+    obs::SpanTimer local_span(trace.get(), "local.fallback");
+    return local_->Summarize(request, trace.get());
   }
   return JsonError(502, "all shard endpoints unreachable");
 }
@@ -716,6 +775,64 @@ net::HttpResponse ShardRouter::RouterStatsResponse() {
   return response;
 }
 
+obs::MetricsSnapshot ShardRouter::FleetMetrics() {
+  obs::MetricsSnapshot merged = metrics_.Snapshot();
+  {
+    const RouterStats rs = stats();
+    merged.counters["router_routed"] += rs.routed;
+    merged.counters["router_local"] += rs.local;
+    merged.counters["router_failovers"] += rs.failovers;
+    merged.counters["router_capped"] += rs.capped;
+    merged.counters["router_hedges"] += rs.hedges;
+    merged.counters["router_hedge_wins"] += rs.hedge_wins;
+    merged.counters["router_ejections"] += rs.ejections;
+    merged.counters["router_reinstatements"] += rs.reinstatements;
+    merged.counters["router_probes"] += rs.probes;
+    merged.counters["router_drains"] += rs.drains;
+    merged.counters["router_chains_handed_off"] += rs.chains_handed_off;
+    merged.gauges["router_endpoints"] =
+        static_cast<int64_t>(endpoints_.size());
+  }
+  if (local_ != nullptr) merged += local_->service()->Metrics();
+  for (size_t e = 0; e < endpoints_.size(); ++e) {
+    auto scraped = Forward(e, "/metrics.json", "");
+    if (!scraped.ok() || scraped->status != 200) {
+      scrape_errors_->Add();
+      continue;
+    }
+    auto json = net::ParseJson(scraped->body);
+    if (!json.ok()) {
+      scrape_errors_->Add();
+      continue;
+    }
+    auto snapshot = obs::MetricsSnapshotFromJson(*json);
+    if (!snapshot.ok()) {
+      scrape_errors_->Add();
+      continue;
+    }
+    merged += *snapshot;
+  }
+  return merged;
+}
+
+net::HttpResponse ShardRouter::HandleMetrics(bool json_form) {
+  const obs::MetricsSnapshot merged = FleetMetrics();
+  net::HttpResponse response;
+  if (json_form) {
+    response.body = merged.ToJson().Dump();
+  } else {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = merged.PrometheusText();
+  }
+  return response;
+}
+
+net::HttpResponse ShardRouter::HandleTraces() {
+  net::HttpResponse response;
+  response.body = trace_log_.ToJson().Dump();
+  return response;
+}
+
 net::HttpResponse ShardRouter::Handle(const net::HttpRequest& request) {
   if (request.target == "/summarize") {
     if (request.method != "POST") {
@@ -725,7 +842,30 @@ net::HttpResponse ShardRouter::Handle(const net::HttpRequest& request) {
     if (!json.ok()) return JsonError(400, json.status().message());
     auto parsed = ParseSummaryRequest(*json);
     if (!parsed.ok()) return JsonError(400, parsed.status().message());
-    return Summarize(*parsed);
+    std::shared_ptr<obs::Trace> trace;
+    if (trace_enabled()) {
+      // Adopt the caller's ID (a router stacked above this one) or mint
+      // the fleet-wide one here.
+      uint64_t trace_id = 0;
+      if (const std::string* header =
+              request.FindHeader(obs::kTraceHeaderLower)) {
+        obs::ParseTraceId(*header, &trace_id);
+      }
+      if (trace_id == 0) trace_id = obs::NewTraceId();
+      trace = std::make_shared<obs::Trace>(trace_id);
+      if (const std::string* wait =
+              request.FindHeader(net::kQueueWaitHeader)) {
+        trace->AddSpan("queue.wait", 0.0,
+                       std::strtod(wait->c_str(), nullptr));
+      }
+    }
+    net::HttpResponse response = SummarizeRouted(*parsed, trace);
+    if (trace != nullptr) {
+      response.extra_headers.emplace_back(obs::kTraceHeader,
+                                          trace->IdHex());
+      trace_log_.Record(*trace);
+    }
+    return response;
   }
   if (request.target == "/snapshot" && request.method == "POST") {
     // Broadcast the hot swap: every shard republishes, then the local
@@ -759,6 +899,15 @@ net::HttpResponse ShardRouter::Handle(const net::HttpRequest& request) {
   if (!endpoints_.empty()) {
     if (request.target == "/stats" && request.method == "GET") {
       return RouterStatsResponse();
+    }
+    if (request.target == "/metrics" && request.method == "GET") {
+      return HandleMetrics(/*json_form=*/false);
+    }
+    if (request.target == "/metrics.json" && request.method == "GET") {
+      return HandleMetrics(/*json_form=*/true);
+    }
+    if (request.target == "/traces" && request.method == "GET") {
+      return HandleTraces();
     }
     if ((request.target == "/drain" || request.target == "/undrain") &&
         request.method == "POST" && !request.body.empty()) {

@@ -49,6 +49,17 @@
 /// shard's chain checkpoints are exported and handed to each unit's ring
 /// inheritor so the §5 incremental k-sweep reuse survives the departure.
 ///
+/// Observability. The router owns an `obs::Registry` (attempt latency
+/// histogram, scrape-failure counter) and a bounded `obs::TraceLog`. A
+/// routed request carries one trace ID end to end: adopted from the
+/// inbound `X-Xsum-Trace` header (or minted here), attached to every
+/// replica attempt, failover, and hedge as spans, and propagated to the
+/// shards as a request header so each involved endpoint's `/traces` shows
+/// the same ID. `GET /metrics` answers the *fleet* view: the router's own
+/// snapshot, the local service's (when present), and every shard's
+/// scraped `/metrics.json`, merged with the exact integer `+=` — bucket
+/// counts equal the sum of the per-shard scrapes.
+///
 /// Roles. One binary runs as a shard (no router), a router (endpoints,
 /// no local handler), or both (endpoints + local fallback) — see
 /// `examples/xsum_server.cpp`.
@@ -69,9 +80,10 @@
 
 #include "net/http.h"
 #include "net/http_client.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/endpoint_health.h"
 #include "service/handler.h"
-#include "util/stats.h"
 #include "util/status.h"
 
 namespace xsum::service {
@@ -171,11 +183,32 @@ class ShardRouter {
   /// hot swap reaches all serving processes; `/drain` and `/undrain`
   /// (with an "endpoint" body member) orchestrate graceful shard
   /// removal; `/stats` merges the router and local-service views;
-  /// everything else answers from the local handler when present.
+  /// `/metrics` and `/metrics.json` answer the fleet-merged snapshot
+  /// (`FleetMetrics`) and `/traces` this router's trace log; everything
+  /// else answers from the local handler when present.
   net::HttpResponse Handle(const net::HttpRequest& request);
 
   /// Routes one parsed summarize request (bench/driver entry).
   net::HttpResponse Summarize(const SummaryRequest& request);
+
+  /// The fleet-wide metrics view: this router's registry (with the
+  /// RouterStats counters overlaid), the local service's snapshot when a
+  /// local handler exists, and every shard's scraped `/metrics.json`,
+  /// merged exactly. A shard that fails to scrape is skipped and counted
+  /// in `router_scrape_errors`.
+  obs::MetricsSnapshot FleetMetrics();
+
+  /// Tracing toggle (the `XSUM_TRACE` env knob).
+  bool trace_enabled() const {
+    return trace_enabled_.load(std::memory_order_relaxed);
+  }
+  void set_trace_enabled(bool enabled) {
+    trace_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Recent routed-request traces (one entry per `/summarize` answered
+  /// here, spanning every attempt/hedge/failover it took).
+  const obs::TraceLog& trace_log() const { return trace_log_; }
 
   /// The endpoint index \p request routes to first (tests assert
   /// k-stickiness and placement stability on this). Pure ring placement:
@@ -248,23 +281,37 @@ class ShardRouter {
   std::unique_ptr<net::HttpClient> Acquire(Endpoint& endpoint, bool fresh);
   void Release(Endpoint& endpoint, std::unique_ptr<net::HttpClient> client);
 
-  /// One POST to one endpoint; IOError on transport failure.
-  Result<net::HttpResponse> Forward(size_t endpoint_index,
-                                    const std::string& target,
-                                    const std::string& body);
+  /// One POST (GET when \p body is empty) to one endpoint; IOError on
+  /// transport failure. \p extra_headers ride on the request (the trace
+  /// ID propagation path).
+  Result<net::HttpResponse> Forward(
+      size_t endpoint_index, const std::string& target,
+      const std::string& body,
+      const net::HttpHeaderList& extra_headers = {});
 
   /// `Forward` wrapped with health accounting: in-flight gauge, latency
-  /// EWMA + hedge window on success, circuit-breaker feed on failure.
+  /// EWMA + attempt histogram on success, circuit-breaker feed on
+  /// failure. \p trace (may be null) gets an "attempt" span and the
+  /// propagated trace header.
   Result<net::HttpResponse> AttemptOnce(size_t endpoint_index,
-                                        const std::string& body);
+                                        const std::string& body,
+                                        obs::Trace* trace);
 
   /// Primary on the hedge pool, secondary raced after the adaptive
   /// delay; first answer wins. \p served receives the endpoint whose
-  /// response is returned.
-  Result<net::HttpResponse> HedgedAttempt(size_t primary, size_t secondary,
-                                          const std::string& body,
-                                          size_t* served,
-                                          int* transport_failures);
+  /// response is returned. \p trace is shared because the pool thread may
+  /// append the straggling primary's span after this frame returned.
+  Result<net::HttpResponse> HedgedAttempt(
+      size_t primary, size_t secondary, const std::string& body,
+      const std::shared_ptr<obs::Trace>& trace, size_t* served,
+      int* transport_failures);
+
+  /// The routed `/summarize` core shared by `Handle` and `Summarize`.
+  net::HttpResponse SummarizeRouted(const SummaryRequest& request,
+                                    const std::shared_ptr<obs::Trace>& trace);
+
+  net::HttpResponse HandleMetrics(bool json_form);
+  net::HttpResponse HandleTraces();
 
   /// Current hedge delay: max(hedge_min_ms, 1.25 × windowed p99),
   /// clamped to timeout_ms / 2.
@@ -288,8 +335,16 @@ class ShardRouter {
 
   mutable std::mutex stats_mutex_;
   RouterStats stats_;
-  /// Recent successful-attempt latencies; feeds the adaptive hedge delay.
-  StatAccumulator latency_window_{512};
+
+  /// Router-side live metrics; the attempt histogram doubles as the
+  /// adaptive hedge delay's p99 source (full-history and mergeable,
+  /// unlike the reservoir window it replaced).
+  obs::Registry metrics_;
+  obs::Histogram* attempt_hist_;    // router_attempt_ms
+  obs::Counter* scrape_errors_;     // router_scrape_errors
+
+  std::atomic<bool> trace_enabled_{true};
+  obs::TraceLog trace_log_;
 
   std::mutex stop_mutex_;
   std::condition_variable stop_cv_;

@@ -131,6 +131,12 @@ const std::vector<EnvVarInfo>& EnvVarCatalog() {
        "accepted-connection queue bound; overflow sheds 503 + Retry-After"},
       {"XSUM_QUEUE_MS", "int", "250", ">= 0 (0 = off)", "xsum_server serve",
        "queue-age budget: connections that waited longer are shed unread"},
+      {"XSUM_LOG_LEVEL", "string", "warn",
+       "debug, info, warn, error, off, or 0..4",
+       "xsum_server, all benches",
+       "minimum stderr log level (util/logging structured lines)"},
+      {"XSUM_TRACE", "int", "1", "0 or 1", "xsum_server serve",
+       "per-request tracing: X-Xsum-Trace propagation, spans, /traces log"},
       {"XSUM_FAULT", "int", "0", "0 or 1", "bench_net",
        "run the fault-injection arm: kill one shard of a replicated fleet "
        "mid-stream, rejoin it, report per-phase latency"},

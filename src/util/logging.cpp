@@ -1,7 +1,11 @@
 #include "util/logging.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace xsum {
 
@@ -25,6 +29,15 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+void HexTraceId(uint64_t id, char out[17]) {
+  static const char kHex[] = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kHex[id & 0xf];
+    id >>= 4;
+  }
+  out[16] = '\0';
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -35,12 +48,77 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+void InitLogLevelFromEnv() {
+  const char* raw = std::getenv("XSUM_LOG_LEVEL");
+  if (raw == nullptr || *raw == '\0') return;
+  std::string value(raw);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "debug" || value == "0") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (value == "info" || value == "1") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (value == "warn" || value == "warning" || value == "2") {
+    SetLogLevel(LogLevel::kWarning);
+  } else if (value == "error" || value == "3") {
+    SetLogLevel(LogLevel::kError);
+  } else if (value == "off" || value == "4") {
+    SetLogLevel(LogLevel::kOff);
+  }
+  // Anything else: keep the default rather than guessing.
+}
+
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) <
       g_log_level.load(std::memory_order_relaxed)) {
     return;
   }
   std::fprintf(stderr, "[xsum %s] %s\n", LevelName(level), message.c_str());
+}
+
+void LogMessage(LogLevel level, const char* component, uint64_t trace_id,
+                const std::string& message) {
+  if (static_cast<int>(level) <
+      g_log_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const char* name = (component != nullptr && *component != '\0')
+                         ? component
+                         : "-";
+  if (trace_id != 0) {
+    char hex[17];
+    HexTraceId(trace_id, hex);
+    std::fprintf(stderr, "[xsum %s %s trace=%s] %s\n", LevelName(level), name,
+                 hex, message.c_str());
+  } else {
+    std::fprintf(stderr, "[xsum %s %s] %s\n", LevelName(level), name,
+                 message.c_str());
+  }
+}
+
+bool LogRateLimiter::Allow() {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) {
+    started_ = true;
+    last_ = now;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(now - last_).count();
+  last_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed * per_sec_);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  ++suppressed_;
+  return false;
+}
+
+uint64_t LogRateLimiter::suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_;
 }
 
 }  // namespace xsum

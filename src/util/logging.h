@@ -1,12 +1,27 @@
 /// \file logging.h
-/// \brief Minimal leveled logging for library diagnostics.
+/// \brief Minimal leveled, structured logging for library diagnostics.
 ///
-/// Logging is off by default at Debug level; benches raise verbosity via
-/// `SetLogLevel`. Messages go to stderr so bench stdout stays parseable.
+/// Lines carry an optional *component* (dotted subsystem name, e.g.
+/// "net.router") and *trace ID* (the obs-layer request trace, printed as
+/// 16 hex digits) so one request can be grepped across a fleet's stderr:
+///
+///     [xsum WARN net.router trace=00f3a9…] attempt 127.0.0.1:9101 failed
+///
+/// The default minimum level is Warning; binaries honour the
+/// `XSUM_LOG_LEVEL` env knob via `InitLogLevelFromEnv()`. Messages go to
+/// stderr so bench stdout stays parseable.
+///
+/// Hot-path call sites (per-request failure paths, accept loops) must
+/// not flood stderr under load: gate them with a `LogRateLimiter`, a
+/// token bucket that admits a bounded burst and a steady per-second
+/// rate, counting what it suppressed.
 
 #ifndef XSUM_UTIL_LOGGING_H_
 #define XSUM_UTIL_LOGGING_H_
 
+#include <chrono>
+#include <cstdint>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -27,16 +42,60 @@ void SetLogLevel(LogLevel level);
 /// Current global minimum level.
 LogLevel GetLogLevel();
 
+/// Applies `XSUM_LOG_LEVEL` (debug|info|warn|error|off, or 0–4) to the
+/// global level; unset or unparseable values leave the default alone.
+void InitLogLevelFromEnv();
+
 /// Emits \p message at \p level if enabled.
 void LogMessage(LogLevel level, const std::string& message);
+
+/// Structured form: \p component names the subsystem ("net.router");
+/// \p trace_id, when nonzero, appends `trace=<16 hex>` so one request's
+/// lines correlate across processes.
+void LogMessage(LogLevel level, const char* component, uint64_t trace_id,
+                const std::string& message);
+
+/// \brief Token-bucket gate for hot-path log sites. Thread-safe.
+///
+/// Admits up to \p burst lines instantly, refilling at \p per_sec lines
+/// per second (steady clock); everything else is counted, not printed.
+/// Declare one `static` per call site.
+class LogRateLimiter {
+ public:
+  LogRateLimiter(double per_sec, double burst)
+      : per_sec_(per_sec), burst_(burst), tokens_(burst) {}
+
+  /// True when this line may print; false increments `suppressed()`.
+  bool Allow();
+
+  /// Lines swallowed since construction (report periodically if needed).
+  uint64_t suppressed() const;
+
+ private:
+  const double per_sec_;
+  const double burst_;
+  mutable std::mutex mu_;
+  double tokens_;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point last_{};
+  uint64_t suppressed_ = 0;
+};
 
 namespace internal {
 
 /// \brief Stream-style log line; emits on destruction.
 class LogStream {
  public:
-  explicit LogStream(LogLevel level) : level_(level) {}
-  ~LogStream() { LogMessage(level_, oss_.str()); }
+  explicit LogStream(LogLevel level, const char* component = nullptr,
+                     uint64_t trace_id = 0)
+      : level_(level), component_(component), trace_id_(trace_id) {}
+  ~LogStream() {
+    if (component_ != nullptr || trace_id_ != 0) {
+      LogMessage(level_, component_, trace_id_, oss_.str());
+    } else {
+      LogMessage(level_, oss_.str());
+    }
+  }
 
   LogStream(const LogStream&) = delete;
   LogStream& operator=(const LogStream&) = delete;
@@ -49,6 +108,8 @@ class LogStream {
 
  private:
   LogLevel level_;
+  const char* component_;
+  uint64_t trace_id_;
   std::ostringstream oss_;
 };
 
@@ -58,6 +119,18 @@ class LogStream {
 #define XSUM_LOG_INFO ::xsum::internal::LogStream(::xsum::LogLevel::kInfo)
 #define XSUM_LOG_WARN ::xsum::internal::LogStream(::xsum::LogLevel::kWarning)
 #define XSUM_LOG_ERROR ::xsum::internal::LogStream(::xsum::LogLevel::kError)
+
+/// Structured variants: `XSUM_CLOG_WARN("net.router", trace_id) << …`.
+/// Pass 0 for trace_id on lines not tied to a request.
+#define XSUM_CLOG_DEBUG(component, trace_id) \
+  ::xsum::internal::LogStream(::xsum::LogLevel::kDebug, (component), (trace_id))
+#define XSUM_CLOG_INFO(component, trace_id) \
+  ::xsum::internal::LogStream(::xsum::LogLevel::kInfo, (component), (trace_id))
+#define XSUM_CLOG_WARN(component, trace_id)                         \
+  ::xsum::internal::LogStream(::xsum::LogLevel::kWarning, (component), \
+                              (trace_id))
+#define XSUM_CLOG_ERROR(component, trace_id) \
+  ::xsum::internal::LogStream(::xsum::LogLevel::kError, (component), (trace_id))
 
 }  // namespace xsum
 

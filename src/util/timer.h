@@ -1,6 +1,14 @@
 /// \file timer.h
-/// \brief Wall-clock timing utilities used by the performance metrics
-/// (paper §V-B-8, Figures 9-11).
+/// \brief Elapsed-time utilities used by the performance metrics
+/// (paper §V-B-8, Figures 9-11) and the observability layer.
+///
+/// Every latency measurement in the tree goes through `WallTimer`, which
+/// is pinned to `std::chrono::steady_clock` — monotonic, immune to NTP
+/// steps and wall-clock adjustments. This is a hard requirement for the
+/// obs layer: trace spans and histogram samples must never go negative
+/// or jump because the host's civil time moved. Audited PR 7: no
+/// `system_clock`/`gettimeofday`/`time()` calls exist in any timing
+/// path; new code must measure via this file, not raw clocks.
 
 #ifndef XSUM_UTIL_TIMER_H_
 #define XSUM_UTIL_TIMER_H_

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -18,6 +19,9 @@
 #include "eval/runner.h"
 #include "net/http_client.h"
 #include "net/http_server.h"
+#include "net/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/handler.h"
 #include "service/snapshot_registry.h"
 
@@ -582,6 +586,272 @@ TEST_F(RouterTest, DrainHandsChainsToTheInheritorAndKeepsReusealive) {
   // Undrain restores the endpoint to rotation.
   EXPECT_EQ(router.UndrainEndpoint(shard_a->endpoint()).status, 200);
   EXPECT_FALSE(shard_a->handler->draining());
+
+  shard_a->server->Stop();
+  shard_b->server->Stop();
+}
+
+/// Builds the POST /summarize wire request for \p unit at \p k, carrying
+/// \p trace_id in the propagation header (lower-cased name, as the server
+/// parser stores it).
+net::HttpRequest SummarizeWireRequest(uint32_t unit, int k,
+                                      uint64_t trace_id) {
+  net::HttpRequest request;
+  request.method = "POST";
+  request.target = "/summarize";
+  request.body =
+      R"({"user":)" + std::to_string(unit) + R"(,"k":)" + std::to_string(k) + "}";
+  request.headers.emplace_back(obs::kTraceHeaderLower,
+                               obs::TraceIdToHex(trace_id));
+  return request;
+}
+
+/// The echoed trace header of \p response, or 0.
+uint64_t EchoedTraceId(const net::HttpResponse& response) {
+  uint64_t id = 0;
+  const std::string* echoed = response.FindHeader(obs::kTraceHeader);
+  if (echoed != nullptr) obs::ParseTraceId(*echoed, &id);
+  return id;
+}
+
+TEST_F(RouterTest, RoutedRequestCarriesOneTraceIdEndToEnd) {
+  auto shard_a = StartShard();
+  auto shard_b = StartShard();
+  ShardRouter::Options options;
+  options.endpoints = {shard_a->endpoint(), shard_b->endpoint()};
+  options.hedge = false;
+  options.health_probes = false;
+  ShardRouter router(nullptr, options);
+
+  SummaryRequest probe;
+  probe.unit = catalog_->entries().front().unit;
+  probe.k = 1;
+  const size_t home = router.EndpointFor(probe);
+  const uint64_t trace_id = 0xD0C05ULL;
+
+  const net::HttpResponse response =
+      router.Handle(SummarizeWireRequest(probe.unit, probe.k, trace_id));
+  ASSERT_EQ(response.status, 200) << response.body;
+  // The edge adopts the caller's ID, never re-mints.
+  EXPECT_EQ(EchoedTraceId(response), trace_id);
+  // The body stays byte-identical to an untraced request: IDs ride only
+  // in headers.
+  EXPECT_EQ(response.body, router.Summarize(probe).body);
+
+  obs::TraceLog::Entry entry;
+  ASSERT_TRUE(router.trace_log().Find(trace_id, &entry));
+  bool saw_ok_attempt = false;
+  for (const obs::Span& span : entry.spans) {
+    if (span.name == "attempt" &&
+        span.note.find(" ok") != std::string::npos) {
+      saw_ok_attempt = true;
+    }
+  }
+  EXPECT_TRUE(saw_ok_attempt) << "router trace lost the attempt span";
+  // The *same* ID reached the shard that served the request: one trace
+  // per request across the whole fleet, not one per hop.
+  Shard* served = home == 0 ? shard_a.get() : shard_b.get();
+  Shard* idle = home == 0 ? shard_b.get() : shard_a.get();
+  EXPECT_TRUE(served->handler->trace_log().Find(trace_id, &entry));
+  EXPECT_FALSE(entry.spans.empty());
+  EXPECT_FALSE(idle->handler->trace_log().Find(trace_id, &entry));
+
+  shard_a->server->Stop();
+  shard_b->server->Stop();
+}
+
+TEST_F(RouterTest, FailedOverRequestKeepsItsSingleTraceId) {
+  auto shard_a = StartShard();
+  auto shard_b = StartShard();
+  ShardRouter::Options options;
+  options.endpoints = {shard_a->endpoint(), shard_b->endpoint()};
+  options.timeout_ms = 1000;
+  options.hedge = false;
+  options.health_probes = false;
+  ShardRouter router(nullptr, options);
+
+  // A request homed on A, with A dead: the failover attempt on B must
+  // carry the original trace ID, and the router trace must show both the
+  // failed and the successful hop.
+  SummaryRequest on_a;
+  bool found = false;
+  for (const auto& entry : catalog_->entries()) {
+    on_a.unit = entry.unit;
+    on_a.k = entry.k;
+    if (router.EndpointFor(on_a) == 0) {
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  shard_a->server->Stop();
+
+  const uint64_t trace_id = 0xFA110FFULL;
+  const net::HttpResponse response =
+      router.Handle(SummarizeWireRequest(on_a.unit, on_a.k, trace_id));
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_EQ(EchoedTraceId(response), trace_id);
+
+  obs::TraceLog::Entry entry;
+  ASSERT_TRUE(router.trace_log().Find(trace_id, &entry));
+  bool saw_failure = false;
+  bool saw_ok = false;
+  for (const obs::Span& span : entry.spans) {
+    if (span.name != "attempt") continue;
+    if (span.note.find("transport-error") != std::string::npos) {
+      saw_failure = true;
+    }
+    if (span.note.find(" ok") != std::string::npos) saw_ok = true;
+  }
+  EXPECT_TRUE(saw_failure) << "failed hop missing from the trace";
+  EXPECT_TRUE(saw_ok) << "surviving hop missing from the trace";
+  EXPECT_TRUE(shard_b->handler->trace_log().Find(trace_id, &entry))
+      << "the failover shard saw a different (or no) trace ID";
+
+  shard_b->server->Stop();
+}
+
+/// A shard whose /summarize can be slowed after startup — the hedge
+/// trigger, without faking transport failures.
+struct DelayedShard {
+  std::unique_ptr<SummaryService> service;
+  std::unique_ptr<SummaryHandler> handler;
+  std::unique_ptr<net::HttpServer> server;
+  std::shared_ptr<std::atomic<int>> delay_ms =
+      std::make_shared<std::atomic<int>>(0);
+
+  std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(server->port());
+  }
+};
+
+std::unique_ptr<DelayedShard> StartDelayedShard(
+    GraphSnapshotRegistry* registry, TaskCatalog* catalog) {
+  auto shard = std::make_unique<DelayedShard>();
+  shard->service = std::make_unique<SummaryService>(registry);
+  shard->handler =
+      std::make_unique<SummaryHandler>(shard->service.get(), catalog);
+  net::HttpServer::Options options;
+  options.num_workers = 2;
+  SummaryHandler* handler = shard->handler.get();
+  auto delay = shard->delay_ms;
+  shard->server = std::make_unique<net::HttpServer>(
+      [handler, delay](const net::HttpRequest& request) {
+        const int ms = delay->load();
+        if (ms > 0 && request.target == "/summarize") {
+          std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        }
+        return handler->Handle(request);
+      },
+      options);
+  EXPECT_TRUE(shard->server->Start().ok());
+  return shard;
+}
+
+TEST_F(RouterTest, HedgedRequestPropagatesOneTraceIdToBothReplicas) {
+  auto shard_a = StartDelayedShard(registry_, catalog_);
+  auto shard_b = StartDelayedShard(registry_, catalog_);
+  ShardRouter::Options options;
+  options.endpoints = {shard_a->endpoint(), shard_b->endpoint()};
+  options.hedge = true;
+  options.hedge_min_ms = 1;  // fire almost immediately
+  options.health_probes = false;
+  ShardRouter router(nullptr, options);
+
+  SummaryRequest request;
+  request.unit = catalog_->entries().front().unit;
+  request.k = 1;
+  const size_t primary = router.EndpointFor(request);
+  DelayedShard* slow = primary == 0 ? shard_a.get() : shard_b.get();
+  DelayedShard* fast = primary == 0 ? shard_b.get() : shard_a.get();
+  slow->delay_ms->store(300);
+
+  const uint64_t trace_id = 0x4ED6EULL;
+  const net::HttpResponse response =
+      router.Handle(SummarizeWireRequest(request.unit, request.k, trace_id));
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_EQ(EchoedTraceId(response), trace_id);
+  EXPECT_GE(router.stats().hedges, 1u) << "hedge never fired";
+
+  obs::TraceLog::Entry entry;
+  ASSERT_TRUE(router.trace_log().Find(trace_id, &entry));
+  bool saw_hedge_fire = false;
+  for (const obs::Span& span : entry.spans) {
+    if (span.name == "hedge.fire") saw_hedge_fire = true;
+  }
+  EXPECT_TRUE(saw_hedge_fire);
+  // The hedge replica answered under the caller's ID immediately; the
+  // straggling primary lands the same ID once its sleep expires. One
+  // trace ID on every involved endpoint — the acceptance property.
+  EXPECT_TRUE(fast->handler->trace_log().Find(trace_id, &entry));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!slow->handler->trace_log().Find(trace_id, &entry) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(slow->handler->trace_log().Find(trace_id, &entry))
+      << "the hedged-over primary never saw the shared trace ID";
+
+  shard_a->server->Stop();
+  shard_b->server->Stop();
+}
+
+/// The fleet-view acceptance property: the router's merged snapshot
+/// equals the sum of what the shards themselves expose — exactly, bucket
+/// by bucket, because the histograms are mergeable sufficient stats
+/// rather than sampled reservoirs.
+TEST_F(RouterTest, FleetMetricsEqualsSumOfShardScrapesExactly) {
+  auto shard_a = StartShard();
+  auto shard_b = StartShard();
+  ShardRouter::Options options;
+  options.endpoints = {shard_a->endpoint(), shard_b->endpoint()};
+  options.hedge = false;
+  options.health_probes = false;
+  ShardRouter router(nullptr, options);
+
+  size_t sent = 0;
+  for (const SummaryRequest& request : IdentitySweep()) {
+    ASSERT_EQ(router.Summarize(request).status, 200);
+    if (++sent >= 40) break;
+  }
+
+  const obs::MetricsSnapshot fleet = router.FleetMetrics();
+
+  obs::MetricsSnapshot summed;
+  for (const Shard* shard : {shard_a.get(), shard_b.get()}) {
+    const auto scrape = net::HttpFetch("127.0.0.1", shard->server->port(),
+                                       "GET", "/metrics.json");
+    ASSERT_TRUE(scrape.ok()) << scrape.status();
+    ASSERT_EQ(scrape->status, 200);
+    const auto json = net::ParseJson(scrape->body);
+    ASSERT_TRUE(json.ok()) << json.status().ToString();
+    const auto snapshot = obs::MetricsSnapshotFromJson(*json);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    summed += *snapshot;
+  }
+
+  // service_* and cache_* metrics move only on /summarize, so the two
+  // scrape passes observe identical values: equality is exact, not
+  // approximate.
+  EXPECT_EQ(fleet.counters.at("service_requests"),
+            summed.counters.at("service_requests"));
+  EXPECT_EQ(summed.counters.at("service_requests"), sent)
+      << "no local fallback ran, so routed == served";
+  EXPECT_EQ(fleet.counters.at("service_computed"),
+            summed.counters.at("service_computed"));
+  EXPECT_EQ(fleet.counters.at("cache_hits"), summed.counters.at("cache_hits"));
+  // Bit-exact histogram merge: every bucket, count, sum, min, max.
+  EXPECT_EQ(fleet.histograms.at("service_latency_ms"),
+            summed.histograms.at("service_latency_ms"));
+  EXPECT_EQ(fleet.histograms.at("service_compute_ms"),
+            summed.histograms.at("service_compute_ms"));
+  EXPECT_EQ(fleet.histograms.at("service_latency_ms").count, sent);
+  // Router-side accounting rides the same merged snapshot.
+  EXPECT_EQ(fleet.counters.at("router_routed"), sent);
+  EXPECT_EQ(fleet.counters.at("router_scrape_errors"), 0u);
+  EXPECT_EQ(fleet.gauges.at("router_endpoints"), 2);
+  EXPECT_EQ(fleet.histograms.at("router_attempt_ms").count, sent);
 
   shard_a->server->Stop();
   shard_b->server->Stop();

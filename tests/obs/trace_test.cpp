@@ -1,0 +1,133 @@
+/// Tests for request tracing (src/obs/trace.h): ID mint/parse/format,
+/// concurrent span appends (the hedge-pool shape), the SpanTimer RAII
+/// null-safety contract, and the bounded TraceLog ring with its JSON
+/// exposition.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "net/json.h"
+
+namespace xsum::obs {
+namespace {
+
+TEST(TraceIdTest, MintedIdsAreNonzeroAndDistinct) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = NewTraceId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate trace id";
+  }
+}
+
+TEST(TraceIdTest, HexRoundTrip) {
+  const std::vector<uint64_t> ids = {1, 0xDEADBEEF, UINT64_MAX,
+                                     0x00F3A90000000001ull};
+  for (uint64_t id : ids) {
+    const std::string hex = TraceIdToHex(id);
+    EXPECT_EQ(hex.size(), 16u);
+    uint64_t parsed = 0;
+    ASSERT_TRUE(ParseTraceId(hex, &parsed)) << hex;
+    EXPECT_EQ(parsed, id);
+  }
+}
+
+TEST(TraceIdTest, ParseRejectsGarbageAndZero) {
+  uint64_t id = 42;
+  EXPECT_FALSE(ParseTraceId("", &id));
+  EXPECT_FALSE(ParseTraceId("0", &id));            // zero is not a trace
+  EXPECT_FALSE(ParseTraceId("0000000000000000", &id));
+  EXPECT_FALSE(ParseTraceId("xyz", &id));
+  EXPECT_FALSE(ParseTraceId("12345678901234567", &id));  // 17 digits
+  EXPECT_FALSE(ParseTraceId("12 34", &id));
+  EXPECT_EQ(id, 42u) << "failed parse must leave the output untouched";
+  EXPECT_TRUE(ParseTraceId("a", &id));  // short forms are fine
+  EXPECT_EQ(id, 0xAu);
+}
+
+TEST(TraceTest, ConcurrentAppendsAllLand) {
+  // The hedge pool appends the straggling primary's span from another
+  // thread while the caller appends its own — no span may be lost.
+  Trace trace(NewTraceId());
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        trace.AddSpan("attempt", 0.0, 1.0, std::to_string(t));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(trace.spans().size(),
+            static_cast<size_t>(kThreads * kSpansPerThread));
+}
+
+TEST(SpanTimerTest, RecordsOnDestructionAndNullTraceIsNoop) {
+  Trace trace(NewTraceId());
+  {
+    SpanTimer span(&trace, "cache.lookup");
+    span.set_note("hit");
+  }
+  const std::vector<Span> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "cache.lookup");
+  EXPECT_EQ(spans[0].note, "hit");
+  EXPECT_GE(spans[0].elapsed_ms, 0.0);
+  {
+    SpanTimer null_span(nullptr, "compute");
+    null_span.set_note("must not crash");
+  }
+}
+
+TEST(TraceLogTest, FindAndRingBound) {
+  TraceLog log(/*capacity=*/4);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    Trace trace(NewTraceId());
+    trace.AddSpan("compute", 0.0, static_cast<double>(i));
+    log.Record(trace);
+    ids.push_back(trace.id());
+  }
+  EXPECT_EQ(log.Snapshot().size(), 4u);
+  TraceLog::Entry entry;
+  EXPECT_FALSE(log.Find(ids[0], &entry)) << "oldest must be evicted";
+  EXPECT_FALSE(log.Find(ids[1], &entry));
+  for (int i = 2; i < 6; ++i) {
+    ASSERT_TRUE(log.Find(ids[i], &entry)) << i;
+    EXPECT_EQ(entry.id, ids[i]);
+    ASSERT_EQ(entry.spans.size(), 1u);
+    EXPECT_DOUBLE_EQ(entry.spans[0].elapsed_ms, static_cast<double>(i));
+  }
+}
+
+TEST(TraceLogTest, ToJsonCarriesIdsAndSpans) {
+  TraceLog log;
+  Trace trace(0xABCDEF0123456789ull);
+  trace.AddSpan("queue.wait", 0.0, 1.5);
+  trace.AddSpan("attempt", 1.5, 10.0, "127.0.0.1:9101 ok");
+  log.Record(trace);
+  const net::JsonValue json = log.ToJson();
+  const net::JsonValue* traces = json.Find("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_TRUE(traces->is_array());
+  ASSERT_EQ(traces->items().size(), 1u);
+  const net::JsonValue& entry = traces->items()[0];
+  ASSERT_NE(entry.Find("id"), nullptr);
+  EXPECT_EQ(entry.Find("id")->AsString(), "abcdef0123456789");
+  const net::JsonValue* spans = entry.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->items().size(), 2u);
+  EXPECT_EQ(spans->items()[1].Find("name")->AsString(), "attempt");
+  EXPECT_EQ(spans->items()[1].Find("note")->AsString(), "127.0.0.1:9101 ok");
+}
+
+}  // namespace
+}  // namespace xsum::obs
