@@ -5,6 +5,7 @@
 #include "graph/centrality.h"
 #include "graph/dijkstra.h"
 #include "graph/search_workspace.h"
+#include "util/env.h"
 #include "util/string_util.h"
 
 namespace xsum::core {
@@ -19,6 +20,41 @@ using graph::KnowledgeGraph;
 using graph::NodeId;
 using graph::SearchWorkspace;
 using graph::Subgraph;
+
+/// Operator override for the kAuto frontier choice (read once per process):
+/// XSUM_FRONTIER = auto | heap | bucket | delta. Anything else (including
+/// unset) leaves kAuto to its heuristic. Forced `PcstOptions::frontier`
+/// settings are honored verbatim and never consult this.
+PcstOptions::Frontier FrontierFromEnv() {
+  static const PcstOptions::Frontier cached = [] {
+    const std::string v = GetEnvString("XSUM_FRONTIER", "auto");
+    if (v == "heap") return PcstOptions::Frontier::kHeap;
+    if (v == "bucket") return PcstOptions::Frontier::kBucket;
+    if (v == "delta") return PcstOptions::Frontier::kDelta;
+    return PcstOptions::Frontier::kAuto;
+  }();
+  return cached;
+}
+
+/// Minimum frontier volume (settled nodes, ≈ n on terminal-rich growths)
+/// below which a bucket frontier's reset/compact/sort machinery does not
+/// amortize against raw heap sifts. Calibrated on the
+/// `BM_PcstGrowthFrontier` sweep (bench_micro_core): at XSUM_SCALE 0.08
+/// (n≈3k) the bucket frontier loses ~15-30%, at scale 0.5 (n≈21k) it ties,
+/// and it only wins beyond — so kAuto keeps the heap until the expected
+/// volume clears the tie point.
+constexpr size_t kAutoBucketMinVolume = 20000;
+
+/// Dial-bucket occupancy bound: past ~128 expected settles per fixed
+/// bucket (volume / 512 buckets) the per-pop compact+sort dominates and
+/// the calibrated-width delta frontier (bucket count ≈ volume, capped)
+/// wins.
+constexpr size_t kAutoDeltaMinVolume = 65536;
+
+/// Expected settled nodes per terminal component before the growth
+/// connects them — caps the volume estimate so terminal-poor queries on
+/// big graphs (which stop early) keep the heap.
+constexpr size_t kAutoVolumePerTerminal = 4096;
 
 }  // namespace
 
@@ -158,11 +194,31 @@ Result<PcstResult> PcstSummary(const CostView& costs,
     }
   };
 
-  bool use_bucket = options.frontier == PcstOptions::Frontier::kBucket;
-  if (options.frontier == PcstOptions::Frontier::kAuto) {
-    use_bucket = options.growth_slack > 0.0 && costs.has_bounded_costs();
+  PcstOptions::Frontier choice = options.frontier;
+  if (choice == PcstOptions::Frontier::kAuto) {
+    choice = FrontierFromEnv();
   }
-  if (use_bucket) {
+  if (choice == PcstOptions::Frontier::kAuto) {
+    // Safety/bit-compatibility first: tied keys (slack 0) or an unbounded
+    // cost range admit only the heap. Then size: the expected frontier
+    // volume — the whole graph, capped per terminal component for queries
+    // that connect early — must clear the calibrated amortization
+    // thresholds (see the constants above).
+    if (options.growth_slack <= 0.0 || !costs.has_bounded_costs()) {
+      choice = PcstOptions::Frontier::kHeap;
+    } else {
+      const size_t volume =
+          std::min(n, seeds.size() * kAutoVolumePerTerminal);
+      if (volume < kAutoBucketMinVolume) {
+        choice = PcstOptions::Frontier::kHeap;
+      } else if (volume < kAutoDeltaMinVolume) {
+        choice = PcstOptions::Frontier::kBucket;
+      } else {
+        choice = PcstOptions::Frontier::kDelta;
+      }
+    }
+  }
+  if (choice != PcstOptions::Frontier::kHeap) {
     // Key range: cost ∈ [min, max], prize ∈ [pmin, pmax] over the nodes the
     // frontier can hold (non-terminals; terminals settle before any scan),
     // jitter ∈ [0, slack). The bounds only size the buckets — out-of-range
@@ -175,10 +231,20 @@ Result<PcstResult> PcstSummary(const CostView& costs,
       pmin = 0.5 * *cmin;
       pmax = 0.5 * *cmax;
     }
-    graph::BucketFrontier& frontier = ws.bucket_frontier();
-    frontier.Reset(n, costs.min_cost() - pmax,
-                   costs.max_cost() - pmin + std::max(options.growth_slack, 0.0));
-    grow(frontier);
+    const double key_lo = costs.min_cost() - pmax;
+    const double key_hi =
+        costs.max_cost() - pmin + std::max(options.growth_slack, 0.0);
+    if (choice == PcstOptions::Frontier::kDelta) {
+      graph::DeltaSteppingFrontier& frontier = ws.delta_frontier();
+      frontier.Reset(n, key_lo, key_hi,
+                     graph::DeltaSteppingFrontier::CalibrateDelta(
+                         key_lo, key_hi, n));
+      grow(frontier);
+    } else {
+      graph::BucketFrontier& frontier = ws.bucket_frontier();
+      frontier.Reset(n, key_lo, key_hi);
+      grow(frontier);
+    }
   } else {
     grow(ws.heap());
   }

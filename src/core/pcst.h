@@ -74,16 +74,25 @@ struct PcstOptions {
 
   /// Which priority queue drives the growth. The growth keys are *static*
   /// per frontier node (edge cost − prize + slack), so when the cost view
-  /// reports a bounded range a Dial-style bucket frontier answers
-  /// push/decrease in O(1) instead of heap sifts. `kAuto` selects the
-  /// bucket frontier exactly when that is safe *and* bit-compatible:
-  /// bounded cost range and tie-free keys (`growth_slack > 0` — the
-  /// per-edge hash makes every key distinct, so the exact-min bucket pops
-  /// provably reproduce the heap's pop sequence; see DESIGN.md §4). With
-  /// slack 0 every key collapses to the same value and ordering is pure
-  /// tie-breaking, which the indexed heap's layout defines — kAuto keeps
-  /// the heap there. The forced settings exist for benches and tests.
-  enum class Frontier : uint8_t { kAuto = 0, kHeap = 1, kBucket = 2 };
+  /// reports a bounded range a bucket frontier answers push/decrease in
+  /// O(1) instead of heap sifts: `kBucket` is the fixed-512-bucket Dial
+  /// array, `kDelta` the calibrated-width delta-stepping variant for wide
+  /// weighted ranges. Both pop the exact global minimum, so on tie-free
+  /// keys (`growth_slack > 0` — the per-edge hash makes every key
+  /// distinct) their pop sequence provably reproduces the heap's
+  /// bit-for-bit (DESIGN.md §4, §8). With slack 0 every key collapses to
+  /// the same value and ordering is pure tie-breaking, which the indexed
+  /// heap's layout defines — only the heap is bit-compatible there.
+  ///
+  /// `kAuto` picks per query: heap on tied or unbounded keys (safety),
+  /// heap below the calibrated graph-size threshold where a bucket
+  /// frontier's reset/sort machinery does not amortize, then bucket for
+  /// narrow ranges and delta for wide ones. The `XSUM_FRONTIER` env var
+  /// (auto | heap | bucket | delta) overrides the kAuto choice — forced
+  /// frontiers in code take precedence; safety fallbacks to the heap
+  /// still apply. The forced settings exist for benches and tests.
+  enum class Frontier : uint8_t { kAuto = 0, kHeap = 1, kBucket = 2,
+                                  kDelta = 3 };
   Frontier frontier = Frontier::kAuto;
 };
 

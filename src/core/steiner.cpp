@@ -471,7 +471,161 @@ std::optional<Result<SteinerResult>> SteinerPrologue(
 }
 
 
+/// One wave chunk's merged query plan: deduplicated sources with unioned
+/// target sets, plus the source → query-index map tasks read rows through.
+struct WavePlan {
+  std::vector<NodeId> sources;
+  std::vector<std::vector<NodeId>> targets;  // parallel to sources
+  std::unordered_map<NodeId, size_t> query_of;
+
+  size_t AddRow(NodeId source, std::span<const NodeId> row_targets) {
+    auto [it, inserted] = query_of.try_emplace(source, sources.size());
+    if (inserted) {
+      sources.push_back(source);
+      targets.emplace_back();
+    }
+    auto& t = targets[it->second];
+    t.insert(t.end(), row_targets.begin(), row_targets.end());
+    return it->second;
+  }
+
+  void Finish() {
+    for (std::vector<NodeId>& t : targets) {
+      std::sort(t.begin(), t.end());
+      t.erase(std::unique(t.begin(), t.end()), t.end());
+    }
+  }
+};
+
+/// Runs one chunk of wave tasks: builds the merged queries, one
+/// `MultiQueryDijkstra`, then per task the standard KMB phases reading
+/// closure rows and expansion paths out of the lanes. The accounting terms
+/// are copied from `SteinerKmb` verbatim so `workspace_bytes` stays
+/// bit-identical to the from-scratch path (the service's cached-vs-fresh
+/// verification compares it).
+void RunWaveChunk(const CostView& costs,
+                  const std::vector<std::vector<NodeId>>& uniques,
+                  std::span<const size_t> chunk, const SteinerOptions& options,
+                  SearchWorkspace& ws, graph::MultiQueryWorkspace& mq,
+                  std::vector<Result<SteinerResult>>* results) {
+  WavePlan plan;
+  for (const size_t task : chunk) {
+    const std::vector<NodeId>& terminals = uniques[task];
+    for (size_t i = 0; i + 1 < terminals.size(); ++i) {
+      plan.AddRow(terminals[i],
+                  std::span<const NodeId>(terminals).subspan(i + 1));
+    }
+  }
+  plan.Finish();
+  std::vector<graph::MultiQuery> queries(plan.sources.size());
+  for (size_t q = 0; q < plan.sources.size(); ++q) {
+    queries[q].source = plan.sources[q];
+    queries[q].targets = plan.targets[q];
+  }
+  graph::MultiQueryDijkstra(costs, queries, mq);
+
+  // Per task: read the closure matrix and expansion paths from the lanes.
+  // A task's row facts are exactly what its own early-exiting row search
+  // would leave: the merged query's pop sequence is the same, run longer,
+  // and every node on a stored i→j path settles before j does — so the
+  // distances and parent chains below are bit-identical to `SteinerKmb`'s.
+  std::vector<double> closure;
+  std::vector<EdgeId> path_arena;
+  for (const size_t task : chunk) {
+    const std::vector<NodeId>& terminals = uniques[task];
+    const size_t t = terminals.size();
+    SteinerResult result;
+    closure.assign(t * t, graph::kInfDistance);
+    path_arena.clear();
+    auto pair_index = [t](size_t i, size_t j) {
+      return i * t - i * (i + 1) / 2 + (j - i - 1);
+    };
+    const size_t num_pairs = t * (t - 1) / 2;
+    std::vector<std::pair<uint32_t, uint32_t>> pair_span(num_pairs, {0, 0});
+    for (size_t i = 0; i + 1 < t; ++i) {
+      const size_t q = plan.query_of.at(terminals[i]);
+      for (size_t j = i + 1; j < t; ++j) {
+        const double d = mq.dist(q, terminals[j]);
+        closure[i * t + j] = d;
+        closure[j * t + i] = d;
+        if (d < graph::kInfDistance) {
+          const uint32_t begin = static_cast<uint32_t>(path_arena.size());
+          AppendLanePathEdges(mq, q, terminals[j], &path_arena);
+          pair_span[pair_index(i, j)] = {
+              begin, static_cast<uint32_t>(path_arena.size())};
+        }
+      }
+    }
+    result.workspace_bytes += closure.size() * sizeof(double);
+    result.workspace_bytes += path_arena.size() * sizeof(EdgeId) +
+                              pair_span.size() * sizeof(pair_span[0]);
+
+    KmbFinish(costs, terminals, options, ws, closure,
+              [&](size_t i, size_t j) {
+                const auto [begin, end] = pair_span[pair_index(i, j)];
+                return std::pair(path_arena.data() + begin,
+                                 path_arena.data() + end);
+              },
+              &result);
+    (*results)[task] = std::move(result);
+  }
+}
+
 }  // namespace
+
+std::vector<Result<SteinerResult>> SteinerTreeWave(
+    const CostView& costs,
+    const std::vector<std::vector<NodeId>>& terminal_sets,
+    const SteinerOptions& options, graph::SearchWorkspace* workspace,
+    graph::MultiQueryWorkspace* multi_query) {
+  std::vector<Result<SteinerResult>> results(
+      terminal_sets.size(),
+      Result<SteinerResult>(Status::Internal("wave task not run")));
+  SearchWorkspace local_ws;
+  SearchWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
+  graph::MultiQueryWorkspace local_mq;
+  graph::MultiQueryWorkspace& mq =
+      multi_query != nullptr ? *multi_query : local_mq;
+
+  // Prologue per task; tasks answered early (errors, ≤1 terminal) never
+  // enter a wave. Mehlhorn tasks run plain — nothing to share.
+  std::vector<std::vector<NodeId>> uniques(terminal_sets.size());
+  std::vector<size_t> pending;
+  for (size_t i = 0; i < terminal_sets.size(); ++i) {
+    if (options.variant == SteinerOptions::Variant::kMehlhorn) {
+      results[i] = SteinerTree(costs, terminal_sets[i], options, &ws);
+      continue;
+    }
+    if (auto early = SteinerPrologue(costs, terminal_sets[i], &uniques[i])) {
+      results[i] = *std::move(early);
+      continue;
+    }
+    pending.push_back(i);
+  }
+
+  // Chunk so one kernel call's lane state stays bounded: the merged query
+  // count is capped (a lone oversized task still runs whole — the kernel
+  // handles any width; the cap only bounds *additional* tasks per chunk).
+  constexpr size_t kMaxWaveWidth = 64;
+  size_t begin = 0;
+  while (begin < pending.size()) {
+    size_t end = begin;
+    size_t width = 0;
+    while (end < pending.size()) {
+      // Upper bound on the new sources this task adds (dedup can only
+      // shrink it); cheap and stable, which keeps chunking deterministic.
+      const size_t added = uniques[pending[end]].size() - 1;
+      if (end > begin && width + added > kMaxWaveWidth) break;
+      width += added;
+      ++end;
+    }
+    RunWaveChunk(costs, uniques,
+                 std::span<const size_t>(pending).subspan(begin, end - begin),
+                 options, ws, mq, &results);
+    begin = end;
+  }
+  return results;
+}
 
 Result<SteinerResult> SteinerTree(const CostView& costs,
                                   const std::vector<NodeId>& terminals,

@@ -1,0 +1,120 @@
+#include "graph/multi_query.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace xsum::graph {
+
+void MultiQueryWorkspace::Begin(size_t n, size_t width) {
+  const size_t lanes = n * width;
+  if (lane_state_.size() < lanes) {
+    lane_state_.resize(lanes, LaneState{0.0, 0, 0});
+    lane_parent_.resize(lanes);
+    lane_mark_.resize(lanes, 0);
+  }
+  if (heaps_.size() < width) heaps_.resize(width);
+  targets_remaining_.assign(width, 0);
+  active_.assign(width, 0);
+  nodes_ = n;
+  width_ = width;
+  if (epoch_ == std::numeric_limits<uint32_t>::max()) {
+    // Stamp wraparound: clear every lane so stale stamps from epochs long
+    // past cannot alias the restarted epoch (same idiom as BumpEpoch).
+    for (LaneState& s : lane_state_) s.stamp = 0;
+    std::fill(lane_mark_.begin(), lane_mark_.end(), 0u);
+    epoch_ = 1;
+  } else {
+    ++epoch_;
+  }
+  for (size_t q = 0; q < width; ++q) heaps_[q].Reset(n);
+}
+
+size_t MultiQueryWorkspace::MemoryFootprintBytes() const {
+  size_t bytes = lane_state_.capacity() * sizeof(LaneState) +
+                 lane_parent_.capacity() * sizeof(ParentLink) +
+                 lane_mark_.capacity() * sizeof(uint32_t) +
+                 targets_remaining_.capacity() * sizeof(size_t) +
+                 active_.capacity() * sizeof(uint8_t);
+  for (const IndexedMinHeap& heap : heaps_) {
+    bytes += heap.MemoryFootprintBytes();
+  }
+  return bytes;
+}
+
+void MultiQueryDijkstra(const CostView& costs,
+                        std::span<const MultiQuery> queries,
+                        MultiQueryWorkspace& ws) {
+  assert(costs.valid());
+  assert(costs.min_cost() >= 0.0 && "Dijkstra requires non-negative costs");
+  const size_t n = costs.graph().num_nodes();
+  const size_t width = queries.size();
+  ws.Begin(n, width);
+  if (width == 0) return;
+
+  std::vector<size_t>& targets_remaining = ws.targets_remaining();
+  std::vector<uint8_t>& active = ws.active();
+
+  // Per-query initialization — the exact prologue of `DijkstraInto`: mark
+  // targets (deduplicated via the mark lane), seed the source at distance 0.
+  for (size_t q = 0; q < width; ++q) {
+    const MultiQuery& query = queries[q];
+    for (const NodeId t : query.targets) {
+      if (ws.Mark(q, t)) ++targets_remaining[q];
+    }
+    ws.Relax(q, query.source, 0.0, kInvalidNode, kInvalidEdge);
+    ws.heap(q).PushOrDecrease(query.source, 0.0);
+    active[q] = 1;
+  }
+
+  // Lockstep rounds: one settle per live query per round. Each lane's
+  // pop/relax sequence is exactly the sequential kernel's — queries share
+  // no mutable state, so the round-robin interleaving cannot perturb a
+  // lane, only decide which query's CSR row is scanned next.
+  size_t live = width;
+  while (live > 0) {
+    for (size_t q = 0; q < width; ++q) {
+      if (!active[q]) continue;
+      IndexedMinHeap& heap = ws.heap(q);
+      if (heap.Empty()) {
+        active[q] = 0;
+        --live;
+        continue;
+      }
+      const NodeId u = heap.PopMin();
+      ws.SetSettled(q, u);
+
+      if (targets_remaining[q] > 0 && ws.marked(q, u)) {
+        ws.Unmark(q, u);
+        if (--targets_remaining[q] == 0) {
+          active[q] = 0;
+          --live;
+          continue;
+        }
+      }
+
+      const double du = ws.dist(q, u);
+      for (const CostSlot& s : costs.Neighbors(u)) {
+        const double nd = du + s.cost;
+        // No settled check: the strict compare rejects settled neighbors,
+        // exactly as in the single-query loop.
+        if (nd < ws.dist(q, s.neighbor)) {
+          ws.Relax(q, s.neighbor, nd, u, s.edge);
+          heap.PushOrDecrease(s.neighbor, nd);
+        }
+      }
+    }
+  }
+}
+
+void AppendLanePathEdges(const MultiQueryWorkspace& ws, size_t q,
+                         NodeId target, std::vector<EdgeId>* out) {
+  if (target >= ws.capacity_nodes() || !ws.reached(q, target)) return;
+  NodeId v = target;
+  while (ws.parent_edge(q, v) != kInvalidEdge) {
+    out->push_back(ws.parent_edge(q, v));
+    v = ws.parent_node(q, v);
+  }
+}
+
+}  // namespace xsum::graph

@@ -1,0 +1,200 @@
+/// \file multi_query.h
+/// \brief Cross-request search batching: `MultiQueryDijkstra` runs B
+/// independent single-source searches in lockstep over one interleaved
+/// `CostView`, with per-query distance/parent lanes in a reusable
+/// `MultiQueryWorkspace` (DESIGN.md §8).
+///
+/// The serving fleet funnels Zipf traffic into per-request single-source
+/// searches over the *same* immutable CSR: the dominant cost of a
+/// cache-miss burst is redundant memory traffic over one shared adjacency
+/// structure. This kernel amortizes it two ways:
+///
+///  - **Lockstep edge-scan sharing.** Queries advance round-robin, one
+///    settle per live query per round. Concurrent searches over one graph
+///    explore overlapping (Zipf-hot) regions at nearby times, so a CSR row
+///    pulled into cache by one query is typically still resident when a
+///    sibling scans it — B queries pay ~1 memory sweep instead of B.
+///  - **SoA lane layout.** Per-node search state is stored lane-major:
+///    node v's B lane records are contiguous (`lane[v*B + q]`), so the B
+///    16-byte distance records of one node span ⌈B/4⌉ cache lines and
+///    SIMD-width groups of queries touching the same neighbor share line
+///    fills. The layout mirrors `SearchWorkspace`'s one-record-per-node
+///    discipline, widened by a query axis.
+///
+/// **Bit-identity.** Lane q's state transitions are *exactly* those of
+/// `DijkstraInto(costs, queries[q].source, queries[q].targets, ws)`: each
+/// query owns a private `IndexedMinHeap`, pops in the same order, relaxes
+/// under the same strict compare, and early-exits on the same settled-
+/// target count. Queries share no mutable state, so the interleaving
+/// cannot affect any lane — distances, parents, and settle flags of every
+/// lane equal the sequential kernel's bit-for-bit (property-tested in
+/// tests/graph/multi_query_test.cpp). That is the invariant that lets the
+/// batch engine substitute a wave for per-task searches without perturbing
+/// a single rendered summary byte.
+///
+/// Callers that batch across *tasks* (core::BatchSummarizer waves)
+/// additionally deduplicate sources before building the query list: two
+/// tasks searching from the same terminal merge into one query whose
+/// target set is the union — settled-node facts are independent of how
+/// long a search runs (the settled-prefix lemma of DESIGN.md §5), so the
+/// merged query serves both tasks' rows bit-identically. That dedup, not
+/// the lockstep, is the dominant win on repeated-terminal traffic.
+
+#ifndef XSUM_GRAPH_MULTI_QUERY_H_
+#define XSUM_GRAPH_MULTI_QUERY_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/cost_view.h"
+#include "graph/search_workspace.h"
+#include "graph/types.h"
+
+namespace xsum::graph {
+
+/// \brief One search of a wave: a source and the targets whose settled
+/// distances/paths the caller needs (empty = full sweep, no early exit).
+struct MultiQuery {
+  NodeId source = kInvalidNode;
+  std::span<const NodeId> targets;
+};
+
+/// \brief Reusable lane state for `MultiQueryDijkstra`: per-(node, query)
+/// distance/parent/mark lanes plus one private `IndexedMinHeap` per query,
+/// epoch-stamped like `SearchWorkspace` so `Begin` is O(B) regardless of
+/// how many lanes earlier waves dirtied.
+///
+/// Lane-major layout: the record of (node v, query q) lives at index
+/// `v * width + q`, where `width` is the wave width passed to `Begin`.
+/// Not thread-safe; one workspace per worker, reused across waves.
+class MultiQueryWorkspace {
+ public:
+  /// Begins a new wave of \p width queries over node ids [0, n):
+  /// invalidates all lanes (epoch bump) and resets the first \p width
+  /// heaps. Capacity grows monotonically and is never returned.
+  void Begin(size_t n, size_t width);
+
+  size_t width() const { return width_; }
+  size_t capacity_nodes() const { return nodes_; }
+
+  // --- lane accessors (mirror SearchWorkspace's, plus a query axis) ------
+
+  bool reached(size_t q, NodeId v) const {
+    return lane_state_[Lane(q, v)].stamp == epoch_;
+  }
+  double dist(size_t q, NodeId v) const {
+    const LaneState& s = lane_state_[Lane(q, v)];
+    return s.stamp == epoch_ ? s.dist : kUnreachedDistance;
+  }
+  NodeId parent_node(size_t q, NodeId v) const {
+    return reached(q, v) ? lane_parent_[Lane(q, v)].node : kInvalidNode;
+  }
+  EdgeId parent_edge(size_t q, NodeId v) const {
+    return reached(q, v) ? lane_parent_[Lane(q, v)].edge : kInvalidEdge;
+  }
+  bool settled(size_t q, NodeId v) const {
+    const LaneState& s = lane_state_[Lane(q, v)];
+    return s.stamp == epoch_ && s.settled != 0;
+  }
+
+  /// Records an improved path to \p v in lane \p q (same contract as
+  /// `SearchWorkspace::Relax`: never called on a settled lane entry).
+  void Relax(size_t q, NodeId v, double d, NodeId parent, EdgeId via) {
+    lane_state_[Lane(q, v)] = LaneState{d, epoch_, 0};
+    lane_parent_[Lane(q, v)] = ParentLink{parent, via};
+  }
+  void SetSettled(size_t q, NodeId v) {
+    LaneState& s = lane_state_[Lane(q, v)];
+    if (s.stamp != epoch_) {
+      // Settling an unreached lane entry: a valid record with an
+      // unreached distance (mirrors `SearchWorkspace::SetSettled`).
+      s.dist = kUnreachedDistance;
+      s.stamp = epoch_;
+    }
+    s.settled = 1;
+  }
+
+  // --- per-query target marks (independent stamp lane, like the
+  //     workspace's mark set) ---------------------------------------------
+
+  bool marked(size_t q, NodeId v) const {
+    return lane_mark_[Lane(q, v)] == epoch_;
+  }
+  /// Marks (q, v); returns true iff it was not already marked.
+  bool Mark(size_t q, NodeId v) {
+    uint32_t& stamp = lane_mark_[Lane(q, v)];
+    if (stamp == epoch_) return false;
+    stamp = epoch_;
+    return true;
+  }
+  void Unmark(size_t q, NodeId v) { lane_mark_[Lane(q, v)] = epoch_ - 1; }
+
+  /// Query q's private frontier heap.
+  IndexedMinHeap& heap(size_t q) { return heaps_[q]; }
+
+  /// Per-query scratch counters sized to the wave width by `Begin`.
+  std::vector<size_t>& targets_remaining() { return targets_remaining_; }
+  std::vector<uint8_t>& active() { return active_; }
+
+  /// Resident bytes of all retained lanes and heaps.
+  size_t MemoryFootprintBytes() const;
+
+  /// Deterministic footprint of a workspace sized exactly for (\p n nodes,
+  /// \p width queries): the lane arrays plus \p width per-node heaps.
+  static size_t RequiredBytes(size_t n, size_t width) {
+    return n * width *
+               (sizeof(LaneState) + sizeof(ParentLink) + sizeof(uint32_t)) +
+           width * n *
+               (sizeof(double) + sizeof(NodeId) + 2 * sizeof(uint32_t));
+  }
+
+ private:
+  struct LaneState {
+    double dist;
+    uint32_t stamp;
+    uint32_t settled;
+  };
+  struct ParentLink {
+    NodeId node;
+    EdgeId edge;
+  };
+
+  size_t Lane(size_t q, NodeId v) const {
+    assert(q < width_ && v < nodes_);
+    return static_cast<size_t>(v) * width_ + q;
+  }
+
+  std::vector<LaneState> lane_state_;
+  std::vector<ParentLink> lane_parent_;
+  std::vector<uint32_t> lane_mark_;
+  std::vector<IndexedMinHeap> heaps_;
+  std::vector<size_t> targets_remaining_;
+  std::vector<uint8_t> active_;
+  size_t nodes_ = 0;
+  size_t width_ = 0;
+  uint32_t epoch_ = 0;
+};
+
+/// \brief Runs all \p queries over \p costs in lockstep; on return lane q
+/// holds exactly the state `DijkstraInto(costs, queries[q].source,
+/// queries[q].targets, <fresh workspace>)` would leave behind. A query
+/// with targets early-exits once all its targets settle; an empty target
+/// span sweeps the source's component. B = queries.size() may be any
+/// value ≥ 0 (B = 1 degenerates to the sequential kernel; the caller
+/// chunks very wide waves to bound the O(|V|·B) lane memory).
+void MultiQueryDijkstra(const CostView& costs,
+                        std::span<const MultiQuery> queries,
+                        MultiQueryWorkspace& ws);
+
+/// `AppendPathEdges` over lane \p q: pushes the parent-edge chain of
+/// \p target (nearest-to-target first), stopping at the source. Identical
+/// output to the single-query helper on the matching search.
+void AppendLanePathEdges(const MultiQueryWorkspace& ws, size_t q,
+                         NodeId target, std::vector<EdgeId>* out);
+
+}  // namespace xsum::graph
+
+#endif  // XSUM_GRAPH_MULTI_QUERY_H_

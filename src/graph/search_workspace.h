@@ -23,6 +23,9 @@
 ///  - a Dial-style bounded-range bucket frontier (`BucketFrontier`,
 ///    self-resetting; selected by the PCST growth when its `CostView`
 ///    reports a bounded cost range — DESIGN.md §4)
+///  - a calibrated-width delta-stepping frontier (`DeltaSteppingFrontier`,
+///    self-resetting; selected for wide weighted key ranges where the
+///    fixed 512-bucket Dial array degenerates — DESIGN.md §8)
 ///  - an epoch-stamped union-find (`EpochUnionFind`, self-resetting)
 ///  - unstamped scratch vectors callers clear themselves
 ///
@@ -200,6 +203,85 @@ class BucketFrontier {
   uint32_t epoch_ = 0;
 };
 
+/// \brief Calibrated-width bucket frontier for weight-aware key regimes —
+/// the Meyer–Sanders delta-stepping bucket structure with exact-min pops.
+///
+/// `BucketFrontier` maps the key range onto a *fixed* 512-bucket array,
+/// which works when the range is a couple of cost units (the unit-cost
+/// PCST regimes) but degrades on wide weighted ranges: hundreds of frontier
+/// nodes collapse into one bucket and every pop re-sorts it. This frontier
+/// instead takes an explicit bucket width Δ (classically: the light-edge
+/// threshold) and sizes the bucket array to ⌈range/Δ⌉, so per-bucket
+/// occupancy stays O(1) regardless of the range — push/decrease stay O(1)
+/// appends and pops scan a handful of entries.
+///
+/// Unlike textbook delta-stepping, pops are *exact*: the globally smallest
+/// key wins every pop (ties: smaller node id), identical to
+/// `BucketFrontier` and — on tie-free keys — to `IndexedMinHeap`. True
+/// bucket-at-a-time relaxation would reorder settles within a bucket and
+/// perturb parent choices, breaking the bit-identity contract every
+/// summary path is gated on (DESIGN.md §8); the calibrated width already
+/// recovers the O(1) bucket operations that motivate delta-stepping.
+///
+/// Same contract as the other frontiers: each node pops at most once per
+/// `Reset`; stale entries (popped nodes, superseded keys) are skipped
+/// lazily.
+class DeltaSteppingFrontier {
+ public:
+  /// Prepares the frontier for ids in [0, n), keys in [\p lo, \p hi], and
+  /// bucket width \p delta (> 0; non-positive or non-finite collapses to a
+  /// single bucket). Bucket count is clamped to `kMaxBuckets`.
+  void Reset(size_t n, double lo, double hi, double delta);
+
+  bool Empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  size_t num_buckets() const { return num_buckets_; }
+
+  /// Inserts \p v with \p key, or lowers its key if already queued with a
+  /// larger one. Returns true iff the frontier changed.
+  bool PushOrDecrease(NodeId v, double key);
+
+  /// Removes and returns the node with the smallest key (ties: smallest
+  /// node id); requires `!Empty()`.
+  NodeId PopMin();
+
+  /// Width that targets ~1 expected settle per bucket: range divided by
+  /// the expected number of settles, clamped so the bucket count stays in
+  /// [1, kMaxBuckets]. The width only affects how many entries one pop
+  /// scans, never which node pops.
+  static double CalibrateDelta(double lo, double hi, size_t expected_settles);
+
+  size_t MemoryFootprintBytes() const;
+
+ private:
+  /// Upper bound on the bucket array (64 KiB of bucket headers): past this
+  /// the per-bucket occupancy target is abandoned in favor of bounded
+  /// reset cost.
+  static constexpr size_t kMaxBuckets = size_t{1} << 14;
+
+  struct Entry {
+    double key;
+    NodeId node;
+  };
+  struct NodeState {
+    double key;
+    uint32_t stamp;
+    uint32_t popped;
+  };
+
+  size_t BucketOf(double key) const;
+
+  std::vector<std::vector<Entry>> buckets_;
+  std::vector<uint32_t> sorted_;      // per-bucket compacted+sorted watermark
+  std::vector<uint64_t> occupied_;    // one bit per non-empty bucket
+  std::vector<NodeState> node_state_;
+  double lo_ = 0.0;
+  double bucket_scale_ = 0.0;  // buckets per key unit (1/Δ)
+  size_t num_buckets_ = 0;
+  size_t size_ = 0;
+  uint32_t epoch_ = 0;
+};
+
 /// \brief Epoch-stamped disjoint-set forest over dense node ids.
 ///
 /// Replaces the seed's `unordered_map`-backed sparse union-find in the PCST
@@ -332,6 +414,9 @@ class SearchWorkspace {
   /// Self-resetting: call `bucket_frontier().Reset(n, lo, hi)` before each
   /// use (the key range is query-specific, so `Begin` cannot reset it).
   BucketFrontier& bucket_frontier() { return bucket_frontier_; }
+  /// Self-resetting: call `delta_frontier().Reset(n, lo, hi, delta)` before
+  /// each use.
+  DeltaSteppingFrontier& delta_frontier() { return delta_frontier_; }
   /// Self-resetting: call `union_find().Reset(n)` before each use.
   EpochUnionFind& union_find() { return union_find_; }
 
@@ -380,6 +465,7 @@ class SearchWorkspace {
 
   IndexedMinHeap heap_;
   BucketFrontier bucket_frontier_;
+  DeltaSteppingFrontier delta_frontier_;
   EpochUnionFind union_find_;
 
   std::vector<NodeId> node_scratch_;

@@ -52,26 +52,33 @@ double HistogramSnapshot::MeanMs() const {
 
 double HistogramSnapshot::PercentileMs(double p) const {
   if (count == 0) return 0.0;
-  double rank = (p / 100.0) * static_cast<double>(count);
-  rank = std::clamp(rank, 1.0, static_cast<double>(count));
+  const double rank =
+      std::clamp(p / 100.0, 0.0, 1.0) * static_cast<double>(count);
   uint64_t cumulative = 0;
   for (int i = 0; i < kHistogramBuckets; ++i) {
     if (counts[i] == 0) continue;
-    const uint64_t before = cumulative;
     cumulative += counts[i];
     if (static_cast<double>(cumulative) + 1e-9 < rank) continue;
-    const double lower = static_cast<double>(HistogramBucketLowerMicros(i));
-    // The overflow bucket has no finite upper bound; the observed max is
-    // the tightest one available.
-    const double upper = (i >= kHistogramBuckets - 1)
-                             ? static_cast<double>(max_micros)
-                             : static_cast<double>(HistogramBucketUpperMicros(i));
-    const double frac =
-        (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
-    double micros = lower + frac * (upper - lower);
-    micros = std::clamp(micros, static_cast<double>(min_micros),
-                        static_cast<double>(max_micros));
-    return micros / 1000.0;
+    // Report the stopping bucket's upper bound, tightened by the observed
+    // max (which also bounds the overflow bucket, whose bucket upper is
+    // +inf). This is a deliberately *conservative* quantile estimate:
+    // within-bucket interpolation (what this used to do, refined by the
+    // snapshot's global [min, max]) can make a fleet-merged p99 drop
+    // below the p99 of every shard it merged — a shard whose snapshot
+    // collapses to a point (min == max) reports its sample exactly,
+    // while the merged histogram only sees a bucket count and would
+    // interpolate below it, silently under-reporting the fleet tail.
+    // With the bucket-upper rule the merged stopping bucket can never
+    // sit below the lowest shard's stopping bucket (bucket-level CDFs
+    // add under `+=`), and inside a shared bucket the merged max is >=
+    // every shard max, so merged percentiles never under-report a shard
+    // (metrics_test.MergedPercentileNeverBelowAnyShard). Cost: estimates
+    // are upper bounds at log2-bucket resolution (< 2x), biased the safe
+    // direction for alerting. Single-sample snapshots stay exact
+    // (min == max collapses the bound to the sample).
+    return static_cast<double>(
+               std::min(HistogramBucketUpperMicros(i), max_micros)) /
+           1000.0;
   }
   return static_cast<double>(max_micros) / 1000.0;
 }

@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <chrono>
 #include <utility>
 
 #include "core/incremental.h"
@@ -13,6 +14,7 @@ SummaryService::SummaryService(GraphSnapshotRegistry* registry,
   latency_hist_ = metrics_.GetHistogram("service_latency_ms");
   compute_hist_ = metrics_.GetHistogram("service_compute_ms");
   slot_wait_hist_ = metrics_.GetHistogram("service_slot_wait_ms");
+  batch_occupancy_hist_ = metrics_.GetHistogram("service_batch_occupancy");
   uptime_.Start();
 }
 
@@ -123,6 +125,82 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeOn(
       std::make_shared<core::Summary>(std::move(*result)));
 }
 
+Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeWaveOn(
+    ServingState& state, const core::SummaryTask& task,
+    std::vector<BatchGroup::Member> members,
+    const core::SummarizerOptions& options, obs::Trace* trace) {
+  size_t worker = 0;
+  {
+    obs::SpanTimer slot_span(trace, "slot.wait");
+    WallTimer slot_timer;
+    slot_timer.Start();
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.slot_cv.wait(lock, [&] { return !state.free_workers.empty(); });
+    worker = state.free_workers.back();
+    state.free_workers.pop_back();
+    if (options_.enable_metrics) {
+      slot_wait_hist_->RecordMs(slot_timer.ElapsedMillis());
+    }
+  }
+  // Leader first; the wave answers result[i] for tasks[i], so the order
+  // only fixes which lane each request rides — every result is
+  // bit-identical to its own solo compute regardless.
+  std::vector<const core::SummaryTask*> tasks;
+  tasks.reserve(members.size() + 1);
+  tasks.push_back(&task);
+  for (const BatchGroup::Member& m : members) tasks.push_back(m.task);
+  WallTimer compute_timer;
+  compute_timer.Start();
+  const double compute_start_ms = trace != nullptr ? trace->ElapsedMs() : 0.0;
+  std::vector<Result<core::Summary>> results =
+      state.engine->RunWaveWith(worker, tasks, options);
+  const double compute_ms = compute_timer.ElapsedMillis();
+  if (options_.enable_metrics) compute_hist_->RecordMs(compute_ms);
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.free_workers.push_back(worker);
+  }
+  state.slot_cv.notify_one();
+  if (trace != nullptr) {
+    trace->AddSpan("compute", compute_start_ms, compute_ms, "wave");
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    computed_ += tasks.size();
+    ++batch_waves_;
+    batch_requests_ += tasks.size();
+  }
+  // Publish every member's result exactly as its own leader path would
+  // have: cache insert (chain-free — waves record no checkpoints), flight
+  // completion, single-flight deregistration. Members wake from their
+  // `batch.wait` and record their own latency; their flight followers
+  // wake with them.
+  for (size_t i = 0; i < members.size(); ++i) {
+    BatchGroup::Member& m = members[i];
+    Result<core::Summary>& r = results[i + 1];
+    std::shared_ptr<const core::Summary> shared;
+    if (r.ok()) {
+      shared = std::make_shared<core::Summary>(std::move(*r));
+      cache_.Insert(m.key, shared, /*chain=*/nullptr, m.route_key);
+    }
+    {
+      std::lock_guard<std::mutex> lock(m.flight->mutex);
+      m.flight->done = true;
+      m.flight->status = r.status();
+      m.flight->summary = shared;
+    }
+    {
+      std::lock_guard<std::mutex> lock(flights_mutex_);
+      flights_.erase(m.key);
+    }
+    m.flight->cv.notify_all();
+  }
+  Result<core::Summary>& own = results[0];
+  if (!own.ok()) return own.status();
+  return std::shared_ptr<const core::Summary>(
+      std::make_shared<core::Summary>(std::move(*own)));
+}
+
 Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
     const core::SummaryTask& task, const core::SummarizerOptions& options,
     const core::SummaryTask* predecessor, uint64_t* served_version,
@@ -212,9 +290,99 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
     chain_span.set_note(prev_chain != nullptr ? "reusable" : "absent");
   }
 
+  // Micro-batching window (DESIGN.md §8): wave-eligible leaders — KMB
+  // Steiner misses with no usable chain predecessor — rendezvous with
+  // concurrent eligible misses on the same (snapshot, options) and are
+  // answered by one multi-query kernel wave. Off by default; responses
+  // are bit-identical either way, the window only trades a bounded wait
+  // for amortized traversal under concurrent miss bursts.
   std::shared_ptr<core::SummaryChain> out_chain;
   Result<std::shared_ptr<const core::Summary>> result =
-      ComputeOn(*state, task, options, prev_chain.get(), &out_chain, trace);
+      Status::Internal("SummaryService: compute not reached");
+  bool waved = false;
+  const bool wave_eligible =
+      options_.batch_window_us > 0 && options_.batch_max >= 2 &&
+      prev_chain == nullptr &&
+      options.method == core::SummaryMethod::kSteiner &&
+      options.steiner.variant == core::SteinerOptions::Variant::kKmb;
+  if (wave_eligible) {
+    // The group key is the fingerprint of an *empty* task under these
+    // options plus the snapshot version — exactly the equivalence class
+    // of requests whose kernel queries share one cost view.
+    CacheKey group_key;
+    group_key.snapshot_version = state->snapshot.version;
+    static const core::SummaryTask kEmptyTask{};
+    FingerprintTask(kEmptyTask, options, &group_key.fp_hi, &group_key.fp_lo);
+    std::shared_ptr<BatchGroup> group;
+    bool opener = false;
+    {
+      std::lock_guard<std::mutex> lock(batches_mutex_);
+      auto it = batches_.find(group_key);
+      if (it != batches_.end()) {
+        group = it->second;
+      } else {
+        group = std::make_shared<BatchGroup>();
+        batches_[group_key] = group;
+        opener = true;
+      }
+    }
+    if (!opener) {
+      bool joined = false;
+      bool filled = false;
+      {
+        std::lock_guard<std::mutex> lock(group->mutex);
+        if (!group->closed &&
+            group->members.size() + 2 <= options_.batch_max) {
+          group->members.push_back({&task, key, route_key, flight});
+          joined = true;
+          filled = group->members.size() + 1 >= options_.batch_max;
+        }
+      }
+      if (joined) {
+        if (filled) group->leader_cv.notify_one();
+        obs::SpanTimer wait_span(trace, "batch.wait");
+        wait_span.set_note("member");
+        std::unique_lock<std::mutex> lock(flight->mutex);
+        flight->cv.wait(lock, [&] { return flight->done; });
+        lock.unlock();
+        RecordLatency(timer.ElapsedMillis(), !flight->status.ok());
+        if (!flight->status.ok()) return flight->status;
+        return flight->summary;
+      }
+      // The window closed between discovery and join — compute solo.
+    } else {
+      std::vector<BatchGroup::Member> members;
+      {
+        obs::SpanTimer window_span(trace, "batch.wait");
+        window_span.set_note("window");
+        std::unique_lock<std::mutex> lock(group->mutex);
+        group->leader_cv.wait_for(
+            lock, std::chrono::microseconds(options_.batch_window_us),
+            [&] { return group->members.size() + 1 >= options_.batch_max; });
+        group->closed = true;
+        members = std::move(group->members);
+      }
+      {
+        std::lock_guard<std::mutex> lock(batches_mutex_);
+        batches_.erase(group_key);
+      }
+      if (options_.enable_metrics) {
+        batch_occupancy_hist_->RecordMicros(
+            static_cast<uint64_t>(members.size()) + 1);
+      }
+      if (!members.empty()) {
+        result =
+            ComputeWaveOn(*state, task, std::move(members), options, trace);
+        waved = true;
+      }
+      // An empty window falls through to the plain compute, which
+      // additionally records a chain checkpoint for future k-sweeps.
+    }
+  }
+  if (!waved) {
+    result =
+        ComputeOn(*state, task, options, prev_chain.get(), &out_chain, trace);
+  }
   if (result.ok()) {
     cache_.Insert(key, *result, std::move(out_chain), route_key);
   }
@@ -292,6 +460,8 @@ ServiceStats SummaryService::Stats() const {
   stats.coalesced = coalesced_;
   stats.errors = errors_;
   stats.chains_imported = chains_imported_;
+  stats.batch_waves = batch_waves_;
+  stats.batch_requests = batch_requests_;
   stats.uptime_seconds = uptime_.ElapsedSeconds();
   stats.qps = stats.uptime_seconds > 0.0
                   ? static_cast<double>(requests_) / stats.uptime_seconds
@@ -299,8 +469,8 @@ ServiceStats SummaryService::Stats() const {
   // Percentiles come from the mergeable obs histogram (PR 7), which
   // keeps the service-level contract the old reservoir had: no traffic
   // yet reports 0 for mean/p50/p99, one sample reports that sample for
-  // every percentile (the snapshot clamps percentile interpolation to
-  // the observed [min, max]), pinned by
+  // every percentile (the snapshot's observed max collapses the bucket
+  // bound), pinned by
   // service_test.StatsWellDefinedBeforeAndAfterFirstRequest.
   const obs::HistogramSnapshot latency = latency_hist_->Snapshot();
   if (latency.empty()) {
@@ -328,6 +498,8 @@ obs::MetricsSnapshot SummaryService::Metrics() const {
   snap.counters["service_errors"] = stats.errors;
   snap.counters["service_snapshot_swaps"] = stats.snapshot_swaps;
   snap.counters["service_chains_imported"] = stats.chains_imported;
+  snap.counters["service_batch_waves"] = stats.batch_waves;
+  snap.counters["service_batch_requests"] = stats.batch_requests;
   snap.counters["cache_hits"] = stats.cache.hits;
   snap.counters["cache_misses"] = stats.cache.misses;
   snap.counters["cache_insertions"] = stats.cache.insertions;

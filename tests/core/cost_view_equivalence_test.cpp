@@ -231,11 +231,13 @@ TEST(CostViewEquivalenceTest, WorkerCountsAreBitIdentical) {
 
 TEST(CostViewEquivalenceTest, BucketFrontierBitIdenticalToHeapPath) {
   // In the tie-free regime (growth_slack > 0) the Dial bucket frontier
-  // must reproduce the indexed-heap growth exactly: same tree, same
-  // unreached set, bit-identical objective. kAuto must agree with both.
+  // and the delta-stepping frontier must reproduce the indexed-heap
+  // growth exactly: same tree, same unreached set, bit-identical
+  // objective. kAuto must agree with all of them.
   const Fixture f = MakeFixture(0.04, 35);
   SearchWorkspace heap_ws;
   SearchWorkspace bucket_ws;
+  SearchWorkspace delta_ws;
   SearchWorkspace auto_ws;
   CostView unit_view;
   unit_view.AssignUnit(f.rg.graph());
@@ -255,18 +257,28 @@ TEST(CostViewEquivalenceTest, BucketFrontierBitIdenticalToHeapPath) {
         const auto bucket_result =
             PcstSummary(unit_view, f.rg.base_weights(), task.terminals,
                         options, &bucket_ws);
+        options.frontier = PcstOptions::Frontier::kDelta;
+        const auto delta_result =
+            PcstSummary(unit_view, f.rg.base_weights(), task.terminals,
+                        options, &delta_ws);
         options.frontier = PcstOptions::Frontier::kAuto;
         const auto auto_result = PcstSummary(
             unit_view, f.rg.base_weights(), task.terminals, options, &auto_ws);
 
         ASSERT_TRUE(heap_result.ok());
         ASSERT_TRUE(bucket_result.ok());
+        ASSERT_TRUE(delta_result.ok());
         ASSERT_TRUE(auto_result.ok());
         EXPECT_EQ(heap_result->tree.nodes(), bucket_result->tree.nodes());
         EXPECT_EQ(heap_result->tree.edges(), bucket_result->tree.edges());
         EXPECT_EQ(heap_result->unreached_terminals,
                   bucket_result->unreached_terminals);
         EXPECT_EQ(heap_result->objective, bucket_result->objective);
+        EXPECT_EQ(heap_result->tree.nodes(), delta_result->tree.nodes());
+        EXPECT_EQ(heap_result->tree.edges(), delta_result->tree.edges());
+        EXPECT_EQ(heap_result->unreached_terminals,
+                  delta_result->unreached_terminals);
+        EXPECT_EQ(heap_result->objective, delta_result->objective);
         EXPECT_EQ(heap_result->tree.nodes(), auto_result->tree.nodes());
         EXPECT_EQ(heap_result->tree.edges(), auto_result->tree.edges());
         EXPECT_EQ(heap_result->objective, auto_result->objective);

@@ -98,7 +98,7 @@ std::vector<SummarizerOptions> MethodLineup() {
   methods.push_back(st_unit);
   for (auto frontier :
        {PcstOptions::Frontier::kAuto, PcstOptions::Frontier::kHeap,
-        PcstOptions::Frontier::kBucket}) {
+        PcstOptions::Frontier::kBucket, PcstOptions::Frontier::kDelta}) {
     SummarizerOptions pcst;
     pcst.method = SummaryMethod::kPcst;
     pcst.pcst.frontier = frontier;
