@@ -178,9 +178,10 @@ NodeId BucketFrontier::PopMin() {
       }
       bucket.resize(live);
       std::sort(bucket.begin(), bucket.end(),
-                [](const Entry& a, const Entry& b) {
-                  if (a.key != b.key) return a.key > b.key;
-                  return a.node > b.node;  // equal keys: smaller id pops first
+                [](const Entry& lhs, const Entry& rhs) {
+                  if (lhs.key != rhs.key) return lhs.key > rhs.key;
+                  // equal keys: smaller id pops first
+                  return lhs.node > rhs.node;
                 });
       sorted_[b] = static_cast<uint32_t>(live);
     }
@@ -313,9 +314,10 @@ NodeId DeltaSteppingFrontier::PopMin() {
       }
       bucket.resize(live);
       std::sort(bucket.begin(), bucket.end(),
-                [](const Entry& a, const Entry& b) {
-                  if (a.key != b.key) return a.key > b.key;
-                  return a.node > b.node;  // equal keys: smaller id pops first
+                [](const Entry& lhs, const Entry& rhs) {
+                  if (lhs.key != rhs.key) return lhs.key > rhs.key;
+                  // equal keys: smaller id pops first
+                  return lhs.node > rhs.node;
                 });
       sorted_[b] = static_cast<uint32_t>(live);
     }

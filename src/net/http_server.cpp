@@ -107,7 +107,7 @@ void HttpServer::Stop() {
     // not yet blocked would otherwise miss both the flag and the
     // notify_all below and sleep forever — the classic lost wakeup
     // (ThreadPool's shutdown does the same).
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    sync::MutexLock lock(queue_mutex_);
     stopping_.store(true);
   }
   // Unblock accept(2).
@@ -116,7 +116,7 @@ void HttpServer::Stop() {
   }
   // Unblock every worker sitting in recv(2) on an open connection.
   {
-    std::lock_guard<std::mutex> lock(open_mutex_);
+    sync::MutexLock lock(open_mutex_);
     for (int fd : open_fds_) {
       ::shutdown(fd, SHUT_RDWR);
     }
@@ -129,13 +129,13 @@ void HttpServer::Stop() {
     listen_fd_ = -1;
   }
   // Connections still queued but never picked up.
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  sync::MutexLock lock(queue_mutex_);
   for (const PendingConn& conn : pending_) ::close(conn.fd);
   pending_.clear();
 }
 
 size_t HttpServer::queue_depth() const {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  sync::MutexLock lock(queue_mutex_);
   return pending_.size();
 }
 
@@ -174,7 +174,7 @@ void HttpServer::AcceptLoop() {
     SetSocketTimeouts(fd, options_.idle_timeout_ms, /*send_too=*/false);
     bool admit = true;
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      sync::MutexLock lock(queue_mutex_);
       if (options_.max_pending > 0 &&
           pending_.size() >= options_.max_pending) {
         // Queue overflow: every worker is busy and the waiting line is
@@ -199,10 +199,8 @@ void HttpServer::WorkerLoop() {
   while (true) {
     PendingConn conn;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return stopping_.load() || !pending_.empty();
-      });
+      sync::MutexLock lock(queue_mutex_);
+      while (!stopping_.load() && pending_.empty()) lock.Wait(queue_cv_);
       if (pending_.empty()) return;  // stopping and drained
       conn = pending_.front();
       pending_.pop_front();
@@ -222,12 +220,12 @@ void HttpServer::WorkerLoop() {
     }
     const int fd = conn.fd;
     {
-      std::lock_guard<std::mutex> lock(open_mutex_);
+      sync::MutexLock lock(open_mutex_);
       open_fds_.insert(fd);
     }
     ServeConnection(fd, waited_ms);
     {
-      std::lock_guard<std::mutex> lock(open_mutex_);
+      sync::MutexLock lock(open_mutex_);
       open_fds_.erase(fd);
     }
     ::close(fd);

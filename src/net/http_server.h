@@ -33,13 +33,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
 
 #include "net/http.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace xsum::obs {
 class Counter;
@@ -159,12 +159,15 @@ class HttpServer {
   std::thread listener_;
   std::thread dispatcher_;
 
-  mutable std::mutex queue_mutex_;
+  /// Accept-path lock order (DESIGN.md §9.3): the pending queue is
+  /// handed off before the serving socket is tracked, so queue_mutex_
+  /// precedes open_mutex_ whenever both are ever held.
+  mutable sync::Mutex queue_mutex_ XSUM_ACQUIRED_BEFORE(open_mutex_);
   std::condition_variable queue_cv_;
-  std::deque<PendingConn> pending_;
+  std::deque<PendingConn> pending_ XSUM_GUARDED_BY(queue_mutex_);
 
-  std::mutex open_mutex_;
-  std::unordered_set<int> open_fds_;
+  sync::Mutex open_mutex_;
+  std::unordered_set<int> open_fds_ XSUM_GUARDED_BY(open_mutex_);
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> requests_served_{0};

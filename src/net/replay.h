@@ -16,13 +16,13 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/http.h"
 #include "util/stats.h"
+#include "util/sync.h"
 #include "util/timer.h"
 
 namespace xsum::net {
@@ -50,7 +50,7 @@ inline ReplayStats ReplayConcurrent(
   if (num_clients == 0) num_clients = 1;
   std::vector<double> slots(count, 0.0);
   std::atomic<bool> failed{false};
-  std::mutex error_mutex;
+  sync::Mutex error_mutex;
   const size_t share = count / num_clients;
   WallTimer timer;
   timer.Start();
@@ -66,7 +66,7 @@ inline ReplayStats ReplayConcurrent(
         const HttpResponse response = issue(c, i);
         slots[i] = rt.ElapsedMillis();
         if (response.status != 200) {
-          std::lock_guard<std::mutex> lock(error_mutex);
+          sync::MutexLock lock(error_mutex);
           if (!failed.exchange(true)) {
             result.error_status = response.status;
             result.error_body = response.body;

@@ -255,7 +255,7 @@ Result<MetricsSnapshot> MetricsSnapshotFromJson(const net::JsonValue& value) {
 }
 
 Counter* Registry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -265,7 +265,7 @@ Counter* Registry::GetCounter(std::string_view name) {
 }
 
 Gauge* Registry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -274,7 +274,7 @@ Gauge* Registry::GetGauge(std::string_view name) {
 }
 
 Histogram* Registry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -284,7 +284,7 @@ Histogram* Registry::GetHistogram(std::string_view name) {
 }
 
 MetricsSnapshot Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter->Value();

@@ -34,12 +34,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "net/json.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace xsum::obs {
 
@@ -80,6 +80,13 @@ struct HistogramSnapshot {
 };
 
 /// \brief Monotonic counter (relaxed atomic).
+///
+/// Intentionally lock-free — needs no capability (DESIGN.md §9.4): the
+/// only invariant is per-word monotonicity, which a single relaxed
+/// `fetch_add` preserves; no multi-field state can tear. Ordering with
+/// the sample that produced the increment is irrelevant because readers
+/// (`Snapshot`) only need *some* consistent count, never "the count as
+/// of event X".
 class Counter {
  public:
   void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
@@ -91,6 +98,9 @@ class Counter {
 
 /// \brief Gauge: a settable signed level (relaxed atomic). Merging sums,
 /// which is the useful fleet semantic for levels like in-flight depth.
+///
+/// Lock-free for the same reason as `Counter`: one word, no compound
+/// invariant, so there is nothing a capability would protect.
 class Gauge {
  public:
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
@@ -102,6 +112,15 @@ class Gauge {
 };
 
 /// \brief Live log-bucketed latency histogram; thread-safe, lock-free.
+///
+/// Unlike Counter/Gauge this *is* multi-field, so `Snapshot()` can
+/// observe a torn state (count incremented, bucket not yet). That is an
+/// accepted, documented relaxation: every field is monotone (min only
+/// decreases, everything else only grows), so a torn snapshot is always
+/// a valid *earlier* state per field, merges stay exact, and the gated
+/// <2% recording overhead (bench_service) depends on staying lock-free.
+/// The alternative — a capability over 43 words on the per-request
+/// record path — buys a point-in-time guarantee no consumer needs.
 class Histogram {
  public:
   void RecordMicros(uint64_t micros);
@@ -158,10 +177,16 @@ class Registry {
   MetricsSnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // mu_ guards the name→handle maps only. The pointed-to accumulators
+  // are internally synchronized (relaxed atomics) and never destroyed
+  // while the registry lives, so cached handles record without mu_.
+  mutable sync::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      XSUM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      XSUM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      XSUM_GUARDED_BY(mu_);
 };
 
 }  // namespace xsum::obs

@@ -63,13 +63,13 @@ bool ParseTraceId(std::string_view text, uint64_t* id) {
 
 void Trace::AddSpan(std::string name, double start_ms, double elapsed_ms,
                     std::string note) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   spans_.push_back(Span{std::move(name), start_ms, elapsed_ms,
                         std::move(note)});
 }
 
 std::vector<Span> Trace::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return spans_;
 }
 
@@ -88,13 +88,13 @@ void TraceLog::Record(const Trace& trace) {
   Entry entry;
   entry.id = trace.id();
   entry.spans = trace.spans();
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   entries_.push_back(std::move(entry));
   while (entries_.size() > capacity_) entries_.pop_front();
 }
 
 bool TraceLog::Find(uint64_t id, Entry* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   // Newest first: a retried ID should surface its latest record.
   for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
     if (it->id == id) {
@@ -106,7 +106,7 @@ bool TraceLog::Find(uint64_t id, Entry* out) const {
 }
 
 std::vector<TraceLog::Entry> TraceLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return std::vector<Entry>(entries_.begin(), entries_.end());
 }
 

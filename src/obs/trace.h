@@ -23,12 +23,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "net/json.h"
+#include "util/sync.h"
 #include "util/timer.h"
 
 namespace xsum::obs {
@@ -76,8 +76,8 @@ class Trace {
  private:
   uint64_t id_;
   WallTimer birth_;
-  mutable std::mutex mu_;
-  std::vector<Span> spans_;
+  mutable sync::Mutex mu_;
+  std::vector<Span> spans_ XSUM_GUARDED_BY(mu_);
 };
 
 /// \brief RAII span: records [construction, destruction) into \p trace.
@@ -119,9 +119,9 @@ class TraceLog {
   net::JsonValue ToJson() const;
 
  private:
-  size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<Entry> entries_;
+  const size_t capacity_;
+  mutable sync::Mutex mu_;
+  std::deque<Entry> entries_ XSUM_GUARDED_BY(mu_);
 };
 
 }  // namespace xsum::obs

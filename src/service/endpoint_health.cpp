@@ -5,27 +5,27 @@
 namespace xsum::service {
 
 bool EndpointHealth::Selectable() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return !draining_ && state_ != State::kEjected;
 }
 
 EndpointHealth::State EndpointHealth::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return state_;
 }
 
 bool EndpointHealth::draining() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return draining_;
 }
 
 void EndpointHealth::set_draining(bool draining) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   draining_ = draining;
 }
 
 bool EndpointHealth::RecordSuccess(double latency_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   const bool reinstated = state_ == State::kEjected;
   state_ = State::kHealthy;
   failures_ = 0;
@@ -58,13 +58,13 @@ bool EndpointHealth::RecordFailureLocked(TimePoint now) {
 }
 
 bool EndpointHealth::RecordFailure(TimePoint now) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return RecordFailureLocked(now);
 }
 
 bool EndpointHealth::ShouldProbe(TimePoint now,
                                  int liveness_interval_ms) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   if (draining_) return false;
   if (state_ == State::kEjected) return now >= ejected_until_;
   if (liveness_interval_ms <= 0) return false;
@@ -72,7 +72,7 @@ bool EndpointHealth::ShouldProbe(TimePoint now,
 }
 
 bool EndpointHealth::OnProbeResult(bool ok, TimePoint now) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   last_probe_ = now;
   if (ok) {
     const bool reinstated = state_ == State::kEjected;
@@ -86,13 +86,23 @@ bool EndpointHealth::OnProbeResult(bool ok, TimePoint now) {
 }
 
 double EndpointHealth::ewma_ms() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return ewma_ms_;
 }
 
 int EndpointHealth::consecutive_failures() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return failures_;
+}
+
+EndpointHealth::Snapshot EndpointHealth::snapshot() const {
+  sync::MutexLock lock(mutex_);
+  Snapshot snap;
+  snap.state = state_;
+  snap.draining = draining_;
+  snap.consecutive_failures = failures_;
+  snap.ewma_ms = ewma_ms_;
+  return snap;
 }
 
 const char* EndpointStateName(EndpointHealth::State state) {

@@ -31,7 +31,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace xsum::service {
 
@@ -89,23 +90,51 @@ class EndpointHealth {
 
   int consecutive_failures() const;
 
+  /// \brief Point-in-time view of the whole state machine, taken under
+  /// one lock acquisition.
+  ///
+  /// Reporting surfaces (`/stats` endpoint rows) must use this instead
+  /// of chaining `state()` + `draining()` + `ewma_ms()` +
+  /// `consecutive_failures()`: each of those reacquires the lock, so the
+  /// chained reads can interleave with a concurrent transition and
+  /// report an impossible row (e.g. `state=healthy` with
+  /// `failures > 0` — see tests/service/endpoint_health_test.cpp,
+  /// SnapshotIsInternallyConsistentUnderConcurrency).
+  struct Snapshot {
+    State state = State::kHealthy;
+    bool draining = false;
+    int consecutive_failures = 0;
+    double ewma_ms = 0.0;
+  };
+
+  /// The consistent multi-field read for reporting paths.
+  Snapshot snapshot() const;
+
   /// In-flight request gauge; maintained by the router around each
   /// forwarded attempt and read by load-aware replica selection.
+  /// Intentionally lock-free (DESIGN.md §9.4): a single word whose only
+  /// consumer — load-aware replica ranking — wants "current depth,
+  /// roughly", and taking mutex_ on every forwarded request would put
+  /// the breaker lock on the hot path twice.
   std::atomic<int> in_flight{0};
+
+  /// The class capability, exposed for cross-component lock-order
+  /// annotations only (DESIGN.md §9.3); never lock it directly.
+  sync::Mutex& mu() const XSUM_RETURN_CAPABILITY(mutex_) { return mutex_; }
 
  private:
   /// Caller holds mutex_. Returns true when the transition ejected.
-  bool RecordFailureLocked(TimePoint now);
+  bool RecordFailureLocked(TimePoint now) XSUM_REQUIRES(mutex_);
 
-  Options options_;
-  mutable std::mutex mutex_;
-  State state_ = State::kHealthy;
-  bool draining_ = false;
-  int failures_ = 0;          ///< consecutive failures
-  int backoff_ms_ = 0;        ///< current ejection backoff
-  TimePoint ejected_until_{};  ///< next probe not before this
-  TimePoint last_probe_{};     ///< liveness-probe cadence anchor
-  double ewma_ms_ = 0.0;
+  const Options options_;
+  mutable sync::Mutex mutex_;
+  State state_ XSUM_GUARDED_BY(mutex_) = State::kHealthy;
+  bool draining_ XSUM_GUARDED_BY(mutex_) = false;
+  int failures_ XSUM_GUARDED_BY(mutex_) = 0;   ///< consecutive failures
+  int backoff_ms_ XSUM_GUARDED_BY(mutex_) = 0; ///< current ejection backoff
+  TimePoint ejected_until_ XSUM_GUARDED_BY(mutex_){};  ///< next probe gate
+  TimePoint last_probe_ XSUM_GUARDED_BY(mutex_){};     ///< probe cadence
+  double ewma_ms_ XSUM_GUARDED_BY(mutex_) = 0.0;
 };
 
 /// Display name of \p state ("healthy", "suspect", "ejected").

@@ -24,7 +24,7 @@ std::shared_ptr<SummaryService::ServingState> SummaryService::CurrentState() {
   const uint64_t version = registry_->current_version();
   if (version == 0) return nullptr;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    sync::MutexLock lock(state_mutex_);
     if (state_ != nullptr && state_->snapshot.version == version) {
       return state_;
     }
@@ -43,7 +43,7 @@ std::shared_ptr<SummaryService::ServingState> SummaryService::CurrentState() {
   for (size_t w = options_.num_workers; w > 0; --w) {
     fresh->free_workers.push_back(w - 1);
   }
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  sync::MutexLock lock(state_mutex_);
   if (state_ != nullptr && state_->snapshot.version >= fresh->snapshot.version) {
     return state_;  // someone else installed this (or a newer) version
   }
@@ -64,8 +64,8 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeOn(
     obs::SpanTimer slot_span(trace, "slot.wait");
     WallTimer slot_timer;
     slot_timer.Start();
-    std::unique_lock<std::mutex> lock(state.mutex);
-    state.slot_cv.wait(lock, [&] { return !state.free_workers.empty(); });
+    sync::MutexLock lock(state.mutex);
+    while (state.free_workers.empty()) lock.Wait(state.slot_cv);
     worker = state.free_workers.back();
     state.free_workers.pop_back();
     if (options_.enable_metrics) {
@@ -94,7 +94,7 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeOn(
   const double compute_ms = compute_timer.ElapsedMillis();
   if (options_.enable_metrics) compute_hist_->RecordMs(compute_ms);
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    sync::MutexLock lock(state.mutex);
     state.free_workers.push_back(worker);
   }
   state.slot_cv.notify_one();
@@ -112,7 +112,7 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeOn(
                                        : "fresh");
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    sync::MutexLock lock(stats_mutex_);
     ++computed_;
     if (reused) ++incremental_;
   }
@@ -134,8 +134,8 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeWaveOn(
     obs::SpanTimer slot_span(trace, "slot.wait");
     WallTimer slot_timer;
     slot_timer.Start();
-    std::unique_lock<std::mutex> lock(state.mutex);
-    state.slot_cv.wait(lock, [&] { return !state.free_workers.empty(); });
+    sync::MutexLock lock(state.mutex);
+    while (state.free_workers.empty()) lock.Wait(state.slot_cv);
     worker = state.free_workers.back();
     state.free_workers.pop_back();
     if (options_.enable_metrics) {
@@ -157,7 +157,7 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeWaveOn(
   const double compute_ms = compute_timer.ElapsedMillis();
   if (options_.enable_metrics) compute_hist_->RecordMs(compute_ms);
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    sync::MutexLock lock(state.mutex);
     state.free_workers.push_back(worker);
   }
   state.slot_cv.notify_one();
@@ -165,7 +165,7 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeWaveOn(
     trace->AddSpan("compute", compute_start_ms, compute_ms, "wave");
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    sync::MutexLock lock(stats_mutex_);
     computed_ += tasks.size();
     ++batch_waves_;
     batch_requests_ += tasks.size();
@@ -184,13 +184,13 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::ComputeWaveOn(
       cache_.Insert(m.key, shared, /*chain=*/nullptr, m.route_key);
     }
     {
-      std::lock_guard<std::mutex> lock(m.flight->mutex);
+      sync::MutexLock lock(m.flight->mutex);
       m.flight->done = true;
       m.flight->status = r.status();
       m.flight->summary = shared;
     }
     {
-      std::lock_guard<std::mutex> lock(flights_mutex_);
+      sync::MutexLock lock(flights_mutex_);
       flights_.erase(m.key);
     }
     m.flight->cv.notify_all();
@@ -252,7 +252,7 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
   std::shared_ptr<Flight> flight;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(flights_mutex_);
+    sync::MutexLock lock(flights_mutex_);
     auto it = flights_.find(key);
     if (it != flights_.end()) {
       flight = it->second;
@@ -263,16 +263,24 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
     }
   }
   if (!leader) {
-    obs::SpanTimer wait_span(trace, "singleflight.wait");
-    std::unique_lock<std::mutex> lock(flight->mutex);
-    flight->cv.wait(lock, [&] { return flight->done; });
+    Status status;
+    std::shared_ptr<const core::Summary> summary;
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      obs::SpanTimer wait_span(trace, "singleflight.wait");
+      sync::MutexLock lock(flight->mutex);
+      while (!flight->done) lock.Wait(flight->cv);
+      status = flight->status;
+      summary = flight->summary;
+    }
+    // Counters after the flight lock dropped: the service mutexes are
+    // leaves, never held while another lock is taken (DESIGN.md §9.3).
+    {
+      sync::MutexLock stats_lock(stats_mutex_);
       ++coalesced_;
     }
-    RecordLatency(timer.ElapsedMillis(), !flight->status.ok());
-    if (!flight->status.ok()) return flight->status;
-    return flight->summary;
+    RecordLatency(timer.ElapsedMillis(), !status.ok());
+    if (!status.ok()) return status;
+    return summary;
   }
 
   // Incremental assist: a k-sweep caller names the same unit's k−1 task;
@@ -316,7 +324,7 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
     std::shared_ptr<BatchGroup> group;
     bool opener = false;
     {
-      std::lock_guard<std::mutex> lock(batches_mutex_);
+      sync::MutexLock lock(batches_mutex_);
       auto it = batches_.find(group_key);
       if (it != batches_.end()) {
         group = it->second;
@@ -330,7 +338,7 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
       bool joined = false;
       bool filled = false;
       {
-        std::lock_guard<std::mutex> lock(group->mutex);
+        sync::MutexLock lock(group->mutex);
         if (!group->closed &&
             group->members.size() + 2 <= options_.batch_max) {
           group->members.push_back({&task, key, route_key, flight});
@@ -342,12 +350,17 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
         if (filled) group->leader_cv.notify_one();
         obs::SpanTimer wait_span(trace, "batch.wait");
         wait_span.set_note("member");
-        std::unique_lock<std::mutex> lock(flight->mutex);
-        flight->cv.wait(lock, [&] { return flight->done; });
-        lock.unlock();
-        RecordLatency(timer.ElapsedMillis(), !flight->status.ok());
-        if (!flight->status.ok()) return flight->status;
-        return flight->summary;
+        Status status;
+        std::shared_ptr<const core::Summary> summary;
+        {
+          sync::MutexLock lock(flight->mutex);
+          while (!flight->done) lock.Wait(flight->cv);
+          status = flight->status;
+          summary = flight->summary;
+        }
+        RecordLatency(timer.ElapsedMillis(), !status.ok());
+        if (!status.ok()) return status;
+        return summary;
       }
       // The window closed between discovery and join — compute solo.
     } else {
@@ -355,15 +368,21 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
       {
         obs::SpanTimer window_span(trace, "batch.wait");
         window_span.set_note("window");
-        std::unique_lock<std::mutex> lock(group->mutex);
-        group->leader_cv.wait_for(
-            lock, std::chrono::microseconds(options_.batch_window_us),
-            [&] { return group->members.size() + 1 >= options_.batch_max; });
+        sync::MutexLock lock(group->mutex);
+        const auto window_deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(options_.batch_window_us);
+        while (group->members.size() + 1 < options_.batch_max) {
+          if (lock.WaitUntil(group->leader_cv, window_deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
         group->closed = true;
         members = std::move(group->members);
       }
       {
-        std::lock_guard<std::mutex> lock(batches_mutex_);
+        sync::MutexLock lock(batches_mutex_);
         batches_.erase(group_key);
       }
       if (options_.enable_metrics) {
@@ -387,13 +406,13 @@ Result<std::shared_ptr<const core::Summary>> SummaryService::Summarize(
     cache_.Insert(key, *result, std::move(out_chain), route_key);
   }
   {
-    std::lock_guard<std::mutex> lock(flight->mutex);
+    sync::MutexLock lock(flight->mutex);
     flight->done = true;
     flight->status = result.status();
     if (result.ok()) flight->summary = *result;
   }
   {
-    std::lock_guard<std::mutex> lock(flights_mutex_);
+    sync::MutexLock lock(flights_mutex_);
     flights_.erase(key);
   }
   flight->cv.notify_all();
@@ -429,7 +448,7 @@ Status SummaryService::ImportChain(const CacheKey& key, uint64_t route_key,
       key, std::make_shared<const core::SummaryChain>(std::move(chain)),
       route_key);
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    sync::MutexLock lock(stats_mutex_);
     ++chains_imported_;
   }
   return Status::OK();
@@ -438,7 +457,7 @@ Status SummaryService::ImportChain(const CacheKey& key, uint64_t route_key,
 void SummaryService::RecordLatency(double ms, bool error) {
   // The histogram is lock-free; only the plain counters take the mutex.
   if (options_.enable_metrics) latency_hist_->RecordMs(ms);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  sync::MutexLock lock(stats_mutex_);
   ++requests_;
   if (error) ++errors_;
 }
@@ -447,13 +466,13 @@ ServiceStats SummaryService::Stats() const {
   ServiceStats stats;
   stats.cache = cache_.stats();
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    sync::MutexLock lock(state_mutex_);
     stats.snapshot_swaps = snapshot_swaps_;
     stats.snapshot_version =
         state_ != nullptr ? state_->snapshot.version : 0;
   }
   stats.in_flight = in_flight_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  sync::MutexLock lock(stats_mutex_);
   stats.requests = requests_;
   stats.computed = computed_;
   stats.incremental = incremental_;

@@ -30,7 +30,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +39,7 @@
 #include "service/snapshot_registry.h"
 #include "service/summary_cache.h"
 #include "util/status.h"
+#include "util/sync.h"
 #include "util/timer.h"
 
 namespace xsum::service {
@@ -197,20 +197,21 @@ class SummaryService {
   /// Everything tied to one graph version: the pinned snapshot, its
   /// engine, and the free-list of engine worker slots.
   struct ServingState {
+    /// Immutable after construction; read without the slot lock.
     GraphSnapshot snapshot;
     std::unique_ptr<core::BatchSummarizer> engine;
-    std::mutex mutex;
+    sync::Mutex mutex;
     std::condition_variable slot_cv;
-    std::vector<size_t> free_workers;
+    std::vector<size_t> free_workers XSUM_GUARDED_BY(mutex);
   };
 
   /// One in-flight computation; followers block on `cv` until `done`.
   struct Flight {
-    std::mutex mutex;
+    sync::Mutex mutex;
     std::condition_variable cv;
-    bool done = false;
-    Status status;
-    std::shared_ptr<const core::Summary> summary;
+    bool done XSUM_GUARDED_BY(mutex) = false;
+    Status status XSUM_GUARDED_BY(mutex);
+    std::shared_ptr<const core::Summary> summary XSUM_GUARDED_BY(mutex);
   };
 
   /// One open micro-batching window: the rendezvous where wave-eligible
@@ -230,10 +231,12 @@ class SummaryService {
       uint64_t route_key;
       std::shared_ptr<Flight> flight;
     };
-    std::mutex mutex;
+    sync::Mutex mutex;
     std::condition_variable leader_cv;  ///< woken when the group fills
-    bool closed = false;                ///< no more joins (window elapsed)
-    std::vector<Member> members;        ///< joiners (group leader excluded)
+    /// No more joins (window elapsed).
+    bool closed XSUM_GUARDED_BY(mutex) = false;
+    /// Joiners (group leader excluded).
+    std::vector<Member> members XSUM_GUARDED_BY(mutex);
   };
 
   /// Returns the serving state for the registry's current version,
@@ -267,21 +270,31 @@ class SummaryService {
   ServiceOptions options_;
   SummaryCache cache_;
 
-  mutable std::mutex state_mutex_;
-  std::shared_ptr<ServingState> state_;
-  uint64_t snapshot_swaps_ = 0;
+  /// Lock order within the service (DESIGN.md §9.3): every acquisition
+  /// is leaf-like — no service mutex is ever taken while holding another
+  /// — but the declared order pins the permitted direction should a
+  /// future change need to nest: state → flights → batches → stats.
+  mutable sync::Mutex state_mutex_
+      XSUM_ACQUIRED_BEFORE(flights_mutex_, batches_mutex_, stats_mutex_);
+  /// Guards the *pointer*; a ServingState returned from CurrentState()
+  /// is pinned by the shared_ptr copy and used lock-free (§9.4), its own
+  /// slot free-list guarded by its member mutex.
+  std::shared_ptr<ServingState> state_ XSUM_GUARDED_BY(state_mutex_);
+  uint64_t snapshot_swaps_ XSUM_GUARDED_BY(state_mutex_) = 0;
 
-  std::mutex flights_mutex_;
-  std::unordered_map<CacheKey, std::shared_ptr<Flight>, CacheKeyHash> flights_;
+  sync::Mutex flights_mutex_
+      XSUM_ACQUIRED_BEFORE(batches_mutex_, stats_mutex_);
+  std::unordered_map<CacheKey, std::shared_ptr<Flight>, CacheKeyHash> flights_
+      XSUM_GUARDED_BY(flights_mutex_);
 
   /// Open micro-batching windows, keyed by (snapshot version, options
   /// fingerprint) — the CacheKey of an *empty* task under the request's
   /// options, which is exactly the equivalence class of requests whose
   /// kernel queries share one cost view. Entries live only while their
   /// window is open; the leader deregisters on close.
-  std::mutex batches_mutex_;
+  sync::Mutex batches_mutex_ XSUM_ACQUIRED_BEFORE(stats_mutex_);
   std::unordered_map<CacheKey, std::shared_ptr<BatchGroup>, CacheKeyHash>
-      batches_;
+      batches_ XSUM_GUARDED_BY(batches_mutex_);
 
   /// Live metrics. The latency histogram is the percentile source of
   /// truth (PR 7): log-bucketed, constant memory, and — unlike the
@@ -298,15 +311,17 @@ class SummaryService {
   /// every other registry histogram.
   obs::Histogram* batch_occupancy_hist_;  // service_batch_occupancy
 
-  mutable std::mutex stats_mutex_;
-  uint64_t requests_ = 0;
-  uint64_t computed_ = 0;
-  uint64_t incremental_ = 0;
-  uint64_t coalesced_ = 0;
-  uint64_t errors_ = 0;
-  uint64_t chains_imported_ = 0;
-  uint64_t batch_waves_ = 0;
-  uint64_t batch_requests_ = 0;
+  mutable sync::Mutex stats_mutex_;
+  uint64_t requests_ XSUM_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t computed_ XSUM_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t incremental_ XSUM_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t coalesced_ XSUM_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t errors_ XSUM_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t chains_imported_ XSUM_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t batch_waves_ XSUM_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t batch_requests_ XSUM_GUARDED_BY(stats_mutex_) = 0;
+  /// Lock-free (§9.4): polled by the drain sequence while requests run;
+  /// a single word with no cross-field invariant.
   std::atomic<int64_t> in_flight_{0};
   WallTimer uptime_;
 };

@@ -91,7 +91,7 @@ ShardRouter::HedgePool::HedgePool(size_t workers) {
 
 ShardRouter::HedgePool::~HedgePool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -100,7 +100,7 @@ ShardRouter::HedgePool::~HedgePool() {
 
 bool ShardRouter::HedgePool::TrySubmit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     // Refusing beyond one queued task per worker keeps hedging from
     // turning into a latency *source*: the caller runs inline instead.
     if (stopping_ || queue_.size() >= workers_.size()) return false;
@@ -114,8 +114,8 @@ void ShardRouter::HedgePool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      sync::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) lock.Wait(cv_);
       // Accepted tasks always run (a Summarize caller may be blocked on
       // this round's completion); exit only once the queue is drained.
       if (queue_.empty()) return;
@@ -152,7 +152,12 @@ ShardRouter::ShardRouter(SummaryHandler* local, Options options)
     }
   }
   std::sort(ring_.begin(), ring_.end());
-  stats_.per_endpoint.assign(endpoints_.size(), 0);
+  {
+    // The analysis does not exempt constructors; probe/hedge threads
+    // spawned below could in principle race this write anyway.
+    sync::MutexLock lock(stats_mutex_);
+    stats_.per_endpoint.assign(endpoints_.size(), 0);
+  }
   if (options_.health_probes && !endpoints_.empty()) {
     probe_thread_ = std::thread([this] { ProbeLoop(); });
   }
@@ -164,7 +169,7 @@ ShardRouter::ShardRouter(SummaryHandler* local, Options options)
 
 ShardRouter::~ShardRouter() {
   {
-    std::lock_guard<std::mutex> lock(stop_mutex_);
+    sync::MutexLock lock(stop_mutex_);
     stopping_ = true;
   }
   stop_cv_.notify_all();
@@ -259,7 +264,7 @@ std::vector<size_t> ShardRouter::AttemptPlan(
 std::unique_ptr<net::HttpClient> ShardRouter::Acquire(Endpoint& endpoint,
                                                       bool fresh) {
   if (!fresh) {
-    std::lock_guard<std::mutex> lock(endpoint.mutex);
+    sync::MutexLock lock(endpoint.mutex);
     if (!endpoint.idle.empty()) {
       auto client = std::move(endpoint.idle.back());
       endpoint.idle.pop_back();
@@ -279,7 +284,7 @@ std::unique_ptr<net::HttpClient> ShardRouter::Acquire(Endpoint& endpoint,
 
 void ShardRouter::Release(Endpoint& endpoint,
                           std::unique_ptr<net::HttpClient> client) {
-  std::lock_guard<std::mutex> lock(endpoint.mutex);
+  sync::MutexLock lock(endpoint.mutex);
   if (endpoint.idle.size() < 8) {
     endpoint.idle.push_back(std::move(client));
   }
@@ -333,7 +338,7 @@ Result<net::HttpResponse> ShardRouter::AttemptOnce(size_t endpoint_index,
   if (result.ok()) {
     attempt_hist_->RecordMs(ms);
     const bool reinstated = endpoint.health.RecordSuccess(ms);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    sync::MutexLock lock(stats_mutex_);
     if (reinstated) ++stats_.reinstatements;
   } else {
     // Rate-limited: during a fleet outage every request to a dead shard
@@ -346,7 +351,7 @@ Result<net::HttpResponse> ShardRouter::AttemptOnce(size_t endpoint_index,
           << " unreachable: " << result.status().ToString();
     }
     if (endpoint.health.RecordFailure(std::chrono::steady_clock::now())) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      sync::MutexLock lock(stats_mutex_);
       ++stats_.ejections;
     }
   }
@@ -366,10 +371,11 @@ Result<net::HttpResponse> ShardRouter::HedgedAttempt(
     const std::shared_ptr<obs::Trace>& trace, size_t* served,
     int* transport_failures) {
   struct Round {
-    std::mutex mutex;
+    sync::Mutex mutex;
     std::condition_variable cv;
-    bool done = false;
-    Result<net::HttpResponse> result{Status::IOError("hedge: pending")};
+    bool done XSUM_GUARDED_BY(mutex) = false;
+    Result<net::HttpResponse> result XSUM_GUARDED_BY(mutex){
+        Status::IOError("hedge: pending")};
   };
   auto round = std::make_shared<Round>();
   // The lambda captures the trace by shared_ptr: a straggling primary
@@ -382,7 +388,7 @@ Result<net::HttpResponse> ShardRouter::HedgedAttempt(
         Result<net::HttpResponse> result =
             AttemptOnce(primary, body, trace.get());
         {
-          std::lock_guard<std::mutex> lock(round->mutex);
+          sync::MutexLock lock(round->mutex);
           round->result = std::move(result);
           round->done = true;
         }
@@ -395,17 +401,25 @@ Result<net::HttpResponse> ShardRouter::HedgedAttempt(
     if (!result.ok()) ++*transport_failures;
     return result;
   }
-  std::unique_lock<std::mutex> lock(round->mutex);
-  const bool primary_fast = round->cv.wait_for(
-      lock, std::chrono::milliseconds(HedgeDelayMs()),
-      [&] { return round->done; });
+  bool primary_fast = false;
+  {
+    sync::MutexLock lock(round->mutex);
+    const auto hedge_deadline = std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(HedgeDelayMs());
+    while (!round->done) {
+      if (lock.WaitUntil(round->cv, hedge_deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+    primary_fast = round->done;
+  }
   if (!primary_fast) {
     // Primary still pending past the delay: race the next replica. The
     // two responses are byte-identical (§6 invariant), so whichever
     // lands first is *the* answer.
-    lock.unlock();
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      sync::MutexLock stats_lock(stats_mutex_);
       ++stats_.hedges;
     }
     if (trace != nullptr) {
@@ -414,16 +428,22 @@ Result<net::HttpResponse> ShardRouter::HedgedAttempt(
     }
     Result<net::HttpResponse> second =
         AttemptOnce(secondary, body, trace.get());
-    lock.lock();
     if (second.ok()) {
-      if (!round->done) {
-        // The straggling primary finishes on the pool thread; its health
-        // bookkeeping still happens there.
-        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      bool hedge_win = false;
+      {
+        sync::MutexLock lock(round->mutex);
+        if (!round->done) {
+          // The straggling primary finishes on the pool thread; its
+          // health bookkeeping still happens there.
+          hedge_win = true;
+        } else if (round->result.ok()) {
+          *served = primary;
+          return std::move(round->result);
+        }
+      }
+      if (hedge_win) {
+        sync::MutexLock stats_lock(stats_mutex_);
         ++stats_.hedge_wins;
-      } else if (round->result.ok()) {
-        *served = primary;
-        return std::move(round->result);
       }
       *served = secondary;
       return second;
@@ -431,8 +451,13 @@ Result<net::HttpResponse> ShardRouter::HedgedAttempt(
     ++*transport_failures;
     // Secondary failed at the transport: the primary is the only hope
     // left in this round — wait it out.
-    round->cv.wait(lock, [&] { return round->done; });
+    sync::MutexLock lock(round->mutex);
+    while (!round->done) lock.Wait(round->cv);
+    *served = primary;
+    if (!round->result.ok()) ++*transport_failures;
+    return std::move(round->result);
   }
+  sync::MutexLock lock(round->mutex);
   *served = primary;
   if (!round->result.ok()) ++*transport_failures;
   return std::move(round->result);
@@ -478,11 +503,12 @@ net::HttpResponse ShardRouter::SummarizeRouted(
       if (!result.ok()) ++failures;
     }
     if (result.ok()) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.routed;
       // Failover accounting covers both shapes of rerouting: attempts
       // that failed at the transport this request, and unselectable
       // (ejected/draining) ring predecessors the plan skipped outright.
+      // Endpoint health is snapshotted *before* taking the stats lock:
+      // stats_mutex_ is a leaf capability and never wraps a health call
+      // (DESIGN.md §9.3).
       uint64_t skipped = 0;
       for (size_t j = 0; j < order.size() && order[j] != served; ++j) {
         if (!endpoints_[order[j]]->health.Selectable()) ++skipped;
@@ -493,8 +519,12 @@ net::HttpResponse ShardRouter::SummarizeRouted(
       // landed yet. The request still left its home endpoint, and that
       // is a failover even before the circuit breaker catches up.
       if (moved == 0 && served != order.front()) moved = 1;
-      stats_.failovers += moved;
-      ++stats_.per_endpoint[served];
+      {
+        sync::MutexLock lock(stats_mutex_);
+        ++stats_.routed;
+        stats_.failovers += moved;
+        ++stats_.per_endpoint[served];
+      }
       // The shard echoed the propagated trace ID; the router re-echoes
       // at its own edge, so drop the inner copy to keep one header on
       // the wire.
@@ -511,13 +541,13 @@ net::HttpResponse ShardRouter::SummarizeRouted(
     }
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    sync::MutexLock lock(stats_mutex_);
     stats_.failovers += static_cast<uint64_t>(failures);
     if (capped) ++stats_.capped;
   }
   if (local_ != nullptr && (options_.local_fallback || order.empty())) {
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      sync::MutexLock lock(stats_mutex_);
       ++stats_.local;
     }
     obs::SpanTimer local_span(trace.get(), "local.fallback");
@@ -529,16 +559,21 @@ net::HttpResponse ShardRouter::SummarizeRouted(
 void ShardRouter::ProbeLoop() {
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(stop_mutex_);
-      stop_cv_.wait_for(lock,
-                        std::chrono::milliseconds(std::max(
-                            1, options_.probe_interval_ms)),
-                        [&] { return stopping_; });
+      sync::MutexLock lock(stop_mutex_);
+      const auto tick_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(std::max(1, options_.probe_interval_ms));
+      while (!stopping_) {
+        if (lock.WaitUntil(stop_cv_, tick_deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
       if (stopping_) return;
     }
     for (size_t e = 0; e < endpoints_.size(); ++e) {
       {
-        std::lock_guard<std::mutex> lock(stop_mutex_);
+        sync::MutexLock lock(stop_mutex_);
         if (stopping_) return;
       }
       EndpointHealth& health = endpoints_[e]->health;
@@ -547,7 +582,7 @@ void ShardRouter::ProbeLoop() {
         continue;
       }
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        sync::MutexLock lock(stats_mutex_);
         ++stats_.probes;
       }
       const EndpointHealth::State before = health.state();
@@ -555,7 +590,7 @@ void ShardRouter::ProbeLoop() {
       const bool reinstated =
           health.OnProbeResult(ok, std::chrono::steady_clock::now());
       const EndpointHealth::State after = health.state();
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      sync::MutexLock lock(stats_mutex_);
       if (reinstated) ++stats_.reinstatements;
       if (before != EndpointHealth::State::kEjected &&
           after == EndpointHealth::State::kEjected) {
@@ -606,7 +641,7 @@ net::HttpResponse ShardRouter::DrainEndpoint(const std::string& label,
   // races into it between the flip and the export.
   endpoints_[source]->health.set_draining(true);
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    sync::MutexLock lock(stats_mutex_);
     ++stats_.drains;
   }
   net::JsonValue drain_body = net::JsonValue::Object();
@@ -692,7 +727,7 @@ net::HttpResponse ShardRouter::DrainEndpoint(const std::string& label,
       if (const net::JsonValue* imported = imported_json->Find("imported")) {
         if (imported->is_int()) {
           row.Set("imported", imported->AsInt());
-          std::lock_guard<std::mutex> lock(stats_mutex_);
+          sync::MutexLock lock(stats_mutex_);
           stats_.chains_handed_off +=
               static_cast<uint64_t>(std::max<int64_t>(0, imported->AsInt()));
         }
@@ -752,12 +787,16 @@ net::HttpResponse ShardRouter::RouterStatsResponse() {
     net::JsonValue row = net::JsonValue::Object();
     row.Set("endpoint", endpoint.label);
     row.Set("requests", rs.per_endpoint[e]);
-    row.Set("state", EndpointStateName(endpoint.health.state()));
-    row.Set("draining", endpoint.health.draining());
+    // One snapshot() call, not four chained getters: the row must be an
+    // internally consistent view of the endpoint (a healthy endpoint
+    // never shows residual consecutive failures, for instance).
+    const EndpointHealth::Snapshot snap = endpoint.health.snapshot();
+    row.Set("state", EndpointStateName(snap.state));
+    row.Set("draining", snap.draining);
     row.Set("in_flight",
             static_cast<int64_t>(
                 endpoint.health.in_flight.load(std::memory_order_relaxed)));
-    row.Set("ewma_ms", endpoint.health.ewma_ms());
+    row.Set("ewma_ms", snap.ewma_ms);
     per_endpoint.Append(std::move(row));
   }
   router.Set("endpoints", std::move(per_endpoint));
@@ -969,7 +1008,7 @@ net::HttpResponse ShardRouter::Handle(const net::HttpRequest& request) {
 }
 
 RouterStats ShardRouter::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  sync::MutexLock lock(stats_mutex_);
   return stats_;
 }
 

@@ -73,7 +73,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -85,6 +84,7 @@
 #include "service/endpoint_health.h"
 #include "service/handler.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace xsum::service {
 
@@ -228,6 +228,8 @@ class ShardRouter {
   net::HttpResponse UndrainEndpoint(const std::string& label);
 
   /// Health state of endpoint \p index (test and /stats introspection).
+  /// Reporting paths that need more than one field must take
+  /// `EndpointHealth::snapshot()` instead of chaining getters.
   EndpointHealth::State endpoint_state(size_t index) const {
     return endpoints_[index]->health.state();
   }
@@ -244,8 +246,12 @@ class ShardRouter {
     uint16_t port = 0;
     std::string label;  ///< original "host:port" string
     EndpointHealth health;
-    std::mutex mutex;
-    std::vector<std::unique_ptr<net::HttpClient>> idle;
+    /// Guards the idle connection pool. Ordered before the breaker lock
+    /// (router layer → endpoint-health layer, DESIGN.md §9.3); today
+    /// neither is ever held across the other.
+    sync::Mutex mutex XSUM_ACQUIRED_BEFORE(health.mu());
+    std::vector<std::unique_ptr<net::HttpClient>> idle
+        XSUM_GUARDED_BY(mutex);
   };
 
   /// \brief Fixed worker pool that carries hedged primary attempts.
@@ -260,10 +266,10 @@ class ShardRouter {
    private:
     void WorkerLoop();
 
-    std::mutex mutex_;
+    sync::Mutex mutex_;
     std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
-    bool stopping_ = false;
+    std::deque<std::function<void()>> queue_ XSUM_GUARDED_BY(mutex_);
+    bool stopping_ XSUM_GUARDED_BY(mutex_) = false;
     std::vector<std::thread> workers_;
   };
 
@@ -333,8 +339,11 @@ class ShardRouter {
   /// Sorted (point, endpoint index) ring.
   std::vector<std::pair<uint64_t, size_t>> ring_;
 
-  mutable std::mutex stats_mutex_;
-  RouterStats stats_;
+  /// Leaf capability: stats_mutex_ is never held while any endpoint or
+  /// breaker lock is taken (SummarizeRouted snapshots endpoint health
+  /// *before* counting, for exactly this reason).
+  mutable sync::Mutex stats_mutex_;
+  RouterStats stats_ XSUM_GUARDED_BY(stats_mutex_);
 
   /// Router-side live metrics; the attempt histogram doubles as the
   /// adaptive hedge delay's p99 source (full-history and mergeable,
@@ -346,9 +355,9 @@ class ShardRouter {
   std::atomic<bool> trace_enabled_{true};
   obs::TraceLog trace_log_;
 
-  std::mutex stop_mutex_;
+  sync::Mutex stop_mutex_;
   std::condition_variable stop_cv_;
-  bool stopping_ = false;
+  bool stopping_ XSUM_GUARDED_BY(stop_mutex_) = false;
   std::thread probe_thread_;
   /// Declared last: destroyed (joined) first, while endpoints_ and the
   /// stats still exist for in-flight hedged primaries.

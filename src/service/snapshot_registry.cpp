@@ -12,7 +12,7 @@ uint64_t GraphSnapshotRegistry::Publish(
   if (graph != nullptr) {
     views = std::make_shared<core::SharedCostViews>(*graph);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::WriterLock lock(mutex_);
   current_.version = next_version_++;
   current_.graph = std::move(graph);
   current_.views = std::move(views);
@@ -25,17 +25,17 @@ uint64_t GraphSnapshotRegistry::Publish(data::RecGraph graph) {
 }
 
 GraphSnapshot GraphSnapshotRegistry::Current() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::ReaderLock lock(mutex_);
   return current_;
 }
 
 uint64_t GraphSnapshotRegistry::current_version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::ReaderLock lock(mutex_);
   return current_.version;
 }
 
 uint64_t GraphSnapshotRegistry::num_published() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::ReaderLock lock(mutex_);
   return next_version_ - 1;
 }
 

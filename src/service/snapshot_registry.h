@@ -26,10 +26,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "core/cost_views.h"
 #include "data/kg_builder.h"
+#include "util/sync.h"
 
 namespace xsum::service {
 
@@ -80,9 +80,12 @@ class GraphSnapshotRegistry {
   }
 
  private:
-  mutable std::mutex mutex_;
-  GraphSnapshot current_;
-  uint64_t next_version_ = 1;
+  // Reader/writer split: Publish is rare (data refresh), Current() is on
+  // every request. Once returned, a snapshot needs no capability at all —
+  // the shared_ptr copy pins an immutable graph (see §9.4 lock-free notes).
+  mutable sync::SharedMutex mutex_;
+  GraphSnapshot current_ XSUM_GUARDED_BY(mutex_);
+  uint64_t next_version_ XSUM_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace xsum::service

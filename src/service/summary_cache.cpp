@@ -107,7 +107,7 @@ SummaryCache::SummaryCache(const Options& options)
 std::shared_ptr<const core::Summary> SummaryCache::Lookup(
     const CacheKey& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  sync::MutexLock lock(shard.mutex);
   auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second->summary == nullptr) {
     // A chain-only placeholder (imported drain checkpoint) is a *miss*:
@@ -124,7 +124,7 @@ std::shared_ptr<const core::Summary> SummaryCache::Lookup(
 std::shared_ptr<const core::SummaryChain> SummaryCache::LookupChain(
     const CacheKey& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  sync::MutexLock lock(shard.mutex);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return nullptr;
   return it->second->chain;
@@ -156,7 +156,7 @@ void SummaryCache::Insert(const CacheKey& key,
                           uint64_t route_key) {
   if (summary == nullptr) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  sync::MutexLock lock(shard.mutex);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     if (it->second->summary != nullptr) return;  // first full writer wins
@@ -180,7 +180,7 @@ void SummaryCache::InsertChainOnly(
     uint64_t route_key) {
   if (chain == nullptr) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  sync::MutexLock lock(shard.mutex);
   std::shared_ptr<const core::Summary> summary;
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
@@ -204,7 +204,7 @@ void SummaryCache::InsertChainOnly(
 std::vector<SummaryCache::ChainExport> SummaryCache::ExportChains() const {
   std::vector<ChainExport> out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    sync::MutexLock lock(shard->mutex);
     for (const Entry& entry : shard->lru) {
       if (entry.chain != nullptr && entry.route_key != 0) {
         out.push_back(ChainExport{entry.key, entry.route_key, entry.chain});
@@ -216,7 +216,7 @@ std::vector<SummaryCache::ChainExport> SummaryCache::ExportChains() const {
 
 void SummaryCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    sync::MutexLock lock(shard->mutex);
     shard->lru.clear();
     shard->map.clear();
     shard->bytes = 0;
@@ -227,7 +227,7 @@ CacheStats SummaryCache::stats() const {
   CacheStats stats;
   stats.max_bytes = max_bytes_;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    sync::MutexLock lock(shard->mutex);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.insertions += shard->insertions;

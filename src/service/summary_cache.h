@@ -36,11 +36,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/summarizer.h"
+#include "util/sync.h"
 
 namespace xsum::core {
 struct SummaryChain;  // incremental.h
@@ -176,16 +176,19 @@ class SummaryCache {
     size_t bytes = 0;
   };
   /// One independently locked LRU slice; front = most recently used.
+  /// The shard mutex is a leaf capability: nothing else is ever acquired
+  /// under it (DESIGN.md §9.3 lock hierarchy).
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;
-    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map;
-    size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
-    uint64_t rejected = 0;
+    mutable sync::Mutex mutex;
+    std::list<Entry> lru XSUM_GUARDED_BY(mutex);
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map
+        XSUM_GUARDED_BY(mutex);
+    size_t bytes XSUM_GUARDED_BY(mutex) = 0;
+    uint64_t hits XSUM_GUARDED_BY(mutex) = 0;
+    uint64_t misses XSUM_GUARDED_BY(mutex) = 0;
+    uint64_t insertions XSUM_GUARDED_BY(mutex) = 0;
+    uint64_t evictions XSUM_GUARDED_BY(mutex) = 0;
+    uint64_t rejected XSUM_GUARDED_BY(mutex) = 0;
   };
 
   Shard& ShardFor(const CacheKey& key) {
@@ -195,7 +198,7 @@ class SummaryCache {
   /// Budget check + LRU eviction + front insertion of \p entry (bytes
   /// already computed). Caller holds the shard lock and has removed any
   /// previous entry for the key.
-  void EmplaceLocked(Shard& shard, Entry entry);
+  void EmplaceLocked(Shard& shard, Entry entry) XSUM_REQUIRES(shard.mutex);
 
   size_t max_bytes_;
   size_t shard_budget_;

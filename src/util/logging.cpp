@@ -99,7 +99,7 @@ void LogMessage(LogLevel level, const char* component, uint64_t trace_id,
 
 bool LogRateLimiter::Allow() {
   const auto now = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (!started_) {
     started_ = true;
     last_ = now;
@@ -117,7 +117,7 @@ bool LogRateLimiter::Allow() {
 }
 
 uint64_t LogRateLimiter::suppressed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return suppressed_;
 }
 

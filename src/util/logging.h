@@ -21,9 +21,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "util/sync.h"
 
 namespace xsum {
 
@@ -74,11 +75,11 @@ class LogRateLimiter {
  private:
   const double per_sec_;
   const double burst_;
-  mutable std::mutex mu_;
-  double tokens_;
-  bool started_ = false;
-  std::chrono::steady_clock::time_point last_{};
-  uint64_t suppressed_ = 0;
+  mutable sync::Mutex mu_;
+  double tokens_ XSUM_GUARDED_BY(mu_);
+  bool started_ XSUM_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point last_ XSUM_GUARDED_BY(mu_){};
+  uint64_t suppressed_ XSUM_GUARDED_BY(mu_) = 0;
 };
 
 namespace internal {

@@ -1,0 +1,218 @@
+/// \file sync.h
+/// \brief Capability-annotated synchronization primitives (DESIGN.md §9).
+///
+/// Every lock in the tree goes through this header. The wrappers carry
+/// clang Thread Safety Analysis attributes (Hutchins et al., "C/C++
+/// Thread Safety Analysis", CGO 2014 — the Abseil GUARDED_BY/REQUIRES
+/// idiom), so `-Wthread-safety` proves on *every* compile that:
+///
+///   - fields marked `XSUM_GUARDED_BY(mu)` are only touched with `mu` held,
+///   - helpers marked `XSUM_REQUIRES(mu)` are only called with `mu` held,
+///   - locks declared `XSUM_ACQUIRED_BEFORE(other)` are never taken in the
+///     reverse order (deadlock ordering as a compile error, under
+///     `-Wthread-safety-beta`).
+///
+/// The attributes compile to nothing on non-clang toolchains, so gcc
+/// builds are byte-for-byte the same code without the contracts.
+/// ThreadSanitizer remains the dynamic backstop: TSan finds bad
+/// interleavings a run happens to explore; the static analysis proves
+/// lock discipline on all paths, including ones no test exercises.
+///
+/// Condition-variable integration: clang's analysis cannot see through
+/// the predicate lambda of `cv.wait(lock, pred)` (the lambda is analyzed
+/// as a separate function with no capability context), so `MutexLock`
+/// exposes `Wait`/`WaitFor`/`WaitUntil` and call sites spell the loop:
+///
+///   xsum::sync::MutexLock lock(mutex_);
+///   while (!done_) lock.Wait(cv_);
+///
+/// The explicit loop keeps the guarded reads inside the locked scope
+/// where the analysis can check them.
+///
+/// Repo invariant (tools/lint_invariants.py): naked `std::mutex`,
+/// `std::lock_guard`, `std::unique_lock`, `std::shared_mutex` et al.
+/// are banned everywhere outside this header.
+
+#ifndef XSUM_UTIL_SYNC_H_
+#define XSUM_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// --- attribute macros ------------------------------------------------------
+//
+// Gated on __has_attribute so the header is inert on gcc/MSVC and on
+// clang versions that predate a given attribute.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define XSUM_TSA_HAS(x) __has_attribute(x)
+#else
+#define XSUM_TSA_HAS(x) 0
+#endif
+
+#if XSUM_TSA_HAS(capability)
+#define XSUM_TSA(x) __attribute__((x))
+#else
+#define XSUM_TSA(x)
+#endif
+
+/// Marks a type as a capability ("mutex" in diagnostics).
+#define XSUM_CAPABILITY(x) XSUM_TSA(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define XSUM_SCOPED_CAPABILITY XSUM_TSA(scoped_lockable)
+
+/// Field may only be accessed while holding `x`.
+#define XSUM_GUARDED_BY(x) XSUM_TSA(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding `x`
+/// (the pointer itself is unguarded).
+#define XSUM_PT_GUARDED_BY(x) XSUM_TSA(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and exit).
+#define XSUM_REQUIRES(...) \
+  XSUM_TSA(requires_capability(__VA_ARGS__))
+#define XSUM_REQUIRES_SHARED(...) \
+  XSUM_TSA(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the listed capabilities.
+#define XSUM_ACQUIRE(...) XSUM_TSA(acquire_capability(__VA_ARGS__))
+#define XSUM_ACQUIRE_SHARED(...) \
+  XSUM_TSA(acquire_shared_capability(__VA_ARGS__))
+#define XSUM_RELEASE(...) XSUM_TSA(release_capability(__VA_ARGS__))
+#define XSUM_RELEASE_SHARED(...) \
+  XSUM_TSA(release_shared_capability(__VA_ARGS__))
+#define XSUM_TRY_ACQUIRE(...) XSUM_TSA(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (catches self-deadlock on non-reentrant locks).
+#define XSUM_EXCLUDES(...) XSUM_TSA(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations; violations warn under -Wthread-safety-beta.
+#define XSUM_ACQUIRED_BEFORE(...) XSUM_TSA(acquired_before(__VA_ARGS__))
+#define XSUM_ACQUIRED_AFTER(...) XSUM_TSA(acquired_after(__VA_ARGS__))
+
+/// Getter that returns (a reference to) the capability guarding other
+/// state; usable inside other attribute expressions.
+#define XSUM_RETURN_CAPABILITY(x) XSUM_TSA(lock_returned(x))
+
+/// Assert-at-runtime that the capability is held (for callbacks that
+/// cannot carry the static proof).
+#define XSUM_ASSERT_CAPABILITY(x) XSUM_TSA(assert_capability(x))
+
+/// Opt a function out of the analysis. Every use must carry a comment
+/// explaining why the access is safe (see DESIGN.md §9.4).
+#define XSUM_NO_THREAD_SAFETY_ANALYSIS \
+  XSUM_TSA(no_thread_safety_analysis)
+
+namespace xsum {
+namespace sync {
+
+/// \brief Exclusive mutex carrying the "mutex" capability.
+///
+/// Thin wrapper over std::mutex; prefer the RAII `MutexLock` over the
+/// manual Lock/Unlock pair.
+class XSUM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() XSUM_ACQUIRE() { mu_.lock(); }
+  void Unlock() XSUM_RELEASE() { mu_.unlock(); }
+  bool TryLock() XSUM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Underlying handle for condition_variable integration; only
+  /// MutexLock may touch it.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief Reader/writer mutex carrying the "mutex" capability.
+class XSUM_CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() XSUM_ACQUIRE() { mu_.lock(); }
+  void Unlock() XSUM_RELEASE() { mu_.unlock(); }
+  void LockShared() XSUM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() XSUM_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief RAII exclusive lock over `Mutex`, with condition-variable
+/// helpers (see file comment for the explicit-loop wait idiom).
+class XSUM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) XSUM_ACQUIRE(mu)
+      : lock_(mu.native_handle()) {}
+  ~MutexLock() XSUM_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Blocks until notified. Spurious wakeups happen: always call from a
+  /// `while (!condition)` loop over guarded state.
+  void Wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+  /// Blocks until notified or `timeout` elapses.
+  template <class Rep, class Period>
+  std::cv_status WaitFor(std::condition_variable& cv,
+                         const std::chrono::duration<Rep, Period>& timeout) {
+    return cv.wait_for(lock_, timeout);
+  }
+
+  /// Blocks until notified or `deadline` passes.
+  template <class Clock, class Duration>
+  std::cv_status WaitUntil(
+      std::condition_variable& cv,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv.wait_until(lock_, deadline);
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// \brief RAII shared (reader) lock over `SharedMutex`.
+class XSUM_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) XSUM_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() XSUM_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// \brief RAII exclusive (writer) lock over `SharedMutex`.
+class XSUM_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) XSUM_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() XSUM_RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace sync
+}  // namespace xsum
+
+#endif  // XSUM_UTIL_SYNC_H_

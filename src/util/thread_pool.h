@@ -22,9 +22,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace xsum {
 
@@ -43,7 +44,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::MutexLock lock(mutex_);
       shutdown_ = true;
     }
     work_cv_.notify_all();
@@ -72,7 +73,7 @@ class ThreadPool {
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::MutexLock lock(mutex_);
       fn_ = &fn;
       count_ = count;
       next_.store(0, std::memory_order_relaxed);
@@ -80,16 +81,19 @@ class ThreadPool {
       ++generation_;
     }
     work_cv_.notify_all();
-    RunIndices(0);
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+    RunIndices(0, fn, count);
+    sync::MutexLock lock(mutex_);
+    while (pending_workers_ != 0) lock.Wait(done_cv_);
     fn_ = nullptr;
   }
 
  private:
-  void RunIndices(size_t worker) {
-    const std::function<void(size_t, size_t)>& fn = *fn_;
-    const size_t count = count_;
+  /// Drains indices from the shared atomic counter. The batch's fn/count
+  /// are passed by value-copied-under-the-lock (see WorkerLoop) rather
+  /// than read from `fn_`/`count_` here, so every access to the guarded
+  /// members stays inside a locked region the analysis can check.
+  void RunIndices(size_t worker, const std::function<void(size_t, size_t)>& fn,
+                  size_t count) {
     while (true) {
       const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
@@ -100,17 +104,21 @@ class ThreadPool {
   void WorkerLoop(size_t worker) {
     uint64_t seen_generation = 0;
     while (true) {
+      const std::function<void(size_t, size_t)>* fn = nullptr;
+      size_t count = 0;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_cv_.wait(lock, [this, seen_generation] {
-          return shutdown_ || generation_ != seen_generation;
-        });
+        sync::MutexLock lock(mutex_);
+        while (!shutdown_ && generation_ == seen_generation) {
+          lock.Wait(work_cv_);
+        }
         if (shutdown_) return;
         seen_generation = generation_;
+        fn = fn_;
+        count = count_;
       }
-      RunIndices(worker);
+      RunIndices(worker, *fn, count);
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         --pending_workers_;
       }
       done_cv_.notify_one();
@@ -120,15 +128,23 @@ class ThreadPool {
   const size_t num_workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex mutex_;
+  sync::Mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(size_t, size_t)>* fn_ = nullptr;
-  size_t count_ = 0;
+  /// Borrowed pointer to the caller's fn for the current batch; the
+  /// ParallelFor caller keeps the referent alive until every worker has
+  /// decremented pending_workers_, which happens-after its last use.
+  const std::function<void(size_t, size_t)>* fn_ XSUM_GUARDED_BY(mutex_) =
+      nullptr;
+  size_t count_ XSUM_GUARDED_BY(mutex_) = 0;
+  /// Lock-free work counter (DESIGN.md §9.4): index handout is the inner
+  /// loop of every parallel kernel; a relaxed fetch_add is the whole
+  /// point of the dynamic load-balancing design. Batch visibility is
+  /// ordered by the generation handshake under mutex_, not by next_.
   std::atomic<size_t> next_{0};
-  size_t pending_workers_ = 0;
-  uint64_t generation_ = 0;
-  bool shutdown_ = false;
+  size_t pending_workers_ XSUM_GUARDED_BY(mutex_) = 0;
+  uint64_t generation_ XSUM_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ XSUM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace xsum

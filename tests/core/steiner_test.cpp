@@ -230,8 +230,8 @@ TEST_P(SteinerVariantTest, RandomGraphInvariantsAndApproximation) {
 INSTANTIATE_TEST_SUITE_P(Variants, SteinerVariantTest,
                          ::testing::Values(SteinerOptions::Variant::kKmb,
                                            SteinerOptions::Variant::kMehlhorn),
-                         [](const auto& info) {
-                           return info.param ==
+                         [](const auto& param_info) {
+                           return param_info.param ==
                                           SteinerOptions::Variant::kKmb
                                       ? "Kmb"
                                       : "Mehlhorn";

@@ -95,13 +95,13 @@ INSTANTIATE_TEST_SUITE_P(
         PipelineCase{23, core::SummaryMethod::kSteiner, 1.0},
         PipelineCase{23, core::SummaryMethod::kPcst, 0.0},
         PipelineCase{37, core::SummaryMethod::kSteiner, 1.0}),
-    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+    [](const ::testing::TestParamInfo<PipelineCase>& param_info) {
       std::string name = "seed";
-      name += std::to_string(info.param.seed);
-      name += core::SummaryMethodToString(info.param.method);
-      if (info.param.method == core::SummaryMethod::kSteiner) {
+      name += std::to_string(param_info.param.seed);
+      name += core::SummaryMethodToString(param_info.param.method);
+      if (param_info.param.method == core::SummaryMethod::kSteiner) {
         name += "l";
-        const double l = info.param.lambda;
+        const double l = param_info.param.lambda;
         name += l < 0.1 ? "001" : (l < 10 ? "1" : "100");
       }
       return name;

@@ -135,8 +135,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllKinds, RecommenderContractTest,
     ::testing::Values(RecommenderKind::kPgpr, RecommenderKind::kCafe,
                       RecommenderKind::kPlm, RecommenderKind::kPearlm),
-    [](const ::testing::TestParamInfo<RecommenderKind>& info) {
-      return RecommenderKindToString(info.param);
+    [](const ::testing::TestParamInfo<RecommenderKind>& param_info) {
+      return RecommenderKindToString(param_info.param);
     });
 
 TEST(RecommenderKindTest, Names) {

@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
+#include <thread>
 
 namespace xsum::service {
 namespace {
@@ -153,6 +155,67 @@ TEST(EndpointHealthTest, StateNamesMatchTheStatsWireStrings) {
   EXPECT_EQ(std::string(EndpointStateName(State::kHealthy)), "healthy");
   EXPECT_EQ(std::string(EndpointStateName(State::kSuspect)), "suspect");
   EXPECT_EQ(std::string(EndpointStateName(State::kEjected)), "ejected");
+}
+
+TEST(EndpointHealthTest, SnapshotMatchesTheIndividualGetters) {
+  EndpointHealth health(TestOptions());
+  health.RecordSuccess(10.0);
+  health.RecordFailure(At(0));
+  health.set_draining(true);
+  const EndpointHealth::Snapshot snap = health.snapshot();
+  EXPECT_EQ(snap.state, State::kSuspect);
+  EXPECT_TRUE(snap.draining);
+  EXPECT_EQ(snap.consecutive_failures, 1);
+  EXPECT_DOUBLE_EQ(snap.ewma_ms, 10.0);
+}
+
+// Regression test for the torn /stats row the annotation migration
+// surfaced: RouterStatsResponse used to assemble each endpoint row from
+// four separately-locked getters, so a reader interleaving with a
+// RecordSuccess could observe state == healthy next to the *previous*
+// failure streak. snapshot() takes one lock, so the invariant
+// "healthy ⇒ zero consecutive failures" (RecordSuccess and OnProbeResult
+// both reset the streak in the same critical section that flips the
+// state) must hold in every observed snapshot.
+TEST(EndpointHealthTest, SnapshotIsInternallyConsistentUnderConcurrency) {
+  EndpointHealth::Options options = TestOptions();
+  options.failure_threshold = 1000000;  // stay in healthy/suspect
+  EndpointHealth health(options);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int tick = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      health.RecordFailure(At(tick++));
+      health.RecordFailure(At(tick++));
+      health.RecordSuccess(5.0);
+    }
+  });
+  // Sample until both states were observed at least once (so the
+  // assertions demonstrably ran against live transitions), bounded by a
+  // generous deadline; a tight reader loop can monopolize the mutex, so
+  // each miss yields to give the writer its window.
+  int healthy_seen = 0;
+  int suspect_seen = 0;
+  const auto sample_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((healthy_seen == 0 || suspect_seen == 0) &&
+         std::chrono::steady_clock::now() < sample_deadline) {
+    const EndpointHealth::Snapshot snap = health.snapshot();
+    if (snap.state == State::kHealthy) {
+      ++healthy_seen;
+      ASSERT_EQ(snap.consecutive_failures, 0)
+          << "torn row: healthy state paired with a stale failure streak";
+    } else if (snap.state == State::kSuspect) {
+      ++suspect_seen;
+      ASSERT_GE(snap.consecutive_failures, 1)
+          << "torn row: suspect state paired with a reset failure streak";
+    }
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_GT(healthy_seen, 0);
+  EXPECT_GT(suspect_seen, 0);
 }
 
 }  // namespace

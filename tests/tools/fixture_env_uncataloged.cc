@@ -1,0 +1,15 @@
+// Lint fixture — NOT compiled, NOT real code. Exists so ctest can prove
+// tools/lint_invariants.py's `env-catalog` rule fires on an XSUM_* env
+// literal missing from EnvVarCatalog(). Run via:
+//   lint_invariants.py --expect env-catalog tests/tools/fixture_env_uncataloged.cc
+#include <cstdlib>
+
+namespace fixture {
+
+inline const char* ReadUndocumentedKnob() {
+  // XSUM_SEED in this comment must NOT fire; the uncataloged literal
+  // below must.
+  return std::getenv("XSUM_NOT_A_REAL_KNOB");
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Lint fixture — NOT compiled, NOT real code. Exists so ctest can prove
+// tools/lint_invariants.py's `naked-sync` rule fires on a raw std::mutex
+// outside util/sync.h. Run via:
+//   lint_invariants.py --expect naked-sync tests/tools/fixture_naked_mutex.cc
+#include <mutex>
+
+namespace fixture {
+
+// A comment mentioning std::mutex must NOT fire (comments are stripped);
+// the declarations below must.
+inline int CountUnderNakedLock() {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  static int count = 0;
+  return ++count;
+}
+
+}  // namespace fixture

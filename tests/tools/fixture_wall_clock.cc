@@ -1,0 +1,16 @@
+// Lint fixture — NOT compiled, NOT real code. Exists so ctest can prove
+// tools/lint_invariants.py's `wall-clock` rule fires on system_clock in
+// a latency path. Run via:
+//   lint_invariants.py --expect wall-clock tests/tools/fixture_wall_clock.cc
+#include <chrono>
+
+namespace fixture {
+
+// system_clock in this comment must NOT fire; the measurement below must.
+inline double ElapsedMsWrongClock() {
+  const auto start = std::chrono::system_clock::now();
+  const auto stop = std::chrono::system_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,280 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for xsum (DESIGN.md §9.5).
+
+Three invariants that clang-tidy and the thread-safety analysis cannot
+express are enforced textually here:
+
+  naked-sync    Raw standard-library synchronization primitives
+                (std::mutex, std::lock_guard, std::unique_lock, ...) are
+                banned everywhere under src/ except src/util/sync.h.
+                Concurrency goes through the annotated capability types
+                in util/sync.h, or the thread-safety analysis silently
+                sees nothing.
+
+  wall-clock    std::chrono::system_clock is banned under src/ and
+                bench/. Latency measurement and deadlines use
+                steady_clock (util/timer.h); wall time jumps under NTP
+                slew and corrupts EWMAs, hedging delays, and benchmark
+                numbers.
+
+  env-catalog   Every "XSUM_*" environment-variable string literal in
+                src/, bench/, and examples/ must name an entry in
+                EnvVarCatalog() (src/util/env.cpp), the single source of
+                truth the operator docs are generated from. An
+                uncataloged getenv is an undocumented knob.
+
+Modes:
+  lint_invariants.py [--root DIR]
+      Scan the repository; print every violation as
+      "path:line: [rule] message" and exit 1 if any fired.
+
+  lint_invariants.py --expect RULE FILE [FILE...]
+      Fixture mode (tests/tools/): lint only the given files and exit 0
+      iff RULE fired at least once and no *other* rule fired. Proves
+      each rule actually bites without polluting the real tree.
+
+Comments are stripped before the naked-sync and wall-clock checks, so
+prose *about* std::mutex (for instance in util/sync.h's own docs, or
+the system_clock audit note in util/timer.h) is not a violation.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+NAKED_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+)
+WALL_CLOCK_RE = re.compile(r"\bsystem_clock\b")
+ENV_LITERAL_RE = re.compile(r'"(XSUM_[A-Z0-9_]+)')
+CATALOG_ENTRY_RE = re.compile(r'\{\s*"(XSUM_[A-Z0-9_]+)"')
+
+SYNC_HEADER = os.path.join("src", "util", "sync.h")
+ENV_CATALOG_SOURCE = os.path.join("src", "util", "env.cpp")
+SOURCE_EXTENSIONS = (".h", ".cpp", ".cc")
+
+
+def strip_comments(text):
+    """Replace comment bodies with spaces, preserving newlines and
+    string literals (so line numbers and in-string text survive)."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line | block | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append(c)
+                if i + 1 < n:
+                    out.append(text[i + 1])
+                    i += 2
+                    continue
+            elif c == '"':
+                state = "code"
+            out.append(c)
+        elif state == "char":
+            if c == "\\":
+                out.append(c)
+                if i + 1 < n:
+                    out.append(text[i + 1])
+                    i += 2
+                    continue
+            elif c == "'":
+                state = "code"
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def load_catalog_names(root):
+    path = os.path.join(root, ENV_CATALOG_SOURCE)
+    try:
+        with open(path, encoding="utf-8") as f:
+            return set(CATALOG_ENTRY_RE.findall(f.read()))
+    except OSError:
+        return None
+
+
+def relpath(path, root):
+    try:
+        return os.path.relpath(path, root)
+    except ValueError:
+        return path
+
+
+class Violation:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def lint_file(path, display_path, catalog, *, check_sync, check_clock,
+              check_env):
+    violations = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+    except OSError as e:
+        violations.append(Violation("io", display_path, 0, str(e)))
+        return violations
+    stripped = strip_comments(raw)
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if check_sync:
+            m = NAKED_SYNC_RE.search(line)
+            if m:
+                violations.append(Violation(
+                    "naked-sync", display_path, lineno,
+                    "%s outside util/sync.h; use the annotated xsum::sync "
+                    "types so the thread-safety analysis sees the lock"
+                    % m.group(0)))
+        if check_clock:
+            if WALL_CLOCK_RE.search(line):
+                violations.append(Violation(
+                    "wall-clock", display_path, lineno,
+                    "system_clock in a latency path; use steady_clock "
+                    "(util/timer.h)"))
+        if check_env and catalog is not None:
+            for name in ENV_LITERAL_RE.findall(line):
+                if name not in catalog:
+                    violations.append(Violation(
+                        "env-catalog", display_path, lineno,
+                        '"%s" is not in EnvVarCatalog() (src/util/env.cpp); '
+                        "every env knob must be cataloged so the operator "
+                        "docs stay complete" % name))
+    return violations
+
+
+def iter_sources(root, subdir):
+    top = os.path.join(root, subdir)
+    for dirpath, _, filenames in os.walk(top):
+        for name in sorted(filenames):
+            if name.endswith(SOURCE_EXTENSIONS):
+                yield os.path.join(dirpath, name)
+
+
+def lint_tree(root):
+    violations = []
+    catalog = load_catalog_names(root)
+    if catalog is None:
+        violations.append(Violation(
+            "env-catalog", ENV_CATALOG_SOURCE, 0,
+            "cannot read the env catalog source"))
+        catalog = set()
+    for path in iter_sources(root, "src"):
+        rel = relpath(path, root)
+        is_sync_header = rel == SYNC_HEADER
+        violations.extend(lint_file(
+            path, rel, catalog,
+            check_sync=not is_sync_header,
+            check_clock=True,
+            check_env=True))
+    for path in iter_sources(root, "bench"):
+        rel = relpath(path, root)
+        violations.extend(lint_file(
+            path, rel, catalog,
+            check_sync=False, check_clock=True, check_env=True))
+    for path in iter_sources(root, "examples"):
+        rel = relpath(path, root)
+        violations.extend(lint_file(
+            path, rel, catalog,
+            check_sync=False, check_clock=False, check_env=True))
+    return violations
+
+
+def lint_fixtures(root, files, expected_rule):
+    catalog = load_catalog_names(root)
+    if catalog is None:
+        catalog = set()
+    violations = []
+    for path in files:
+        violations.extend(lint_file(
+            path, relpath(path, root), catalog,
+            check_sync=True, check_clock=True, check_env=True))
+    fired = {v.rule for v in violations}
+    for v in violations:
+        print(v)
+    if expected_rule not in fired:
+        print("FIXTURE FAIL: expected rule '%s' did not fire"
+              % expected_rule, file=sys.stderr)
+        return 1
+    unexpected = fired - {expected_rule}
+    if unexpected:
+        print("FIXTURE FAIL: unexpected rule(s) fired: %s"
+              % ", ".join(sorted(unexpected)), file=sys.stderr)
+        return 1
+    print("fixture ok: rule '%s' fired as expected" % expected_rule)
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the linter's grandparent dir)")
+    parser.add_argument(
+        "--expect", metavar="RULE",
+        help="fixture mode: require exactly this rule to fire on FILES")
+    parser.add_argument("files", nargs="*",
+                        help="files to lint in fixture mode")
+    args = parser.parse_args()
+
+    if args.expect is not None:
+        if not args.files:
+            parser.error("--expect requires at least one file")
+        return lint_fixtures(args.root, args.files, args.expect)
+
+    violations = lint_tree(args.root)
+    for v in violations:
+        print(v)
+    if violations:
+        print("%d invariant violation(s)" % len(violations), file=sys.stderr)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
