@@ -14,7 +14,15 @@
 /// sample of responses is verified *byte-identical* across all three arms
 /// — the routing invariant that makes the shard layer safe to deploy.
 ///
-/// With XSUM_FAULT=1 a fourth arm runs the same stream against a
+/// A fourth arm replays a *generated scenario* (replay::GenerateScenario
+/// hot-key storm) through the loopback HTTP front at 1x and 4x of its
+/// recorded inter-arrival gaps via the open-loop replayer
+/// (replay::Replay), with every response verified against in-process
+/// reference fingerprints — the serving workloads are no longer a single
+/// hard-coded Zipf loop, and the storm arm prices what a correlated
+/// burst onto one hot key costs the single-flight/cache path.
+///
+/// With XSUM_FAULT=1 a fifth arm runs the same stream against a
 /// 4-shard x 2-replica fleet and kills the busiest shard a quarter of
 /// the way in, rejoining it at the halfway mark: per-phase latency
 /// (steady / outage / recovered) quantifies what replica failover,
@@ -49,6 +57,9 @@
 #include "net/replay.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "replay/replayer.h"
+#include "replay/scenario.h"
+#include "replay/trace.h"
 #include "service/handler.h"
 #include "service/service.h"
 #include "service/shard_router.h"
@@ -345,6 +356,119 @@ int main() {
     server_b.Stop();
   }
   http_server.Stop();
+
+  // --- replayed-scenario arm: hot-key storm at 1x and 4x -------------------
+  // The workload is *generated* (seeded hot-key storm over the same
+  // request universe), pinned by an in-process reference pass into the
+  // standard replay::Trace format, then replayed open-loop through a
+  // loopback HTTP front at two speed multiples with every response
+  // verified against the recorded fingerprint — the exact machinery the
+  // serving fleet's record/replay evaluation uses.
+  {
+    replay::ScenarioOptions scenario;
+    scenario.count = num_requests;
+    scenario.seed = runner.config().seed + 21;
+    scenario.mean_gap_us = 500.0;
+    scenario.zipf_skew = skew;
+    scenario.clients = static_cast<uint32_t>(num_clients);
+    const std::vector<replay::ArrivalEvent> events =
+        replay::GenerateScenario(replay::ScenarioKind::kHotKey,
+                                 universe.size(), scenario);
+
+    service::SummaryService reference_service(&registry, service_options);
+    service::SummaryHandler reference(&reference_service, &catalog);
+    replay::Trace trace;
+    trace.records.reserve(events.size());
+    for (const replay::ArrivalEvent& event : events) {
+      const service::SummaryRequest& request = universe[event.pick];
+      const net::HttpResponse response = reference.Summarize(request);
+      if (response.status != 200) {
+        std::fprintf(stderr, "storm reference pass failed: HTTP %d %s\n",
+                     response.status, response.body.c_str());
+        return 1;
+      }
+      replay::TraceRecord record;
+      record.seq = trace.records.size();
+      record.offset_us = event.offset_us;
+      record.client = "c" + std::to_string(event.client);
+      record.request = service::SummaryRequestToJson(request);
+      record.status = response.status;
+      record.fingerprint =
+          replay::ResponseFingerprint(response.status, response.body);
+      trace.records.push_back(std::move(record));
+    }
+
+    TextTable storm_table({"speed", "requests", "wall ms", "QPS", "p50 ms",
+                           "p99 ms", "max lag ms"});
+    std::vector<std::pair<const char*, double>> speeds = {
+        {"storm_1x", 1.0}, {"storm_4x", 4.0}};
+    std::vector<double> per_request_ms;
+    for (const auto& [label, speed] : speeds) {
+      // Fresh service per speed: both passes start cache-cold, so the
+      // speeds are comparable.
+      service::SummaryService storm_service(&registry, service_options);
+      service::SummaryHandler storm_handler(&storm_service, &catalog);
+      net::HttpServer storm_server(
+          [&](const net::HttpRequest& request) {
+            return storm_handler.Handle(request);
+          },
+          server_options);
+      bench::CheckOk(storm_server.Start(), "storm server start");
+      std::vector<std::unique_ptr<net::HttpClient>> storm_clients;
+      for (size_t c = 0; c < num_clients; ++c) {
+        storm_clients.push_back(std::make_unique<net::HttpClient>(
+            "127.0.0.1", storm_server.port()));
+      }
+      replay::ReplayOptions replay_options;
+      replay_options.speed = speed;
+      replay_options.num_clients = num_clients;
+      const replay::ReplayReport report = replay::Replay(
+          trace, replay_options,
+          [&](size_t c, const replay::TraceRecord& record) {
+            const auto response =
+                storm_clients[c]->Post("/summarize", record.RequestBody());
+            if (!response.ok()) {
+              net::HttpResponse error;
+              error.status = 599;
+              error.body = response.status().ToString();
+              return error;
+            }
+            return *response;
+          });
+      if (!report.ok) {
+        std::fprintf(stderr, "FATAL: storm replay at %s diverged from the "
+                             "recorded fingerprints: %s\n",
+                     label, report.first_divergence_detail.c_str());
+        return 1;
+      }
+      const double qps =
+          report.wall_ms > 0.0
+              ? 1000.0 * static_cast<double>(report.issued) / report.wall_ms
+              : 0.0;
+      storm_table.AddRow(
+          {label, FormatCount(static_cast<int64_t>(report.issued)),
+           FormatDouble(report.wall_ms, 1), FormatDouble(qps, 0),
+           FormatDouble(report.latencies_ms.Percentile(50.0), 4),
+           FormatDouble(report.latencies_ms.Percentile(99.0), 4),
+           FormatDouble(report.max_lag_ms, 1)});
+      per_request_ms.push_back(
+          report.wall_ms / static_cast<double>(trace.size()));
+      storm_server.Stop();
+    }
+    std::printf("\nhot-key storm replay (%zu events, storm window "
+                "[%.0f%%, %.0f%%), hot share %.0f%%):\n",
+                trace.size(), 100.0 * scenario.storm_begin_frac,
+                100.0 * scenario.storm_end_frac,
+                100.0 * scenario.storm_hot_frac);
+    storm_table.Print(std::cout);
+    std::printf("all replayed responses byte-identical to the recorded "
+                "fingerprints at both speeds\n");
+    const size_t n = runner.rec_graph().graph().num_nodes();
+    for (size_t s = 0; s < speeds.size(); ++s) {
+      bench::EmitPerfJson(
+          {"net.replay", speeds[s].first, n, 0, per_request_ms[s], 0});
+    }
+  }
 
   // --- fault-injection arm (XSUM_FAULT=1) ----------------------------------
   // A 4-shard x 2-replica fleet replays the same stream in three phases:

@@ -23,19 +23,37 @@
 ///                  smoke diff.
 ///   request        Print a valid /summarize body for this dataset (the
 ///                  first catalog unit), for quickstarts and CI.
+///   record FILE    Generate an XSUM_SCENARIO workload over this
+///                  dataset's catalog (diurnal|hotkey|tenants|recency),
+///                  answer it — against XSUM_TARGET when set, in-process
+///                  otherwise — and write the stream as a replay trace
+///                  (replay::Trace JSONL, response fingerprints included).
+///   replay FILE    Load a recorded trace and replay it open-loop at
+///                  XSUM_REPLAY_SPEED × the recorded inter-arrival gaps
+///                  (against XSUM_TARGET when set, in-process otherwise),
+///                  verifying every response byte-identical to the
+///                  recording via its fingerprint. Nonzero exit on any
+///                  divergence.
+///
+/// `serve` additionally records its own live /summarize stream to
+/// XSUM_TRACE_RECORD when that is set — the capture side of the
+/// record/replay loop — and accumulates per-summary evaluation
+/// statistics on /evalstats unless XSUM_EVAL_STATS=0.
 ///
 /// Determinism: every subcommand builds the identical dataset, task
 /// catalog, and graph snapshot from the XSUM_* env knobs, which is what
-/// makes `oneshot` output byte-comparable with a routed `serve` answer.
+/// makes `oneshot` output byte-comparable with a routed `serve` answer
+/// and a recorded trace replayable byte-identically.
 ///
 /// Env knobs: XSUM_SCALE / XSUM_USERS / XSUM_SEED (dataset),
 /// XSUM_PORT / XSUM_SHARDS / XSUM_NET_WORKERS / XSUM_LOCAL_FALLBACK
 /// (network), XSUM_REPLICAS / XSUM_MAX_FAILOVER / XSUM_HEDGE /
 /// XSUM_HEDGE_MS / XSUM_EJECT_MS (fleet resilience), XSUM_MAX_QUEUE /
-/// XSUM_QUEUE_MS (admission control), XSUM_LOG_LEVEL / XSUM_TRACE
-/// (observability), XSUM_REQUESTS (default 400),
-/// XSUM_CLIENTS (default 2), XSUM_ZIPF (default 1.1).
-/// See docs/OPERATIONS.md.
+/// XSUM_QUEUE_MS (admission control), XSUM_LOG_LEVEL / XSUM_TRACE /
+/// XSUM_EVAL_STATS (observability), XSUM_TRACE_RECORD / XSUM_TARGET /
+/// XSUM_SCENARIO / XSUM_GAP_US / XSUM_REPLAY_SPEED (record/replay),
+/// XSUM_REQUESTS (default 400), XSUM_CLIENTS (default 2),
+/// XSUM_ZIPF (default 1.1). See docs/OPERATIONS.md.
 
 #include <signal.h>
 #include <sys/wait.h>
@@ -58,6 +76,9 @@
 #include "net/replay.h"
 #include "rec/recommender.h"
 #include "rec/sampler.h"
+#include "replay/replayer.h"
+#include "replay/scenario.h"
+#include "replay/trace.h"
 #include "service/handler.h"
 #include "service/service.h"
 #include "service/shard_router.h"
@@ -207,6 +228,8 @@ int RunServe() {
   server_options.metrics = stack->service->metrics_registry();
   const bool trace_on = GetEnvNonNegativeInt("XSUM_TRACE", 1) != 0;
   stack->handler->set_trace_enabled(trace_on);
+  stack->handler->set_eval_enabled(
+      GetEnvNonNegativeInt("XSUM_EVAL_STATS", 1) != 0);
 
   net::HttpServer::Handler http_handler;
   if (!shards.empty()) {
@@ -238,6 +261,45 @@ int RunServe() {
     };
   }
 
+  // Live trace capture (XSUM_TRACE_RECORD): wrap whichever role handler
+  // was built above so both shard and router processes record the same
+  // way. Only answered /summarize requests are recorded — the stream a
+  // replay can meaningfully verify — and the stored request is the
+  // *canonical* wire form, so a replay posts byte-stable bodies no matter
+  // how the original client formatted its JSON.
+  const std::string record_path = GetEnvString("XSUM_TRACE_RECORD", "");
+  std::unique_ptr<replay::TraceSink> sink;
+  if (!record_path.empty()) {
+    auto opened = replay::TraceSink::Open(record_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "XSUM_TRACE_RECORD: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    sink = *std::move(opened);
+    http_handler = [inner = std::move(http_handler),
+                    sink_ptr = sink.get()](const net::HttpRequest& request) {
+      net::HttpResponse response = inner(request);
+      if (request.target == "/summarize" && response.status == 200) {
+        auto json = net::ParseJson(request.body);
+        if (json.ok()) {
+          auto parsed = service::ParseSummaryRequest(*json);
+          if (parsed.ok()) {
+            std::string client;
+            if (const std::string* header =
+                    request.FindHeader(replay::kClientHeaderLower)) {
+              client = *header;
+            }
+            sink_ptr->Record(std::move(client),
+                             service::SummaryRequestToJson(*parsed),
+                             response.status, response.body);
+          }
+        }
+      }
+      return response;
+    };
+  }
+
   net::HttpServer server(http_handler, server_options);
   // Surface the server-level gauges in /stats next to the service view.
   stack->handler->set_extra_stats([&server](net::JsonValue* json) {
@@ -262,6 +324,17 @@ int RunServe() {
               sig,
               static_cast<unsigned long long>(server.requests_served()));
   server.Stop();
+  if (sink != nullptr) {
+    const uint64_t recorded = sink->recorded();
+    const Status closed = sink->Close();
+    if (!closed.ok()) {
+      std::fprintf(stderr, "trace sink: %s\n", closed.ToString().c_str());
+      return 1;
+    }
+    std::printf("xsum_server: recorded %llu requests to %s\n",
+                static_cast<unsigned long long>(recorded),
+                record_path.c_str());
+  }
   return 0;
 }
 
@@ -288,6 +361,195 @@ int RunRequest() {
               service::SummaryRequestToJson(DefaultRequest(stack->catalog))
                   .Dump()
                   .c_str());
+  return 0;
+}
+
+// --- record / replay -------------------------------------------------------
+
+/// The catalog's request universe (every registered (unit, k) under ST
+/// λ=1) — the index space scenario generators pick from, in catalog
+/// insertion order so every process agrees on it.
+std::vector<service::SummaryRequest> CatalogUniverse(
+    const service::TaskCatalog& catalog) {
+  std::vector<service::SummaryRequest> universe;
+  universe.reserve(catalog.entries().size());
+  for (const auto& entry : catalog.entries()) {
+    service::SummaryRequest request;
+    request.scenario = entry.scenario;
+    request.unit = entry.unit;
+    request.k = entry.k;
+    universe.push_back(request);
+  }
+  return universe;
+}
+
+int RunRecord(const std::string& path) {
+  const auto kind =
+      replay::ParseScenarioKind(GetEnvString("XSUM_SCENARIO", "hotkey"));
+  if (!kind.ok()) {
+    std::fprintf(stderr, "XSUM_SCENARIO: %s\n",
+                 kind.status().ToString().c_str());
+    return 2;
+  }
+  replay::ScenarioOptions scenario;
+  scenario.count =
+      static_cast<size_t>(GetEnvNonNegativeInt("XSUM_REQUESTS", 400));
+  scenario.seed =
+      static_cast<uint64_t>(GetEnvNonNegativeInt("XSUM_SEED", 42));
+  scenario.mean_gap_us =
+      static_cast<double>(GetEnvNonNegativeInt("XSUM_GAP_US", 1000));
+  scenario.zipf_skew = GetEnvDouble("XSUM_ZIPF", 1.1);
+  scenario.clients = static_cast<uint32_t>(
+      std::max<int64_t>(1, GetEnvNonNegativeInt("XSUM_CLIENTS", 2)));
+
+  // The local stack supplies the catalog universe in every mode and the
+  // answers in the in-process one.
+  auto stack = BuildStack(1);
+  if (!stack) return 1;
+  const std::vector<service::SummaryRequest> universe =
+      CatalogUniverse(stack->catalog);
+  const std::vector<replay::ArrivalEvent> events =
+      replay::GenerateScenario(*kind, universe.size(), scenario);
+
+  const std::string target = GetEnvString("XSUM_TARGET", "");
+  std::unique_ptr<net::HttpClient> client;
+  if (!target.empty()) {
+    auto endpoint = service::ParseEndpoint(target);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "XSUM_TARGET: %s\n",
+                   endpoint.status().ToString().c_str());
+      return 2;
+    }
+    client =
+        std::make_unique<net::HttpClient>(endpoint->first, endpoint->second);
+  }
+
+  // Sequential issue, in offset order: the recorded fingerprints are a
+  // deterministic function of (env knobs, scenario), so re-recording the
+  // same configuration writes the identical trace.
+  replay::Trace trace;
+  trace.records.reserve(events.size());
+  for (const replay::ArrivalEvent& event : events) {
+    const service::SummaryRequest& request = universe[event.pick];
+    replay::TraceRecord record;
+    record.seq = trace.records.size();
+    record.offset_us = event.offset_us;
+    record.client = "c" + std::to_string(event.client);
+    record.request = service::SummaryRequestToJson(request);
+    net::HttpResponse response;
+    if (client != nullptr) {
+      auto sent = client->Post("/summarize", record.RequestBody(), true,
+                               {{replay::kClientHeader, record.client}});
+      if (!sent.ok()) {
+        std::fprintf(stderr, "record: %s unreachable at seq %zu: %s\n",
+                     target.c_str(), trace.records.size(),
+                     sent.status().ToString().c_str());
+        return 1;
+      }
+      response = *std::move(sent);
+    } else {
+      response = stack->handler->Summarize(request);
+    }
+    if (response.status != 200) {
+      std::fprintf(stderr, "record: HTTP %d at seq %zu: %s\n",
+                   response.status, trace.records.size(),
+                   response.body.c_str());
+      return 1;
+    }
+    record.status = response.status;
+    record.fingerprint =
+        replay::ResponseFingerprint(response.status, response.body);
+    trace.records.push_back(std::move(record));
+  }
+  const Status written = replay::WriteTrace(path, trace);
+  if (!written.ok()) {
+    std::fprintf(stderr, "record: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "recorded %zu requests (%s scenario, %zu-task universe, %s) to %s\n",
+      trace.size(), replay::ScenarioKindName(*kind), universe.size(),
+      target.empty() ? "in-process" : target.c_str(), path.c_str());
+  return 0;
+}
+
+int RunReplay(const std::string& path) {
+  auto loaded = replay::LoadTrace(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "replay: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const replay::Trace trace = *std::move(loaded);
+  replay::ReplayOptions options;
+  options.speed = GetEnvDouble("XSUM_REPLAY_SPEED", 1.0);
+  if (!(options.speed > 0.0)) {
+    std::fprintf(stderr, "XSUM_REPLAY_SPEED must be > 0\n");
+    return 2;
+  }
+  options.num_clients =
+      static_cast<size_t>(GetEnvNonNegativeInt("XSUM_CLIENTS", 0));
+  // Resolve the auto client count up front so the HTTP mode can build one
+  // keep-alive connection per client thread.
+  options.num_clients =
+      replay::BuildSchedule(trace, options).clients.size();
+
+  const std::string target = GetEnvString("XSUM_TARGET", "");
+  std::unique_ptr<ServingStack> stack;
+  std::vector<std::unique_ptr<net::HttpClient>> clients;
+  std::function<net::HttpResponse(size_t, const replay::TraceRecord&)> issue;
+  if (!target.empty()) {
+    auto endpoint = service::ParseEndpoint(target);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "XSUM_TARGET: %s\n",
+                   endpoint.status().ToString().c_str());
+      return 2;
+    }
+    for (size_t c = 0; c < options.num_clients; ++c) {
+      clients.push_back(std::make_unique<net::HttpClient>(endpoint->first,
+                                                          endpoint->second));
+    }
+    issue = [&clients](size_t c, const replay::TraceRecord& record) {
+      auto sent = clients[c]->Post(
+          "/summarize", record.RequestBody(), true,
+          {{replay::kClientHeader, record.client}});
+      if (!sent.ok()) {
+        // Transport failures surface as a status no trace records (599),
+        // so they always count as a divergence in the report.
+        net::HttpResponse failure;
+        failure.status = 599;
+        failure.body = sent.status().ToString();
+        return failure;
+      }
+      return *std::move(sent);
+    };
+  } else {
+    stack = BuildStack(std::max<size_t>(options.num_clients, 1));
+    if (!stack) return 1;
+    issue = [&stack](size_t, const replay::TraceRecord& record) {
+      const net::HttpRequest request{
+          "POST", "/summarize", 1, {}, record.RequestBody(), true};
+      return stack->handler->Handle(request);
+    };
+  }
+
+  const replay::ReplayReport report = replay::Replay(trace, options, issue);
+  std::printf(
+      "replayed %llu/%zu requests at %.2gx over %zu clients (%s) in "
+      "%.1f ms | p50 %.3f ms, p99 %.3f ms | max schedule lag %.1f ms\n",
+      static_cast<unsigned long long>(report.issued), trace.size(),
+      options.speed, options.num_clients,
+      target.empty() ? "in-process" : target.c_str(), report.wall_ms,
+      report.latencies_ms.Percentile(50.0),
+      report.latencies_ms.Percentile(99.0), report.max_lag_ms);
+  std::printf("fingerprints: %llu matched, %llu mismatched, %llu failed\n",
+              static_cast<unsigned long long>(report.matched),
+              static_cast<unsigned long long>(report.mismatched),
+              static_cast<unsigned long long>(report.failed));
+  if (!report.ok) {
+    std::fprintf(stderr, "replay DIVERGED: %s\n",
+                 report.first_divergence_detail.c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -360,14 +622,8 @@ int RunBench() {
   if (!stack) return 1;
 
   // Request universe: every catalog (unit, k) under ST λ=1.
-  std::vector<service::SummaryRequest> universe;
-  for (const auto& entry : stack->catalog.entries()) {
-    service::SummaryRequest request;
-    request.scenario = entry.scenario;
-    request.unit = entry.unit;
-    request.k = entry.k;
-    universe.push_back(request);
-  }
+  const std::vector<service::SummaryRequest> universe =
+      CatalogUniverse(stack->catalog);
 
   std::printf("xsum_server bench: forking 2 shard processes...\n");
   ShardProcess shard_a, shard_b;
@@ -481,7 +737,16 @@ int main(int argc, char** argv) {
   }
   if (mode == "request") return RunRequest();
   if (mode == "bench") return RunBench();
+  if (mode == "record" || mode == "replay") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: xsum_server %s <trace-file>\n",
+                   mode.c_str());
+      return 2;
+    }
+    return mode == "record" ? RunRecord(argv[2]) : RunReplay(argv[2]);
+  }
   std::fprintf(stderr,
-               "usage: xsum_server [bench|serve|oneshot <json>|request]\n");
+               "usage: xsum_server [bench|serve|oneshot <json>|request|"
+               "record <file>|replay <file>]\n");
   return 2;
 }

@@ -6,10 +6,13 @@
 /// service's `/stats` document uses).
 ///
 /// Concurrency shape: each client owns a contiguous index range (the last
-/// one takes the remainder, so every slot is written exactly once),
+/// one takes the remainder, so every slot is written at most once),
 /// latencies land in index-addressed slots during the run, and the
 /// accumulator is folded only after the join — `StatAccumulator::Add` is
-/// not thread-safe and fold order must not depend on the schedule.
+/// not thread-safe and fold order must not depend on the schedule. Only
+/// slots a client actually completed are folded: a client that fails and
+/// returns early leaves its remaining slots untouched, and folding those
+/// zero-initialized slots would silently drag every percentile toward 0.
 
 #ifndef XSUM_NET_REPLAY_H_
 #define XSUM_NET_REPLAY_H_
@@ -49,6 +52,10 @@ inline ReplayStats ReplayConcurrent(
   ReplayStats result;
   if (num_clients == 0) num_clients = 1;
   std::vector<double> slots(count, 0.0);
+  // How many requests client c answered successfully from its range
+  // start; written by client c before the join, read only after the join
+  // synchronizes — no atomics needed.
+  std::vector<size_t> completed(num_clients, 0);
   std::atomic<bool> failed{false};
   sync::Mutex error_mutex;
   const size_t share = count / num_clients;
@@ -73,13 +80,19 @@ inline ReplayStats ReplayConcurrent(
           }
           return;
         }
+        completed[c] = i - begin + 1;
       }
     });
   }
   for (std::thread& client : clients) client.join();
   result.wall_ms = timer.ElapsedMillis();
   result.ok = !failed.load();
-  for (const double ms : slots) result.latencies_ms.Add(ms);
+  for (size_t c = 0; c < num_clients; ++c) {
+    const size_t begin = c * share;
+    for (size_t i = begin; i < begin + completed[c]; ++i) {
+      result.latencies_ms.Add(slots[i]);
+    }
+  }
   return result;
 }
 

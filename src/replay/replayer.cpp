@@ -1,0 +1,135 @@
+#include "replay/replayer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "util/sync.h"
+#include "util/timer.h"
+
+namespace xsum::replay {
+
+ReplaySchedule BuildSchedule(const Trace& trace,
+                             const ReplayOptions& options) {
+  const double speed = options.speed > 0.0 ? options.speed : 1.0;
+  // Distinct client ids in first-appearance order decide the thread
+  // mapping; with fewer threads than ids, ids fold modulo the count, so
+  // any one client's requests still run on one thread, in order.
+  std::map<std::string, size_t> client_slot;
+  std::vector<size_t> record_slot(trace.records.size(), 0);
+  for (size_t i = 0; i < trace.records.size(); ++i) {
+    const auto [it, inserted] = client_slot.emplace(
+        trace.records[i].client, client_slot.size());
+    record_slot[i] = it->second;
+    static_cast<void>(inserted);
+  }
+  size_t num_clients = options.num_clients;
+  if (num_clients == 0) {
+    num_clients = std::min<size_t>(std::max<size_t>(client_slot.size(), 1),
+                                   16);
+  }
+  ReplaySchedule schedule;
+  schedule.clients.resize(num_clients);
+  for (size_t i = 0; i < trace.records.size(); ++i) {
+    const int64_t target_us = static_cast<int64_t>(
+        static_cast<double>(trace.records[i].offset_us) / speed);
+    schedule.clients[record_slot[i] % num_clients].push_back(
+        ReplaySchedule::Entry{i, target_us});
+  }
+  return schedule;
+}
+
+ReplayReport Replay(
+    const Trace& trace, const ReplayOptions& options,
+    const std::function<net::HttpResponse(size_t c, const TraceRecord&)>&
+        issue) {
+  ReplayReport report;
+  const ReplaySchedule schedule = BuildSchedule(trace, options);
+  const size_t num_clients = schedule.clients.size();
+
+  struct ClientResult {
+    std::vector<double> latencies_ms;
+    uint64_t matched = 0;
+    uint64_t mismatched = 0;
+    uint64_t failed = 0;
+    uint64_t first_divergence_seq = 0;
+    std::string first_divergence_detail;
+    double max_lag_ms = 0.0;
+  };
+  std::vector<ClientResult> results(num_clients);
+
+  WallTimer clock;
+  clock.Start();
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientResult& mine = results[c];
+      mine.latencies_ms.reserve(schedule.clients[c].size());
+      for (const ReplaySchedule::Entry& entry : schedule.clients[c]) {
+        const TraceRecord& record = trace.records[entry.record_index];
+        const int64_t now_us = clock.ElapsedMicros();
+        if (now_us < entry.target_us) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(entry.target_us - now_us));
+        } else {
+          mine.max_lag_ms = std::max(
+              mine.max_lag_ms,
+              static_cast<double>(now_us - entry.target_us) / 1000.0);
+        }
+        WallTimer rt;
+        rt.Start();
+        const net::HttpResponse response = issue(c, record);
+        mine.latencies_ms.push_back(rt.ElapsedMillis());
+        const bool status_ok = response.status == record.status;
+        if (!status_ok) ++mine.failed;
+        bool fingerprint_ok = true;
+        if (options.verify_fingerprints) {
+          const std::string fp =
+              ResponseFingerprint(response.status, response.body);
+          fingerprint_ok = fp == record.fingerprint;
+          if (status_ok) {
+            if (fingerprint_ok) {
+              ++mine.matched;
+            } else {
+              ++mine.mismatched;
+            }
+          }
+        }
+        if ((!status_ok || !fingerprint_ok) &&
+            mine.first_divergence_detail.empty()) {
+          mine.first_divergence_seq = record.seq;
+          mine.first_divergence_detail =
+              "seq " + std::to_string(record.seq) + ": recorded status " +
+              std::to_string(record.status) + " fp " + record.fingerprint +
+              ", replay got status " + std::to_string(response.status) +
+              " fp " + ResponseFingerprint(response.status, response.body);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  report.wall_ms = clock.ElapsedMillis();
+
+  // Deterministic fold order (client 0 first), independent of the
+  // interleaving the threads actually ran with.
+  for (const ClientResult& r : results) {
+    for (const double ms : r.latencies_ms) report.latencies_ms.Add(ms);
+    report.issued += r.latencies_ms.size();
+    report.matched += r.matched;
+    report.mismatched += r.mismatched;
+    report.failed += r.failed;
+    report.max_lag_ms = std::max(report.max_lag_ms, r.max_lag_ms);
+    if (!r.first_divergence_detail.empty() &&
+        (report.first_divergence_detail.empty() ||
+         r.first_divergence_seq < report.first_divergence_seq)) {
+      report.first_divergence_seq = r.first_divergence_seq;
+      report.first_divergence_detail = r.first_divergence_detail;
+    }
+  }
+  report.ok = report.mismatched == 0 && report.failed == 0;
+  return report;
+}
+
+}  // namespace xsum::replay

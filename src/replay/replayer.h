@@ -1,0 +1,103 @@
+/// \file replayer.h
+/// \brief Open-loop trace replay (DESIGN.md §10): schedule a loaded
+/// `replay::Trace` against a live target at a speed multiple of the
+/// recorded inter-arrival gaps, and verify — via the recorded
+/// fingerprints — that the serving fleet still answers the stream
+/// byte-identically.
+///
+/// Scheduling model: each record's target start is `offset_us / speed`
+/// on a single monotonic clock started when the replay begins (speed 2.0
+/// replays twice as fast). Records are partitioned across client threads
+/// by their recorded client id — distinct ids map to threads by first
+/// appearance order, folded modulo the thread count — so per-client
+/// request order is always preserved. The loop is *open*: a thread sleeps
+/// until each target time and then issues regardless of whether earlier
+/// responses have returned, which is what makes replayed load reproduce
+/// recorded burstiness instead of adapting to the target's speed; the
+/// achieved lag behind the schedule is reported (`max_lag_ms`).
+///
+/// Determinism: `BuildSchedule` is a pure function of (trace, options) —
+/// same inputs give the identical schedule, and against a deterministic
+/// serving stack the fingerprint verification makes "same seed ⇒
+/// byte-identical responses" a checked property, not a hope.
+
+#ifndef XSUM_REPLAY_REPLAYER_H_
+#define XSUM_REPLAY_REPLAYER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "replay/trace.h"
+#include "util/stats.h"
+
+namespace xsum::replay {
+
+/// \brief Replay knobs.
+struct ReplayOptions {
+  /// Speed multiple of the recorded gaps: 1.0 = real time, 4.0 = 4x
+  /// faster. Must be > 0.
+  double speed = 1.0;
+  /// Client threads; 0 means one per distinct recorded client id,
+  /// capped at 16.
+  size_t num_clients = 0;
+  /// Compare each response's `ResponseFingerprint` against the record.
+  bool verify_fingerprints = true;
+};
+
+/// \brief Deterministic replay schedule: for each client thread, the
+/// trace-record indices it issues, in recorded order, each with its
+/// target start time.
+struct ReplaySchedule {
+  struct Entry {
+    size_t record_index = 0;
+    int64_t target_us = 0;
+
+    bool operator==(const Entry&) const = default;
+  };
+  std::vector<std::vector<Entry>> clients;
+
+  bool operator==(const ReplaySchedule&) const = default;
+};
+
+/// Pure function of (trace, options); see the file comment for the
+/// client-mapping and timing rules.
+ReplaySchedule BuildSchedule(const Trace& trace,
+                             const ReplayOptions& options);
+
+/// \brief Outcome of one replay pass.
+struct ReplayReport {
+  double wall_ms = 0.0;
+  /// Client-observed per-request latencies (every issued request).
+  StatAccumulator latencies_ms;
+  uint64_t issued = 0;
+  /// Fingerprint comparisons that matched / diverged (when verifying).
+  uint64_t matched = 0;
+  uint64_t mismatched = 0;
+  /// Responses whose status differed from the recorded status.
+  uint64_t failed = 0;
+  /// First divergence, for the error message (valid when mismatched or
+  /// failed > 0).
+  uint64_t first_divergence_seq = 0;
+  std::string first_divergence_detail;
+  /// Worst lag behind the open-loop schedule actually achieved.
+  double max_lag_ms = 0.0;
+  /// True iff every response matched its record.
+  bool ok = true;
+};
+
+/// Replays \p trace through \p issue (must be thread-safe across client
+/// threads); \p issue answers the record for client thread \p c. The
+/// replay continues past divergences — the report carries the counts and
+/// the first offender — so one bad response surfaces as a verdict, not a
+/// truncated run.
+ReplayReport Replay(
+    const Trace& trace, const ReplayOptions& options,
+    const std::function<net::HttpResponse(size_t c, const TraceRecord&)>&
+        issue);
+
+}  // namespace xsum::replay
+
+#endif  // XSUM_REPLAY_REPLAYER_H_

@@ -1,0 +1,188 @@
+#include "replay/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace xsum::replay {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+int64_t ClampGapUs(double gap) {
+  if (!(gap >= 1.0)) return 1;
+  if (gap > 60.0e6) return 60'000'000;
+  return static_cast<int64_t>(gap);
+}
+
+/// Diurnal: two full sinusoidal "days" across the event count modulate the
+/// arrival rate between 0.4x and 1.6x of baseline, while the Zipf rank→pick
+/// mapping rotates through the universe so the hot set drifts.
+std::vector<ArrivalEvent> Diurnal(size_t universe_size,
+                                  const ScenarioOptions& options) {
+  Rng rng(options.seed);
+  ZipfTable zipf(universe_size, options.zipf_skew);
+  std::vector<ArrivalEvent> events;
+  events.reserve(options.count);
+  int64_t offset = 0;
+  for (size_t i = 0; i < options.count; ++i) {
+    const double phase =
+        static_cast<double>(i) / static_cast<double>(options.count);
+    const double rate = 1.0 + 0.6 * std::sin(2.0 * kPi * 2.0 * phase);
+    const double gap =
+        rng.Exponential(1.0) * options.mean_gap_us / rate;
+    offset += ClampGapUs(gap);
+    // The top Zipf ranks point at a slowly rotating base index: the same
+    // skew, a different hot set each simulated "day".
+    const size_t drift = (phase > 0.0)
+        ? static_cast<size_t>(phase * static_cast<double>(universe_size))
+        : 0;
+    const size_t rank = static_cast<size_t>(zipf.Sample(&rng));
+    events.push_back(ArrivalEvent{
+        offset,
+        static_cast<uint32_t>(rng.Uniform(std::max<uint32_t>(options.clients, 1))),
+        (rank + drift) % universe_size});
+  }
+  return events;
+}
+
+/// HotKey: steady Zipf background; inside [storm_begin, storm_end) the rate
+/// multiplies by storm_rate_boost and storm_hot_frac of picks collapse onto
+/// one seeded hot key.
+std::vector<ArrivalEvent> HotKey(size_t universe_size,
+                                 const ScenarioOptions& options) {
+  Rng rng(options.seed);
+  ZipfTable zipf(universe_size, options.zipf_skew);
+  const size_t hot = static_cast<size_t>(rng.Uniform(universe_size));
+  std::vector<ArrivalEvent> events;
+  events.reserve(options.count);
+  int64_t offset = 0;
+  for (size_t i = 0; i < options.count; ++i) {
+    const double phase =
+        static_cast<double>(i) / static_cast<double>(options.count);
+    const bool storm = phase >= options.storm_begin_frac &&
+                       phase < options.storm_end_frac;
+    const double boost =
+        storm ? std::max(options.storm_rate_boost, 1.0) : 1.0;
+    offset += ClampGapUs(rng.Exponential(1.0) * options.mean_gap_us / boost);
+    size_t pick = static_cast<size_t>(zipf.Sample(&rng));
+    if (storm && rng.Bernoulli(options.storm_hot_frac)) pick = hot;
+    events.push_back(ArrivalEvent{
+        offset,
+        static_cast<uint32_t>(rng.Uniform(std::max<uint32_t>(options.clients, 1))),
+        pick});
+  }
+  return events;
+}
+
+/// MultiTenant: each tenant is an independent Poisson stream with its own
+/// skew and a preferred slice of the universe; the streams are merged by
+/// offset and the client id IS the tenant id, so per-group eval stats can
+/// split the populations back apart.
+std::vector<ArrivalEvent> MultiTenant(size_t universe_size,
+                                      const ScenarioOptions& options) {
+  const uint32_t tenants = std::max<uint32_t>(options.tenants, 1);
+  std::vector<ArrivalEvent> events;
+  events.reserve(options.count);
+  for (uint32_t t = 0; t < tenants; ++t) {
+    Rng rng(options.seed * 1000003ull + t);
+    // Tenant skews fan out from near-uniform to strongly skewed.
+    const double skew =
+        options.zipf_skew * (0.5 + static_cast<double>(t) /
+                                       static_cast<double>(tenants));
+    const size_t slice = std::max<size_t>(universe_size / tenants, 1);
+    const size_t base = (static_cast<size_t>(t) * slice) % universe_size;
+    ZipfTable zipf(slice, skew);
+    const size_t share = options.count / tenants +
+                         (t < options.count % tenants ? 1 : 0);
+    int64_t offset = 0;
+    for (size_t i = 0; i < share; ++i) {
+      offset += ClampGapUs(rng.Exponential(1.0) * options.mean_gap_us *
+                           static_cast<double>(tenants));
+      const size_t pick =
+          (base + static_cast<size_t>(zipf.Sample(&rng))) % universe_size;
+      events.push_back(ArrivalEvent{offset, t, pick});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ArrivalEvent& a, const ArrivalEvent& b) {
+                     return a.offset_us < b.offset_us;
+                   });
+  return events;
+}
+
+/// Recency: a window of window_frac * universe slides once across the
+/// universe over the run; picks are uniform within the current window.
+std::vector<ArrivalEvent> Recency(size_t universe_size,
+                                  const ScenarioOptions& options) {
+  Rng rng(options.seed);
+  const size_t window = std::max<size_t>(
+      static_cast<size_t>(options.window_frac *
+                          static_cast<double>(universe_size)),
+      1);
+  std::vector<ArrivalEvent> events;
+  events.reserve(options.count);
+  int64_t offset = 0;
+  for (size_t i = 0; i < options.count; ++i) {
+    offset += ClampGapUs(rng.Exponential(1.0) * options.mean_gap_us);
+    const double phase =
+        static_cast<double>(i) / static_cast<double>(options.count);
+    const size_t start = static_cast<size_t>(
+        phase * static_cast<double>(universe_size));
+    const size_t pick =
+        (start + static_cast<size_t>(rng.Uniform(window))) % universe_size;
+    events.push_back(ArrivalEvent{
+        offset,
+        static_cast<uint32_t>(rng.Uniform(std::max<uint32_t>(options.clients, 1))),
+        pick});
+  }
+  return events;
+}
+
+}  // namespace
+
+const char* ScenarioKindName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kDiurnal:
+      return "diurnal";
+    case ScenarioKind::kHotKey:
+      return "hotkey";
+    case ScenarioKind::kMultiTenant:
+      return "tenants";
+    case ScenarioKind::kRecency:
+      return "recency";
+  }
+  return "unknown";
+}
+
+Result<ScenarioKind> ParseScenarioKind(std::string_view name) {
+  if (name == "diurnal") return ScenarioKind::kDiurnal;
+  if (name == "hotkey") return ScenarioKind::kHotKey;
+  if (name == "tenants") return ScenarioKind::kMultiTenant;
+  if (name == "recency") return ScenarioKind::kRecency;
+  return Status::InvalidArgument(
+      "unknown scenario '" + std::string(name) +
+      "' (expected diurnal|hotkey|tenants|recency)");
+}
+
+std::vector<ArrivalEvent> GenerateScenario(ScenarioKind kind,
+                                           size_t universe_size,
+                                           const ScenarioOptions& options) {
+  if (universe_size == 0 || options.count == 0) return {};
+  switch (kind) {
+    case ScenarioKind::kDiurnal:
+      return Diurnal(universe_size, options);
+    case ScenarioKind::kHotKey:
+      return HotKey(universe_size, options);
+    case ScenarioKind::kMultiTenant:
+      return MultiTenant(universe_size, options);
+    case ScenarioKind::kRecency:
+      return Recency(universe_size, options);
+  }
+  return {};
+}
+
+}  // namespace xsum::replay

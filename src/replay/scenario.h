@@ -1,0 +1,92 @@
+/// \file scenario.h
+/// \brief Synthetic workload scenario generators (DESIGN.md §10): seeded,
+/// deterministic arrival schedules over an abstract request universe,
+/// generalizing the one hard-coded Zipf loop the serving benches started
+/// from. A generator emits `(offset_us, client, pick)` events; the driver
+/// maps picks to concrete `/summarize` requests and — after issuing them
+/// once for fingerprints — writes a standard `replay::Trace`, so every
+/// scenario replays through exactly the same machinery as a live-recorded
+/// stream.
+///
+/// Scenarios:
+///  - **diurnal** — Zipf-distributed picks whose arrival rate swings
+///    sinusoidally through two simulated "days" while the hot set drifts
+///    (rank→pick rotation), modeling slow popularity churn.
+///  - **hotkey** — steady Zipf background with a storm window in which
+///    the rate multiplies and most picks collapse onto one hot key: the
+///    single-flight / cache-stampede stressor.
+///  - **tenants** — several client populations with distinct skews and
+///    preferred universe slices, Poisson-interleaved: the multi-tenant
+///    mix where per-group fairness stats diverge.
+///  - **recency** — a sliding window over the universe; picks are
+///    uniform within the window as it advances (the bench_fig16
+///    time-slice pattern as an arrival process).
+///
+/// Determinism: same (kind, universe, options) ⇒ identical event vector,
+/// bit for bit. Events are emitted sorted by offset; ties keep generation
+/// order.
+
+#ifndef XSUM_REPLAY_SCENARIO_H_
+#define XSUM_REPLAY_SCENARIO_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xsum::replay {
+
+enum class ScenarioKind {
+  kDiurnal,
+  kHotKey,
+  kMultiTenant,
+  kRecency,
+};
+
+/// "diurnal", "hotkey", "tenants", "recency".
+const char* ScenarioKindName(ScenarioKind kind);
+Result<ScenarioKind> ParseScenarioKind(std::string_view name);
+
+/// \brief Generator knobs; the defaults make every scenario meaningful at
+/// a few hundred events.
+struct ScenarioOptions {
+  size_t count = 1000;
+  uint64_t seed = 42;
+  /// Mean inter-arrival gap at the baseline rate.
+  double mean_gap_us = 1000.0;
+  double zipf_skew = 1.1;
+  /// Client threads the generator spreads non-tenant scenarios over.
+  uint32_t clients = 4;
+  /// hotkey: storm window as fractions of the event count, the share of
+  /// storm picks that hit the hot key, and the rate multiplier inside.
+  double storm_begin_frac = 0.4;
+  double storm_end_frac = 0.7;
+  double storm_hot_frac = 0.8;
+  double storm_rate_boost = 4.0;
+  /// tenants: client populations (each gets its own skew and slice).
+  uint32_t tenants = 3;
+  /// recency: window width as a fraction of the universe.
+  double window_frac = 0.25;
+};
+
+/// \brief One generated arrival.
+struct ArrivalEvent {
+  int64_t offset_us = 0;
+  /// Client index (tenant id for kMultiTenant).
+  uint32_t client = 0;
+  /// Request-universe index in [0, universe_size).
+  size_t pick = 0;
+
+  bool operator==(const ArrivalEvent&) const = default;
+};
+
+/// Generates \p options.count events over a universe of
+/// \p universe_size requests. \p universe_size must be >= 1.
+std::vector<ArrivalEvent> GenerateScenario(ScenarioKind kind,
+                                           size_t universe_size,
+                                           const ScenarioOptions& options);
+
+}  // namespace xsum::replay
+
+#endif  // XSUM_REPLAY_SCENARIO_H_

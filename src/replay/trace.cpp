@@ -1,0 +1,259 @@
+#include "replay/trace.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace xsum::replay {
+
+namespace {
+
+std::string LineError(size_t line, const std::string& message) {
+  return "trace line " + std::to_string(line) + ": " + message;
+}
+
+bool IsHex16(std::string_view s) {
+  if (s.size() != 16) return false;
+  for (const char c : s) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t Fingerprint64(std::string_view bytes) {
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+std::string ResponseFingerprint(int status, std::string_view body) {
+  std::string material = std::to_string(status);
+  material.push_back('\n');
+  material.append(body);
+  const uint64_t hash = Fingerprint64(material);
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = kHex[(hash >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+net::JsonValue TraceRecord::ToJson() const {
+  net::JsonValue json = net::JsonValue::Object();
+  json.Set("v", kTraceVersion);
+  json.Set("seq", static_cast<int64_t>(seq));
+  json.Set("offset_us", offset_us);
+  json.Set("client", client);
+  json.Set("request", request);
+  json.Set("status", static_cast<int64_t>(status));
+  json.Set("fp", fingerprint);
+  return json;
+}
+
+Result<TraceRecord> TraceRecordFromJson(const net::JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("record must be a JSON object");
+  }
+  const net::JsonValue* version = json.Find("v");
+  if (version == nullptr || !version->is_int()) {
+    return Status::InvalidArgument("record requires an integer 'v'");
+  }
+  if (version->AsInt() != kTraceVersion) {
+    return Status::InvalidArgument(
+        "unsupported trace version " + std::to_string(version->AsInt()) +
+        " (this build reads v" + std::to_string(kTraceVersion) + ")");
+  }
+  TraceRecord record;
+  const net::JsonValue* seq = json.Find("seq");
+  if (seq == nullptr || !seq->is_int() || seq->AsInt() < 0) {
+    return Status::InvalidArgument(
+        "record requires a non-negative integer 'seq'");
+  }
+  record.seq = static_cast<uint64_t>(seq->AsInt());
+  const net::JsonValue* offset = json.Find("offset_us");
+  if (offset == nullptr || !offset->is_int() || offset->AsInt() < 0) {
+    return Status::InvalidArgument(
+        "record requires a non-negative integer 'offset_us'");
+  }
+  record.offset_us = offset->AsInt();
+  const net::JsonValue* client = json.Find("client");
+  if (client == nullptr || !client->is_string()) {
+    return Status::InvalidArgument("record requires a string 'client'");
+  }
+  record.client = client->AsString();
+  const net::JsonValue* request = json.Find("request");
+  if (request == nullptr || !request->is_object()) {
+    return Status::InvalidArgument("record requires a 'request' object");
+  }
+  record.request = *request;
+  const net::JsonValue* status = json.Find("status");
+  if (status == nullptr || !status->is_int() || status->AsInt() < 100 ||
+      status->AsInt() > 599) {
+    return Status::InvalidArgument(
+        "record requires an integer 'status' in [100, 599]");
+  }
+  record.status = static_cast<int>(status->AsInt());
+  const net::JsonValue* fp = json.Find("fp");
+  if (fp == nullptr || !fp->is_string() || !IsHex16(fp->AsString())) {
+    return Status::InvalidArgument(
+        "record requires a 16-hex-char 'fp' fingerprint");
+  }
+  record.fingerprint = fp->AsString();
+  return record;
+}
+
+std::string Trace::Dump() const {
+  std::string out;
+  for (const TraceRecord& record : records) {
+    out += record.ToJson().Dump();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Trace> ParseTrace(std::string_view text) {
+  Trace trace;
+  size_t line_number = 0;
+  int64_t last_offset_us = 0;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t end = text.find('\n', begin);
+    const std::string_view line =
+        end == std::string_view::npos ? text.substr(begin)
+                                      : text.substr(begin, end - begin);
+    begin = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    if (line.empty()) {
+      // Only a trailing newline may leave an empty slot; blank interior
+      // lines would silently renumber every following seq check.
+      if (begin <= text.size()) {
+        return Status::InvalidArgument(
+            LineError(line_number + 1, "blank line inside trace"));
+      }
+      continue;
+    }
+    ++line_number;
+    auto json = net::ParseJson(std::string(line));
+    if (!json.ok()) {
+      return Status::InvalidArgument(
+          LineError(line_number, "unparseable record (truncated?): " +
+                                     json.status().message()));
+    }
+    auto record = TraceRecordFromJson(*json);
+    if (!record.ok()) {
+      return Status::InvalidArgument(
+          LineError(line_number, record.status().message()));
+    }
+    if (record->seq != trace.records.size()) {
+      return Status::InvalidArgument(LineError(
+          line_number, "non-contiguous seq " + std::to_string(record->seq) +
+                           " (expected " +
+                           std::to_string(trace.records.size()) + ")"));
+    }
+    if (record->offset_us < last_offset_us) {
+      return Status::InvalidArgument(LineError(
+          line_number,
+          "offset_us " + std::to_string(record->offset_us) +
+              " decreases below " + std::to_string(last_offset_us)));
+    }
+    last_offset_us = record->offset_us;
+    trace.records.push_back(*std::move(record));
+  }
+  return trace;
+}
+
+Result<Trace> LoadTrace(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open trace " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::string text;
+  char buffer[1 << 16];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, read);
+  }
+  std::fclose(file);
+  auto trace = ParseTrace(text);
+  if (!trace.ok()) {
+    return Status::InvalidArgument(path + ": " + trace.status().message());
+  }
+  return trace;
+}
+
+Status WriteTrace(const std::string& path, const Trace& trace) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing: " +
+                           std::strerror(errno));
+  }
+  const std::string text = trace.Dump();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const int closed = std::fclose(file);
+  if (written != text.size() || closed != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+TraceSink::TraceSink(std::FILE* file) : file_(file) { timer_.Start(); }
+
+TraceSink::~TraceSink() { static_cast<void>(Close()); }
+
+Result<std::unique_ptr<TraceSink>> TraceSink::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open trace sink " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<TraceSink>(new TraceSink(file));
+}
+
+void TraceSink::Record(std::string client, net::JsonValue request,
+                       int status, std::string_view response_body) {
+  const std::string fingerprint =
+      ResponseFingerprint(status, response_body);
+  sync::MutexLock lock(mu_);
+  if (file_ == nullptr) return;
+  TraceRecord record;
+  record.seq = next_seq_++;
+  // Stamped under the lock: offsets are non-decreasing in file order by
+  // construction, which is the ParseTrace invariant.
+  const int64_t offset_us =
+      static_cast<int64_t>(timer_.ElapsedMillis() * 1000.0);
+  record.offset_us = offset_us < last_offset_us_ ? last_offset_us_
+                                                 : offset_us;
+  last_offset_us_ = record.offset_us;
+  record.client = std::move(client);
+  record.request = std::move(request);
+  record.status = status;
+  record.fingerprint = fingerprint;
+  const std::string line = record.ToJson().Dump();
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+}
+
+uint64_t TraceSink::recorded() const {
+  sync::MutexLock lock(mu_);
+  return next_seq_;
+}
+
+Status TraceSink::Close() {
+  sync::MutexLock lock(mu_);
+  if (file_ == nullptr) return Status::OK();
+  const int flushed = std::fflush(file_);
+  const int closed = std::fclose(file_);
+  file_ = nullptr;
+  if (flushed != 0 || closed != 0) {
+    return Status::IOError("trace sink close failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace xsum::replay

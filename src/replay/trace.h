@@ -1,0 +1,138 @@
+/// \file trace.h
+/// \brief Versioned request-trace format plus the recording sink
+/// (DESIGN.md §10): the serving path captures each answered `/summarize`
+/// request as one JSONL line — arrival offset on the recorder's monotonic
+/// clock, client id, canonical wire-form request, response status, and a
+/// response-body fingerprint — and `ParseTrace`/`LoadTrace` reload it
+/// strictly for deterministic replay.
+///
+/// Format, one record per line (version `v` = 1):
+///
+///   {"v":1,"seq":0,"offset_us":0,"client":"c0",
+///    "request":{...canonical /summarize body...},"status":200,
+///    "fp":"<16 hex chars: FNV-1a-64 of status + body>"}
+///
+/// `seq` is the 0-based line index (contiguity is validated), `offset_us`
+/// the microseconds since the sink opened (non-decreasing — the sink
+/// stamps offsets under its append lock, so the file order *is* the
+/// arrival order). The fingerprint pins the response bytes without
+/// storing them: a replay pass recomputes it from each live response and
+/// any mismatch means the fleet no longer answers this stream
+/// byte-identically. Strictness is deliberate: a malformed, truncated, or
+/// reordered line fails the load with its line number instead of
+/// replaying a silently different workload.
+
+#ifndef XSUM_REPLAY_TRACE_H_
+#define XSUM_REPLAY_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/json.h"
+#include "util/status.h"
+#include "util/sync.h"
+#include "util/timer.h"
+
+namespace xsum::replay {
+
+/// Trace format version this build reads and writes.
+inline constexpr int64_t kTraceVersion = 1;
+
+/// Optional request header naming the recorded client id; absent clients
+/// record as "".
+inline constexpr char kClientHeader[] = "X-Xsum-Client";
+inline constexpr char kClientHeaderLower[] = "x-xsum-client";
+
+/// FNV-1a 64-bit over \p bytes.
+uint64_t Fingerprint64(std::string_view bytes);
+
+/// The response fingerprint a trace records: FNV-1a-64 over the status
+/// line and body, as 16 lowercase hex characters.
+std::string ResponseFingerprint(int status, std::string_view body);
+
+/// \brief One recorded request.
+struct TraceRecord {
+  uint64_t seq = 0;
+  int64_t offset_us = 0;
+  std::string client;
+  /// Canonical wire-form `/summarize` body (`SummaryRequestToJson` form).
+  net::JsonValue request;
+  int status = 200;
+  /// `ResponseFingerprint` of the recorded response.
+  std::string fingerprint;
+
+  net::JsonValue ToJson() const;
+  /// The request body a replay posts.
+  std::string RequestBody() const { return request.Dump(); }
+};
+
+/// Strict parse of one trace line's JSON object (no positional checks —
+/// `ParseTrace` adds seq contiguity and offset monotonicity).
+Result<TraceRecord> TraceRecordFromJson(const net::JsonValue& json);
+
+/// \brief A loaded trace: records in arrival order.
+struct Trace {
+  std::vector<TraceRecord> records;
+
+  size_t size() const { return records.size(); }
+  bool empty() const { return records.empty(); }
+  /// The JSONL document `ParseTrace` reloads.
+  std::string Dump() const;
+};
+
+/// Parses a JSONL trace document. Errors carry the 1-based line number
+/// and reject: unparseable JSON (including a truncated final line),
+/// unknown versions, missing or ill-typed members, non-contiguous `seq`,
+/// decreasing `offset_us`, out-of-range statuses, and malformed
+/// fingerprints.
+Result<Trace> ParseTrace(std::string_view text);
+
+/// `ParseTrace` over the contents of \p path.
+Result<Trace> LoadTrace(const std::string& path);
+
+/// Writes \p trace to \p path (the whole-file complement of `TraceSink`
+/// for generated scenarios).
+Status WriteTrace(const std::string& path, const Trace& trace);
+
+/// \brief Thread-safe JSONL appender for live recording on the serving
+/// path (the `XSUM_TRACE_RECORD` toggle). Sequence numbers and arrival
+/// offsets are assigned under the append lock, so the emitted file always
+/// satisfies the `ParseTrace` ordering invariants.
+class TraceSink {
+ public:
+  /// Opens (truncates) \p path for recording.
+  static Result<std::unique_ptr<TraceSink>> Open(const std::string& path);
+
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Appends one answered request; the offset is stamped now, on the
+  /// sink's own monotonic clock.
+  void Record(std::string client, net::JsonValue request, int status,
+              std::string_view response_body);
+
+  uint64_t recorded() const;
+
+  /// Flushes and closes the file; further Records are dropped.
+  /// Idempotent (the destructor closes too).
+  Status Close();
+
+ private:
+  explicit TraceSink(std::FILE* file);
+
+  mutable sync::Mutex mu_;
+  std::FILE* file_ XSUM_GUARDED_BY(mu_);
+  uint64_t next_seq_ XSUM_GUARDED_BY(mu_) = 0;
+  int64_t last_offset_us_ XSUM_GUARDED_BY(mu_) = 0;
+  WallTimer timer_;
+};
+
+}  // namespace xsum::replay
+
+#endif  // XSUM_REPLAY_TRACE_H_

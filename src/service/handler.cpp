@@ -306,6 +306,12 @@ net::HttpResponse SummaryHandler::Dispatch(const net::HttpRequest& request,
     }
     return HandleMetrics(/*json_form=*/true);
   }
+  if (request.target == "/evalstats") {
+    if (request.method != "GET") {
+      return JsonError(405, "/evalstats requires GET");
+    }
+    return HandleEvalStats();
+  }
   if (request.target == "/traces") {
     if (request.method != "GET") {
       return JsonError(405, "/traces requires GET");
@@ -359,8 +365,27 @@ net::HttpResponse SummaryHandler::Summarize(const SummaryRequest& request,
     }
     return JsonError(500, result.status().ToString());
   }
+  if (eval_enabled()) {
+    // Evaluate against the snapshot the request was pinned to. A
+    // concurrent /snapshot publish can move the registry between the
+    // compute and this read; evaluating a summary against a *different*
+    // graph would poison the fleet-merge bit-identity, so a version
+    // mismatch is counted as a skip instead (itself a mergeable stat).
+    const GraphSnapshot snap = service_->CurrentSnapshot();
+    if (snap.valid() && snap.version == version) {
+      eval_stats_.RecordSummary(*snap.graph, **result);
+    } else {
+      eval_stats_.RecordSkipped();
+    }
+  }
   net::HttpResponse response;
   response.body = SummaryToJson(**result, version);
+  return response;
+}
+
+net::HttpResponse SummaryHandler::HandleEvalStats() {
+  net::HttpResponse response;
+  response.body = EvalSnapshot().ToJson().Dump();
   return response;
 }
 

@@ -30,6 +30,11 @@
 ///   GET  /metrics.json                           -> the same snapshot in its
 ///                                                   lossless JSON form (what
 ///                                                   the router scrapes+merges)
+///   GET  /evalstats                              -> mergeable evaluation
+///                                                   sufficient statistics
+///                                                   (eval/eval_stats.h; the
+///                                                   router scrapes+merges
+///                                                   these bit-exactly)
 ///   GET  /traces                                 -> recent request traces
 ///
 /// `/summarize` responses contain only *deterministic* fields (subgraph,
@@ -51,6 +56,7 @@
 
 #include "core/scenario.h"
 #include "core/summarizer.h"
+#include "eval/eval_stats.h"
 #include "net/http.h"
 #include "net/json.h"
 #include "service/service.h"
@@ -191,6 +197,23 @@ class SummaryHandler {
   /// Recent completed `/summarize` traces on this endpoint.
   const obs::TraceLog& trace_log() const { return trace_log_; }
 
+  /// Evaluation-statistics toggle (the `XSUM_EVAL_STATS` env knob): when
+  /// on (the default), every served summary is evaluated against the
+  /// snapshot it was computed on and folded into the mergeable
+  /// accumulator `/evalstats` exposes.
+  bool eval_enabled() const {
+    return eval_enabled_.load(std::memory_order_relaxed);
+  }
+  void set_eval_enabled(bool enabled) {
+    eval_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// This endpoint's evaluation sufficient statistics (the `/evalstats`
+  /// document before serialization; the router merges these).
+  eval::EvalStatsSnapshot EvalSnapshot() const {
+    return eval_stats_.Snapshot();
+  }
+
   const TaskCatalog& catalog() const { return *catalog_; }
   SummaryService* service() const { return service_; }
 
@@ -201,6 +224,7 @@ class SummaryHandler {
                                         obs::Trace* trace);
   net::HttpResponse HandleStats();
   net::HttpResponse HandleMetrics(bool json_form);
+  net::HttpResponse HandleEvalStats();
   net::HttpResponse HandleTraces();
   net::HttpResponse HandleHealthz();
   net::HttpResponse HandleReadyz();
@@ -215,7 +239,9 @@ class SummaryHandler {
   ExtraStatsFn extra_stats_;
   std::atomic<bool> draining_{false};
   std::atomic<bool> trace_enabled_{true};
+  std::atomic<bool> eval_enabled_{true};
   obs::TraceLog trace_log_;
+  eval::EvalAccumulator eval_stats_;
 };
 
 /// Renders \p summary as the deterministic `/summarize` response document

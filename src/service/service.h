@@ -191,6 +191,11 @@ class SummaryService {
   /// Version the next request will be served on (observes the registry).
   uint64_t serving_version() const { return registry_->current_version(); }
 
+  /// The registry's current snapshot, pinned by the returned copy (the
+  /// handler's eval accumulation evaluates served summaries against it —
+  /// and skips when a concurrent Publish made the served version differ).
+  GraphSnapshot CurrentSnapshot() const { return registry_->Current(); }
+
   const ServiceOptions& options() const { return options_; }
 
  private:

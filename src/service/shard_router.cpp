@@ -866,6 +866,39 @@ net::HttpResponse ShardRouter::HandleMetrics(bool json_form) {
   return response;
 }
 
+eval::EvalStatsSnapshot ShardRouter::FleetEvalStats() {
+  eval::EvalStatsSnapshot merged;
+  if (local_ != nullptr) merged += local_->EvalSnapshot();
+  // Same scrape-and-merge contract as FleetMetrics: each shard's
+  // /evalstats parses strictly, merges with the exact integer +=, and a
+  // failed scrape skips the shard and counts a router_scrape_errors.
+  for (size_t e = 0; e < endpoints_.size(); ++e) {
+    auto scraped = Forward(e, "/evalstats", "");
+    if (!scraped.ok() || scraped->status != 200) {
+      scrape_errors_->Add();
+      continue;
+    }
+    auto json = net::ParseJson(scraped->body);
+    if (!json.ok()) {
+      scrape_errors_->Add();
+      continue;
+    }
+    auto snapshot = eval::EvalStatsSnapshotFromJson(*json);
+    if (!snapshot.ok()) {
+      scrape_errors_->Add();
+      continue;
+    }
+    merged += *snapshot;
+  }
+  return merged;
+}
+
+net::HttpResponse ShardRouter::HandleEvalStats() {
+  net::HttpResponse response;
+  response.body = FleetEvalStats().ToJson().Dump();
+  return response;
+}
+
 net::HttpResponse ShardRouter::HandleTraces() {
   net::HttpResponse response;
   response.body = trace_log_.ToJson().Dump();
@@ -944,6 +977,9 @@ net::HttpResponse ShardRouter::Handle(const net::HttpRequest& request) {
     }
     if (request.target == "/metrics.json" && request.method == "GET") {
       return HandleMetrics(/*json_form=*/true);
+    }
+    if (request.target == "/evalstats" && request.method == "GET") {
+      return HandleEvalStats();
     }
     if (request.target == "/traces" && request.method == "GET") {
       return HandleTraces();

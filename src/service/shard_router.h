@@ -184,8 +184,9 @@ class ShardRouter {
   /// (with an "endpoint" body member) orchestrate graceful shard
   /// removal; `/stats` merges the router and local-service views;
   /// `/metrics` and `/metrics.json` answer the fleet-merged snapshot
-  /// (`FleetMetrics`) and `/traces` this router's trace log; everything
-  /// else answers from the local handler when present.
+  /// (`FleetMetrics`), `/evalstats` the fleet-merged evaluation
+  /// statistics (`FleetEvalStats`), and `/traces` this router's trace
+  /// log; everything else answers from the local handler when present.
   net::HttpResponse Handle(const net::HttpRequest& request);
 
   /// Routes one parsed summarize request (bench/driver entry).
@@ -197,6 +198,14 @@ class ShardRouter {
   /// merged exactly. A shard that fails to scrape is skipped and counted
   /// in `router_scrape_errors`.
   obs::MetricsSnapshot FleetMetrics();
+
+  /// The fleet-wide evaluation sufficient statistics: the local
+  /// handler's accumulator (when present) plus every shard's scraped
+  /// `/evalstats`, merged with the exact integer `+=` of
+  /// eval/eval_stats.h — **bit-identical** to one process that evaluated
+  /// the whole stream. Scrape failures are skipped and counted in
+  /// `router_scrape_errors`, same contract as `FleetMetrics`.
+  eval::EvalStatsSnapshot FleetEvalStats();
 
   /// Tracing toggle (the `XSUM_TRACE` env knob).
   bool trace_enabled() const {
@@ -317,6 +326,7 @@ class ShardRouter {
                                     const std::shared_ptr<obs::Trace>& trace);
 
   net::HttpResponse HandleMetrics(bool json_form);
+  net::HttpResponse HandleEvalStats();
   net::HttpResponse HandleTraces();
 
   /// Current hedge delay: max(hedge_min_ms, 1.25 × windowed p99),

@@ -148,6 +148,23 @@ const std::vector<EnvVarInfo>& EnvVarCatalog() {
        "minimum stderr log level (util/logging structured lines)"},
       {"XSUM_TRACE", "int", "1", "0 or 1", "xsum_server serve",
        "per-request tracing: X-Xsum-Trace propagation, spans, /traces log"},
+      {"XSUM_EVAL_STATS", "int", "1", "0 or 1", "xsum_server serve",
+       "evaluate every served summary into the mergeable /evalstats "
+       "sufficient statistics (eval/eval_stats.h)"},
+      {"XSUM_TRACE_RECORD", "string", "\"\" (disabled)", "file path",
+       "xsum_server serve",
+       "record every answered /summarize to this replay-trace JSONL file"},
+      {"XSUM_TARGET", "string", "\"\" (in-process)", "host:port",
+       "xsum_server record/replay",
+       "serving endpoint the record/replay drivers issue against; empty "
+       "answers from a fresh in-process stack"},
+      {"XSUM_SCENARIO", "string", "hotkey",
+       "diurnal, hotkey, tenants, or recency", "xsum_server record",
+       "synthetic workload generator for recorded traces (src/replay)"},
+      {"XSUM_GAP_US", "int", "1000", ">= 0", "xsum_server record",
+       "mean inter-arrival gap of the generated scenario, in microseconds"},
+      {"XSUM_REPLAY_SPEED", "double", "1.0", "> 0", "xsum_server replay",
+       "replay speed as a multiple of the recorded inter-arrival gaps"},
       {"XSUM_FAULT", "int", "0", "0 or 1", "bench_net",
        "run the fault-injection arm: kill one shard of a replicated fleet "
        "mid-stream, rejoin it, report per-phase latency"},

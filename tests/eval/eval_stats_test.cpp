@@ -1,0 +1,385 @@
+/// Tests of the mergeable evaluation sufficient statistics
+/// (eval/eval_stats.h): the ExactSum accumulator against IEEE hardware
+/// arithmetic, the shard-partition bit-identity property across shard
+/// counts and seeds, lossless JSON round-trips, and strict rejection of
+/// malformed scrape documents. The same properties over *real* served
+/// summaries and real HTTP scrapes live in
+/// tests/service/evalstats_endpoint_test.cpp.
+
+#include "eval/eval_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "net/json.h"
+#include "util/rng.h"
+
+namespace xsum::eval {
+namespace {
+
+/// Exact bit comparison — distinguishes ±0 and denies any ulp slack.
+bool BitEqual(double a, double b) {
+  uint64_t ab = 0;
+  uint64_t bb = 0;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+/// A random finite double with a wide exponent spread and random sign —
+/// far nastier than any real metric value, which is the point.
+double RandomDouble(Rng& rng) {
+  const double mantissa = rng.UniformDouble(1.0, 2.0);
+  const int exponent = static_cast<int>(rng.UniformInt(-320, 320));
+  const double magnitude = std::ldexp(mantissa, exponent);
+  return rng.Bernoulli(0.5) ? -magnitude : magnitude;
+}
+
+TEST(ExactSumTest, PairSumsMatchHardwareExactly) {
+  // IEEE a+b is the exact sum rounded once; so is ExactSum{a,b}.ToDouble.
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double a = RandomDouble(rng);
+    const double b = RandomDouble(rng);
+    if (!std::isfinite(a + b)) continue;
+    ExactSum sum;
+    ASSERT_TRUE(sum.Add(a));
+    ASSERT_TRUE(sum.Add(b));
+    EXPECT_TRUE(BitEqual(sum.ToDouble(), a + b))
+        << "a=" << a << " b=" << b << " got " << sum.ToDouble();
+  }
+}
+
+TEST(ExactSumTest, SingleValuesRoundTripExactly) {
+  const std::vector<double> extremes = {
+      0.0,
+      1.0,
+      -1.0,
+      DBL_MIN,
+      -DBL_MIN,
+      DBL_MAX,
+      -DBL_MAX,
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::ldexp(1.0, -1000),
+      0.1,
+      1.0 / 3.0,
+  };
+  for (const double value : extremes) {
+    ExactSum sum;
+    ASSERT_TRUE(sum.Add(value));
+    EXPECT_TRUE(BitEqual(sum.ToDouble(), value)) << value;
+  }
+  Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double value = RandomDouble(rng);
+    ExactSum sum;
+    ASSERT_TRUE(sum.Add(value));
+    EXPECT_TRUE(BitEqual(sum.ToDouble(), value)) << value;
+  }
+}
+
+TEST(ExactSumTest, RejectsNonFiniteAndLeavesStateUntouched) {
+  ExactSum sum;
+  EXPECT_FALSE(sum.Add(std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(sum.Add(-std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(sum.Add(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_TRUE(sum.IsZero());
+  ASSERT_TRUE(sum.Add(3.5));
+  ExactSum before = sum;
+  EXPECT_FALSE(sum.Add(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_EQ(sum, before);
+}
+
+TEST(ExactSumTest, CancellationIsExactAcrossMagnitudes) {
+  // 1e308 + 1e-308 - 1e308 - 1e-308 is garbage in floating point; the
+  // fixed-point accumulator returns exactly zero.
+  ExactSum sum;
+  ASSERT_TRUE(sum.Add(1e308));
+  ASSERT_TRUE(sum.Add(1e-308));
+  ASSERT_TRUE(sum.Add(-1e308));
+  ASSERT_TRUE(sum.Add(-1e-308));
+  EXPECT_TRUE(BitEqual(sum.ToDouble(), 0.0));
+  // Tiny residue survives the huge cancellation exactly.
+  ExactSum residue;
+  ASSERT_TRUE(residue.Add(1e308));
+  ASSERT_TRUE(residue.Add(2.5));
+  ASSERT_TRUE(residue.Add(-1e308));
+  EXPECT_TRUE(BitEqual(residue.ToDouble(), 2.5));
+}
+
+TEST(ExactSumTest, ToDoubleRoundsHalfToEven) {
+  // 1 + 2^-53 is exactly halfway between 1 and 1+2^-52: ties-to-even
+  // keeps the even mantissa (1.0).
+  ExactSum down;
+  ASSERT_TRUE(down.Add(1.0));
+  ASSERT_TRUE(down.Add(std::ldexp(1.0, -53)));
+  EXPECT_TRUE(BitEqual(down.ToDouble(), 1.0));
+  // (1+2^-52) + 2^-53 is halfway with an odd mantissa: rounds up.
+  ExactSum up;
+  ASSERT_TRUE(up.Add(1.0 + std::ldexp(1.0, -52)));
+  ASSERT_TRUE(up.Add(std::ldexp(1.0, -53)));
+  EXPECT_TRUE(BitEqual(up.ToDouble(), 1.0 + std::ldexp(1.0, -51)));
+}
+
+TEST(ExactSumTest, MergeIsPartitionAndOrderIndependent) {
+  // The load-bearing fleet property: any partition of the stream into
+  // shards, each accumulating locally, merged in any order, equals the
+  // single-stream accumulator bit for bit.
+  Rng value_rng(23);
+  std::vector<double> values;
+  values.reserve(300);
+  for (int i = 0; i < 300; ++i) values.push_back(RandomDouble(value_rng));
+
+  ExactSum reference;
+  for (const double value : values) ASSERT_TRUE(reference.Add(value));
+
+  for (const uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    for (size_t shards = 1; shards <= 8; ++shards) {
+      Rng rng(seed * 1000 + shards);
+      std::vector<ExactSum> partials(shards);
+      for (const double value : values) {
+        ASSERT_TRUE(partials[rng.Uniform(shards)].Add(value));
+      }
+      // Merge in a shuffled order: associativity and commutativity are
+      // both part of the claim.
+      std::vector<size_t> order(shards);
+      std::iota(order.begin(), order.end(), 0);
+      rng.Shuffle(&order);
+      ExactSum merged;
+      for (const size_t p : order) merged += partials[p];
+      EXPECT_EQ(merged, reference) << "seed " << seed << " shards " << shards;
+      EXPECT_TRUE(BitEqual(merged.ToDouble(), reference.ToDouble()));
+    }
+  }
+}
+
+TEST(ExactSumTest, JsonRoundTripIsLossless) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    ExactSum sum;
+    for (int i = 0; i < 20; ++i) ASSERT_TRUE(sum.Add(RandomDouble(rng)));
+    // Through the actual wire form (Dump + reparse), not just the tree.
+    const auto json = net::ParseJson(sum.ToJson().Dump());
+    ASSERT_TRUE(json.ok()) << json.status().ToString();
+    const auto parsed = ExactSumFromJson(*json);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(*parsed, sum);
+  }
+  // Zero serializes to empty limb arrays and reloads as zero.
+  const auto zero = ExactSumFromJson(ExactSum().ToJson());
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero->IsZero());
+}
+
+TEST(ExactSumTest, FromJsonRejectsMalformedDocuments) {
+  const std::vector<std::string> bad = {
+      R"([1,2])",                     // not an object
+      R"({"pos":[0]})",               // missing neg
+      R"({"neg":[0]})",               // missing pos
+      R"({"pos":0,"neg":[]})",        // pos not an array
+      R"({"pos":[-1],"neg":[]})",     // negative limb
+      R"({"pos":[4294967296],"neg":[]})",  // limb >= 2^32
+      R"({"pos":["1"],"neg":[]})",    // ill-typed limb
+  };
+  for (const std::string& document : bad) {
+    const auto json = net::ParseJson(document);
+    ASSERT_TRUE(json.ok()) << document;
+    EXPECT_FALSE(ExactSumFromJson(*json).ok()) << document;
+  }
+  // Too many limbs.
+  net::JsonValue limbs = net::JsonValue::Array();
+  for (int i = 0; i < ExactSum::kLimbs + 1; ++i) {
+    limbs.Append(net::JsonValue(int64_t{1}));
+  }
+  net::JsonValue over = net::JsonValue::Object();
+  over.Set("pos", limbs);
+  over.Set("neg", net::JsonValue::Array());
+  EXPECT_FALSE(ExactSumFromJson(over).ok());
+}
+
+TEST(MetricStatsTest, TracksCountsAndRejectsNonFiniteSamples) {
+  MetricStats stats;
+  stats.Add(2.0);
+  stats.Add(-0.5);
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_EQ(stats.non_finite, 0u);
+  EXPECT_TRUE(BitEqual(stats.sum.ToDouble(), 1.5));
+  EXPECT_TRUE(BitEqual(stats.sum_squares.ToDouble(), 4.25));
+  EXPECT_TRUE(BitEqual(stats.Mean(), 0.75));
+
+  stats.Add(std::numeric_limits<double>::quiet_NaN());
+  // Finite value whose square overflows: rejected whole, not half-added.
+  stats.Add(1e200);
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_EQ(stats.non_finite, 2u);
+  EXPECT_TRUE(BitEqual(stats.sum.ToDouble(), 1.5));
+
+  EXPECT_TRUE(BitEqual(MetricStats().Mean(), 0.0));
+}
+
+TEST(MetricStatsTest, JsonRoundTripAndStrictness) {
+  MetricStats stats;
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) stats.Add(RandomDouble(rng));
+  stats.Add(std::numeric_limits<double>::infinity());
+  const auto json = net::ParseJson(stats.ToJson().Dump());
+  ASSERT_TRUE(json.ok());
+  const auto parsed = MetricStatsFromJson(*json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, stats);
+
+  const std::vector<std::string> bad = {
+      R"(7)",
+      R"({"non_finite":0,"sum":{"pos":[],"neg":[]},"sum_sq":{"pos":[],"neg":[]}})",
+      R"({"count":-1,"non_finite":0,"sum":{"pos":[],"neg":[]},"sum_sq":{"pos":[],"neg":[]}})",
+      R"({"count":1,"non_finite":0,"sum":{"pos":[]},"sum_sq":{"pos":[],"neg":[]}})",
+      R"({"count":1,"non_finite":0,"sum":{"pos":[],"neg":[]}})",
+  };
+  for (const std::string& document : bad) {
+    const auto doc = net::ParseJson(document);
+    ASSERT_TRUE(doc.ok()) << document;
+    EXPECT_FALSE(MetricStatsFromJson(*doc).ok()) << document;
+  }
+}
+
+/// One synthetic "served summary": random metric values plus the group
+/// labels the live accumulator would tag.
+struct SyntheticSample {
+  SummaryMetricValues values;
+  std::string method;
+  std::string scenario;
+};
+
+std::vector<SyntheticSample> SyntheticStream(size_t n, uint64_t seed) {
+  const std::vector<std::string> methods = {"method:ST", "method:PCST",
+                                            "method:baseline"};
+  const std::vector<std::string> scenarios = {"scenario:user-centric",
+                                              "scenario:item-centric"};
+  Rng rng(seed);
+  std::vector<SyntheticSample> stream;
+  stream.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SyntheticSample sample;
+    sample.values.comprehensibility = RandomDouble(rng);
+    sample.values.actionability = RandomDouble(rng);
+    sample.values.diversity = RandomDouble(rng);
+    sample.values.redundancy = RandomDouble(rng);
+    sample.values.relevance = RandomDouble(rng);
+    sample.values.privacy = RandomDouble(rng);
+    sample.method = methods[rng.Uniform(methods.size())];
+    sample.scenario = scenarios[rng.Uniform(scenarios.size())];
+    stream.push_back(sample);
+  }
+  return stream;
+}
+
+TEST(EvalStatsSnapshotTest, ShardSplitMergeIsBitIdenticalAcrossSeeds) {
+  // The acceptance property at snapshot level: every metric and every
+  // group, any shard count 1..8, any random partition — merged equals
+  // the single-process accumulator exactly (operator== compares the raw
+  // integer limb state, so this is bit identity, not tolerance).
+  const std::vector<SyntheticSample> stream = SyntheticStream(400, 97);
+
+  EvalAccumulator reference;
+  for (const SyntheticSample& sample : stream) {
+    reference.RecordValues(sample.values, sample.method, sample.scenario);
+  }
+  reference.RecordSkipped();
+  const EvalStatsSnapshot expected = reference.Snapshot();
+  ASSERT_EQ(expected.summaries, stream.size());
+  ASSERT_EQ(expected.metrics.size(), MetricNames().size());
+
+  for (const uint64_t seed : {11ull, 22ull, 33ull}) {
+    for (size_t shards = 1; shards <= 8; ++shards) {
+      Rng rng(seed * 100 + shards);
+      std::vector<EvalAccumulator> partials(shards);
+      for (const SyntheticSample& sample : stream) {
+        partials[rng.Uniform(shards)].RecordValues(
+            sample.values, sample.method, sample.scenario);
+      }
+      partials[rng.Uniform(shards)].RecordSkipped();
+      EvalStatsSnapshot merged;
+      for (const EvalAccumulator& partial : partials) {
+        merged += partial.Snapshot();
+      }
+      EXPECT_EQ(merged, expected) << "seed " << seed << " shards " << shards;
+      for (const std::string& name : MetricNames()) {
+        EXPECT_TRUE(BitEqual(merged.metrics.at(name).Mean(),
+                             expected.metrics.at(name).Mean()))
+            << name;
+      }
+    }
+  }
+}
+
+TEST(EvalStatsSnapshotTest, JsonRoundTripThroughTheWireForm) {
+  const std::vector<SyntheticSample> stream = SyntheticStream(60, 13);
+  EvalAccumulator accumulator;
+  for (const SyntheticSample& sample : stream) {
+    accumulator.RecordValues(sample.values, sample.method, sample.scenario);
+  }
+  accumulator.RecordSkipped();
+  accumulator.RecordSkipped();
+  const EvalStatsSnapshot snapshot = accumulator.Snapshot();
+
+  const auto json = net::ParseJson(snapshot.ToJson().Dump());
+  ASSERT_TRUE(json.ok());
+  const auto parsed = EvalStatsSnapshotFromJson(*json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, snapshot);
+  EXPECT_EQ(parsed->skipped, 2u);
+  // The derived "means" member is exposition, not merge state.
+  EXPECT_NE(snapshot.ToJson().Dump().find("\"means\""), std::string::npos);
+}
+
+TEST(EvalStatsSnapshotTest, FromJsonRejectsMalformedScrapes) {
+  const std::vector<std::string> bad = {
+      R"(null)",
+      R"({"summaries":0,"skipped":0,"metrics":{},"groups":{}})",  // no v
+      R"({"v":2,"summaries":0,"skipped":0,"metrics":{},"groups":{}})",
+      R"({"v":1,"skipped":0,"metrics":{},"groups":{}})",
+      R"({"v":1,"summaries":-1,"skipped":0,"metrics":{},"groups":{}})",
+      R"({"v":1,"summaries":0,"metrics":{},"groups":{}})",
+      R"({"v":1,"summaries":0,"skipped":0,"groups":{}})",
+      R"({"v":1,"summaries":0,"skipped":0,"metrics":{"m":3},"groups":{}})",
+      R"({"v":1,"summaries":0,"skipped":0,"metrics":{},"groups":[]})",
+      R"({"v":1,"summaries":0,"skipped":0,"metrics":{},"groups":{"g":1}})",
+  };
+  for (const std::string& document : bad) {
+    const auto json = net::ParseJson(document);
+    ASSERT_TRUE(json.ok()) << document;
+    EXPECT_FALSE(EvalStatsSnapshotFromJson(*json).ok()) << document;
+  }
+}
+
+TEST(EvalStatsSnapshotTest, MergeAccumulatesDisjointGroupsAndCounters) {
+  EvalAccumulator a;
+  EvalAccumulator b;
+  SummaryMetricValues values;
+  values.relevance = 1.25;
+  a.RecordValues(values, "method:ST", "scenario:user-centric");
+  b.RecordValues(values, "method:PCST", "scenario:item-centric");
+  b.RecordSkipped();
+
+  EvalStatsSnapshot merged = a.Snapshot();
+  merged += b.Snapshot();
+  EXPECT_EQ(merged.summaries, 2u);
+  EXPECT_EQ(merged.skipped, 1u);
+  EXPECT_EQ(merged.groups.size(), 4u);
+  EXPECT_EQ(merged.groups.at("method:ST").at("relevance").count, 1u);
+  EXPECT_EQ(merged.groups.at("method:PCST").at("relevance").count, 1u);
+  EXPECT_EQ(merged.metrics.at("relevance").count, 2u);
+  EXPECT_TRUE(BitEqual(merged.metrics.at("relevance").Mean(), 1.25));
+}
+
+}  // namespace
+}  // namespace xsum::eval

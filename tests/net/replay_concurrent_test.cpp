@@ -1,0 +1,93 @@
+/// Regression tests for the concurrent replay harness (net/replay.h):
+/// the latency accumulator must fold exactly the slots the clients
+/// actually completed. A client that fails mid-range used to leave its
+/// remaining zero-initialized slots in the fold, silently dragging every
+/// percentile toward 0 — the bug these tests pin down.
+
+#include "net/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace xsum::net {
+namespace {
+
+HttpResponse Ok() {
+  HttpResponse response;
+  response.status = 200;
+  response.body = "ok";
+  return response;
+}
+
+HttpResponse ServerError() {
+  HttpResponse response;
+  response.status = 500;
+  response.body = "boom";
+  return response;
+}
+
+TEST(ReplayConcurrentTest, AllSuccessFoldsEverySlotExactlyOnce) {
+  std::atomic<size_t> issued{0};
+  const ReplayStats stats = ReplayConcurrent(
+      17, 4, [&](size_t, size_t) {
+        issued.fetch_add(1);
+        return Ok();
+      });
+  EXPECT_TRUE(stats.ok);
+  EXPECT_EQ(issued.load(), 17u);
+  EXPECT_EQ(stats.latencies_ms.count(), 17u)
+      << "every completed request folds exactly once";
+  EXPECT_GT(stats.wall_ms, 0.0);
+}
+
+TEST(ReplayConcurrentTest, FailedClientFoldsOnlyItsCompletedSlots) {
+  // 8 requests, 2 clients, 4 each: client 1 succeeds at its first index
+  // (4) and fails at its second (5). Only 4 (client 0) + 1 (client 1)
+  // latencies may fold — the failing request's slot and the never-issued
+  // slots 6..7 must stay out, or the zero-valued entries would skew
+  // every percentile toward 0.
+  const ReplayStats stats = ReplayConcurrent(
+      8, 2, [](size_t c, size_t i) {
+        if (c == 1 && i == 5) return ServerError();
+        return Ok();
+      });
+  EXPECT_FALSE(stats.ok);
+  EXPECT_EQ(stats.error_status, 500);
+  EXPECT_EQ(stats.error_body, "boom");
+  EXPECT_EQ(stats.latencies_ms.count(), 5u)
+      << "folded unwritten or failed slots into the percentiles";
+  // Real latencies are all positive; a zero minimum is the bug's
+  // signature.
+  EXPECT_GT(stats.latencies_ms.Min(), 0.0);
+}
+
+TEST(ReplayConcurrentTest, ImmediateFailureFoldsNothingForThatClient) {
+  // Client 1 fails its very first request: zero completed slots on that
+  // client, and the surviving client still contributes its full share.
+  const ReplayStats stats = ReplayConcurrent(
+      10, 2, [](size_t c, size_t) {
+        if (c == 1) return ServerError();
+        return Ok();
+      });
+  EXPECT_FALSE(stats.ok);
+  EXPECT_EQ(stats.latencies_ms.count(), 5u);
+}
+
+TEST(ReplayConcurrentTest, ZeroClientsDegradesToOneAndRemainderLands) {
+  // num_clients 0 is coerced to 1; a count that does not divide the
+  // client count still issues every index exactly once (the last client
+  // takes the remainder).
+  std::atomic<uint64_t> mask{0};
+  const ReplayStats stats = ReplayConcurrent(
+      7, 0, [&](size_t, size_t i) {
+        mask.fetch_or(uint64_t{1} << i);
+        return Ok();
+      });
+  EXPECT_TRUE(stats.ok);
+  EXPECT_EQ(mask.load(), (uint64_t{1} << 7) - 1);
+  EXPECT_EQ(stats.latencies_ms.count(), 7u);
+}
+
+}  // namespace
+}  // namespace xsum::net

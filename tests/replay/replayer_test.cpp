@@ -1,0 +1,249 @@
+/// Tests of the open-loop trace replayer (replay/replayer.h): schedule
+/// construction (determinism, client mapping, speed scaling) as a pure
+/// function, and the tentpole acceptance property end-to-end — a trace
+/// recorded against the real serving stack replays at 1x and 4x with
+/// every response byte-identical to the recorded fingerprint.
+
+#include "replay/replayer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/runner.h"
+#include "net/json.h"
+#include "replay/scenario.h"
+#include "replay/trace.h"
+#include "service/handler.h"
+#include "service/snapshot_registry.h"
+
+namespace xsum::replay {
+namespace {
+
+TraceRecord ScheduleRecord(uint64_t seq, int64_t offset_us,
+                           const std::string& client) {
+  TraceRecord record;
+  record.seq = seq;
+  record.offset_us = offset_us;
+  record.client = client;
+  record.request = *net::ParseJson(R"({"user":1,"k":1})");
+  record.fingerprint = ResponseFingerprint(200, client);
+  return record;
+}
+
+TEST(BuildScheduleTest, MapsClientsByFirstAppearanceAndFoldsModulo) {
+  Trace trace;
+  // First-appearance order: b -> slot 0, a -> slot 1, c -> slot 2.
+  trace.records = {
+      ScheduleRecord(0, 0, "b"),   ScheduleRecord(1, 100, "a"),
+      ScheduleRecord(2, 200, "b"), ScheduleRecord(3, 300, "c"),
+      ScheduleRecord(4, 400, "a"),
+  };
+
+  // Auto client count: one thread per distinct id.
+  ReplayOptions by_id;
+  const ReplaySchedule full = BuildSchedule(trace, by_id);
+  ASSERT_EQ(full.clients.size(), 3u);
+  ASSERT_EQ(full.clients[0].size(), 2u);  // b
+  EXPECT_EQ(full.clients[0][0].record_index, 0u);
+  EXPECT_EQ(full.clients[0][1].record_index, 2u);
+  ASSERT_EQ(full.clients[1].size(), 2u);  // a
+  EXPECT_EQ(full.clients[1][0].record_index, 1u);
+  EXPECT_EQ(full.clients[1][1].record_index, 4u);
+  ASSERT_EQ(full.clients[2].size(), 1u);  // c
+  EXPECT_EQ(full.clients[2][0].record_index, 3u);
+
+  // Fewer threads than ids: c (slot 2) folds onto thread 0, per-client
+  // order still intact within each thread.
+  ReplayOptions two;
+  two.num_clients = 2;
+  const ReplaySchedule folded = BuildSchedule(trace, two);
+  ASSERT_EQ(folded.clients.size(), 2u);
+  ASSERT_EQ(folded.clients[0].size(), 3u);  // b, b, c
+  EXPECT_EQ(folded.clients[0][0].record_index, 0u);
+  EXPECT_EQ(folded.clients[0][1].record_index, 2u);
+  EXPECT_EQ(folded.clients[0][2].record_index, 3u);
+  ASSERT_EQ(folded.clients[1].size(), 2u);  // a, a
+
+  // Pure function: identical inputs, identical schedule.
+  EXPECT_EQ(BuildSchedule(trace, two), folded);
+}
+
+TEST(BuildScheduleTest, SpeedDividesTargetTimes) {
+  Trace trace;
+  trace.records = {ScheduleRecord(0, 1000, "x"),
+                   ScheduleRecord(1, 5000, "x")};
+  ReplayOptions options;
+  options.speed = 4.0;
+  const ReplaySchedule schedule = BuildSchedule(trace, options);
+  ASSERT_EQ(schedule.clients.size(), 1u);
+  EXPECT_EQ(schedule.clients[0][0].target_us, 250);
+  EXPECT_EQ(schedule.clients[0][1].target_us, 1250);
+}
+
+TEST(BuildScheduleTest, EmptyTraceYieldsOneIdleClient) {
+  const ReplaySchedule schedule = BuildSchedule(Trace{}, ReplayOptions{});
+  ASSERT_EQ(schedule.clients.size(), 1u);
+  EXPECT_TRUE(schedule.clients[0].empty());
+}
+
+eval::ExperimentConfig TinyConfig() {
+  eval::ExperimentConfig config;
+  config.scale = 0.02;
+  config.users_per_gender = 3;
+  config.items_popular = 3;
+  config.items_unpopular = 3;
+  config.ks = {1, 3, 5};
+  return config;
+}
+
+/// Shared serving stack: trace recording and replay both issue against
+/// the same deterministic engine (graph building dominates wall time).
+class ReplayerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    runner_ = new eval::ExperimentRunner(TinyConfig());
+    ASSERT_TRUE(runner_->Init().ok());
+    auto data = runner_->ComputeBaseline(rec::RecommenderKind::kPgpr);
+    ASSERT_TRUE(data.ok()) << data.status();
+    catalog_ = new service::TaskCatalog();
+    for (const core::UserRecs& ur : data->users) {
+      catalog_->AddUserCentric(runner_->rec_graph(), ur, 5);
+    }
+    registry_ = new service::GraphSnapshotRegistry();
+    registry_->Publish(
+        service::GraphSnapshotRegistry::Alias(runner_->rec_graph()));
+    service_ = new service::SummaryService(registry_);
+    handler_ = new service::SummaryHandler(service_, catalog_);
+  }
+
+  static void TearDownTestSuite() {
+    delete handler_;
+    delete service_;
+    delete registry_;
+    delete catalog_;
+    delete runner_;
+    handler_ = nullptr;
+    service_ = nullptr;
+    registry_ = nullptr;
+    catalog_ = nullptr;
+    runner_ = nullptr;
+  }
+
+  static net::HttpResponse Issue(const TraceRecord& record) {
+    net::HttpRequest request;
+    request.method = "POST";
+    request.target = "/summarize";
+    request.body = record.RequestBody();
+    return handler_->Handle(request);
+  }
+
+  /// Records a scenario-driven trace against the live stack: generated
+  /// arrivals mapped onto catalog tasks, fingerprints from real
+  /// responses — exactly what `xsum_server record` produces.
+  static Trace RecordedTrace(size_t count) {
+    ScenarioOptions options;
+    options.count = count;
+    options.seed = 17;
+    options.mean_gap_us = 150.0;
+    options.clients = 3;
+    const auto& entries = catalog_->entries();
+    const auto events =
+        GenerateScenario(ScenarioKind::kHotKey, entries.size(), options);
+    Trace trace;
+    for (size_t i = 0; i < events.size(); ++i) {
+      const auto& entry = entries[events[i].pick];
+      TraceRecord record;
+      record.seq = i;
+      record.offset_us = events[i].offset_us;
+      record.client = "c" + std::to_string(events[i].client);
+      record.request = *net::ParseJson(
+          R"({"user":)" + std::to_string(entry.unit) + R"(,"k":)" +
+          std::to_string(entry.k) + "}");
+      const net::HttpResponse response = Issue(record);
+      EXPECT_EQ(response.status, 200) << response.body;
+      record.status = response.status;
+      record.fingerprint =
+          ResponseFingerprint(response.status, response.body);
+      trace.records.push_back(record);
+    }
+    return trace;
+  }
+
+  static eval::ExperimentRunner* runner_;
+  static service::TaskCatalog* catalog_;
+  static service::GraphSnapshotRegistry* registry_;
+  static service::SummaryService* service_;
+  static service::SummaryHandler* handler_;
+};
+
+eval::ExperimentRunner* ReplayerTest::runner_ = nullptr;
+service::TaskCatalog* ReplayerTest::catalog_ = nullptr;
+service::GraphSnapshotRegistry* ReplayerTest::registry_ = nullptr;
+service::SummaryService* ReplayerTest::service_ = nullptr;
+service::SummaryHandler* ReplayerTest::handler_ = nullptr;
+
+TEST_F(ReplayerTest, RecordedTraceReplaysByteIdenticalAt1xAnd4x) {
+  // The acceptance property: record once, replay at 1x and at 4x, every
+  // response fingerprint equal to the recorded one. The trace survives a
+  // serialization round trip on the way, as it would on disk.
+  const Trace recorded = RecordedTrace(40);
+  const auto trace = ParseTrace(recorded.Dump());
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+
+  for (const double speed : {1.0, 4.0}) {
+    ReplayOptions options;
+    options.speed = speed;
+    const ReplayReport report =
+        Replay(*trace, options,
+               [](size_t, const TraceRecord& record) {
+                 return Issue(record);
+               });
+    EXPECT_TRUE(report.ok) << "speed " << speed << ": "
+                           << report.first_divergence_detail;
+    EXPECT_EQ(report.issued, trace->size()) << speed;
+    EXPECT_EQ(report.matched, trace->size()) << speed;
+    EXPECT_EQ(report.mismatched, 0u) << speed;
+    EXPECT_EQ(report.failed, 0u) << speed;
+    EXPECT_EQ(report.latencies_ms.count(), trace->size()) << speed;
+    EXPECT_GT(report.wall_ms, 0.0);
+  }
+}
+
+TEST_F(ReplayerTest, DivergenceIsDetectedCountedAndNamed) {
+  Trace trace = RecordedTrace(12);
+  // Corrupt one recorded fingerprint: the stack still answers what it
+  // answered, so the replay must flag exactly that record.
+  const size_t victim = 5;
+  trace.records[victim].fingerprint = std::string(16, '0');
+
+  ReplayOptions options;
+  options.speed = 8.0;
+  const ReplayReport report = Replay(
+      trace, options,
+      [](size_t, const TraceRecord& record) { return Issue(record); });
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.mismatched, 1u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.matched, trace.size() - 1)
+      << "replay must continue past the divergence";
+  EXPECT_EQ(report.issued, trace.size());
+  EXPECT_EQ(report.first_divergence_seq, victim);
+  EXPECT_NE(report.first_divergence_detail.find("seq 5"), std::string::npos)
+      << report.first_divergence_detail;
+
+  // A status divergence counts as failed, not mismatched.
+  Trace wrong_status = RecordedTrace(6);
+  wrong_status.records[2].status = 503;
+  const ReplayReport status_report = Replay(
+      wrong_status, options,
+      [](size_t, const TraceRecord& record) { return Issue(record); });
+  EXPECT_FALSE(status_report.ok);
+  EXPECT_EQ(status_report.failed, 1u);
+  EXPECT_EQ(status_report.first_divergence_seq, 2u);
+}
+
+}  // namespace
+}  // namespace xsum::replay

@@ -1,0 +1,216 @@
+/// Tests of the synthetic workload generators (replay/scenario.h):
+/// seed determinism, the structural signature of each scenario kind
+/// (storm concentration, tenant separation, recency windows, diurnal
+/// drift), and the shared arrival-schedule invariants every generator
+/// must satisfy for the emitted traces to replay.
+
+#include "replay/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace xsum::replay {
+namespace {
+
+constexpr size_t kUniverse = 200;
+
+ScenarioOptions SmallOptions(uint64_t seed = 42) {
+  ScenarioOptions options;
+  options.count = 600;
+  options.seed = seed;
+  options.mean_gap_us = 100.0;
+  return options;
+}
+
+const std::vector<ScenarioKind> kAllKinds = {
+    ScenarioKind::kDiurnal, ScenarioKind::kHotKey,
+    ScenarioKind::kMultiTenant, ScenarioKind::kRecency};
+
+TEST(ScenarioKindTest, NamesRoundTripAndErrorsAreNamed) {
+  for (const ScenarioKind kind : kAllKinds) {
+    const auto parsed = ParseScenarioKind(ScenarioKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << ScenarioKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  const auto bad = ParseScenarioKind("bursty");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("bursty"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("hotkey"), std::string::npos)
+      << "error should list the valid kinds";
+}
+
+TEST(ScenarioTest, SameSeedIsBitDeterministicDifferentSeedDiverges) {
+  for (const ScenarioKind kind : kAllKinds) {
+    const auto a = GenerateScenario(kind, kUniverse, SmallOptions(7));
+    const auto b = GenerateScenario(kind, kUniverse, SmallOptions(7));
+    EXPECT_EQ(a, b) << ScenarioKindName(kind);
+    const auto c = GenerateScenario(kind, kUniverse, SmallOptions(8));
+    EXPECT_NE(a, c) << ScenarioKindName(kind);
+  }
+}
+
+TEST(ScenarioTest, SharedArrivalInvariantsHoldForEveryKind) {
+  const ScenarioOptions options = SmallOptions();
+  for (const ScenarioKind kind : kAllKinds) {
+    const auto events = GenerateScenario(kind, kUniverse, options);
+    ASSERT_EQ(events.size(), options.count) << ScenarioKindName(kind);
+    int64_t last_offset = 0;
+    for (const ArrivalEvent& event : events) {
+      EXPECT_GE(event.offset_us, last_offset) << ScenarioKindName(kind);
+      last_offset = event.offset_us;
+      EXPECT_LT(event.pick, kUniverse) << ScenarioKindName(kind);
+      EXPECT_GT(event.offset_us, 0) << ScenarioKindName(kind);
+    }
+    // The default options spread work over more than one client.
+    std::set<uint32_t> clients;
+    for (const ArrivalEvent& event : events) clients.insert(event.client);
+    EXPECT_GT(clients.size(), 1u) << ScenarioKindName(kind);
+  }
+}
+
+TEST(ScenarioTest, EmptyUniverseOrCountYieldsNoEvents) {
+  EXPECT_TRUE(GenerateScenario(ScenarioKind::kHotKey, 0, SmallOptions())
+                  .empty());
+  ScenarioOptions none = SmallOptions();
+  none.count = 0;
+  EXPECT_TRUE(GenerateScenario(ScenarioKind::kHotKey, kUniverse, none)
+                  .empty());
+  // A one-element universe is degenerate but legal.
+  const auto tiny =
+      GenerateScenario(ScenarioKind::kRecency, 1, SmallOptions());
+  ASSERT_EQ(tiny.size(), SmallOptions().count);
+  for (const ArrivalEvent& event : tiny) EXPECT_EQ(event.pick, 0u);
+}
+
+TEST(ScenarioTest, HotKeyStormConcentratesPicksAndAccelerates) {
+  const ScenarioOptions options = SmallOptions();
+  const auto events =
+      GenerateScenario(ScenarioKind::kHotKey, kUniverse, options);
+  const size_t begin =
+      static_cast<size_t>(options.storm_begin_frac * options.count);
+  const size_t end =
+      static_cast<size_t>(options.storm_end_frac * options.count);
+
+  // Inside the storm one key dominates; outside nothing does.
+  std::map<size_t, size_t> storm_histogram;
+  for (size_t i = begin; i < end; ++i) ++storm_histogram[events[i].pick];
+  size_t hottest = 0;
+  for (const auto& [pick, count] : storm_histogram) {
+    hottest = std::max(hottest, count);
+  }
+  const size_t storm_events = end - begin;
+  EXPECT_GT(hottest, storm_events / 2)
+      << "storm_hot_frac=0.8 should collapse most storm picks onto one key";
+
+  std::map<size_t, size_t> calm_histogram;
+  for (size_t i = 0; i < begin; ++i) ++calm_histogram[events[i].pick];
+  size_t calm_hottest = 0;
+  for (const auto& [pick, count] : calm_histogram) {
+    calm_hottest = std::max(calm_hottest, count);
+  }
+  EXPECT_LT(calm_hottest, begin / 2) << "no storm before the window";
+
+  // The storm also compresses inter-arrival time: its window spans far
+  // less wall time per event than the calm prefix.
+  const double calm_span =
+      static_cast<double>(events[begin - 1].offset_us - events[0].offset_us) /
+      static_cast<double>(begin - 1);
+  const double storm_span =
+      static_cast<double>(events[end - 1].offset_us -
+                          events[begin].offset_us) /
+      static_cast<double>(storm_events - 1);
+  EXPECT_LT(storm_span * 2.0, calm_span)
+      << "storm_rate_boost=4 should visibly compress arrival gaps";
+}
+
+TEST(ScenarioTest, MultiTenantKeepsTenantsSeparableByClientId) {
+  ScenarioOptions options = SmallOptions();
+  options.tenants = 3;
+  const auto events =
+      GenerateScenario(ScenarioKind::kMultiTenant, kUniverse, options);
+  ASSERT_EQ(events.size(), options.count);
+
+  // Client id IS the tenant id, every tenant gets its fair share, and
+  // each tenant prefers its own universe slice.
+  std::map<uint32_t, size_t> per_tenant;
+  std::map<uint32_t, size_t> in_own_slice;
+  const size_t slice = kUniverse / options.tenants;
+  for (const ArrivalEvent& event : events) {
+    ASSERT_LT(event.client, options.tenants);
+    ++per_tenant[event.client];
+    const size_t base = event.client * slice;
+    // Slices wrap modulo the universe; membership check mirrors that.
+    const size_t relative = (event.pick + kUniverse - base) % kUniverse;
+    if (relative < slice) ++in_own_slice[event.client];
+  }
+  ASSERT_EQ(per_tenant.size(), options.tenants);
+  for (uint32_t t = 0; t < options.tenants; ++t) {
+    EXPECT_GE(per_tenant[t], options.count / options.tenants)
+        << "tenant " << t;
+    EXPECT_EQ(in_own_slice[t], per_tenant[t])
+        << "tenant " << t << " picked outside its slice";
+  }
+}
+
+TEST(ScenarioTest, RecencyPicksSlideWithTheWindow) {
+  ScenarioOptions options = SmallOptions();
+  options.window_frac = 0.1;
+  const auto events =
+      GenerateScenario(ScenarioKind::kRecency, kUniverse, options);
+  const size_t window = static_cast<size_t>(
+      options.window_frac * static_cast<double>(kUniverse));
+  for (size_t i = 0; i < events.size(); ++i) {
+    const double phase =
+        static_cast<double>(i) / static_cast<double>(options.count);
+    const size_t start =
+        static_cast<size_t>(phase * static_cast<double>(kUniverse));
+    const size_t relative = (events[i].pick + kUniverse - start) % kUniverse;
+    EXPECT_LT(relative, window) << "event " << i;
+  }
+  // Picks from an early window are disjoint from a later (non-wrapping)
+  // window: the window moved. The final stretch wraps modulo the
+  // universe, so compare the first eighth against [3/4, 7/8).
+  std::set<size_t> early;
+  std::set<size_t> late;
+  for (size_t i = 0; i < events.size() / 8; ++i) early.insert(events[i].pick);
+  for (size_t i = 3 * events.size() / 4; i < 7 * events.size() / 8; ++i) {
+    late.insert(events[i].pick);
+  }
+  for (const size_t pick : late) {
+    EXPECT_FALSE(early.count(pick)) << "window never advanced past " << pick;
+  }
+}
+
+TEST(ScenarioTest, DiurnalDriftsTheHotSetAcrossTheRun) {
+  ScenarioOptions options = SmallOptions();
+  options.count = 1200;
+  options.zipf_skew = 1.4;
+  const auto events =
+      GenerateScenario(ScenarioKind::kDiurnal, kUniverse, options);
+
+  // The modal pick of the first quarter differs from the last quarter's:
+  // same skew, rotated hot set.
+  const auto modal = [&](size_t begin, size_t end) {
+    std::map<size_t, size_t> histogram;
+    for (size_t i = begin; i < end; ++i) ++histogram[events[i].pick];
+    size_t best_pick = 0;
+    size_t best_count = 0;
+    for (const auto& [pick, count] : histogram) {
+      if (count > best_count) {
+        best_count = count;
+        best_pick = pick;
+      }
+    }
+    return best_pick;
+  };
+  EXPECT_NE(modal(0, events.size() / 4),
+            modal(3 * events.size() / 4, events.size()))
+      << "popularity never drifted";
+}
+
+}  // namespace
+}  // namespace xsum::replay

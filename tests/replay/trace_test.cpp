@@ -1,0 +1,269 @@
+/// Tests of the versioned trace format (replay/trace.h): fingerprint
+/// stability, record/trace/file round-trips, the strict line-numbered
+/// rejection of malformed or truncated traces, and the TraceSink's
+/// guarantee that live-recorded files always reload.
+
+#include "replay/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/json.h"
+
+namespace xsum::replay {
+namespace {
+
+net::JsonValue RequestJson(uint32_t user, int k) {
+  const auto json = net::ParseJson(R"({"user":)" + std::to_string(user) +
+                                   R"(,"k":)" + std::to_string(k) + "}");
+  EXPECT_TRUE(json.ok());
+  return *json;
+}
+
+TraceRecord MakeRecord(uint64_t seq, int64_t offset_us,
+                       const std::string& client) {
+  TraceRecord record;
+  record.seq = seq;
+  record.offset_us = offset_us;
+  record.client = client;
+  record.request = RequestJson(7, 3);
+  record.status = 200;
+  record.fingerprint = ResponseFingerprint(200, "body-" + client);
+  return record;
+}
+
+Trace MakeTrace(size_t n) {
+  Trace trace;
+  for (size_t i = 0; i < n; ++i) {
+    trace.records.push_back(MakeRecord(i, static_cast<int64_t>(i) * 250,
+                                       "c" + std::to_string(i % 3)));
+  }
+  return trace;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/xsum_trace_test_" + name;
+}
+
+TEST(FingerprintTest, StableAndSensitiveToStatusAndBody) {
+  const std::string fp = ResponseFingerprint(200, "hello");
+  EXPECT_EQ(fp.size(), 16u);
+  for (const char c : fp) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << fp;
+  }
+  EXPECT_EQ(fp, ResponseFingerprint(200, "hello"));
+  EXPECT_NE(fp, ResponseFingerprint(200, "hello!"));
+  EXPECT_NE(fp, ResponseFingerprint(404, "hello"));
+  // The status/body separator prevents concatenation collisions:
+  // (20, "0body") must not fingerprint like (200, "body").
+  EXPECT_NE(ResponseFingerprint(200, "body"),
+            ResponseFingerprint(20, "0body"));
+  EXPECT_EQ(Fingerprint64(""), 1469598103934665603ull);  // FNV-1a basis
+}
+
+TEST(TraceRecordTest, JsonRoundTripPreservesEveryField) {
+  const TraceRecord record = MakeRecord(4, 1234, "alpha");
+  const auto json = net::ParseJson(record.ToJson().Dump());
+  ASSERT_TRUE(json.ok());
+  const auto parsed = TraceRecordFromJson(*json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->seq, 4u);
+  EXPECT_EQ(parsed->offset_us, 1234);
+  EXPECT_EQ(parsed->client, "alpha");
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->fingerprint, record.fingerprint);
+  EXPECT_EQ(parsed->RequestBody(), record.RequestBody());
+}
+
+TEST(TraceRecordTest, RejectsMissingAndIllTypedMembers) {
+  const std::string valid = MakeRecord(0, 0, "c").ToJson().Dump();
+  ASSERT_TRUE(TraceRecordFromJson(*net::ParseJson(valid)).ok());
+
+  const std::vector<std::string> bad = {
+      R"([])",  // not an object
+      R"({"seq":0,"offset_us":0,"client":"c","request":{},"status":200,"fp":"0123456789abcdef"})",  // no v
+      R"({"v":1,"offset_us":0,"client":"c","request":{},"status":200,"fp":"0123456789abcdef"})",  // no seq
+      R"({"v":1,"seq":-1,"offset_us":0,"client":"c","request":{},"status":200,"fp":"0123456789abcdef"})",
+      R"({"v":1,"seq":0,"client":"c","request":{},"status":200,"fp":"0123456789abcdef"})",  // no offset
+      R"({"v":1,"seq":0,"offset_us":-5,"client":"c","request":{},"status":200,"fp":"0123456789abcdef"})",
+      R"({"v":1,"seq":0,"offset_us":0,"request":{},"status":200,"fp":"0123456789abcdef"})",  // no client
+      R"({"v":1,"seq":0,"offset_us":0,"client":7,"request":{},"status":200,"fp":"0123456789abcdef"})",
+      R"({"v":1,"seq":0,"offset_us":0,"client":"c","status":200,"fp":"0123456789abcdef"})",  // no request
+      R"({"v":1,"seq":0,"offset_us":0,"client":"c","request":[],"status":200,"fp":"0123456789abcdef"})",
+      R"({"v":1,"seq":0,"offset_us":0,"client":"c","request":{},"fp":"0123456789abcdef"})",  // no status
+      R"({"v":1,"seq":0,"offset_us":0,"client":"c","request":{},"status":99,"fp":"0123456789abcdef"})",
+      R"({"v":1,"seq":0,"offset_us":0,"client":"c","request":{},"status":600,"fp":"0123456789abcdef"})",
+      R"({"v":1,"seq":0,"offset_us":0,"client":"c","request":{},"status":200})",  // no fp
+      R"({"v":1,"seq":0,"offset_us":0,"client":"c","request":{},"status":200,"fp":"0123"})",  // short fp
+      R"({"v":1,"seq":0,"offset_us":0,"client":"c","request":{},"status":200,"fp":"0123456789ABCDEF"})",  // upper
+  };
+  for (const std::string& document : bad) {
+    const auto json = net::ParseJson(document);
+    ASSERT_TRUE(json.ok()) << document;
+    EXPECT_FALSE(TraceRecordFromJson(*json).ok()) << document;
+  }
+}
+
+TEST(TraceRecordTest, UnknownVersionNamesBothVersions) {
+  std::string line = MakeRecord(0, 0, "c").ToJson().Dump();
+  net::JsonValue record = *net::ParseJson(line);
+  record.Set("v", int64_t{2});
+  const auto parsed = TraceRecordFromJson(record);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("unsupported trace version 2"),
+            std::string::npos)
+      << parsed.status().ToString();
+  EXPECT_NE(parsed.status().message().find("reads v1"), std::string::npos);
+}
+
+TEST(ParseTraceTest, DumpParseRoundTripIsTheIdentity) {
+  const Trace trace = MakeTrace(5);
+  const auto reloaded = ParseTrace(trace.Dump());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_EQ(reloaded->size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(reloaded->records[i].seq, trace.records[i].seq);
+    EXPECT_EQ(reloaded->records[i].offset_us, trace.records[i].offset_us);
+    EXPECT_EQ(reloaded->records[i].client, trace.records[i].client);
+    EXPECT_EQ(reloaded->records[i].fingerprint, trace.records[i].fingerprint);
+    EXPECT_EQ(reloaded->records[i].RequestBody(),
+              trace.records[i].RequestBody());
+  }
+  // And the round trip is byte-stable at the document level.
+  EXPECT_EQ(reloaded->Dump(), trace.Dump());
+}
+
+TEST(ParseTraceTest, EmptyDocumentIsAnEmptyTrace) {
+  const auto empty = ParseTrace("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(ParseTraceTest, RejectionsCarryTheOffendingLineNumber) {
+  const Trace trace = MakeTrace(3);
+  const std::string good = trace.Dump();
+
+  // Truncated final line (a partial write) is unparseable JSON.
+  {
+    const std::string cut = good.substr(0, good.size() - 20);
+    const auto parsed = ParseTrace(cut);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("trace line 3"),
+              std::string::npos)
+        << parsed.status().ToString();
+    EXPECT_NE(parsed.status().message().find("truncated"), std::string::npos);
+  }
+  // Non-contiguous seq: drop the middle line.
+  {
+    Trace gap;
+    gap.records = {trace.records[0], trace.records[2]};
+    const auto parsed = ParseTrace(gap.Dump());
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("trace line 2"),
+              std::string::npos);
+    EXPECT_NE(parsed.status().message().find("non-contiguous seq 2"),
+              std::string::npos)
+        << parsed.status().ToString();
+  }
+  // Decreasing offsets.
+  {
+    Trace warped = MakeTrace(2);
+    warped.records[0].offset_us = 100;
+    warped.records[1].offset_us = 50;
+    const auto parsed = ParseTrace(warped.Dump());
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("trace line 2"),
+              std::string::npos);
+    EXPECT_NE(parsed.status().message().find("decreases"), std::string::npos);
+  }
+  // Blank interior line: seq renumbering hazard, rejected outright.
+  {
+    const size_t first_newline = good.find('\n');
+    std::string blank = good;
+    blank.insert(first_newline + 1, "\n");
+    const auto parsed = ParseTrace(blank);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("blank line inside trace"),
+              std::string::npos)
+        << parsed.status().ToString();
+  }
+  // A record-level rejection is wrapped with its line number.
+  {
+    Trace versioned = MakeTrace(2);
+    std::string text = versioned.records[0].ToJson().Dump() + "\n";
+    net::JsonValue second = versioned.records[1].ToJson();
+    second.Set("status", int64_t{42});
+    text += second.Dump() + "\n";
+    const auto parsed = ParseTrace(text);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("trace line 2"),
+              std::string::npos);
+    EXPECT_NE(parsed.status().message().find("status"), std::string::npos);
+  }
+}
+
+TEST(TraceFileTest, WriteThenLoadRoundTrips) {
+  const std::string path = TempPath("roundtrip.jsonl");
+  const Trace trace = MakeTrace(4);
+  ASSERT_TRUE(WriteTrace(path, trace).ok());
+  const auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Dump(), trace.Dump());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileTest, LoadErrorsNameTheFile) {
+  const auto missing = LoadTrace(TempPath("does_not_exist.jsonl"));
+  EXPECT_FALSE(missing.ok());
+
+  const std::string path = TempPath("corrupt.jsonl");
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  std::fputs("{\"v\":1,\"seq\":0,\n", file);
+  std::fclose(file);
+  const auto corrupt = LoadTrace(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.status().message().find(path), std::string::npos)
+      << corrupt.status().ToString();
+  EXPECT_NE(corrupt.status().message().find("trace line 1"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSinkTest, RecordedFileSatisfiesEveryLoadInvariant) {
+  const std::string path = TempPath("sink.jsonl");
+  auto sink = TraceSink::Open(path);
+  ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+  const std::vector<std::string> bodies = {"one", "two", "three"};
+  for (size_t i = 0; i < bodies.size(); ++i) {
+    (*sink)->Record("client-" + std::to_string(i % 2),
+                    RequestJson(static_cast<uint32_t>(i), 2), 200, bodies[i]);
+  }
+  EXPECT_EQ((*sink)->recorded(), 3u);
+  ASSERT_TRUE((*sink)->Close().ok());
+  // Close is idempotent and records after close are dropped, not crashes.
+  ASSERT_TRUE((*sink)->Close().ok());
+  (*sink)->Record("late", RequestJson(9, 1), 200, "late");
+  EXPECT_EQ((*sink)->recorded(), 3u);
+
+  const auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 3u);
+  int64_t last_offset = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    const TraceRecord& record = loaded->records[i];
+    EXPECT_EQ(record.seq, i);
+    EXPECT_GE(record.offset_us, last_offset);
+    last_offset = record.offset_us;
+    EXPECT_EQ(record.fingerprint, ResponseFingerprint(200, bodies[i]));
+  }
+  EXPECT_EQ(loaded->records[0].client, "client-0");
+  EXPECT_EQ(loaded->records[1].client, "client-1");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xsum::replay
